@@ -1,0 +1,73 @@
+// Ablation study for ULDP-AVG design choices (beyond the paper's figures):
+//   (1) clipping bound C sweep — too small starves the signal, too large
+//       wastes the noise budget;
+//   (2) noise multiplier sigma sweep — the privacy-utility dial;
+//   (3) local epochs Q sweep — more local work per round vs drift.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/table.h"
+#include "core/uldp_avg.h"
+#include "data/allocation.h"
+#include "data/synthetic.h"
+
+namespace {
+
+using namespace uldp;
+using namespace uldp::bench;
+
+void RunPoint(const FederatedDataset& fd, Model& model, double clip,
+              double sigma, int epochs, int rounds, Table& table,
+              const char* sweep) {
+  FlConfig config;
+  config.local_lr = 0.1;
+  config.global_lr = 30.0;
+  config.clip = clip;
+  config.sigma = sigma;
+  config.local_epochs = epochs;
+  config.seed = 5;
+  UldpAvgTrainer trainer(fd, model, config);
+  ExperimentConfig experiment;
+  experiment.rounds = rounds;
+  experiment.eval_every = rounds;  // final point only
+  auto trace = RunExperiment(trainer, model, fd, experiment);
+  if (!trace.ok()) return;
+  const auto& rec = trace.value().back();
+  table.AddRow({sweep, FormatG(clip, 3), FormatG(sigma, 3),
+                std::to_string(epochs), FormatG(rec.test_loss),
+                FormatG(rec.utility), FormatG(rec.epsilon)});
+}
+
+}  // namespace
+
+int main() {
+  const int rounds = Scaled(15, 60);
+  std::cout << "=== Ablation: ULDP-AVG design choices (final-round "
+               "metrics, "
+            << rounds << " rounds) ===\n";
+  Rng rng(1500);
+  auto data = MakeCreditcardLike(Scaled(5000, 25000), 1200, rng);
+  AllocationOptions alloc;
+  alloc.kind = AllocationKind::kZipf;
+  if (!AllocateUsersAndSilos(data.train, 100, 5, alloc, rng).ok()) return 1;
+  FederatedDataset fd(data.train, data.test, 100, 5);
+  auto model = MakeMlp({30, 16}, 2);
+
+  Table table({"sweep", "clip_C", "sigma", "Q", "test_loss", "accuracy",
+               "epsilon"});
+  for (double clip : {0.05, 0.2, 1.0, 5.0, 20.0}) {
+    RunPoint(fd, *model, clip, 5.0, 2, rounds, table, "clip");
+  }
+  for (double sigma : {0.5, 1.0, 5.0, 10.0, 20.0}) {
+    RunPoint(fd, *model, 1.0, sigma, 2, rounds, table, "sigma");
+  }
+  for (int q : {1, 2, 4, 8}) {
+    RunPoint(fd, *model, 1.0, 5.0, q, rounds, table, "local_epochs");
+  }
+  table.Print(std::cout);
+  std::cout << "\nReading: accuracy peaks at moderate C (clipping bias vs "
+               "noise); sigma trades accuracy for epsilon; larger Q speeds "
+               "convergence until client drift dominates.\n";
+  return 0;
+}

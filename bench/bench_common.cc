@@ -1,0 +1,133 @@
+#include "bench_common.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.h"
+#include "core/uldp_avg.h"
+#include "core/uldp_group.h"
+#include "core/uldp_naive.h"
+#include "core/uldp_sgd.h"
+#include "fl/fedavg.h"
+
+namespace uldp {
+namespace bench {
+
+bool FullScale() {
+  const char* env = std::getenv("ULDP_BENCH_SCALE");
+  return env != nullptr && std::string(env) == "full";
+}
+
+int Scaled(int quick, int full) { return FullScale() ? full : quick; }
+double Scaled(double quick, double full) { return FullScale() ? full : quick; }
+
+double UniformWeightMass(const FederatedDataset& data) {
+  int users_with_records = 0;
+  double mass = 0.0;
+  for (int u = 0; u < data.num_users(); ++u) {
+    int silos_with = 0;
+    for (int s = 0; s < data.num_silos(); ++s) {
+      silos_with += data.CountOf(s, u) > 0 ? 1 : 0;
+    }
+    if (silos_with > 0) {
+      ++users_with_records;
+      mass += static_cast<double>(silos_with) / data.num_silos();
+    }
+  }
+  return users_with_records > 0 ? mass / users_with_records : 1.0;
+}
+
+namespace {
+
+void AppendTrace(Table& table, const std::string& panel,
+                 const std::string& method,
+                 const std::vector<RoundRecord>& trace) {
+  for (const auto& rec : trace) {
+    table.AddRow({panel, method, std::to_string(rec.round),
+                  FormatG(rec.test_loss), FormatG(rec.utility),
+                  FormatG(rec.epsilon)});
+  }
+}
+
+}  // namespace
+
+void RunMethodSuite(const FederatedDataset& data, Model& model,
+                    const SuiteConfig& config) {
+  FlConfig base;
+  base.local_lr = config.local_lr;
+  base.clip = config.clip;
+  base.sigma = config.sigma;
+  base.local_epochs = config.local_epochs;
+  base.batch_size = config.batch_size;
+  base.seed = config.seed;
+
+  ExperimentConfig experiment;
+  experiment.rounds = config.rounds;
+  experiment.eval_every = config.eval_every;
+  experiment.metric = config.metric;
+  experiment.delta = config.delta;
+
+  Table table({"panel", "method", "round", "test_loss", "utility",
+               "epsilon"});
+  auto run = [&](FlAlgorithm& alg) {
+    auto trace = RunExperiment(alg, model, data, experiment);
+    if (!trace.ok()) {
+      std::cerr << alg.name() << " failed: " << trace.status().ToString()
+                << "\n";
+      return;
+    }
+    AppendTrace(table, config.panel, alg.name(), trace.value());
+  };
+
+  const MethodSelection& m = config.methods;
+  if (m.run_default) {
+    FlConfig cfg = base;
+    cfg.global_lr = config.global_lr_plain;
+    FedAvgTrainer alg(data, model, cfg);
+    run(alg);
+  }
+  if (m.run_naive) {
+    FlConfig cfg = base;
+    cfg.global_lr = config.global_lr_plain;
+    UldpNaiveTrainer alg(data, model, cfg);
+    run(alg);
+  }
+  auto run_group = [&](GroupSizeSpec spec) {
+    FlConfig cfg = base;
+    cfg.global_lr = config.global_lr_plain;
+    UldpGroupTrainer alg(data, model, cfg, spec, config.group_sample_rate,
+                         config.group_steps_per_round);
+    run(alg);
+  };
+  if (m.run_group_2) run_group(GroupSizeSpec::Fixed(2));
+  if (m.run_group_8) run_group(GroupSizeSpec::Fixed(8));
+  if (m.run_group_median) run_group(GroupSizeSpec::Median());
+  if (m.run_group_max) run_group(GroupSizeSpec::Max());
+  if (m.run_avg) {
+    FlConfig cfg = base;
+    double mass = config.scale_avg_lr_by_mass ? UniformWeightMass(data) : 1.0;
+    cfg.global_lr = config.global_lr_avg / std::max(mass, 1e-3);
+    UldpAvgTrainer alg(data, model, cfg);
+    run(alg);
+  }
+  if (m.run_avg_w) {
+    FlConfig cfg = base;
+    cfg.global_lr = config.global_lr_avg;
+    UldpAvgOptions opt;
+    opt.weighting = WeightingStrategy::kEnhanced;
+    UldpAvgTrainer alg(data, model, cfg, opt);
+    run(alg);
+  }
+  if (m.run_sgd) {
+    FlConfig cfg = base;
+    cfg.global_lr = config.global_lr_sgd;
+    UldpSgdTrainer alg(data, model, cfg);
+    run(alg);
+  }
+  table.Print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace bench
+}  // namespace uldp

@@ -1,0 +1,63 @@
+// Figure 4: privacy-utility trade-offs on the Creditcard dataset.
+// Four panels: |U| in {100, 1000} x {uniform, zipf} record allocation,
+// |S| = 5 silos, sigma = 5.0, delta = 1e-5. Utility = test accuracy.
+//
+// Quick scale: 6K records, 20 rounds. ULDP_BENCH_SCALE=full: 25K records
+// (the paper's undersampled size), 100 rounds.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "data/allocation.h"
+#include "data/synthetic.h"
+
+int main() {
+  using namespace uldp;
+  using namespace uldp::bench;
+  const int n_train = Scaled(6000, 25000);
+  const int n_test = Scaled(1500, 5000);
+  const int rounds = Scaled(20, 100);
+  const int silos = 5;
+
+  std::cout << "=== Figure 4: Creditcard privacy-utility trade-offs "
+            << "(" << n_train << " records, " << rounds << " rounds) ===\n";
+
+  struct Panel {
+    const char* label;
+    int users;
+    AllocationKind kind;
+  };
+  const Panel panels[] = {
+      {"(a) |U|=100 uniform", 100, AllocationKind::kUniform},
+      {"(b) |U|=100 zipf", 100, AllocationKind::kZipf},
+      {"(c) |U|=1000 uniform", 1000, AllocationKind::kUniform},
+      {"(d) |U|=1000 zipf", 1000, AllocationKind::kZipf},
+  };
+
+  for (const Panel& panel : panels) {
+    Rng rng(100 + panel.users + (panel.kind == AllocationKind::kZipf));
+    auto data = MakeCreditcardLike(n_train, n_test, rng);
+    AllocationOptions alloc;
+    alloc.kind = panel.kind;
+    if (!AllocateUsersAndSilos(data.train, panel.users, silos, alloc, rng)
+             .ok()) {
+      return 1;
+    }
+    FederatedDataset fd(data.train, data.test, panel.users, silos);
+    std::cout << panel.label << ": mean records/user = "
+              << fd.MeanRecordsPerUser()
+              << ", max = " << fd.MaxRecordsPerUser() << "\n";
+    auto model = MakeMlp({30, 16}, 2);  // ~4K params in full scale spirit
+    SuiteConfig suite;
+    suite.panel = panel.label;
+    suite.rounds = rounds;
+    suite.eval_every = rounds / 4;
+    suite.global_lr_avg = panel.users >= 1000 ? 100.0 : 30.0;
+    suite.global_lr_sgd = panel.users >= 1000 ? 150.0 : 50.0;
+    RunMethodSuite(fd, *model, suite);
+  }
+  std::cout << "Expected shape (paper): ULDP-AVG/AVG-w reach near-DEFAULT "
+               "accuracy at single-digit eps; NAIVE stalls; GROUP-k needs "
+               "orders of magnitude more eps.\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Figure 7: privacy-utility trade-offs on TcgaBrca (FLamby): 6 silos,
+// Cox proportional-hazards model with partial-likelihood loss, C-index
+// utility. |U| in {50, 200} x {uniform, zipf}; every non-empty
+// (user, silo) pair is repaired to hold >= 2 records (the paper's
+// validity requirement for the Cox loss).
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "data/allocation.h"
+#include "data/synthetic.h"
+
+int main() {
+  using namespace uldp;
+  using namespace uldp::bench;
+  const int rounds = Scaled(30, 100);
+
+  std::cout << "=== Figure 7: TcgaBrca (6 centers, Cox model, C-index, "
+            << rounds << " rounds) ===\n";
+
+  struct Panel {
+    const char* label;
+    int users;
+    AllocationKind kind;
+  };
+  const Panel panels[] = {
+      {"(a) |U|=50 uniform", 50, AllocationKind::kUniform},
+      {"(b) |U|=50 zipf", 50, AllocationKind::kZipf},
+      {"(c) |U|=200 uniform", 200, AllocationKind::kUniform},
+      {"(d) |U|=200 zipf", 200, AllocationKind::kZipf},
+  };
+
+  for (const Panel& panel : panels) {
+    Rng rng(700 + panel.users + (panel.kind == AllocationKind::kZipf));
+    auto data = MakeTcgaBrcaLike(rng);
+    AllocationOptions alloc;
+    alloc.kind = panel.kind;
+    alloc.min_records_per_pair = 2;
+    if (!AllocateUsersWithinSilos(data.train, panel.users, data.num_silos,
+                                  alloc, rng)
+             .ok()) {
+      return 1;
+    }
+    FederatedDataset fd(data.train, data.test, panel.users, data.num_silos);
+    std::cout << panel.label
+              << ": mean records/user = " << fd.MeanRecordsPerUser() << "\n";
+    CoxRegression model(39);
+    SuiteConfig suite;
+    suite.panel = panel.label;
+    suite.metric = UtilityMetric::kCIndex;
+    suite.rounds = rounds;
+    suite.eval_every = rounds / 4;
+    suite.local_lr = 0.3;
+    suite.clip = 0.5;
+    suite.global_lr_avg = 20.0;
+    suite.global_lr_sgd = 40.0;
+    suite.group_sample_rate = 0.25;
+    suite.group_steps_per_round = 4;
+    // The Cox loss needs whole risk sets; DP-SGD's per-record clipping is
+    // degenerate for it, so the GROUP family uses full batches per step
+    // via a moderate sampling rate (kept as-is; the paper also runs GROUP
+    // on TcgaBrca with its DP-SGD subroutine).
+    RunMethodSuite(fd, model, suite);
+  }
+  std::cout << "Expected shape (paper): C-index ~0.6-0.75 for "
+               "ULDP-AVG/AVG-w at small eps; NAIVE near 0.5 (random).\n";
+  return 0;
+}

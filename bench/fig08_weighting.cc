@@ -1,0 +1,82 @@
+// Figure 8: effectiveness of the enhanced weighting strategy.
+// Test loss of ULDP-AVG (uniform weights) vs ULDP-AVG-w (w_opt, Eq. 3) on
+// Creditcard with |S| in {5, 20, 50} silos and uniform vs zipf record
+// distribution. The gap should widen with skew and with more silos (all
+// uniform weights shrink as 1/|S|).
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/table.h"
+#include "core/uldp_avg.h"
+#include "data/allocation.h"
+#include "data/synthetic.h"
+
+int main() {
+  using namespace uldp;
+  using namespace uldp::bench;
+  const int n_train = Scaled(5000, 25000);
+  const int rounds = Scaled(15, 50);
+  const int users = 100;
+
+  std::cout << "=== Figure 8: uniform vs enhanced weighting, test loss ("
+            << rounds << " rounds) ===\n";
+  Table table({"silos", "distribution", "method", "round", "test_loss"});
+
+  for (int silos : {5, 20, 50}) {
+    for (AllocationKind kind :
+         {AllocationKind::kUniform, AllocationKind::kZipf}) {
+      const char* dist = kind == AllocationKind::kUniform ? "uniform" : "zipf";
+      Rng rng(800 + silos + (kind == AllocationKind::kZipf));
+      auto data = MakeCreditcardLike(n_train, 1000, rng);
+      AllocationOptions alloc;
+      alloc.kind = kind;
+      if (!AllocateUsersAndSilos(data.train, users, silos, alloc, rng).ok()) {
+        return 1;
+      }
+      FederatedDataset fd(data.train, data.test, users, silos);
+      auto model = MakeMlp({30, 16}, 2);
+
+      // Per-method tuning as in the paper: uniform weights only deliver a
+      // `mass` fraction of the clipping budget, so AVG's eta_g is scaled
+      // by 1/mass — which amplifies its noise share correspondingly. That
+      // amplification, growing with |S| and with skew, is the Figure 8
+      // phenomenon.
+      double mass = UniformWeightMass(fd);
+      FlConfig config;
+      config.local_lr = 0.1;
+      config.global_lr = 10.0 / std::max(mass, 1e-3);
+      config.sigma = 5.0;
+      config.local_epochs = 2;
+      config.seed = 4;
+      ExperimentConfig experiment;
+      experiment.rounds = rounds;
+      experiment.eval_every = rounds / 3;
+
+      UldpAvgTrainer uniform_trainer(fd, *model, config);
+      auto uniform_trace = RunExperiment(uniform_trainer, *model, fd,
+                                         experiment);
+      FlConfig config_w = config;
+      config_w.global_lr = 10.0;
+      UldpAvgOptions enhanced;
+      enhanced.weighting = WeightingStrategy::kEnhanced;
+      UldpAvgTrainer enhanced_trainer(fd, *model, config_w, enhanced);
+      auto enhanced_trace = RunExperiment(enhanced_trainer, *model, fd,
+                                          experiment);
+      if (!uniform_trace.ok() || !enhanced_trace.ok()) return 1;
+      for (const auto& rec : uniform_trace.value()) {
+        table.AddRow({std::to_string(silos), dist, "ULDP-AVG",
+                      std::to_string(rec.round), FormatG(rec.test_loss)});
+      }
+      for (const auto& rec : enhanced_trace.value()) {
+        table.AddRow({std::to_string(silos), dist, "ULDP-AVG-w",
+                      std::to_string(rec.round), FormatG(rec.test_loss)});
+      }
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\nExpected shape (paper): AVG-w's advantage grows with zipf "
+               "skew and with |S|.\n";
+  return 0;
+}

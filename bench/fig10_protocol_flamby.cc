@@ -1,0 +1,110 @@
+// Figure 10: execution time of the private weighting protocol on the two
+// FLamby benchmark scenarios — HeartDisease (4 silos, |U|=10) and
+// TcgaBrca (6 silos, |U|=100), both with skewed (zipf) user allocation
+// and small (<100 param) models.
+//
+// Left of the paper's figure: per-silo local training time (which, with
+// the protocol, is dominated by the encrypted weighting); right: key
+// exchange, blinded-histogram preparation, and aggregation times.
+//
+// Quick scale uses 512-bit Paillier keys; ULDP_BENCH_SCALE=full uses the
+// paper's 3072-bit security parameter (expect minutes per round).
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/table.h"
+#include "core/private_weighting.h"
+#include "core/uldp_avg.h"
+#include "data/allocation.h"
+#include "data/synthetic.h"
+
+namespace {
+
+using namespace uldp;
+using namespace uldp::bench;
+
+void RunScenario(const char* label, SyntheticData data, int users,
+                 Model& model, Table& table, uint64_t seed) {
+  Rng rng(seed);
+  AllocationOptions alloc;
+  alloc.kind = AllocationKind::kZipf;
+  alloc.min_records_per_pair = 2;
+  if (!AllocateUsersWithinSilos(data.train, users, data.num_silos, alloc,
+                                rng)
+           .ok()) {
+    return;
+  }
+  FederatedDataset fd(data.train, data.test, users, data.num_silos);
+
+  ProtocolConfig pc;
+  pc.paillier_bits = Scaled(512, 3072);
+  pc.n_max = 200;
+  pc.seed = seed;
+  PrivateWeightingProtocol protocol(pc, fd.num_silos(), users);
+  std::vector<std::vector<int>> hist(fd.num_silos(),
+                                     std::vector<int>(users, 0));
+  for (int s = 0; s < fd.num_silos(); ++s) {
+    for (int u = 0; u < users; ++u) hist[s][u] = fd.CountOf(s, u);
+  }
+  if (!protocol.Setup(hist).ok()) return;
+
+  FlConfig config;
+  config.local_lr = 0.2;
+  config.global_lr = 20.0;
+  config.sigma = 5.0;
+  config.local_epochs = 2;
+  UldpAvgOptions opt;
+  opt.private_protocol = &protocol;
+  UldpAvgTrainer trainer(fd, model, config, opt);
+  Rng init(3);
+  model.InitParams(init);
+  Vec global = model.GetParams();
+  const int rounds = Scaled(2, 5);
+  for (int r = 0; r < rounds; ++r) {
+    if (!trainer.RunRound(r, global).ok()) return;
+  }
+  const ProtocolTimings& t = protocol.timings();
+  auto row = [&](const char* phase, double seconds) {
+    table.AddRow({label, std::to_string(users), phase,
+                  FormatG(seconds / rounds, 4)});
+  };
+  table.AddRow({label, std::to_string(users), "key_exchange (setup, total)",
+                FormatG(t.key_exchange_s, 4)});
+  table.AddRow({label, std::to_string(users),
+                "blinded_histograms (setup, total)",
+                FormatG(t.histogram_s, 4)});
+  row("weight_encryption /round", t.encrypt_weights_s);
+  row("silo_encrypted_weighting /round", t.silo_weighting_s);
+  row("aggregation /round", t.aggregation_s);
+  row("decryption /round", t.decryption_s);
+}
+
+}  // namespace
+
+int main() {
+  using namespace uldp;
+  std::cout << "=== Figure 10: private weighting protocol on FLamby-style "
+               "scenarios (Paillier "
+            << Scaled(512, 3072) << "-bit) ===\n";
+  Table table({"scenario", "users", "phase", "seconds"});
+  {
+    Rng rng(1000);
+    auto data = MakeHeartDiseaseLike(rng);
+    auto model = MakeMlp({13}, 2);
+    RunScenario("HeartDisease(4 silos)", std::move(data), 10, *model, table,
+                1000);
+  }
+  {
+    Rng rng(1001);
+    auto data = MakeTcgaBrcaLike(rng);
+    CoxRegression model(39);
+    RunScenario("TcgaBrca(6 silos)", std::move(data), 100, model, table,
+                1001);
+  }
+  table.Print(std::cout);
+  std::cout << "\nExpected shape (paper): encrypted local weighting "
+               "dominates and grows with the number of users; key exchange "
+               "and histogram setup are one-off and small.\n";
+  return 0;
+}

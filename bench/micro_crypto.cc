@@ -1,0 +1,161 @@
+// google-benchmark micro-benchmarks for the cryptographic substrate: the
+// BigInt kernels, Paillier operations, secure-aggregation masking, and the
+// hash/stream primitives. These are the unit costs behind Figures 10/11.
+
+#include <benchmark/benchmark.h>
+
+#include "crypto/chacha.h"
+#include "crypto/paillier.h"
+#include "crypto/secure_agg.h"
+#include "crypto/sha256.h"
+#include "math/primes.h"
+
+namespace uldp {
+namespace {
+
+void BM_BigIntMul(benchmark::State& state) {
+  Rng rng(1);
+  int bits = static_cast<int>(state.range(0));
+  BigInt a = BigInt::RandomBits(bits, rng);
+  BigInt b = BigInt::RandomBits(bits, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a * b);
+  }
+}
+BENCHMARK(BM_BigIntMul)->Arg(256)->Arg(1024)->Arg(3072)->Arg(6144);
+
+void BM_BigIntDiv(benchmark::State& state) {
+  Rng rng(2);
+  int bits = static_cast<int>(state.range(0));
+  BigInt a = BigInt::RandomBits(2 * bits, rng);
+  BigInt b = BigInt::RandomBits(bits, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a % b);
+  }
+}
+BENCHMARK(BM_BigIntDiv)->Arg(256)->Arg(1024)->Arg(3072);
+
+void BM_ModExp(benchmark::State& state) {
+  Rng rng(3);
+  int bits = static_cast<int>(state.range(0));
+  BigInt m = BigInt::RandomBits(bits, rng);
+  if (m.IsEven()) m = m + BigInt(1);
+  BigInt base = BigInt::RandomBelow(m, rng);
+  BigInt exp = BigInt::RandomBits(bits, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(base.ModExp(exp, m));
+  }
+}
+BENCHMARK(BM_ModExp)->Arg(512)->Arg(1024)->Arg(2048)->Arg(3072);
+
+struct PaillierEnv {
+  PaillierPublicKey pk;
+  PaillierSecretKey sk;
+  Rng rng{7};
+  BigInt m;
+  BigInt c;
+  static PaillierEnv& Get(int bits) {
+    static PaillierEnv env512 = Make(512);
+    static PaillierEnv env1024 = Make(1024);
+    static PaillierEnv env2048 = Make(2048);
+    switch (bits) {
+      case 512:
+        return env512;
+      case 1024:
+        return env1024;
+      default:
+        return env2048;
+    }
+  }
+  static PaillierEnv Make(int bits) {
+    PaillierEnv env;
+    Rng keyrng(42);
+    if (!Paillier::GenerateKeyPair(bits, keyrng, &env.pk, &env.sk).ok()) {
+      std::abort();
+    }
+    env.m = BigInt::RandomBelow(env.pk.n, env.rng);
+    env.c = Paillier::Encrypt(env.pk, env.m, env.rng).value();
+    return env;
+  }
+};
+
+void BM_PaillierEncrypt(benchmark::State& state) {
+  auto& env = PaillierEnv::Get(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Paillier::Encrypt(env.pk, env.m, env.rng));
+  }
+}
+BENCHMARK(BM_PaillierEncrypt)->Arg(512)->Arg(1024)->Arg(2048);
+
+void BM_PaillierDecrypt(benchmark::State& state) {
+  auto& env = PaillierEnv::Get(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Paillier::Decrypt(env.pk, env.sk, env.c));
+  }
+}
+BENCHMARK(BM_PaillierDecrypt)->Arg(512)->Arg(1024)->Arg(2048);
+
+void BM_PaillierScalarMul(benchmark::State& state) {
+  auto& env = PaillierEnv::Get(static_cast<int>(state.range(0)));
+  BigInt k = BigInt::RandomBelow(env.pk.n, env.rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Paillier::MulPlaintext(env.pk, env.c, k));
+  }
+}
+BENCHMARK(BM_PaillierScalarMul)->Arg(512)->Arg(1024)->Arg(2048);
+
+void BM_PaillierCiphertextAdd(benchmark::State& state) {
+  auto& env = PaillierEnv::Get(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Paillier::AddCiphertexts(env.pk, env.c, env.c));
+  }
+}
+BENCHMARK(BM_PaillierCiphertextAdd)->Arg(512)->Arg(1024)->Arg(2048);
+
+void BM_SecureAggMask(benchmark::State& state) {
+  Rng rng(9);
+  BigInt q = GeneratePrime(256, rng);
+  int parties = 5;
+  SecureAggregator agg(q, parties);
+  std::vector<ChaChaRng::Key> keys(parties);
+  for (int j = 0; j < parties; ++j) {
+    keys[j] = ChaChaRng::DeriveKey("bench" + std::to_string(j));
+  }
+  size_t dim = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(agg.MaskVector(0, keys, 1, dim));
+  }
+  state.SetItemsProcessed(state.iterations() * dim);
+}
+BENCHMARK(BM_SecureAggMask)->Arg(64)->Arg(1024);
+
+void BM_Sha256(benchmark::State& state) {
+  std::string data(static_cast<size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_ChaChaStream(benchmark::State& state) {
+  ChaChaRng rng(ChaChaRng::DeriveKey("bench"), ChaChaRng::MakeNonce(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.NextUint64());
+  }
+  state.SetBytesProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_ChaChaStream);
+
+void BM_LcmUpTo(benchmark::State& state) {
+  uint64_t n = static_cast<uint64_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LcmUpTo(n));
+  }
+}
+BENCHMARK(BM_LcmUpTo)->Arg(100)->Arg(2000);
+
+}  // namespace
+}  // namespace uldp
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+// Cross-silo healthcare scenario (FLamby HeartDisease-style): four
+// hospitals, patients visiting several of them, training with
+// ULDP-AVG-w where the enhanced weights are computed by the *private
+// weighting protocol* — no hospital or server ever sees another party's
+// per-patient record counts.
+
+#include <iostream>
+
+#include "core/experiment.h"
+#include "core/private_weighting.h"
+#include "core/uldp_avg.h"
+#include "data/allocation.h"
+#include "data/synthetic.h"
+
+int main() {
+  using namespace uldp;
+  Rng rng(19);
+  const int kUsers = 30;
+
+  auto data = MakeHeartDiseaseLike(rng);
+  AllocationOptions alloc;
+  alloc.kind = AllocationKind::kZipf;  // patients concentrate in one hospital
+  if (!AllocateUsersWithinSilos(data.train, kUsers, data.num_silos, alloc,
+                                rng)
+           .ok()) {
+    return 1;
+  }
+  FederatedDataset dataset(data.train, data.test, kUsers, data.num_silos);
+  std::cout << "Hospital network: " << data.num_silos << " hospitals, "
+            << kUsers << " patients, " << dataset.num_train_records()
+            << " visits.\n";
+
+  // Protocol setup: each hospital contributes only its blinded histogram.
+  ProtocolConfig protocol_config;
+  protocol_config.paillier_bits = 768;  // demo scale; the paper uses 3072
+  protocol_config.n_max = 100;
+  protocol_config.seed = 5;
+  PrivateWeightingProtocol protocol(protocol_config, dataset.num_silos(),
+                                    kUsers);
+  std::vector<std::vector<int>> histograms(
+      dataset.num_silos(), std::vector<int>(kUsers, 0));
+  for (int s = 0; s < dataset.num_silos(); ++s) {
+    for (int u = 0; u < kUsers; ++u) histograms[s][u] = dataset.CountOf(s, u);
+  }
+  Status st = protocol.Setup(histograms);
+  if (!st.ok()) {
+    std::cerr << "protocol setup: " << st.ToString() << "\n";
+    return 1;
+  }
+  std::cout << "Private weighting protocol ready (Paillier "
+            << protocol_config.paillier_bits << "-bit, C_LCM "
+            << protocol.c_lcm().BitLength() << " bits).\n\n";
+
+  // Logistic model trained with the protocol-backed ULDP-AVG-w.
+  auto model = MakeMlp({13}, 2);
+  FlConfig config;
+  config.local_lr = 0.2;
+  config.global_lr = 20.0;
+  config.clip = 1.0;
+  config.sigma = 5.0;
+  config.local_epochs = 2;
+  UldpAvgOptions options;
+  options.private_protocol = &protocol;
+  UldpAvgTrainer trainer(dataset, *model, config, options);
+
+  ExperimentConfig experiment;
+  experiment.rounds = 4;
+  experiment.eval_every = 2;
+  auto trace = RunExperiment(trainer, *model, dataset, experiment);
+  if (!trace.ok()) {
+    std::cerr << trace.status().ToString() << "\n";
+    return 1;
+  }
+  PrintTrace(trainer.name(), trace.value());
+
+  const auto& t = protocol.timings();
+  std::cout << "\nProtocol wall-times (s): key-exchange "
+            << t.key_exchange_s << ", histograms " << t.histogram_s
+            << ", weight-encryption " << t.encrypt_weights_s
+            << ", silo weighting " << t.silo_weighting_s << ", aggregation "
+            << t.aggregation_s << ", decryption " << t.decryption_s << "\n";
+  std::cout << "The server only ever saw blinded histograms and masked "
+               "ciphertexts (Theorem 5).\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Standalone walk-through of Protocol 1 with the per-party views printed,
+// so you can see exactly what the server and the silos observe at each
+// step — and verify against the plaintext computation at the end.
+
+#include <iostream>
+
+#include "core/private_weighting.h"
+
+int main() {
+  using namespace uldp;
+  const int kSilos = 3, kUsers = 4, kDim = 2;
+
+  // Silo-private histograms n_{s,u}: who holds how many records per user.
+  std::vector<std::vector<int>> histograms = {
+      {3, 0, 2, 1},  // silo 0
+      {1, 4, 0, 1},  // silo 1
+      {0, 2, 2, 1},  // silo 2
+  };
+  std::vector<int> totals(kUsers, 0);
+  for (const auto& h : histograms) {
+    for (int u = 0; u < kUsers; ++u) totals[u] += h[u];
+  }
+
+  ProtocolConfig config;
+  config.paillier_bits = 768;
+  config.n_max = 16;
+  config.seed = 3;
+  PrivateWeightingProtocol protocol(config, kSilos, kUsers);
+  Status st = protocol.Setup(histograms);
+  if (!st.ok()) {
+    std::cerr << st.ToString() << "\n";
+    return 1;
+  }
+
+  std::cout << "=== Setup complete ===\n";
+  std::cout << "True totals N_u:          ";
+  for (int t : totals) std::cout << t << " ";
+  std::cout << "\nServer sees B(N_u) (blinded, first 16 hex digits):\n  ";
+  for (const auto& b : protocol.server_view().blinded_totals) {
+    std::cout << b.ToHex().substr(0, 16) << "... ";
+  }
+  std::cout << "\n-> the server cannot recover any N_u from these "
+               "(information-theoretic blinding, Theorem 5).\n\n";
+
+  // One weighting round with known deltas so the result is checkable.
+  Rng rng(9);
+  std::vector<std::vector<Vec>> deltas(kSilos, std::vector<Vec>(kUsers));
+  std::vector<Vec> noise(kSilos, Vec(kDim, 0.0));
+  Vec expect(kDim, 0.0);
+  for (int s = 0; s < kSilos; ++s) {
+    for (int u = 0; u < kUsers; ++u) {
+      if (histograms[s][u] == 0) continue;
+      deltas[s][u] = {rng.Gaussian(), rng.Gaussian()};
+      double w = static_cast<double>(histograms[s][u]) / totals[u];
+      for (int d = 0; d < kDim; ++d) expect[d] += w * deltas[s][u][d];
+    }
+  }
+  std::vector<bool> sampled(kUsers, true);
+  auto out = protocol.WeightingRound(0, deltas, noise, sampled);
+  if (!out.ok()) {
+    std::cerr << out.status().ToString() << "\n";
+    return 1;
+  }
+
+  std::cout << "=== Weighting round ===\n";
+  std::cout << "Silo 0 received encrypted weights (ciphertext bits): ";
+  for (const auto& c : protocol.silo_view(0).encrypted_weights) {
+    std::cout << c.BitLength() << " ";
+  }
+  std::cout << "\nDecrypted aggregate (server):  ";
+  for (double v : out.value()) std::cout << v << " ";
+  std::cout << "\nPlaintext reference:           ";
+  for (double v : expect) std::cout << v << " ";
+  double max_err = 0.0;
+  for (int d = 0; d < kDim; ++d) {
+    max_err = std::max(max_err, std::abs(out.value()[d] - expect[d]));
+  }
+  std::cout << "\nMax error: " << max_err
+            << "  (Theorem 4: below the fixed-point precision)\n";
+  return max_err < 1e-8 ? 0 : 1;
+}

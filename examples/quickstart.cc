@@ -1,0 +1,54 @@
+// Quickstart: train a model with user-level DP across silos in ~30 lines.
+//
+//   1. make (or load) records tagged with user and silo ids,
+//   2. wrap them in a FederatedDataset,
+//   3. pick a model and run UldpAvgTrainer for T rounds,
+//   4. read off accuracy and the accumulated (eps, delta)-ULDP guarantee.
+
+#include <iostream>
+
+#include "core/experiment.h"
+#include "core/uldp_avg.h"
+#include "data/allocation.h"
+#include "data/synthetic.h"
+
+int main() {
+  using namespace uldp;
+  Rng rng(42);
+
+  // Synthetic credit-card-style data; 5 companies (silos) share 100 users,
+  // records skewed across both (zipf), as in the paper's motivation.
+  auto data = MakeCreditcardLike(/*n_train=*/6000, /*n_test=*/1500, rng);
+  AllocationOptions alloc;
+  alloc.kind = AllocationKind::kZipf;
+  Status st = AllocateUsersAndSilos(data.train, /*num_users=*/100,
+                                    /*num_silos=*/5, alloc, rng);
+  if (!st.ok()) {
+    std::cerr << st.ToString() << "\n";
+    return 1;
+  }
+  FederatedDataset dataset(data.train, data.test, 100, 5);
+
+  // A small MLP, the ULDP-AVG trainer (Algorithm 3), and the runner.
+  auto model = MakeMlp({30, 16}, 2);
+  FlConfig config;
+  config.local_lr = 0.1;
+  config.global_lr = 30.0;  // ULDP-AVG wants a large eta_g (Remark 2)
+  config.clip = 1.0;        // C
+  config.sigma = 5.0;       // noise multiplier
+  config.local_epochs = 2;  // Q
+  UldpAvgTrainer trainer(dataset, *model, config);
+
+  ExperimentConfig experiment;
+  experiment.rounds = 20;
+  experiment.eval_every = 5;
+  auto trace = RunExperiment(trainer, *model, dataset, experiment);
+  if (!trace.ok()) {
+    std::cerr << trace.status().ToString() << "\n";
+    return 1;
+  }
+  PrintTrace(trainer.name(), trace.value());
+  std::cout << "\nFinal model satisfies (" << trace.value().back().epsilon
+            << ", 1e-5)-ULDP across silos.\n";
+  return 0;
+}

@@ -1,0 +1,35 @@
+// CHECK macros for programmer errors (invariant violations abort the
+// process). Library-visible recoverable errors use Status instead.
+
+#ifndef ULDP_COMMON_CHECK_H_
+#define ULDP_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+
+#define ULDP_CHECK(cond)                                                   \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::cerr << "CHECK failed at " << __FILE__ << ":" << __LINE__       \
+                << ": " #cond << std::endl;                                \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define ULDP_CHECK_MSG(cond, msg)                                          \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::cerr << "CHECK failed at " << __FILE__ << ":" << __LINE__       \
+                << ": " #cond << " — " << (msg) << std::endl;              \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define ULDP_CHECK_EQ(a, b) ULDP_CHECK((a) == (b))
+#define ULDP_CHECK_NE(a, b) ULDP_CHECK((a) != (b))
+#define ULDP_CHECK_LT(a, b) ULDP_CHECK((a) < (b))
+#define ULDP_CHECK_LE(a, b) ULDP_CHECK((a) <= (b))
+#define ULDP_CHECK_GT(a, b) ULDP_CHECK((a) > (b))
+#define ULDP_CHECK_GE(a, b) ULDP_CHECK((a) >= (b))
+
+#endif  // ULDP_COMMON_CHECK_H_

@@ -1,0 +1,49 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace uldp {
+
+size_t Rng::Categorical(const std::vector<double>& weights) {
+  ULDP_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    ULDP_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  ULDP_CHECK_GT(total, 0.0);
+  double r = Uniform() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+uint64_t Rng::Zipf(uint64_t n, double alpha) {
+  ULDP_CHECK_GE(n, 1u);
+  // Inverse-CDF sampling over the finite support. For the sizes used in the
+  // experiments (n ≤ a few thousand) a linear scan is cheap and exact.
+  // Cache-free implementation: recompute normalization each call only for
+  // small n; for large n use the rejection-inversion method would be an
+  // optimization, unnecessary at our scale.
+  double norm = 0.0;
+  for (uint64_t r = 1; r <= n; ++r) norm += std::pow(static_cast<double>(r), -alpha);
+  double u = Uniform() * norm;
+  double acc = 0.0;
+  for (uint64_t r = 1; r <= n; ++r) {
+    acc += std::pow(static_cast<double>(r), -alpha);
+    if (u < acc) return r;
+  }
+  return n;
+}
+
+void AddGaussianNoise(std::vector<double>& v, double stddev, Rng& rng) {
+  if (stddev == 0.0) return;
+  for (double& x : v) x += rng.Gaussian(0.0, stddev);
+}
+
+}  // namespace uldp

@@ -1,0 +1,84 @@
+// Deterministic random-number utilities used across the simulator.
+//
+// All stochastic components in the library take an explicit `Rng&` (or a
+// seed) so that experiments are exactly reproducible. The statistical
+// samplers (Gaussian, Poisson trial, Zipf) live here so every module draws
+// from one audited implementation.
+
+#ifndef ULDP_COMMON_RNG_H_
+#define ULDP_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace uldp {
+
+/// Deterministic pseudo-random generator (mt19937_64 core) with the
+/// distribution helpers the Uldp-FL algorithms need.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Raw 64 random bits.
+  uint64_t NextUint64() { return engine_(); }
+
+  /// Uniform double in [0, 1).
+  double Uniform() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t UniformInt(uint64_t n) {
+    return std::uniform_int_distribution<uint64_t>(0, n - 1)(engine_);
+  }
+
+  /// Standard normal sample.
+  double Gaussian() { return normal_(engine_); }
+
+  /// Normal sample with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * normal_(engine_);
+  }
+
+  /// Bernoulli trial: true with probability p (the "Poisson sampling"
+  /// primitive used for record- and user-level sub-sampling).
+  bool Bernoulli(double p) { return Uniform() < p; }
+
+  /// Samples an index in [0, n) from a (not necessarily normalized)
+  /// non-negative weight vector.
+  size_t Categorical(const std::vector<double>& weights);
+
+  /// Samples from a Zipf distribution over ranks {1, ..., n} with exponent
+  /// alpha: P(rank = r) ∝ r^{-alpha}. Returns a value in [1, n].
+  /// Matches the record-allocation scheme of the paper (§5.1.1).
+  uint64_t Zipf(uint64_t n, double alpha);
+
+  /// Fisher-Yates shuffle of `items`.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = UniformInt(i);
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Underlying engine, for std distributions not wrapped here.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::normal_distribution<double> normal_{0.0, 1.0};
+};
+
+/// Adds i.i.d. N(0, stddev^2) noise to every coordinate of `v`.
+void AddGaussianNoise(std::vector<double>& v, double stddev, Rng& rng);
+
+}  // namespace uldp
+
+#endif  // ULDP_COMMON_RNG_H_

@@ -1,0 +1,43 @@
+// Minimal aligned-table / CSV printer used by the benchmark harness so every
+// figure reproduction prints uniform, machine-greppable rows.
+
+#ifndef ULDP_COMMON_TABLE_H_
+#define ULDP_COMMON_TABLE_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace uldp {
+
+/// Collects rows of string cells and renders them as an aligned text table.
+/// Usage:
+///   Table t({"round", "method", "acc", "eps"});
+///   t.AddRow({"1", "ULDP-AVG", "0.91", "0.35"});
+///   t.Print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with column alignment and a separator line under the header.
+  void Print(std::ostream& os) const;
+
+  /// Renders as comma-separated values (header first).
+  void PrintCsv(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant digits (benchmark output
+/// convention).
+std::string FormatG(double value, int digits = 5);
+
+}  // namespace uldp
+
+#endif  // ULDP_COMMON_TABLE_H_

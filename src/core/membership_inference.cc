@@ -1,0 +1,41 @@
+#include "core/membership_inference.h"
+
+#include "common/check.h"
+#include "nn/metrics.h"
+
+namespace uldp {
+
+std::vector<double> UserMembershipScores(
+    Model& model,
+    const std::vector<std::vector<Example>>& per_user_records) {
+  std::vector<double> scores(per_user_records.size(), 0.0);
+  std::vector<const Example*> batch;
+  for (size_t u = 0; u < per_user_records.size(); ++u) {
+    const auto& records = per_user_records[u];
+    if (records.empty()) continue;
+    batch.clear();
+    for (const Example& ex : records) batch.push_back(&ex);
+    scores[u] = -model.LossAndGrad(batch, nullptr);
+  }
+  return scores;
+}
+
+double UserMembershipAttackAuc(
+    Model& model, const std::vector<std::vector<Example>>& member_records,
+    const std::vector<std::vector<Example>>& non_member_records) {
+  std::vector<double> member_scores;
+  std::vector<double> non_member_scores;
+  auto all_member = UserMembershipScores(model, member_records);
+  auto all_non_member = UserMembershipScores(model, non_member_records);
+  for (size_t u = 0; u < member_records.size(); ++u) {
+    if (!member_records[u].empty()) member_scores.push_back(all_member[u]);
+  }
+  for (size_t u = 0; u < non_member_records.size(); ++u) {
+    if (!non_member_records[u].empty()) {
+      non_member_scores.push_back(all_non_member[u]);
+    }
+  }
+  return AucFromScores(member_scores, non_member_scores);
+}
+
+}  // namespace uldp

@@ -1,0 +1,43 @@
+// User-level membership inference evaluation — the paper's stated future
+// direction ("empirically compare the privacy protection of user/record-
+// level DP in FL in terms of ... user/record-level membership inference").
+//
+// Threat model: the adversary holds the final global model and a user's
+// complete record set, and guesses whether that user participated in
+// training. We use the loss-threshold attack of Yeom et al. lifted to the
+// user level: the membership score of a user is the negative mean loss of
+// the model on the user's records (members tend to be fit better).
+//
+// Evaluation: train on a "member" population, hold out a disjoint
+// "non-member" population from the same distribution, and report the AUC
+// of separating the two by score. AUC 0.5 = no leakage; user-level DP with
+// small epsilon should force AUC toward 0.5 while non-private training
+// does not.
+
+#ifndef ULDP_CORE_MEMBERSHIP_INFERENCE_H_
+#define ULDP_CORE_MEMBERSHIP_INFERENCE_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "nn/model.h"
+
+namespace uldp {
+
+/// Per-user membership scores: score[u] = -mean_loss(model, records of u).
+/// Users without records get score 0 and should be excluded by the caller.
+std::vector<double> UserMembershipScores(
+    Model& model, const std::vector<std::vector<Example>>& per_user_records);
+
+/// AUC of the user-level loss-threshold attack: `member_records[u]` are the
+/// records of users that were in the training set, `non_member_records[u]`
+/// of users that were not (same data distribution). Empty user slots are
+/// skipped.
+double UserMembershipAttackAuc(
+    Model& model,
+    const std::vector<std::vector<Example>>& member_records,
+    const std::vector<std::vector<Example>>& non_member_records);
+
+}  // namespace uldp
+
+#endif  // ULDP_CORE_MEMBERSHIP_INFERENCE_H_

@@ -1,0 +1,376 @@
+#include "core/private_weighting.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace uldp {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// Fixed-length little-endian serialization for OT payloads (ciphertexts
+// live in [0, n^2), so `len` is chosen from the key size).
+std::vector<uint8_t> BigIntToBytes(const BigInt& x, size_t len) {
+  ULDP_CHECK(!x.IsNegative());
+  std::vector<uint8_t> out(len, 0);
+  const auto& limbs = x.limbs();
+  for (size_t i = 0; i < limbs.size(); ++i) {
+    for (int b = 0; b < 8; ++b) {
+      size_t pos = i * 8 + b;
+      ULDP_CHECK_LT(pos, len);
+      out[pos] = static_cast<uint8_t>(limbs[i] >> (8 * b));
+    }
+  }
+  return out;
+}
+
+BigInt BytesToBigInt(const std::vector<uint8_t>& bytes) {
+  std::vector<uint64_t> limbs((bytes.size() + 7) / 8, 0);
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    limbs[i / 8] |= static_cast<uint64_t>(bytes[i]) << (8 * (i % 8));
+  }
+  return BigInt::FromLimbs(std::move(limbs));
+}
+
+}  // namespace
+
+PrivateWeightingProtocol::PrivateWeightingProtocol(ProtocolConfig config,
+                                                   int num_silos,
+                                                   int num_users)
+    : config_(config),
+      num_silos_(num_silos),
+      num_users_(num_users),
+      rng_(config.seed),
+      silo_views_(num_silos) {
+  ULDP_CHECK_GE(num_silos_, 2);
+  ULDP_CHECK_GE(num_users_, 1);
+  ULDP_CHECK_GE(config_.n_max, 1);
+}
+
+BigInt PrivateWeightingProtocol::BlindOf(int user) const {
+  // All silos derive the same r_u from the shared seed R; the server never
+  // learns R. r_u must be a unit of F_n — overwhelmingly likely (Eq. 4 of
+  // the paper); regenerate with a counter otherwise.
+  for (uint32_t attempt = 0;; ++attempt) {
+    ChaChaRng stream(shared_seed_key_,
+                     ChaChaRng::MakeNonce(static_cast<uint64_t>(user),
+                                          /*stream_id=*/attempt));
+    BigInt r = stream.UniformBelow(public_key_.n);
+    if (!r.IsZero() && BigInt::Gcd(r, public_key_.n) == BigInt(1)) return r;
+  }
+}
+
+BigInt PrivateWeightingProtocol::PairMask(int silo_a, int silo_b,
+                                          uint64_t tag, int user) const {
+  ChaChaRng stream(pair_keys_[silo_a][silo_b],
+                   ChaChaRng::MakeNonce(tag, static_cast<uint32_t>(user)));
+  return stream.UniformBelow(public_key_.n);
+}
+
+Status PrivateWeightingProtocol::Setup(
+    const std::vector<std::vector<int>>& silo_histograms) {
+  if (static_cast<int>(silo_histograms.size()) != num_silos_) {
+    return Status::InvalidArgument("histogram count != silo count");
+  }
+  for (const auto& h : silo_histograms) {
+    if (static_cast<int>(h.size()) != num_users_) {
+      return Status::InvalidArgument("histogram size != user count");
+    }
+  }
+
+  // -- Setup (a): keys and C_LCM ------------------------------------------
+  auto t0 = Clock::now();
+  ULDP_RETURN_IF_ERROR(Paillier::GenerateKeyPair(config_.paillier_bits, rng_,
+                                                 &public_key_, &secret_key_));
+  c_lcm_ = LcmUpTo(static_cast<uint64_t>(config_.n_max));
+  codec_ = FixedPointCodec(public_key_.n, config_.precision);
+
+  // Theorem 4 condition (2): the worst-case integer magnitude
+  //   sum_s sum_u |E| n_su (C_LCM / N_u) + |S| |Z| C_LCM
+  // must stay below n/2 (signed fixed-point headroom). |E|,|Z| < 2^63 by
+  // the Encode range check.
+  {
+    BigInt e_max = BigInt(1) << 63;
+    BigInt bound =
+        c_lcm_ * e_max *
+        BigInt(static_cast<uint64_t>(num_silos_) *
+               (static_cast<uint64_t>(num_users_) * config_.n_max + 1));
+    if (bound >= public_key_.n >> 1) {
+      return Status::FailedPrecondition(
+          "Theorem 4 overflow condition violated: increase paillier_bits or "
+          "decrease n_max (C_LCM has " +
+          std::to_string(c_lcm_.BitLength()) + " bits, modulus " +
+          std::to_string(public_key_.n.BitLength()) + ")");
+    }
+  }
+
+  // -- Setup (b): DH pairwise keys (server relays public keys) ------------
+  DhGroup group = DhGroup::Rfc3526Modp2048();
+  std::vector<DhKeyPair> dh(num_silos_);
+  for (int s = 0; s < num_silos_; ++s) dh[s] = GenerateDhKeyPair(group, rng_);
+  pair_keys_.assign(num_silos_,
+                    std::vector<ChaChaRng::Key>(num_silos_));
+  for (int a = 0; a < num_silos_; ++a) {
+    for (int b = a + 1; b < num_silos_; ++b) {
+      auto shared = ComputeSharedSecret(group, dh[a].secret_key,
+                                        dh[b].public_key);
+      if (!shared.ok()) return shared.status();
+      auto key = ChaChaRng::DeriveKey(
+          DeriveSharedSeedMaterial(shared.value(), "pairmask", a, b));
+      pair_keys_[a][b] = key;
+      pair_keys_[b][a] = key;
+    }
+  }
+
+  // -- Setup (c): silo 0 distributes the shared random seed R -------------
+  // (encrypted under the pairwise keys; the server only relays ciphertext.)
+  BigInt r_seed = BigInt::RandomBits(256, rng_);
+  shared_seed_key_ = ChaChaRng::DeriveKey("uldp-shared-seed|" + r_seed.ToHex());
+  if (config_.ot_slots > 0) {
+    ot_group_ = DhGroup::GenerateSafePrimeGroup(config_.ot_group_bits, rng_);
+  }
+  timings_.key_exchange_s += SecondsSince(t0);
+
+  // -- Setup (d)-(e): blinded histograms + secure aggregation --------------
+  t0 = Clock::now();
+  histograms_ = silo_histograms;
+  for (int s = 0; s < num_silos_; ++s) {
+    for (int u = 0; u < num_users_; ++u) {
+      if (histograms_[s][u] < 0) {
+        return Status::InvalidArgument("negative histogram entry");
+      }
+    }
+  }
+  // Validate N_u <= N_max.
+  std::vector<int64_t> totals(num_users_, 0);
+  for (int s = 0; s < num_silos_; ++s) {
+    for (int u = 0; u < num_users_; ++u) totals[u] += histograms_[s][u];
+  }
+  for (int u = 0; u < num_users_; ++u) {
+    if (totals[u] > config_.n_max) {
+      return Status::InvalidArgument(
+          "user " + std::to_string(u) + " has " + std::to_string(totals[u]) +
+          " records > N_max=" + std::to_string(config_.n_max));
+    }
+  }
+
+  server_view_.doubly_blinded_histograms.assign(num_silos_, {});
+  const BigInt& n = public_key_.n;
+  for (int s = 0; s < num_silos_; ++s) {
+    std::vector<BigInt> blinded(num_users_);
+    for (int u = 0; u < num_users_; ++u) {
+      BigInt b = BlindOf(u).ModMul(
+          BigInt(static_cast<int64_t>(histograms_[s][u])), n);
+      // Pairwise additive masks (setup e): +mask toward larger peers,
+      // -mask toward smaller, so the server-side sum cancels them.
+      for (int other = 0; other < num_silos_; ++other) {
+        if (other == s) continue;
+        BigInt m = PairMask(s, other, /*tag=*/0, u);
+        b = s < other ? b.ModAdd(m, n) : b.ModSub(m, n);
+      }
+      blinded[u] = std::move(b);
+    }
+    server_view_.doubly_blinded_histograms[s] = std::move(blinded);
+  }
+
+  // Server aggregates: B(N_u) = sum_s B'(n_su) = r_u * N_u mod n.
+  server_view_.blinded_totals.assign(num_users_, BigInt(0));
+  for (int u = 0; u < num_users_; ++u) {
+    BigInt acc(0);
+    for (int s = 0; s < num_silos_; ++s) {
+      acc = acc.ModAdd(server_view_.doubly_blinded_histograms[s][u], n);
+    }
+    server_view_.blinded_totals[u] = std::move(acc);
+  }
+
+  // -- Setup (f): server inverts the blinded totals ------------------------
+  b_inv_.assign(num_users_, BigInt(0));
+  for (int u = 0; u < num_users_; ++u) {
+    const BigInt& bt = server_view_.blinded_totals[u];
+    if (bt.IsZero()) {
+      // N_u = 0: the user holds no records anywhere; weight stays zero.
+      continue;
+    }
+    auto inv = bt.ModInverse(n);
+    if (!inv.ok()) return inv.status();
+    b_inv_[u] = std::move(inv.value());
+  }
+  timings_.histogram_s += SecondsSince(t0);
+  setup_done_ = true;
+  return Status::Ok();
+}
+
+
+Result<Vec> PrivateWeightingProtocol::WeightingRound(
+    uint64_t round, const std::vector<std::vector<Vec>>& clipped_deltas,
+    const std::vector<Vec>& silo_noise,
+    const std::vector<bool>& user_sampled) {
+  if (!setup_done_) {
+    return Status::FailedPrecondition("Setup() has not completed");
+  }
+  if (static_cast<int>(clipped_deltas.size()) != num_silos_ ||
+      static_cast<int>(silo_noise.size()) != num_silos_) {
+    return Status::InvalidArgument("per-silo input size mismatch");
+  }
+  if (static_cast<int>(user_sampled.size()) != num_users_) {
+    return Status::InvalidArgument("sampling mask size mismatch");
+  }
+  size_t dim = silo_noise[0].size();
+  for (const auto& z : silo_noise) {
+    if (z.size() != dim) {
+      return Status::InvalidArgument("noise dimension mismatch");
+    }
+  }
+
+  const BigInt& n = public_key_.n;
+
+  // -- Weighting (a): server encrypts the (sampled) inverted weights ------
+  auto t0 = Clock::now();
+  std::vector<BigInt> enc_weights(num_users_);
+  if (config_.ot_slots > 0) {
+    // §4.1 extension: per user, the server lays out P slots — a
+    // q-fraction hold Enc(B_inv), the rest Enc(0) — under a fresh private
+    // shuffle; silos jointly (via the shared seed R) pick one slot and
+    // fetch it by 1-out-of-P OT. Neither party learns the sampling result.
+    const int slots = config_.ot_slots;
+    const int real_slots = static_cast<int>(
+        std::max(0.0, std::min(1.0, config_.ot_sample_rate)) * slots + 0.5);
+    const size_t clen =
+        static_cast<size_t>((public_key_.n_squared.BitLength() + 7) / 8) + 8;
+    ObliviousTransfer ot(ot_group_, static_cast<size_t>(slots));
+    last_ot_mask_.assign(num_users_, true);
+    for (int u = 0; u < num_users_; ++u) {
+      // Receiver-side slot choice, identical across silos (from R).
+      ChaChaRng choice(shared_seed_key_,
+                       ChaChaRng::MakeNonce(0xA1100000ull + round,
+                                            static_cast<uint32_t>(u)));
+      size_t sigma = choice.NextUint64() % static_cast<uint64_t>(slots);
+      // Server-side slot contents with a private permutation.
+      std::vector<int> perm(slots);
+      for (int i = 0; i < slots; ++i) perm[i] = i;
+      rng_.Shuffle(perm);
+      std::vector<std::vector<uint8_t>> payload(slots);
+      for (int i = 0; i < slots; ++i) {
+        bool real = perm[i] < real_slots;
+        auto c = Paillier::Encrypt(public_key_,
+                                   real ? b_inv_[u] : BigInt(0), rng_);
+        if (!c.ok()) return c.status();
+        payload[i] = BigIntToBytes(c.value(), clen);
+      }
+      auto sender = ot.SenderInit(rng_);
+      auto receiver = ot.ReceiverChoose(sender, sigma, rng_);
+      if (!receiver.ok()) return receiver.status();
+      auto encrypted = ot.SenderEncrypt(sender, receiver.value().b, payload);
+      if (!encrypted.ok()) return encrypted.status();
+      auto fetched =
+          ot.ReceiverDecrypt(receiver.value(), sender, encrypted.value());
+      if (!fetched.ok()) return fetched.status();
+      enc_weights[u] = BytesToBigInt(fetched.value());
+      last_ot_mask_[u] = perm[sigma] < real_slots;
+    }
+  } else {
+    for (int u = 0; u < num_users_; ++u) {
+      BigInt plain = user_sampled[u] ? b_inv_[u] : BigInt(0);
+      auto c = Paillier::Encrypt(public_key_, plain, rng_);
+      if (!c.ok()) return c.status();
+      enc_weights[u] = std::move(c.value());
+    }
+  }
+  timings_.encrypt_weights_s += SecondsSince(t0);
+
+  // Broadcast: every silo receives the same ciphertext vector (fetched via
+  // OT in the private-sub-sampling extension; ciphertexts are semantically
+  // secure either way).
+  for (int s = 0; s < num_silos_; ++s) {
+    silo_views_[s].encrypted_weights = enc_weights;
+  }
+
+  // -- Weighting (b): per-silo encrypted weighted sums --------------------
+  t0 = Clock::now();
+  // Paillier g^m terms and scalar products, one ciphertext per coordinate.
+  std::vector<std::vector<BigInt>> silo_cipher(
+      num_silos_, std::vector<BigInt>(dim, BigInt(1)));
+  for (int s = 0; s < num_silos_; ++s) {
+    const auto& deltas = clipped_deltas[s];
+    if (static_cast<int>(deltas.size()) != num_users_) {
+      return Status::InvalidArgument("delta matrix size mismatch");
+    }
+    for (int u = 0; u < num_users_; ++u) {
+      if (deltas[u].empty()) continue;  // user has no records at this silo
+      if (deltas[u].size() != dim) {
+        return Status::InvalidArgument("delta dimension mismatch");
+      }
+      if (histograms_[s][u] == 0) continue;
+      // Per-user scalar base: n_su * r_u * C_LCM mod n (delta encoding is
+      // per coordinate below).
+      BigInt base = BlindOf(u)
+                        .ModMul(BigInt(static_cast<int64_t>(histograms_[s][u])),
+                                n)
+                        .ModMul(c_lcm_.Mod(n), n);
+      for (size_t d = 0; d < dim; ++d) {
+        auto e = codec_.Encode(deltas[u][d]);
+        if (!e.ok()) return e.status();
+        if (e.value().IsZero()) continue;
+        BigInt scalar = e.value().ModMul(base, n);
+        BigInt term = Paillier::MulPlaintext(public_key_, enc_weights[u],
+                                             scalar);
+        silo_cipher[s][d] =
+            Paillier::AddCiphertexts(public_key_, silo_cipher[s][d], term);
+      }
+    }
+    // Encoded noise z' = Encode(z) * C_LCM added homomorphically.
+    for (size_t d = 0; d < dim; ++d) {
+      auto z = codec_.Encode(silo_noise[s][d]);
+      if (!z.ok()) return z.status();
+      BigInt z_scaled = z.value().ModMul(c_lcm_.Mod(n), n);
+      silo_cipher[s][d] =
+          Paillier::AddPlaintext(public_key_, silo_cipher[s][d], z_scaled);
+    }
+  }
+  timings_.silo_weighting_s += SecondsSince(t0);
+
+  // -- Weighting (c): secure aggregation over ciphertexts -----------------
+  t0 = Clock::now();
+  for (int s = 0; s < num_silos_; ++s) {
+    for (size_t d = 0; d < dim; ++d) {
+      BigInt mask(0);
+      for (int other = 0; other < num_silos_; ++other) {
+        if (other == s) continue;
+        BigInt m = PairMask(s, other, /*tag=*/0x5EC0000 + round,
+                            static_cast<int>(d));
+        mask = s < other ? mask.ModAdd(m, n) : mask.ModSub(m, n);
+      }
+      silo_cipher[s][d] =
+          Paillier::AddPlaintext(public_key_, silo_cipher[s][d], mask);
+    }
+  }
+  std::vector<BigInt> product(dim, BigInt(1));
+  for (size_t d = 0; d < dim; ++d) {
+    for (int s = 0; s < num_silos_; ++s) {
+      product[d] =
+          Paillier::AddCiphertexts(public_key_, product[d], silo_cipher[s][d]);
+    }
+  }
+  timings_.aggregation_s += SecondsSince(t0);
+
+  // Server decrypts and decodes (the only value it ever sees in the clear).
+  t0 = Clock::now();
+  Vec out(dim, 0.0);
+  for (size_t d = 0; d < dim; ++d) {
+    auto plain = Paillier::Decrypt(public_key_, secret_key_, product[d]);
+    if (!plain.ok()) return plain.status();
+    out[d] = codec_.Decode(plain.value(), c_lcm_);
+  }
+  timings_.decryption_s += SecondsSince(t0);
+  return out;
+}
+
+}  // namespace uldp

@@ -1,0 +1,168 @@
+// Protocol 1: the private weighting protocol. Computes the enhanced-weight
+// aggregation  sum_s sum_u (n_{s,u}/N_u) * clipped_delta_{s,u} + noise
+// without revealing any n_{s,u} (or N_u) to the server or to other silos:
+//
+//   Setup (once):
+//     (a) server generates a Paillier key pair; silos run DH via the server;
+//         everyone computes C_LCM = lcm(1..N_max);
+//     (b) silos derive pairwise shared keys;
+//     (c) silo 0 distributes a shared random seed R (encrypted, relayed);
+//     (d) silos derive multiplicative blinds r_u from R and blind their
+//         histograms: B(n_{s,u}) = r_u * n_{s,u} mod n;
+//     (e) pairwise additive masks -> doubly blinded histograms -> server
+//         sums to get B(N_u) = r_u * N_u mod n (masks cancel);
+//     (f) server inverts: B_inv(N_u) = (r_u * N_u)^{-1} mod n.
+//
+//   Weighting (each round):
+//     (a) server (optionally Poisson-samples users and) encrypts B_inv
+//         under Paillier, broadcasts;
+//     (b) each silo computes, per coordinate,
+//         Enc(delta~) = Enc(B_inv)^(Encode(delta) * n_su * r_u * C_LCM)
+//         — the r_u cancels the blind and C_LCM/N_u stays integral — then
+//         sums ciphertexts over users and adds its encoded noise;
+//     (c) silos apply pairwise additive masks homomorphically; the server
+//         multiplies the ciphertexts (masks cancel), decrypts and decodes.
+//
+// The per-party views (what each actor received) are recorded so the
+// privacy properties (Theorem 5) can be asserted in tests, and per-phase
+// wall-times are recorded for the Figure 10/11 benchmarks.
+
+#ifndef ULDP_CORE_PRIVATE_WEIGHTING_H_
+#define ULDP_CORE_PRIVATE_WEIGHTING_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "crypto/chacha.h"
+#include "crypto/dh.h"
+#include "crypto/fixed_point.h"
+#include "crypto/oblivious_transfer.h"
+#include "crypto/paillier.h"
+#include "nn/tensor.h"
+
+namespace uldp {
+
+struct ProtocolConfig {
+  /// Paillier modulus bits (the paper's security parameter lambda is 3072;
+  /// tests and the scaled-down benches use smaller).
+  int paillier_bits = 1024;
+  /// Upper bound N_max on records per user; C_LCM = lcm(1..N_max). Must be
+  /// small enough that C_LCM plus slack fits below the modulus (Theorem 4
+  /// condition (2)) — validated in Setup.
+  int n_max = 100;
+  /// Fixed-point precision P.
+  double precision = 1e-10;
+  uint64_t seed = 7;
+  /// > 0 enables the OT-based private user-level sub-sampling extension
+  /// (§4.1): the server offers P ciphertext slots per user (real Enc(B_inv)
+  /// in a q-fraction of them after a private shuffle, Enc(0) in the rest)
+  /// and silos fetch one slot via 1-out-of-P OT, so neither side learns the
+  /// sampling outcome. The value is P (the slot count); representable
+  /// rates are multiples of 1/P. In OT mode silos cannot skip unsampled
+  /// users (they do not know who is sampled), which is exactly the extra
+  /// cost §4.1 warns about.
+  int ot_slots = 0;
+  /// Sub-sampling rate used in OT mode (quantized to multiples of
+  /// 1/ot_slots). Ignored when ot_slots == 0 (the server-side mask passed
+  /// to WeightingRound is used instead).
+  double ot_sample_rate = 1.0;
+  /// Bit size of the safe-prime DH group backing the OT (simulation-scale
+  /// default; a deployment would use a standardized group).
+  int ot_group_bits = 384;
+};
+
+/// Wall-clock seconds per protocol phase (Figure 10/11 measurements).
+struct ProtocolTimings {
+  double key_exchange_s = 0.0;   // setup (a)-(c)
+  double histogram_s = 0.0;      // setup (d)-(f)
+  double encrypt_weights_s = 0.0;  // weighting (a), per round, accumulated
+  double silo_weighting_s = 0.0;   // weighting (b), summed over silos
+  double aggregation_s = 0.0;      // weighting (c): masking + server product
+  double decryption_s = 0.0;       // server decrypt + decode
+};
+
+/// What the server observed (for privacy assertions).
+struct ServerProtocolView {
+  /// Doubly blinded per-silo histograms as received in setup (e).
+  std::vector<std::vector<BigInt>> doubly_blinded_histograms;  // [silo][user]
+  /// Aggregated blinded totals B(N_u) = r_u * N_u mod n.
+  std::vector<BigInt> blinded_totals;  // [user]
+};
+
+/// What silo s observed.
+struct SiloProtocolView {
+  /// Encrypted weights received each round (ciphertexts only).
+  std::vector<BigInt> encrypted_weights;  // [user], last round
+};
+
+class PrivateWeightingProtocol {
+ public:
+  PrivateWeightingProtocol(ProtocolConfig config, int num_silos,
+                           int num_users);
+
+  /// Runs the setup phase. `silo_histograms[s][u]` = n_{s,u} — each silo's
+  /// private input (this in-process simulation passes them in directly; the
+  /// values never reach the server or other silo states un-blinded).
+  /// Validates N_u <= N_max and the Theorem-4 overflow condition.
+  Status Setup(const std::vector<std::vector<int>>& silo_histograms);
+
+  /// One weighting round. clipped_deltas[s][u] is user u's clipped
+  /// (unweighted) model delta at silo s (empty Vec if the user has no
+  /// records there); silo_noise[s] is silo s's Gaussian noise vector;
+  /// user_sampled is the server-side sampling mask (all-true when q = 1;
+  /// ignored when OT-based private sub-sampling is enabled — then the
+  /// protocol derives the mask internally from the shared seed).
+  /// Returns sum_s sum_u (n_su/N_u) delta_su + sum_s noise_s.
+  Result<Vec> WeightingRound(
+      uint64_t round, const std::vector<std::vector<Vec>>& clipped_deltas,
+      const std::vector<Vec>& silo_noise,
+      const std::vector<bool>& user_sampled);
+
+  /// Ground-truth sampling outcome of the last OT-mode round. In a real
+  /// deployment *nobody* learns this (that is the point of the extension);
+  /// the simulation records it so tests can verify the aggregation honored
+  /// the hidden mask.
+  const std::vector<bool>& last_ot_mask() const { return last_ot_mask_; }
+
+  const ProtocolTimings& timings() const { return timings_; }
+  const ServerProtocolView& server_view() const { return server_view_; }
+  const SiloProtocolView& silo_view(int s) const { return silo_views_[s]; }
+  const PaillierPublicKey& public_key() const { return public_key_; }
+  const BigInt& c_lcm() const { return c_lcm_; }
+  bool setup_done() const { return setup_done_; }
+
+ private:
+  /// Blind r_u for user u, derived from the silo-shared seed R.
+  BigInt BlindOf(int user) const;
+  /// Pairwise additive histogram/ciphertext mask between silos a and b.
+  BigInt PairMask(int silo_a, int silo_b, uint64_t tag, int user) const;
+
+  ProtocolConfig config_;
+  int num_silos_;
+  int num_users_;
+
+  // Server state.
+  PaillierPublicKey public_key_;
+  PaillierSecretKey secret_key_;
+  std::vector<BigInt> b_inv_;  // B_inv(N_u), server-side
+  // Silo-shared state (the server never holds these).
+  ChaChaRng::Key shared_seed_key_;                      // from R
+  std::vector<std::vector<ChaChaRng::Key>> pair_keys_;  // [s][s'] DH-derived
+  std::vector<std::vector<int>> histograms_;            // silo-private n_su
+  BigInt c_lcm_;
+  FixedPointCodec codec_{BigInt(5), 1e-10};  // re-initialized in Setup
+
+  bool setup_done_ = false;
+  Rng rng_;
+  ProtocolTimings timings_;
+  ServerProtocolView server_view_;
+  std::vector<SiloProtocolView> silo_views_;
+  // OT-mode state.
+  DhGroup ot_group_;
+  std::vector<bool> last_ot_mask_;
+};
+
+}  // namespace uldp
+
+#endif  // ULDP_CORE_PRIVATE_WEIGHTING_H_

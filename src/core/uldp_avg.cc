@@ -1,0 +1,131 @@
+#include "core/uldp_avg.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/table.h"
+#include "core/private_weighting.h"
+
+namespace uldp {
+
+UldpAvgTrainer::UldpAvgTrainer(const FederatedDataset& data,
+                               const Model& model, FlConfig config,
+                               UldpAvgOptions options)
+    : data_(data),
+      work_model_(model.Clone()),
+      config_(config),
+      options_(options),
+      rng_(config.seed),
+      tracker_(options.user_sample_rate < 1.0
+                   ? PrivacyTracker::ForSubsampledGaussian(
+                         config.sigma, options.user_sample_rate)
+                   : PrivacyTracker::ForGaussian(config.sigma)) {
+  ULDP_CHECK_GT(config_.clip, 0.0);
+  ULDP_CHECK_GT(options_.user_sample_rate, 0.0);
+  ULDP_CHECK_LE(options_.user_sample_rate, 1.0);
+  WeightingStrategy strategy = options_.weighting;
+  if (options_.private_protocol != nullptr) {
+    // The protocol computes n_{s,u}/N_u weights inside the encryption.
+    strategy = WeightingStrategy::kEnhanced;
+  }
+  weights_ = ComputeWeights(data_, strategy);
+  ULDP_CHECK(WeightsSatisfyUldpConstraint(weights_));
+
+  name_ = strategy == WeightingStrategy::kEnhanced ? "ULDP-AVG-w"
+                                                   : "ULDP-AVG";
+  if (options_.private_protocol != nullptr) name_ += "(private)";
+  if (options_.user_sample_rate < 1.0) {
+    name_ += "(q=" + FormatG(options_.user_sample_rate, 3) + ")";
+  }
+
+  for (int s = 0; s < data_.num_silos(); ++s) {
+    for (int u = 0; u < data_.num_users(); ++u) {
+      const auto& idx = data_.RecordsOf(s, u);
+      if (idx.empty()) continue;
+      pairs_.push_back(Pair{s, u, data_.MakeExamples(idx)});
+    }
+  }
+}
+
+Status UldpAvgTrainer::RunRound(int round, Vec& global_params) {
+  ULDP_CHECK_EQ(global_params.size(), work_model_->NumParams());
+  const int s_count = data_.num_silos();
+  const int u_count = data_.num_users();
+  const size_t dim = global_params.size();
+  const double q = options_.user_sample_rate;
+
+  // Algorithm 4: the server Poisson-samples the user set for this round and
+  // zeroes the weights of unsampled users.
+  std::vector<bool> sampled(u_count, true);
+  if (q < 1.0) {
+    for (int u = 0; u < u_count; ++u) sampled[u] = rng_.Bernoulli(q);
+  }
+
+  // Per-silo accumulators. In the private-protocol path we keep per-user
+  // clipped (unweighted) deltas instead, since the weighting happens inside
+  // the encryption.
+  const bool use_protocol = options_.private_protocol != nullptr;
+  std::vector<Vec> silo_delta(s_count, Vec(dim, 0.0));
+  std::vector<std::vector<Vec>> protocol_deltas;
+  if (use_protocol) {
+    protocol_deltas.assign(s_count, std::vector<Vec>(u_count));
+  }
+
+  for (const Pair& pair : pairs_) {
+    if (!sampled[pair.user]) continue;
+    double w = weights_[pair.silo][pair.user];
+    if (w == 0.0 && !use_protocol) continue;
+    // Per-user local training (Algorithm 3, lines 9-15).
+    work_model_->SetParams(global_params);
+    TrainLocalSgd(*work_model_, pair.examples, config_.local_epochs,
+                  config_.batch_size, config_.local_lr, rng_);
+    Vec delta = work_model_->GetParams();
+    Axpy(-1.0, global_params, delta);
+    ClipToL2Ball(delta, config_.clip);  // line 16: clip then weight
+    if (use_protocol) {
+      protocol_deltas[pair.silo][pair.user] = std::move(delta);
+    } else {
+      Axpy(w, delta, silo_delta[pair.silo]);
+    }
+  }
+
+  // Line 17: every silo adds N(0, sigma^2 C^2 / |S|) so the aggregate noise
+  // matches user-level sensitivity C with multiplier sigma. In central
+  // mode the server adds the equivalent N(0, sigma^2 C^2) once instead.
+  const bool central = config_.noise_placement == NoisePlacement::kCentral;
+  const double noise_std =
+      central ? 0.0
+              : config_.sigma * config_.clip /
+                    std::sqrt(static_cast<double>(s_count));
+  Vec total;
+  if (use_protocol) {
+    std::vector<Vec> silo_noise(s_count, Vec(dim, 0.0));
+    for (int s = 0; s < s_count; ++s) {
+      AddGaussianNoise(silo_noise[s], noise_std, rng_);
+    }
+    auto agg = options_.private_protocol->WeightingRound(
+        static_cast<uint64_t>(round), protocol_deltas, silo_noise, sampled);
+    if (!agg.ok()) return agg.status();
+    total = std::move(agg.value());
+  } else {
+    for (int s = 0; s < s_count; ++s) {
+      AddGaussianNoise(silo_delta[s], noise_std, rng_);
+    }
+    total = AggregateDeltas(silo_delta, config_.secure_aggregation,
+                            static_cast<uint64_t>(round));
+  }
+  if (central) {
+    AddGaussianNoise(total, config_.sigma * config_.clip, rng_);
+  }
+
+  // Server update (Algorithm 3 line 6 / Algorithm 4 line 10).
+  Axpy(config_.global_lr / (q * u_count * s_count), total, global_params);
+  tracker_.AdvanceRounds(1);
+  return Status::Ok();
+}
+
+Result<double> UldpAvgTrainer::EpsilonSpent(double delta) const {
+  return tracker_.Epsilon(delta);
+}
+
+}  // namespace uldp

@@ -1,0 +1,37 @@
+// ULDP-NAIVE (Algorithm 1): DP-FedAVG-style per-silo clipping, but since a
+// user may appear in every silo, user-level sensitivity of the aggregate is
+// C*|S| and each silo must add Gaussian noise with variance sigma^2 C^2 |S|
+// (so the aggregate carries sigma^2 C^2 |S|^2). Satisfies ULDP at a large
+// utility cost — the paper's "substantial noise" baseline.
+
+#ifndef ULDP_CORE_ULDP_NAIVE_H_
+#define ULDP_CORE_ULDP_NAIVE_H_
+
+#include <memory>
+
+#include "dp/accountant.h"
+#include "fl/local_trainer.h"
+
+namespace uldp {
+
+class UldpNaiveTrainer final : public FlAlgorithm {
+ public:
+  UldpNaiveTrainer(const FederatedDataset& data, const Model& model,
+                   FlConfig config);
+
+  Status RunRound(int round, Vec& global_params) override;
+  Result<double> EpsilonSpent(double delta) const override;
+  std::string name() const override { return "ULDP-NAIVE"; }
+
+ private:
+  const FederatedDataset& data_;
+  std::unique_ptr<Model> work_model_;
+  FlConfig config_;
+  Rng rng_;
+  PrivacyTracker tracker_;
+  std::vector<std::vector<Example>> silo_examples_;
+};
+
+}  // namespace uldp
+
+#endif  // ULDP_CORE_ULDP_NAIVE_H_

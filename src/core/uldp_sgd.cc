@@ -1,0 +1,91 @@
+#include "core/uldp_sgd.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace uldp {
+
+UldpSgdTrainer::UldpSgdTrainer(const FederatedDataset& data,
+                               const Model& model, FlConfig config,
+                               WeightingStrategy weighting,
+                               double user_sample_rate)
+    : data_(data),
+      work_model_(model.Clone()),
+      config_(config),
+      user_sample_rate_(user_sample_rate),
+      rng_(config.seed),
+      tracker_(user_sample_rate < 1.0
+                   ? PrivacyTracker::ForSubsampledGaussian(config.sigma,
+                                                           user_sample_rate)
+                   : PrivacyTracker::ForGaussian(config.sigma)) {
+  ULDP_CHECK_GT(config_.clip, 0.0);
+  weights_ = ComputeWeights(data_, weighting);
+  ULDP_CHECK(WeightsSatisfyUldpConstraint(weights_));
+  name_ = weighting == WeightingStrategy::kEnhanced ? "ULDP-SGD-w"
+                                                    : "ULDP-SGD";
+  for (int s = 0; s < data_.num_silos(); ++s) {
+    for (int u = 0; u < data_.num_users(); ++u) {
+      const auto& idx = data_.RecordsOf(s, u);
+      if (idx.empty()) continue;
+      pairs_.push_back(Pair{s, u, data_.MakeExamples(idx)});
+    }
+  }
+}
+
+Status UldpSgdTrainer::RunRound(int round, Vec& global_params) {
+  ULDP_CHECK_EQ(global_params.size(), work_model_->NumParams());
+  const int s_count = data_.num_silos();
+  const int u_count = data_.num_users();
+  const size_t dim = global_params.size();
+  const double q = user_sample_rate_;
+
+  std::vector<bool> sampled(u_count, true);
+  if (q < 1.0) {
+    for (int u = 0; u < u_count; ++u) sampled[u] = rng_.Bernoulli(q);
+  }
+
+  std::vector<Vec> silo_grad(s_count, Vec(dim, 0.0));
+  Vec grad(dim, 0.0);
+  for (const Pair& pair : pairs_) {
+    if (!sampled[pair.user]) continue;
+    double w = weights_[pair.silo][pair.user];
+    if (w == 0.0) continue;
+    // Full-batch per-user gradient at the current global model
+    // (Algorithm 3, lines 21-23).
+    work_model_->SetParams(global_params);
+    std::fill(grad.begin(), grad.end(), 0.0);
+    std::vector<const Example*> batch;
+    batch.reserve(pair.examples.size());
+    for (const Example& ex : pair.examples) batch.push_back(&ex);
+    work_model_->LossAndGrad(batch, &grad);
+    ClipToL2Ball(grad, config_.clip);
+    Axpy(w, grad, silo_grad[pair.silo]);
+  }
+
+  const bool central = config_.noise_placement == NoisePlacement::kCentral;
+  const double noise_std =
+      central ? 0.0
+              : config_.sigma * config_.clip /
+                    std::sqrt(static_cast<double>(s_count));
+  for (int s = 0; s < s_count; ++s) {
+    AddGaussianNoise(silo_grad[s], noise_std, rng_);
+  }
+  Vec total = AggregateDeltas(silo_grad, config_.secure_aggregation,
+                              static_cast<uint64_t>(round));
+  if (central) {
+    AddGaussianNoise(total, config_.sigma * config_.clip, rng_);
+  }
+  // Descent step with the paper's 1/(q |U| |S|) scaling. (Algorithm 3
+  // writes the update additively on the delta; for the SGD variant the
+  // aggregated quantity is a gradient, so the server steps against it.)
+  Axpy(-config_.global_lr / (q * u_count * s_count), total, global_params);
+  tracker_.AdvanceRounds(1);
+  return Status::Ok();
+}
+
+Result<double> UldpSgdTrainer::EpsilonSpent(double delta) const {
+  return tracker_.Epsilon(delta);
+}
+
+}  // namespace uldp

@@ -1,0 +1,47 @@
+// ULDP-SGD (Algorithm 3, SGD variant): one weighted-clipped full-batch
+// gradient per user per round instead of multi-epoch local training —
+// the DP-FedSGD analogue of ULDP-AVG, preferable only on fast networks.
+
+#ifndef ULDP_CORE_ULDP_SGD_H_
+#define ULDP_CORE_ULDP_SGD_H_
+
+#include <memory>
+#include <string>
+
+#include "core/weighting.h"
+#include "dp/accountant.h"
+#include "fl/local_trainer.h"
+
+namespace uldp {
+
+class UldpSgdTrainer final : public FlAlgorithm {
+ public:
+  UldpSgdTrainer(const FederatedDataset& data, const Model& model,
+                 FlConfig config,
+                 WeightingStrategy weighting = WeightingStrategy::kUniform,
+                 double user_sample_rate = 1.0);
+
+  Status RunRound(int round, Vec& global_params) override;
+  Result<double> EpsilonSpent(double delta) const override;
+  std::string name() const override { return name_; }
+
+ private:
+  const FederatedDataset& data_;
+  std::unique_ptr<Model> work_model_;
+  FlConfig config_;
+  double user_sample_rate_;
+  Rng rng_;
+  PrivacyTracker tracker_;
+  std::string name_;
+  std::vector<std::vector<double>> weights_;
+  struct Pair {
+    int silo;
+    int user;
+    std::vector<Example> examples;
+  };
+  std::vector<Pair> pairs_;
+};
+
+}  // namespace uldp
+
+#endif  // ULDP_CORE_ULDP_SGD_H_

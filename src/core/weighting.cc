@@ -1,0 +1,56 @@
+#include "core/weighting.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace uldp {
+
+std::vector<std::vector<double>> ComputeWeights(const FederatedDataset& data,
+                                                WeightingStrategy strategy) {
+  const int s_count = data.num_silos();
+  const int u_count = data.num_users();
+  std::vector<std::vector<double>> weights(
+      s_count, std::vector<double>(u_count, 0.0));
+  switch (strategy) {
+    case WeightingStrategy::kUniform: {
+      double w = 1.0 / s_count;
+      for (int s = 0; s < s_count; ++s) {
+        for (int u = 0; u < u_count; ++u) weights[s][u] = w;
+      }
+      break;
+    }
+    case WeightingStrategy::kEnhanced: {
+      for (int u = 0; u < u_count; ++u) {
+        int total = data.TotalCountOf(u);
+        if (total == 0) continue;
+        for (int s = 0; s < s_count; ++s) {
+          weights[s][u] =
+              static_cast<double>(data.CountOf(s, u)) / total;
+        }
+      }
+      break;
+    }
+  }
+  return weights;
+}
+
+bool WeightsSatisfyUldpConstraint(
+    const std::vector<std::vector<double>>& weights, double tolerance) {
+  if (weights.empty()) return false;
+  size_t users = weights[0].size();
+  for (const auto& row : weights) {
+    if (row.size() != users) return false;
+    for (double w : row) {
+      if (w < -tolerance || !std::isfinite(w)) return false;
+    }
+  }
+  for (size_t u = 0; u < users; ++u) {
+    double sum = 0.0;
+    for (const auto& row : weights) sum += row[u];
+    if (sum > 1.0 + tolerance) return false;
+  }
+  return true;
+}
+
+}  // namespace uldp

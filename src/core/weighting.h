@@ -1,0 +1,38 @@
+// Per-user per-silo clipping weights W = (w_{s,u}) for ULDP-AVG/SGD.
+// The ULDP guarantee requires sum_s w_{s,u} = 1 for every user (then a
+// user's total contribution to the aggregated delta is at most C,
+// Theorem 3). Two strategies from the paper:
+//   uniform  : w_{s,u} = 1/|S|                      (§3.4, no privacy cost)
+//   enhanced : w_{s,u} = n_{s,u} / N_u              (Eq. 3; needs the
+//              private weighting protocol to compute without leaking
+//              histograms — see core/private_weighting.h)
+
+#ifndef ULDP_CORE_WEIGHTING_H_
+#define ULDP_CORE_WEIGHTING_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace uldp {
+
+enum class WeightingStrategy {
+  kUniform,
+  kEnhanced,
+};
+
+/// weights[s][u] = w_{s,u}. For `kEnhanced`, users with no records get all-
+/// zero weights (they contribute nothing anyway); for `kUniform`, weights
+/// are 1/|S| everywhere, satisfying the sum-to-1 constraint exactly.
+std::vector<std::vector<double>> ComputeWeights(const FederatedDataset& data,
+                                                WeightingStrategy strategy);
+
+/// Verifies the ULDP weight constraint: w >= 0 and sum_s w_{s,u} <= 1 for
+/// every user (equality for users with records under both strategies).
+/// Used by tests and by the trainers' debug checks.
+bool WeightsSatisfyUldpConstraint(
+    const std::vector<std::vector<double>>& weights, double tolerance = 1e-9);
+
+}  // namespace uldp
+
+#endif  // ULDP_CORE_WEIGHTING_H_

@@ -1,0 +1,84 @@
+#include "crypto/dh.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "math/primes.h"
+
+namespace uldp {
+
+namespace {
+
+// RFC 3526 section 3: 2048-bit MODP group (id 14).
+constexpr const char* kModp2048Hex =
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
+    "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
+    "4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF05"
+    "98DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB"
+    "9ED529077096966D670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B"
+    "E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9DE2BCBF695581718"
+    "3995497CEA956AE515D2261898FA051015728E5A8AACAA68FFFFFFFFFFFFFFFF";
+
+// RFC 3526 section 4: 3072-bit MODP group (id 15).
+constexpr const char* kModp3072Hex =
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
+    "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
+    "4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF05"
+    "98DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB"
+    "9ED529077096966D670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B"
+    "E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9DE2BCBF695581718"
+    "3995497CEA956AE515D2261898FA051015728E5A8AAAC42DAD33170D04507A33"
+    "A85521ABDF1CBA64ECFB850458DBEF0A8AEA71575D060C7DB3970F85A6E1E4C7"
+    "ABF5AE8CDB0933D71E8C94E04A25619DCEE3D2261AD2EE6BF12FFA06D98A0864"
+    "D87602733EC86A64521F2B18177B200CBBE117577A615D6C770988C0BAD946E2"
+    "08E24FA074E5AB3143DB5BFCE0FD108E4B82D120A93AD2CAFFFFFFFFFFFFFFFF";
+
+DhGroup GroupFromHex(const char* hex) {
+  auto p = BigInt::FromHex(hex);
+  ULDP_CHECK_MSG(p.ok(), "bad built-in group constant");
+  return DhGroup{std::move(p.value()), BigInt(2)};
+}
+
+}  // namespace
+
+DhGroup DhGroup::Rfc3526Modp2048() { return GroupFromHex(kModp2048Hex); }
+
+DhGroup DhGroup::Rfc3526Modp3072() { return GroupFromHex(kModp3072Hex); }
+
+DhGroup DhGroup::GenerateSafePrimeGroup(int bits, Rng& rng) {
+  BigInt p = GenerateSafePrime(bits, rng);
+  // For a safe prime p = 2q+1, any g with g^2 != 1 and g^q != 1 generates a
+  // large subgroup; 2 generates the quadratic residues iff 2^q = 1.
+  // Use 4 = 2^2, which is always a QR and has order q.
+  return DhGroup{std::move(p), BigInt(4)};
+}
+
+DhKeyPair GenerateDhKeyPair(const DhGroup& group, Rng& rng) {
+  // Secret uniform in [2, p-2].
+  BigInt secret =
+      BigInt::RandomBelow(group.p - BigInt(3), rng) + BigInt(2);
+  BigInt pub = group.g.ModExp(secret, group.p);
+  return DhKeyPair{std::move(secret), std::move(pub)};
+}
+
+Result<BigInt> ComputeSharedSecret(const DhGroup& group,
+                                   const BigInt& my_secret,
+                                   const BigInt& their_public) {
+  if (their_public <= BigInt(1) || their_public >= group.p - BigInt(1)) {
+    return Status::InvalidArgument("peer DH public key out of range");
+  }
+  return their_public.ModExp(my_secret, group.p);
+}
+
+std::string DeriveSharedSeedMaterial(const BigInt& shared_secret,
+                                     const std::string& label, int party_a,
+                                     int party_b) {
+  int lo = std::min(party_a, party_b);
+  int hi = std::max(party_a, party_b);
+  return "uldp-fl/v1|" + label + "|" + std::to_string(lo) + "|" +
+         std::to_string(hi) + "|" + shared_secret.ToHex();
+}
+
+}  // namespace uldp

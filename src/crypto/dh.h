@@ -1,0 +1,56 @@
+// Finite-field Diffie-Hellman key agreement (Protocol 1 setup step 1.(a)-(b)):
+// every pair of silos derives a shared secret via the server-relayed public
+// keys, from which pairwise secure-aggregation masks are derived.
+//
+// Groups: the RFC 3526 MODP groups (2048- and 3072-bit) with generator 2,
+// or a freshly generated safe-prime group for test-scale parameters.
+
+#ifndef ULDP_CRYPTO_DH_H_
+#define ULDP_CRYPTO_DH_H_
+
+#include <string>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "math/bigint.h"
+
+namespace uldp {
+
+/// A multiplicative group (Z/pZ)* with prime p and generator g.
+struct DhGroup {
+  BigInt p;
+  BigInt g;
+
+  /// RFC 3526 group 14: 2048-bit MODP, generator 2.
+  static DhGroup Rfc3526Modp2048();
+  /// RFC 3526 group 15: 3072-bit MODP, generator 2. The paper's 3072-bit
+  /// security parameter.
+  static DhGroup Rfc3526Modp3072();
+  /// Generates a fresh safe-prime group of `bits` bits (slow for large
+  /// sizes; intended for tests).
+  static DhGroup GenerateSafePrimeGroup(int bits, Rng& rng);
+};
+
+struct DhKeyPair {
+  BigInt secret_key;  // x, uniform in [2, p-2]
+  BigInt public_key;  // g^x mod p
+};
+
+/// Samples a DH key pair in the group.
+DhKeyPair GenerateDhKeyPair(const DhGroup& group, Rng& rng);
+
+/// g^(xy) mod p from own secret and peer public key. Errors if the peer key
+/// is outside (1, p-1) — small-subgroup sanity check.
+Result<BigInt> ComputeSharedSecret(const DhGroup& group, const BigInt& my_secret,
+                                   const BigInt& their_public);
+
+/// Derives a fixed-size seed string from a shared secret and a context
+/// label; feed into ChaChaRng::DeriveKey. Both sides must use the same
+/// label. The party pair is encoded canonically (smaller id first).
+std::string DeriveSharedSeedMaterial(const BigInt& shared_secret,
+                                     const std::string& label, int party_a,
+                                     int party_b);
+
+}  // namespace uldp
+
+#endif  // ULDP_CRYPTO_DH_H_

@@ -1,0 +1,67 @@
+#include "crypto/fixed_point.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace uldp {
+
+namespace {
+
+// Sub-unit resolution used when dividing out C_LCM: the quotient is
+// computed at 10^15 extra digits so the final double conversion keeps
+// ~15 significant digits below one fixed-point unit.
+const uint64_t kDecodeScale = 1000000000000000ull;  // 1e15
+
+}  // namespace
+
+FixedPointCodec::FixedPointCodec(BigInt modulus, double precision)
+    : modulus_(std::move(modulus)), precision_(precision) {
+  ULDP_CHECK(modulus_ > BigInt(3));
+  ULDP_CHECK_GT(precision_, 0.0);
+  half_modulus_ = modulus_ >> 1;
+}
+
+Result<BigInt> FixedPointCodec::Encode(double x) const {
+  if (!std::isfinite(x)) {
+    return Status::InvalidArgument("cannot encode non-finite value");
+  }
+  double scaled = x / precision_;
+  // Guard well inside int64 so later multiplications by small integers in
+  // protocol terms cannot silently wrap before reaching BigInt domain.
+  if (std::fabs(scaled) >= 4.6e18) {
+    return Status::OutOfRange("value too large for fixed-point range");
+  }
+  int64_t units = std::llround(scaled);
+  BigInt v(units);
+  BigInt mapped = v.Mod(modulus_);
+  // Ambiguity check: |units| must stay below n/2 or sign is lost.
+  if (BigInt(units).Abs() > half_modulus_) {
+    return Status::OutOfRange("encoded magnitude exceeds modulus/2");
+  }
+  return mapped;
+}
+
+BigInt FixedPointCodec::Center(const BigInt& x) const {
+  ULDP_CHECK(!x.IsNegative() && x < modulus_);
+  if (x > half_modulus_) return x - modulus_;
+  return x;
+}
+
+double FixedPointCodec::DecodePlain(const BigInt& x) const {
+  return Center(x).ToDouble() * precision_;
+}
+
+double FixedPointCodec::Decode(const BigInt& x, const BigInt& c_lcm) const {
+  ULDP_CHECK(c_lcm > BigInt(0));
+  BigInt centered = Center(x);
+  bool negative = centered.IsNegative();
+  BigInt mag = centered.Abs();
+  // q = round(mag * 1e15 / c_lcm); double(q) stays far below 2^1024 for all
+  // admissible protocol values, unlike double(c_lcm) which may overflow.
+  BigInt q = (mag * BigInt(kDecodeScale) + (c_lcm >> 1)) / c_lcm;
+  double out = q.ToDouble() / static_cast<double>(kDecodeScale) * precision_;
+  return negative ? -out : out;
+}
+
+}  // namespace uldp

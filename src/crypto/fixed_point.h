@@ -1,0 +1,48 @@
+// Fixed-point encoding of real numbers into a finite field F_n
+// (Algorithm 5, "Encode and Decode"). Negative values map to the upper
+// half of the field; Decode centers them back.
+//
+// Decode additionally divides out the C_LCM factor that Protocol 1
+// multiplies into every term so that the 1/N_u weights stay integral.
+
+#ifndef ULDP_CRYPTO_FIXED_POINT_H_
+#define ULDP_CRYPTO_FIXED_POINT_H_
+
+#include "common/status.h"
+#include "math/bigint.h"
+
+namespace uldp {
+
+class FixedPointCodec {
+ public:
+  /// `modulus`: the field size n. `precision`: the paper's P, e.g. 1e-10
+  /// (one fixed-point unit corresponds to P in real space).
+  FixedPointCodec(BigInt modulus, double precision);
+
+  /// Encode(x, P, n): x/P rounded to integer, mapped into F_n.
+  /// Errors if |x/P| does not fit a 63-bit integer or exceeds n/2 (value
+  /// would be ambiguous under centering).
+  Result<BigInt> Encode(double x) const;
+
+  /// Decode for values carrying no C_LCM factor: center then scale by P.
+  double DecodePlain(const BigInt& x) const;
+
+  /// Decode(x, P, C_LCM, n): center into (-n/2, n/2], divide by c_lcm
+  /// (rounded), then scale by P.
+  double Decode(const BigInt& x, const BigInt& c_lcm) const;
+
+  const BigInt& modulus() const { return modulus_; }
+  double precision() const { return precision_; }
+
+ private:
+  /// Maps field element to signed representative in (-n/2, n/2].
+  BigInt Center(const BigInt& x) const;
+
+  BigInt modulus_;
+  BigInt half_modulus_;
+  double precision_;
+};
+
+}  // namespace uldp
+
+#endif  // ULDP_CRYPTO_FIXED_POINT_H_

@@ -1,0 +1,78 @@
+// 1-out-of-P oblivious transfer (Bellare-Micali style over a DH group),
+// used by the *private user-level sub-sampling* extension (§4.1): the
+// server offers P ciphertext slots per user (one real Enc(B_inv), P-1
+// dummies Enc(0)); the silo retrieves one slot without the server learning
+// which, and without the silo learning the sampling outcome (the payload is
+// Paillier-encrypted either way).
+//
+// Semi-honest security: receiver privacy is information-theoretic (the
+// choice message is uniform); sender privacy reduces to CDH in the group.
+
+#ifndef ULDP_CRYPTO_OBLIVIOUS_TRANSFER_H_
+#define ULDP_CRYPTO_OBLIVIOUS_TRANSFER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "crypto/dh.h"
+#include "math/bigint.h"
+
+namespace uldp {
+
+/// One 1-out-of-P OT execution. Message flow:
+///   sender:   SenderInit()            -> publishes {C_0..C_{P-1}, A}
+///   receiver: ReceiverChoose(sigma)   -> sends B
+///   sender:   SenderEncrypt(messages) -> sends {E_0..E_{P-1}}
+///   receiver: ReceiverDecrypt(E)      -> m_sigma
+class ObliviousTransfer {
+ public:
+  struct SenderState {
+    std::vector<BigInt> c;  // random group elements, one per slot (public)
+    BigInt a;               // A = g^r (public)
+    BigInt r;               // sender secret
+  };
+
+  struct ReceiverState {
+    BigInt b;  // B = C_sigma * g^{-k} (sent to sender)
+    BigInt k;  // receiver secret
+    size_t sigma = 0;
+  };
+
+  ObliviousTransfer(DhGroup group, size_t num_slots);
+
+  /// Sender side: samples per-slot group elements and the sender secret.
+  SenderState SenderInit(Rng& rng) const;
+
+  /// Receiver side: commits to slot `sigma` (0-based). The message `b` is
+  /// uniform in the group regardless of sigma, so the sender learns nothing.
+  Result<ReceiverState> ReceiverChoose(const SenderState& sender_public,
+                                       size_t sigma, Rng& rng) const;
+
+  /// Sender side: encrypts every slot. messages[i] must all have equal
+  /// length. Key for slot i is H((C_i / B)^r); only slot sigma's key is
+  /// computable by the receiver.
+  Result<std::vector<std::vector<uint8_t>>> SenderEncrypt(
+      const SenderState& sender, const BigInt& receiver_b,
+      const std::vector<std::vector<uint8_t>>& messages) const;
+
+  /// Receiver side: recovers m_sigma from its slot.
+  Result<std::vector<uint8_t>> ReceiverDecrypt(
+      const ReceiverState& receiver, const SenderState& sender_public,
+      const std::vector<std::vector<uint8_t>>& encrypted) const;
+
+  size_t num_slots() const { return num_slots_; }
+
+ private:
+  /// XOR pad of `len` bytes derived from a group element via SHA-256 in
+  /// counter mode.
+  std::vector<uint8_t> Pad(const BigInt& key_element, size_t len) const;
+
+  DhGroup group_;
+  size_t num_slots_;
+};
+
+}  // namespace uldp
+
+#endif  // ULDP_CRYPTO_OBLIVIOUS_TRANSFER_H_

@@ -1,0 +1,101 @@
+#include "crypto/paillier.h"
+
+#include "common/check.h"
+#include "math/primes.h"
+
+namespace uldp {
+
+Status Paillier::GenerateKeyPair(int modulus_bits, Rng& rng,
+                                 PaillierPublicKey* public_key,
+                                 PaillierSecretKey* secret_key) {
+  if (modulus_bits < 64) {
+    return Status::InvalidArgument("Paillier modulus must be >= 64 bits");
+  }
+  if (modulus_bits % 2 != 0) {
+    return Status::InvalidArgument("Paillier modulus bits must be even");
+  }
+  int half = modulus_bits / 2;
+  for (;;) {
+    BigInt p = GeneratePrime(half, rng);
+    BigInt q = GeneratePrime(half, rng);
+    if (p == q) continue;
+    BigInt n = p * q;
+    if (n.BitLength() != modulus_bits) continue;
+    // gcd(n, (p-1)(q-1)) == 1 holds automatically for same-size primes,
+    // but verify defensively.
+    BigInt p1 = p - BigInt(1);
+    BigInt q1 = q - BigInt(1);
+    if (BigInt::Gcd(n, p1 * q1) != BigInt(1)) continue;
+
+    BigInt lambda = BigInt::Lcm(p1, q1);
+    auto mu = lambda.ModInverse(n);
+    if (!mu.ok()) continue;
+
+    public_key->n = n;
+    public_key->n_squared = n * n;
+    public_key->modulus_bits = modulus_bits;
+    secret_key->lambda = lambda;
+    secret_key->mu = std::move(mu.value());
+    secret_key->p = std::move(p);
+    secret_key->q = std::move(q);
+    return Status::Ok();
+  }
+}
+
+Result<BigInt> Paillier::Encrypt(const PaillierPublicKey& pk, const BigInt& m,
+                                 Rng& rng) {
+  if (m.IsNegative() || m >= pk.n) {
+    return Status::InvalidArgument(
+        "Paillier plaintext must be in [0, n); map signed values with the "
+        "fixed-point codec first");
+  }
+  // r uniform in [1, n) with gcd(r, n) = 1 (holds w.h.p.; retry otherwise).
+  BigInt r;
+  do {
+    r = BigInt::RandomBelow(pk.n, rng);
+  } while (r.IsZero() || BigInt::Gcd(r, pk.n) != BigInt(1));
+  // (1 + m*n) * r^n mod n^2.
+  BigInt g_m = (BigInt(1) + m * pk.n).Mod(pk.n_squared);
+  BigInt r_n = r.ModExp(pk.n, pk.n_squared);
+  return g_m.ModMul(r_n, pk.n_squared);
+}
+
+Result<BigInt> Paillier::Decrypt(const PaillierPublicKey& pk,
+                                 const PaillierSecretKey& sk, const BigInt& c) {
+  if (c.IsNegative() || c >= pk.n_squared) {
+    return Status::InvalidArgument("ciphertext out of range [0, n^2)");
+  }
+  if (BigInt::Gcd(c, pk.n_squared) != BigInt(1)) {
+    return Status::InvalidArgument("ciphertext not in Z*_{n^2}");
+  }
+  // L(c^lambda mod n^2) * mu mod n, L(x) = (x - 1) / n.
+  BigInt x = c.ModExp(sk.lambda, pk.n_squared);
+  BigInt l = (x - BigInt(1)) / pk.n;
+  return l.ModMul(sk.mu, pk.n);
+}
+
+BigInt Paillier::AddCiphertexts(const PaillierPublicKey& pk, const BigInt& c1,
+                                const BigInt& c2) {
+  return c1.ModMul(c2, pk.n_squared);
+}
+
+BigInt Paillier::AddPlaintext(const PaillierPublicKey& pk, const BigInt& c,
+                              const BigInt& k) {
+  // c * g^k = c * (1 + k*n) mod n^2.
+  BigInt g_k = (BigInt(1) + k.Mod(pk.n) * pk.n).Mod(pk.n_squared);
+  return c.ModMul(g_k, pk.n_squared);
+}
+
+BigInt Paillier::MulPlaintext(const PaillierPublicKey& pk, const BigInt& c,
+                              const BigInt& k) {
+  return c.ModExp(k.Mod(pk.n), pk.n_squared);
+}
+
+Result<BigInt> Paillier::Rerandomize(const PaillierPublicKey& pk,
+                                     const BigInt& c, Rng& rng) {
+  auto zero = Encrypt(pk, BigInt(0), rng);
+  if (!zero.ok()) return zero.status();
+  return AddCiphertexts(pk, c, zero.value());
+}
+
+}  // namespace uldp

@@ -1,0 +1,54 @@
+#include "crypto/secure_agg.h"
+
+#include "common/check.h"
+
+namespace uldp {
+
+SecureAggregator::SecureAggregator(BigInt modulus, int num_parties)
+    : modulus_(std::move(modulus)), num_parties_(num_parties) {
+  ULDP_CHECK_GE(num_parties_, 2);
+  ULDP_CHECK(modulus_ > BigInt(1));
+}
+
+std::vector<BigInt> SecureAggregator::MaskVector(
+    int me, const std::vector<ChaChaRng::Key>& pairwise_keys, uint64_t tag,
+    size_t dim) const {
+  ULDP_CHECK_GE(me, 0);
+  ULDP_CHECK_LT(me, num_parties_);
+  ULDP_CHECK_EQ(static_cast<int>(pairwise_keys.size()), num_parties_);
+  std::vector<BigInt> mask(dim, BigInt(0));
+  for (int other = 0; other < num_parties_; ++other) {
+    if (other == me) continue;
+    // Both parties of the pair seed the identical stream; the smaller index
+    // adds the mask, the larger subtracts, so the pair cancels in the sum.
+    ChaChaRng stream(pairwise_keys[other], ChaChaRng::MakeNonce(tag));
+    bool add = me < other;
+    for (size_t d = 0; d < dim; ++d) {
+      BigInt m = stream.UniformBelow(modulus_);
+      mask[d] = add ? mask[d].ModAdd(m, modulus_) : mask[d].ModSub(m, modulus_);
+    }
+  }
+  return mask;
+}
+
+void SecureAggregator::AddMasks(std::vector<BigInt>& values,
+                                const std::vector<BigInt>& masks) const {
+  ULDP_CHECK_EQ(values.size(), masks.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] = values[i].ModAdd(masks[i], modulus_);
+  }
+}
+
+std::vector<BigInt> SecureAggregator::SumVectors(
+    const std::vector<std::vector<BigInt>>& vectors) const {
+  ULDP_CHECK(!vectors.empty());
+  size_t dim = vectors[0].size();
+  std::vector<BigInt> out(dim, BigInt(0));
+  for (const auto& v : vectors) {
+    ULDP_CHECK_EQ(v.size(), dim);
+    for (size_t i = 0; i < dim; ++i) out[i] = out[i].ModAdd(v[i], modulus_);
+  }
+  return out;
+}
+
+}  // namespace uldp

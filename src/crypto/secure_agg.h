@@ -1,0 +1,54 @@
+// Pairwise additive-mask secure aggregation over a finite field F_n
+// (Bonawitz et al., CCS'17, simplified to the cross-silo setting where all
+// parties participate in every round, so no dropout recovery is needed —
+// exactly the assumption in the paper §3.1).
+//
+// Party i adds +PRF(s_{ij}) for every j > i and -PRF(s_{ij}) for every
+// j < i; summing all parties' masked values cancels every mask (Theorem 4's
+// first step). Mask streams are ChaCha20 keyed by pairwise DH secrets.
+
+#ifndef ULDP_CRYPTO_SECURE_AGG_H_
+#define ULDP_CRYPTO_SECURE_AGG_H_
+
+#include <vector>
+
+#include "crypto/chacha.h"
+#include "math/bigint.h"
+
+namespace uldp {
+
+/// Secure aggregation context for a fixed party set and modulus.
+class SecureAggregator {
+ public:
+  /// `modulus`: the field F_n (Paillier n for Protocol 1, or any public
+  /// prime for standalone use). `num_parties` >= 2.
+  SecureAggregator(BigInt modulus, int num_parties);
+
+  /// Computes the length-`dim` mask vector of party `me` for round `tag`.
+  /// `pairwise_keys[j]` is the ChaCha key shared between `me` and party j
+  /// (entry for j == me is ignored). Both parties of a pair must have
+  /// derived identical keys (see DeriveSharedSeedMaterial).
+  std::vector<BigInt> MaskVector(
+      int me, const std::vector<ChaChaRng::Key>& pairwise_keys, uint64_t tag,
+      size_t dim) const;
+
+  /// values[i] = (values[i] + masks[i]) mod n, in place.
+  void AddMasks(std::vector<BigInt>& values,
+                const std::vector<BigInt>& masks) const;
+
+  /// Element-wise sum of all parties' vectors mod n (the server-side
+  /// reduce; masks cancel if every party masked its vector).
+  std::vector<BigInt> SumVectors(
+      const std::vector<std::vector<BigInt>>& vectors) const;
+
+  const BigInt& modulus() const { return modulus_; }
+  int num_parties() const { return num_parties_; }
+
+ private:
+  BigInt modulus_;
+  int num_parties_;
+};
+
+}  // namespace uldp
+
+#endif  // ULDP_CRYPTO_SECURE_AGG_H_

@@ -1,0 +1,27 @@
+// SHA-256 (FIPS 180-4), implemented from scratch. Used as the KDF /
+// commitment hash for the DH key exchange, oblivious transfer, and
+// ChaCha key derivation.
+
+#ifndef ULDP_CRYPTO_SHA256_H_
+#define ULDP_CRYPTO_SHA256_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace uldp {
+
+using Sha256Digest = std::array<uint8_t, 32>;
+
+/// One-shot SHA-256 of a byte buffer.
+Sha256Digest Sha256(const uint8_t* data, size_t len);
+Sha256Digest Sha256(const std::string& data);
+Sha256Digest Sha256(const std::vector<uint8_t>& data);
+
+/// Hex rendering of a digest (lowercase).
+std::string DigestToHex(const Sha256Digest& digest);
+
+}  // namespace uldp
+
+#endif  // ULDP_CRYPTO_SHA256_H_

@@ -1,0 +1,223 @@
+#include "data/allocation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace uldp {
+
+namespace {
+
+// Zipf rank weights: weight[r] proportional to (r+1)^-alpha for r = 0..n-1.
+std::vector<double> ZipfWeights(int n, double alpha) {
+  std::vector<double> w(n);
+  for (int r = 0; r < n; ++r) {
+    w[r] = std::pow(static_cast<double>(r + 1), -alpha);
+  }
+  return w;
+}
+
+// Assigns each user a set of permitted labels (non-iid MNIST setting).
+std::vector<std::vector<int>> PermittedLabels(int num_users, int num_labels,
+                                              int labels_per_user, Rng& rng) {
+  std::vector<std::vector<int>> permitted(num_users);
+  for (int u = 0; u < num_users; ++u) {
+    std::vector<int> labels(num_labels);
+    std::iota(labels.begin(), labels.end(), 0);
+    rng.Shuffle(labels);
+    labels.resize(std::min(num_labels, labels_per_user));
+    std::sort(labels.begin(), labels.end());
+    permitted[u] = std::move(labels);
+  }
+  return permitted;
+}
+
+}  // namespace
+
+Status AllocateUsersAndSilos(std::vector<Record>& records, int num_users,
+                             int num_silos, const AllocationOptions& options,
+                             Rng& rng) {
+  if (num_users < 1 || num_silos < 1) {
+    return Status::InvalidArgument("need >= 1 user and silo");
+  }
+  const bool non_iid = options.max_labels_per_user > 0;
+  int num_labels = 0;
+  for (const Record& r : records) num_labels = std::max(num_labels, r.label + 1);
+  std::vector<std::vector<int>> permitted;
+  std::vector<std::vector<int>> users_for_label;
+  if (non_iid) {
+    if (num_labels < 1) {
+      return Status::InvalidArgument(
+          "non-iid allocation requires labeled records");
+    }
+    permitted = PermittedLabels(num_users, num_labels,
+                                options.max_labels_per_user, rng);
+    users_for_label.assign(num_labels, {});
+    for (int u = 0; u < num_users; ++u) {
+      for (int l : permitted[u]) users_for_label[l].push_back(u);
+    }
+    for (int l = 0; l < num_labels; ++l) {
+      if (users_for_label[l].empty()) {
+        // Guarantee coverage: give the label to a random user.
+        users_for_label[l].push_back(
+            static_cast<int>(rng.UniformInt(num_users)));
+      }
+    }
+  }
+
+  if (options.kind == AllocationKind::kUniform) {
+    for (Record& r : records) {
+      if (non_iid) {
+        const auto& candidates = users_for_label[r.label];
+        r.user_id = candidates[rng.UniformInt(candidates.size())];
+      } else {
+        r.user_id = static_cast<int>(rng.UniformInt(num_users));
+      }
+      r.silo_id = static_cast<int>(rng.UniformInt(num_silos));
+    }
+    return Status::Ok();
+  }
+
+  // zipf: user share ~ Zipf(alpha_user); each user scatters its records
+  // over silos with Zipf(alpha_silo) over a private silo preference order.
+  std::vector<double> user_weights = ZipfWeights(num_users, options.zipf_alpha_user);
+  std::vector<std::vector<int>> silo_preference(num_users);
+  for (int u = 0; u < num_users; ++u) {
+    silo_preference[u].resize(num_silos);
+    std::iota(silo_preference[u].begin(), silo_preference[u].end(), 0);
+    rng.Shuffle(silo_preference[u]);
+  }
+  for (Record& r : records) {
+    int user;
+    if (non_iid) {
+      const auto& candidates = users_for_label[r.label];
+      std::vector<double> w(candidates.size());
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        w[i] = user_weights[candidates[i]];
+      }
+      user = candidates[rng.Categorical(w)];
+    } else {
+      user = static_cast<int>(rng.Categorical(user_weights));
+    }
+    r.user_id = user;
+    uint64_t rank = rng.Zipf(num_silos, options.zipf_alpha_silo);  // 1-based
+    r.silo_id = silo_preference[user][rank - 1];
+  }
+  return Status::Ok();
+}
+
+Status AllocateUsersWithinSilos(std::vector<Record>& records, int num_users,
+                                int num_silos,
+                                const AllocationOptions& options, Rng& rng) {
+  if (num_users < 1 || num_silos < 1) {
+    return Status::InvalidArgument("need >= 1 user and silo");
+  }
+  for (const Record& r : records) {
+    if (r.silo_id < 0 || r.silo_id >= num_silos) {
+      return Status::InvalidArgument(
+          "fixed-silo allocation requires valid silo_id on every record");
+    }
+  }
+
+  if (options.kind == AllocationKind::kUniform) {
+    for (Record& r : records) {
+      r.user_id = static_cast<int>(rng.UniformInt(num_users));
+    }
+  } else {
+    // zipf: user record budgets ~ Zipf(alpha_user); 80% of a user's budget
+    // drawn from one preferred silo, the rest evenly from the others.
+    std::vector<double> w = ZipfWeights(num_users, options.zipf_alpha_user);
+    double wsum = std::accumulate(w.begin(), w.end(), 0.0);
+    std::vector<int> budget(num_users);
+    int total = static_cast<int>(records.size());
+    int assigned_budget = 0;
+    for (int u = 0; u < num_users; ++u) {
+      budget[u] = static_cast<int>(std::floor(w[u] / wsum * total));
+      assigned_budget += budget[u];
+    }
+    for (int u = 0; assigned_budget < total; u = (u + 1) % num_users) {
+      ++budget[u];
+      ++assigned_budget;
+    }
+
+    // Per-silo shuffled pools of unassigned record indices.
+    std::vector<std::vector<int>> pool(num_silos);
+    for (size_t i = 0; i < records.size(); ++i) {
+      pool[records[i].silo_id].push_back(static_cast<int>(i));
+    }
+    for (auto& p : pool) rng.Shuffle(p);
+
+    auto take = [&](int silo, int count, int user) {
+      int taken = 0;
+      auto& p = pool[silo];
+      while (taken < count && !p.empty()) {
+        records[p.back()].user_id = user;
+        p.pop_back();
+        ++taken;
+      }
+      return taken;
+    };
+
+    for (int u = 0; u < num_users; ++u) {
+      int preferred = static_cast<int>(rng.UniformInt(num_silos));
+      int want_preferred = static_cast<int>(std::round(0.8 * budget[u]));
+      int got = take(preferred, want_preferred, u);
+      int remaining = budget[u] - got;
+      // Spread the rest over the other silos round-robin.
+      for (int step = 0; remaining > 0 && step < 4 * num_silos; ++step) {
+        int s = (preferred + 1 + step) % num_silos;
+        remaining -= take(s, std::max(1, remaining / num_silos), u);
+      }
+    }
+    // Any leftovers (pool exhaustion asymmetries): uniform users.
+    for (int s = 0; s < num_silos; ++s) {
+      for (int idx : pool[s]) {
+        records[idx].user_id = static_cast<int>(rng.UniformInt(num_users));
+      }
+    }
+  }
+
+  if (options.min_records_per_pair > 1) {
+    // Repair pass: merge undersized (silo, user) groups into the largest
+    // group of the same silo so every non-empty pair meets the minimum.
+    for (int s = 0; s < num_silos; ++s) {
+      std::vector<std::vector<int>> by_user(num_users);
+      for (size_t i = 0; i < records.size(); ++i) {
+        if (records[i].silo_id == s) {
+          by_user[records[i].user_id].push_back(static_cast<int>(i));
+        }
+      }
+      int biggest_user = -1;
+      size_t biggest = 0;
+      for (int u = 0; u < num_users; ++u) {
+        if (by_user[u].size() > biggest) {
+          biggest = by_user[u].size();
+          biggest_user = u;
+        }
+      }
+      if (biggest_user < 0) continue;
+      for (int u = 0; u < num_users; ++u) {
+        if (u == biggest_user) continue;
+        if (!by_user[u].empty() &&
+            by_user[u].size() <
+                static_cast<size_t>(options.min_records_per_pair)) {
+          for (int idx : by_user[u]) records[idx].user_id = biggest_user;
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+std::vector<int> UserHistogram(const std::vector<Record>& records,
+                               int num_users) {
+  std::vector<int> hist(num_users, 0);
+  for (const Record& r : records) {
+    ULDP_CHECK_GE(r.user_id, 0);
+    ULDP_CHECK_LT(r.user_id, num_users);
+    ++hist[r.user_id];
+  }
+  return hist;
+}
+
+}  // namespace uldp

@@ -1,0 +1,59 @@
+// Record allocation: links every training record to a (user, silo) pair,
+// reproducing §5.1.1 of the paper.
+//
+// Free allocation (Creditcard / MNIST): both user and silo are assigned by
+// the allocator — `uniform` assigns both uniformly; `zipf` draws per-user
+// record shares from Zipf(alpha_user) and then scatters each user's records
+// over silos with Zipf(alpha_silo) over a user-specific silo preference
+// order.
+//
+// Fixed-silo allocation (HeartDisease / TcgaBrca): records arrive with
+// silo_id already set (the FLamby center split); only users are assigned —
+// `uniform` assigns users uniformly, `zipf` gives each user a Zipf-sized
+// record budget, 80% taken from one preferred silo and the rest spread
+// evenly over the others.
+
+#ifndef ULDP_DATA_ALLOCATION_H_
+#define ULDP_DATA_ALLOCATION_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace uldp {
+
+/// Allocation scheme selector (figure captions call these "uniform"/"zipf").
+enum class AllocationKind { kUniform, kZipf };
+
+struct AllocationOptions {
+  AllocationKind kind = AllocationKind::kUniform;
+  double zipf_alpha_user = 0.5;  // paper: records-per-user concentration
+  double zipf_alpha_silo = 2.0;  // paper: silo-preference concentration
+  /// Non-iid label restriction (MNIST experiments): if > 0, each user is
+  /// limited to at most this many distinct labels.
+  int max_labels_per_user = 0;
+  /// Minimum records per non-empty (user, silo) pair; the TcgaBrca Cox loss
+  /// requires >= 2. Fixed by post-pass reassignment.
+  int min_records_per_pair = 0;
+};
+
+/// Free allocation: overwrites user_id and silo_id of every record.
+Status AllocateUsersAndSilos(std::vector<Record>& records, int num_users,
+                             int num_silos, const AllocationOptions& options,
+                             Rng& rng);
+
+/// Fixed-silo allocation: records must carry valid silo_id; only user_id is
+/// assigned.
+Status AllocateUsersWithinSilos(std::vector<Record>& records, int num_users,
+                                int num_silos,
+                                const AllocationOptions& options, Rng& rng);
+
+/// Per-user total record counts (diagnostic used by Figure 12 and tests).
+std::vector<int> UserHistogram(const std::vector<Record>& records,
+                               int num_users);
+
+}  // namespace uldp
+
+#endif  // ULDP_DATA_ALLOCATION_H_

@@ -1,0 +1,110 @@
+#include "data/csv_loader.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace uldp {
+
+namespace {
+
+Status ParseDouble(const std::string& field, int line, double* out) {
+  char* end = nullptr;
+  const char* begin = field.c_str();
+  *out = std::strtod(begin, &end);
+  if (end == begin || *end != '\0') {
+    return Status::InvalidArgument("line " + std::to_string(line) +
+                                   ": non-numeric field '" + field + "'");
+  }
+  return Status::Ok();
+}
+
+Status ParseInt(const std::string& field, int line, int* out) {
+  double v = 0.0;
+  ULDP_RETURN_IF_ERROR(ParseDouble(field, line, &v));
+  *out = static_cast<int>(v);
+  if (static_cast<double>(*out) != v) {
+    return Status::InvalidArgument("line " + std::to_string(line) +
+                                   ": expected integer, got '" + field + "'");
+  }
+  return Status::Ok();
+}
+
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  for (char c : line) {
+    if (c == ',') {
+      fields.push_back(cur);
+      cur.clear();
+    } else if (c != '\r') {
+      cur.push_back(c);
+    }
+  }
+  fields.push_back(cur);
+  return fields;
+}
+
+}  // namespace
+
+Result<std::vector<Record>> ParseCsvRecords(const std::string& content,
+                                            const CsvOptions& options) {
+  std::vector<Record> records;
+  std::istringstream stream(content);
+  std::string line;
+  int line_number = 0;
+  size_t expected_columns = 0;
+  while (std::getline(stream, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    if (options.has_header && line_number == 1) continue;
+    std::vector<std::string> fields = SplitCsvLine(line);
+    if (expected_columns == 0) {
+      expected_columns = fields.size();
+    } else if (fields.size() != expected_columns) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_number) + ": expected " +
+          std::to_string(expected_columns) + " columns, got " +
+          std::to_string(fields.size()));
+    }
+    Record record;
+    for (int col = 0; col < static_cast<int>(fields.size()); ++col) {
+      const std::string& field = fields[col];
+      if (col == options.label_column) {
+        ULDP_RETURN_IF_ERROR(ParseInt(field, line_number, &record.label));
+      } else if (col == options.user_column) {
+        ULDP_RETURN_IF_ERROR(ParseInt(field, line_number, &record.user_id));
+      } else if (col == options.silo_column) {
+        ULDP_RETURN_IF_ERROR(ParseInt(field, line_number, &record.silo_id));
+      } else if (col == options.time_column) {
+        ULDP_RETURN_IF_ERROR(ParseDouble(field, line_number, &record.time));
+      } else if (col == options.event_column) {
+        int event = 0;
+        ULDP_RETURN_IF_ERROR(ParseInt(field, line_number, &event));
+        record.event = event != 0;
+      } else {
+        double value = 0.0;
+        ULDP_RETURN_IF_ERROR(ParseDouble(field, line_number, &value));
+        record.features.push_back(value);
+      }
+    }
+    records.push_back(std::move(record));
+  }
+  if (records.empty()) {
+    return Status::InvalidArgument("CSV contains no data rows");
+  }
+  return records;
+}
+
+Result<std::vector<Record>> LoadCsvRecords(const std::string& path,
+                                           const CsvOptions& options) {
+  std::ifstream file(path);
+  if (!file) {
+    return Status::NotFound("cannot open CSV file: " + path);
+  }
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  return ParseCsvRecords(buffer.str(), options);
+}
+
+}  // namespace uldp

@@ -1,0 +1,43 @@
+// CSV ingestion so real datasets (the Kaggle Creditcard file, FLamby
+// extracts, ...) can be dropped in place of the synthetic generators.
+// Minimal dialect: comma-separated, optional header row, numeric fields,
+// no quoting.
+
+#ifndef ULDP_DATA_CSV_LOADER_H_
+#define ULDP_DATA_CSV_LOADER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace uldp {
+
+struct CsvOptions {
+  bool has_header = true;
+  /// Column index (0-based) of the classification label; -1 if none.
+  int label_column = -1;
+  /// Column of the pre-assigned user id; -1 to leave unassigned (use an
+  /// allocator afterwards).
+  int user_column = -1;
+  /// Column of the pre-assigned silo id; -1 to leave unassigned.
+  int silo_column = -1;
+  /// Survival columns (TcgaBrca-style); -1 if not survival data.
+  int time_column = -1;
+  int event_column = -1;
+  /// All remaining columns become features.
+};
+
+/// Parses CSV content into records. Every non-special column becomes a
+/// feature, in column order. Errors carry the offending 1-based line.
+Result<std::vector<Record>> ParseCsvRecords(const std::string& content,
+                                            const CsvOptions& options);
+
+/// Reads and parses a CSV file.
+Result<std::vector<Record>> LoadCsvRecords(const std::string& path,
+                                           const CsvOptions& options);
+
+}  // namespace uldp
+
+#endif  // ULDP_DATA_CSV_LOADER_H_

@@ -1,0 +1,92 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+
+namespace uldp {
+
+Example ToExample(const Record& r) {
+  Example ex;
+  ex.x = r.features;
+  ex.label = r.label;
+  ex.time = r.time;
+  ex.event = r.event;
+  return ex;
+}
+
+FederatedDataset::FederatedDataset(std::vector<Record> train,
+                                   std::vector<Record> test, int num_users,
+                                   int num_silos)
+    : train_(std::move(train)), num_users_(num_users), num_silos_(num_silos) {
+  ULDP_CHECK_GE(num_users_, 1);
+  ULDP_CHECK_GE(num_silos_, 1);
+  by_silo_user_.assign(num_silos_,
+                       std::vector<std::vector<int>>(num_users_));
+  by_silo_.assign(num_silos_, {});
+  for (size_t i = 0; i < train_.size(); ++i) {
+    const Record& r = train_[i];
+    ULDP_CHECK_GE(r.user_id, 0);
+    ULDP_CHECK_LT(r.user_id, num_users_);
+    ULDP_CHECK_GE(r.silo_id, 0);
+    ULDP_CHECK_LT(r.silo_id, num_silos_);
+    by_silo_user_[r.silo_id][r.user_id].push_back(static_cast<int>(i));
+    by_silo_[r.silo_id].push_back(static_cast<int>(i));
+  }
+  test_examples_.reserve(test.size());
+  for (const Record& r : test) test_examples_.push_back(ToExample(r));
+}
+
+const std::vector<int>& FederatedDataset::RecordsOf(int silo, int user) const {
+  ULDP_CHECK_GE(silo, 0);
+  ULDP_CHECK_LT(silo, num_silos_);
+  ULDP_CHECK_GE(user, 0);
+  ULDP_CHECK_LT(user, num_users_);
+  return by_silo_user_[silo][user];
+}
+
+const std::vector<int>& FederatedDataset::RecordsOfSilo(int silo) const {
+  ULDP_CHECK_GE(silo, 0);
+  ULDP_CHECK_LT(silo, num_silos_);
+  return by_silo_[silo];
+}
+
+int FederatedDataset::TotalCountOf(int user) const {
+  int total = 0;
+  for (int s = 0; s < num_silos_; ++s) total += CountOf(s, user);
+  return total;
+}
+
+double FederatedDataset::MeanRecordsPerUser() const {
+  return static_cast<double>(train_.size()) / num_users_;
+}
+
+int FederatedDataset::MaxRecordsPerUser() const {
+  int best = 0;
+  for (int u = 0; u < num_users_; ++u) best = std::max(best, TotalCountOf(u));
+  return best;
+}
+
+int FederatedDataset::MedianRecordsPerUser() const {
+  std::vector<int> counts;
+  counts.reserve(num_users_);
+  for (int u = 0; u < num_users_; ++u) {
+    int c = TotalCountOf(u);
+    if (c > 0) counts.push_back(c);
+  }
+  if (counts.empty()) return 0;
+  std::sort(counts.begin(), counts.end());
+  return counts[counts.size() / 2];
+}
+
+std::vector<Example> FederatedDataset::MakeExamples(
+    const std::vector<int>& indices) const {
+  std::vector<Example> out;
+  out.reserve(indices.size());
+  for (int i : indices) {
+    ULDP_CHECK_GE(i, 0);
+    ULDP_CHECK_LT(static_cast<size_t>(i), train_.size());
+    out.push_back(ToExample(train_[i]));
+  }
+  return out;
+}
+
+}  // namespace uldp

@@ -1,0 +1,78 @@
+// Federated dataset model: every record belongs to one user and one silo
+// (Figure 1 of the paper). The container indexes records by (silo, user) —
+// the unit ULDP-AVG trains on — and exposes the per-pair histogram n_{s,u}
+// that the weighting strategies and private weighting protocol consume.
+
+#ifndef ULDP_DATA_DATASET_H_
+#define ULDP_DATA_DATASET_H_
+
+#include <vector>
+
+#include "common/check.h"
+#include "nn/model.h"
+#include "nn/tensor.h"
+
+namespace uldp {
+
+/// One training record with its user/silo assignment.
+struct Record {
+  Vec features;
+  int label = -1;       // classification target
+  double time = 0.0;    // survival time (Cox)
+  bool event = false;   // event indicator (Cox)
+  int user_id = -1;
+  int silo_id = -1;
+};
+
+/// Converts a record to a model Example (drops the assignment metadata).
+Example ToExample(const Record& r);
+
+/// Immutable federated training set plus a centralized test set.
+class FederatedDataset {
+ public:
+  FederatedDataset(std::vector<Record> train, std::vector<Record> test,
+                   int num_users, int num_silos);
+
+  int num_users() const { return num_users_; }
+  int num_silos() const { return num_silos_; }
+  size_t num_train_records() const { return train_.size(); }
+
+  const std::vector<Record>& train_records() const { return train_; }
+  const std::vector<Example>& test_examples() const { return test_examples_; }
+
+  /// Record indices (into train_records) for the (silo, user) pair.
+  const std::vector<int>& RecordsOf(int silo, int user) const;
+  /// Record indices of all records in a silo.
+  const std::vector<int>& RecordsOfSilo(int silo) const;
+
+  /// n_{s,u}: number of records of user u in silo s.
+  int CountOf(int silo, int user) const {
+    return static_cast<int>(RecordsOf(silo, user).size());
+  }
+  /// N_u = sum_s n_{s,u}.
+  int TotalCountOf(int user) const;
+
+  /// Average number of records per user across all silos (the paper's
+  /// n-bar reported in every figure caption).
+  double MeanRecordsPerUser() const;
+
+  /// Largest N_u (the GROUP-max group size) and median N_u over users with
+  /// at least one record (GROUP-median).
+  int MaxRecordsPerUser() const;
+  int MedianRecordsPerUser() const;
+
+  /// Materializes Examples for a batch of record indices.
+  std::vector<Example> MakeExamples(const std::vector<int>& indices) const;
+
+ private:
+  std::vector<Record> train_;
+  std::vector<Example> test_examples_;
+  int num_users_;
+  int num_silos_;
+  std::vector<std::vector<std::vector<int>>> by_silo_user_;  // [silo][user]
+  std::vector<std::vector<int>> by_silo_;
+};
+
+}  // namespace uldp
+
+#endif  // ULDP_DATA_DATASET_H_

@@ -1,0 +1,134 @@
+#include "dp/accountant.h"
+
+#include <limits>
+
+#include "common/check.h"
+
+namespace uldp {
+
+Result<double> UldpGaussianEpsilon(double sigma, int64_t rounds,
+                                   double delta) {
+  if (sigma <= 0.0) return Status::InvalidArgument("sigma must be positive");
+  RdpAccountant acc;
+  acc.AddGaussianSteps(sigma, rounds);
+  return acc.GetEpsilon(delta);
+}
+
+Result<double> UldpSubsampledEpsilon(double sigma, double q, int64_t rounds,
+                                     double delta) {
+  if (sigma <= 0.0) return Status::InvalidArgument("sigma must be positive");
+  if (q < 0.0 || q > 1.0) {
+    return Status::InvalidArgument("sampling rate q must be in [0, 1]");
+  }
+  RdpAccountant acc;
+  acc.AddSubsampledGaussianSteps(q, sigma, rounds);
+  return acc.GetEpsilon(delta);
+}
+
+Result<double> UldpGroupEpsilon(double sigma, double gamma, int64_t steps,
+                                int group_k, double delta,
+                                GroupConversionRoute route) {
+  if (sigma <= 0.0) return Status::InvalidArgument("sigma must be positive");
+  if (gamma < 0.0 || gamma > 1.0) {
+    return Status::InvalidArgument("record sampling rate must be in [0, 1]");
+  }
+  if (group_k < 1) return Status::InvalidArgument("group size must be >= 1");
+  RdpAccountant acc;
+  acc.AddSubsampledGaussianSteps(gamma, sigma, steps);
+  int k = IsPowerOfTwo(group_k) ? group_k : PrevPowerOfTwo(group_k);
+  switch (route) {
+    case GroupConversionRoute::kRdp:
+      return GroupPrivacyEpsilonRdp(acc, k, delta);
+    case GroupConversionRoute::kNormalDp:
+      return GroupPrivacyEpsilonNormalDp(acc, k, delta);
+  }
+  return Status::Internal("unreachable");
+}
+
+PrivacyTracker::PrivacyTracker(Kind kind, double sigma, double q,
+                               int64_t steps_per_round, int group_k,
+                               GroupConversionRoute route)
+    : kind_(kind),
+      sigma_(sigma),
+      q_(q),
+      steps_per_round_(steps_per_round),
+      group_k_(group_k),
+      route_(route) {
+  switch (kind_) {
+    case Kind::kGaussian:
+      step_curve_ = accountant_.GaussianCurve(sigma_);
+      break;
+    case Kind::kSubsampled:
+    case Kind::kGroup:
+      step_curve_ = accountant_.SubsampledGaussianCurve(q_, sigma_);
+      break;
+    case Kind::kNonPrivate:
+      break;
+  }
+}
+
+PrivacyTracker PrivacyTracker::ForGaussian(double sigma) {
+  ULDP_CHECK_GT(sigma, 0.0);
+  return PrivacyTracker(Kind::kGaussian, sigma, 1.0, 1, 1,
+                        GroupConversionRoute::kRdp);
+}
+
+PrivacyTracker PrivacyTracker::ForSubsampledGaussian(double sigma, double q) {
+  ULDP_CHECK_GT(sigma, 0.0);
+  ULDP_CHECK_GE(q, 0.0);
+  ULDP_CHECK_LE(q, 1.0);
+  return PrivacyTracker(Kind::kSubsampled, sigma, q, 1, 1,
+                        GroupConversionRoute::kRdp);
+}
+
+PrivacyTracker PrivacyTracker::ForGroup(double sigma, double gamma,
+                                        int64_t steps_per_round, int group_k,
+                                        GroupConversionRoute route) {
+  ULDP_CHECK_GT(sigma, 0.0);
+  ULDP_CHECK_GE(group_k, 1);
+  return PrivacyTracker(Kind::kGroup, sigma, gamma, steps_per_round, group_k,
+                        route);
+}
+
+PrivacyTracker PrivacyTracker::NonPrivate() {
+  return PrivacyTracker(Kind::kNonPrivate, 1.0, 1.0, 0, 1,
+                        GroupConversionRoute::kRdp);
+}
+
+void PrivacyTracker::AdvanceRounds(int64_t rounds) {
+  ULDP_CHECK_GE(rounds, 0);
+  switch (kind_) {
+    case Kind::kGaussian:
+    case Kind::kSubsampled:
+      accountant_.AddCurveSteps(step_curve_, rounds);
+      break;
+    case Kind::kGroup:
+      accountant_.AddCurveSteps(step_curve_, rounds * steps_per_round_);
+      break;
+    case Kind::kNonPrivate:
+      break;
+  }
+}
+
+Result<double> PrivacyTracker::Epsilon(double delta) const {
+  switch (kind_) {
+    case Kind::kGaussian:
+    case Kind::kSubsampled:
+      return accountant_.GetEpsilon(delta);
+    case Kind::kGroup: {
+      int k = IsPowerOfTwo(group_k_) ? group_k_ : PrevPowerOfTwo(group_k_);
+      switch (route_) {
+        case GroupConversionRoute::kRdp:
+          return GroupPrivacyEpsilonRdp(accountant_, k, delta);
+        case GroupConversionRoute::kNormalDp:
+          return GroupPrivacyEpsilonNormalDp(accountant_, k, delta);
+      }
+      return Status::Internal("unreachable");
+    }
+    case Kind::kNonPrivate:
+      return std::numeric_limits<double>::infinity();
+  }
+  return Status::Internal("unreachable");
+}
+
+}  // namespace uldp

@@ -1,0 +1,83 @@
+// Per-algorithm ULDP privacy accounting, packaging Theorems 1-3 and
+// Remark 1 (user-level sub-sampling) behind one interface that the
+// trainers and the benchmark harness consume.
+
+#ifndef ULDP_DP_ACCOUNTANT_H_
+#define ULDP_DP_ACCOUNTANT_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "dp/group_privacy.h"
+#include "dp/rdp.h"
+
+namespace uldp {
+
+/// Epsilon after `rounds` rounds of ULDP-NAIVE or ULDP-AVG (Theorems 1 and
+/// 3 share the same bound: each round is one user-level Gaussian mechanism
+/// with multiplier sigma).
+Result<double> UldpGaussianEpsilon(double sigma, int64_t rounds, double delta);
+
+/// Epsilon for ULDP-AVG with user-level Poisson sub-sampling at rate q
+/// (Algorithm 4 + Lemma 4). q = 1 reduces to UldpGaussianEpsilon.
+Result<double> UldpSubsampledEpsilon(double sigma, double q, int64_t rounds,
+                                     double delta);
+
+/// Which group-privacy conversion the GROUP baseline reports.
+enum class GroupConversionRoute {
+  kRdp,       // Lemma 6 — used in the paper's experiments
+  kNormalDp,  // Lemma 5 — numerically unstable for large k (Figure 2)
+};
+
+/// Epsilon of ULDP-GROUP-k after DP-SGD with record-level sampling rate
+/// `gamma` and `steps` total noisy steps per silo (Theorem 2: parallel
+/// composition across silos keeps the max, which is this value when silos
+/// share parameters). If `group_k` is not a power of two, the largest
+/// power of two below it is used and the result is a lower bound — exactly
+/// the paper's reporting convention (§5.1).
+Result<double> UldpGroupEpsilon(double sigma, double gamma, int64_t steps,
+                                int group_k, double delta,
+                                GroupConversionRoute route);
+
+/// Stateful per-round tracker: trainers advance it each round and read the
+/// accumulated epsilon for the metrics log. Configure exactly one of the
+/// three shapes via the factory functions.
+class PrivacyTracker {
+ public:
+  /// ULDP-NAIVE / ULDP-AVG: one Gaussian step per round.
+  static PrivacyTracker ForGaussian(double sigma);
+  /// ULDP-AVG with user-level sub-sampling at rate q per round.
+  static PrivacyTracker ForSubsampledGaussian(double sigma, double q);
+  /// ULDP-GROUP-k: `steps_per_round` record-sub-sampled steps per round at
+  /// rate gamma, group conversion at reporting time.
+  static PrivacyTracker ForGroup(double sigma, double gamma,
+                                 int64_t steps_per_round, int group_k,
+                                 GroupConversionRoute route);
+  /// Non-private baseline: epsilon = +infinity.
+  static PrivacyTracker NonPrivate();
+
+  /// Accounts for `rounds` further training rounds.
+  void AdvanceRounds(int64_t rounds);
+
+  /// Epsilon spent so far at the given delta (+inf for NonPrivate).
+  Result<double> Epsilon(double delta) const;
+
+ private:
+  enum class Kind { kGaussian, kSubsampled, kGroup, kNonPrivate };
+
+  PrivacyTracker(Kind kind, double sigma, double q, int64_t steps_per_round,
+                 int group_k, GroupConversionRoute route);
+
+  Kind kind_;
+  double sigma_;
+  double q_;
+  int64_t steps_per_round_;
+  int group_k_;
+  GroupConversionRoute route_;
+  RdpAccountant accountant_;
+  std::vector<double> step_curve_;  // per-step RDP curve, computed once
+};
+
+}  // namespace uldp
+
+#endif  // ULDP_DP_ACCOUNTANT_H_

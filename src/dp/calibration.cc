@@ -1,0 +1,85 @@
+#include "dp/calibration.h"
+
+#include "dp/accountant.h"
+
+namespace uldp {
+
+namespace {
+
+Result<double> EpsilonAt(double sigma, double delta, int64_t rounds,
+                         double q) {
+  if (q < 1.0) return UldpSubsampledEpsilon(sigma, q, rounds, delta);
+  return UldpGaussianEpsilon(sigma, rounds, delta);
+}
+
+}  // namespace
+
+Result<double> SigmaForTargetEpsilon(double target_eps, double delta,
+                                     int64_t rounds, double q,
+                                     double sigma_max, double tolerance) {
+  if (target_eps <= 0.0) {
+    return Status::InvalidArgument("target epsilon must be positive");
+  }
+  if (rounds < 1) return Status::InvalidArgument("rounds must be >= 1");
+  if (q <= 0.0 || q > 1.0) {
+    return Status::InvalidArgument("q must be in (0, 1]");
+  }
+  double lo = 1e-3, hi = sigma_max;
+  auto eps_hi = EpsilonAt(hi, delta, rounds, q);
+  ULDP_RETURN_IF_ERROR(eps_hi.status());
+  if (eps_hi.value() > target_eps) {
+    return Status::OutOfRange(
+        "target epsilon unreachable below sigma_max; raise sigma_max or "
+        "relax the budget");
+  }
+  // Epsilon is decreasing in sigma: standard bisection.
+  while (hi - lo > tolerance * hi) {
+    double mid = 0.5 * (lo + hi);
+    auto eps = EpsilonAt(mid, delta, rounds, q);
+    ULDP_RETURN_IF_ERROR(eps.status());
+    if (eps.value() <= target_eps) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+Result<int64_t> RoundsForTargetEpsilon(double target_eps, double delta,
+                                       double sigma, double q,
+                                       int64_t rounds_max) {
+  if (sigma <= 0.0) return Status::InvalidArgument("sigma must be positive");
+  auto one = EpsilonAt(sigma, delta, 1, q);
+  ULDP_RETURN_IF_ERROR(one.status());
+  if (one.value() > target_eps) {
+    return Status::OutOfRange("even one round exceeds the epsilon budget");
+  }
+  // Epsilon is increasing in rounds: exponential bracket then bisection.
+  int64_t lo = 1, hi = 1;
+  while (hi < rounds_max) {
+    int64_t next = std::min(rounds_max, hi * 2);
+    auto eps = EpsilonAt(sigma, delta, next, q);
+    ULDP_RETURN_IF_ERROR(eps.status());
+    if (eps.value() > target_eps) {
+      hi = next;
+      break;
+    }
+    lo = next;
+    hi = next;
+    if (next == rounds_max) return rounds_max;
+  }
+  while (hi - lo > 1) {
+    int64_t mid = lo + (hi - lo) / 2;
+    auto eps = EpsilonAt(sigma, delta, mid, q);
+    ULDP_RETURN_IF_ERROR(eps.status());
+    if (eps.value() <= target_eps) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace uldp

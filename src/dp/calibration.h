@@ -1,0 +1,34 @@
+// Noise calibration: the inverse of the accountant. Given a target
+// (eps, delta) budget, a round count, and optionally a user-level
+// sub-sampling rate, finds the smallest noise multiplier sigma that stays
+// within budget — the knob a deployment actually turns (the paper fixes
+// sigma = 5 and reports eps; practitioners do the reverse).
+
+#ifndef ULDP_DP_CALIBRATION_H_
+#define ULDP_DP_CALIBRATION_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace uldp {
+
+/// Smallest sigma such that `rounds` compositions of the (optionally
+/// q-sub-sampled) Gaussian mechanism satisfy (target_eps, delta)-DP.
+/// Binary search to `tolerance` relative precision. Errors if the target
+/// is unreachable below `sigma_max`.
+Result<double> SigmaForTargetEpsilon(double target_eps, double delta,
+                                     int64_t rounds, double q = 1.0,
+                                     double sigma_max = 1e4,
+                                     double tolerance = 1e-4);
+
+/// Convenience: rounds affordable within (target_eps, delta) at fixed
+/// sigma (largest T with eps(T) <= target). Errors if even one round
+/// exceeds the budget.
+Result<int64_t> RoundsForTargetEpsilon(double target_eps, double delta,
+                                       double sigma, double q = 1.0,
+                                       int64_t rounds_max = 1000000);
+
+}  // namespace uldp
+
+#endif  // ULDP_DP_CALIBRATION_H_

@@ -1,0 +1,108 @@
+#include "dp/group_privacy.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace uldp {
+
+bool IsPowerOfTwo(int k) { return k >= 1 && (k & (k - 1)) == 0; }
+
+int NextPowerOfTwo(int k) {
+  ULDP_CHECK_GE(k, 1);
+  int p = 1;
+  while (p < k) p <<= 1;
+  return p;
+}
+
+int PrevPowerOfTwo(int k) {
+  ULDP_CHECK_GE(k, 1);
+  int p = 1;
+  while (p * 2 <= k) p <<= 1;
+  return p;
+}
+
+Result<double> GroupPrivacyEpsilonRdp(const RdpAccountant& accountant,
+                                      int group_k, double delta) {
+  if (!IsPowerOfTwo(group_k)) {
+    return Status::InvalidArgument("group size must be a power of two");
+  }
+  if (group_k == 1) return accountant.GetEpsilon(delta);
+  int c = 0;
+  for (int k = group_k; k > 1; k >>= 1) ++c;
+  const double rho_scale = std::pow(3.0, c);
+
+  // Group-RDP at order a requires the original curve at order a * 2^c, and
+  // the original order must be >= 2^{c+1} (i.e. group order >= 2).
+  double best = std::numeric_limits<double>::infinity();
+  bool found = false;
+  for (int orig_alpha : accountant.orders()) {
+    if (orig_alpha % group_k != 0) continue;
+    int group_alpha = orig_alpha / group_k;
+    if (group_alpha < 2) continue;
+    auto rho = accountant.RhoAtOrder(orig_alpha);
+    if (!rho.ok()) continue;
+    double group_rho = rho_scale * rho.value();
+    double eps = RdpToDp(group_alpha, group_rho, delta);
+    best = std::min(best, eps);
+    found = true;
+  }
+  if (!found) {
+    return Status::FailedPrecondition(
+        "no admissible RDP order for group size " + std::to_string(group_k) +
+        " on the accountant grid");
+  }
+  return best;
+}
+
+Result<double> GroupPrivacyEpsilonNormalDp(const RdpAccountant& accountant,
+                                           int group_k, double delta,
+                                           double accuracy) {
+  if (group_k < 1) return Status::InvalidArgument("group size must be >= 1");
+  if (group_k == 1) return accountant.GetEpsilon(delta);
+
+  // final_delta(d2) = k * exp((k-1) * eps(d2)) * d2, where eps(d2) is the
+  // record-level epsilon at internal delta d2 (Lemma 2 over the RDP curve).
+  auto final_delta = [&](double log_d2, double* eps_out) -> double {
+    double d2 = std::exp(log_d2);
+    auto eps = accountant.GetEpsilon(d2);
+    ULDP_CHECK(eps.ok());
+    if (eps_out != nullptr) *eps_out = eps.value();
+    // Work in log space: the factor e^{(k-1) eps} overflows doubles fast.
+    double log_final =
+        std::log(static_cast<double>(group_k)) + (group_k - 1) * eps.value() +
+        log_d2;
+    return log_final;
+  };
+  const double log_target = std::log(delta);
+
+  // Binary search on log d2. final log-delta is monotone increasing in d2
+  // for the regimes of interest (the d2 term dominates); bracket first.
+  double lo = log_target - 200.0;
+  double hi = log_target;  // d2 <= delta
+  if (final_delta(lo, nullptr) > log_target) {
+    return Status::FailedPrecondition(
+        "normal-DP group conversion infeasible: even tiny internal delta "
+        "overshoots the target (numerical instability regime)");
+  }
+  for (int iter = 0; iter < 200; ++iter) {
+    double mid = 0.5 * (lo + hi);
+    if (final_delta(mid, nullptr) <= log_target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo < 1e-12) break;
+  }
+  double eps_l2 = 0.0;
+  double log_final = final_delta(lo, &eps_l2);
+  if (std::fabs(std::exp(log_final) - delta) > accuracy &&
+      std::fabs(log_final - log_target) > 1e-3) {
+    return Status::Internal(
+        "normal-DP group conversion did not converge to the target delta");
+  }
+  return group_k * eps_l2;
+}
+
+}  // namespace uldp

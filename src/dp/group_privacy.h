@@ -1,0 +1,49 @@
+// Group-privacy conversions: record-level DP to (k, eps, delta)-Group DP
+// (Definition 3). Two routes, mirroring the paper's Figure 2:
+//
+//  1. RDP route (Lemma 6, Mironov'17): if f is (alpha, rho)-RDP then for a
+//     group of size k = 2^c it is (alpha / 2^c, 3^c * rho)-RDP, requiring
+//     the original order to be >= 2^{c+1}. Convert the group-RDP curve to
+//     (eps, delta) with Lemma 2.
+//
+//  2. Normal-DP route (Lemma 5, Kamath'20): if f is (eps, delta')-DP it is
+//     (k, k*eps, k*e^{(k-1)eps} delta')-GDP. Finding the eps at a *fixed*
+//     final delta requires searching over the delta split; we mirror the
+//     binary-search procedure of the reference implementation
+//     (get_normal_group_privacy_spent, accuracy 1e-8).
+
+#ifndef ULDP_DP_GROUP_PRIVACY_H_
+#define ULDP_DP_GROUP_PRIVACY_H_
+
+#include "common/status.h"
+#include "dp/rdp.h"
+
+namespace uldp {
+
+/// Epsilon of (k, eps, delta)-GDP via the RDP group-privacy property
+/// (Lemma 6). `accountant` holds the composed record-level RDP curve.
+/// `group_k` must be a power of two (callers round up, as the paper does
+/// when reporting lower bounds for non-power-of-2 k). Returns the smallest
+/// eps over admissible orders.
+Result<double> GroupPrivacyEpsilonRdp(const RdpAccountant& accountant,
+                                      int group_k, double delta);
+
+/// Epsilon of (k, eps, delta)-GDP via normal-DP conversion (Lemma 5),
+/// binary-searching the internal delta split so the final delta matches
+/// `delta` to within `accuracy`.
+Result<double> GroupPrivacyEpsilonNormalDp(const RdpAccountant& accountant,
+                                           int group_k, double delta,
+                                           double accuracy = 1e-8);
+
+/// True iff k is a positive power of two.
+bool IsPowerOfTwo(int k);
+
+/// Smallest power of two >= k (used when reporting GDP lower bounds for
+/// non-power-of-two group sizes, the paper instead uses the largest power
+/// of two <= k to showcase a lower bound; both helpers are provided).
+int NextPowerOfTwo(int k);
+int PrevPowerOfTwo(int k);
+
+}  // namespace uldp
+
+#endif  // ULDP_DP_GROUP_PRIVACY_H_

@@ -1,0 +1,154 @@
+#include "dp/rdp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace uldp {
+
+namespace {
+
+// log(C(n, k)) via lgamma.
+double LogBinomial(int n, int k) {
+  return std::lgamma(n + 1.0) - std::lgamma(k + 1.0) - std::lgamma(n - k + 1.0);
+}
+
+// Numerically stable log(sum(exp(x_i))).
+double LogSumExp(const std::vector<double>& xs) {
+  double m = -std::numeric_limits<double>::infinity();
+  for (double x : xs) m = std::max(m, x);
+  if (!std::isfinite(m)) return m;
+  double s = 0.0;
+  for (double x : xs) s += std::exp(x - m);
+  return m + std::log(s);
+}
+
+}  // namespace
+
+double GaussianRdp(double alpha, double sigma) {
+  ULDP_CHECK_GT(alpha, 1.0);
+  ULDP_CHECK_GT(sigma, 0.0);
+  return alpha / (2.0 * sigma * sigma);
+}
+
+double SubsampledGaussianRdp(int alpha, double q, double sigma) {
+  ULDP_CHECK_GE(alpha, 2);
+  ULDP_CHECK_GT(sigma, 0.0);
+  ULDP_CHECK_GE(q, 0.0);
+  ULDP_CHECK_LE(q, 1.0);
+  if (q == 0.0) return 0.0;
+  if (q == 1.0) return GaussianRdp(alpha, sigma);
+
+  const double log_q = std::log(q);
+  const double log_1mq = std::log1p(-q);
+  std::vector<double> log_terms;
+  log_terms.reserve(alpha + 1);
+  for (int j = 0; j <= alpha; ++j) {
+    double lt = LogBinomial(alpha, j) + (alpha - j) * log_1mq + j * log_q +
+                j * (j - 1.0) / (2.0 * sigma * sigma);
+    log_terms.push_back(lt);
+  }
+  double lse = LogSumExp(log_terms);
+  // The sum is >= 1 (the j=0 and j=1 terms alone give (1-q)^a + a q (1-q)^{a-1}
+  // ... <= 1, but with the exponential weights the total is >= 1), so lse >= 0
+  // up to rounding; clamp tiny negatives from floating point.
+  return std::max(0.0, lse) / (alpha - 1.0);
+}
+
+double RdpToDp(double alpha, double rho, double delta) {
+  ULDP_CHECK_GT(alpha, 1.0);
+  ULDP_CHECK_GT(delta, 0.0);
+  ULDP_CHECK_LT(delta, 1.0);
+  return rho + std::log((alpha - 1.0) / alpha) -
+         (std::log(delta) + std::log(alpha)) / (alpha - 1.0);
+}
+
+std::vector<int> DefaultRdpOrders() {
+  // Dense small orders for the plain conversions, plus enough large orders
+  // divisible by powers of two that the Lemma-6 group conversion (which
+  // evaluates the curve at alpha * 2^c) has candidates near its optimum.
+  std::vector<int> orders;
+  for (int a = 2; a <= 128; ++a) orders.push_back(a);
+  for (int a = 132; a <= 512; a += 4) orders.push_back(a);
+  for (int a = 528; a <= 2048; a += 16) orders.push_back(a);
+  for (int a = 2112; a <= 8192; a += 64) orders.push_back(a);
+  return orders;
+}
+
+RdpAccountant::RdpAccountant() : RdpAccountant(DefaultRdpOrders()) {}
+
+RdpAccountant::RdpAccountant(std::vector<int> orders)
+    : orders_(std::move(orders)), rho_(orders_.size(), 0.0) {
+  ULDP_CHECK(!orders_.empty());
+  for (int a : orders_) ULDP_CHECK_GE(a, 2);
+  ULDP_CHECK(std::is_sorted(orders_.begin(), orders_.end()));
+}
+
+void RdpAccountant::AddGaussianSteps(double sigma, int64_t count) {
+  ULDP_CHECK_GE(count, 0);
+  for (size_t i = 0; i < orders_.size(); ++i) {
+    rho_[i] += count * GaussianRdp(orders_[i], sigma);
+  }
+}
+
+void RdpAccountant::AddSubsampledGaussianSteps(double q, double sigma,
+                                               int64_t count) {
+  ULDP_CHECK_GE(count, 0);
+  for (size_t i = 0; i < orders_.size(); ++i) {
+    rho_[i] += count * SubsampledGaussianRdp(orders_[i], q, sigma);
+  }
+}
+
+std::vector<double> RdpAccountant::GaussianCurve(double sigma) const {
+  std::vector<double> curve(orders_.size());
+  for (size_t i = 0; i < orders_.size(); ++i) {
+    curve[i] = GaussianRdp(orders_[i], sigma);
+  }
+  return curve;
+}
+
+std::vector<double> RdpAccountant::SubsampledGaussianCurve(
+    double q, double sigma) const {
+  std::vector<double> curve(orders_.size());
+  for (size_t i = 0; i < orders_.size(); ++i) {
+    curve[i] = SubsampledGaussianRdp(orders_[i], q, sigma);
+  }
+  return curve;
+}
+
+void RdpAccountant::AddCurveSteps(const std::vector<double>& curve,
+                                  int64_t count) {
+  ULDP_CHECK_EQ(curve.size(), orders_.size());
+  ULDP_CHECK_GE(count, 0);
+  for (size_t i = 0; i < orders_.size(); ++i) rho_[i] += count * curve[i];
+}
+
+Result<double> RdpAccountant::GetEpsilon(double delta, int* best_alpha) const {
+  if (delta <= 0.0 || delta >= 1.0) {
+    return Status::InvalidArgument("delta must be in (0, 1)");
+  }
+  double best = std::numeric_limits<double>::infinity();
+  int arg = orders_.front();
+  for (size_t i = 0; i < orders_.size(); ++i) {
+    double eps = RdpToDp(orders_[i], rho_[i], delta);
+    if (eps < best) {
+      best = eps;
+      arg = orders_[i];
+    }
+  }
+  if (best_alpha != nullptr) *best_alpha = arg;
+  return best;
+}
+
+Result<double> RdpAccountant::RhoAtOrder(int alpha) const {
+  auto it = std::lower_bound(orders_.begin(), orders_.end(), alpha);
+  if (it == orders_.end() || *it != alpha) {
+    return Status::NotFound("order not on accountant grid: " +
+                            std::to_string(alpha));
+  }
+  return rho_[static_cast<size_t>(it - orders_.begin())];
+}
+
+}  // namespace uldp

@@ -1,0 +1,77 @@
+// Rényi differential privacy primitives (§2.2 of the paper):
+//  - Gaussian mechanism RDP (Lemma 3)
+//  - sub-sampled Gaussian mechanism RDP (Lemma 4; computed with the tight
+//    integer-order bound of Mironov-Talwar-Zhang 2019, the same formula
+//    Opacus uses)
+//  - RDP -> (eps, delta)-DP conversion (Lemma 2, Balle et al. 2020)
+//  - an accountant that composes heterogeneous steps over RDP orders and
+//    reports the best epsilon (Lemma 1 composition).
+
+#ifndef ULDP_DP_RDP_H_
+#define ULDP_DP_RDP_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace uldp {
+
+/// RDP of the Gaussian mechanism with noise multiplier sigma at order
+/// alpha > 1: rho = alpha / (2 sigma^2).
+double GaussianRdp(double alpha, double sigma);
+
+/// RDP of the Poisson-sub-sampled Gaussian mechanism at *integer* order
+/// alpha >= 2, sampling probability q in [0, 1], noise multiplier sigma:
+///   rho = 1/(alpha-1) * log( sum_{j=0}^{alpha} C(alpha,j) (1-q)^{alpha-j}
+///                            q^j exp(j(j-1)/(2 sigma^2)) )
+/// evaluated in log space. q = 1 reduces exactly to GaussianRdp.
+double SubsampledGaussianRdp(int alpha, double q, double sigma);
+
+/// Lemma 2 conversion: eps = rho + log((alpha-1)/alpha)
+///                         - (log delta + log alpha)/(alpha - 1).
+double RdpToDp(double alpha, double rho, double delta);
+
+/// The default grid of RDP orders used for epsilon optimization: integers
+/// 2..256 plus a coarse tail up to 4096 (large orders matter for group
+/// privacy; see Lemma 6).
+std::vector<int> DefaultRdpOrders();
+
+/// Composable RDP accountant over a fixed grid of integer orders.
+/// Thread-compatible; all methods are cheap.
+class RdpAccountant {
+ public:
+  RdpAccountant();
+  explicit RdpAccountant(std::vector<int> orders);
+
+  /// Composes `count` Gaussian-mechanism steps with multiplier sigma.
+  void AddGaussianSteps(double sigma, int64_t count);
+
+  /// Composes `count` Poisson-sub-sampled Gaussian steps (rate q).
+  void AddSubsampledGaussianSteps(double q, double sigma, int64_t count);
+
+  /// Per-step RDP curves aligned with orders(), for callers that advance an
+  /// accountant round-by-round and want to pay the (expensive) sub-sampled
+  /// evaluation only once.
+  std::vector<double> GaussianCurve(double sigma) const;
+  std::vector<double> SubsampledGaussianCurve(double q, double sigma) const;
+  /// Composes `count` steps of a precomputed per-step curve.
+  void AddCurveSteps(const std::vector<double>& curve, int64_t count);
+
+  /// Best (smallest) epsilon at the given delta over the order grid.
+  /// Also reports the optimizing order via `best_alpha` if non-null.
+  Result<double> GetEpsilon(double delta, int* best_alpha = nullptr) const;
+
+  /// Accumulated rho at a specific order of the grid; error if the order is
+  /// not on the grid. Used by the group-privacy conversion.
+  Result<double> RhoAtOrder(int alpha) const;
+
+  const std::vector<int>& orders() const { return orders_; }
+
+ private:
+  std::vector<int> orders_;
+  std::vector<double> rho_;  // accumulated RDP at each order
+};
+
+}  // namespace uldp
+
+#endif  // ULDP_DP_RDP_H_

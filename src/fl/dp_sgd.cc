@@ -1,0 +1,43 @@
+#include "fl/dp_sgd.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace uldp {
+
+Status RunDpSgd(Model& model, const std::vector<Example>& data,
+                const DpSgdOptions& options, Rng& rng) {
+  if (options.sample_rate <= 0.0 || options.sample_rate > 1.0) {
+    return Status::InvalidArgument("sample_rate must be in (0, 1]");
+  }
+  if (options.clip <= 0.0) {
+    return Status::InvalidArgument("clip bound must be positive");
+  }
+  if (data.empty()) return Status::Ok();
+
+  const double expected_lot = options.sample_rate * data.size();
+  Vec params = model.GetParams();
+  Vec noisy_grad(params.size());
+  Vec per_example(params.size());
+  std::vector<const Example*> one(1);
+
+  for (int step = 0; step < options.steps; ++step) {
+    std::fill(noisy_grad.begin(), noisy_grad.end(), 0.0);
+    for (const Example& ex : data) {
+      if (!rng.Bernoulli(options.sample_rate)) continue;
+      std::fill(per_example.begin(), per_example.end(), 0.0);
+      one[0] = &ex;
+      model.LossAndGrad(one, &per_example);
+      ClipToL2Ball(per_example, options.clip);
+      Axpy(1.0, per_example, noisy_grad);
+    }
+    AddGaussianNoise(noisy_grad, options.sigma * options.clip, rng);
+    Scale(1.0 / std::max(expected_lot, 1.0), noisy_grad);
+    Axpy(-options.learning_rate, noisy_grad, params);
+    model.SetParams(params);
+  }
+  return Status::Ok();
+}
+
+}  // namespace uldp

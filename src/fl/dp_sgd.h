@@ -1,0 +1,33 @@
+// DP-SGD (Abadi et al., CCS'16): per-record gradient clipping + Gaussian
+// noise with Poisson-sampled lots. This is the record-level-DP local
+// subroutine of the ULDP-GROUP-k baseline (Algorithm 2, line 9).
+
+#ifndef ULDP_FL_DP_SGD_H_
+#define ULDP_FL_DP_SGD_H_
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "nn/model.h"
+
+namespace uldp {
+
+struct DpSgdOptions {
+  double learning_rate = 0.05;
+  double clip = 1.0;          // per-record gradient clip C
+  double sigma = 5.0;         // noise multiplier
+  double sample_rate = 0.1;   // Poisson lot rate gamma
+  int steps = 10;             // noisy SGD steps
+};
+
+/// Runs DP-SGD in place on `model`. Each step Poisson-samples a lot at
+/// `sample_rate`, clips each per-record gradient to `clip`, sums, adds
+/// N(0, sigma^2 clip^2 I), and normalizes by the expected lot size
+/// (gamma * |data|), the standard Abadi et al. estimator.
+/// Record-level RDP: `steps` sub-sampled Gaussian compositions at rate
+/// gamma — tracked by the caller via PrivacyTracker::ForGroup.
+Status RunDpSgd(Model& model, const std::vector<Example>& data,
+                const DpSgdOptions& options, Rng& rng);
+
+}  // namespace uldp
+
+#endif  // ULDP_FL_DP_SGD_H_

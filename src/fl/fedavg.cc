@@ -1,0 +1,43 @@
+#include "fl/fedavg.h"
+
+#include <limits>
+
+#include "common/check.h"
+
+namespace uldp {
+
+FedAvgTrainer::FedAvgTrainer(const FederatedDataset& data, const Model& model,
+                             FlConfig config)
+    : data_(data),
+      work_model_(model.Clone()),
+      config_(config),
+      rng_(config.seed) {
+  silo_examples_.resize(data_.num_silos());
+  for (int s = 0; s < data_.num_silos(); ++s) {
+    silo_examples_[s] = data_.MakeExamples(data_.RecordsOfSilo(s));
+  }
+}
+
+Status FedAvgTrainer::RunRound(int round, Vec& global_params) {
+  ULDP_CHECK_EQ(global_params.size(), work_model_->NumParams());
+  std::vector<Vec> deltas;
+  deltas.reserve(data_.num_silos());
+  for (int s = 0; s < data_.num_silos(); ++s) {
+    work_model_->SetParams(global_params);
+    TrainLocalSgd(*work_model_, silo_examples_[s], config_.local_epochs,
+                  config_.batch_size, config_.local_lr, rng_);
+    Vec delta = work_model_->GetParams();
+    Axpy(-1.0, global_params, delta);  // delta = trained - global
+    deltas.push_back(std::move(delta));
+  }
+  Vec total = AggregateDeltas(deltas, config_.secure_aggregation,
+                              static_cast<uint64_t>(round));
+  Axpy(config_.global_lr / data_.num_silos(), total, global_params);
+  return Status::Ok();
+}
+
+Result<double> FedAvgTrainer::EpsilonSpent(double) const {
+  return std::numeric_limits<double>::infinity();
+}
+
+}  // namespace uldp

@@ -1,0 +1,34 @@
+// DEFAULT baseline: non-private FedAVG with two-sided learning rates
+// (Yang et al., ICLR'21 — the paper's non-private reference point in every
+// figure).
+
+#ifndef ULDP_FL_FEDAVG_H_
+#define ULDP_FL_FEDAVG_H_
+
+#include <memory>
+
+#include "fl/local_trainer.h"
+
+namespace uldp {
+
+class FedAvgTrainer final : public FlAlgorithm {
+ public:
+  /// `model` provides the architecture (cloned for local work).
+  FedAvgTrainer(const FederatedDataset& data, const Model& model,
+                FlConfig config);
+
+  Status RunRound(int round, Vec& global_params) override;
+  Result<double> EpsilonSpent(double delta) const override;
+  std::string name() const override { return "DEFAULT"; }
+
+ private:
+  const FederatedDataset& data_;
+  std::unique_ptr<Model> work_model_;
+  FlConfig config_;
+  Rng rng_;
+  std::vector<std::vector<Example>> silo_examples_;
+};
+
+}  // namespace uldp
+
+#endif  // ULDP_FL_FEDAVG_H_

@@ -1,0 +1,94 @@
+#include "fl/local_trainer.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+#include "crypto/fixed_point.h"
+#include "crypto/secure_agg.h"
+
+namespace uldp {
+
+void TrainLocalSgd(Model& model, const std::vector<Example>& examples,
+                   int epochs, int batch_size, double learning_rate,
+                   Rng& rng) {
+  ULDP_CHECK_GE(epochs, 1);
+  ULDP_CHECK_GE(batch_size, 1);
+  if (examples.empty()) return;
+  std::vector<size_t> order(examples.size());
+  std::iota(order.begin(), order.end(), 0);
+  Vec params = model.GetParams();
+  Vec grad(params.size(), 0.0);
+  std::vector<const Example*> batch;
+  for (int e = 0; e < epochs; ++e) {
+    rng.Shuffle(order);
+    for (size_t start = 0; start < order.size();
+         start += static_cast<size_t>(batch_size)) {
+      size_t end = std::min(order.size(), start + batch_size);
+      batch.clear();
+      for (size_t i = start; i < end; ++i) batch.push_back(&examples[order[i]]);
+      std::fill(grad.begin(), grad.end(), 0.0);
+      model.LossAndGrad(batch, &grad);
+      Axpy(-learning_rate, grad, params);
+      model.SetParams(params);
+    }
+  }
+}
+
+namespace {
+
+// Public 256-bit prime field for the secure-aggregation simulation. Fixed
+// (it is public anyway) so aggregation is deterministic across parties.
+const char* kAggFieldPrimeHex =
+    "ffffffff00000001000000000000000000000000ffffffffffffffffffffffff";
+
+}  // namespace
+
+Vec AggregateDeltas(const std::vector<Vec>& silo_deltas, bool secure,
+                    uint64_t round_tag) {
+  ULDP_CHECK(!silo_deltas.empty());
+  const size_t dim = silo_deltas[0].size();
+  if (!secure) {
+    return SumVecs(silo_deltas);
+  }
+  const int parties = static_cast<int>(silo_deltas.size());
+  auto prime = BigInt::FromHex(kAggFieldPrimeHex);
+  ULDP_CHECK(prime.ok());
+  SecureAggregator agg(prime.value(), std::max(parties, 2));
+  FixedPointCodec codec(prime.value(), 1e-10);
+
+  // Pairwise keys: in production these come from the DH exchange; the
+  // simulation derives them from the public pair id (masks still cancel and
+  // the code path is identical).
+  std::vector<std::vector<ChaChaRng::Key>> keys(
+      parties, std::vector<ChaChaRng::Key>(std::max(parties, 2)));
+  for (int i = 0; i < parties; ++i) {
+    for (int j = i + 1; j < parties; ++j) {
+      auto key = ChaChaRng::DeriveKey("agg-sim|" + std::to_string(i) + "," +
+                                      std::to_string(j));
+      keys[i][j] = key;
+      keys[j][i] = key;
+    }
+  }
+
+  std::vector<std::vector<BigInt>> masked(parties);
+  for (int s = 0; s < parties; ++s) {
+    std::vector<BigInt> enc(dim);
+    for (size_t d = 0; d < dim; ++d) {
+      auto e = codec.Encode(silo_deltas[s][d]);
+      ULDP_CHECK_MSG(e.ok(), e.status().ToString());
+      enc[d] = std::move(e.value());
+    }
+    if (parties >= 2) {
+      auto mask = agg.MaskVector(s, keys[s], round_tag, dim);
+      agg.AddMasks(enc, mask);
+    }
+    masked[s] = std::move(enc);
+  }
+  std::vector<BigInt> total = agg.SumVectors(masked);
+  Vec out(dim);
+  for (size_t d = 0; d < dim; ++d) out[d] = codec.DecodePlain(total[d]);
+  return out;
+}
+
+}  // namespace uldp

@@ -1,0 +1,78 @@
+// Shared FL machinery: the algorithm interface every trainer implements,
+// the common hyper-parameter block (Table 1 of the paper), plain local SGD
+// (the client-side optimizer), and the delta-aggregation helper with an
+// optional secure-aggregation simulation.
+
+#ifndef ULDP_FL_LOCAL_TRAINER_H_
+#define ULDP_FL_LOCAL_TRAINER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "data/dataset.h"
+#include "nn/model.h"
+
+namespace uldp {
+
+/// Where the DP noise is injected. The paper's protocol is distributed
+/// (each silo adds its share so no party ever sees a low-noise aggregate,
+/// matching the secure-aggregation trust model); central mode adds the
+/// equivalent total noise once at the server and exists for cross-checking
+/// and for deployments that trust the aggregator.
+enum class NoisePlacement {
+  kDistributed,
+  kCentral,
+};
+
+/// Common hyper-parameters (paper Table 1).
+struct FlConfig {
+  double local_lr = 0.05;   // eta_l
+  double global_lr = 1.0;   // eta_g
+  double clip = 1.0;        // C
+  double sigma = 5.0;       // noise multiplier
+  int local_epochs = 1;     // Q
+  int batch_size = 32;      // local mini-batch size
+  uint64_t seed = 1;
+  NoisePlacement noise_placement = NoisePlacement::kDistributed;
+  /// When true, silo deltas are routed through fixed-point encoding and
+  /// pairwise-masked summation over a public prime field before the server
+  /// sees them (functional secure-aggregation simulation; §3.1 assumes
+  /// aggregation is secure in all algorithms). Adds BigInt cost per
+  /// coordinate; identical result up to the fixed-point precision.
+  bool secure_aggregation = false;
+};
+
+/// A federated algorithm: owns its per-silo state and privacy accounting;
+/// the experiment runner drives rounds and evaluation.
+class FlAlgorithm {
+ public:
+  virtual ~FlAlgorithm() = default;
+
+  /// Executes round `round`, updating `global_params` in place.
+  virtual Status RunRound(int round, Vec& global_params) = 0;
+
+  /// Accumulated user-level epsilon after the rounds run so far
+  /// (+infinity for non-private baselines).
+  virtual Result<double> EpsilonSpent(double delta) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Mini-batch SGD on `model` over `examples` for `epochs` passes.
+/// Examples are shuffled each epoch with `rng`. This is the paper's local
+/// optimization subroutine (Algorithm 1/3 inner loops).
+void TrainLocalSgd(Model& model, const std::vector<Example>& examples,
+                   int epochs, int batch_size, double learning_rate, Rng& rng);
+
+/// Sums per-silo delta vectors. With `secure` set, each delta is
+/// fixed-point-encoded, masked with pairwise ChaCha masks that cancel in
+/// the sum, and decoded after summation — so a curious server summing the
+/// transcripts learns only the total (Bonawitz-style aggregation).
+Vec AggregateDeltas(const std::vector<Vec>& silo_deltas, bool secure,
+                    uint64_t round_tag);
+
+}  // namespace uldp
+
+#endif  // ULDP_FL_LOCAL_TRAINER_H_

@@ -1,0 +1,171 @@
+// Arbitrary-precision signed integers, implemented from scratch for the
+// cryptographic substrate of Uldp-FL (Paillier, Diffie-Hellman, finite-field
+// secure aggregation).
+//
+// Representation: sign-magnitude with little-endian 64-bit limbs, always
+// normalized (no trailing zero limbs; zero is non-negative with empty limbs).
+//
+// The class supports the full integer tool-chest the private weighting
+// protocol needs: ring arithmetic, Knuth-D division, Montgomery modular
+// exponentiation (odd moduli), extended GCD / modular inverse, LCM, random
+// sampling, and decimal/hex I/O.
+
+#ifndef ULDP_MATH_BIGINT_H_
+#define ULDP_MATH_BIGINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace uldp {
+
+class BigInt {
+ public:
+  /// Zero.
+  BigInt() = default;
+  /// From native signed / unsigned integers.
+  BigInt(int64_t value);   // NOLINT: implicit by design, mirrors int literals
+  BigInt(uint64_t value);  // NOLINT
+  BigInt(int value) : BigInt(static_cast<int64_t>(value)) {}  // NOLINT
+
+  BigInt(const BigInt&) = default;
+  BigInt& operator=(const BigInt&) = default;
+  BigInt(BigInt&&) = default;
+  BigInt& operator=(BigInt&&) = default;
+
+  /// Parses a base-10 string, optional leading '-'.
+  static Result<BigInt> FromDecimal(const std::string& s);
+  /// Parses a base-16 string (no 0x prefix), optional leading '-'.
+  static Result<BigInt> FromHex(const std::string& s);
+
+  /// Uniform random integer in [0, bound). Requires bound > 0.
+  static BigInt RandomBelow(const BigInt& bound, Rng& rng);
+  /// Random integer with exactly `bits` bits (top bit set). bits >= 1.
+  static BigInt RandomBits(int bits, Rng& rng);
+
+  // -- Queries ---------------------------------------------------------------
+
+  bool IsZero() const { return limbs_.empty(); }
+  bool IsNegative() const { return negative_; }
+  bool IsOdd() const { return !limbs_.empty() && (limbs_[0] & 1); }
+  bool IsEven() const { return !IsOdd(); }
+
+  /// Number of significant bits (0 for zero).
+  int BitLength() const;
+  /// Value of bit i (LSB = 0).
+  bool Bit(int i) const;
+
+  /// Low 64 bits of the magnitude (value mod 2^64, ignoring sign).
+  uint64_t LowUint64() const { return limbs_.empty() ? 0 : limbs_[0]; }
+  /// Converts to int64 if representable; error otherwise.
+  Result<int64_t> ToInt64() const;
+  /// Converts to double (may lose precision; ±inf on overflow).
+  double ToDouble() const;
+
+  std::string ToDecimal() const;
+  std::string ToHex() const;
+
+  // -- Comparison ------------------------------------------------------------
+
+  /// Three-way comparison: -1, 0 or +1.
+  int Compare(const BigInt& other) const;
+  bool operator==(const BigInt& o) const { return Compare(o) == 0; }
+  bool operator!=(const BigInt& o) const { return Compare(o) != 0; }
+  bool operator<(const BigInt& o) const { return Compare(o) < 0; }
+  bool operator<=(const BigInt& o) const { return Compare(o) <= 0; }
+  bool operator>(const BigInt& o) const { return Compare(o) > 0; }
+  bool operator>=(const BigInt& o) const { return Compare(o) >= 0; }
+
+  // -- Ring arithmetic ---------------------------------------------------
+
+  BigInt operator-() const;
+  BigInt operator+(const BigInt& o) const;
+  BigInt operator-(const BigInt& o) const;
+  BigInt operator*(const BigInt& o) const;
+  BigInt& operator+=(const BigInt& o) { return *this = *this + o; }
+  BigInt& operator-=(const BigInt& o) { return *this = *this - o; }
+  BigInt& operator*=(const BigInt& o) { return *this = *this * o; }
+
+  BigInt operator<<(int bits) const;
+  BigInt operator>>(int bits) const;
+
+  /// Truncated division (C semantics: quotient rounds toward zero,
+  /// remainder has the sign of the dividend). Divisor must be nonzero.
+  /// Either output pointer may be null if the value is not needed.
+  Status DivRem(const BigInt& divisor, BigInt* quotient,
+                BigInt* remainder) const;
+  BigInt operator/(const BigInt& o) const;
+  BigInt operator%(const BigInt& o) const;
+
+  // -- Modular arithmetic ------------------------------------------------
+
+  /// Euclidean remainder in [0, m): unlike operator%, never negative.
+  /// Requires m > 0.
+  BigInt Mod(const BigInt& m) const;
+
+  /// (this + o) mod m, inputs assumed already reduced into [0, m).
+  BigInt ModAdd(const BigInt& o, const BigInt& m) const;
+  /// (this - o) mod m, inputs assumed already reduced into [0, m).
+  BigInt ModSub(const BigInt& o, const BigInt& m) const;
+  /// (this * o) mod m.
+  BigInt ModMul(const BigInt& o, const BigInt& m) const;
+
+  /// this^exponent mod m. Requires m > 0, exponent >= 0. Uses Montgomery
+  /// multiplication when m is odd, square-and-multiply otherwise.
+  BigInt ModExp(const BigInt& exponent, const BigInt& m) const;
+
+  /// Multiplicative inverse mod m (extended Euclid). Error if
+  /// gcd(this, m) != 1 or m <= 0.
+  Result<BigInt> ModInverse(const BigInt& m) const;
+
+  // -- Number theory -----------------------------------------------------
+
+  static BigInt Gcd(const BigInt& a, const BigInt& b);
+  /// lcm(a, b); lcm(0, x) = 0.
+  static BigInt Lcm(const BigInt& a, const BigInt& b);
+
+  /// Extended GCD: computes g = gcd(a, b) >= 0 and x, y with a*x + b*y = g.
+  /// Any output pointer may be null.
+  static void EGcd(const BigInt& a, const BigInt& b, BigInt* g, BigInt* x,
+                   BigInt* y);
+
+  /// Absolute value.
+  BigInt Abs() const;
+
+  /// Direct limb access for lower-level code (little-endian magnitude).
+  const std::vector<uint64_t>& limbs() const { return limbs_; }
+
+  /// Constructs from raw little-endian limbs (normalizes).
+  static BigInt FromLimbs(std::vector<uint64_t> limbs, bool negative = false);
+
+ private:
+  friend class Montgomery;
+
+  void Normalize();
+
+  // Magnitude helpers (ignore sign).
+  static int CompareMagnitude(const BigInt& a, const BigInt& b);
+  static BigInt AddMagnitude(const BigInt& a, const BigInt& b);
+  /// Requires |a| >= |b|.
+  static BigInt SubMagnitude(const BigInt& a, const BigInt& b);
+  static BigInt MulMagnitude(const BigInt& a, const BigInt& b);
+  static BigInt MulSchoolbook(const BigInt& a, const BigInt& b);
+  static BigInt MulKaratsuba(const BigInt& a, const BigInt& b);
+  /// Knuth algorithm D on magnitudes; both outputs non-negative.
+  static void DivModMagnitude(const BigInt& u, const BigInt& v, BigInt* q,
+                              BigInt* r);
+
+  std::vector<uint64_t> limbs_;
+  bool negative_ = false;
+};
+
+/// Product of prime powers p^⌊log_p n⌋ for all primes p <= n — i.e.
+/// lcm(1, 2, ..., n). This is the C_LCM quantity of Protocol 1.
+BigInt LcmUpTo(uint64_t n);
+
+}  // namespace uldp
+
+#endif  // ULDP_MATH_BIGINT_H_

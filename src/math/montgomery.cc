@@ -1,0 +1,170 @@
+#include "math/montgomery.h"
+
+#include "common/check.h"
+#include "math/bigint.h"
+
+namespace uldp {
+
+namespace {
+
+using uint128 = unsigned __int128;
+
+// x^{-1} mod 2^64 for odd x, by Newton iteration (doubles correct bits).
+uint64_t InverseMod2_64(uint64_t x) {
+  uint64_t inv = x;  // correct to 3 bits for odd x
+  for (int i = 0; i < 5; ++i) inv *= 2 - x * inv;
+  return inv;
+}
+
+// a >= b on k-limb little-endian magnitudes.
+bool GreaterEqual(const std::vector<uint64_t>& a,
+                  const std::vector<uint64_t>& b) {
+  for (size_t i = a.size(); i-- > 0;) {
+    if (a[i] != b[i]) return a[i] > b[i];
+  }
+  return true;  // equal
+}
+
+// a -= b (in place), assumes a >= b.
+void SubInPlace(std::vector<uint64_t>& a, const std::vector<uint64_t>& b) {
+  uint64_t borrow = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    uint128 diff = static_cast<uint128>(a[i]) - b[i] - borrow;
+    a[i] = static_cast<uint64_t>(diff);
+    borrow = (diff >> 64) ? 1 : 0;
+  }
+}
+
+}  // namespace
+
+Montgomery::Montgomery(const BigInt& modulus) {
+  ULDP_CHECK_MSG(modulus.IsOdd() && modulus > BigInt(1),
+                 "Montgomery modulus must be odd and > 1");
+  n_limbs_ = modulus.limbs();
+  modulus_copy_ = n_limbs_;
+  k_ = n_limbs_.size();
+  n_prime_ = ~InverseMod2_64(n_limbs_[0]) + 1;  // -n^{-1} mod 2^64
+
+  // R^2 mod n with R = 2^(64 k), computed once with plain division.
+  BigInt r2 = (BigInt(1) << static_cast<int>(128 * k_)).Mod(modulus);
+  r2_ = r2.limbs();
+  r2_.resize(k_, 0);
+  // one_mont_ = R mod n = REDC(R^2).
+  std::vector<uint64_t> t(r2_);
+  t.resize(2 * k_, 0);
+  one_mont_ = Redc(std::move(t));
+}
+
+const BigInt& Montgomery::modulus() const {
+  // Rebuild lazily in a thread-local to keep the hot path allocation-free.
+  thread_local BigInt cached;
+  cached = BigInt::FromLimbs(modulus_copy_);
+  return cached;
+}
+
+Montgomery::Limbs Montgomery::Redc(std::vector<uint64_t> t) const {
+  ULDP_CHECK_EQ(t.size(), 2 * k_);
+  t.push_back(0);  // overflow word
+  for (size_t i = 0; i < k_; ++i) {
+    uint64_t m = t[i] * n_prime_;
+    uint64_t carry = 0;
+    for (size_t j = 0; j < k_; ++j) {
+      uint128 cur = static_cast<uint128>(m) * n_limbs_[j] + t[i + j] + carry;
+      t[i + j] = static_cast<uint64_t>(cur);
+      carry = static_cast<uint64_t>(cur >> 64);
+    }
+    // Propagate the carry through the upper words.
+    size_t idx = i + k_;
+    while (carry != 0) {
+      uint128 cur = static_cast<uint128>(t[idx]) + carry;
+      t[idx] = static_cast<uint64_t>(cur);
+      carry = static_cast<uint64_t>(cur >> 64);
+      ++idx;
+    }
+  }
+  Limbs out(t.begin() + k_, t.begin() + 2 * k_);
+  // The REDC result may exceed n by at most n (t[2k] overflow bit means
+  // result + 2^(64k) — handled by one conditional subtraction since
+  // result < 2n is guaranteed for inputs < n*R).
+  if (t[2 * k_] != 0 || GreaterEqual(out, n_limbs_)) {
+    SubInPlace(out, n_limbs_);
+  }
+  return out;
+}
+
+Montgomery::Limbs Montgomery::MontMul(const Limbs& a, const Limbs& b) const {
+  // Full product then REDC. Schoolbook is optimal at Paillier limb counts.
+  std::vector<uint64_t> t(2 * k_, 0);
+  for (size_t i = 0; i < k_; ++i) {
+    uint64_t carry = 0;
+    uint64_t ai = a[i];
+    if (ai == 0) continue;
+    for (size_t j = 0; j < k_; ++j) {
+      uint128 cur = static_cast<uint128>(ai) * b[j] + t[i + j] + carry;
+      t[i + j] = static_cast<uint64_t>(cur);
+      carry = static_cast<uint64_t>(cur >> 64);
+    }
+    t[i + k_] += carry;
+  }
+  return Redc(std::move(t));
+}
+
+Montgomery::Limbs Montgomery::ToMont(const BigInt& x) const {
+  ULDP_CHECK(!x.IsNegative());
+  Limbs xl = x.limbs();
+  ULDP_CHECK_LE(xl.size(), k_);
+  xl.resize(k_, 0);
+  return MontMul(xl, r2_);
+}
+
+BigInt Montgomery::FromMont(const Limbs& x) const {
+  std::vector<uint64_t> t(x);
+  t.resize(2 * k_, 0);
+  Limbs reduced = Redc(std::move(t));
+  return BigInt::FromLimbs(std::move(reduced));
+}
+
+BigInt Montgomery::ModMul(const BigInt& a, const BigInt& b) const {
+  Limbs am = ToMont(a);
+  Limbs bm = ToMont(b);
+  return FromMont(MontMul(am, bm));
+}
+
+BigInt Montgomery::ModExp(const BigInt& base, const BigInt& exp) const {
+  ULDP_CHECK(!exp.IsNegative());
+  if (exp.IsZero()) return FromMont(one_mont_);
+
+  Limbs base_m = ToMont(base);
+  // 4-bit fixed window: table[w] = base^w in Montgomery domain.
+  constexpr int kWindow = 4;
+  Limbs table[1 << kWindow];
+  table[0] = one_mont_;
+  table[1] = base_m;
+  for (int w = 2; w < (1 << kWindow); ++w) {
+    table[w] = MontMul(table[w - 1], base_m);
+  }
+
+  int bits = exp.BitLength();
+  int top_chunk = (bits + kWindow - 1) / kWindow - 1;
+  Limbs acc = one_mont_;
+  bool started = false;
+  for (int c = top_chunk; c >= 0; --c) {
+    if (started) {
+      for (int s = 0; s < kWindow; ++s) acc = MontMul(acc, acc);
+    }
+    int w = 0;
+    for (int b = kWindow - 1; b >= 0; --b) {
+      int bit_index = c * kWindow + b;
+      w = (w << 1) | (bit_index < bits && exp.Bit(bit_index) ? 1 : 0);
+    }
+    if (!started) {
+      acc = table[w];
+      started = true;
+    } else if (w != 0) {
+      acc = MontMul(acc, table[w]);
+    }
+  }
+  return FromMont(acc);
+}
+
+}  // namespace uldp

@@ -1,0 +1,53 @@
+// Montgomery modular arithmetic context for odd moduli. Precomputes the
+// REDC constants once so repeated ModMul / ModExp (the hot path of Paillier
+// and Diffie-Hellman) avoid per-operation division.
+
+#ifndef ULDP_MATH_MONTGOMERY_H_
+#define ULDP_MATH_MONTGOMERY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace uldp {
+
+class BigInt;
+
+/// Fixed-modulus Montgomery multiplier. The modulus must be odd and > 1.
+/// Values are handled in the ordinary (non-Montgomery) domain at the API
+/// boundary; conversion happens internally.
+class Montgomery {
+ public:
+  explicit Montgomery(const BigInt& modulus);
+
+  /// (a * b) mod n, a and b already reduced into [0, n).
+  BigInt ModMul(const BigInt& a, const BigInt& b) const;
+
+  /// base^exp mod n, base in [0, n), exp >= 0. 4-bit fixed window.
+  BigInt ModExp(const BigInt& base, const BigInt& exp) const;
+
+  const BigInt& modulus() const;
+
+ private:
+  // All internal vectors have exactly k_ limbs (little endian).
+  using Limbs = std::vector<uint64_t>;
+
+  Limbs ToMont(const BigInt& x) const;
+  BigInt FromMont(const Limbs& x) const;
+  /// Montgomery product of two k-limb values (in Montgomery domain).
+  Limbs MontMul(const Limbs& a, const Limbs& b) const;
+  /// REDC of a 2k-limb value t: returns t * R^{-1} mod n as k limbs.
+  Limbs Redc(std::vector<uint64_t> t) const;
+
+  std::vector<uint64_t> n_limbs_;
+  size_t k_ = 0;
+  uint64_t n_prime_ = 0;  // -n^{-1} mod 2^64
+  Limbs r2_;              // R^2 mod n
+  Limbs one_mont_;        // R mod n (Montgomery representation of 1)
+  // Keep a BigInt copy for modulus() and FromMont reduction checks.
+  std::vector<uint64_t> modulus_copy_;
+};
+
+}  // namespace uldp
+
+#endif  // ULDP_MATH_MONTGOMERY_H_

@@ -1,0 +1,91 @@
+#include "math/primes.h"
+
+#include <array>
+
+#include "common/check.h"
+
+namespace uldp {
+
+namespace {
+
+// Small primes for trial division before Miller-Rabin.
+constexpr std::array<uint64_t, 54> kSmallPrimes = {
+    2,   3,   5,   7,   11,  13,  17,  19,  23,  29,  31,  37,  41,  43,
+    47,  53,  59,  61,  67,  71,  73,  79,  83,  89,  97,  101, 103, 107,
+    109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181,
+    191, 193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251};
+
+// One Miller-Rabin round with the given base. n must be odd, > 3;
+// n - 1 = d * 2^s with d odd.
+bool MillerRabinRound(const BigInt& n, const BigInt& n_minus_1,
+                      const BigInt& d, int s, const BigInt& base) {
+  BigInt x = base.ModExp(d, n);
+  if (x == BigInt(1) || x == n_minus_1) return true;
+  for (int i = 1; i < s; ++i) {
+    x = x.ModMul(x, n);
+    if (x == n_minus_1) return true;
+    if (x == BigInt(1)) return false;  // nontrivial sqrt of 1 => composite
+  }
+  return false;
+}
+
+}  // namespace
+
+bool IsProbablePrime(const BigInt& n, Rng& rng, int rounds) {
+  if (n < BigInt(2)) return false;
+  for (uint64_t p : kSmallPrimes) {
+    BigInt bp(p);
+    if (n == bp) return true;
+    if ((n % bp).IsZero()) return false;
+  }
+  // n is odd and > 251 here.
+  BigInt n_minus_1 = n - BigInt(1);
+  BigInt d = n_minus_1;
+  int s = 0;
+  while (d.IsEven()) {
+    d = d >> 1;
+    ++s;
+  }
+  if (n.BitLength() <= 64) {
+    // Deterministic for 64-bit range (Sinclair base set).
+    for (uint64_t b : {2ull, 325ull, 9375ull, 28178ull, 450775ull,
+                       9780504ull, 1795265022ull}) {
+      BigInt base = BigInt(b).Mod(n);
+      if (base.IsZero()) continue;
+      if (!MillerRabinRound(n, n_minus_1, d, s, base)) return false;
+    }
+    return true;
+  }
+  for (int i = 0; i < rounds; ++i) {
+    BigInt base = BigInt::RandomBelow(n - BigInt(3), rng) + BigInt(2);
+    if (!MillerRabinRound(n, n_minus_1, d, s, base)) return false;
+  }
+  return true;
+}
+
+BigInt GeneratePrime(int bits, Rng& rng, int mr_rounds) {
+  ULDP_CHECK_GE(bits, 8);
+  for (;;) {
+    BigInt candidate = BigInt::RandomBits(bits, rng);
+    // Force odd.
+    if (candidate.IsEven()) candidate = candidate + BigInt(1);
+    // Walk forward in steps of 2 for a while before redrawing, amortizing
+    // the random generation.
+    for (int step = 0; step < 64; ++step) {
+      if (candidate.BitLength() != bits) break;
+      if (IsProbablePrime(candidate, rng, mr_rounds)) return candidate;
+      candidate = candidate + BigInt(2);
+    }
+  }
+}
+
+BigInt GenerateSafePrime(int bits, Rng& rng, int mr_rounds) {
+  ULDP_CHECK_GE(bits, 16);
+  for (;;) {
+    BigInt q = GeneratePrime(bits - 1, rng, mr_rounds);
+    BigInt p = (q << 1) + BigInt(1);
+    if (p.BitLength() == bits && IsProbablePrime(p, rng, mr_rounds)) return p;
+  }
+}
+
+}  // namespace uldp

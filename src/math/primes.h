@@ -1,0 +1,29 @@
+// Probabilistic primality testing and random prime generation, used by
+// Paillier key generation and the Diffie-Hellman substrate.
+
+#ifndef ULDP_MATH_PRIMES_H_
+#define ULDP_MATH_PRIMES_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "math/bigint.h"
+
+namespace uldp {
+
+/// Miller-Rabin primality test with `rounds` random bases (error probability
+/// <= 4^-rounds). Values < 2^64 use a deterministic base set and are exact.
+bool IsProbablePrime(const BigInt& n, Rng& rng, int rounds = 32);
+
+/// Generates a random prime with exactly `bits` bits. bits >= 8.
+/// Trial-division by small primes precedes Miller-Rabin.
+BigInt GeneratePrime(int bits, Rng& rng, int mr_rounds = 32);
+
+/// Generates a safe prime p = 2q + 1 with q prime, `bits` bits. Used for the
+/// Diffie-Hellman group when a custom (non-RFC) group is requested. Safe
+/// prime search is slow for large sizes; intended for test-scale parameters.
+BigInt GenerateSafePrime(int bits, Rng& rng, int mr_rounds = 16);
+
+}  // namespace uldp
+
+#endif  // ULDP_MATH_PRIMES_H_

@@ -1,0 +1,73 @@
+#include "nn/loss.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace uldp {
+
+void Softmax(const Vec& logits, Vec* probs) {
+  double m = *std::max_element(logits.begin(), logits.end());
+  probs->resize(logits.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < logits.size(); ++i) {
+    (*probs)[i] = std::exp(logits[i] - m);
+    sum += (*probs)[i];
+  }
+  for (double& p : *probs) p /= sum;
+}
+
+double SoftmaxCrossEntropy(const Vec& logits, int label, Vec* dlogits) {
+  ULDP_CHECK_GE(label, 0);
+  ULDP_CHECK_LT(static_cast<size_t>(label), logits.size());
+  Vec probs;
+  Softmax(logits, &probs);
+  double loss = -std::log(std::max(probs[label], 1e-300));
+  if (dlogits != nullptr) {
+    *dlogits = probs;
+    (*dlogits)[label] -= 1.0;
+  }
+  return loss;
+}
+
+double CoxPartialLikelihood(const Vec& scores, const Vec& times,
+                            const std::vector<bool>& events, Vec* dscores) {
+  size_t n = scores.size();
+  ULDP_CHECK_EQ(times.size(), n);
+  ULDP_CHECK_EQ(events.size(), n);
+  if (dscores != nullptr) dscores->assign(n, 0.0);
+  if (n < 2) return 0.0;
+  int num_events = 0;
+  for (bool e : events) num_events += e ? 1 : 0;
+  if (num_events == 0) return 0.0;
+
+  // Stabilize exponentials.
+  double m = *std::max_element(scores.begin(), scores.end());
+  Vec exp_s(n);
+  for (size_t i = 0; i < n; ++i) exp_s[i] = std::exp(scores[i] - m);
+
+  double loss = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    if (!events[i]) continue;
+    // Risk set: j with t_j >= t_i.
+    double denom = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      if (times[j] >= times[i]) denom += exp_s[j];
+    }
+    loss -= (scores[i] - m) - std::log(denom);
+    if (dscores != nullptr) {
+      (*dscores)[i] -= 1.0;
+      for (size_t j = 0; j < n; ++j) {
+        if (times[j] >= times[i]) (*dscores)[j] += exp_s[j] / denom;
+      }
+    }
+  }
+  loss /= num_events;
+  if (dscores != nullptr) {
+    for (double& d : *dscores) d /= num_events;
+  }
+  return loss;
+}
+
+}  // namespace uldp

@@ -1,0 +1,31 @@
+// Loss functions: softmax cross-entropy (classification heads) and the Cox
+// proportional-hazards partial likelihood (TcgaBrca survival benchmark,
+// following the FLamby setup the paper adopts).
+
+#ifndef ULDP_NN_LOSS_H_
+#define ULDP_NN_LOSS_H_
+
+#include "nn/tensor.h"
+
+namespace uldp {
+
+/// Numerically stable softmax of logits (in place allowed via out == &in).
+void Softmax(const Vec& logits, Vec* probs);
+
+/// Cross-entropy of softmax(logits) against class `label`; fills dlogits
+/// (softmax - onehot) if non-null. Returns the loss.
+double SoftmaxCrossEntropy(const Vec& logits, int label, Vec* dlogits);
+
+/// Cox partial likelihood over a batch of (risk score, time, event)
+/// triples:
+///   loss = -1/#events * sum_{i: event} [ score_i - log sum_{j: t_j >= t_i}
+///                                        exp(score_j) ]
+/// Fills dscores (same length) if non-null. Batches with zero events or
+/// fewer than 2 samples return 0 loss and zero gradient (the paper requires
+/// >= 2 records per user-silo pair for a valid Cox loss).
+double CoxPartialLikelihood(const Vec& scores, const Vec& times,
+                            const std::vector<bool>& events, Vec* dscores);
+
+}  // namespace uldp
+
+#endif  // ULDP_NN_LOSS_H_

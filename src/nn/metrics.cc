@@ -1,0 +1,68 @@
+#include "nn/metrics.h"
+
+#include "common/check.h"
+
+namespace uldp {
+
+double Accuracy(Model& model, const std::vector<Example>& examples) {
+  ULDP_CHECK(!examples.empty());
+  size_t correct = 0;
+  for (const Example& ex : examples) {
+    if (model.Predict(ex.x) == ex.label) ++correct;
+  }
+  return static_cast<double>(correct) / examples.size();
+}
+
+double MeanLoss(Model& model, const std::vector<Example>& examples) {
+  ULDP_CHECK(!examples.empty());
+  std::vector<const Example*> batch;
+  batch.reserve(examples.size());
+  for (const Example& ex : examples) batch.push_back(&ex);
+  return model.LossAndGrad(batch, nullptr);
+}
+
+double AucFromScores(const std::vector<double>& positive_scores,
+                     const std::vector<double>& negative_scores) {
+  if (positive_scores.empty() || negative_scores.empty()) return 0.5;
+  double wins = 0.0;
+  for (double p : positive_scores) {
+    for (double n : negative_scores) {
+      if (p > n) {
+        wins += 1.0;
+      } else if (p == n) {
+        wins += 0.5;
+      }
+    }
+  }
+  return wins / (static_cast<double>(positive_scores.size()) *
+                 negative_scores.size());
+}
+
+double CIndex(Model& model, const std::vector<Example>& examples) {
+  ULDP_CHECK(!examples.empty());
+  std::vector<double> scores(examples.size());
+  for (size_t i = 0; i < examples.size(); ++i) {
+    scores[i] = model.Score(examples[i].x);
+  }
+  double concordant = 0.0;
+  int64_t comparable = 0;
+  for (size_t i = 0; i < examples.size(); ++i) {
+    if (!examples[i].event) continue;
+    for (size_t j = 0; j < examples.size(); ++j) {
+      if (i == j) continue;
+      // Pair comparable when i's event precedes j's observed time.
+      if (examples[i].time < examples[j].time) {
+        ++comparable;
+        if (scores[i] > scores[j]) {
+          concordant += 1.0;
+        } else if (scores[i] == scores[j]) {
+          concordant += 0.5;
+        }
+      }
+    }
+  }
+  if (comparable == 0) return 0.5;
+  return concordant / comparable;
+}
+
+}  // namespace uldp

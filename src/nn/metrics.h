@@ -1,0 +1,35 @@
+// Evaluation metrics: classification accuracy / mean loss, and the
+// concordance index (C-index) for the survival benchmark — the utility
+// metric the paper reports for TcgaBrca.
+
+#ifndef ULDP_NN_METRICS_H_
+#define ULDP_NN_METRICS_H_
+
+#include <vector>
+
+#include "nn/model.h"
+
+namespace uldp {
+
+/// Fraction of examples whose Predict() equals the label.
+double Accuracy(Model& model, const std::vector<Example>& examples);
+
+/// Mean LossAndGrad(nullptr) over the examples (computed in one batch for
+/// classifiers; per-example reduction matches the training objective).
+double MeanLoss(Model& model, const std::vector<Example>& examples);
+
+/// Harrell's concordance index of model risk scores against (time, event):
+/// among comparable pairs (i died before j was censored/died), the fraction
+/// where the earlier-event sample has the higher risk score. Ties in score
+/// count 0.5. Returns 0.5 for no comparable pairs.
+double CIndex(Model& model, const std::vector<Example>& examples);
+
+/// Area under the ROC curve for separating positives from negatives by
+/// score (higher = positive). Ties count 0.5; returns 0.5 when either
+/// class is empty. Used by the membership-inference evaluation.
+double AucFromScores(const std::vector<double>& positive_scores,
+                     const std::vector<double>& negative_scores);
+
+}  // namespace uldp
+
+#endif  // ULDP_NN_METRICS_H_

@@ -1,0 +1,216 @@
+#include "nn/model.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "nn/loss.h"
+
+namespace uldp {
+
+// ---- SequentialClassifier --------------------------------------------------
+
+SequentialClassifier::SequentialClassifier(
+    std::vector<std::unique_ptr<Layer>> layers, size_t num_classes)
+    : layers_(std::move(layers)), num_classes_(num_classes) {
+  ULDP_CHECK(!layers_.empty());
+  ULDP_CHECK_EQ(layers_.back()->out_dim(), num_classes_);
+}
+
+size_t SequentialClassifier::NumParams() const {
+  size_t n = 0;
+  for (const auto& l : layers_) n += l->num_params();
+  return n;
+}
+
+Vec SequentialClassifier::GetParams() const {
+  Vec params(NumParams(), 0.0);
+  size_t offset = 0;
+  for (const auto& l : layers_) offset += l->ReadParams(params, offset);
+  return params;
+}
+
+void SequentialClassifier::SetParams(const Vec& params) {
+  ULDP_CHECK_EQ(params.size(), NumParams());
+  size_t offset = 0;
+  for (auto& l : layers_) offset += l->WriteParams(params, offset);
+}
+
+void SequentialClassifier::InitParams(Rng& rng) {
+  for (auto& l : layers_) l->InitParams(rng);
+}
+
+std::unique_ptr<Model> SequentialClassifier::Clone() const {
+  std::vector<std::unique_ptr<Layer>> layers;
+  for (const auto& s : spec_) {
+    switch (s.kind) {
+      case LayerSpec::Kind::kLinear:
+        layers.push_back(std::make_unique<LinearLayer>(s.a, s.b));
+        break;
+      case LayerSpec::Kind::kRelu:
+        layers.push_back(std::make_unique<ReluLayer>(s.a));
+        break;
+      case LayerSpec::Kind::kConv3x3:
+        layers.push_back(std::make_unique<Conv3x3Layer>(s.a, s.b, s.c, s.d));
+        break;
+      case LayerSpec::Kind::kMaxPool2:
+        layers.push_back(std::make_unique<MaxPool2Layer>(s.a, s.b, s.c));
+        break;
+    }
+  }
+  auto clone = std::make_unique<SequentialClassifier>(std::move(layers),
+                                                      num_classes_);
+  clone->spec_ = spec_;
+  clone->SetParams(GetParams());
+  return clone;
+}
+
+const Vec& SequentialClassifier::ForwardLogits(const Vec& x) {
+  scratch_a_ = x;
+  for (auto& l : layers_) {
+    l->Forward(scratch_a_, &scratch_b_);
+    std::swap(scratch_a_, scratch_b_);
+  }
+  return scratch_a_;
+}
+
+double SequentialClassifier::LossAndGrad(
+    const std::vector<const Example*>& batch, Vec* grad) {
+  ULDP_CHECK(!batch.empty());
+  if (grad != nullptr) {
+    ULDP_CHECK_EQ(grad->size(), NumParams());
+    for (auto& l : layers_) l->ZeroGrad();
+  }
+  double total_loss = 0.0;
+  Vec dlogits, da, db;
+  for (const Example* ex : batch) {
+    const Vec& logits = ForwardLogits(ex->x);
+    total_loss +=
+        SoftmaxCrossEntropy(logits, ex->label, grad ? &dlogits : nullptr);
+    if (grad != nullptr) {
+      da = dlogits;
+      for (size_t i = layers_.size(); i-- > 0;) {
+        layers_[i]->Backward(da, &db);
+        std::swap(da, db);
+      }
+    }
+  }
+  double inv = 1.0 / static_cast<double>(batch.size());
+  if (grad != nullptr) {
+    size_t offset = 0;
+    Vec layer_grads(NumParams(), 0.0);
+    for (const auto& l : layers_) offset += l->ReadGrad(layer_grads, offset);
+    for (size_t i = 0; i < grad->size(); ++i) {
+      (*grad)[i] += layer_grads[i] * inv;
+    }
+  }
+  return total_loss * inv;
+}
+
+int SequentialClassifier::Predict(const Vec& x) {
+  const Vec& logits = ForwardLogits(x);
+  return static_cast<int>(std::max_element(logits.begin(), logits.end()) -
+                          logits.begin());
+}
+
+double SequentialClassifier::Score(const Vec& x) {
+  const Vec& logits = ForwardLogits(x);
+  Vec probs;
+  Softmax(logits, &probs);
+  // Probability of class 1 for binary problems; max prob otherwise.
+  if (num_classes_ == 2) return probs[1];
+  return *std::max_element(probs.begin(), probs.end());
+}
+
+std::unique_ptr<SequentialClassifier> MakeMlp(const std::vector<size_t>& dims,
+                                              size_t num_classes) {
+  ULDP_CHECK(!dims.empty());
+  ULDP_CHECK_GE(num_classes, 2u);
+  std::vector<std::unique_ptr<Layer>> layers;
+  std::vector<SequentialClassifier::LayerSpec> spec;
+  using Kind = SequentialClassifier::LayerSpec::Kind;
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers.push_back(std::make_unique<LinearLayer>(dims[i], dims[i + 1]));
+    spec.push_back({Kind::kLinear, dims[i], dims[i + 1], 0, 0});
+    layers.push_back(std::make_unique<ReluLayer>(dims[i + 1]));
+    spec.push_back({Kind::kRelu, dims[i + 1], 0, 0, 0});
+  }
+  layers.push_back(std::make_unique<LinearLayer>(dims.back(), num_classes));
+  spec.push_back({Kind::kLinear, dims.back(), num_classes, 0, 0});
+  auto model = std::make_unique<SequentialClassifier>(std::move(layers),
+                                                      num_classes);
+  model->spec_ = std::move(spec);
+  return model;
+}
+
+std::unique_ptr<SequentialClassifier> MakeSmallCnn(size_t side,
+                                                   size_t channels,
+                                                   size_t num_classes) {
+  ULDP_CHECK_GE(side, 4u);
+  ULDP_CHECK_EQ(side % 2, 0u);
+  std::vector<std::unique_ptr<Layer>> layers;
+  std::vector<SequentialClassifier::LayerSpec> spec;
+  using Kind = SequentialClassifier::LayerSpec::Kind;
+  layers.push_back(std::make_unique<Conv3x3Layer>(1, channels, side, side));
+  spec.push_back({Kind::kConv3x3, 1, channels, side, side});
+  layers.push_back(std::make_unique<ReluLayer>(channels * side * side));
+  spec.push_back({Kind::kRelu, channels * side * side, 0, 0, 0});
+  layers.push_back(std::make_unique<MaxPool2Layer>(channels, side, side));
+  spec.push_back({Kind::kMaxPool2, channels, side, side, 0});
+  size_t flat = channels * (side / 2) * (side / 2);
+  layers.push_back(std::make_unique<LinearLayer>(flat, num_classes));
+  spec.push_back({Kind::kLinear, flat, num_classes, 0, 0});
+  auto model = std::make_unique<SequentialClassifier>(std::move(layers),
+                                                      num_classes);
+  model->spec_ = std::move(spec);
+  return model;
+}
+
+// ---- CoxRegression ---------------------------------------------------------
+
+CoxRegression::CoxRegression(size_t dim) : dim_(dim), theta_(dim, 0.0) {
+  ULDP_CHECK_GE(dim_, 1u);
+}
+
+void CoxRegression::SetParams(const Vec& params) {
+  ULDP_CHECK_EQ(params.size(), dim_);
+  theta_ = params;
+}
+
+void CoxRegression::InitParams(Rng& rng) {
+  for (double& t : theta_) t = rng.Gaussian(0.0, 0.01);
+}
+
+std::unique_ptr<Model> CoxRegression::Clone() const {
+  auto clone = std::make_unique<CoxRegression>(dim_);
+  clone->theta_ = theta_;
+  return clone;
+}
+
+double CoxRegression::LossAndGrad(const std::vector<const Example*>& batch,
+                                  Vec* grad) {
+  ULDP_CHECK(!batch.empty());
+  size_t n = batch.size();
+  Vec scores(n), times(n);
+  std::vector<bool> events(n);
+  for (size_t i = 0; i < n; ++i) {
+    scores[i] = Dot(theta_, batch[i]->x);
+    times[i] = batch[i]->time;
+    events[i] = batch[i]->event;
+  }
+  Vec dscores;
+  double loss =
+      CoxPartialLikelihood(scores, times, events, grad ? &dscores : nullptr);
+  if (grad != nullptr) {
+    ULDP_CHECK_EQ(grad->size(), dim_);
+    for (size_t i = 0; i < n; ++i) {
+      Axpy(dscores[i], batch[i]->x, *grad);
+    }
+  }
+  return loss;
+}
+
+int CoxRegression::Predict(const Vec&) { return 0; }
+
+double CoxRegression::Score(const Vec& x) { return Dot(theta_, x); }
+
+}  // namespace uldp

@@ -1,0 +1,129 @@
+// Model abstraction used by every FL algorithm: parameters are exposed as a
+// flat vector so clipping, weighting, noising, and secure aggregation all
+// operate on plain Vec deltas regardless of architecture.
+
+#ifndef ULDP_NN_MODEL_H_
+#define ULDP_NN_MODEL_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/layers.h"
+#include "nn/tensor.h"
+
+namespace uldp {
+
+/// One training/evaluation example. Classification models read `label`;
+/// the Cox model reads (`time`, `event`).
+struct Example {
+  Vec x;
+  int label = -1;
+  double time = 0.0;
+  bool event = false;
+};
+
+class Model {
+ public:
+  virtual ~Model() = default;
+
+  virtual size_t NumParams() const = 0;
+  virtual Vec GetParams() const = 0;
+  virtual void SetParams(const Vec& params) = 0;
+  virtual void InitParams(Rng& rng) = 0;
+  virtual std::unique_ptr<Model> Clone() const = 0;
+
+  /// Mean loss over the batch; adds the mean gradient into *grad (which
+  /// must be NumParams long; caller zeroes it if a fresh gradient is
+  /// wanted). Pass grad == nullptr for loss only.
+  virtual double LossAndGrad(const std::vector<const Example*>& batch,
+                             Vec* grad) = 0;
+
+  /// Predicted class (classification) or 0 (models without classes).
+  virtual int Predict(const Vec& x) = 0;
+
+  /// Scalar score: max-class probability margin is not needed anywhere;
+  /// for Cox this is the risk score used by the C-index.
+  virtual double Score(const Vec& x) = 0;
+};
+
+/// Feed-forward stack of layers with a softmax cross-entropy head.
+/// Covers the paper's Creditcard MLP, HeartDisease logistic model, and
+/// MNIST models (MLP or CNN, see factory helpers below).
+class SequentialClassifier final : public Model {
+ public:
+  SequentialClassifier(std::vector<std::unique_ptr<Layer>> layers,
+                       size_t num_classes);
+
+  size_t NumParams() const override;
+  Vec GetParams() const override;
+  void SetParams(const Vec& params) override;
+  void InitParams(Rng& rng) override;
+  std::unique_ptr<Model> Clone() const override;
+
+  double LossAndGrad(const std::vector<const Example*>& batch,
+                     Vec* grad) override;
+  int Predict(const Vec& x) override;
+  double Score(const Vec& x) override;
+
+  size_t num_classes() const { return num_classes_; }
+
+  /// Builder shared by the factory helpers; returns the flattened logits.
+  const Vec& ForwardLogits(const Vec& x);
+
+ private:
+  // Cloning rebuilds the architecture via the recorded spec.
+  friend std::unique_ptr<SequentialClassifier> MakeMlp(
+      const std::vector<size_t>& dims, size_t num_classes);
+  friend std::unique_ptr<SequentialClassifier> MakeSmallCnn(
+      size_t side, size_t channels, size_t num_classes);
+
+  struct LayerSpec {
+    enum class Kind { kLinear, kRelu, kConv3x3, kMaxPool2 } kind;
+    size_t a = 0, b = 0, c = 0, d = 0;
+  };
+
+  std::vector<std::unique_ptr<Layer>> layers_;
+  size_t num_classes_;
+  std::vector<LayerSpec> spec_;
+  Vec scratch_a_, scratch_b_;
+};
+
+/// MLP: dims = {in, hidden..., } with a final linear layer to num_classes
+/// and ReLU between linear layers. dims = {in} gives plain multinomial
+/// logistic regression.
+std::unique_ptr<SequentialClassifier> MakeMlp(const std::vector<size_t>& dims,
+                                              size_t num_classes);
+
+/// Small CNN for side x side single-channel images:
+/// conv3x3(1 -> channels) + ReLU + maxpool2 + linear -> classes.
+std::unique_ptr<SequentialClassifier> MakeSmallCnn(size_t side,
+                                                   size_t channels,
+                                                   size_t num_classes);
+
+/// Linear Cox proportional-hazards model: risk = theta^T x, trained with
+/// the partial likelihood over the batch (the batch is the risk set, per
+/// the FLamby TcgaBrca setup).
+class CoxRegression final : public Model {
+ public:
+  explicit CoxRegression(size_t dim);
+
+  size_t NumParams() const override { return dim_; }
+  Vec GetParams() const override { return theta_; }
+  void SetParams(const Vec& params) override;
+  void InitParams(Rng& rng) override;
+  std::unique_ptr<Model> Clone() const override;
+
+  double LossAndGrad(const std::vector<const Example*>& batch,
+                     Vec* grad) override;
+  int Predict(const Vec& x) override;
+  double Score(const Vec& x) override;
+
+ private:
+  size_t dim_;
+  Vec theta_;
+};
+
+}  // namespace uldp
+
+#endif  // ULDP_NN_MODEL_H_

@@ -1,0 +1,29 @@
+#include "nn/optimizer.h"
+
+#include "common/check.h"
+
+namespace uldp {
+
+SgdOptimizer::SgdOptimizer(double learning_rate, double momentum)
+    : learning_rate_(learning_rate), momentum_(momentum) {
+  ULDP_CHECK_GT(learning_rate_, 0.0);
+  ULDP_CHECK_GE(momentum_, 0.0);
+  ULDP_CHECK_LT(momentum_, 1.0);
+}
+
+void SgdOptimizer::Step(const Vec& grad, Vec& params) {
+  ULDP_CHECK_EQ(grad.size(), params.size());
+  if (momentum_ == 0.0) {
+    Axpy(-learning_rate_, grad, params);
+    return;
+  }
+  if (velocity_.size() != grad.size()) velocity_.assign(grad.size(), 0.0);
+  for (size_t i = 0; i < grad.size(); ++i) {
+    velocity_[i] = momentum_ * velocity_[i] + grad[i];
+    params[i] -= learning_rate_ * velocity_[i];
+  }
+}
+
+void SgdOptimizer::Reset() { velocity_.clear(); }
+
+}  // namespace uldp

@@ -1,0 +1,36 @@
+// Stochastic gradient descent on flat parameter vectors — the local
+// optimizer inside every silo (the paper's eta_l), and the server-side
+// update (eta_g) reuses the same primitive.
+
+#ifndef ULDP_NN_OPTIMIZER_H_
+#define ULDP_NN_OPTIMIZER_H_
+
+#include "nn/tensor.h"
+
+namespace uldp {
+
+/// Plain SGD with optional momentum (momentum = 0 matches the paper's
+/// algorithms exactly; momentum is provided for the DEFAULT baseline
+/// ablations).
+class SgdOptimizer {
+ public:
+  explicit SgdOptimizer(double learning_rate, double momentum = 0.0);
+
+  /// params -= lr * grad (plus momentum buffer if enabled).
+  void Step(const Vec& grad, Vec& params);
+
+  /// Clears the momentum buffer (e.g., between FL rounds).
+  void Reset();
+
+  double learning_rate() const { return learning_rate_; }
+  void set_learning_rate(double lr) { learning_rate_ = lr; }
+
+ private:
+  double learning_rate_;
+  double momentum_;
+  Vec velocity_;
+};
+
+}  // namespace uldp
+
+#endif  // ULDP_NN_OPTIMIZER_H_

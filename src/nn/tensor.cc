@@ -1,0 +1,64 @@
+#include "nn/tensor.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace uldp {
+
+void Axpy(double alpha, const Vec& x, Vec& y) {
+  ULDP_CHECK_EQ(x.size(), y.size());
+  for (size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void Scale(double alpha, Vec& x) {
+  for (double& v : x) v *= alpha;
+}
+
+double Dot(const Vec& a, const Vec& b) {
+  ULDP_CHECK_EQ(a.size(), b.size());
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double L2Norm(const Vec& v) { return std::sqrt(Dot(v, v)); }
+
+Vec SumVecs(const std::vector<Vec>& vs) {
+  ULDP_CHECK(!vs.empty());
+  Vec out(vs[0].size(), 0.0);
+  for (const auto& v : vs) Axpy(1.0, v, out);
+  return out;
+}
+
+double ClipToL2Ball(Vec& v, double bound) {
+  ULDP_CHECK_GT(bound, 0.0);
+  double norm = L2Norm(v);
+  if (norm <= bound || norm == 0.0) return 1.0;
+  double scale = bound / norm;
+  Scale(scale, v);
+  return scale;
+}
+
+void Matrix::MatVec(const Vec& x, Vec* out) const {
+  ULDP_CHECK_EQ(x.size(), cols_);
+  out->assign(rows_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = &data_[r * cols_];
+    double s = 0.0;
+    for (size_t c = 0; c < cols_; ++c) s += row[c] * x[c];
+    (*out)[r] = s;
+  }
+}
+
+void Matrix::MatTVec(const Vec& x, Vec* out) const {
+  ULDP_CHECK_EQ(x.size(), rows_);
+  out->assign(cols_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = &data_[r * cols_];
+    double xr = x[r];
+    for (size_t c = 0; c < cols_; ++c) (*out)[c] += row[c] * xr;
+  }
+}
+
+}  // namespace uldp

@@ -1,0 +1,63 @@
+// Dense vector/matrix primitives for the training substrate. Model sizes in
+// the paper are small (< 100 to ~20K parameters), so a flat double vector
+// with explicit loops is both simple and fast enough; no BLAS dependency.
+
+#ifndef ULDP_NN_TENSOR_H_
+#define ULDP_NN_TENSOR_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace uldp {
+
+/// Flat dense vector of doubles — the universal currency for parameters,
+/// gradients, and model deltas throughout the FL stack.
+using Vec = std::vector<double>;
+
+/// y += alpha * x (sizes must match).
+void Axpy(double alpha, const Vec& x, Vec& y);
+
+/// x *= alpha.
+void Scale(double alpha, Vec& x);
+
+/// Dot product.
+double Dot(const Vec& a, const Vec& b);
+
+/// Euclidean norm.
+double L2Norm(const Vec& v);
+
+/// Element-wise sum of vectors; all must share the size of the first.
+Vec SumVecs(const std::vector<Vec>& vs);
+
+/// In-place clip to L2 ball of radius `bound`: v *= min(1, bound/||v||).
+/// Returns the scale factor applied.
+double ClipToL2Ball(Vec& v, double bound);
+
+/// Row-major dense matrix view used by Linear layers.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols) : rows_(rows), cols_(cols),
+                                     data_(rows * cols, 0.0) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  double& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+  Vec& data() { return data_; }
+  const Vec& data() const { return data_; }
+
+  /// out = M * x  (x has cols() entries, out has rows()).
+  void MatVec(const Vec& x, Vec* out) const;
+  /// out = M^T * x (x has rows() entries, out has cols()).
+  void MatTVec(const Vec& x, Vec* out) const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  Vec data_;
+};
+
+}  // namespace uldp
+
+#endif  // ULDP_NN_TENSOR_H_

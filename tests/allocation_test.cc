@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "data/allocation.h"
+#include "data/synthetic.h"
+
+namespace uldp {
+namespace {
+
+std::vector<Record> BlankRecords(int n, int num_labels = 2) {
+  std::vector<Record> r(n);
+  for (int i = 0; i < n; ++i) {
+    r[i].features = {0.0};
+    r[i].label = i % num_labels;
+  }
+  return r;
+}
+
+TEST(FreeAllocationTest, UniformAssignsEverything) {
+  Rng rng(1);
+  auto records = BlankRecords(5000);
+  AllocationOptions opt;
+  ASSERT_TRUE(AllocateUsersAndSilos(records, 20, 5, opt, rng).ok());
+  for (const auto& r : records) {
+    EXPECT_GE(r.user_id, 0);
+    EXPECT_LT(r.user_id, 20);
+    EXPECT_GE(r.silo_id, 0);
+    EXPECT_LT(r.silo_id, 5);
+  }
+}
+
+TEST(FreeAllocationTest, UniformIsBalanced) {
+  Rng rng(2);
+  auto records = BlankRecords(50000);
+  AllocationOptions opt;
+  ASSERT_TRUE(AllocateUsersAndSilos(records, 10, 5, opt, rng).ok());
+  auto hist = UserHistogram(records, 10);
+  for (int c : hist) EXPECT_NEAR(c, 5000, 350);
+  std::vector<int> silo_counts(5, 0);
+  for (const auto& r : records) ++silo_counts[r.silo_id];
+  for (int c : silo_counts) EXPECT_NEAR(c, 10000, 500);
+}
+
+TEST(FreeAllocationTest, ZipfIsSkewedByUserRank) {
+  Rng rng(3);
+  auto records = BlankRecords(30000);
+  AllocationOptions opt;
+  opt.kind = AllocationKind::kZipf;
+  ASSERT_TRUE(AllocateUsersAndSilos(records, 50, 5, opt, rng).ok());
+  auto hist = UserHistogram(records, 50);
+  // Rank-0 user should hold clearly more than the median-rank user.
+  std::vector<int> sorted = hist;
+  std::sort(sorted.rbegin(), sorted.rend());
+  EXPECT_EQ(sorted[0], *std::max_element(hist.begin(), hist.end()));
+  EXPECT_GT(hist[0], hist[25] * 2);
+  // Skew: top user >> uniform share.
+  EXPECT_GT(hist[0], 2 * 30000 / 50);
+}
+
+TEST(FreeAllocationTest, ZipfConcentratesUserRecordsInPreferredSilos) {
+  Rng rng(4);
+  auto records = BlankRecords(40000);
+  AllocationOptions opt;
+  opt.kind = AllocationKind::kZipf;
+  opt.zipf_alpha_silo = 2.0;
+  ASSERT_TRUE(AllocateUsersAndSilos(records, 20, 5, opt, rng).ok());
+  // For heavy users, the top silo should hold well over the uniform 20%.
+  auto hist = UserHistogram(records, 20);
+  for (int u = 0; u < 3; ++u) {
+    if (hist[u] < 100) continue;
+    std::vector<int> per_silo(5, 0);
+    for (const auto& r : records) {
+      if (r.user_id == u) ++per_silo[r.silo_id];
+    }
+    int top = *std::max_element(per_silo.begin(), per_silo.end());
+    EXPECT_GT(top, hist[u] / 2) << "user " << u;
+  }
+}
+
+TEST(FreeAllocationTest, NonIidRestrictsLabelsPerUser) {
+  Rng rng(5);
+  auto records = BlankRecords(20000, 10);
+  AllocationOptions opt;
+  opt.kind = AllocationKind::kZipf;
+  opt.max_labels_per_user = 2;
+  ASSERT_TRUE(AllocateUsersAndSilos(records, 30, 5, opt, rng).ok());
+  std::vector<std::set<int>> labels(30);
+  for (const auto& r : records) labels[r.user_id].insert(r.label);
+  for (const auto& s : labels) EXPECT_LE(s.size(), 2u);
+}
+
+TEST(FreeAllocationTest, RejectsBadArguments) {
+  Rng rng(6);
+  auto records = BlankRecords(10);
+  AllocationOptions opt;
+  EXPECT_FALSE(AllocateUsersAndSilos(records, 0, 5, opt, rng).ok());
+  EXPECT_FALSE(AllocateUsersAndSilos(records, 5, 0, opt, rng).ok());
+}
+
+TEST(FixedSiloAllocationTest, RequiresSiloIds) {
+  Rng rng(7);
+  auto records = BlankRecords(10);  // silo_id = -1
+  AllocationOptions opt;
+  EXPECT_FALSE(AllocateUsersWithinSilos(records, 5, 2, opt, rng).ok());
+}
+
+std::vector<Record> FixedSiloRecords(int n, int silos, Rng& rng) {
+  auto records = BlankRecords(n);
+  for (auto& r : records) {
+    r.silo_id = static_cast<int>(rng.UniformInt(silos));
+  }
+  return records;
+}
+
+TEST(FixedSiloAllocationTest, UniformAssignsAllUsers) {
+  Rng rng(8);
+  auto records = FixedSiloRecords(5000, 4, rng);
+  auto silos_before = records;
+  AllocationOptions opt;
+  ASSERT_TRUE(AllocateUsersWithinSilos(records, 25, 4, opt, rng).ok());
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_GE(records[i].user_id, 0);
+    EXPECT_LT(records[i].user_id, 25);
+    // Silo assignment untouched.
+    EXPECT_EQ(records[i].silo_id, silos_before[i].silo_id);
+  }
+}
+
+TEST(FixedSiloAllocationTest, ZipfConcentratesEightyPercentInOneSilo) {
+  Rng rng(9);
+  auto records = FixedSiloRecords(20000, 4, rng);
+  AllocationOptions opt;
+  opt.kind = AllocationKind::kZipf;
+  ASSERT_TRUE(AllocateUsersWithinSilos(records, 40, 4, opt, rng).ok());
+  auto hist = UserHistogram(records, 40);
+  // For heavy users, one silo should hold the majority of their records.
+  int checked = 0;
+  for (int u = 0; u < 40 && checked < 5; ++u) {
+    if (hist[u] < 200) continue;
+    std::vector<int> per_silo(4, 0);
+    for (const auto& r : records) {
+      if (r.user_id == u) ++per_silo[r.silo_id];
+    }
+    int top = *std::max_element(per_silo.begin(), per_silo.end());
+    EXPECT_GT(static_cast<double>(top) / hist[u], 0.55) << "user " << u;
+    ++checked;
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST(FixedSiloAllocationTest, MinRecordsPerPairRepair) {
+  Rng rng(10);
+  auto records = FixedSiloRecords(3000, 6, rng);
+  AllocationOptions opt;
+  opt.kind = AllocationKind::kZipf;
+  opt.min_records_per_pair = 2;
+  ASSERT_TRUE(AllocateUsersWithinSilos(records, 50, 6, opt, rng).ok());
+  // No (silo, user) pair with exactly one record.
+  std::vector<std::vector<int>> counts(6, std::vector<int>(50, 0));
+  for (const auto& r : records) ++counts[r.silo_id][r.user_id];
+  for (int s = 0; s < 6; ++s) {
+    for (int u = 0; u < 50; ++u) {
+      EXPECT_TRUE(counts[s][u] == 0 || counts[s][u] >= 2)
+          << "silo " << s << " user " << u;
+    }
+  }
+}
+
+TEST(UserHistogramTest, CountsMatch) {
+  std::vector<Record> r(4);
+  for (auto& rec : r) rec.features = {0.0};
+  r[0].user_id = 0;
+  r[1].user_id = 1;
+  r[2].user_id = 1;
+  r[3].user_id = 2;
+  auto hist = UserHistogram(r, 3);
+  EXPECT_EQ(hist, (std::vector<int>{1, 2, 1}));
+}
+
+}  // namespace
+}  // namespace uldp

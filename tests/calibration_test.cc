@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "dp/accountant.h"
+#include "dp/calibration.h"
+
+namespace uldp {
+namespace {
+
+TEST(SigmaCalibrationTest, HitsTargetFromBothSides) {
+  for (double target : {0.5, 1.0, 4.0}) {
+    for (int64_t rounds : {int64_t{10}, int64_t{100}}) {
+      double sigma =
+          SigmaForTargetEpsilon(target, 1e-5, rounds).value();
+      double eps = UldpGaussianEpsilon(sigma, rounds, 1e-5).value();
+      // Achieved epsilon is within budget and close to it.
+      EXPECT_LE(eps, target * 1.001);
+      EXPECT_GE(eps, target * 0.97);
+      // A slightly smaller sigma would overshoot.
+      double eps_tight =
+          UldpGaussianEpsilon(sigma * 0.97, rounds, 1e-5).value();
+      EXPECT_GT(eps_tight, eps);
+    }
+  }
+}
+
+TEST(SigmaCalibrationTest, SubsamplingNeedsLessNoise) {
+  double full = SigmaForTargetEpsilon(1.0, 1e-5, 100, 1.0).value();
+  double sub = SigmaForTargetEpsilon(1.0, 1e-5, 100, 0.1).value();
+  EXPECT_LT(sub, full);
+}
+
+TEST(SigmaCalibrationTest, MoreRoundsNeedMoreNoise) {
+  double short_run = SigmaForTargetEpsilon(1.0, 1e-5, 10).value();
+  double long_run = SigmaForTargetEpsilon(1.0, 1e-5, 1000).value();
+  EXPECT_GT(long_run, short_run);
+}
+
+TEST(SigmaCalibrationTest, RejectsBadInputs) {
+  EXPECT_FALSE(SigmaForTargetEpsilon(0.0, 1e-5, 10).ok());
+  EXPECT_FALSE(SigmaForTargetEpsilon(1.0, 1e-5, 0).ok());
+  EXPECT_FALSE(SigmaForTargetEpsilon(1.0, 1e-5, 10, 1.5).ok());
+  // Unreachable: tiny eps with tiny sigma_max cap.
+  EXPECT_FALSE(SigmaForTargetEpsilon(1e-6, 1e-5, 100000, 1.0, 2.0).ok());
+}
+
+TEST(RoundsCalibrationTest, MaximalAffordableRounds) {
+  double sigma = 5.0;
+  int64_t rounds = RoundsForTargetEpsilon(2.0, 1e-5, sigma).value();
+  EXPECT_GE(rounds, 1);
+  double eps_at = UldpGaussianEpsilon(sigma, rounds, 1e-5).value();
+  double eps_next = UldpGaussianEpsilon(sigma, rounds + 1, 1e-5).value();
+  EXPECT_LE(eps_at, 2.0);
+  EXPECT_GT(eps_next, 2.0);
+}
+
+TEST(RoundsCalibrationTest, BudgetTooSmallIsError) {
+  // One round with sigma=0.5 already costs far more than eps=0.01.
+  EXPECT_FALSE(RoundsForTargetEpsilon(0.01, 1e-5, 0.5).ok());
+}
+
+TEST(RoundsCalibrationTest, SubsamplingBuysRounds) {
+  int64_t full = RoundsForTargetEpsilon(2.0, 1e-5, 5.0, 1.0).value();
+  int64_t sub = RoundsForTargetEpsilon(2.0, 1e-5, 5.0, 0.2).value();
+  EXPECT_GT(sub, full);
+}
+
+TEST(CalibrationRoundTripTest, SigmaAndRoundsAgree) {
+  // sigma for (eps, T) then rounds for (eps, sigma) recovers ~T.
+  double sigma = SigmaForTargetEpsilon(1.5, 1e-5, 50).value();
+  int64_t rounds = RoundsForTargetEpsilon(1.5, 1e-5, sigma).value();
+  EXPECT_GE(rounds, 49);
+  EXPECT_LE(rounds, 55);
+}
+
+}  // namespace
+}  // namespace uldp

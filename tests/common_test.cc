@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/table.h"
+
+namespace uldp {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad n");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad n");
+}
+
+TEST(StatusTest, AllCodesRender) {
+  EXPECT_EQ(Status::OutOfRange("x").ToString(), "OutOfRange: x");
+  EXPECT_EQ(Status::FailedPrecondition("x").ToString(),
+            "FailedPrecondition: x");
+  EXPECT_EQ(Status::Internal("x").ToString(), "Internal: x");
+  EXPECT_EQ(Status::NotFound("x").ToString(), "NotFound: x");
+  EXPECT_EQ(Status::Unimplemented("x").ToString(), "Unimplemented: x");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ReturnIfErrorTest, PropagatesError) {
+  auto inner = []() { return Status::Internal("boom"); };
+  auto outer = [&]() -> Status {
+    ULDP_RETURN_IF_ERROR(inner());
+    return Status::Ok();
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kInternal);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.NextUint64() == b.NextUint64();
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    double v = rng.Uniform(-3.0, 5.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+    uint64_t k = rng.UniformInt(17);
+    EXPECT_LT(k, 17u);
+  }
+}
+
+TEST(RngTest, GaussianMomentsApproximatelyStandard) {
+  Rng rng(5);
+  double sum = 0.0, sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.Gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.02);
+}
+
+TEST(RngTest, GaussianScaleAndShift) {
+  Rng rng(6);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Gaussian(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(8);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, CategoricalFollowsWeights) {
+  Rng rng(9);
+  std::vector<double> w = {1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.Categorical(w)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.6, 0.01);
+}
+
+TEST(RngTest, ZipfRankOneMostLikely) {
+  Rng rng(10);
+  std::vector<int> counts(11, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[rng.Zipf(10, 1.0)];
+  // Monotone decreasing frequencies (allowing small noise at the tail).
+  EXPECT_GT(counts[1], counts[2]);
+  EXPECT_GT(counts[2], counts[4]);
+  EXPECT_GT(counts[4], counts[8]);
+}
+
+TEST(RngTest, ZipfAlphaZeroIsUniform) {
+  Rng rng(11);
+  std::vector<int> counts(6, 0);
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) ++counts[rng.Zipf(5, 0.0)];
+  for (int r = 1; r <= 5; ++r) {
+    EXPECT_NEAR(counts[r] / static_cast<double>(n), 0.2, 0.02);
+  }
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(12);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(AddGaussianNoiseTest, ZeroStddevIsNoop) {
+  Rng rng(13);
+  std::vector<double> v = {1.0, 2.0};
+  AddGaussianNoise(v, 0.0, rng);
+  EXPECT_EQ(v[0], 1.0);
+  EXPECT_EQ(v[1], 2.0);
+}
+
+TEST(TableTest, AlignedOutputContainsCells) {
+  Table t({"a", "bb"});
+  t.AddRow({"x", "1"});
+  t.AddRow({"longer", "2"});
+  std::ostringstream os;
+  t.Print(os);
+  std::string s = os.str();
+  EXPECT_NE(s.find("longer"), std::string::npos);
+  EXPECT_NE(s.find("bb"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TableTest, CsvOutput) {
+  Table t({"a", "b"});
+  t.AddRow({"1", "2"});
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(FormatGTest, SignificantDigits) {
+  EXPECT_EQ(FormatG(3.14159, 3), "3.14");
+  EXPECT_EQ(FormatG(0.0), "0");
+}
+
+}  // namespace
+}  // namespace uldp

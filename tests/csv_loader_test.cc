@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "data/csv_loader.h"
+
+namespace uldp {
+namespace {
+
+TEST(CsvParseTest, FeaturesAndLabel) {
+  CsvOptions opt;
+  opt.label_column = 2;
+  auto records = ParseCsvRecords(
+      "f0,f1,label\n"
+      "1.5,-2.0,1\n"
+      "0.25,3.0,0\n",
+      opt);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records.value().size(), 2u);
+  EXPECT_EQ(records.value()[0].features, (Vec{1.5, -2.0}));
+  EXPECT_EQ(records.value()[0].label, 1);
+  EXPECT_EQ(records.value()[1].label, 0);
+}
+
+TEST(CsvParseTest, UserAndSiloColumns) {
+  CsvOptions opt;
+  opt.has_header = false;
+  opt.label_column = 0;
+  opt.user_column = 1;
+  opt.silo_column = 2;
+  auto records = ParseCsvRecords("1,7,2,0.5\n0,3,1,-0.5\n", opt);
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records.value()[0].user_id, 7);
+  EXPECT_EQ(records.value()[0].silo_id, 2);
+  EXPECT_EQ(records.value()[0].features, (Vec{0.5}));
+}
+
+TEST(CsvParseTest, SurvivalColumns) {
+  CsvOptions opt;
+  opt.has_header = false;
+  opt.time_column = 0;
+  opt.event_column = 1;
+  auto records = ParseCsvRecords("3.5,1,0.1,0.2\n9.0,0,0.3,0.4\n", opt);
+  ASSERT_TRUE(records.ok());
+  EXPECT_DOUBLE_EQ(records.value()[0].time, 3.5);
+  EXPECT_TRUE(records.value()[0].event);
+  EXPECT_FALSE(records.value()[1].event);
+  EXPECT_EQ(records.value()[1].features, (Vec{0.3, 0.4}));
+}
+
+TEST(CsvParseTest, SkipsBlankLinesHandlesCrlf) {
+  CsvOptions opt;
+  opt.has_header = false;
+  auto records = ParseCsvRecords("1.0,2.0\r\n\n3.0,4.0\n", opt);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records.value().size(), 2u);
+  EXPECT_EQ(records.value()[1].features, (Vec{3.0, 4.0}));
+}
+
+TEST(CsvParseTest, Errors) {
+  CsvOptions opt;
+  opt.has_header = false;
+  EXPECT_FALSE(ParseCsvRecords("", opt).ok());
+  EXPECT_FALSE(ParseCsvRecords("1.0,abc\n", opt).ok());
+  // Ragged rows.
+  EXPECT_FALSE(ParseCsvRecords("1,2\n1,2,3\n", opt).ok());
+  // Non-integer label.
+  CsvOptions lab;
+  lab.has_header = false;
+  lab.label_column = 0;
+  EXPECT_FALSE(ParseCsvRecords("1.5,2.0\n", lab).ok());
+  // Error message carries the line number.
+  auto bad = ParseCsvRecords("1.0\nxyz\n", opt);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(CsvLoadTest, RoundTripThroughFile) {
+  std::string path = ::testing::TempDir() + "/uldp_csv_test.csv";
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    fputs("a,b,label,user,silo\n", f);
+    fputs("0.1,0.2,1,0,0\n", f);
+    fputs("0.3,0.4,0,1,1\n", f);
+    fclose(f);
+  }
+  CsvOptions opt;
+  opt.label_column = 2;
+  opt.user_column = 3;
+  opt.silo_column = 4;
+  auto records = LoadCsvRecords(path, opt);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records.value().size(), 2u);
+  EXPECT_EQ(records.value()[1].user_id, 1);
+  // Loaded records integrate with the dataset container.
+  FederatedDataset fd(records.value(), {}, 2, 2);
+  EXPECT_EQ(fd.CountOf(0, 0), 1);
+  EXPECT_EQ(fd.CountOf(1, 1), 1);
+  remove(path.c_str());
+}
+
+TEST(CsvLoadTest, MissingFileIsNotFound) {
+  CsvOptions opt;
+  auto result = LoadCsvRecords("/nonexistent/path.csv", opt);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace uldp

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+
+namespace uldp {
+namespace {
+
+std::vector<Record> MakeRecords() {
+  // 6 records: user/silo assignments chosen to exercise the index.
+  std::vector<Record> r(6);
+  int users[] = {0, 0, 1, 1, 1, 2};
+  int silos[] = {0, 1, 0, 0, 1, 1};
+  for (int i = 0; i < 6; ++i) {
+    r[i].features = {static_cast<double>(i)};
+    r[i].label = i % 2;
+    r[i].user_id = users[i];
+    r[i].silo_id = silos[i];
+  }
+  return r;
+}
+
+TEST(DatasetTest, IndexingBySiloUser) {
+  FederatedDataset fd(MakeRecords(), {}, 3, 2);
+  EXPECT_EQ(fd.CountOf(0, 0), 1);
+  EXPECT_EQ(fd.CountOf(1, 0), 1);
+  EXPECT_EQ(fd.CountOf(0, 1), 2);
+  EXPECT_EQ(fd.CountOf(1, 1), 1);
+  EXPECT_EQ(fd.CountOf(0, 2), 0);
+  EXPECT_EQ(fd.CountOf(1, 2), 1);
+}
+
+TEST(DatasetTest, TotalsAndAggregates) {
+  FederatedDataset fd(MakeRecords(), {}, 3, 2);
+  EXPECT_EQ(fd.TotalCountOf(0), 2);
+  EXPECT_EQ(fd.TotalCountOf(1), 3);
+  EXPECT_EQ(fd.TotalCountOf(2), 1);
+  EXPECT_EQ(fd.MaxRecordsPerUser(), 3);
+  EXPECT_EQ(fd.MedianRecordsPerUser(), 2);
+  EXPECT_DOUBLE_EQ(fd.MeanRecordsPerUser(), 2.0);
+  EXPECT_EQ(fd.num_train_records(), 6u);
+}
+
+TEST(DatasetTest, SiloIndexCoversAllRecords) {
+  FederatedDataset fd(MakeRecords(), {}, 3, 2);
+  size_t total = 0;
+  for (int s = 0; s < 2; ++s) total += fd.RecordsOfSilo(s).size();
+  EXPECT_EQ(total, 6u);
+  // Every (silo,user) list is a subset of the silo list.
+  for (int s = 0; s < 2; ++s) {
+    size_t sum = 0;
+    for (int u = 0; u < 3; ++u) sum += fd.RecordsOf(s, u).size();
+    EXPECT_EQ(sum, fd.RecordsOfSilo(s).size());
+  }
+}
+
+TEST(DatasetTest, MakeExamplesPreservesContent) {
+  FederatedDataset fd(MakeRecords(), {}, 3, 2);
+  auto examples = fd.MakeExamples(fd.RecordsOf(0, 1));
+  ASSERT_EQ(examples.size(), 2u);
+  for (const auto& ex : examples) {
+    // Records 2 and 3 belong to (silo 0, user 1).
+    EXPECT_TRUE(ex.x[0] == 2.0 || ex.x[0] == 3.0);
+  }
+}
+
+TEST(DatasetTest, TestExamplesConverted) {
+  std::vector<Record> test(3);
+  for (int i = 0; i < 3; ++i) {
+    test[i].features = {1.0 * i};
+    test[i].label = i;
+    test[i].user_id = 0;  // irrelevant for test records
+    test[i].silo_id = 0;
+  }
+  FederatedDataset fd(MakeRecords(), test, 3, 2);
+  ASSERT_EQ(fd.test_examples().size(), 3u);
+  EXPECT_EQ(fd.test_examples()[2].label, 2);
+}
+
+TEST(DatasetTest, ToExampleCopiesSurvivalFields) {
+  Record r;
+  r.features = {1.0};
+  r.time = 4.5;
+  r.event = true;
+  r.label = -1;
+  Example ex = ToExample(r);
+  EXPECT_EQ(ex.time, 4.5);
+  EXPECT_TRUE(ex.event);
+}
+
+TEST(DatasetTest, MedianWithEmptyUsersIgnoresThem) {
+  // One user with no records: median over users with records only.
+  std::vector<Record> recs(2);
+  recs[0].features = {0.0};
+  recs[0].user_id = 0;
+  recs[0].silo_id = 0;
+  recs[1].features = {1.0};
+  recs[1].user_id = 0;
+  recs[1].silo_id = 0;
+  FederatedDataset fd(recs, {}, 2, 1);
+  EXPECT_EQ(fd.MedianRecordsPerUser(), 2);
+  EXPECT_EQ(fd.MaxRecordsPerUser(), 2);
+}
+
+}  // namespace
+}  // namespace uldp

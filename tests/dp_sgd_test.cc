@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "fl/dp_sgd.h"
+#include "nn/metrics.h"
+
+namespace uldp {
+namespace {
+
+std::vector<Example> SeparableBlobs(int n, Rng& rng) {
+  std::vector<Example> data(n);
+  for (int i = 0; i < n; ++i) {
+    int label = i % 2;
+    data[i].x = {rng.Gaussian() + (label ? 2.0 : -2.0),
+                 rng.Gaussian() + (label ? 2.0 : -2.0)};
+    data[i].label = label;
+  }
+  return data;
+}
+
+TEST(DpSgdTest, NoNoiseLearnsSeparableData) {
+  Rng rng(1);
+  auto data = SeparableBlobs(400, rng);
+  auto model = MakeMlp({2}, 2);
+  model->InitParams(rng);
+  DpSgdOptions opt;
+  opt.learning_rate = 0.5;
+  opt.clip = 2.0;
+  opt.sigma = 0.0;  // noiseless: pure clipped SGD
+  opt.sample_rate = 0.25;
+  opt.steps = 80;
+  ASSERT_TRUE(RunDpSgd(*model, data, opt, rng).ok());
+  EXPECT_GT(Accuracy(*model, data), 0.9);
+}
+
+TEST(DpSgdTest, HeavyNoiseDestroysUtility) {
+  Rng rng(2);
+  auto data = SeparableBlobs(400, rng);
+  auto noiseless = MakeMlp({2}, 2);
+  noiseless->InitParams(rng);
+  auto noisy = noiseless->Clone();
+
+  DpSgdOptions opt;
+  opt.learning_rate = 0.5;
+  opt.clip = 1.0;
+  opt.sample_rate = 0.25;
+  opt.steps = 60;
+
+  opt.sigma = 0.0;
+  Rng r1(3);
+  ASSERT_TRUE(RunDpSgd(*noiseless, data, opt, r1).ok());
+  // Noise large enough that the parameter random walk swamps the signal
+  // (2D logistic decisions are remarkably robust to moderate noise).
+  opt.sigma = 500.0;
+  Rng r2(3);
+  ASSERT_TRUE(RunDpSgd(*noisy, data, opt, r2).ok());
+  EXPECT_GT(Accuracy(*noiseless, data), 0.9);
+  EXPECT_LT(Accuracy(*noisy, data), 0.85);
+}
+
+TEST(DpSgdTest, ParameterMovementBoundedByClipPerStep) {
+  // With sigma=0 the per-step parameter movement is at most
+  // lr * (sum of clipped grads) / (gamma N) <= lr * actual_lot * C / lot.
+  // Use full sampling: movement <= lr * C exactly.
+  Rng rng(4);
+  auto data = SeparableBlobs(50, rng);
+  auto model = MakeMlp({2}, 2);
+  model->InitParams(rng);
+  Vec before = model->GetParams();
+  DpSgdOptions opt;
+  opt.learning_rate = 1.0;
+  opt.clip = 0.5;
+  opt.sigma = 0.0;
+  opt.sample_rate = 1.0;
+  opt.steps = 1;
+  ASSERT_TRUE(RunDpSgd(*model, data, opt, rng).ok());
+  Vec after = model->GetParams();
+  Axpy(-1.0, before, after);
+  EXPECT_LE(L2Norm(after), opt.learning_rate * opt.clip + 1e-9);
+}
+
+TEST(DpSgdTest, EmptyDataIsNoop) {
+  Rng rng(5);
+  auto model = MakeMlp({2}, 2);
+  model->InitParams(rng);
+  Vec before = model->GetParams();
+  DpSgdOptions opt;
+  ASSERT_TRUE(RunDpSgd(*model, {}, opt, rng).ok());
+  EXPECT_EQ(model->GetParams(), before);
+}
+
+TEST(DpSgdTest, RejectsBadOptions) {
+  Rng rng(6);
+  auto model = MakeMlp({2}, 2);
+  auto data = SeparableBlobs(10, rng);
+  DpSgdOptions opt;
+  opt.sample_rate = 0.0;
+  EXPECT_FALSE(RunDpSgd(*model, data, opt, rng).ok());
+  opt.sample_rate = 1.5;
+  EXPECT_FALSE(RunDpSgd(*model, data, opt, rng).ok());
+  opt.sample_rate = 0.5;
+  opt.clip = 0.0;
+  EXPECT_FALSE(RunDpSgd(*model, data, opt, rng).ok());
+}
+
+}  // namespace
+}  // namespace uldp

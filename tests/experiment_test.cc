@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "core/experiment.h"
+#include "core/uldp_avg.h"
+#include "data/allocation.h"
+#include "data/synthetic.h"
+#include "fl/fedavg.h"
+
+namespace uldp {
+namespace {
+
+FederatedDataset SmallDataset(uint64_t seed) {
+  Rng rng(seed);
+  auto data = MakeCreditcardLike(400, 150, rng);
+  AllocationOptions opt;
+  EXPECT_TRUE(AllocateUsersAndSilos(data.train, 8, 3, opt, rng).ok());
+  return FederatedDataset(data.train, data.test, 8, 3);
+}
+
+TEST(ExperimentTest, TraceShapeAndMonotoneEpsilon) {
+  auto fd = SmallDataset(1);
+  auto model = MakeMlp({30}, 2);
+  FlConfig fl;
+  fl.sigma = 5.0;
+  UldpAvgTrainer trainer(fd, *model, fl);
+  ExperimentConfig cfg;
+  cfg.rounds = 6;
+  cfg.eval_every = 2;
+  auto trace = RunExperiment(trainer, *model, fd, cfg);
+  ASSERT_TRUE(trace.ok());
+  ASSERT_EQ(trace.value().size(), 3u);
+  EXPECT_EQ(trace.value()[0].round, 2);
+  EXPECT_EQ(trace.value()[1].round, 4);
+  EXPECT_EQ(trace.value()[2].round, 6);
+  EXPECT_LT(trace.value()[0].epsilon, trace.value()[2].epsilon);
+  for (const auto& rec : trace.value()) {
+    EXPECT_GE(rec.utility, 0.0);
+    EXPECT_LE(rec.utility, 1.0);
+    EXPECT_TRUE(std::isfinite(rec.test_loss));
+  }
+}
+
+TEST(ExperimentTest, FinalRoundAlwaysEvaluated) {
+  auto fd = SmallDataset(2);
+  auto model = MakeMlp({30}, 2);
+  FedAvgTrainer trainer(fd, *model, FlConfig{});
+  ExperimentConfig cfg;
+  cfg.rounds = 5;
+  cfg.eval_every = 3;  // 3 then final 5
+  auto trace = RunExperiment(trainer, *model, fd, cfg);
+  ASSERT_TRUE(trace.ok());
+  ASSERT_EQ(trace.value().size(), 2u);
+  EXPECT_EQ(trace.value().back().round, 5);
+}
+
+TEST(ExperimentTest, RejectsBadConfig) {
+  auto fd = SmallDataset(3);
+  auto model = MakeMlp({30}, 2);
+  FedAvgTrainer trainer(fd, *model, FlConfig{});
+  ExperimentConfig cfg;
+  cfg.rounds = 0;
+  EXPECT_FALSE(RunExperiment(trainer, *model, fd, cfg).ok());
+}
+
+TEST(ExperimentTest, RejectsEmptyTestSet) {
+  Rng rng(4);
+  auto data = MakeCreditcardLike(100, 10, rng);
+  AllocationOptions opt;
+  ASSERT_TRUE(AllocateUsersAndSilos(data.train, 4, 2, opt, rng).ok());
+  FederatedDataset fd(data.train, {}, 4, 2);
+  auto model = MakeMlp({30}, 2);
+  FedAvgTrainer trainer(fd, *model, FlConfig{});
+  ExperimentConfig cfg;
+  EXPECT_FALSE(RunExperiment(trainer, *model, fd, cfg).ok());
+}
+
+TEST(ExperimentTest, InitSeedControlsStartingPoint) {
+  auto fd = SmallDataset(5);
+  auto model = MakeMlp({30}, 2);
+  FlConfig fl;
+  fl.seed = 1;
+  ExperimentConfig cfg;
+  cfg.rounds = 1;
+  UldpAvgTrainer t1(fd, *model, fl);
+  cfg.init_seed = 100;
+  auto trace1 = RunExperiment(t1, *model, fd, cfg);
+  UldpAvgTrainer t2(fd, *model, fl);
+  cfg.init_seed = 200;
+  auto trace2 = RunExperiment(t2, *model, fd, cfg);
+  EXPECT_NE(trace1.value()[0].test_loss, trace2.value()[0].test_loss);
+}
+
+TEST(ExperimentTest, PrintTraceRendersRows) {
+  std::vector<RoundRecord> trace = {{1, 0.5, 0.9, 1.25}, {2, 0.4, 0.92, 2.0}};
+  // Smoke: must not crash and must include the label.
+  testing::internal::CaptureStdout();
+  PrintTrace("TEST-METHOD", trace);
+  std::string out = testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("TEST-METHOD"), std::string::npos);
+  EXPECT_NE(out.find("epsilon"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace uldp

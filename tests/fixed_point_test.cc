@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "crypto/fixed_point.h"
+#include "math/primes.h"
+
+namespace uldp {
+namespace {
+
+class FixedPointFixture : public ::testing::Test {
+ protected:
+  FixedPointFixture() {
+    Rng rng(1);
+    modulus_ = GeneratePrime(160, rng);
+  }
+  BigInt modulus_;
+};
+
+TEST_F(FixedPointFixture, RoundTripPositiveNegativeZero) {
+  FixedPointCodec codec(modulus_, 1e-10);
+  for (double x : {0.0, 1.0, -1.0, 3.14159265, -2.71828, 1e-9, -1e-9,
+                   123456.789, -99999.5}) {
+    double back = codec.DecodePlain(codec.Encode(x).value());
+    EXPECT_NEAR(back, x, 1e-10) << x;
+  }
+}
+
+TEST_F(FixedPointFixture, QuantizationIsAtMostHalfPrecision) {
+  FixedPointCodec codec(modulus_, 1e-6);
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.Uniform(-100.0, 100.0);
+    double back = codec.DecodePlain(codec.Encode(x).value());
+    EXPECT_LE(std::fabs(back - x), 0.5e-6 + 1e-15);
+  }
+}
+
+TEST_F(FixedPointFixture, EncodedAdditionMatchesRealAddition) {
+  FixedPointCodec codec(modulus_, 1e-10);
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    double a = rng.Uniform(-5.0, 5.0), b = rng.Uniform(-5.0, 5.0);
+    BigInt ea = codec.Encode(a).value();
+    BigInt eb = codec.Encode(b).value();
+    double sum = codec.DecodePlain(ea.ModAdd(eb, modulus_));
+    EXPECT_NEAR(sum, a + b, 2e-10);
+  }
+}
+
+TEST_F(FixedPointFixture, DecodeDividesOutClcm) {
+  FixedPointCodec codec(modulus_, 1e-10);
+  BigInt c_lcm = LcmUpTo(30);
+  for (double x : {0.5, -0.25, 2.0, -7.125, 0.0}) {
+    BigInt enc = codec.Encode(x).value();
+    BigInt scaled = enc.ModMul(c_lcm.Mod(modulus_), modulus_);
+    EXPECT_NEAR(codec.Decode(scaled, c_lcm), x, 1e-9) << x;
+  }
+}
+
+TEST_F(FixedPointFixture, DecodeHandlesFractionalClcmMultiples) {
+  // Protocol terms carry C_LCM/N_u factors; after summation the value is
+  // x * C_LCM for a non-integer x. Decode must recover x.
+  FixedPointCodec codec(modulus_, 1e-10);
+  BigInt c_lcm = LcmUpTo(30);
+  // value = (3/7) * 1.25 encoded: e * 3 * (C_LCM / 7).
+  BigInt e = codec.Encode(1.25).value();
+  BigInt term = e.ModMul(BigInt(3), modulus_)
+                    .ModMul((c_lcm / BigInt(7)).Mod(modulus_), modulus_);
+  EXPECT_NEAR(codec.Decode(term, c_lcm), 1.25 * 3.0 / 7.0, 1e-9);
+}
+
+TEST_F(FixedPointFixture, RejectsNonFiniteAndHuge) {
+  FixedPointCodec codec(modulus_, 1e-10);
+  EXPECT_FALSE(codec.Encode(std::nan("")).ok());
+  EXPECT_FALSE(codec.Encode(std::numeric_limits<double>::infinity()).ok());
+  EXPECT_FALSE(codec.Encode(1e12).ok());  // 1e12/1e-10 = 1e22 > 2^63
+}
+
+TEST(FixedPointSmallFieldTest, RejectsMagnitudeBeyondHalfModulus) {
+  // Tiny field: encoding must refuse values that alias under centering.
+  FixedPointCodec codec(BigInt(101), 1.0);
+  EXPECT_TRUE(codec.Encode(50.0).ok());
+  EXPECT_FALSE(codec.Encode(51.0).ok());
+  EXPECT_TRUE(codec.Encode(-50.0).ok());
+  EXPECT_FALSE(codec.Encode(-51.0).ok());
+}
+
+TEST(FixedPointSmallFieldTest, CenteringBoundary) {
+  FixedPointCodec codec(BigInt(101), 1.0);
+  EXPECT_DOUBLE_EQ(codec.DecodePlain(BigInt(50)), 50.0);
+  EXPECT_DOUBLE_EQ(codec.DecodePlain(BigInt(51)), -50.0);
+  EXPECT_DOUBLE_EQ(codec.DecodePlain(BigInt(100)), -1.0);
+  EXPECT_DOUBLE_EQ(codec.DecodePlain(BigInt(0)), 0.0);
+}
+
+class PrecisionSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PrecisionSweep, RoundTripAtPrecision) {
+  Rng rng(5);
+  BigInt modulus = GeneratePrime(200, rng);
+  FixedPointCodec codec(modulus, GetParam());
+  for (int i = 0; i < 100; ++i) {
+    double x = rng.Uniform(-10.0, 10.0);
+    EXPECT_NEAR(codec.DecodePlain(codec.Encode(x).value()), x,
+                GetParam() * 0.5 + 1e-15);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Precisions, PrecisionSweep,
+                         ::testing::Values(1e-6, 1e-8, 1e-10, 1e-12));
+
+}  // namespace
+}  // namespace uldp

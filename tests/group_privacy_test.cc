@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "dp/group_privacy.h"
+
+namespace uldp {
+namespace {
+
+RdpAccountant Figure2Accountant() {
+  RdpAccountant acc;
+  acc.AddSubsampledGaussianSteps(0.01, 5.0, 100000);
+  return acc;
+}
+
+TEST(PowerOfTwoTest, Helpers) {
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(2));
+  EXPECT_TRUE(IsPowerOfTwo(64));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+  EXPECT_FALSE(IsPowerOfTwo(12));
+  EXPECT_EQ(NextPowerOfTwo(1), 1);
+  EXPECT_EQ(NextPowerOfTwo(5), 8);
+  EXPECT_EQ(PrevPowerOfTwo(5), 4);
+  EXPECT_EQ(PrevPowerOfTwo(64), 64);
+  EXPECT_EQ(PrevPowerOfTwo(63), 32);
+}
+
+TEST(GroupPrivacyRdpTest, GroupSizeOneIsIdentity) {
+  auto acc = Figure2Accountant();
+  EXPECT_NEAR(GroupPrivacyEpsilonRdp(acc, 1, 1e-5).value(),
+              acc.GetEpsilon(1e-5).value(), 1e-12);
+}
+
+TEST(GroupPrivacyRdpTest, EpsilonGrowsSuperlinearlyWithK) {
+  // The paper's headline observation (Figure 2): eps blows up rapidly.
+  auto acc = Figure2Accountant();
+  double prev = 0.0;
+  std::vector<double> eps_values;
+  for (int k : {1, 2, 4, 8, 16, 32, 64}) {
+    double eps = GroupPrivacyEpsilonRdp(acc, k, 1e-5).value();
+    EXPECT_GT(eps, prev) << k;
+    eps_values.push_back(eps);
+    prev = eps;
+  }
+  // k=1 anchor ~2.85 (paper), k=32 in the thousands, k=64 >> k=32.
+  EXPECT_NEAR(eps_values[0], 2.85, 0.02);
+  EXPECT_GT(eps_values[5], 1000.0);
+  EXPECT_GT(eps_values[6], 3.0 * eps_values[5]);
+  // Super-linear: eps(2k)/eps(k) > 2 everywhere.
+  for (size_t i = 1; i < eps_values.size(); ++i) {
+    EXPECT_GT(eps_values[i], 2.0 * eps_values[i - 1]);
+  }
+}
+
+TEST(GroupPrivacyRdpTest, RejectsNonPowerOfTwo) {
+  auto acc = Figure2Accountant();
+  EXPECT_FALSE(GroupPrivacyEpsilonRdp(acc, 3, 1e-5).ok());
+  EXPECT_FALSE(GroupPrivacyEpsilonRdp(acc, 12, 1e-5).ok());
+}
+
+TEST(GroupPrivacyNormalDpTest, MatchesRdpRouteAtK1) {
+  auto acc = Figure2Accountant();
+  EXPECT_NEAR(GroupPrivacyEpsilonNormalDp(acc, 1, 1e-5).value(),
+              acc.GetEpsilon(1e-5).value(), 1e-9);
+}
+
+TEST(GroupPrivacyNormalDpTest, TighterThanRdpRouteAtSmallK) {
+  // The paper observes the normal-DP route is tighter for small k (by
+  // roughly up to 3x), then becomes numerically infeasible.
+  auto acc = Figure2Accountant();
+  for (int k : {2, 4, 8}) {
+    double rdp_eps = GroupPrivacyEpsilonRdp(acc, k, 1e-5).value();
+    double normal_eps = GroupPrivacyEpsilonNormalDp(acc, k, 1e-5).value();
+    EXPECT_LT(normal_eps, rdp_eps) << k;
+    EXPECT_GT(normal_eps, rdp_eps / 3.5) << k;
+  }
+}
+
+TEST(GroupPrivacyNormalDpTest, InstabilityAtLargeK) {
+  // Lemma 5's k e^{(k-1)eps} delta factor makes a fixed final delta
+  // unreachable for large k — the "drastic change / numerical instability"
+  // the paper reports. We surface it as an error Status.
+  auto acc = Figure2Accountant();
+  auto result = GroupPrivacyEpsilonNormalDp(acc, 64, 1e-5);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(GroupPrivacyTest, LessNoiseMeansMoreEpsilonAtEveryK) {
+  RdpAccountant tight, loose;
+  tight.AddSubsampledGaussianSteps(0.01, 8.0, 10000);
+  loose.AddSubsampledGaussianSteps(0.01, 2.0, 10000);
+  for (int k : {1, 2, 8}) {
+    EXPECT_LT(GroupPrivacyEpsilonRdp(tight, k, 1e-5).value(),
+              GroupPrivacyEpsilonRdp(loose, k, 1e-5).value());
+  }
+}
+
+}  // namespace
+}  // namespace uldp

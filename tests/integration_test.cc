@@ -1,0 +1,224 @@
+// Cross-module integration tests: full pipelines from synthetic data
+// through allocation, training, privacy accounting, and (for the averaged
+// runner) multi-seed aggregation — plus the central-vs-distributed noise
+// cross-check.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/experiment.h"
+#include "core/uldp_avg.h"
+#include "core/uldp_group.h"
+#include "core/uldp_naive.h"
+#include "core/uldp_sgd.h"
+#include "data/allocation.h"
+#include "data/synthetic.h"
+#include "fl/fedavg.h"
+
+namespace uldp {
+namespace {
+
+TEST(IntegrationTest, HeartDiseasePipelineAllAlgorithms) {
+  Rng rng(1);
+  auto data = MakeHeartDiseaseLike(rng);
+  AllocationOptions alloc;
+  alloc.kind = AllocationKind::kZipf;
+  ASSERT_TRUE(
+      AllocateUsersWithinSilos(data.train, 50, data.num_silos, alloc, rng)
+          .ok());
+  FederatedDataset fd(data.train, data.test, 50, data.num_silos);
+  auto model = MakeMlp({13}, 2);
+  ExperimentConfig cfg;
+  cfg.rounds = 4;
+  cfg.eval_every = 2;
+  FlConfig fl;
+  fl.local_lr = 0.2;
+  fl.sigma = 5.0;
+  fl.seed = 3;
+
+  {
+    FlConfig c = fl;
+    c.global_lr = 1.0;
+    FedAvgTrainer alg(fd, *model, c);
+    auto t = RunExperiment(alg, *model, fd, cfg);
+    ASSERT_TRUE(t.ok());
+    EXPECT_EQ(t.value().size(), 2u);
+  }
+  {
+    FlConfig c = fl;
+    c.global_lr = 1.0;
+    UldpNaiveTrainer alg(fd, *model, c);
+    ASSERT_TRUE(RunExperiment(alg, *model, fd, cfg).ok());
+  }
+  {
+    FlConfig c = fl;
+    c.global_lr = 20.0;
+    UldpAvgTrainer alg(fd, *model, c);
+    auto t = RunExperiment(alg, *model, fd, cfg);
+    ASSERT_TRUE(t.ok());
+    EXPECT_GT(t.value().back().epsilon, 0.0);
+  }
+  {
+    FlConfig c = fl;
+    c.global_lr = 40.0;
+    UldpSgdTrainer alg(fd, *model, c);
+    ASSERT_TRUE(RunExperiment(alg, *model, fd, cfg).ok());
+  }
+  {
+    FlConfig c = fl;
+    c.global_lr = 1.0;
+    UldpGroupTrainer alg(fd, *model, c, GroupSizeSpec::Median(), 0.25, 4);
+    ASSERT_TRUE(RunExperiment(alg, *model, fd, cfg).ok());
+  }
+}
+
+TEST(IntegrationTest, TcgaBrcaCoxPipeline) {
+  Rng rng(2);
+  auto data = MakeTcgaBrcaLike(rng);
+  AllocationOptions alloc;
+  alloc.kind = AllocationKind::kZipf;
+  alloc.min_records_per_pair = 2;
+  ASSERT_TRUE(
+      AllocateUsersWithinSilos(data.train, 50, data.num_silos, alloc, rng)
+          .ok());
+  FederatedDataset fd(data.train, data.test, 50, data.num_silos);
+  CoxRegression model(39);
+  FlConfig fl;
+  fl.local_lr = 0.3;
+  fl.global_lr = 20.0;
+  fl.clip = 0.5;
+  fl.sigma = 5.0;
+  UldpAvgTrainer alg(fd, model, fl);
+  ExperimentConfig cfg;
+  cfg.rounds = 6;
+  cfg.eval_every = 3;
+  cfg.metric = UtilityMetric::kCIndex;
+  auto trace = RunExperiment(alg, model, fd, cfg);
+  ASSERT_TRUE(trace.ok());
+  for (const auto& rec : trace.value()) {
+    EXPECT_GE(rec.utility, 0.0);
+    EXPECT_LE(rec.utility, 1.0);
+  }
+}
+
+TEST(IntegrationTest, CentralNoiseModeMatchesAccountingAndTrains) {
+  Rng rng(3);
+  auto data = MakeCreditcardLike(600, 200, rng);
+  AllocationOptions alloc;
+  ASSERT_TRUE(AllocateUsersAndSilos(data.train, 10, 3, alloc, rng).ok());
+  FederatedDataset fd(data.train, data.test, 10, 3);
+  auto model = MakeMlp({30}, 2);
+  FlConfig central;
+  central.sigma = 5.0;
+  central.global_lr = 10.0;
+  central.noise_placement = NoisePlacement::kCentral;
+  FlConfig distributed = central;
+  distributed.noise_placement = NoisePlacement::kDistributed;
+
+  UldpAvgTrainer alg_central(fd, *model, central);
+  UldpAvgTrainer alg_distributed(fd, *model, distributed);
+  Rng init(4);
+  model->InitParams(init);
+  Vec g1 = model->GetParams(), g2 = g1;
+  for (int r = 0; r < 3; ++r) {
+    ASSERT_TRUE(alg_central.RunRound(r, g1).ok());
+    ASSERT_TRUE(alg_distributed.RunRound(r, g2).ok());
+  }
+  // Same privacy accounting either way (the aggregate noise is identical
+  // in distribution; only its placement differs).
+  EXPECT_NEAR(alg_central.EpsilonSpent(1e-5).value(),
+              alg_distributed.EpsilonSpent(1e-5).value(), 1e-12);
+  // Both trained (moved away from init) and stayed finite.
+  for (double v : g1) ASSERT_TRUE(std::isfinite(v));
+  for (double v : g2) ASSERT_TRUE(std::isfinite(v));
+}
+
+TEST(IntegrationTest, CentralNoiseAggregateVarianceMatches) {
+  // With zero local movement (lr = 0), the round delta is pure noise:
+  // distributed mode sums |S| draws of std sigma*C/sqrt(|S|); central mode
+  // adds one draw of std sigma*C. Empirical variances must agree.
+  Rng rng(5);
+  auto data = MakeCreditcardLike(120, 50, rng);
+  AllocationOptions alloc;
+  ASSERT_TRUE(AllocateUsersAndSilos(data.train, 4, 4, alloc, rng).ok());
+  FederatedDataset fd(data.train, data.test, 4, 4);
+  auto model = MakeMlp({30}, 2);
+  auto measure = [&](NoisePlacement placement, uint64_t seed) {
+    FlConfig cfg;
+    cfg.local_lr = 1e-12;  // freeze training signal
+    cfg.global_lr = 1.0;
+    cfg.sigma = 5.0;
+    cfg.clip = 1.0;
+    cfg.seed = seed;
+    cfg.noise_placement = placement;
+    UldpNaiveTrainer alg(fd, *model, cfg);
+    Rng init(6);
+    model->InitParams(init);
+    Vec global = model->GetParams();
+    Vec before = global;
+    double var = 0.0;
+    int rounds = 30;
+    for (int r = 0; r < rounds; ++r) {
+      Vec g = before;
+      ULDP_CHECK(alg.RunRound(r, g).ok());
+      Vec diff = g;
+      Axpy(-1.0, before, diff);
+      // Update = eta_g/|S| * total noise; undo the scaling.
+      var += Dot(diff, diff) / diff.size() * 16.0;  // (|S|/eta_g)^2 = 16
+    }
+    return var / rounds;
+  };
+  double var_distributed = measure(NoisePlacement::kDistributed, 10);
+  double var_central = measure(NoisePlacement::kCentral, 20);
+  // Expected per-coordinate variance: sigma^2 C^2 |S|^2 = 25*16 = 400.
+  EXPECT_NEAR(var_distributed, 400.0, 60.0);
+  EXPECT_NEAR(var_central, 400.0, 60.0);
+}
+
+TEST(IntegrationTest, AveragedRunnerAggregatesSeeds) {
+  Rng rng(7);
+  auto data = MakeCreditcardLike(500, 150, rng);
+  AllocationOptions alloc;
+  ASSERT_TRUE(AllocateUsersAndSilos(data.train, 8, 3, alloc, rng).ok());
+  FederatedDataset fd(data.train, data.test, 8, 3);
+  auto model = MakeMlp({30}, 2);
+  ExperimentConfig cfg;
+  cfg.rounds = 3;
+  cfg.eval_every = 3;
+  AlgorithmFactory factory = [&](uint64_t seed) {
+    FlConfig fl;
+    fl.sigma = 5.0;
+    fl.global_lr = 10.0;
+    fl.seed = seed;
+    return std::make_unique<UldpAvgTrainer>(fd, *model, fl);
+  };
+  auto averaged = RunExperimentAveraged(factory, *model, fd, cfg, 4);
+  ASSERT_TRUE(averaged.ok());
+  ASSERT_EQ(averaged.value().size(), 1u);
+  const auto& rec = averaged.value()[0];
+  EXPECT_EQ(rec.round, 3);
+  // Noise makes seeds differ: std must be strictly positive.
+  EXPECT_GT(rec.std_loss, 0.0);
+  EXPECT_GT(rec.mean_loss, 0.0);
+  // Epsilon is seed-independent.
+  EXPECT_NEAR(rec.epsilon, UldpGaussianEpsilon(5.0, 3, 1e-5).value(), 1e-9);
+}
+
+TEST(IntegrationTest, AveragedRunnerRejectsBadInput) {
+  Rng rng(8);
+  auto data = MakeCreditcardLike(100, 50, rng);
+  AllocationOptions alloc;
+  ASSERT_TRUE(AllocateUsersAndSilos(data.train, 4, 2, alloc, rng).ok());
+  FederatedDataset fd(data.train, data.test, 4, 2);
+  auto model = MakeMlp({30}, 2);
+  ExperimentConfig cfg;
+  AlgorithmFactory factory = [&](uint64_t) {
+    return std::unique_ptr<FlAlgorithm>();
+  };
+  EXPECT_FALSE(RunExperimentAveraged(factory, *model, fd, cfg, 0).ok());
+  EXPECT_FALSE(RunExperimentAveraged(factory, *model, fd, cfg, 1).ok());
+}
+
+}  // namespace
+}  // namespace uldp

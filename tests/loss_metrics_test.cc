@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/loss.h"
+#include "nn/metrics.h"
+#include "nn/model.h"
+
+namespace uldp {
+namespace {
+
+TEST(SoftmaxTest, SumsToOneAndOrders) {
+  Vec probs;
+  Softmax({1.0, 2.0, 3.0}, &probs);
+  EXPECT_NEAR(probs[0] + probs[1] + probs[2], 1.0, 1e-12);
+  EXPECT_LT(probs[0], probs[1]);
+  EXPECT_LT(probs[1], probs[2]);
+}
+
+TEST(SoftmaxTest, StableForHugeLogits) {
+  Vec probs;
+  Softmax({1000.0, 1001.0}, &probs);
+  EXPECT_NEAR(probs[0], 1.0 / (1.0 + std::exp(1.0)), 1e-9);
+  EXPECT_FALSE(std::isnan(probs[0]));
+}
+
+TEST(SoftmaxCrossEntropyTest, UniformLogits) {
+  Vec dlogits;
+  double loss = SoftmaxCrossEntropy({0.0, 0.0, 0.0, 0.0}, 2, &dlogits);
+  EXPECT_NEAR(loss, std::log(4.0), 1e-12);
+  EXPECT_NEAR(dlogits[2], 0.25 - 1.0, 1e-12);
+  EXPECT_NEAR(dlogits[0], 0.25, 1e-12);
+  // Gradient sums to zero.
+  EXPECT_NEAR(dlogits[0] + dlogits[1] + dlogits[2] + dlogits[3], 0.0, 1e-12);
+}
+
+TEST(SoftmaxCrossEntropyTest, ConfidentCorrectHasLowLoss) {
+  double good = SoftmaxCrossEntropy({10.0, -10.0}, 0, nullptr);
+  double bad = SoftmaxCrossEntropy({10.0, -10.0}, 1, nullptr);
+  EXPECT_LT(good, 1e-6);
+  EXPECT_GT(bad, 10.0);
+}
+
+TEST(CoxLossTest, DegenerateBatchesAreZero) {
+  Vec d;
+  EXPECT_EQ(CoxPartialLikelihood({1.0}, {2.0}, {true}, &d), 0.0);
+  EXPECT_EQ(CoxPartialLikelihood({1.0, 2.0}, {1.0, 2.0}, {false, false}, &d),
+            0.0);
+  for (double g : d) EXPECT_EQ(g, 0.0);
+}
+
+TEST(CoxLossTest, KnownTwoSampleValue) {
+  // Two samples, the earlier one has the event. Risk set of sample 0 is
+  // both samples: loss = -(s0 - log(e^{s0} + e^{s1})).
+  double s0 = 1.0, s1 = 0.0;
+  Vec d;
+  double loss =
+      CoxPartialLikelihood({s0, s1}, {1.0, 2.0}, {true, false}, &d);
+  double expect = -(s0 - std::log(std::exp(s0) + std::exp(s1)));
+  EXPECT_NEAR(loss, expect, 1e-12);
+  // Gradient: d0 = p0 - 1, d1 = p1 with p = softmax(s).
+  double p0 = std::exp(s0) / (std::exp(s0) + std::exp(s1));
+  EXPECT_NEAR(d[0], p0 - 1.0, 1e-12);
+  EXPECT_NEAR(d[1], 1.0 - p0, 1e-12);
+}
+
+TEST(CoxLossTest, HigherRiskForEarlierEventsLowersLoss) {
+  // Scores aligned with event order should give smaller loss than
+  // anti-aligned ones.
+  Vec times = {1.0, 2.0, 3.0, 4.0};
+  std::vector<bool> events = {true, true, true, false};
+  double aligned =
+      CoxPartialLikelihood({3.0, 2.0, 1.0, 0.0}, times, events, nullptr);
+  double inverted =
+      CoxPartialLikelihood({0.0, 1.0, 2.0, 3.0}, times, events, nullptr);
+  EXPECT_LT(aligned, inverted);
+}
+
+class MetricModel final : public Model {
+ public:
+  // Fixed scorer: predicts label = x[0] > 0, score = x[0].
+  size_t NumParams() const override { return 0; }
+  Vec GetParams() const override { return {}; }
+  void SetParams(const Vec&) override {}
+  void InitParams(Rng&) override {}
+  std::unique_ptr<Model> Clone() const override {
+    return std::make_unique<MetricModel>();
+  }
+  double LossAndGrad(const std::vector<const Example*>&, Vec*) override {
+    return 0.0;
+  }
+  int Predict(const Vec& x) override { return x[0] > 0 ? 1 : 0; }
+  double Score(const Vec& x) override { return x[0]; }
+};
+
+TEST(MetricsTest, Accuracy) {
+  MetricModel m;
+  std::vector<Example> ex(4);
+  ex[0].x = {1.0};  ex[0].label = 1;
+  ex[1].x = {-1.0}; ex[1].label = 0;
+  ex[2].x = {1.0};  ex[2].label = 0;  // wrong
+  ex[3].x = {-1.0}; ex[3].label = 1;  // wrong
+  EXPECT_DOUBLE_EQ(Accuracy(m, ex), 0.5);
+}
+
+TEST(MetricsTest, CIndexPerfectAndInverted) {
+  MetricModel m;
+  // Higher score must mean earlier event for concordance.
+  std::vector<Example> ex(3);
+  ex[0].x = {3.0}; ex[0].time = 1.0; ex[0].event = true;
+  ex[1].x = {2.0}; ex[1].time = 2.0; ex[1].event = true;
+  ex[2].x = {1.0}; ex[2].time = 3.0; ex[2].event = false;
+  EXPECT_DOUBLE_EQ(CIndex(m, ex), 1.0);
+  // Invert scores: fully discordant.
+  ex[0].x = {1.0};
+  ex[2].x = {3.0};
+  EXPECT_DOUBLE_EQ(CIndex(m, ex), 0.0);
+}
+
+TEST(MetricsTest, CIndexTiesCountHalf) {
+  MetricModel m;
+  std::vector<Example> ex(2);
+  ex[0].x = {1.0}; ex[0].time = 1.0; ex[0].event = true;
+  ex[1].x = {1.0}; ex[1].time = 2.0; ex[1].event = false;
+  EXPECT_DOUBLE_EQ(CIndex(m, ex), 0.5);
+}
+
+TEST(MetricsTest, CIndexCensoredPairsNotComparable) {
+  MetricModel m;
+  // Censored-first pairs are incomparable: no comparable pairs -> 0.5.
+  std::vector<Example> ex(2);
+  ex[0].x = {2.0}; ex[0].time = 1.0; ex[0].event = false;
+  ex[1].x = {1.0}; ex[1].time = 2.0; ex[1].event = false;
+  EXPECT_DOUBLE_EQ(CIndex(m, ex), 0.5);
+}
+
+TEST(MetricsTest, MeanLossMatchesModel) {
+  Rng rng(1);
+  auto model = MakeMlp({2}, 2);
+  model->InitParams(rng);
+  std::vector<Example> ex(3);
+  for (auto& e : ex) {
+    e.x = {rng.Gaussian(), rng.Gaussian()};
+    e.label = static_cast<int>(rng.UniformInt(2));
+  }
+  std::vector<const Example*> batch = {&ex[0], &ex[1], &ex[2]};
+  EXPECT_NEAR(MeanLoss(*model, ex), model->LossAndGrad(batch, nullptr),
+              1e-12);
+}
+
+}  // namespace
+}  // namespace uldp

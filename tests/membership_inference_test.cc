@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "core/membership_inference.h"
+#include "nn/metrics.h"
+#include "nn/optimizer.h"
+
+namespace uldp {
+namespace {
+
+TEST(AucTest, KnownOrderings) {
+  // Perfect separation.
+  EXPECT_DOUBLE_EQ(AucFromScores({3.0, 4.0}, {1.0, 2.0}), 1.0);
+  // Perfect inversion.
+  EXPECT_DOUBLE_EQ(AucFromScores({1.0, 2.0}, {3.0, 4.0}), 0.0);
+  // All tied.
+  EXPECT_DOUBLE_EQ(AucFromScores({1.0, 1.0}, {1.0}), 0.5);
+  // Half-and-half.
+  EXPECT_DOUBLE_EQ(AucFromScores({2.0}, {1.0, 3.0}), 0.5);
+  // Degenerate inputs.
+  EXPECT_DOUBLE_EQ(AucFromScores({}, {1.0}), 0.5);
+  EXPECT_DOUBLE_EQ(AucFromScores({1.0}, {}), 0.5);
+}
+
+TEST(AucTest, InvariantUnderMonotoneTransform) {
+  std::vector<double> pos = {0.3, 0.9, 0.5};
+  std::vector<double> neg = {0.1, 0.4};
+  double base = AucFromScores(pos, neg);
+  for (auto& v : pos) v = 10.0 * v + 3.0;
+  for (auto& v : neg) v = 10.0 * v + 3.0;
+  EXPECT_DOUBLE_EQ(AucFromScores(pos, neg), base);
+}
+
+TEST(MembershipScoresTest, LowerLossMeansHigherScore) {
+  Rng rng(1);
+  auto model = MakeMlp({2}, 2);
+  model->InitParams(rng);
+  // User 0: examples the model classifies confidently after training;
+  // user 1: opposite-labeled duplicates (high loss by construction).
+  std::vector<Example> fit(20), unfit(20);
+  for (int i = 0; i < 20; ++i) {
+    fit[i].x = {2.0 + rng.Gaussian() * 0.1, 2.0};
+    fit[i].label = 1;
+    unfit[i].x = fit[i].x;
+    unfit[i].label = 0;
+  }
+  // Train toward user 0's labels.
+  std::vector<const Example*> batch;
+  for (const auto& ex : fit) batch.push_back(&ex);
+  Vec params = model->GetParams();
+  Vec grad(params.size());
+  SgdOptimizer opt(0.5);
+  for (int step = 0; step < 50; ++step) {
+    std::fill(grad.begin(), grad.end(), 0.0);
+    model->LossAndGrad(batch, &grad);
+    opt.Step(grad, params);
+    model->SetParams(params);
+  }
+  auto scores = UserMembershipScores(*model, {fit, unfit});
+  EXPECT_GT(scores[0], scores[1]);
+}
+
+TEST(MembershipAttackTest, OverfitModelLeaksMembership) {
+  // Centralized sanity check of the full attack: overfit a model on the
+  // member users; the attack AUC must be well above chance.
+  Rng rng(2);
+  const int users = 20, per_user = 4;
+  std::vector<std::vector<Example>> members(users), non_members(users);
+  std::vector<Example> train;
+  for (int u = 0; u < users; ++u) {
+    for (int i = 0; i < per_user; ++i) {
+      Example ex;
+      ex.x = {rng.Gaussian(), rng.Gaussian(), rng.Gaussian()};
+      ex.label = static_cast<int>(rng.UniformInt(2));
+      members[u].push_back(ex);
+      train.push_back(ex);
+      Example other;
+      other.x = {rng.Gaussian(), rng.Gaussian(), rng.Gaussian()};
+      other.label = static_cast<int>(rng.UniformInt(2));
+      non_members[u].push_back(other);
+    }
+  }
+  // Random labels on random inputs: anything the model learns is pure
+  // memorization of the members.
+  auto model = MakeMlp({3, 64}, 2);
+  model->InitParams(rng);
+  std::vector<const Example*> batch;
+  for (const auto& ex : train) batch.push_back(&ex);
+  Vec params = model->GetParams();
+  Vec grad(params.size());
+  SgdOptimizer opt(0.3);
+  for (int step = 0; step < 400; ++step) {
+    std::fill(grad.begin(), grad.end(), 0.0);
+    model->LossAndGrad(batch, &grad);
+    opt.Step(grad, params);
+    model->SetParams(params);
+  }
+  double auc = UserMembershipAttackAuc(*model, members, non_members);
+  EXPECT_GT(auc, 0.8);
+}
+
+TEST(MembershipAttackTest, UntrainedModelIsChance) {
+  Rng rng(3);
+  const int users = 30;
+  std::vector<std::vector<Example>> members(users), non_members(users);
+  for (int u = 0; u < users; ++u) {
+    for (int i = 0; i < 5; ++i) {
+      Example ex;
+      ex.x = {rng.Gaussian(), rng.Gaussian()};
+      ex.label = static_cast<int>(rng.UniformInt(2));
+      members[u].push_back(ex);
+      Example other = ex;
+      other.x = {rng.Gaussian(), rng.Gaussian()};
+      non_members[u].push_back(other);
+    }
+  }
+  auto model = MakeMlp({2, 8}, 2);
+  model->InitParams(rng);
+  double auc = UserMembershipAttackAuc(*model, members, non_members);
+  EXPECT_NEAR(auc, 0.5, 0.2);
+}
+
+TEST(MembershipAttackTest, EmptyUserSlotsSkipped) {
+  Rng rng(4);
+  auto model = MakeMlp({2}, 2);
+  model->InitParams(rng);
+  std::vector<std::vector<Example>> members(3), non_members(3);
+  Example ex;
+  ex.x = {1.0, -1.0};
+  ex.label = 0;
+  members[1].push_back(ex);
+  non_members[2].push_back(ex);
+  double auc = UserMembershipAttackAuc(*model, members, non_members);
+  // One member vs one identical non-member: tie = 0.5.
+  EXPECT_DOUBLE_EQ(auc, 0.5);
+}
+
+}  // namespace
+}  // namespace uldp

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "nn/model.h"
+#include "nn/optimizer.h"
+
+namespace uldp {
+namespace {
+
+TEST(ModelTest, ParamCountMlp) {
+  auto m = MakeMlp({30, 16}, 2);
+  // 30*16+16 + 16*2+2 = 496 + 34 = 530.
+  EXPECT_EQ(m->NumParams(), 530u);
+  auto lr = MakeMlp({13}, 2);
+  EXPECT_EQ(lr->NumParams(), 13u * 2 + 2);
+}
+
+TEST(ModelTest, ParamCountCnn) {
+  auto m = MakeSmallCnn(14, 16, 10);
+  // conv: 16*1*9+16 = 160; fc: 16*7*7*10 + 10 = 7850. Total 8010.
+  EXPECT_EQ(m->NumParams(), 8010u);
+}
+
+TEST(ModelTest, ParamsRoundTrip) {
+  Rng rng(1);
+  auto m = MakeMlp({5, 7}, 3);
+  m->InitParams(rng);
+  Vec p = m->GetParams();
+  Vec modified = p;
+  for (double& v : modified) v += 0.5;
+  m->SetParams(modified);
+  EXPECT_EQ(m->GetParams(), modified);
+  m->SetParams(p);
+  EXPECT_EQ(m->GetParams(), p);
+}
+
+TEST(ModelTest, CloneIsIndependentAndIdentical) {
+  Rng rng(2);
+  auto m = MakeMlp({4, 6}, 2);
+  m->InitParams(rng);
+  auto clone = m->Clone();
+  EXPECT_EQ(clone->GetParams(), m->GetParams());
+  // Mutating the clone leaves the original untouched.
+  Vec p = clone->GetParams();
+  p[0] += 1.0;
+  clone->SetParams(p);
+  EXPECT_NE(clone->GetParams(), m->GetParams());
+  // Same input -> same logits on equal params.
+  clone->SetParams(m->GetParams());
+  Vec x = {0.1, -0.2, 0.3, 0.4};
+  EXPECT_EQ(clone->Predict(x), m->Predict(x));
+}
+
+TEST(ModelTest, CloneCnn) {
+  Rng rng(3);
+  auto m = MakeSmallCnn(6, 2, 3);
+  m->InitParams(rng);
+  auto clone = m->Clone();
+  Vec x(36);
+  for (double& v : x) v = rng.Gaussian();
+  EXPECT_EQ(clone->Predict(x), m->Predict(x));
+}
+
+TEST(ModelTest, TrainingReducesLossOnSeparableData) {
+  Rng rng(4);
+  auto m = MakeMlp({2, 8}, 2);
+  m->InitParams(rng);
+  // Two separable blobs.
+  std::vector<Example> data(200);
+  for (size_t i = 0; i < data.size(); ++i) {
+    int label = i % 2;
+    data[i].x = {rng.Gaussian() + (label ? 2.5 : -2.5),
+                 rng.Gaussian() + (label ? 2.5 : -2.5)};
+    data[i].label = label;
+  }
+  std::vector<const Example*> batch;
+  for (const auto& ex : data) batch.push_back(&ex);
+  double before = m->LossAndGrad(batch, nullptr);
+  Vec params = m->GetParams();
+  Vec grad(params.size());
+  SgdOptimizer opt(0.3);
+  for (int step = 0; step < 60; ++step) {
+    std::fill(grad.begin(), grad.end(), 0.0);
+    m->LossAndGrad(batch, &grad);
+    opt.Step(grad, params);
+    m->SetParams(params);
+  }
+  double after = m->LossAndGrad(batch, nullptr);
+  EXPECT_LT(after, 0.4 * before);
+  // Essentially classifies the blobs.
+  int correct = 0;
+  for (const auto& ex : data) correct += m->Predict(ex.x) == ex.label;
+  EXPECT_GT(correct, 190);
+}
+
+TEST(ModelTest, ScoreIsClassOneProbabilityForBinary) {
+  Rng rng(5);
+  auto m = MakeMlp({3}, 2);
+  m->InitParams(rng);
+  Vec x = {1.0, -1.0, 0.5};
+  double score = m->Score(x);
+  EXPECT_GT(score, 0.0);
+  EXPECT_LT(score, 1.0);
+}
+
+TEST(CoxModelTest, ScoreIsLinearRisk) {
+  CoxRegression m(3);
+  m.SetParams({1.0, -2.0, 0.5});
+  EXPECT_DOUBLE_EQ(m.Score({1.0, 1.0, 2.0}), 1.0 - 2.0 + 1.0);
+}
+
+TEST(CoxModelTest, TrainingImprovesConcordance) {
+  Rng rng(6);
+  CoxRegression m(4);
+  m.InitParams(rng);
+  // Ground truth: risk = 2*x0 - x1; times exponential in exp(risk).
+  std::vector<Example> data(150);
+  for (auto& ex : data) {
+    ex.x.resize(4);
+    for (double& v : ex.x) v = rng.Gaussian();
+    double risk = 2.0 * ex.x[0] - ex.x[1];
+    ex.time = -std::log(std::max(rng.Uniform(), 1e-12)) / std::exp(risk);
+    ex.event = rng.Bernoulli(0.8);
+  }
+  std::vector<const Example*> batch;
+  for (const auto& ex : data) batch.push_back(&ex);
+  Vec params = m.GetParams();
+  Vec grad(params.size());
+  double before = m.LossAndGrad(batch, nullptr);
+  SgdOptimizer opt(0.5);
+  for (int step = 0; step < 100; ++step) {
+    std::fill(grad.begin(), grad.end(), 0.0);
+    m.LossAndGrad(batch, &grad);
+    opt.Step(grad, params);
+    m.SetParams(params);
+  }
+  double after = m.LossAndGrad(batch, nullptr);
+  EXPECT_LT(after, before);
+  // Learned coefficients point in the right direction.
+  Vec theta = m.GetParams();
+  EXPECT_GT(theta[0], 0.0);
+  EXPECT_LT(theta[1], 0.0);
+}
+
+TEST(OptimizerTest, PlainSgdStep) {
+  SgdOptimizer opt(0.1);
+  Vec params = {1.0, 2.0};
+  opt.Step({10.0, -10.0}, params);
+  EXPECT_NEAR(params[0], 0.0, 1e-12);
+  EXPECT_NEAR(params[1], 3.0, 1e-12);
+}
+
+TEST(OptimizerTest, MomentumAccumulates) {
+  SgdOptimizer opt(0.1, 0.9);
+  Vec params = {0.0};
+  opt.Step({1.0}, params);  // v=1, p=-0.1
+  EXPECT_NEAR(params[0], -0.1, 1e-12);
+  opt.Step({1.0}, params);  // v=1.9, p=-0.29
+  EXPECT_NEAR(params[0], -0.29, 1e-12);
+  opt.Reset();
+  opt.Step({1.0}, params);  // v=1 again
+  EXPECT_NEAR(params[0], -0.39, 1e-12);
+}
+
+}  // namespace
+}  // namespace uldp

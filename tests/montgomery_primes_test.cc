@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "math/montgomery.h"
+#include "math/primes.h"
+
+namespace uldp {
+namespace {
+
+// Naive square-and-multiply with plain division, to cross-check Montgomery.
+BigInt NaiveModExp(const BigInt& base, const BigInt& exp, const BigInt& m) {
+  BigInt result(1);
+  BigInt b = base.Mod(m);
+  for (int i = exp.BitLength() - 1; i >= 0; --i) {
+    result = (result * result).Mod(m);
+    if (exp.Bit(i)) result = (result * b).Mod(m);
+  }
+  return result;
+}
+
+class MontgomerySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MontgomerySweep, ModExpMatchesNaive) {
+  int bits = GetParam();
+  Rng rng(500 + bits);
+  // Random odd modulus of the given size.
+  BigInt m = BigInt::RandomBits(bits, rng);
+  if (m.IsEven()) m = m + BigInt(1);
+  Montgomery ctx(m);
+  for (int i = 0; i < 10; ++i) {
+    BigInt base = BigInt::RandomBelow(m, rng);
+    BigInt exp = BigInt::RandomBits(bits / 2 + 1, rng);
+    EXPECT_EQ(ctx.ModExp(base, exp), NaiveModExp(base, exp, m));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MontgomerySweep,
+                         ::testing::Values(8, 16, 64, 128, 200, 512, 1024));
+
+TEST(MontgomeryTest, ModMulMatchesPlain) {
+  Rng rng(42);
+  BigInt m = BigInt::RandomBits(256, rng);
+  if (m.IsEven()) m = m + BigInt(1);
+  Montgomery ctx(m);
+  for (int i = 0; i < 50; ++i) {
+    BigInt a = BigInt::RandomBelow(m, rng);
+    BigInt b = BigInt::RandomBelow(m, rng);
+    EXPECT_EQ(ctx.ModMul(a, b), (a * b).Mod(m));
+  }
+}
+
+TEST(MontgomeryTest, EdgeExponents) {
+  Montgomery ctx(BigInt(101));
+  EXPECT_EQ(ctx.ModExp(BigInt(5), BigInt(0)), BigInt(1));
+  EXPECT_EQ(ctx.ModExp(BigInt(5), BigInt(1)), BigInt(5));
+  EXPECT_EQ(ctx.ModExp(BigInt(0), BigInt(5)), BigInt(0));
+  EXPECT_EQ(ctx.ModExp(BigInt(100), BigInt(2)), BigInt(1));  // (-1)^2
+}
+
+TEST(MontgomeryTest, FermatLittleTheorem) {
+  Rng rng(7);
+  BigInt p = GeneratePrime(192, rng);
+  Montgomery ctx(p);
+  for (int i = 0; i < 10; ++i) {
+    BigInt a = BigInt::RandomBelow(p - BigInt(2), rng) + BigInt(1);
+    EXPECT_EQ(ctx.ModExp(a, p - BigInt(1)), BigInt(1));
+  }
+}
+
+TEST(PrimesTest, SmallKnownPrimes) {
+  Rng rng(1);
+  for (uint64_t p : {2ull, 3ull, 5ull, 7ull, 97ull, 251ull, 257ull, 65537ull,
+                     2147483647ull}) {
+    EXPECT_TRUE(IsProbablePrime(BigInt(p), rng)) << p;
+  }
+}
+
+TEST(PrimesTest, SmallKnownComposites) {
+  Rng rng(2);
+  for (uint64_t c : {1ull, 4ull, 9ull, 15ull, 91ull, 341ull, 561ull /*Carmichael*/,
+                     1105ull, 1729ull, 6601ull, 41041ull, 825265ull}) {
+    EXPECT_FALSE(IsProbablePrime(BigInt(c), rng)) << c;
+  }
+}
+
+TEST(PrimesTest, LargeKnownPrime) {
+  Rng rng(3);
+  // 2^127 - 1 is a Mersenne prime.
+  BigInt m127 = (BigInt(1) << 127) - BigInt(1);
+  EXPECT_TRUE(IsProbablePrime(m127, rng));
+  // 2^128 - 1 is composite.
+  EXPECT_FALSE(IsProbablePrime((BigInt(1) << 128) - BigInt(1), rng));
+}
+
+TEST(PrimesTest, GeneratedPrimesHaveExactBitLengthAndPassTest) {
+  Rng rng(4);
+  for (int bits : {16, 32, 64, 128, 256}) {
+    BigInt p = GeneratePrime(bits, rng);
+    EXPECT_EQ(p.BitLength(), bits);
+    EXPECT_TRUE(IsProbablePrime(p, rng));
+  }
+}
+
+TEST(PrimesTest, SafePrimeStructure) {
+  Rng rng(5);
+  BigInt p = GenerateSafePrime(96, rng);
+  EXPECT_EQ(p.BitLength(), 96);
+  EXPECT_TRUE(IsProbablePrime(p, rng));
+  BigInt q = (p - BigInt(1)) >> 1;
+  EXPECT_TRUE(IsProbablePrime(q, rng));
+}
+
+}  // namespace
+}  // namespace uldp

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "crypto/paillier.h"
+
+namespace uldp {
+namespace {
+
+class PaillierFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    rng_ = new Rng(2024);
+    pk_ = new PaillierPublicKey();
+    sk_ = new PaillierSecretKey();
+    ASSERT_TRUE(Paillier::GenerateKeyPair(512, *rng_, pk_, sk_).ok());
+  }
+  static void TearDownTestSuite() {
+    delete rng_;
+    delete pk_;
+    delete sk_;
+  }
+  static Rng* rng_;
+  static PaillierPublicKey* pk_;
+  static PaillierSecretKey* sk_;
+};
+
+Rng* PaillierFixture::rng_ = nullptr;
+PaillierPublicKey* PaillierFixture::pk_ = nullptr;
+PaillierSecretKey* PaillierFixture::sk_ = nullptr;
+
+TEST_F(PaillierFixture, KeyStructure) {
+  EXPECT_EQ(pk_->n.BitLength(), 512);
+  EXPECT_EQ(pk_->n_squared, pk_->n * pk_->n);
+  EXPECT_EQ(sk_->p * sk_->q, pk_->n);
+  // mu * lambda == 1 mod n.
+  EXPECT_EQ(sk_->mu.ModMul(sk_->lambda, pk_->n), BigInt(1));
+}
+
+TEST_F(PaillierFixture, EncryptDecryptRoundTrip) {
+  for (int i = 0; i < 20; ++i) {
+    BigInt m = BigInt::RandomBelow(pk_->n, *rng_);
+    BigInt c = Paillier::Encrypt(*pk_, m, *rng_).value();
+    EXPECT_EQ(Paillier::Decrypt(*pk_, *sk_, c).value(), m);
+  }
+}
+
+TEST_F(PaillierFixture, EdgePlaintexts) {
+  for (const BigInt& m : {BigInt(0), BigInt(1), pk_->n - BigInt(1)}) {
+    BigInt c = Paillier::Encrypt(*pk_, m, *rng_).value();
+    EXPECT_EQ(Paillier::Decrypt(*pk_, *sk_, c).value(), m);
+  }
+}
+
+TEST_F(PaillierFixture, EncryptionIsRandomized) {
+  BigInt m(12345);
+  BigInt c1 = Paillier::Encrypt(*pk_, m, *rng_).value();
+  BigInt c2 = Paillier::Encrypt(*pk_, m, *rng_).value();
+  EXPECT_NE(c1, c2);
+  EXPECT_EQ(Paillier::Decrypt(*pk_, *sk_, c1).value(),
+            Paillier::Decrypt(*pk_, *sk_, c2).value());
+}
+
+TEST_F(PaillierFixture, HomomorphicAddition) {
+  for (int i = 0; i < 10; ++i) {
+    BigInt m1 = BigInt::RandomBelow(pk_->n, *rng_);
+    BigInt m2 = BigInt::RandomBelow(pk_->n, *rng_);
+    BigInt c1 = Paillier::Encrypt(*pk_, m1, *rng_).value();
+    BigInt c2 = Paillier::Encrypt(*pk_, m2, *rng_).value();
+    BigInt sum = Paillier::AddCiphertexts(*pk_, c1, c2);
+    EXPECT_EQ(Paillier::Decrypt(*pk_, *sk_, sum).value(),
+              m1.ModAdd(m2, pk_->n));
+  }
+}
+
+TEST_F(PaillierFixture, HomomorphicPlaintextAddition) {
+  BigInt m(777);
+  BigInt c = Paillier::Encrypt(*pk_, m, *rng_).value();
+  BigInt shifted = Paillier::AddPlaintext(*pk_, c, BigInt(223));
+  EXPECT_EQ(Paillier::Decrypt(*pk_, *sk_, shifted).value(), BigInt(1000));
+  // Adding n wraps to identity.
+  BigInt wrap = Paillier::AddPlaintext(*pk_, c, pk_->n);
+  EXPECT_EQ(Paillier::Decrypt(*pk_, *sk_, wrap).value(), m);
+}
+
+TEST_F(PaillierFixture, HomomorphicScalarMultiplication) {
+  BigInt m(321);
+  BigInt c = Paillier::Encrypt(*pk_, m, *rng_).value();
+  BigInt tripled = Paillier::MulPlaintext(*pk_, c, BigInt(3));
+  EXPECT_EQ(Paillier::Decrypt(*pk_, *sk_, tripled).value(), BigInt(963));
+  // Multiplying by 0 gives an encryption of 0.
+  BigInt zeroed = Paillier::MulPlaintext(*pk_, c, BigInt(0));
+  EXPECT_EQ(Paillier::Decrypt(*pk_, *sk_, zeroed).value(), BigInt(0));
+  // Random scalar.
+  BigInt k = BigInt::RandomBelow(pk_->n, *rng_);
+  BigInt scaled = Paillier::MulPlaintext(*pk_, c, k);
+  EXPECT_EQ(Paillier::Decrypt(*pk_, *sk_, scaled).value(),
+            m.ModMul(k, pk_->n));
+}
+
+TEST_F(PaillierFixture, RerandomizeKeepsPlaintextChangesCiphertext) {
+  BigInt m(999);
+  BigInt c = Paillier::Encrypt(*pk_, m, *rng_).value();
+  BigInt c2 = Paillier::Rerandomize(*pk_, c, *rng_).value();
+  EXPECT_NE(c, c2);
+  EXPECT_EQ(Paillier::Decrypt(*pk_, *sk_, c2).value(), m);
+}
+
+TEST_F(PaillierFixture, RejectsOutOfRangeInputs) {
+  EXPECT_FALSE(Paillier::Encrypt(*pk_, pk_->n, *rng_).ok());
+  EXPECT_FALSE(Paillier::Encrypt(*pk_, BigInt(-1), *rng_).ok());
+  EXPECT_FALSE(Paillier::Decrypt(*pk_, *sk_, pk_->n_squared).ok());
+  EXPECT_FALSE(Paillier::Decrypt(*pk_, *sk_, BigInt(-5)).ok());
+}
+
+TEST(PaillierKeygenTest, RejectsBadParameters) {
+  Rng rng(1);
+  PaillierPublicKey pk;
+  PaillierSecretKey sk;
+  EXPECT_FALSE(Paillier::GenerateKeyPair(32, rng, &pk, &sk).ok());
+  EXPECT_FALSE(Paillier::GenerateKeyPair(129, rng, &pk, &sk).ok());
+}
+
+TEST(PaillierKeygenTest, DifferentSeedsDifferentKeys) {
+  Rng r1(10), r2(20);
+  PaillierPublicKey pk1, pk2;
+  PaillierSecretKey sk1, sk2;
+  ASSERT_TRUE(Paillier::GenerateKeyPair(128, r1, &pk1, &sk1).ok());
+  ASSERT_TRUE(Paillier::GenerateKeyPair(128, r2, &pk2, &sk2).ok());
+  EXPECT_NE(pk1.n, pk2.n);
+}
+
+// The protocol's core identity: Enc(b)^(e * r * h) decrypts to b*e*r*h,
+// and with b = (r*N)^{-1} the blind cancels — the scalar path Protocol 1
+// relies on (weighting step b).
+TEST_F(PaillierFixture, BlindCancellationIdentity) {
+  Rng& rng = *rng_;
+  const BigInt& n = pk_->n;
+  BigInt r_u = BigInt::RandomBelow(n, rng);
+  ASSERT_EQ(BigInt::Gcd(r_u, n), BigInt(1));
+  int64_t n_su = 3, total = 7;
+  BigInt blinded = r_u.ModMul(BigInt(total), n);
+  BigInt b_inv = blinded.ModInverse(n).value();
+  BigInt enc = Paillier::Encrypt(*pk_, b_inv, rng).value();
+  // scalar = e * n_su * r_u  (C_LCM omitted: any factor works).
+  BigInt e(123456);
+  BigInt scalar = e.ModMul(BigInt(n_su), n).ModMul(r_u, n);
+  BigInt weighted = Paillier::MulPlaintext(*pk_, enc, scalar);
+  BigInt dec = Paillier::Decrypt(*pk_, *sk_, weighted).value();
+  // Expected: e * n_su / total in the field = e * n_su * total^{-1}.
+  BigInt expect = e.ModMul(BigInt(n_su), n)
+                      .ModMul(BigInt(total).ModInverse(n).value(), n);
+  EXPECT_EQ(dec, expect);
+}
+
+}  // namespace
+}  // namespace uldp

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dp/rdp.h"
+
+namespace uldp {
+namespace {
+
+TEST(GaussianRdpTest, ClosedForm) {
+  EXPECT_DOUBLE_EQ(GaussianRdp(2.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(GaussianRdp(8.0, 5.0), 8.0 / 50.0);
+  EXPECT_DOUBLE_EQ(GaussianRdp(3.0, 2.0), 3.0 / 8.0);
+}
+
+TEST(SubsampledGaussianRdpTest, FullSamplingReducesToGaussian) {
+  for (int alpha : {2, 3, 8, 32}) {
+    for (double sigma : {0.5, 1.0, 5.0}) {
+      EXPECT_NEAR(SubsampledGaussianRdp(alpha, 1.0, sigma),
+                  GaussianRdp(alpha, sigma), 1e-9);
+    }
+  }
+}
+
+TEST(SubsampledGaussianRdpTest, ZeroSamplingIsFree) {
+  EXPECT_DOUBLE_EQ(SubsampledGaussianRdp(4, 0.0, 1.0), 0.0);
+}
+
+TEST(SubsampledGaussianRdpTest, MonotoneInQ) {
+  for (int alpha : {2, 4, 16}) {
+    double prev = 0.0;
+    for (double q : {0.01, 0.1, 0.3, 0.7, 1.0}) {
+      double rho = SubsampledGaussianRdp(alpha, q, 2.0);
+      EXPECT_GE(rho, prev);
+      prev = rho;
+    }
+  }
+}
+
+TEST(SubsampledGaussianRdpTest, MonotoneDecreasingInSigma) {
+  for (int alpha : {2, 8}) {
+    double prev = std::numeric_limits<double>::infinity();
+    for (double sigma : {0.5, 1.0, 2.0, 5.0, 10.0}) {
+      double rho = SubsampledGaussianRdp(alpha, 0.05, sigma);
+      EXPECT_LT(rho, prev);
+      prev = rho;
+    }
+  }
+}
+
+TEST(SubsampledGaussianRdpTest, SubsamplingAmplifies) {
+  // rho(q) << rho(1) for small q.
+  double rho_sub = SubsampledGaussianRdp(8, 0.01, 1.0);
+  double rho_full = GaussianRdp(8, 1.0);
+  EXPECT_LT(rho_sub, 0.05 * rho_full);
+}
+
+TEST(RdpToDpTest, KnownShape) {
+  // eps increases with rho, decreases with larger delta.
+  EXPECT_LT(RdpToDp(8, 0.1, 1e-5), RdpToDp(8, 1.0, 1e-5));
+  EXPECT_GT(RdpToDp(8, 0.1, 1e-8), RdpToDp(8, 0.1, 1e-3));
+  // Sanity value: alpha=2, rho=0 gives log(1/2)-ish terms.
+  double eps = RdpToDp(2.0, 0.0, 1e-5);
+  EXPECT_NEAR(eps, std::log(0.5) - std::log(1e-5) - std::log(2.0), 1e-12);
+}
+
+TEST(AccountantTest, GaussianCompositionLinearInRho) {
+  RdpAccountant a1, a2;
+  a1.AddGaussianSteps(5.0, 1);
+  a2.AddGaussianSteps(5.0, 10);
+  EXPECT_NEAR(a2.RhoAtOrder(8).value(), 10 * a1.RhoAtOrder(8).value(), 1e-12);
+}
+
+TEST(AccountantTest, EpsilonDecreasesWithLargerSigma) {
+  RdpAccountant small_noise, big_noise;
+  small_noise.AddGaussianSteps(1.0, 100);
+  big_noise.AddGaussianSteps(10.0, 100);
+  EXPECT_GT(small_noise.GetEpsilon(1e-5).value(),
+            big_noise.GetEpsilon(1e-5).value());
+}
+
+TEST(AccountantTest, EpsilonGrowsWithRounds) {
+  double prev = 0.0;
+  for (int t : {1, 10, 100, 1000}) {
+    RdpAccountant acc;
+    acc.AddGaussianSteps(5.0, t);
+    double eps = acc.GetEpsilon(1e-5).value();
+    EXPECT_GT(eps, prev);
+    prev = eps;
+  }
+}
+
+TEST(AccountantTest, PaperFigure2Anchor) {
+  // The paper's Figure 2 pre-experiment: sigma=5, q=0.01, 1e5 iterations,
+  // delta=1e-5 gives eps = 2.85 at record level (k=1). Our accountant must
+  // reproduce this value (it validates the whole subsampled-RDP pipeline).
+  RdpAccountant acc;
+  acc.AddSubsampledGaussianSteps(0.01, 5.0, 100000);
+  EXPECT_NEAR(acc.GetEpsilon(1e-5).value(), 2.85, 0.02);
+}
+
+TEST(AccountantTest, BestAlphaReported) {
+  RdpAccountant acc;
+  acc.AddSubsampledGaussianSteps(0.01, 1.0, 10000);
+  int alpha = 0;
+  double eps = acc.GetEpsilon(1e-5, &alpha).value();
+  EXPECT_GT(alpha, 1);
+  // Reported epsilon must equal conversion at the reported alpha.
+  EXPECT_NEAR(eps, RdpToDp(alpha, acc.RhoAtOrder(alpha).value(), 1e-5),
+              1e-9);
+}
+
+TEST(AccountantTest, CurveCacheMatchesDirectAccumulation) {
+  RdpAccountant direct, cached;
+  direct.AddSubsampledGaussianSteps(0.1, 2.0, 50);
+  auto curve = cached.SubsampledGaussianCurve(0.1, 2.0);
+  cached.AddCurveSteps(curve, 50);
+  EXPECT_NEAR(direct.GetEpsilon(1e-5).value(), cached.GetEpsilon(1e-5).value(),
+              1e-12);
+}
+
+TEST(AccountantTest, RejectsBadDelta) {
+  RdpAccountant acc;
+  acc.AddGaussianSteps(1.0, 1);
+  EXPECT_FALSE(acc.GetEpsilon(0.0).ok());
+  EXPECT_FALSE(acc.GetEpsilon(1.0).ok());
+}
+
+TEST(AccountantTest, RhoAtMissingOrderIsError) {
+  RdpAccountant acc;
+  EXPECT_FALSE(acc.RhoAtOrder(5000001).ok());
+  EXPECT_TRUE(acc.RhoAtOrder(8).ok());
+}
+
+TEST(DefaultOrdersTest, SortedAndCoversGroupOrders) {
+  auto orders = DefaultRdpOrders();
+  EXPECT_TRUE(std::is_sorted(orders.begin(), orders.end()));
+  EXPECT_GE(orders.front(), 2);
+  // Orders divisible by 64 must exist well above 64 for Lemma-6 use.
+  int count64 = 0;
+  for (int a : orders) count64 += (a % 64 == 0 && a >= 128);
+  EXPECT_GT(count64, 10);
+}
+
+}  // namespace
+}  // namespace uldp

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "crypto/secure_agg.h"
+#include "math/primes.h"
+
+namespace uldp {
+namespace {
+
+std::vector<std::vector<ChaChaRng::Key>> MakePairKeys(int parties,
+                                                      const std::string& tag) {
+  std::vector<std::vector<ChaChaRng::Key>> keys(
+      parties, std::vector<ChaChaRng::Key>(parties));
+  for (int i = 0; i < parties; ++i) {
+    for (int j = i + 1; j < parties; ++j) {
+      auto key = ChaChaRng::DeriveKey(tag + "|" + std::to_string(i) + "," +
+                                      std::to_string(j));
+      keys[i][j] = key;
+      keys[j][i] = key;
+    }
+  }
+  return keys;
+}
+
+class SecureAggSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SecureAggSweep, MasksCancelInSum) {
+  auto [parties, dim] = GetParam();
+  Rng rng(99);
+  BigInt q = GeneratePrime(96, rng);
+  SecureAggregator agg(q, parties);
+  auto keys = MakePairKeys(parties, "t1");
+
+  std::vector<BigInt> expect(dim, BigInt(0));
+  std::vector<std::vector<BigInt>> masked(parties);
+  for (int p = 0; p < parties; ++p) {
+    std::vector<BigInt> v(dim);
+    for (int d = 0; d < dim; ++d) {
+      v[d] = BigInt::RandomBelow(q, rng);
+      expect[d] = expect[d].ModAdd(v[d], q);
+    }
+    auto mask = agg.MaskVector(p, keys[p], /*tag=*/5, dim);
+    agg.AddMasks(v, mask);
+    masked[p] = std::move(v);
+  }
+  auto total = agg.SumVectors(masked);
+  for (int d = 0; d < dim; ++d) EXPECT_EQ(total[d], expect[d]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SecureAggSweep,
+    ::testing::Combine(::testing::Values(2, 3, 5, 10),
+                       ::testing::Values(1, 7, 32)));
+
+TEST(SecureAggTest, MaskedValuesHideInputs) {
+  Rng rng(100);
+  BigInt q = GeneratePrime(96, rng);
+  SecureAggregator agg(q, 3);
+  auto keys = MakePairKeys(3, "t2");
+  std::vector<BigInt> v = {BigInt(42)};
+  auto mask = agg.MaskVector(0, keys[0], 1, 1);
+  agg.AddMasks(v, mask);
+  EXPECT_NE(v[0], BigInt(42));
+}
+
+TEST(SecureAggTest, MasksSumToZeroAcrossParties) {
+  Rng rng(101);
+  BigInt q = GeneratePrime(80, rng);
+  const int parties = 4;
+  SecureAggregator agg(q, parties);
+  auto keys = MakePairKeys(parties, "t3");
+  std::vector<BigInt> total(3, BigInt(0));
+  for (int p = 0; p < parties; ++p) {
+    auto mask = agg.MaskVector(p, keys[p], 9, 3);
+    for (int d = 0; d < 3; ++d) total[d] = total[d].ModAdd(mask[d], q);
+  }
+  for (int d = 0; d < 3; ++d) EXPECT_TRUE(total[d].IsZero());
+}
+
+TEST(SecureAggTest, DifferentTagsGiveDifferentMasks) {
+  Rng rng(102);
+  BigInt q = GeneratePrime(80, rng);
+  SecureAggregator agg(q, 2);
+  auto keys = MakePairKeys(2, "t4");
+  auto m1 = agg.MaskVector(0, keys[0], 1, 4);
+  auto m2 = agg.MaskVector(0, keys[0], 2, 4);
+  bool any_diff = false;
+  for (int d = 0; d < 4; ++d) any_diff |= m1[d] != m2[d];
+  EXPECT_TRUE(any_diff);
+}
+
+}  // namespace
+}  // namespace uldp

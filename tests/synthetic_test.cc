@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "nn/metrics.h"
+#include "nn/optimizer.h"
+
+namespace uldp {
+namespace {
+
+TEST(CreditcardLikeTest, ShapeAndBalance) {
+  Rng rng(1);
+  auto data = MakeCreditcardLike(2000, 500, rng);
+  EXPECT_EQ(data.train.size(), 2000u);
+  EXPECT_EQ(data.test.size(), 500u);
+  EXPECT_EQ(data.feature_dim, 30);
+  EXPECT_EQ(data.num_classes, 2);
+  EXPECT_FALSE(data.fixed_silos);
+  int pos = 0;
+  for (const auto& r : data.train) {
+    ASSERT_EQ(r.features.size(), 30u);
+    ASSERT_TRUE(r.label == 0 || r.label == 1);
+    pos += r.label;
+  }
+  EXPECT_NEAR(pos / 2000.0, 0.3, 0.05);
+}
+
+TEST(CreditcardLikeTest, LearnableAboveChance) {
+  Rng rng(2);
+  auto data = MakeCreditcardLike(1500, 500, rng);
+  auto model = MakeMlp({30}, 2);
+  model->InitParams(rng);
+  std::vector<Example> train;
+  for (const auto& r : data.train) train.push_back(ToExample(r));
+  std::vector<const Example*> batch;
+  for (const auto& ex : train) batch.push_back(&ex);
+  Vec params = model->GetParams();
+  Vec grad(params.size());
+  SgdOptimizer opt(0.5);
+  for (int i = 0; i < 80; ++i) {
+    std::fill(grad.begin(), grad.end(), 0.0);
+    model->LossAndGrad(batch, &grad);
+    opt.Step(grad, params);
+    model->SetParams(params);
+  }
+  std::vector<Example> test;
+  for (const auto& r : data.test) test.push_back(ToExample(r));
+  EXPECT_GT(Accuracy(*model, test), 0.82);
+}
+
+TEST(MnistLikeTest, ShapeAndLabelCoverage) {
+  Rng rng(3);
+  auto data = MakeMnistLike(3000, 500, rng);
+  EXPECT_EQ(data.feature_dim, 14 * 14);
+  EXPECT_EQ(data.num_classes, 10);
+  std::vector<int> counts(10, 0);
+  for (const auto& r : data.train) {
+    ASSERT_GE(r.label, 0);
+    ASSERT_LT(r.label, 10);
+    ++counts[r.label];
+  }
+  for (int c : counts) EXPECT_GT(c, 150);
+}
+
+TEST(MnistLikeTest, LearnableAboveChance) {
+  Rng rng(4);
+  auto data = MakeMnistLike(2000, 400, rng);
+  auto model = MakeMlp({196, 32}, 10);
+  model->InitParams(rng);
+  std::vector<Example> train;
+  for (const auto& r : data.train) train.push_back(ToExample(r));
+  std::vector<const Example*> batch;
+  for (const auto& ex : train) batch.push_back(&ex);
+  Vec params = model->GetParams();
+  Vec grad(params.size());
+  SgdOptimizer opt(0.4);
+  for (int i = 0; i < 60; ++i) {
+    std::fill(grad.begin(), grad.end(), 0.0);
+    model->LossAndGrad(batch, &grad);
+    opt.Step(grad, params);
+    model->SetParams(params);
+  }
+  std::vector<Example> test;
+  for (const auto& r : data.test) test.push_back(ToExample(r));
+  EXPECT_GT(Accuracy(*model, test), 0.6);  // chance is 0.1
+}
+
+TEST(HeartDiseaseLikeTest, FlambyStructure) {
+  Rng rng(5);
+  auto data = MakeHeartDiseaseLike(rng);
+  EXPECT_TRUE(data.fixed_silos);
+  EXPECT_EQ(data.num_silos, 4);
+  EXPECT_EQ(data.feature_dim, 13);
+  EXPECT_EQ(data.train.size(), 740u);  // 303+261+46+130
+  std::vector<int> per_silo(4, 0);
+  for (const auto& r : data.train) {
+    ASSERT_GE(r.silo_id, 0);
+    ASSERT_LT(r.silo_id, 4);
+    ++per_silo[r.silo_id];
+  }
+  EXPECT_EQ(per_silo[0], 303);
+  EXPECT_EQ(per_silo[1], 261);
+  EXPECT_EQ(per_silo[2], 46);
+  EXPECT_EQ(per_silo[3], 130);
+}
+
+TEST(HeartDiseaseLikeTest, ScaleMultiplies) {
+  Rng rng(6);
+  auto data = MakeHeartDiseaseLike(rng, 2);
+  EXPECT_EQ(data.train.size(), 1480u);
+}
+
+TEST(TcgaBrcaLikeTest, FlambyStructure) {
+  Rng rng(7);
+  auto data = MakeTcgaBrcaLike(rng);
+  EXPECT_TRUE(data.fixed_silos);
+  EXPECT_EQ(data.num_silos, 6);
+  EXPECT_EQ(data.feature_dim, 39);
+  EXPECT_EQ(data.train.size(), 1088u);
+  int events = 0;
+  for (const auto& r : data.train) {
+    ASSERT_GT(r.time, 0.0);
+    events += r.event;
+  }
+  // Meaningful censoring: between 20% and 90% events.
+  double event_rate = events / 1088.0;
+  EXPECT_GT(event_rate, 0.2);
+  EXPECT_LT(event_rate, 0.9);
+}
+
+TEST(TcgaBrcaLikeTest, RiskSignalPresent) {
+  // A Cox model trained centrally on the synthetic data must beat random
+  // concordance (0.5) clearly.
+  Rng rng(8);
+  auto data = MakeTcgaBrcaLike(rng);
+  CoxRegression model(39);
+  model.InitParams(rng);
+  std::vector<Example> train;
+  for (const auto& r : data.train) train.push_back(ToExample(r));
+  std::vector<const Example*> batch;
+  for (const auto& ex : train) batch.push_back(&ex);
+  Vec params = model.GetParams();
+  Vec grad(params.size());
+  SgdOptimizer opt(0.5);
+  for (int i = 0; i < 120; ++i) {
+    std::fill(grad.begin(), grad.end(), 0.0);
+    model.LossAndGrad(batch, &grad);
+    opt.Step(grad, params);
+    model.SetParams(params);
+  }
+  std::vector<Example> test;
+  for (const auto& r : data.test) test.push_back(ToExample(r));
+  EXPECT_GT(CIndex(model, test), 0.65);
+}
+
+TEST(SyntheticTest, DeterministicForSameSeed) {
+  Rng a(9), b(9);
+  auto d1 = MakeCreditcardLike(100, 10, a);
+  auto d2 = MakeCreditcardLike(100, 10, b);
+  for (size_t i = 0; i < d1.train.size(); ++i) {
+    EXPECT_EQ(d1.train[i].label, d2.train[i].label);
+    EXPECT_EQ(d1.train[i].features, d2.train[i].features);
+  }
+}
+
+}  // namespace
+}  // namespace uldp

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "nn/tensor.h"
+
+namespace uldp {
+namespace {
+
+TEST(VecOpsTest, Axpy) {
+  Vec x = {1.0, 2.0, 3.0};
+  Vec y = {10.0, 20.0, 30.0};
+  Axpy(2.0, x, y);
+  EXPECT_EQ(y, (Vec{12.0, 24.0, 36.0}));
+}
+
+TEST(VecOpsTest, Scale) {
+  Vec x = {1.0, -2.0};
+  Scale(-3.0, x);
+  EXPECT_EQ(x, (Vec{-3.0, 6.0}));
+}
+
+TEST(VecOpsTest, DotAndNorm) {
+  Vec a = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Dot(a, a), 25.0);
+  EXPECT_DOUBLE_EQ(L2Norm(a), 5.0);
+  EXPECT_DOUBLE_EQ(L2Norm(Vec{0.0, 0.0}), 0.0);
+}
+
+TEST(VecOpsTest, SumVecs) {
+  std::vector<Vec> vs = {{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  EXPECT_EQ(SumVecs(vs), (Vec{9.0, 12.0}));
+}
+
+TEST(ClipTest, InsideBallUntouched) {
+  Vec v = {0.3, 0.4};  // norm 0.5
+  double scale = ClipToL2Ball(v, 1.0);
+  EXPECT_DOUBLE_EQ(scale, 1.0);
+  EXPECT_EQ(v, (Vec{0.3, 0.4}));
+}
+
+TEST(ClipTest, OutsideBallScaledToBoundary) {
+  Vec v = {3.0, 4.0};  // norm 5
+  double scale = ClipToL2Ball(v, 1.0);
+  EXPECT_DOUBLE_EQ(scale, 0.2);
+  EXPECT_NEAR(L2Norm(v), 1.0, 1e-12);
+  // Direction preserved.
+  EXPECT_NEAR(v[0] / v[1], 0.75, 1e-12);
+}
+
+TEST(ClipTest, ZeroVectorStaysZero) {
+  Vec v = {0.0, 0.0};
+  ClipToL2Ball(v, 1.0);
+  EXPECT_EQ(v, (Vec{0.0, 0.0}));
+}
+
+TEST(ClipTest, ClipPropertySweep) {
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    Vec v(8);
+    for (double& x : v) x = rng.Gaussian(0.0, 10.0);
+    Vec orig = v;
+    double bound = rng.Uniform(0.1, 20.0);
+    ClipToL2Ball(v, bound);
+    EXPECT_LE(L2Norm(v), bound * (1 + 1e-12));
+    // v is a non-negative scalar multiple of orig.
+    double ratio = 0.0;
+    bool set = false;
+    for (size_t d = 0; d < v.size(); ++d) {
+      if (std::fabs(orig[d]) > 1e-9) {
+        double r = v[d] / orig[d];
+        if (set) EXPECT_NEAR(r, ratio, 1e-9);
+        ratio = r;
+        set = true;
+      }
+    }
+    EXPECT_GE(ratio, 0.0);
+    EXPECT_LE(ratio, 1.0 + 1e-12);
+  }
+}
+
+TEST(MatrixTest, MatVec) {
+  Matrix m(2, 3);
+  // [1 2 3; 4 5 6]
+  m.At(0, 0) = 1; m.At(0, 1) = 2; m.At(0, 2) = 3;
+  m.At(1, 0) = 4; m.At(1, 1) = 5; m.At(1, 2) = 6;
+  Vec x = {1.0, 0.0, -1.0};
+  Vec out;
+  m.MatVec(x, &out);
+  EXPECT_EQ(out, (Vec{-2.0, -2.0}));
+}
+
+TEST(MatrixTest, MatTVecIsTranspose) {
+  Matrix m(2, 3);
+  m.At(0, 0) = 1; m.At(0, 1) = 2; m.At(0, 2) = 3;
+  m.At(1, 0) = 4; m.At(1, 1) = 5; m.At(1, 2) = 6;
+  Vec y = {1.0, 1.0};
+  Vec out;
+  m.MatTVec(y, &out);
+  EXPECT_EQ(out, (Vec{5.0, 7.0, 9.0}));
+}
+
+TEST(MatrixTest, TransposeIdentity) {
+  // <Mx, y> == <x, M^T y> for random instances.
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    Matrix m(4, 6);
+    for (double& v : m.data()) v = rng.Gaussian();
+    Vec x(6), y(4);
+    for (double& v : x) v = rng.Gaussian();
+    for (double& v : y) v = rng.Gaussian();
+    Vec mx, mty;
+    m.MatVec(x, &mx);
+    m.MatTVec(y, &mty);
+    EXPECT_NEAR(Dot(mx, y), Dot(x, mty), 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace uldp

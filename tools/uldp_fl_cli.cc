@@ -1,0 +1,348 @@
+// Command-line experiment runner: the downstream-user entry point for
+// running any Uldp-FL algorithm on a built-in synthetic dataset or a CSV
+// file without writing C++.
+//
+//   uldp_fl_cli --dataset=creditcard --method=uldp-avg-w --rounds=30 \
+//               --users=100 --silos=5 --allocation=zipf --sigma=5
+//   uldp_fl_cli --csv=transactions.csv --label-column=30 ...
+//
+// Run with --help for the full flag list.
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/experiment.h"
+#include "core/uldp_avg.h"
+#include "core/uldp_group.h"
+#include "core/uldp_naive.h"
+#include "core/uldp_sgd.h"
+#include "data/allocation.h"
+#include "data/csv_loader.h"
+#include "data/synthetic.h"
+#include "dp/calibration.h"
+#include "fl/fedavg.h"
+
+namespace uldp {
+namespace {
+
+struct Flags {
+  std::string dataset = "creditcard";  // creditcard|mnist|heart|tcga
+  std::string csv;                     // overrides dataset when set
+  int label_column = -1;
+  std::string method = "uldp-avg";  // default|uldp-naive|uldp-group|
+                                    // uldp-avg|uldp-avg-w|uldp-sgd
+  std::string allocation = "zipf";  // uniform|zipf
+  int users = 100;
+  int silos = 5;
+  int rounds = 20;
+  int eval_every = 5;
+  int records = 6000;
+  int group_k = 8;
+  double sigma = 5.0;
+  double clip = 1.0;
+  double local_lr = 0.1;
+  double global_lr = 0.0;  // 0 = method default
+  double delta = 1e-5;
+  double user_sample_rate = 1.0;
+  double target_epsilon = 0.0;  // > 0: calibrate sigma instead of --sigma
+  int local_epochs = 2;
+  uint64_t seed = 1;
+  int num_seeds = 1;  // > 1 averages runs
+};
+
+void PrintHelp() {
+  std::cout <<
+      "uldp_fl_cli — run a cross-silo user-level-DP FL experiment\n\n"
+      "  --dataset=creditcard|mnist|heart|tcga   built-in synthetic data\n"
+      "  --csv=PATH --label-column=N             or load a CSV instead\n"
+      "  --method=default|uldp-naive|uldp-group|uldp-avg|uldp-avg-w|"
+      "uldp-sgd\n"
+      "  --allocation=uniform|zipf   user/silo record allocation\n"
+      "  --users=N --silos=N --records=N\n"
+      "  --rounds=T --eval-every=K --local-epochs=Q\n"
+      "  --sigma=S --clip=C --local-lr=LR --global-lr=LR --delta=D\n"
+      "  --target-epsilon=E          calibrate sigma for this budget\n"
+      "  --user-sample-rate=Q        user-level sub-sampling (Alg. 4)\n"
+      "  --group-k=K                 group size for uldp-group\n"
+      "  --seed=N --num-seeds=M      M > 1 reports mean±std over seeds\n";
+}
+
+bool ParseFlag(const std::string& arg, const std::string& name,
+               std::string* out) {
+  std::string prefix = "--" + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *out = arg.substr(prefix.size());
+  return true;
+}
+
+Result<Flags> ParseFlags(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::string value;
+    if (arg == "--help" || arg == "-h") {
+      PrintHelp();
+      std::exit(0);
+    } else if (ParseFlag(arg, "dataset", &value)) {
+      flags.dataset = value;
+    } else if (ParseFlag(arg, "csv", &value)) {
+      flags.csv = value;
+    } else if (ParseFlag(arg, "label-column", &value)) {
+      flags.label_column = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "method", &value)) {
+      flags.method = value;
+    } else if (ParseFlag(arg, "allocation", &value)) {
+      flags.allocation = value;
+    } else if (ParseFlag(arg, "users", &value)) {
+      flags.users = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "silos", &value)) {
+      flags.silos = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "rounds", &value)) {
+      flags.rounds = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "eval-every", &value)) {
+      flags.eval_every = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "records", &value)) {
+      flags.records = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "group-k", &value)) {
+      flags.group_k = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "sigma", &value)) {
+      flags.sigma = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "clip", &value)) {
+      flags.clip = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "local-lr", &value)) {
+      flags.local_lr = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "global-lr", &value)) {
+      flags.global_lr = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "delta", &value)) {
+      flags.delta = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "user-sample-rate", &value)) {
+      flags.user_sample_rate = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "target-epsilon", &value)) {
+      flags.target_epsilon = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "local-epochs", &value)) {
+      flags.local_epochs = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "seed", &value)) {
+      flags.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "num-seeds", &value)) {
+      flags.num_seeds = std::atoi(value.c_str());
+    } else {
+      return Status::InvalidArgument("unknown flag: " + arg +
+                                     " (try --help)");
+    }
+  }
+  return flags;
+}
+
+struct LoadedData {
+  std::unique_ptr<FederatedDataset> dataset;
+  std::unique_ptr<Model> model;
+  UtilityMetric metric = UtilityMetric::kAccuracy;
+};
+
+Result<LoadedData> LoadData(const Flags& flags) {
+  Rng rng(flags.seed);
+  LoadedData out;
+  AllocationOptions alloc;
+  if (flags.allocation == "zipf") {
+    alloc.kind = AllocationKind::kZipf;
+  } else if (flags.allocation == "uniform") {
+    alloc.kind = AllocationKind::kUniform;
+  } else {
+    return Status::InvalidArgument("unknown allocation: " + flags.allocation);
+  }
+
+  if (!flags.csv.empty()) {
+    CsvOptions csv;
+    csv.label_column = flags.label_column;
+    auto records = LoadCsvRecords(flags.csv, csv);
+    if (!records.ok()) return records.status();
+    auto all = std::move(records.value());
+    // 80/20 train/test split.
+    size_t split = all.size() * 4 / 5;
+    std::vector<Record> train(all.begin(), all.begin() + split);
+    std::vector<Record> test(all.begin() + split, all.end());
+    ULDP_RETURN_IF_ERROR(AllocateUsersAndSilos(train, flags.users,
+                                               flags.silos, alloc, rng));
+    int classes = 0;
+    for (const auto& r : train) classes = std::max(classes, r.label + 1);
+    if (classes < 2) {
+      return Status::InvalidArgument(
+          "CSV training requires --label-column with >= 2 classes");
+    }
+    size_t dim = train[0].features.size();
+    out.dataset = std::make_unique<FederatedDataset>(
+        std::move(train), std::move(test), flags.users, flags.silos);
+    out.model = MakeMlp({dim, 16}, static_cast<size_t>(classes));
+    return out;
+  }
+
+  if (flags.dataset == "creditcard") {
+    auto data = MakeCreditcardLike(flags.records, flags.records / 4, rng);
+    ULDP_RETURN_IF_ERROR(AllocateUsersAndSilos(data.train, flags.users,
+                                               flags.silos, alloc, rng));
+    out.dataset = std::make_unique<FederatedDataset>(
+        std::move(data.train), std::move(data.test), flags.users,
+        flags.silos);
+    out.model = MakeMlp({30, 16}, 2);
+  } else if (flags.dataset == "mnist") {
+    auto data = MakeMnistLike(flags.records, flags.records / 5, rng);
+    ULDP_RETURN_IF_ERROR(AllocateUsersAndSilos(data.train, flags.users,
+                                               flags.silos, alloc, rng));
+    out.dataset = std::make_unique<FederatedDataset>(
+        std::move(data.train), std::move(data.test), flags.users,
+        flags.silos);
+    out.model = MakeMlp({196, 48}, 10);
+  } else if (flags.dataset == "heart") {
+    auto data = MakeHeartDiseaseLike(rng);
+    ULDP_RETURN_IF_ERROR(AllocateUsersWithinSilos(
+        data.train, flags.users, data.num_silos, alloc, rng));
+    out.dataset = std::make_unique<FederatedDataset>(
+        std::move(data.train), std::move(data.test), flags.users,
+        data.num_silos);
+    out.model = MakeMlp({13}, 2);
+  } else if (flags.dataset == "tcga") {
+    AllocationOptions cox_alloc = alloc;
+    cox_alloc.min_records_per_pair = 2;
+    auto data = MakeTcgaBrcaLike(rng);
+    ULDP_RETURN_IF_ERROR(AllocateUsersWithinSilos(
+        data.train, flags.users, data.num_silos, cox_alloc, rng));
+    out.dataset = std::make_unique<FederatedDataset>(
+        std::move(data.train), std::move(data.test), flags.users,
+        data.num_silos);
+    out.model = std::make_unique<CoxRegression>(39);
+    out.metric = UtilityMetric::kCIndex;
+  } else {
+    return Status::InvalidArgument("unknown dataset: " + flags.dataset);
+  }
+  return out;
+}
+
+Result<std::unique_ptr<FlAlgorithm>> MakeAlgorithm(const Flags& flags,
+                                                   const FederatedDataset& fd,
+                                                   const Model& model,
+                                                   double sigma,
+                                                   uint64_t seed) {
+  FlConfig config;
+  config.local_lr = flags.local_lr;
+  config.clip = flags.clip;
+  config.sigma = sigma;
+  config.local_epochs = flags.local_epochs;
+  config.seed = seed;
+
+  auto lr_or = [&](double fallback) {
+    return flags.global_lr > 0.0 ? flags.global_lr : fallback;
+  };
+  std::unique_ptr<FlAlgorithm> alg;
+  if (flags.method == "default") {
+    config.global_lr = lr_or(1.0);
+    alg = std::make_unique<FedAvgTrainer>(fd, model, config);
+  } else if (flags.method == "uldp-naive") {
+    config.global_lr = lr_or(1.0);
+    alg = std::make_unique<UldpNaiveTrainer>(fd, model, config);
+  } else if (flags.method == "uldp-group") {
+    config.global_lr = lr_or(1.0);
+    alg = std::make_unique<UldpGroupTrainer>(
+        fd, model, config, GroupSizeSpec::Fixed(flags.group_k), 0.1, 10);
+  } else if (flags.method == "uldp-avg" || flags.method == "uldp-avg-w") {
+    config.global_lr = lr_or(30.0);
+    UldpAvgOptions options;
+    options.user_sample_rate = flags.user_sample_rate;
+    if (flags.method == "uldp-avg-w") {
+      options.weighting = WeightingStrategy::kEnhanced;
+    }
+    alg = std::make_unique<UldpAvgTrainer>(fd, model, config, options);
+  } else if (flags.method == "uldp-sgd") {
+    config.global_lr = lr_or(50.0);
+    alg = std::make_unique<UldpSgdTrainer>(fd, model, config,
+                                           WeightingStrategy::kUniform,
+                                           flags.user_sample_rate);
+  } else {
+    return Status::InvalidArgument("unknown method: " + flags.method +
+                                   " (try --help)");
+  }
+  return alg;
+}
+
+int Run(int argc, char** argv) {
+  auto flags_or = ParseFlags(argc, argv);
+  if (!flags_or.ok()) {
+    std::cerr << flags_or.status().ToString() << "\n";
+    return 2;
+  }
+  const Flags& flags = flags_or.value();
+
+  double sigma = flags.sigma;
+  if (flags.target_epsilon > 0.0 && flags.method != "default") {
+    auto calibrated = SigmaForTargetEpsilon(flags.target_epsilon, flags.delta,
+                                            flags.rounds,
+                                            flags.user_sample_rate);
+    if (!calibrated.ok()) {
+      std::cerr << "sigma calibration: " << calibrated.status().ToString()
+                << "\n";
+      return 1;
+    }
+    sigma = calibrated.value();
+    std::cout << "Calibrated sigma = " << sigma << " for ("
+              << flags.target_epsilon << ", " << flags.delta << ")-ULDP over "
+              << flags.rounds << " rounds.\n";
+  }
+
+  auto data_or = LoadData(flags);
+  if (!data_or.ok()) {
+    std::cerr << data_or.status().ToString() << "\n";
+    return 1;
+  }
+  LoadedData& data = data_or.value();
+  std::cout << "Dataset: " << data.dataset->num_train_records()
+            << " records, " << data.dataset->num_users() << " users, "
+            << data.dataset->num_silos() << " silos (mean "
+            << data.dataset->MeanRecordsPerUser() << " records/user)\n";
+
+  ExperimentConfig experiment;
+  experiment.rounds = flags.rounds;
+  experiment.eval_every = flags.eval_every;
+  experiment.delta = flags.delta;
+  experiment.metric = data.metric;
+
+  if (flags.num_seeds > 1) {
+    AlgorithmFactory factory = [&](uint64_t seed)
+        -> std::unique_ptr<FlAlgorithm> {
+      auto alg = MakeAlgorithm(flags, *data.dataset, *data.model, sigma,
+                               seed);
+      if (!alg.ok()) return nullptr;
+      return std::move(alg.value());
+    };
+    auto trace = RunExperimentAveraged(factory, *data.model, *data.dataset,
+                                       experiment, flags.num_seeds,
+                                       flags.seed);
+    if (!trace.ok()) {
+      std::cerr << trace.status().ToString() << "\n";
+      return 1;
+    }
+    PrintAveragedTrace(flags.method, trace.value());
+    return 0;
+  }
+
+  auto alg = MakeAlgorithm(flags, *data.dataset, *data.model, sigma,
+                           flags.seed);
+  if (!alg.ok()) {
+    std::cerr << alg.status().ToString() << "\n";
+    return 1;
+  }
+  auto trace =
+      RunExperiment(*alg.value(), *data.model, *data.dataset, experiment);
+  if (!trace.ok()) {
+    std::cerr << trace.status().ToString() << "\n";
+    return 1;
+  }
+  PrintTrace(alg.value()->name(), trace.value());
+  return 0;
+}
+
+}  // namespace
+}  // namespace uldp
+
+int main(int argc, char** argv) { return uldp::Run(argc, argv); }
