@@ -1,8 +1,11 @@
 #include "bench_common.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "common/table.h"
 #include "core/uldp_avg.h"
@@ -13,6 +16,72 @@
 
 namespace uldp {
 namespace bench {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+BenchJson::BenchJson(std::string name) : name_(std::move(name)) {}
+
+BenchJson::~BenchJson() { Write(); }
+
+void BenchJson::Add(const std::string& metric, double value,
+                    const Labels& labels) {
+  samples_.push_back(Sample{metric, value, labels});
+}
+
+void BenchJson::Write() {
+  if (written_) return;
+  written_ = true;
+  std::ostringstream out;
+  out << "{\n  \"bench\": \"" << JsonEscape(name_) << "\",\n"
+      << "  \"samples\": [\n";
+  for (size_t i = 0; i < samples_.size(); ++i) {
+    const Sample& s = samples_[i];
+    // JSON has no inf/nan literals (epsilon is inf for non-private
+    // baselines) — emit null so parsers accept the file.
+    out << "    {\"metric\": \"" << JsonEscape(s.metric) << "\", \"value\": "
+        << (std::isfinite(s.value) ? FormatG(s.value, 9) : "null")
+        << ", \"labels\": {";
+    for (size_t l = 0; l < s.labels.size(); ++l) {
+      out << "\"" << JsonEscape(s.labels[l].first) << "\": \""
+          << JsonEscape(s.labels[l].second) << "\"";
+      if (l + 1 < s.labels.size()) out << ", ";
+    }
+    out << "}}" << (i + 1 < samples_.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  const std::string path = "BENCH_" + name_ + ".json";
+  std::ofstream file(path);
+  if (!file) {
+    std::cerr << "BenchJson: cannot write " << path << "\n";
+    return;
+  }
+  file << out.str();
+  std::cout << "[bench-json] wrote " << path << " (" << samples_.size()
+            << " samples)\n";
+}
 
 bool FullScale() {
   const char* env = std::getenv("ULDP_BENCH_SCALE");
@@ -40,20 +109,28 @@ double UniformWeightMass(const FederatedDataset& data) {
 
 namespace {
 
-void AppendTrace(Table& table, const std::string& panel,
+void AppendTrace(Table& table, BenchJson* json, const std::string& panel,
                  const std::string& method,
                  const std::vector<RoundRecord>& trace) {
   for (const auto& rec : trace) {
     table.AddRow({panel, method, std::to_string(rec.round),
                   FormatG(rec.test_loss), FormatG(rec.utility),
                   FormatG(rec.epsilon)});
+    if (json != nullptr) {
+      BenchJson::Labels labels = {{"panel", panel},
+                                  {"method", method},
+                                  {"round", std::to_string(rec.round)}};
+      json->Add("test_loss", rec.test_loss, labels);
+      json->Add("utility", rec.utility, labels);
+      json->Add("epsilon", rec.epsilon, labels);
+    }
   }
 }
 
 }  // namespace
 
 void RunMethodSuite(const FederatedDataset& data, Model& model,
-                    const SuiteConfig& config) {
+                    const SuiteConfig& config, BenchJson* json) {
   FlConfig base;
   base.local_lr = config.local_lr;
   base.clip = config.clip;
@@ -77,7 +154,7 @@ void RunMethodSuite(const FederatedDataset& data, Model& model,
                 << "\n";
       return;
     }
-    AppendTrace(table, config.panel, alg.name(), trace.value());
+    AppendTrace(table, json, config.panel, alg.name(), trace.value());
   };
 
   const MethodSelection& m = config.methods;

@@ -6,6 +6,7 @@
 #define ULDP_BENCH_BENCH_COMMON_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/experiment.h"
@@ -14,6 +15,33 @@
 
 namespace uldp {
 namespace bench {
+
+/// Machine-readable bench output: collects metric samples and writes
+/// `BENCH_<name>.json` in the working directory so the perf trajectory
+/// (e.g. serial vs parallel protocol rounds) can be tracked across PRs.
+class BenchJson {
+ public:
+  using Labels = std::vector<std::pair<std::string, std::string>>;
+
+  explicit BenchJson(std::string name);
+  ~BenchJson();  // writes the file if Write() was not called
+
+  void Add(const std::string& metric, double value,
+           const Labels& labels = {});
+
+  /// Writes BENCH_<name>.json (idempotent).
+  void Write();
+
+ private:
+  struct Sample {
+    std::string metric;
+    double value;
+    Labels labels;
+  };
+  std::string name_;
+  std::vector<Sample> samples_;
+  bool written_ = false;
+};
 
 /// True when ULDP_BENCH_SCALE=full — paper-scale parameters; otherwise the
 /// bench runs a scaled-down configuration that finishes in seconds to a
@@ -68,9 +96,11 @@ struct SuiteConfig {
 };
 
 /// Runs the suite and prints one aligned table with
-/// panel | method | round | test_loss | utility | epsilon rows.
+/// panel | method | round | test_loss | utility | epsilon rows. When
+/// `json` is given, every row is also recorded as machine-readable
+/// samples (metrics test_loss / utility / epsilon).
 void RunMethodSuite(const FederatedDataset& data, Model& model,
-                    const SuiteConfig& config);
+                    const SuiteConfig& config, BenchJson* json = nullptr);
 
 /// Mean over users (with records) of (#silos holding their records)/|S| —
 /// the fraction of the clipping budget uniform weights actually use.

@@ -25,7 +25,8 @@ using namespace uldp;
 using namespace uldp::bench;
 
 void RunScenario(const char* label, SyntheticData data, int users,
-                 Model& model, Table& table, uint64_t seed) {
+                 Model& model, Table& table, BenchJson& json,
+                 uint64_t seed) {
   Rng rng(seed);
   AllocationOptions alloc;
   alloc.kind = AllocationKind::kZipf;
@@ -65,15 +66,24 @@ void RunScenario(const char* label, SyntheticData data, int users,
     if (!trainer.RunRound(r, global).ok()) return;
   }
   const ProtocolTimings& t = protocol.timings();
+  auto emit = [&](const char* phase, double seconds) {
+    json.Add("phase_seconds", seconds,
+             {{"scenario", label},
+              {"users", std::to_string(users)},
+              {"phase", phase}});
+  };
   auto row = [&](const char* phase, double seconds) {
     table.AddRow({label, std::to_string(users), phase,
                   FormatG(seconds / rounds, 4)});
+    emit(phase, seconds / rounds);
   };
   table.AddRow({label, std::to_string(users), "key_exchange (setup, total)",
                 FormatG(t.key_exchange_s, 4)});
+  emit("key_exchange (setup, total)", t.key_exchange_s);
   table.AddRow({label, std::to_string(users),
                 "blinded_histograms (setup, total)",
                 FormatG(t.histogram_s, 4)});
+  emit("blinded_histograms (setup, total)", t.histogram_s);
   row("weight_encryption /round", t.encrypt_weights_s);
   row("silo_encrypted_weighting /round", t.silo_weighting_s);
   row("aggregation /round", t.aggregation_s);
@@ -88,19 +98,20 @@ int main() {
                "scenarios (Paillier "
             << Scaled(512, 3072) << "-bit) ===\n";
   Table table({"scenario", "users", "phase", "seconds"});
+  BenchJson json("fig10_protocol_flamby");
   {
     Rng rng(1000);
     auto data = MakeHeartDiseaseLike(rng);
     auto model = MakeMlp({13}, 2);
     RunScenario("HeartDisease(4 silos)", std::move(data), 10, *model, table,
-                1000);
+                json, 1000);
   }
   {
     Rng rng(1001);
     auto data = MakeTcgaBrcaLike(rng);
     CoxRegression model(39);
     RunScenario("TcgaBrca(6 silos)", std::move(data), 100, model, table,
-                1001);
+                json, 1001);
   }
   table.Print(std::cout);
   std::cout << "\nExpected shape (paper): encrypted local weighting "

@@ -6,10 +6,17 @@
 // parameters x users, exactly the paper's observation. Quick scale:
 // 512-bit keys, parameter sweep to 1024; full scale: 3072-bit keys and
 // larger sweeps.
+//
+// This bench also measures the round engine's thread scaling: the same
+// protocol round at 1 thread vs 4+ threads, asserting the outputs are
+// bitwise identical (the engine's determinism contract) and reporting the
+// wall-clock speedup. Results land in BENCH_fig11_protocol_scaling.json.
 
+#include <chrono>
 #include <iostream>
 
 #include "bench_common.h"
+#include "common/parallel.h"
 #include "common/table.h"
 #include "core/private_weighting.h"
 
@@ -27,12 +34,10 @@ struct PhaseSeconds {
   double decryption;
 };
 
-bool RunOnce(int silos, int users, int dim, uint64_t seed, PhaseSeconds* out) {
-  ProtocolConfig pc;
-  pc.paillier_bits = Scaled(512, 3072);
-  pc.n_max = 64;
-  pc.seed = seed;
-  PrivateWeightingProtocol protocol(pc, silos, users);
+bool BuildWorkload(int silos, int users, int dim, uint64_t seed,
+                   PrivateWeightingProtocol* protocol,
+                   std::vector<std::vector<Vec>>* deltas,
+                   std::vector<Vec>* noise) {
   Rng rng(seed);
   // Synthetic histograms: every user holds records in 1-2 silos.
   std::vector<std::vector<int>> hist(silos, std::vector<int>(users, 0));
@@ -44,16 +49,30 @@ bool RunOnce(int silos, int users, int dim, uint64_t seed, PhaseSeconds* out) {
       hist[secondary][u] = 1 + static_cast<int>(rng.UniformInt(10));
     }
   }
-  if (!protocol.Setup(hist).ok()) return false;
-  std::vector<std::vector<Vec>> deltas(silos, std::vector<Vec>(users));
-  std::vector<Vec> noise(silos, Vec(dim));
+  if (!protocol->Setup(hist).ok()) return false;
+  deltas->assign(silos, std::vector<Vec>(users));
+  noise->assign(silos, Vec(dim));
   for (int s = 0; s < silos; ++s) {
     for (int u = 0; u < users; ++u) {
       if (hist[s][u] == 0) continue;
-      deltas[s][u].resize(dim);
-      for (double& v : deltas[s][u]) v = rng.Gaussian(0.0, 0.1);
+      (*deltas)[s][u].resize(dim);
+      for (double& v : (*deltas)[s][u]) v = rng.Gaussian(0.0, 0.1);
     }
-    for (double& v : noise[s]) v = rng.Gaussian(0.0, 0.1);
+    for (double& v : (*noise)[s]) v = rng.Gaussian(0.0, 0.1);
+  }
+  return true;
+}
+
+bool RunOnce(int silos, int users, int dim, uint64_t seed, PhaseSeconds* out) {
+  ProtocolConfig pc;
+  pc.paillier_bits = Scaled(512, 3072);
+  pc.n_max = 64;
+  pc.seed = seed;
+  PrivateWeightingProtocol protocol(pc, silos, users);
+  std::vector<std::vector<Vec>> deltas;
+  std::vector<Vec> noise;
+  if (!BuildWorkload(silos, users, dim, seed, &protocol, &deltas, &noise)) {
+    return false;
   }
   std::vector<bool> sampled(users, true);
   if (!protocol.WeightingRound(0, deltas, noise, sampled).ok()) return false;
@@ -64,15 +83,45 @@ bool RunOnce(int silos, int users, int dim, uint64_t seed, PhaseSeconds* out) {
   return true;
 }
 
-void AddRows(Table& table, const std::string& sweep, const std::string& x,
-             const PhaseSeconds& p) {
-  table.AddRow({sweep, x, "key_exchange", FormatG(p.key_exchange, 4)});
-  table.AddRow({sweep, x, "blinded_histograms", FormatG(p.histogram, 4)});
-  table.AddRow({sweep, x, "weight_encryption", FormatG(p.encrypt, 4)});
-  table.AddRow(
-      {sweep, x, "silo_weighting(avg/silo)", FormatG(p.weighting, 4)});
-  table.AddRow({sweep, x, "aggregation", FormatG(p.aggregation, 4)});
-  table.AddRow({sweep, x, "decryption", FormatG(p.decryption, 4)});
+void AddRows(Table& table, BenchJson& json, const std::string& sweep,
+             const std::string& x, const PhaseSeconds& p) {
+  auto row = [&](const char* phase, double seconds) {
+    table.AddRow({sweep, x, phase, FormatG(seconds, 4)});
+    json.Add("phase_seconds", seconds,
+             {{"sweep", sweep}, {"x", x}, {"phase", phase}});
+  };
+  row("key_exchange", p.key_exchange);
+  row("blinded_histograms", p.histogram);
+  row("weight_encryption", p.encrypt);
+  row("silo_weighting(avg/silo)", p.weighting);
+  row("aggregation", p.aggregation);
+  row("decryption", p.decryption);
+}
+
+/// One full weighting round (all phases) at the given thread count;
+/// returns wall-clock seconds and the round output for the bitwise check.
+double TimedRound(int silos, int users, int dim, uint64_t seed, int threads,
+                  Vec* out) {
+  ProtocolConfig pc;
+  pc.paillier_bits = Scaled(512, 3072);
+  pc.n_max = 64;
+  pc.seed = seed;
+  pc.num_threads = threads;
+  PrivateWeightingProtocol protocol(pc, silos, users);
+  std::vector<std::vector<Vec>> deltas;
+  std::vector<Vec> noise;
+  if (!BuildWorkload(silos, users, dim, seed, &protocol, &deltas, &noise)) {
+    return -1.0;
+  }
+  std::vector<bool> sampled(users, true);
+  auto start = std::chrono::steady_clock::now();
+  auto result = protocol.WeightingRound(0, deltas, noise, sampled);
+  double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  if (!result.ok()) return -1.0;
+  *out = std::move(result.value());
+  return seconds;
 }
 
 }  // namespace
@@ -80,6 +129,7 @@ void AddRows(Table& table, const std::string& sweep, const std::string& x,
 int main() {
   std::cout << "=== Figure 11: protocol scaling (3 silos, Paillier "
             << Scaled(512, 3072) << "-bit) ===\n";
+  BenchJson json("fig11_protocol_scaling");
   Table table({"sweep", "x", "phase", "seconds"});
 
   // Top: parameter-size sweep at 20 users.
@@ -89,19 +139,57 @@ int main() {
   for (int dim : dims) {
     PhaseSeconds p{};
     if (RunOnce(3, 20, dim, 1100 + dim, &p)) {
-      AddRows(table, "params(users=20)", std::to_string(dim), p);
+      AddRows(table, json, "params(users=20)", std::to_string(dim), p);
     }
   }
   // Bottom: user-count sweep at 16 parameters.
   for (int users : {10, 20, 30, 40}) {
     PhaseSeconds p{};
     if (RunOnce(3, users, 16, 1200 + users, &p)) {
-      AddRows(table, "users(params=16)", std::to_string(users), p);
+      AddRows(table, json, "users(params=16)", std::to_string(users), p);
     }
   }
   table.Print(std::cout);
   std::cout << "\nExpected shape (paper): silo weighting time grows "
                "linearly with parameter count and with users; aggregation "
                "grows with parameters; key exchange is constant.\n";
+
+  // --- Thread scaling of one full protocol round ---------------------------
+  // 4 silos so the silo-parallel phases have 4-way work; dim large enough
+  // that the encrypted weighting dominates.
+  const int silos = 4, users = Scaled(12, 20), dim = Scaled(192, 1024);
+  const int cores = ThreadPool::DefaultThreadCount();
+  const int parallel_threads = cores < 4 ? 4 : cores;
+  std::cout << "\n=== Protocol round thread scaling (silos=" << silos
+            << ", users=" << users << ", params=" << dim
+            << ", hardware threads=" << cores << ") ===\n";
+  Table scaling({"threads", "round_seconds", "speedup_vs_serial",
+                 "bitwise_identical"});
+  Vec serial_out;
+  double serial_s = TimedRound(silos, users, dim, 4242, 1, &serial_out);
+  if (serial_s >= 0.0) {
+    scaling.AddRow({"1", FormatG(serial_s, 4), "1.0", "ref"});
+    json.Add("round_seconds", serial_s, {{"threads", "1"}});
+    for (int threads : {2, parallel_threads}) {
+      Vec parallel_out;
+      double par_s = TimedRound(silos, users, dim, 4242, threads,
+                                &parallel_out);
+      if (par_s < 0.0) continue;
+      bool identical = parallel_out == serial_out;
+      scaling.AddRow({std::to_string(threads), FormatG(par_s, 4),
+                      FormatG(serial_s / par_s, 3),
+                      identical ? "yes" : "NO (BUG)"});
+      json.Add("round_seconds", par_s,
+               {{"threads", std::to_string(threads)}});
+      json.Add("speedup_vs_serial", serial_s / par_s,
+               {{"threads", std::to_string(threads)}});
+      json.Add("bitwise_identical", identical ? 1.0 : 0.0,
+               {{"threads", std::to_string(threads)}});
+    }
+  }
+  scaling.Print(std::cout);
+  std::cout << "\nSpeedup tracks physical cores (work-stealing over silos "
+               "and coordinates); identical outputs are the engine's "
+               "determinism contract, not an accident of scheduling.\n";
   return 0;
 }

@@ -1,0 +1,140 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+namespace uldp {
+
+namespace {
+
+// Set while a thread is executing pool tasks; nested ParallelFor calls on
+// such a thread run inline instead of re-entering the scheduler.
+thread_local bool t_inside_pool = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(num_threads > 0 ? num_threads : DefaultThreadCount()) {
+  const size_t workers = static_cast<size_t>(num_threads_ - 1);
+  queues_ = std::vector<Queue>(workers);
+  threads_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+int ThreadPool::DefaultThreadCount() {
+  if (const char* env = std::getenv("ULDP_THREADS")) {
+    int v = std::atoi(env);
+    if (v >= 1) return v;
+  }
+  unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool* pool = new ThreadPool(DefaultThreadCount());
+  return *pool;
+}
+
+bool ThreadPool::RunOneTask(size_t self) {
+  std::function<void()> task;
+  // Own queue first (LIFO: best locality for the most recent push), then
+  // steal the oldest task from a peer.
+  const size_t count = queues_.size();
+  for (size_t probe = 0; probe <= count && !task; ++probe) {
+    size_t q = probe == 0 ? self : (self + probe) % count;
+    if (probe == 0 && self >= count) continue;  // caller has no own queue
+    if (probe > 0 && q == self) continue;
+    Queue& queue = queues_[q];
+    std::lock_guard<std::mutex> lock(queue.mu);
+    if (queue.tasks.empty()) continue;
+    if (q == self) {
+      task = std::move(queue.tasks.back());
+      queue.tasks.pop_back();
+    } else {
+      task = std::move(queue.tasks.front());
+      queue.tasks.pop_front();
+    }
+  }
+  if (!task) return false;
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    --pending_;
+  }
+  task();
+  return true;
+}
+
+void ThreadPool::WorkerLoop(size_t self) {
+  t_inside_pool = true;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(wake_mu_);
+      wake_cv_.wait(lock, [this] { return stop_ || pending_ > 0; });
+      if (stop_ && pending_ == 0) return;
+    }
+    while (RunOneTask(self)) {
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (num_threads_ <= 1 || n == 1 || threads_.empty() || t_inside_pool) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // Chunk into a few tasks per thread so stealing can balance uneven
+  // per-index costs without per-index scheduling overhead.
+  const size_t chunks =
+      std::min(n, static_cast<size_t>(num_threads_) * 4);
+  const size_t base = n / chunks;
+  const size_t extra = n % chunks;
+  std::atomic<size_t> done{0};
+
+  // Count the tasks before publishing any: a worker still draining a
+  // previous call may pop a fresh task immediately, and its --pending_
+  // must never underflow.
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    pending_ += chunks;
+  }
+  size_t begin = 0;
+  for (size_t c = 0; c < chunks; ++c) {
+    const size_t len = base + (c < extra ? 1 : 0);
+    const size_t end = begin + len;
+    auto task = [&fn, &done, begin, end] {
+      for (size_t i = begin; i < end; ++i) fn(i);
+      done.fetch_add(end - begin, std::memory_order_release);
+    };
+    Queue& queue = queues_[c % queues_.size()];
+    {
+      std::lock_guard<std::mutex> lock(queue.mu);
+      queue.tasks.emplace_back(std::move(task));
+    }
+    begin = end;
+  }
+  wake_cv_.notify_all();
+
+  // The caller works too: steal chunks until every iteration has finished
+  // (some may still be running on workers after the queues drain).
+  t_inside_pool = true;
+  while (done.load(std::memory_order_acquire) < n) {
+    if (!RunOneTask(queues_.size())) std::this_thread::yield();
+  }
+  t_inside_pool = false;
+}
+
+}  // namespace uldp

@@ -6,6 +6,27 @@
 
 namespace uldp {
 
+namespace {
+
+// SplitMix64 finalizer (Steele et al.) — the standard mixer for deriving
+// statistically independent seeds from structured counters.
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Rng Rng::Fork(uint64_t a, uint64_t b, uint64_t c) const {
+  uint64_t h = SplitMix64(seed_);
+  h = SplitMix64(h ^ SplitMix64(a));
+  h = SplitMix64(h ^ SplitMix64(b));
+  h = SplitMix64(h ^ SplitMix64(c));
+  return Rng(h);
+}
+
 size_t Rng::Categorical(const std::vector<double>& weights) {
   ULDP_CHECK(!weights.empty());
   double total = 0.0;

@@ -14,11 +14,28 @@
 
 namespace uldp {
 
+/// Reserved stream ids for `Rng::Fork`'s third argument. User-indexed
+/// streams use the user id directly; whole-silo streams use 0; the values
+/// below are far outside any valid user id so the streams never collide
+/// within one generator.
+constexpr uint64_t kRngStreamNoise = ~0ull;         // per-silo noise share
+constexpr uint64_t kRngStreamSampling = ~0ull - 1;  // server user sampling
+constexpr uint64_t kRngStreamServer = ~0ull - 2;    // central server noise
+constexpr uint64_t kRngStreamEncrypt = ~0ull - 3;   // per-user encryption
+
 /// Deterministic pseudo-random generator (mt19937_64 core) with the
 /// distribution helpers the Uldp-FL algorithms need.
 class Rng {
  public:
-  explicit Rng(uint64_t seed) : engine_(seed) {}
+  explicit Rng(uint64_t seed) : seed_(seed), engine_(seed) {}
+
+  /// Counter-based substream derivation: returns an independent generator
+  /// whose seed is a pure function of this generator's *constructor seed*
+  /// and the (a, b, c) counters — typically (round, silo, user). Forking
+  /// does not consume or depend on draws from this generator, so a run
+  /// that schedules work items across N threads produces bitwise-identical
+  /// streams to a serial run.
+  Rng Fork(uint64_t a, uint64_t b = 0, uint64_t c = 0) const;
 
   /// Raw 64 random bits.
   uint64_t NextUint64() { return engine_(); }
@@ -72,6 +89,7 @@ class Rng {
   std::mt19937_64& engine() { return engine_; }
 
  private:
+  uint64_t seed_;
   std::mt19937_64 engine_;
   std::normal_distribution<double> normal_{0.0, 1.0};
 };

@@ -36,4 +36,11 @@ std::string Status::ToString() const {
   return out;
 }
 
+Status FirstError(const std::vector<Status>& statuses) {
+  for (const Status& st : statuses) {
+    if (!st.ok()) return st;
+  }
+  return Status::Ok();
+}
+
 }  // namespace uldp

@@ -8,6 +8,7 @@
 #include <iostream>
 #include <string>
 #include <utility>
+#include <vector>
 
 namespace uldp {
 
@@ -61,6 +62,11 @@ class Status {
   StatusCode code_;
   std::string message_;
 };
+
+/// First non-ok entry (in index order) of a parallel region's per-item
+/// statuses, or Ok() — the deterministic error reduce used after
+/// ThreadPool::ParallelFor.
+Status FirstError(const std::vector<Status>& statuses);
 
 /// Holds either a value of type T or an error Status. Modeled after
 /// absl::StatusOr but minimal: check `ok()` before calling `value()`.

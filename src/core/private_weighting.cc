@@ -49,6 +49,7 @@ PrivateWeightingProtocol::PrivateWeightingProtocol(ProtocolConfig config,
       num_silos_(num_silos),
       num_users_(num_users),
       rng_(config.seed),
+      pool_(config.num_threads),
       silo_views_(num_silos) {
   ULDP_CHECK_GE(num_silos_, 2);
   ULDP_CHECK_GE(num_users_, 1);
@@ -164,7 +165,10 @@ Status PrivateWeightingProtocol::Setup(
 
   server_view_.doubly_blinded_histograms.assign(num_silos_, {});
   const BigInt& n = public_key_.n;
-  for (int s = 0; s < num_silos_; ++s) {
+  // Each silo blinds its histogram independently (BlindOf / PairMask are
+  // pure PRF evaluations), so the silo loop runs on the pool.
+  pool_->ParallelFor(static_cast<size_t>(num_silos_), [&](size_t si) {
+    const int s = static_cast<int>(si);
     std::vector<BigInt> blinded(num_users_);
     for (int u = 0; u < num_users_; ++u) {
       BigInt b = BlindOf(u).ModMul(
@@ -179,7 +183,7 @@ Status PrivateWeightingProtocol::Setup(
       blinded[u] = std::move(b);
     }
     server_view_.doubly_blinded_histograms[s] = std::move(blinded);
-  }
+  });
 
   // Server aggregates: B(N_u) = sum_s B'(n_su) = r_u * N_u mod n.
   server_view_.blinded_totals.assign(num_users_, BigInt(0));
@@ -233,8 +237,12 @@ Result<Vec> PrivateWeightingProtocol::WeightingRound(
   const BigInt& n = public_key_.n;
 
   // -- Weighting (a): server encrypts the (sampled) inverted weights ------
+  // Users are independent; each draws its encryption randomness from a
+  // Fork(round, user) substream, so the pool schedule never changes the
+  // ciphertexts.
   auto t0 = Clock::now();
   std::vector<BigInt> enc_weights(num_users_);
+  std::vector<Status> user_status(num_users_, Status::Ok());
   if (config_.ot_slots > 0) {
     // §4.1 extension: per user, the server lays out P slots — a
     // q-fraction hold Enc(B_inv), the rest Enc(0) — under a fresh private
@@ -246,8 +254,13 @@ Result<Vec> PrivateWeightingProtocol::WeightingRound(
     const size_t clen =
         static_cast<size_t>((public_key_.n_squared.BitLength() + 7) / 8) + 8;
     ObliviousTransfer ot(ot_group_, static_cast<size_t>(slots));
-    last_ot_mask_.assign(num_users_, true);
-    for (int u = 0; u < num_users_; ++u) {
+    // Byte-per-user scratch: std::vector<bool> packs bits, so concurrent
+    // per-user writes would race on shared words.
+    std::vector<char> ot_mask(num_users_, 1);
+    pool_->ParallelFor(static_cast<size_t>(num_users_), [&](size_t ui) {
+      const int u = static_cast<int>(ui);
+      Rng user_rng = rng_.Fork(round, static_cast<uint64_t>(u),
+                               kRngStreamEncrypt);
       // Receiver-side slot choice, identical across silos (from R).
       ChaChaRng choice(shared_seed_key_,
                        ChaChaRng::MakeNonce(0xA1100000ull + round,
@@ -256,34 +269,54 @@ Result<Vec> PrivateWeightingProtocol::WeightingRound(
       // Server-side slot contents with a private permutation.
       std::vector<int> perm(slots);
       for (int i = 0; i < slots; ++i) perm[i] = i;
-      rng_.Shuffle(perm);
+      user_rng.Shuffle(perm);
       std::vector<std::vector<uint8_t>> payload(slots);
       for (int i = 0; i < slots; ++i) {
         bool real = perm[i] < real_slots;
         auto c = Paillier::Encrypt(public_key_,
-                                   real ? b_inv_[u] : BigInt(0), rng_);
-        if (!c.ok()) return c.status();
+                                   real ? b_inv_[u] : BigInt(0), user_rng);
+        if (!c.ok()) {
+          user_status[u] = c.status();
+          return;
+        }
         payload[i] = BigIntToBytes(c.value(), clen);
       }
-      auto sender = ot.SenderInit(rng_);
-      auto receiver = ot.ReceiverChoose(sender, sigma, rng_);
-      if (!receiver.ok()) return receiver.status();
+      auto sender = ot.SenderInit(user_rng);
+      auto receiver = ot.ReceiverChoose(sender, sigma, user_rng);
+      if (!receiver.ok()) {
+        user_status[u] = receiver.status();
+        return;
+      }
       auto encrypted = ot.SenderEncrypt(sender, receiver.value().b, payload);
-      if (!encrypted.ok()) return encrypted.status();
+      if (!encrypted.ok()) {
+        user_status[u] = encrypted.status();
+        return;
+      }
       auto fetched =
           ot.ReceiverDecrypt(receiver.value(), sender, encrypted.value());
-      if (!fetched.ok()) return fetched.status();
+      if (!fetched.ok()) {
+        user_status[u] = fetched.status();
+        return;
+      }
       enc_weights[u] = BytesToBigInt(fetched.value());
-      last_ot_mask_[u] = perm[sigma] < real_slots;
-    }
+      ot_mask[u] = perm[sigma] < real_slots ? 1 : 0;
+    });
+    last_ot_mask_.assign(ot_mask.begin(), ot_mask.end());
   } else {
-    for (int u = 0; u < num_users_; ++u) {
+    pool_->ParallelFor(static_cast<size_t>(num_users_), [&](size_t ui) {
+      const int u = static_cast<int>(ui);
+      Rng user_rng = rng_.Fork(round, static_cast<uint64_t>(u),
+                               kRngStreamEncrypt);
       BigInt plain = user_sampled[u] ? b_inv_[u] : BigInt(0);
-      auto c = Paillier::Encrypt(public_key_, plain, rng_);
-      if (!c.ok()) return c.status();
+      auto c = Paillier::Encrypt(public_key_, plain, user_rng);
+      if (!c.ok()) {
+        user_status[u] = c.status();
+        return;
+      }
       enc_weights[u] = std::move(c.value());
-    }
+    });
   }
+  ULDP_RETURN_IF_ERROR(FirstError(user_status));
   timings_.encrypt_weights_s += SecondsSince(t0);
 
   // Broadcast: every silo receives the same ciphertext vector (fetched via
@@ -294,19 +327,27 @@ Result<Vec> PrivateWeightingProtocol::WeightingRound(
   }
 
   // -- Weighting (b): per-silo encrypted weighted sums --------------------
+  // The dominant protocol cost (Figure 10/11). Silos are independent
+  // actors, so the outer loop runs on the pool; everything inside is a
+  // pure function of setup state.
   t0 = Clock::now();
+  for (int s = 0; s < num_silos_; ++s) {
+    if (static_cast<int>(clipped_deltas[s].size()) != num_users_) {
+      return Status::InvalidArgument("delta matrix size mismatch");
+    }
+  }
   // Paillier g^m terms and scalar products, one ciphertext per coordinate.
   std::vector<std::vector<BigInt>> silo_cipher(
       num_silos_, std::vector<BigInt>(dim, BigInt(1)));
-  for (int s = 0; s < num_silos_; ++s) {
+  std::vector<Status> silo_status(num_silos_, Status::Ok());
+  pool_->ParallelFor(static_cast<size_t>(num_silos_), [&](size_t si) {
+    const int s = static_cast<int>(si);
     const auto& deltas = clipped_deltas[s];
-    if (static_cast<int>(deltas.size()) != num_users_) {
-      return Status::InvalidArgument("delta matrix size mismatch");
-    }
     for (int u = 0; u < num_users_; ++u) {
       if (deltas[u].empty()) continue;  // user has no records at this silo
       if (deltas[u].size() != dim) {
-        return Status::InvalidArgument("delta dimension mismatch");
+        silo_status[s] = Status::InvalidArgument("delta dimension mismatch");
+        return;
       }
       if (histograms_[s][u] == 0) continue;
       // Per-user scalar base: n_su * r_u * C_LCM mod n (delta encoding is
@@ -317,7 +358,10 @@ Result<Vec> PrivateWeightingProtocol::WeightingRound(
                         .ModMul(c_lcm_.Mod(n), n);
       for (size_t d = 0; d < dim; ++d) {
         auto e = codec_.Encode(deltas[u][d]);
-        if (!e.ok()) return e.status();
+        if (!e.ok()) {
+          silo_status[s] = e.status();
+          return;
+        }
         if (e.value().IsZero()) continue;
         BigInt scalar = e.value().ModMul(base, n);
         BigInt term = Paillier::MulPlaintext(public_key_, enc_weights[u],
@@ -329,17 +373,22 @@ Result<Vec> PrivateWeightingProtocol::WeightingRound(
     // Encoded noise z' = Encode(z) * C_LCM added homomorphically.
     for (size_t d = 0; d < dim; ++d) {
       auto z = codec_.Encode(silo_noise[s][d]);
-      if (!z.ok()) return z.status();
+      if (!z.ok()) {
+        silo_status[s] = z.status();
+        return;
+      }
       BigInt z_scaled = z.value().ModMul(c_lcm_.Mod(n), n);
       silo_cipher[s][d] =
           Paillier::AddPlaintext(public_key_, silo_cipher[s][d], z_scaled);
     }
-  }
+  });
+  ULDP_RETURN_IF_ERROR(FirstError(silo_status));
   timings_.silo_weighting_s += SecondsSince(t0);
 
   // -- Weighting (c): secure aggregation over ciphertexts -----------------
   t0 = Clock::now();
-  for (int s = 0; s < num_silos_; ++s) {
+  pool_->ParallelFor(static_cast<size_t>(num_silos_), [&](size_t si) {
+    const int s = static_cast<int>(si);
     for (size_t d = 0; d < dim; ++d) {
       BigInt mask(0);
       for (int other = 0; other < num_silos_; ++other) {
@@ -351,24 +400,31 @@ Result<Vec> PrivateWeightingProtocol::WeightingRound(
       silo_cipher[s][d] =
           Paillier::AddPlaintext(public_key_, silo_cipher[s][d], mask);
     }
-  }
+  });
+  // Server-side ciphertext product: coordinates are independent; the silo
+  // sum inside each coordinate keeps its fixed order.
   std::vector<BigInt> product(dim, BigInt(1));
-  for (size_t d = 0; d < dim; ++d) {
+  pool_->ParallelFor(dim, [&](size_t d) {
     for (int s = 0; s < num_silos_; ++s) {
       product[d] =
           Paillier::AddCiphertexts(public_key_, product[d], silo_cipher[s][d]);
     }
-  }
+  });
   timings_.aggregation_s += SecondsSince(t0);
 
   // Server decrypts and decodes (the only value it ever sees in the clear).
   t0 = Clock::now();
   Vec out(dim, 0.0);
-  for (size_t d = 0; d < dim; ++d) {
+  std::vector<Status> dim_status(dim, Status::Ok());
+  pool_->ParallelFor(dim, [&](size_t d) {
     auto plain = Paillier::Decrypt(public_key_, secret_key_, product[d]);
-    if (!plain.ok()) return plain.status();
+    if (!plain.ok()) {
+      dim_status[d] = plain.status();
+      return;
+    }
     out[d] = codec_.Decode(plain.value(), c_lcm_);
-  }
+  });
+  ULDP_RETURN_IF_ERROR(FirstError(dim_status));
   timings_.decryption_s += SecondsSince(t0);
   return out;
 }

@@ -30,8 +30,10 @@
 #ifndef ULDP_CORE_PRIVATE_WEIGHTING_H_
 #define ULDP_CORE_PRIVATE_WEIGHTING_H_
 
+#include <memory>
 #include <vector>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "crypto/chacha.h"
@@ -70,6 +72,13 @@ struct ProtocolConfig {
   /// Bit size of the safe-prime DH group backing the OT (simulation-scale
   /// default; a deployment would use a standardized group).
   int ot_group_bits = 384;
+  /// Thread count for the protocol's parallel phases (per-user weight
+  /// encryption, per-silo encrypted weighting and masking, per-coordinate
+  /// aggregation and decryption). <= 0 resolves via ULDP_THREADS env /
+  /// hardware concurrency. Results are bitwise independent of this value:
+  /// all encryption randomness comes from Rng::Fork(round, user)
+  /// substreams and reductions run in fixed index order.
+  int num_threads = 0;
 };
 
 /// Wall-clock seconds per protocol phase (Figure 10/11 measurements).
@@ -155,6 +164,7 @@ class PrivateWeightingProtocol {
 
   bool setup_done_ = false;
   Rng rng_;
+  PoolHandle pool_;
   ProtocolTimings timings_;
   ServerProtocolView server_view_;
   std::vector<SiloProtocolView> silo_views_;

@@ -12,10 +12,10 @@ UldpAvgTrainer::UldpAvgTrainer(const FederatedDataset& data,
                                const Model& model, FlConfig config,
                                UldpAvgOptions options)
     : data_(data),
-      work_model_(model.Clone()),
       config_(config),
       options_(options),
       rng_(config.seed),
+      engine_(model, data.num_silos(), EngineConfigFrom(config)),
       tracker_(options.user_sample_rate < 1.0
                    ? PrivacyTracker::ForSubsampledGaussian(
                          config.sigma, options.user_sample_rate)
@@ -38,55 +38,29 @@ UldpAvgTrainer::UldpAvgTrainer(const FederatedDataset& data,
     name_ += "(q=" + FormatG(options_.user_sample_rate, 3) + ")";
   }
 
+  silo_shards_.resize(data_.num_silos());
   for (int s = 0; s < data_.num_silos(); ++s) {
     for (int u = 0; u < data_.num_users(); ++u) {
       const auto& idx = data_.RecordsOf(s, u);
       if (idx.empty()) continue;
-      pairs_.push_back(Pair{s, u, data_.MakeExamples(idx)});
+      silo_shards_[s].push_back(UserShard{u, data_.MakeExamples(idx)});
     }
   }
 }
 
 Status UldpAvgTrainer::RunRound(int round, Vec& global_params) {
-  ULDP_CHECK_EQ(global_params.size(), work_model_->NumParams());
   const int s_count = data_.num_silos();
   const int u_count = data_.num_users();
-  const size_t dim = global_params.size();
   const double q = options_.user_sample_rate;
+  const uint64_t r = static_cast<uint64_t>(round);
 
-  // Algorithm 4: the server Poisson-samples the user set for this round and
-  // zeroes the weights of unsampled users.
+  // Algorithm 4: the server Poisson-samples the user set for this round
+  // (one substream per round, drawn in user order) and zeroes the weights
+  // of unsampled users.
   std::vector<bool> sampled(u_count, true);
   if (q < 1.0) {
-    for (int u = 0; u < u_count; ++u) sampled[u] = rng_.Bernoulli(q);
-  }
-
-  // Per-silo accumulators. In the private-protocol path we keep per-user
-  // clipped (unweighted) deltas instead, since the weighting happens inside
-  // the encryption.
-  const bool use_protocol = options_.private_protocol != nullptr;
-  std::vector<Vec> silo_delta(s_count, Vec(dim, 0.0));
-  std::vector<std::vector<Vec>> protocol_deltas;
-  if (use_protocol) {
-    protocol_deltas.assign(s_count, std::vector<Vec>(u_count));
-  }
-
-  for (const Pair& pair : pairs_) {
-    if (!sampled[pair.user]) continue;
-    double w = weights_[pair.silo][pair.user];
-    if (w == 0.0 && !use_protocol) continue;
-    // Per-user local training (Algorithm 3, lines 9-15).
-    work_model_->SetParams(global_params);
-    TrainLocalSgd(*work_model_, pair.examples, config_.local_epochs,
-                  config_.batch_size, config_.local_lr, rng_);
-    Vec delta = work_model_->GetParams();
-    Axpy(-1.0, global_params, delta);
-    ClipToL2Ball(delta, config_.clip);  // line 16: clip then weight
-    if (use_protocol) {
-      protocol_deltas[pair.silo][pair.user] = std::move(delta);
-    } else {
-      Axpy(w, delta, silo_delta[pair.silo]);
-    }
+    Rng sampler = rng_.Fork(r, 0, kRngStreamSampling);
+    for (int u = 0; u < u_count; ++u) sampled[u] = sampler.Bernoulli(q);
   }
 
   // Line 17: every silo adds N(0, sigma^2 C^2 / |S|) so the aggregate noise
@@ -97,25 +71,63 @@ Status UldpAvgTrainer::RunRound(int round, Vec& global_params) {
       central ? 0.0
               : config_.sigma * config_.clip /
                     std::sqrt(static_cast<double>(s_count));
+  const bool use_protocol = options_.private_protocol != nullptr;
+
+  // Per-silo local work (Algorithm 3, lines 9-16): per-user training on a
+  // Fork(round, silo, user) substream, clip, then weight. In the
+  // private-protocol path we keep per-user clipped (unweighted) deltas
+  // instead, since the weighting happens inside the encryption.
+  std::vector<std::vector<Vec>> protocol_deltas;
+  std::vector<Vec> silo_noise;
+  if (use_protocol) {
+    protocol_deltas.assign(s_count, std::vector<Vec>(u_count));
+    silo_noise.assign(s_count, Vec());
+  }
+  auto local_work = [&](int s, Model& model, Vec& silo_delta) {
+    for (const UserShard& shard : silo_shards_[s]) {
+      if (!sampled[shard.user]) continue;
+      double w = weights_[s][shard.user];
+      if (w == 0.0 && !use_protocol) continue;
+      model.SetParams(global_params);
+      Rng local = rng_.Fork(r, static_cast<uint64_t>(s),
+                            static_cast<uint64_t>(shard.user));
+      TrainLocalSgd(model, shard.examples, config_.local_epochs,
+                    config_.batch_size, config_.local_lr, local);
+      Vec delta = model.GetParams();
+      Axpy(-1.0, global_params, delta);
+      ClipToL2Ball(delta, config_.clip);  // line 16: clip then weight
+      if (use_protocol) {
+        protocol_deltas[s][shard.user] = std::move(delta);
+      } else {
+        Axpy(w, delta, silo_delta);
+      }
+    }
+    Rng noise = rng_.Fork(r, static_cast<uint64_t>(s), kRngStreamNoise);
+    if (use_protocol) {
+      silo_noise[s].assign(global_params.size(), 0.0);
+      AddGaussianNoise(silo_noise[s], noise_std, noise);
+    } else {
+      AddGaussianNoise(silo_delta, noise_std, noise);
+    }
+    return Status::Ok();
+  };
+
   Vec total;
   if (use_protocol) {
-    std::vector<Vec> silo_noise(s_count, Vec(dim, 0.0));
-    for (int s = 0; s < s_count; ++s) {
-      AddGaussianNoise(silo_noise[s], noise_std, rng_);
-    }
+    ULDP_RETURN_IF_ERROR(
+        engine_.RunSilos(global_params, local_work, nullptr));
     auto agg = options_.private_protocol->WeightingRound(
-        static_cast<uint64_t>(round), protocol_deltas, silo_noise, sampled);
+        r, protocol_deltas, silo_noise, sampled);
     if (!agg.ok()) return agg.status();
     total = std::move(agg.value());
   } else {
-    for (int s = 0; s < s_count; ++s) {
-      AddGaussianNoise(silo_delta[s], noise_std, rng_);
-    }
-    total = AggregateDeltas(silo_delta, config_.secure_aggregation,
-                            static_cast<uint64_t>(round));
+    auto agg = engine_.RunRound(round, global_params, local_work);
+    if (!agg.ok()) return agg.status();
+    total = std::move(agg.value());
   }
   if (central) {
-    AddGaussianNoise(total, config_.sigma * config_.clip, rng_);
+    Rng server = rng_.Fork(r, 0, kRngStreamServer);
+    AddGaussianNoise(total, config_.sigma * config_.clip, server);
   }
 
   // Server update (Algorithm 3 line 6 / Algorithm 4 line 10).

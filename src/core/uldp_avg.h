@@ -7,16 +7,20 @@
 // Because each user's total contribution across silos is at most C, the
 // aggregate is one user-level Gaussian mechanism with multiplier sigma
 // (Theorem 3) — no group-privacy blow-up.
+//
+// Silo rounds run on the shared RoundEngine: per-user local training draws
+// from Rng::Fork(round, silo, user) substreams, so the schedule (thread
+// count, work stealing) never changes the trained model.
 
 #ifndef ULDP_CORE_ULDP_AVG_H_
 #define ULDP_CORE_ULDP_AVG_H_
 
-#include <memory>
 #include <string>
 
 #include "core/weighting.h"
 #include "dp/accountant.h"
 #include "fl/local_trainer.h"
+#include "fl/round_engine.h"
 
 namespace uldp {
 
@@ -45,20 +49,19 @@ class UldpAvgTrainer final : public FlAlgorithm {
 
  private:
   const FederatedDataset& data_;
-  std::unique_ptr<Model> work_model_;
   FlConfig config_;
   UldpAvgOptions options_;
   Rng rng_;
+  RoundEngine engine_;
   PrivacyTracker tracker_;
   std::string name_;
   std::vector<std::vector<double>> weights_;  // [silo][user]
-  // Cached per-(silo,user) example lists for pairs with records.
-  struct Pair {
-    int silo;
+  struct UserShard {
     int user;
     std::vector<Example> examples;
   };
-  std::vector<Pair> pairs_;
+  // Per-silo lists of users with records there — the silo actor's work.
+  std::vector<std::vector<UserShard>> silo_shards_;
 };
 
 }  // namespace uldp

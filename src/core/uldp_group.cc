@@ -14,9 +14,9 @@ UldpGroupTrainer::UldpGroupTrainer(const FederatedDataset& data,
                                    int dp_steps_per_round,
                                    GroupConversionRoute route)
     : data_(data),
-      work_model_(model.Clone()),
       config_(config),
       rng_(config.seed),
+      engine_(model, data.num_silos(), EngineConfigFrom(config)),
       group_k_(0),
       dp_sample_rate_(dp_sample_rate),
       dp_steps_per_round_(dp_steps_per_round),
@@ -72,7 +72,6 @@ size_t UldpGroupTrainer::num_kept_records() const {
 }
 
 Status UldpGroupTrainer::RunRound(int round, Vec& global_params) {
-  ULDP_CHECK_EQ(global_params.size(), work_model_->NumParams());
   DpSgdOptions options;
   options.learning_rate = config_.local_lr;
   options.clip = config_.clip;
@@ -80,19 +79,18 @@ Status UldpGroupTrainer::RunRound(int round, Vec& global_params) {
   options.sample_rate = dp_sample_rate_;
   options.steps = dp_steps_per_round_;
 
-  std::vector<Vec> deltas;
-  deltas.reserve(data_.num_silos());
-  for (int s = 0; s < data_.num_silos(); ++s) {
-    work_model_->SetParams(global_params);
-    ULDP_RETURN_IF_ERROR(
-        RunDpSgd(*work_model_, silo_examples_[s], options, rng_));
-    Vec delta = work_model_->GetParams();
-    Axpy(-1.0, global_params, delta);
-    deltas.push_back(std::move(delta));
-  }
-  Vec total = AggregateDeltas(deltas, config_.secure_aggregation,
-                              static_cast<uint64_t>(round));
-  Axpy(config_.global_lr / data_.num_silos(), total, global_params);
+  auto total = engine_.RunRound(
+      round, global_params, [&](int s, Model& model, Vec& delta) {
+        Rng local = rng_.Fork(static_cast<uint64_t>(round),
+                              static_cast<uint64_t>(s));
+        ULDP_RETURN_IF_ERROR(
+            RunDpSgd(model, silo_examples_[s], options, local));
+        delta = model.GetParams();
+        Axpy(-1.0, global_params, delta);
+        return Status::Ok();
+      });
+  if (!total.ok()) return total.status();
+  Axpy(config_.global_lr / data_.num_silos(), total.value(), global_params);
   tracker_.AdvanceRounds(1);
   return Status::Ok();
 }

@@ -8,11 +8,11 @@
 #ifndef ULDP_CORE_ULDP_GROUP_H_
 #define ULDP_CORE_ULDP_GROUP_H_
 
-#include <memory>
 #include <string>
 
 #include "dp/accountant.h"
 #include "fl/local_trainer.h"
+#include "fl/round_engine.h"
 
 namespace uldp {
 
@@ -47,9 +47,9 @@ class UldpGroupTrainer final : public FlAlgorithm {
 
  private:
   const FederatedDataset& data_;
-  std::unique_ptr<Model> work_model_;
   FlConfig config_;
   Rng rng_;
+  RoundEngine engine_;
   int group_k_;
   double dp_sample_rate_;
   int dp_steps_per_round_;

@@ -9,9 +9,9 @@ namespace uldp {
 UldpNaiveTrainer::UldpNaiveTrainer(const FederatedDataset& data,
                                    const Model& model, FlConfig config)
     : data_(data),
-      work_model_(model.Clone()),
       config_(config),
       rng_(config.seed),
+      engine_(model, data.num_silos(), EngineConfigFrom(config)),
       tracker_(PrivacyTracker::ForGaussian(config.sigma)) {
   ULDP_CHECK_GT(config_.clip, 0.0);
   silo_examples_.resize(data_.num_silos());
@@ -21,7 +21,6 @@ UldpNaiveTrainer::UldpNaiveTrainer(const FederatedDataset& data,
 }
 
 Status UldpNaiveTrainer::RunRound(int round, Vec& global_params) {
-  ULDP_CHECK_EQ(global_params.size(), work_model_->NumParams());
   const int s_count = data_.num_silos();
   // Each silo adds N(0, sigma^2 C^2 |S|) per coordinate — user-level
   // sensitivity across silos is C|S| (Algorithm 1, line 14). Central mode
@@ -31,25 +30,27 @@ Status UldpNaiveTrainer::RunRound(int round, Vec& global_params) {
       central ? 0.0
               : config_.sigma * config_.clip *
                     std::sqrt(static_cast<double>(s_count));
-  std::vector<Vec> deltas;
-  deltas.reserve(s_count);
-  for (int s = 0; s < s_count; ++s) {
-    work_model_->SetParams(global_params);
-    TrainLocalSgd(*work_model_, silo_examples_[s], config_.local_epochs,
-                  config_.batch_size, config_.local_lr, rng_);
-    Vec delta = work_model_->GetParams();
-    Axpy(-1.0, global_params, delta);  // trained - global (Alg. 1 line 12,
-                                       // sign normalized to descent)
-    ClipToL2Ball(delta, config_.clip);
-    AddGaussianNoise(delta, noise_std, rng_);
-    deltas.push_back(std::move(delta));
-  }
-  Vec total = AggregateDeltas(deltas, config_.secure_aggregation,
-                              static_cast<uint64_t>(round));
+  const uint64_t r = static_cast<uint64_t>(round);
+  auto total = engine_.RunRound(
+      round, global_params, [&](int s, Model& model, Vec& delta) {
+        Rng local = rng_.Fork(r, static_cast<uint64_t>(s));
+        TrainLocalSgd(model, silo_examples_[s], config_.local_epochs,
+                      config_.batch_size, config_.local_lr, local);
+        delta = model.GetParams();
+        Axpy(-1.0, global_params, delta);  // trained - global (Alg. 1 line
+                                           // 12, sign normalized to descent)
+        ClipToL2Ball(delta, config_.clip);
+        Rng noise = rng_.Fork(r, static_cast<uint64_t>(s), kRngStreamNoise);
+        AddGaussianNoise(delta, noise_std, noise);
+        return Status::Ok();
+      });
+  if (!total.ok()) return total.status();
   if (central) {
-    AddGaussianNoise(total, config_.sigma * config_.clip * s_count, rng_);
+    Rng server = rng_.Fork(r, 0, kRngStreamServer);
+    AddGaussianNoise(total.value(), config_.sigma * config_.clip * s_count,
+                     server);
   }
-  Axpy(config_.global_lr / s_count, total, global_params);
+  Axpy(config_.global_lr / s_count, total.value(), global_params);
   tracker_.AdvanceRounds(1);
   return Status::Ok();
 }

@@ -7,10 +7,9 @@
 #ifndef ULDP_CORE_ULDP_NAIVE_H_
 #define ULDP_CORE_ULDP_NAIVE_H_
 
-#include <memory>
-
 #include "dp/accountant.h"
 #include "fl/local_trainer.h"
+#include "fl/round_engine.h"
 
 namespace uldp {
 
@@ -25,9 +24,9 @@ class UldpNaiveTrainer final : public FlAlgorithm {
 
  private:
   const FederatedDataset& data_;
-  std::unique_ptr<Model> work_model_;
   FlConfig config_;
   Rng rng_;
+  RoundEngine engine_;
   PrivacyTracker tracker_;
   std::vector<std::vector<Example>> silo_examples_;
 };

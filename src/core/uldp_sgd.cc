@@ -11,10 +11,10 @@ UldpSgdTrainer::UldpSgdTrainer(const FederatedDataset& data,
                                WeightingStrategy weighting,
                                double user_sample_rate)
     : data_(data),
-      work_model_(model.Clone()),
       config_(config),
       user_sample_rate_(user_sample_rate),
       rng_(config.seed),
+      engine_(model, data.num_silos(), EngineConfigFrom(config)),
       tracker_(user_sample_rate < 1.0
                    ? PrivacyTracker::ForSubsampledGaussian(config.sigma,
                                                            user_sample_rate)
@@ -24,43 +24,28 @@ UldpSgdTrainer::UldpSgdTrainer(const FederatedDataset& data,
   ULDP_CHECK(WeightsSatisfyUldpConstraint(weights_));
   name_ = weighting == WeightingStrategy::kEnhanced ? "ULDP-SGD-w"
                                                     : "ULDP-SGD";
+  silo_shards_.resize(data_.num_silos());
   for (int s = 0; s < data_.num_silos(); ++s) {
     for (int u = 0; u < data_.num_users(); ++u) {
       const auto& idx = data_.RecordsOf(s, u);
       if (idx.empty()) continue;
-      pairs_.push_back(Pair{s, u, data_.MakeExamples(idx)});
+      silo_shards_[s].push_back(UserShard{u, data_.MakeExamples(idx)});
     }
   }
 }
 
 Status UldpSgdTrainer::RunRound(int round, Vec& global_params) {
-  ULDP_CHECK_EQ(global_params.size(), work_model_->NumParams());
   const int s_count = data_.num_silos();
   const int u_count = data_.num_users();
-  const size_t dim = global_params.size();
   const double q = user_sample_rate_;
+  const uint64_t r = static_cast<uint64_t>(round);
 
+  // Server-side Poisson sampling of the user set (one substream per round,
+  // drawn in user order — independent of silo scheduling).
   std::vector<bool> sampled(u_count, true);
   if (q < 1.0) {
-    for (int u = 0; u < u_count; ++u) sampled[u] = rng_.Bernoulli(q);
-  }
-
-  std::vector<Vec> silo_grad(s_count, Vec(dim, 0.0));
-  Vec grad(dim, 0.0);
-  for (const Pair& pair : pairs_) {
-    if (!sampled[pair.user]) continue;
-    double w = weights_[pair.silo][pair.user];
-    if (w == 0.0) continue;
-    // Full-batch per-user gradient at the current global model
-    // (Algorithm 3, lines 21-23).
-    work_model_->SetParams(global_params);
-    std::fill(grad.begin(), grad.end(), 0.0);
-    std::vector<const Example*> batch;
-    batch.reserve(pair.examples.size());
-    for (const Example& ex : pair.examples) batch.push_back(&ex);
-    work_model_->LossAndGrad(batch, &grad);
-    ClipToL2Ball(grad, config_.clip);
-    Axpy(w, grad, silo_grad[pair.silo]);
+    Rng sampler = rng_.Fork(r, 0, kRngStreamSampling);
+    for (int u = 0; u < u_count; ++u) sampled[u] = sampler.Bernoulli(q);
   }
 
   const bool central = config_.noise_placement == NoisePlacement::kCentral;
@@ -68,18 +53,39 @@ Status UldpSgdTrainer::RunRound(int round, Vec& global_params) {
       central ? 0.0
               : config_.sigma * config_.clip /
                     std::sqrt(static_cast<double>(s_count));
-  for (int s = 0; s < s_count; ++s) {
-    AddGaussianNoise(silo_grad[s], noise_std, rng_);
-  }
-  Vec total = AggregateDeltas(silo_grad, config_.secure_aggregation,
-                              static_cast<uint64_t>(round));
+  auto total = engine_.RunRound(
+      round, global_params, [&](int s, Model& model, Vec& silo_grad) {
+        Vec grad(silo_grad.size(), 0.0);
+        std::vector<const Example*> batch;
+        for (const UserShard& shard : silo_shards_[s]) {
+          if (!sampled[shard.user]) continue;
+          double w = weights_[s][shard.user];
+          if (w == 0.0) continue;
+          // Full-batch per-user gradient at the current global model
+          // (Algorithm 3, lines 21-23).
+          model.SetParams(global_params);
+          std::fill(grad.begin(), grad.end(), 0.0);
+          batch.clear();
+          batch.reserve(shard.examples.size());
+          for (const Example& ex : shard.examples) batch.push_back(&ex);
+          model.LossAndGrad(batch, &grad);
+          ClipToL2Ball(grad, config_.clip);
+          Axpy(w, grad, silo_grad);
+        }
+        Rng noise = rng_.Fork(r, static_cast<uint64_t>(s), kRngStreamNoise);
+        AddGaussianNoise(silo_grad, noise_std, noise);
+        return Status::Ok();
+      });
+  if (!total.ok()) return total.status();
   if (central) {
-    AddGaussianNoise(total, config_.sigma * config_.clip, rng_);
+    Rng server = rng_.Fork(r, 0, kRngStreamServer);
+    AddGaussianNoise(total.value(), config_.sigma * config_.clip, server);
   }
   // Descent step with the paper's 1/(q |U| |S|) scaling. (Algorithm 3
   // writes the update additively on the delta; for the SGD variant the
   // aggregated quantity is a gradient, so the server steps against it.)
-  Axpy(-config_.global_lr / (q * u_count * s_count), total, global_params);
+  Axpy(-config_.global_lr / (q * u_count * s_count), total.value(),
+       global_params);
   tracker_.AdvanceRounds(1);
   return Status::Ok();
 }

@@ -5,12 +5,12 @@
 #ifndef ULDP_CORE_ULDP_SGD_H_
 #define ULDP_CORE_ULDP_SGD_H_
 
-#include <memory>
 #include <string>
 
 #include "core/weighting.h"
 #include "dp/accountant.h"
 #include "fl/local_trainer.h"
+#include "fl/round_engine.h"
 
 namespace uldp {
 
@@ -27,19 +27,19 @@ class UldpSgdTrainer final : public FlAlgorithm {
 
  private:
   const FederatedDataset& data_;
-  std::unique_ptr<Model> work_model_;
   FlConfig config_;
   double user_sample_rate_;
   Rng rng_;
+  RoundEngine engine_;
   PrivacyTracker tracker_;
   std::string name_;
   std::vector<std::vector<double>> weights_;
-  struct Pair {
-    int silo;
+  struct UserShard {
     int user;
     std::vector<Example> examples;
   };
-  std::vector<Pair> pairs_;
+  // Per-silo lists of users with records there — the silo actor's work.
+  std::vector<std::vector<UserShard>> silo_shards_;
 };
 
 }  // namespace uldp

@@ -9,9 +9,9 @@ namespace uldp {
 FedAvgTrainer::FedAvgTrainer(const FederatedDataset& data, const Model& model,
                              FlConfig config)
     : data_(data),
-      work_model_(model.Clone()),
       config_(config),
-      rng_(config.seed) {
+      rng_(config.seed),
+      engine_(model, data.num_silos(), EngineConfigFrom(config)) {
   silo_examples_.resize(data_.num_silos());
   for (int s = 0; s < data_.num_silos(); ++s) {
     silo_examples_[s] = data_.MakeExamples(data_.RecordsOfSilo(s));
@@ -19,20 +19,18 @@ FedAvgTrainer::FedAvgTrainer(const FederatedDataset& data, const Model& model,
 }
 
 Status FedAvgTrainer::RunRound(int round, Vec& global_params) {
-  ULDP_CHECK_EQ(global_params.size(), work_model_->NumParams());
-  std::vector<Vec> deltas;
-  deltas.reserve(data_.num_silos());
-  for (int s = 0; s < data_.num_silos(); ++s) {
-    work_model_->SetParams(global_params);
-    TrainLocalSgd(*work_model_, silo_examples_[s], config_.local_epochs,
-                  config_.batch_size, config_.local_lr, rng_);
-    Vec delta = work_model_->GetParams();
-    Axpy(-1.0, global_params, delta);  // delta = trained - global
-    deltas.push_back(std::move(delta));
-  }
-  Vec total = AggregateDeltas(deltas, config_.secure_aggregation,
-                              static_cast<uint64_t>(round));
-  Axpy(config_.global_lr / data_.num_silos(), total, global_params);
+  auto total = engine_.RunRound(
+      round, global_params, [&](int s, Model& model, Vec& delta) {
+        Rng local = rng_.Fork(static_cast<uint64_t>(round),
+                              static_cast<uint64_t>(s));
+        TrainLocalSgd(model, silo_examples_[s], config_.local_epochs,
+                      config_.batch_size, config_.local_lr, local);
+        delta = model.GetParams();
+        Axpy(-1.0, global_params, delta);  // delta = trained - global
+        return Status::Ok();
+      });
+  if (!total.ok()) return total.status();
+  Axpy(config_.global_lr / data_.num_silos(), total.value(), global_params);
   return Status::Ok();
 }
 

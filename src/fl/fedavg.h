@@ -5,15 +5,14 @@
 #ifndef ULDP_FL_FEDAVG_H_
 #define ULDP_FL_FEDAVG_H_
 
-#include <memory>
-
 #include "fl/local_trainer.h"
+#include "fl/round_engine.h"
 
 namespace uldp {
 
 class FedAvgTrainer final : public FlAlgorithm {
  public:
-  /// `model` provides the architecture (cloned for local work).
+  /// `model` provides the architecture (cloned per silo for local work).
   FedAvgTrainer(const FederatedDataset& data, const Model& model,
                 FlConfig config);
 
@@ -23,9 +22,9 @@ class FedAvgTrainer final : public FlAlgorithm {
 
  private:
   const FederatedDataset& data_;
-  std::unique_ptr<Model> work_model_;
   FlConfig config_;
   Rng rng_;
+  RoundEngine engine_;
   std::vector<std::vector<Example>> silo_examples_;
 };
 

@@ -35,6 +35,11 @@ struct FlConfig {
   int local_epochs = 1;     // Q
   int batch_size = 32;      // local mini-batch size
   uint64_t seed = 1;
+  /// Round-engine thread count: per-silo work is scheduled across this
+  /// many threads (<= 0 resolves via ULDP_THREADS env, then hardware
+  /// concurrency). Results are bitwise independent of this value — all
+  /// randomness comes from Rng::Fork(round, silo, user) substreams.
+  int num_threads = 0;
   NoisePlacement noise_placement = NoisePlacement::kDistributed;
   /// When true, silo deltas are routed through fixed-point encoding and
   /// pairwise-masked summation over a public prime field before the server

@@ -1,0 +1,72 @@
+#include "fl/round_engine.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "fl/local_trainer.h"
+
+namespace uldp {
+
+RoundEngineConfig EngineConfigFrom(const FlConfig& config) {
+  RoundEngineConfig ec;
+  ec.num_threads = config.num_threads;
+  ec.secure_aggregation = config.secure_aggregation;
+  return ec;
+}
+
+RoundEngine::RoundEngine(const Model& model, int num_silos,
+                         RoundEngineConfig config)
+    : num_silos_(num_silos), config_(config), pool_(config.num_threads) {
+  ULDP_CHECK_GE(num_silos_, 1);
+  // At most min(silos, threads) silo tasks run concurrently, so that many
+  // clones suffice — memory stays bounded by parallelism, not silo count.
+  const int clones = std::min(num_silos_, pool_->num_threads());
+  model_clones_.reserve(clones);
+  for (int i = 0; i < clones; ++i) {
+    model_clones_.push_back(model.Clone());
+    free_models_.push_back(model_clones_.back().get());
+  }
+}
+
+Model* RoundEngine::AcquireModel() {
+  std::unique_lock<std::mutex> lock(model_mu_);
+  model_cv_.wait(lock, [this] { return !free_models_.empty(); });
+  Model* model = free_models_.back();
+  free_models_.pop_back();
+  return model;
+}
+
+void RoundEngine::ReleaseModel(Model* model) {
+  {
+    std::lock_guard<std::mutex> lock(model_mu_);
+    free_models_.push_back(model);
+  }
+  model_cv_.notify_one();
+}
+
+Status RoundEngine::RunSilos(const Vec& global, const LocalWork& work,
+                             std::vector<Vec>* silo_deltas) {
+  ULDP_CHECK_EQ(global.size(), model_clones_[0]->NumParams());
+  std::vector<Vec> scratch(silo_deltas == nullptr ? num_silos_ : 0);
+  if (silo_deltas != nullptr) silo_deltas->assign(num_silos_, Vec());
+  std::vector<Status> statuses(num_silos_, Status::Ok());
+  pool_->ParallelFor(static_cast<size_t>(num_silos_), [&](size_t s) {
+    Model* model = AcquireModel();
+    model->SetParams(global);
+    Vec& delta = silo_deltas != nullptr ? (*silo_deltas)[s] : scratch[s];
+    if (silo_deltas != nullptr) delta.assign(global.size(), 0.0);
+    statuses[s] = work(static_cast<int>(s), *model, delta);
+    ReleaseModel(model);
+  });
+  return FirstError(statuses);
+}
+
+Result<Vec> RoundEngine::RunRound(int round, const Vec& global,
+                                  const LocalWork& work) {
+  std::vector<Vec> deltas;
+  ULDP_RETURN_IF_ERROR(RunSilos(global, work, &deltas));
+  return AggregateDeltas(deltas, config_.secure_aggregation,
+                         static_cast<uint64_t>(round));
+}
+
+}  // namespace uldp

@@ -1,0 +1,89 @@
+// Unified parallel round engine. Every FL algorithm in this codebase is a
+// cross-silo round: silos compute local contributions independently, and
+// the server reduces them. The engine owns that structure once — a silo-
+// actor scheduler on a work-stealing pool plus the deterministic reduce —
+// so trainers only register their per-silo LocalWork callback.
+//
+// Determinism contract: the engine never hands callbacks a shared RNG.
+// Algorithms draw all randomness from Rng::Fork(round, silo, user)
+// substreams (pure functions of the seed and counters) and the engine
+// reduces silo outputs in silo order, so a run on N threads is bitwise
+// identical to a serial run. Thread count is purely a performance knob
+// (FlConfig::num_threads / ULDP_THREADS).
+
+#ifndef ULDP_FL_ROUND_ENGINE_H_
+#define ULDP_FL_ROUND_ENGINE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/status.h"
+#include "nn/model.h"
+
+namespace uldp {
+
+struct FlConfig;
+
+struct RoundEngineConfig {
+  /// <= 0 resolves via ThreadPool::DefaultThreadCount().
+  int num_threads = 0;
+  /// Route the silo-delta reduce through the secure-aggregation simulation
+  /// (pairwise-masked fixed-point sums) instead of a plain sum.
+  bool secure_aggregation = false;
+};
+
+/// Engine settings carried by the shared FL hyper-parameter block.
+RoundEngineConfig EngineConfigFrom(const FlConfig& config);
+
+/// Schedules per-silo round work across threads and reduces the results.
+/// One engine instance per trainer; it owns a small pool of model clones
+/// (one per concurrently running silo task — models carry scratch state,
+/// so two in-flight tasks must not share one, but a silo task sets all
+/// parameters before use, so clones are reusable across silos and rounds).
+class RoundEngine {
+ public:
+  /// Per-silo local work for one round. `model`'s parameters are set to
+  /// the round's global parameters before the call; the callback fills
+  /// `delta` (preallocated to the global size, zeroed) with the silo's
+  /// already-weighted, already-noised contribution. Runs concurrently
+  /// across silos — touch only silo-local state and forked RNGs.
+  using LocalWork = std::function<Status(int silo, Model& model, Vec& delta)>;
+
+  RoundEngine(const Model& model, int num_silos, RoundEngineConfig config);
+
+  /// Runs `work` for every silo on the pool and returns the reduced total
+  /// (plain or secure-aggregated sum over silos, keyed by `round`).
+  Result<Vec> RunRound(int round, const Vec& global, const LocalWork& work);
+
+  /// Runs `work` for every silo without the reduce step — for algorithms
+  /// with a custom server-side reduce (e.g. Protocol 1's encrypted
+  /// weighting). Deltas land in `silo_deltas` (resized to num_silos);
+  /// pass nullptr when the algorithm stores its results elsewhere — the
+  /// callback then receives an empty scratch Vec it may ignore.
+  Status RunSilos(const Vec& global, const LocalWork& work,
+                  std::vector<Vec>* silo_deltas);
+
+  int num_silos() const { return num_silos_; }
+  int num_threads() const { return pool_->num_threads(); }
+  ThreadPool& pool() { return *pool_; }
+
+ private:
+  /// Checks a model clone out of the free list, blocking until one is
+  /// available (stolen work can briefly oversubscribe the pool).
+  Model* AcquireModel();
+  void ReleaseModel(Model* model);
+
+  int num_silos_;
+  RoundEngineConfig config_;
+  PoolHandle pool_;
+  std::vector<std::unique_ptr<Model>> model_clones_;
+  std::vector<Model*> free_models_;
+  std::mutex model_mu_;
+  std::condition_variable model_cv_;
+};
+
+}  // namespace uldp
+
+#endif  // ULDP_FL_ROUND_ENGINE_H_

@@ -70,7 +70,9 @@ TEST(ClipTest, ClipPropertySweep) {
     for (size_t d = 0; d < v.size(); ++d) {
       if (std::fabs(orig[d]) > 1e-9) {
         double r = v[d] / orig[d];
-        if (set) EXPECT_NEAR(r, ratio, 1e-9);
+        if (set) {
+          EXPECT_NEAR(r, ratio, 1e-9);
+        }
         ratio = r;
         set = true;
       }

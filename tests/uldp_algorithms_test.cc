@@ -52,7 +52,9 @@ TEST(WeightingTest, EnhancedWeightsMatchHistogramShares) {
       }
       sum += w[s][u];
     }
-    if (total > 0) EXPECT_NEAR(sum, 1.0, 1e-12);
+    if (total > 0) {
+      EXPECT_NEAR(sum, 1.0, 1e-12);
+    }
   }
   EXPECT_TRUE(WeightsSatisfyUldpConstraint(w));
 }

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# CI entry point: configure (the top-level CMakeLists enforces
+# -Wall -Wextra), build everything, and run the test suite — the repo's
+# tier-1 verify. Usage: tools/ci.sh [build-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j"$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"

@@ -2,7 +2,7 @@
 // running any Uldp-FL algorithm on a built-in synthetic dataset or a CSV
 // file without writing C++.
 //
-//   uldp_fl_cli --dataset=creditcard --method=uldp-avg-w --rounds=30 \
+//   uldp_fl_cli --dataset=creditcard --method=uldp-avg-w --rounds=30
 //               --users=100 --silos=5 --allocation=zipf --sigma=5
 //   uldp_fl_cli --csv=transactions.csv --label-column=30 ...
 //
@@ -51,6 +51,7 @@ struct Flags {
   int local_epochs = 2;
   uint64_t seed = 1;
   int num_seeds = 1;  // > 1 averages runs
+  int threads = 0;    // round-engine threads (0 = auto)
 };
 
 void PrintHelp() {
@@ -67,7 +68,9 @@ void PrintHelp() {
       "  --target-epsilon=E          calibrate sigma for this budget\n"
       "  --user-sample-rate=Q        user-level sub-sampling (Alg. 4)\n"
       "  --group-k=K                 group size for uldp-group\n"
-      "  --seed=N --num-seeds=M      M > 1 reports mean±std over seeds\n";
+      "  --seed=N --num-seeds=M      M > 1 reports mean±std over seeds\n"
+      "  --threads=N                 silo-round threads (0 = auto;\n"
+      "                              results are identical for any N)\n";
 }
 
 bool ParseFlag(const std::string& arg, const std::string& name,
@@ -128,6 +131,8 @@ Result<Flags> ParseFlags(int argc, char** argv) {
       flags.seed = std::strtoull(value.c_str(), nullptr, 10);
     } else if (ParseFlag(arg, "num-seeds", &value)) {
       flags.num_seeds = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "threads", &value)) {
+      flags.threads = std::atoi(value.c_str());
     } else {
       return Status::InvalidArgument("unknown flag: " + arg +
                                      " (try --help)");
@@ -231,6 +236,7 @@ Result<std::unique_ptr<FlAlgorithm>> MakeAlgorithm(const Flags& flags,
   config.sigma = sigma;
   config.local_epochs = flags.local_epochs;
   config.seed = seed;
+  config.num_threads = flags.threads;
 
   auto lr_or = [&](double fallback) {
     return flags.global_lr > 0.0 ? flags.global_lr : fallback;
