@@ -22,6 +22,7 @@ constexpr uint64_t kRngStreamNoise = ~0ull;         // per-silo noise share
 constexpr uint64_t kRngStreamSampling = ~0ull - 1;  // server user sampling
 constexpr uint64_t kRngStreamServer = ~0ull - 2;    // central server noise
 constexpr uint64_t kRngStreamEncrypt = ~0ull - 3;   // per-user encryption
+constexpr uint64_t kRngStreamKeygen = ~0ull - 4;    // Paillier prime search
 
 /// Deterministic pseudo-random generator (mt19937_64 core) with the
 /// distribution helpers the Uldp-FL algorithms need.

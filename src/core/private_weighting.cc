@@ -16,30 +16,6 @@ double SecondsSince(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
-// Fixed-length little-endian serialization for OT payloads (ciphertexts
-// live in [0, n^2), so `len` is chosen from the key size).
-std::vector<uint8_t> BigIntToBytes(const BigInt& x, size_t len) {
-  ULDP_CHECK(!x.IsNegative());
-  std::vector<uint8_t> out(len, 0);
-  const auto& limbs = x.limbs();
-  for (size_t i = 0; i < limbs.size(); ++i) {
-    for (int b = 0; b < 8; ++b) {
-      size_t pos = i * 8 + b;
-      ULDP_CHECK_LT(pos, len);
-      out[pos] = static_cast<uint8_t>(limbs[i] >> (8 * b));
-    }
-  }
-  return out;
-}
-
-BigInt BytesToBigInt(const std::vector<uint8_t>& bytes) {
-  std::vector<uint64_t> limbs((bytes.size() + 7) / 8, 0);
-  for (size_t i = 0; i < bytes.size(); ++i) {
-    limbs[i / 8] |= static_cast<uint64_t>(bytes[i]) << (8 * (i % 8));
-  }
-  return BigInt::FromLimbs(std::move(limbs));
-}
-
 }  // namespace
 
 PrivateWeightingProtocol::PrivateWeightingProtocol(ProtocolConfig config,
@@ -76,6 +52,35 @@ BigInt PrivateWeightingProtocol::PairMask(int silo_a, int silo_b,
   return stream.UniformBelow(public_key_.n);
 }
 
+Result<BigInt> PrivateWeightingProtocol::PEncrypt(const BigInt& m,
+                                                  Rng& rng) const {
+  return config_.fast_paillier ? paillier_->Encrypt(m, rng)
+                               : Paillier::Encrypt(public_key_, m, rng);
+}
+
+Result<BigInt> PrivateWeightingProtocol::PDecrypt(const BigInt& c) const {
+  return config_.fast_paillier ? paillier_->Decrypt(c)
+                               : Paillier::Decrypt(public_key_, secret_key_, c);
+}
+
+BigInt PrivateWeightingProtocol::PAddCiphertexts(const BigInt& c1,
+                                                 const BigInt& c2) const {
+  // Single-multiply ops have no fast/cold distinction (the context
+  // delegates to the static implementation).
+  return Paillier::AddCiphertexts(public_key_, c1, c2);
+}
+
+BigInt PrivateWeightingProtocol::PAddPlaintext(const BigInt& c,
+                                               const BigInt& k) const {
+  return Paillier::AddPlaintext(public_key_, c, k);
+}
+
+BigInt PrivateWeightingProtocol::PMulPlaintext(const BigInt& c,
+                                               const BigInt& k) const {
+  return config_.fast_paillier ? paillier_->MulPlaintext(c, k)
+                               : Paillier::MulPlaintext(public_key_, c, k);
+}
+
 Status PrivateWeightingProtocol::Setup(
     const std::vector<std::vector<int>>& silo_histograms) {
   if (static_cast<int>(silo_histograms.size()) != num_silos_) {
@@ -89,8 +94,14 @@ Status PrivateWeightingProtocol::Setup(
 
   // -- Setup (a): keys and C_LCM ------------------------------------------
   auto t0 = Clock::now();
+  // The two prime searches run concurrently on the protocol pool; the key
+  // is a pure function of the seed regardless of thread count.
   ULDP_RETURN_IF_ERROR(Paillier::GenerateKeyPair(config_.paillier_bits, rng_,
-                                                 &public_key_, &secret_key_));
+                                                 &public_key_, &secret_key_,
+                                                 &*pool_));
+  if (config_.fast_paillier) {
+    paillier_ = std::make_unique<PaillierContext>(public_key_, secret_key_);
+  }
   c_lcm_ = LcmUpTo(static_cast<uint64_t>(config_.n_max));
   codec_ = FixedPointCodec(public_key_.n, config_.precision);
 
@@ -273,13 +284,12 @@ Result<Vec> PrivateWeightingProtocol::WeightingRound(
       std::vector<std::vector<uint8_t>> payload(slots);
       for (int i = 0; i < slots; ++i) {
         bool real = perm[i] < real_slots;
-        auto c = Paillier::Encrypt(public_key_,
-                                   real ? b_inv_[u] : BigInt(0), user_rng);
+        auto c = PEncrypt(real ? b_inv_[u] : BigInt(0), user_rng);
         if (!c.ok()) {
           user_status[u] = c.status();
           return;
         }
-        payload[i] = BigIntToBytes(c.value(), clen);
+        payload[i] = c.value().ToBytesLE(clen);
       }
       auto sender = ot.SenderInit(user_rng);
       auto receiver = ot.ReceiverChoose(sender, sigma, user_rng);
@@ -298,10 +308,30 @@ Result<Vec> PrivateWeightingProtocol::WeightingRound(
         user_status[u] = fetched.status();
         return;
       }
-      enc_weights[u] = BytesToBigInt(fetched.value());
+      enc_weights[u] = BigInt::FromBytesLE(fetched.value());
       ot_mask[u] = perm[sigma] < real_slots ? 1 : 0;
     });
     last_ot_mask_.assign(ot_mask.begin(), ot_mask.end());
+  } else if (config_.fast_paillier) {
+    // Randomizer pipeline: r^n mod n^2 is plaintext-independent, so
+    // EncryptBatch first batch-computes one randomizer per user on the
+    // pool (drawing r from the same Fork(round, user) substream, in the
+    // same order, as a direct Encrypt would — ciphertexts stay bitwise
+    // thread-count-invariant), then encryption itself is a single modular
+    // multiply per user.
+    std::vector<BigInt> plains(num_users_);
+    for (int u = 0; u < num_users_; ++u) {
+      if (user_sampled[u]) plains[u] = b_inv_[u];
+    }
+    auto batch = paillier_->EncryptBatch(
+        plains,
+        [&](size_t u) {
+          return rng_.Fork(round, static_cast<uint64_t>(u),
+                           kRngStreamEncrypt);
+        },
+        *pool_);
+    if (!batch.ok()) return batch.status();
+    enc_weights = std::move(batch.value());
   } else {
     pool_->ParallelFor(static_cast<size_t>(num_users_), [&](size_t ui) {
       const int u = static_cast<int>(ui);
@@ -364,10 +394,8 @@ Result<Vec> PrivateWeightingProtocol::WeightingRound(
         }
         if (e.value().IsZero()) continue;
         BigInt scalar = e.value().ModMul(base, n);
-        BigInt term = Paillier::MulPlaintext(public_key_, enc_weights[u],
-                                             scalar);
-        silo_cipher[s][d] =
-            Paillier::AddCiphertexts(public_key_, silo_cipher[s][d], term);
+        BigInt term = PMulPlaintext(enc_weights[u], scalar);
+        silo_cipher[s][d] = PAddCiphertexts(silo_cipher[s][d], term);
       }
     }
     // Encoded noise z' = Encode(z) * C_LCM added homomorphically.
@@ -378,8 +406,7 @@ Result<Vec> PrivateWeightingProtocol::WeightingRound(
         return;
       }
       BigInt z_scaled = z.value().ModMul(c_lcm_.Mod(n), n);
-      silo_cipher[s][d] =
-          Paillier::AddPlaintext(public_key_, silo_cipher[s][d], z_scaled);
+      silo_cipher[s][d] = PAddPlaintext(silo_cipher[s][d], z_scaled);
     }
   });
   ULDP_RETURN_IF_ERROR(FirstError(silo_status));
@@ -397,8 +424,7 @@ Result<Vec> PrivateWeightingProtocol::WeightingRound(
                             static_cast<int>(d));
         mask = s < other ? mask.ModAdd(m, n) : mask.ModSub(m, n);
       }
-      silo_cipher[s][d] =
-          Paillier::AddPlaintext(public_key_, silo_cipher[s][d], mask);
+      silo_cipher[s][d] = PAddPlaintext(silo_cipher[s][d], mask);
     }
   });
   // Server-side ciphertext product: coordinates are independent; the silo
@@ -406,8 +432,7 @@ Result<Vec> PrivateWeightingProtocol::WeightingRound(
   std::vector<BigInt> product(dim, BigInt(1));
   pool_->ParallelFor(dim, [&](size_t d) {
     for (int s = 0; s < num_silos_; ++s) {
-      product[d] =
-          Paillier::AddCiphertexts(public_key_, product[d], silo_cipher[s][d]);
+      product[d] = PAddCiphertexts(product[d], silo_cipher[s][d]);
     }
   });
   timings_.aggregation_s += SecondsSince(t0);
@@ -416,8 +441,11 @@ Result<Vec> PrivateWeightingProtocol::WeightingRound(
   t0 = Clock::now();
   Vec out(dim, 0.0);
   std::vector<Status> dim_status(dim, Status::Ok());
+  // CRT decryption (mod p^2 / q^2 with half-size exponents) on the fast
+  // path — the per-coordinate loop this protocol's decryption phase spends
+  // its time in.
   pool_->ParallelFor(dim, [&](size_t d) {
-    auto plain = Paillier::Decrypt(public_key_, secret_key_, product[d]);
+    auto plain = PDecrypt(product[d]);
     if (!plain.ok()) {
       dim_status[d] = plain.status();
       return;

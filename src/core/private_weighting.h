@@ -41,6 +41,7 @@
 #include "crypto/fixed_point.h"
 #include "crypto/oblivious_transfer.h"
 #include "crypto/paillier.h"
+#include "crypto/paillier_ctx.h"
 #include "nn/tensor.h"
 
 namespace uldp {
@@ -79,6 +80,12 @@ struct ProtocolConfig {
   /// all encryption randomness comes from Rng::Fork(round, user)
   /// substreams and reductions run in fixed index order.
   int num_threads = 0;
+  /// Route Paillier work through the cached-context fast path (long-lived
+  /// Montgomery contexts, CRT decryption, batched randomizer pipeline).
+  /// The slow path (static Paillier shim, classic decryption) produces
+  /// bitwise-identical round outputs; the switch exists so the micro bench
+  /// can measure the speedup of a full protocol round before/after.
+  bool fast_paillier = true;
 };
 
 /// Wall-clock seconds per protocol phase (Figure 10/11 measurements).
@@ -147,6 +154,15 @@ class PrivateWeightingProtocol {
   /// Pairwise additive histogram/ciphertext mask between silos a and b.
   BigInt PairMask(int silo_a, int silo_b, uint64_t tag, int user) const;
 
+  // Paillier operations, routed through the cached context
+  // (config_.fast_paillier) or the static cold-path shim. Results are
+  // bitwise identical either way.
+  Result<BigInt> PEncrypt(const BigInt& m, Rng& rng) const;
+  Result<BigInt> PDecrypt(const BigInt& c) const;
+  BigInt PAddCiphertexts(const BigInt& c1, const BigInt& c2) const;
+  BigInt PAddPlaintext(const BigInt& c, const BigInt& k) const;
+  BigInt PMulPlaintext(const BigInt& c, const BigInt& k) const;
+
   ProtocolConfig config_;
   int num_silos_;
   int num_users_;
@@ -154,6 +170,8 @@ class PrivateWeightingProtocol {
   // Server state.
   PaillierPublicKey public_key_;
   PaillierSecretKey secret_key_;
+  /// Cached-context fast path for the key pair (built in Setup).
+  std::unique_ptr<PaillierContext> paillier_;
   std::vector<BigInt> b_inv_;  // B_inv(N_u), server-side
   // Silo-shared state (the server never holds these).
   ChaChaRng::Key shared_seed_key_;                      // from R

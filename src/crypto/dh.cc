@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "math/montgomery.h"
 #include "math/primes.h"
 
 namespace uldp {
@@ -38,10 +39,22 @@ constexpr const char* kModp3072Hex =
 DhGroup GroupFromHex(const char* hex) {
   auto p = BigInt::FromHex(hex);
   ULDP_CHECK_MSG(p.ok(), "bad built-in group constant");
-  return DhGroup{std::move(p.value()), BigInt(2)};
+  DhGroup group{std::move(p.value()), BigInt(2), nullptr};
+  group.EnsureMont();
+  return group;
 }
 
 }  // namespace
+
+const Montgomery& DhGroup::EnsureMont() {
+  if (mont == nullptr) mont = std::make_shared<const Montgomery>(p);
+  return *mont;
+}
+
+BigInt DhGroup::Exp(const BigInt& base, const BigInt& e) const {
+  if (mont != nullptr) return mont->MontExp(base, e);
+  return base.ModExp(e, p);
+}
 
 DhGroup DhGroup::Rfc3526Modp2048() { return GroupFromHex(kModp2048Hex); }
 
@@ -52,14 +65,16 @@ DhGroup DhGroup::GenerateSafePrimeGroup(int bits, Rng& rng) {
   // For a safe prime p = 2q+1, any g with g^2 != 1 and g^q != 1 generates a
   // large subgroup; 2 generates the quadratic residues iff 2^q = 1.
   // Use 4 = 2^2, which is always a QR and has order q.
-  return DhGroup{std::move(p), BigInt(4)};
+  DhGroup group{std::move(p), BigInt(4), nullptr};
+  group.EnsureMont();
+  return group;
 }
 
 DhKeyPair GenerateDhKeyPair(const DhGroup& group, Rng& rng) {
   // Secret uniform in [2, p-2].
   BigInt secret =
       BigInt::RandomBelow(group.p - BigInt(3), rng) + BigInt(2);
-  BigInt pub = group.g.ModExp(secret, group.p);
+  BigInt pub = group.Exp(group.g, secret);
   return DhKeyPair{std::move(secret), std::move(pub)};
 }
 
@@ -69,7 +84,7 @@ Result<BigInt> ComputeSharedSecret(const DhGroup& group,
   if (their_public <= BigInt(1) || their_public >= group.p - BigInt(1)) {
     return Status::InvalidArgument("peer DH public key out of range");
   }
-  return their_public.ModExp(my_secret, group.p);
+  return group.Exp(their_public, my_secret);
 }
 
 std::string DeriveSharedSeedMaterial(const BigInt& shared_secret,

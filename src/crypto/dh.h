@@ -8,6 +8,7 @@
 #ifndef ULDP_CRYPTO_DH_H_
 #define ULDP_CRYPTO_DH_H_
 
+#include <memory>
 #include <string>
 
 #include "common/rng.h"
@@ -16,10 +17,26 @@
 
 namespace uldp {
 
+class Montgomery;
+
 /// A multiplicative group (Z/pZ)* with prime p and generator g.
 struct DhGroup {
   BigInt p;
   BigInt g;
+  /// Cached Montgomery context for p, shared by copies of the group so all
+  /// exponentiations (key generation, shared secrets, every OT slot) reuse
+  /// one set of REDC constants. The factory functions populate it; Exp()
+  /// never mutates it, so a group is safe to share across threads once
+  /// constructed.
+  std::shared_ptr<const Montgomery> mont;
+
+  /// Builds the cached context if absent. Mutates the group: call from a
+  /// single thread (e.g. right after hand-assembling a DhGroup{p, g})
+  /// before sharing it.
+  const Montgomery& EnsureMont();
+  /// base^e mod p — through the cached context when present, else the
+  /// generic (rebuild-per-call) path.
+  BigInt Exp(const BigInt& base, const BigInt& e) const;
 
   /// RFC 3526 group 14: 2048-bit MODP, generator 2.
   static DhGroup Rfc3526Modp2048();

@@ -1,13 +1,15 @@
 #include "crypto/paillier.h"
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "math/primes.h"
 
 namespace uldp {
 
 Status Paillier::GenerateKeyPair(int modulus_bits, Rng& rng,
                                  PaillierPublicKey* public_key,
-                                 PaillierSecretKey* secret_key) {
+                                 PaillierSecretKey* secret_key,
+                                 ThreadPool* pool) {
   if (modulus_bits < 64) {
     return Status::InvalidArgument("Paillier modulus must be >= 64 bits");
   }
@@ -15,9 +17,21 @@ Status Paillier::GenerateKeyPair(int modulus_bits, Rng& rng,
     return Status::InvalidArgument("Paillier modulus bits must be even");
   }
   int half = modulus_bits / 2;
-  for (;;) {
-    BigInt p = GeneratePrime(half, rng);
-    BigInt q = GeneratePrime(half, rng);
+  ThreadPool& search_pool = pool != nullptr ? *pool : ThreadPool::Global();
+  // Salt drawn before the parallel region: distinct calls on the same rng
+  // get distinct keys, while the substreams themselves stay pure functions
+  // of (salt, attempt, side) — the pool's thread count cannot change them.
+  const uint64_t salt = rng.NextUint64();
+  for (uint64_t attempt = 0;; ++attempt) {
+    BigInt pq[2];
+    search_pool.ParallelFor(2, [&](size_t side) {
+      // Stream id in Fork's reserved third slot, so prime-search streams
+      // can never collide with the protocol's per-user streams.
+      Rng prime_rng = rng.Fork(salt, 2 * attempt + side, kRngStreamKeygen);
+      pq[side] = GeneratePrime(half, prime_rng);
+    });
+    BigInt p = std::move(pq[0]);
+    BigInt q = std::move(pq[1]);
     if (p == q) continue;
     BigInt n = p * q;
     if (n.BitLength() != modulus_bits) continue;
@@ -42,6 +56,20 @@ Status Paillier::GenerateKeyPair(int modulus_bits, Rng& rng,
   }
 }
 
+BigInt Paillier::DrawUnit(const PaillierPublicKey& pk, Rng& rng) {
+  BigInt r;
+  do {
+    r = BigInt::RandomBelow(pk.n, rng);
+  } while (r.IsZero() || BigInt::Gcd(r, pk.n) != BigInt(1));
+  return r;
+}
+
+BigInt Paillier::ComposeCiphertext(const PaillierPublicKey& pk,
+                                   const BigInt& m, const BigInt& r_n) {
+  BigInt g_m = (BigInt(1) + m * pk.n).Mod(pk.n_squared);
+  return g_m.ModMul(r_n, pk.n_squared);
+}
+
 Result<BigInt> Paillier::Encrypt(const PaillierPublicKey& pk, const BigInt& m,
                                  Rng& rng) {
   if (m.IsNegative() || m >= pk.n) {
@@ -49,15 +77,9 @@ Result<BigInt> Paillier::Encrypt(const PaillierPublicKey& pk, const BigInt& m,
         "Paillier plaintext must be in [0, n); map signed values with the "
         "fixed-point codec first");
   }
-  // r uniform in [1, n) with gcd(r, n) = 1 (holds w.h.p.; retry otherwise).
-  BigInt r;
-  do {
-    r = BigInt::RandomBelow(pk.n, rng);
-  } while (r.IsZero() || BigInt::Gcd(r, pk.n) != BigInt(1));
   // (1 + m*n) * r^n mod n^2.
-  BigInt g_m = (BigInt(1) + m * pk.n).Mod(pk.n_squared);
-  BigInt r_n = r.ModExp(pk.n, pk.n_squared);
-  return g_m.ModMul(r_n, pk.n_squared);
+  BigInt r_n = DrawUnit(pk, rng).ModExp(pk.n, pk.n_squared);
+  return ComposeCiphertext(pk, m, r_n);
 }
 
 Result<BigInt> Paillier::Decrypt(const PaillierPublicKey& pk,

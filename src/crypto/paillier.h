@@ -17,6 +17,8 @@
 
 namespace uldp {
 
+class ThreadPool;
+
 /// Public key: modulus n (and cached n^2). Plaintexts live in F_n; signed
 /// quantities are mapped into F_n by the fixed-point codec.
 struct PaillierPublicKey {
@@ -35,18 +37,42 @@ struct PaillierSecretKey {
   BigInt q;
 };
 
+/// Static one-shot Paillier operations. These rebuild the modular-arithmetic
+/// contexts on every call; hot paths (Protocol 1, the benches) should hold a
+/// PaillierContext (crypto/paillier_ctx.h) instead, which produces
+/// bitwise-identical results while caching the Montgomery state and
+/// decrypting via CRT. This API is kept as the simple compatibility surface
+/// and as the cold-path baseline the micro benchmarks compare against.
 class Paillier {
  public:
   /// Generates a key pair with an `modulus_bits`-bit modulus n = p*q
   /// (p, q random primes of modulus_bits/2 bits each).
   /// modulus_bits >= 64; the paper's default security parameter is 3072.
+  /// The two prime searches are independent and run concurrently on `pool`
+  /// (the process-global pool when null); each search draws from its own
+  /// deterministic Rng::Fork substream, so the generated key is a pure
+  /// function of `rng`'s state regardless of the pool's thread count.
   static Status GenerateKeyPair(int modulus_bits, Rng& rng,
                                 PaillierPublicKey* public_key,
-                                PaillierSecretKey* secret_key);
+                                PaillierSecretKey* secret_key,
+                                ThreadPool* pool = nullptr);
 
   /// Encrypts plaintext m in [0, n). Randomness r drawn from rng.
   static Result<BigInt> Encrypt(const PaillierPublicKey& pk, const BigInt& m,
                                 Rng& rng);
+
+  /// Draws the encryption randomizer base: r uniform in [1, n) with
+  /// gcd(r, n) = 1 (holds w.h.p.; retries otherwise). Shared by Encrypt
+  /// and PaillierContext so both consume identical draw sequences — the
+  /// bitwise fast/cold parity contract depends on this being the single
+  /// implementation.
+  static BigInt DrawUnit(const PaillierPublicKey& pk, Rng& rng);
+
+  /// (1 + m*n) * r_n mod n^2 for a precomputed r_n = r^n mod n^2. The
+  /// plaintext-dependent half of encryption, shared with PaillierContext.
+  /// No range checks: m must be in [0, n).
+  static BigInt ComposeCiphertext(const PaillierPublicKey& pk, const BigInt& m,
+                                  const BigInt& r_n);
 
   /// Decrypts ciphertext c in [0, n^2) to the plaintext in [0, n).
   static Result<BigInt> Decrypt(const PaillierPublicKey& pk,

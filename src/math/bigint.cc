@@ -44,6 +44,31 @@ BigInt BigInt::FromLimbs(std::vector<uint64_t> limbs, bool negative) {
   return out;
 }
 
+std::vector<uint8_t> BigInt::ToBytesLE(size_t len) const {
+  ULDP_CHECK_MSG(!negative_, "ToBytesLE requires a non-negative value");
+  // Bound on the *significant* bytes, not the limb count: a value whose
+  // top limb has high zero bytes (or, for callers constructing unnormalized
+  // limb vectors, trailing zero limbs) still fits.
+  ULDP_CHECK_LE(static_cast<size_t>((BitLength() + 7) / 8), len);
+  std::vector<uint8_t> out(len, 0);
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    for (int b = 0; b < 8; ++b) {
+      size_t pos = i * 8 + b;
+      if (pos >= len) break;  // only zero padding bytes remain
+      out[pos] = static_cast<uint8_t>(limbs_[i] >> (8 * b));
+    }
+  }
+  return out;
+}
+
+BigInt BigInt::FromBytesLE(const std::vector<uint8_t>& bytes) {
+  std::vector<uint64_t> limbs((bytes.size() + 7) / 8, 0);
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    limbs[i / 8] |= static_cast<uint64_t>(bytes[i]) << (8 * (i % 8));
+  }
+  return FromLimbs(std::move(limbs));
+}
+
 Result<BigInt> BigInt::FromDecimal(const std::string& s) {
   if (s.empty()) return Status::InvalidArgument("empty decimal string");
   size_t i = 0;

@@ -68,6 +68,13 @@ class BigInt {
   std::string ToDecimal() const;
   std::string ToHex() const;
 
+  /// Fixed-length little-endian serialization of the magnitude (used for
+  /// OT ciphertext payloads). Requires a non-negative value whose
+  /// significant bytes fit in `len` (checked); the rest is zero padding.
+  std::vector<uint8_t> ToBytesLE(size_t len) const;
+  /// Inverse of ToBytesLE (ignores high zero padding).
+  static BigInt FromBytesLE(const std::vector<uint8_t>& bytes);
+
   // -- Comparison ------------------------------------------------------------
 
   /// Three-way comparison: -1, 0 or +1.

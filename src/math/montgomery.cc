@@ -35,6 +35,17 @@ void SubInPlace(std::vector<uint64_t>& a, const std::vector<uint64_t>& b) {
   }
 }
 
+// Sliding-window width for an exponent of the given bit length. Balances
+// the 2^(w-1)-entry odd-power table against the expected multiplications
+// per window (standard cutoffs).
+int WindowBits(int exp_bits) {
+  if (exp_bits >= 1024) return 6;
+  if (exp_bits >= 384) return 5;
+  if (exp_bits >= 96) return 4;
+  if (exp_bits >= 24) return 3;
+  return 2;
+}
+
 }  // namespace
 
 Montgomery::Montgomery(const BigInt& modulus) {
@@ -109,6 +120,52 @@ Montgomery::Limbs Montgomery::MontMul(const Limbs& a, const Limbs& b) const {
   return Redc(std::move(t));
 }
 
+Montgomery::Limbs Montgomery::MontSqrLimbs(const Limbs& a) const {
+  // a^2 = 2 * sum_{i<j} a_i a_j B^{i+j} + sum_i a_i^2 B^{2i}: the cross
+  // products are computed once and doubled, roughly halving the inner-loop
+  // work of a generic MontMul.
+  std::vector<uint64_t> t(2 * k_, 0);
+  for (size_t i = 0; i + 1 < k_; ++i) {
+    uint64_t ai = a[i];
+    if (ai == 0) continue;
+    uint64_t carry = 0;
+    for (size_t j = i + 1; j < k_; ++j) {
+      uint128 cur = static_cast<uint128>(ai) * a[j] + t[i + j] + carry;
+      t[i + j] = static_cast<uint64_t>(cur);
+      carry = static_cast<uint64_t>(cur >> 64);
+    }
+    size_t idx = i + k_;
+    while (carry != 0) {
+      uint128 cur = static_cast<uint128>(t[idx]) + carry;
+      t[idx] = static_cast<uint64_t>(cur);
+      carry = static_cast<uint64_t>(cur >> 64);
+      ++idx;
+    }
+  }
+  // Double the cross-product sum (cannot overflow 2k limbs: 2*cross <= a^2
+  // < R^2).
+  uint64_t carry_bit = 0;
+  for (size_t i = 0; i < 2 * k_; ++i) {
+    uint64_t hi = t[i] >> 63;
+    t[i] = (t[i] << 1) | carry_bit;
+    carry_bit = hi;
+  }
+  // Add the diagonal squares.
+  uint64_t carry = 0;
+  for (size_t i = 0; i < k_; ++i) {
+    uint128 sq = static_cast<uint128>(a[i]) * a[i];
+    uint128 lo = static_cast<uint128>(t[2 * i]) +
+                 static_cast<uint64_t>(sq) + carry;
+    t[2 * i] = static_cast<uint64_t>(lo);
+    uint128 hi = static_cast<uint128>(t[2 * i + 1]) +
+                 static_cast<uint64_t>(sq >> 64) +
+                 static_cast<uint64_t>(lo >> 64);
+    t[2 * i + 1] = static_cast<uint64_t>(hi);
+    carry = static_cast<uint64_t>(hi >> 64);
+  }
+  return Redc(std::move(t));
+}
+
 Montgomery::Limbs Montgomery::ToMont(const BigInt& x) const {
   ULDP_CHECK(!x.IsNegative());
   Limbs xl = x.limbs();
@@ -130,39 +187,54 @@ BigInt Montgomery::ModMul(const BigInt& a, const BigInt& b) const {
   return FromMont(MontMul(am, bm));
 }
 
+BigInt Montgomery::MontSqr(const BigInt& a) const {
+  return FromMont(MontSqrLimbs(ToMont(a)));
+}
+
 BigInt Montgomery::ModExp(const BigInt& base, const BigInt& exp) const {
+  return MontExp(base, exp);
+}
+
+BigInt Montgomery::MontExp(const BigInt& base, const BigInt& exp) const {
   ULDP_CHECK(!exp.IsNegative());
   if (exp.IsZero()) return FromMont(one_mont_);
 
+  const int bits = exp.BitLength();
+  const int w = WindowBits(bits);
   Limbs base_m = ToMont(base);
-  // 4-bit fixed window: table[w] = base^w in Montgomery domain.
-  constexpr int kWindow = 4;
-  Limbs table[1 << kWindow];
-  table[0] = one_mont_;
-  table[1] = base_m;
-  for (int w = 2; w < (1 << kWindow); ++w) {
-    table[w] = MontMul(table[w - 1], base_m);
+  // Odd-power table: odd[i] = base^(2i+1) in the Montgomery domain. A
+  // sliding window only ever multiplies by odd powers, so the table is
+  // half the size of a fixed-window table of the same width.
+  std::vector<Limbs> odd(static_cast<size_t>(1) << (w - 1));
+  odd[0] = base_m;
+  if (odd.size() > 1) {
+    Limbs sq = MontSqrLimbs(base_m);
+    for (size_t i = 1; i < odd.size(); ++i) odd[i] = MontMul(odd[i - 1], sq);
   }
 
-  int bits = exp.BitLength();
-  int top_chunk = (bits + kWindow - 1) / kWindow - 1;
-  Limbs acc = one_mont_;
+  Limbs acc;
   bool started = false;
-  for (int c = top_chunk; c >= 0; --c) {
+  int i = bits - 1;
+  while (i >= 0) {
+    if (!exp.Bit(i)) {
+      if (started) acc = MontSqrLimbs(acc);
+      --i;
+      continue;
+    }
+    // Greedy window [i, j]: at most w bits, both ends set, so the window
+    // value is odd and indexes the half-size table.
+    int j = i - w + 1 < 0 ? 0 : i - w + 1;
+    while (!exp.Bit(j)) ++j;
+    int window = 0;
+    for (int b = i; b >= j; --b) window = (window << 1) | (exp.Bit(b) ? 1 : 0);
     if (started) {
-      for (int s = 0; s < kWindow; ++s) acc = MontMul(acc, acc);
-    }
-    int w = 0;
-    for (int b = kWindow - 1; b >= 0; --b) {
-      int bit_index = c * kWindow + b;
-      w = (w << 1) | (bit_index < bits && exp.Bit(bit_index) ? 1 : 0);
-    }
-    if (!started) {
-      acc = table[w];
+      for (int s = 0; s <= i - j; ++s) acc = MontSqrLimbs(acc);
+      acc = MontMul(acc, odd[window >> 1]);
+    } else {
+      acc = odd[window >> 1];
       started = true;
-    } else if (w != 0) {
-      acc = MontMul(acc, table[w]);
     }
+    i = j - 1;
   }
   return FromMont(acc);
 }

@@ -23,7 +23,17 @@ class Montgomery {
   /// (a * b) mod n, a and b already reduced into [0, n).
   BigInt ModMul(const BigInt& a, const BigInt& b) const;
 
-  /// base^exp mod n, base in [0, n), exp >= 0. 4-bit fixed window.
+  /// (a * a) mod n through the dedicated squaring path (cross products
+  /// computed once and doubled), ~1.5x faster than a generic ModMul.
+  BigInt MontSqr(const BigInt& a) const;
+
+  /// base^exp mod n, base in [0, n), exp >= 0. Sliding window over
+  /// precomputed odd powers, squarings through the dedicated path. This is
+  /// the context-reuse entry point the Paillier/DH fast paths call with a
+  /// long-lived context; ModExp forwards here.
+  BigInt MontExp(const BigInt& base, const BigInt& exp) const;
+
+  /// Alias for MontExp (kept for existing call sites).
   BigInt ModExp(const BigInt& base, const BigInt& exp) const;
 
   const BigInt& modulus() const;
@@ -36,6 +46,8 @@ class Montgomery {
   BigInt FromMont(const Limbs& x) const;
   /// Montgomery product of two k-limb values (in Montgomery domain).
   Limbs MontMul(const Limbs& a, const Limbs& b) const;
+  /// Montgomery square of a k-limb value (in Montgomery domain).
+  Limbs MontSqrLimbs(const Limbs& a) const;
   /// REDC of a 2k-limb value t: returns t * R^{-1} mod n as k limbs.
   Limbs Redc(std::vector<uint64_t> t) const;
 

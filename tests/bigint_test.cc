@@ -256,6 +256,32 @@ TEST(BigIntTest, BitAccess) {
   EXPECT_EQ(v.BitLength(), 4);
 }
 
+TEST(BigIntTest, BytesLERoundTrip) {
+  Rng rng(35);
+  for (int bits : {1, 8, 63, 64, 65, 300, 1024}) {
+    for (int i = 0; i < 10; ++i) {
+      BigInt v = BigInt::RandomBits(bits, rng);
+      size_t len = static_cast<size_t>((bits + 7) / 8) + 8;
+      EXPECT_EQ(BigInt::FromBytesLE(v.ToBytesLE(len)), v);
+    }
+  }
+  EXPECT_EQ(BigInt::FromBytesLE(BigInt(0).ToBytesLE(4)), BigInt(0));
+}
+
+TEST(BigIntTest, ToBytesLEAllowsHighZeroLimbBytes) {
+  // 2^64 occupies two limbs but only 9 significant bytes: serializing into
+  // a 9-byte buffer must succeed (the second limb's high bytes are all
+  // zero), which the pre-fix OT serializer aborted on.
+  BigInt v = BigInt(1) << 64;
+  ASSERT_EQ(v.limbs().size(), 2u);
+  std::vector<uint8_t> bytes = v.ToBytesLE(9);
+  EXPECT_EQ(bytes[8], 1);
+  EXPECT_EQ(BigInt::FromBytesLE(bytes), v);
+  // A 72-bit value in exactly 9 bytes.
+  BigInt w = (BigInt(1) << 71) + BigInt(12345);
+  EXPECT_EQ(BigInt::FromBytesLE(w.ToBytesLE(9)), w);
+}
+
 TEST(BigIntTest, ToDoubleApproximation) {
   EXPECT_DOUBLE_EQ(BigInt(1000).ToDouble(), 1000.0);
   EXPECT_DOUBLE_EQ(BigInt(-1000).ToDouble(), -1000.0);

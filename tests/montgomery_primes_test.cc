@@ -48,6 +48,49 @@ TEST(MontgomeryTest, ModMulMatchesPlain) {
   }
 }
 
+TEST(MontgomeryTest, MontSqrMatchesGenericPaths) {
+  Rng rng(77);
+  for (int bits : {8, 64, 192, 512, 1024}) {
+    BigInt m = BigInt::RandomBits(bits, rng);
+    if (m.IsEven()) m = m + BigInt(1);
+    Montgomery ctx(m);
+    for (int i = 0; i < 20; ++i) {
+      BigInt a = BigInt::RandomBelow(m, rng);
+      BigInt expect = (a * a).Mod(m);
+      EXPECT_EQ(ctx.MontSqr(a), expect) << "bits=" << bits;
+      EXPECT_EQ(ctx.ModMul(a, a), expect) << "bits=" << bits;
+    }
+    // Edge values.
+    EXPECT_EQ(ctx.MontSqr(BigInt(0)), BigInt(0));
+    EXPECT_EQ(ctx.MontSqr(BigInt(1)), BigInt(1) % m);
+    EXPECT_EQ(ctx.MontSqr(m - BigInt(1)), (BigInt(1)).Mod(m));  // (-1)^2
+  }
+}
+
+TEST(MontgomeryTest, SlidingWindowMatchesNaiveAcrossExponentSizes) {
+  // Exercise every window width the sliding-window selector can pick
+  // (2..6 bits) against the naive generic path.
+  Rng rng(78);
+  BigInt m = BigInt::RandomBits(512, rng);
+  if (m.IsEven()) m = m + BigInt(1);
+  Montgomery ctx(m);
+  for (int exp_bits : {1, 2, 3, 17, 64, 100, 300, 700, 1100}) {
+    for (int i = 0; i < 5; ++i) {
+      BigInt base = BigInt::RandomBelow(m, rng);
+      BigInt exp = BigInt::RandomBits(exp_bits, rng);
+      EXPECT_EQ(ctx.MontExp(base, exp), NaiveModExp(base, exp, m))
+          << "exp_bits=" << exp_bits;
+    }
+  }
+  // All-ones exponents stress maximal windows; sparse ones stress runs of
+  // squarings.
+  BigInt ones = (BigInt(1) << 130) - BigInt(1);
+  BigInt sparse = (BigInt(1) << 129) + BigInt(1);
+  BigInt base = BigInt::RandomBelow(m, rng);
+  EXPECT_EQ(ctx.MontExp(base, ones), NaiveModExp(base, ones, m));
+  EXPECT_EQ(ctx.MontExp(base, sparse), NaiveModExp(base, sparse, m));
+}
+
 TEST(MontgomeryTest, EdgeExponents) {
   Montgomery ctx(BigInt(101));
   EXPECT_EQ(ctx.ModExp(BigInt(5), BigInt(0)), BigInt(1));

@@ -1,0 +1,192 @@
+// Tests for the cached-context Paillier fast path: CRT decryption must be
+// bitwise-identical to the classic path, the randomizer pipeline must be
+// bitwise-identical to direct encryption at any thread count, and the
+// parallel key generation must be thread-count-invariant.
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "crypto/paillier_ctx.h"
+
+namespace uldp {
+namespace {
+
+class PaillierCtxFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    rng_ = new Rng(4711);
+    pk_ = new PaillierPublicKey();
+    sk_ = new PaillierSecretKey();
+    ASSERT_TRUE(Paillier::GenerateKeyPair(512, *rng_, pk_, sk_).ok());
+    ctx_ = new PaillierContext(*pk_, *sk_);
+  }
+  static void TearDownTestSuite() {
+    delete ctx_;
+    delete sk_;
+    delete pk_;
+    delete rng_;
+  }
+  static Rng* rng_;
+  static PaillierPublicKey* pk_;
+  static PaillierSecretKey* sk_;
+  static PaillierContext* ctx_;
+};
+
+Rng* PaillierCtxFixture::rng_ = nullptr;
+PaillierPublicKey* PaillierCtxFixture::pk_ = nullptr;
+PaillierSecretKey* PaillierCtxFixture::sk_ = nullptr;
+PaillierContext* PaillierCtxFixture::ctx_ = nullptr;
+
+TEST_F(PaillierCtxFixture, CrtDecryptionBitwiseEqualsClassic) {
+  for (int i = 0; i < 20; ++i) {
+    BigInt m = BigInt::RandomBelow(pk_->n, *rng_);
+    BigInt c = Paillier::Encrypt(*pk_, m, *rng_).value();
+    BigInt classic = Paillier::Decrypt(*pk_, *sk_, c).value();
+    BigInt crt = ctx_->Decrypt(c).value();
+    EXPECT_EQ(crt, classic);
+    EXPECT_EQ(crt, m);
+  }
+}
+
+TEST_F(PaillierCtxFixture, CrtDecryptionEdgePlaintexts) {
+  for (const BigInt& m : {BigInt(0), BigInt(1), pk_->n - BigInt(1)}) {
+    BigInt c = Paillier::Encrypt(*pk_, m, *rng_).value();
+    EXPECT_EQ(ctx_->Decrypt(c).value(), Paillier::Decrypt(*pk_, *sk_, c).value());
+    EXPECT_EQ(ctx_->Decrypt(c).value(), m);
+  }
+}
+
+TEST_F(PaillierCtxFixture, CrtDecryptionOnHomomorphicResults) {
+  // Decryption agreement must hold on ciphertexts produced by the
+  // protocol's homomorphic pipeline, not just fresh encryptions.
+  BigInt m1(123456789), m2(987654321);
+  BigInt c1 = ctx_->Encrypt(m1, *rng_).value();
+  BigInt c2 = ctx_->Encrypt(m2, *rng_).value();
+  BigInt k = BigInt::RandomBelow(pk_->n, *rng_);
+  BigInt combined = ctx_->AddPlaintext(
+      ctx_->AddCiphertexts(ctx_->MulPlaintext(c1, k), c2), BigInt(42));
+  EXPECT_EQ(ctx_->Decrypt(combined).value(),
+            Paillier::Decrypt(*pk_, *sk_, combined).value());
+}
+
+TEST_F(PaillierCtxFixture, ContextEncryptBitwiseEqualsStatic) {
+  Rng base(2026);
+  for (int i = 0; i < 5; ++i) {
+    BigInt m = BigInt::RandomBelow(pk_->n, *rng_);
+    Rng r1 = base.Fork(1, i, 0);
+    Rng r2 = base.Fork(1, i, 0);
+    EXPECT_EQ(ctx_->Encrypt(m, r1).value(),
+              Paillier::Encrypt(*pk_, m, r2).value());
+  }
+}
+
+TEST_F(PaillierCtxFixture, HomomorphicOpsBitwiseEqualStatic) {
+  BigInt m(31337);
+  BigInt c = ctx_->Encrypt(m, *rng_).value();
+  BigInt k = BigInt::RandomBelow(pk_->n, *rng_);
+  EXPECT_EQ(ctx_->AddCiphertexts(c, c),
+            Paillier::AddCiphertexts(*pk_, c, c));
+  EXPECT_EQ(ctx_->AddPlaintext(c, k), Paillier::AddPlaintext(*pk_, c, k));
+  EXPECT_EQ(ctx_->MulPlaintext(c, k), Paillier::MulPlaintext(*pk_, c, k));
+  Rng r1(99), r2(99);
+  EXPECT_EQ(ctx_->Rerandomize(c, r1).value(),
+            Paillier::Rerandomize(*pk_, c, r2).value());
+}
+
+TEST_F(PaillierCtxFixture, RandomizerPipelineBitwiseEqualsDirectEncrypt) {
+  Rng base(555);
+  const size_t count = 9;
+  auto fork = [&](size_t i) { return base.Fork(7, i, kRngStreamEncrypt); };
+  std::vector<BigInt> ms(count);
+  for (size_t i = 0; i < count; ++i) {
+    ms[i] = BigInt::RandomBelow(pk_->n, *rng_);
+  }
+  // Direct sequential encryption from the same substreams.
+  std::vector<BigInt> expected(count);
+  for (size_t i = 0; i < count; ++i) {
+    Rng r = fork(i);
+    expected[i] = ctx_->Encrypt(ms[i], r).value();
+  }
+  // Pipeline: precompute randomizers, then one-multiply encryptions.
+  ThreadPool serial(1);
+  std::vector<BigInt> rand = ctx_->PrecomputeRandomizers(count, fork, serial);
+  for (size_t i = 0; i < count; ++i) {
+    EXPECT_EQ(ctx_->EncryptWithRandomizer(ms[i], rand[i]).value(),
+              expected[i]);
+  }
+}
+
+TEST_F(PaillierCtxFixture, EncryptBatchThreadCountInvariant) {
+  Rng base(556);
+  const size_t count = 12;
+  auto fork = [&](size_t i) { return base.Fork(3, i, kRngStreamEncrypt); };
+  std::vector<BigInt> ms(count);
+  for (size_t i = 0; i < count; ++i) {
+    ms[i] = BigInt::RandomBelow(pk_->n, *rng_);
+  }
+  std::vector<BigInt> expected(count);
+  for (size_t i = 0; i < count; ++i) {
+    Rng r = fork(i);
+    expected[i] = Paillier::Encrypt(*pk_, ms[i], r).value();
+  }
+  for (int threads : {1, 2, 5}) {
+    ThreadPool pool(threads);
+    auto batch = ctx_->EncryptBatch(ms, fork, pool);
+    ASSERT_TRUE(batch.ok());
+    ASSERT_EQ(batch.value().size(), count);
+    for (size_t i = 0; i < count; ++i) {
+      EXPECT_EQ(batch.value()[i], expected[i])
+          << "threads=" << threads << " i=" << i;
+    }
+  }
+}
+
+TEST_F(PaillierCtxFixture, EncryptBatchRejectsOutOfRange) {
+  Rng base(557);
+  auto fork = [&](size_t i) { return base.Fork(4, i, 0); };
+  ThreadPool pool(2);
+  EXPECT_FALSE(ctx_->EncryptBatch({BigInt(1), pk_->n}, fork, pool).ok());
+}
+
+TEST_F(PaillierCtxFixture, EvalOnlyContextCannotDecrypt) {
+  PaillierContext eval(*pk_);
+  EXPECT_FALSE(eval.has_secret_key());
+  BigInt c = eval.Encrypt(BigInt(5), *rng_).value();
+  EXPECT_FALSE(eval.Decrypt(c).ok());
+  EXPECT_EQ(Paillier::Decrypt(*pk_, *sk_, c).value(), BigInt(5));
+}
+
+TEST_F(PaillierCtxFixture, DecryptRejectsOutOfRange) {
+  EXPECT_FALSE(ctx_->Decrypt(pk_->n_squared).ok());
+  EXPECT_FALSE(ctx_->Decrypt(BigInt(-3)).ok());
+}
+
+TEST(PaillierKeygenParallelTest, ThreadCountInvariant) {
+  // The same seed must yield the same key pair whatever pool executes the
+  // two prime searches.
+  PaillierPublicKey pk1, pk2, pk3;
+  PaillierSecretKey sk1, sk2, sk3;
+  ThreadPool one(1), three(3);
+  Rng r1(2468), r2(2468), r3(2468);
+  ASSERT_TRUE(Paillier::GenerateKeyPair(256, r1, &pk1, &sk1, &one).ok());
+  ASSERT_TRUE(Paillier::GenerateKeyPair(256, r2, &pk2, &sk2, &three).ok());
+  ASSERT_TRUE(Paillier::GenerateKeyPair(256, r3, &pk3, &sk3).ok());
+  EXPECT_EQ(pk1.n, pk2.n);
+  EXPECT_EQ(sk1.p, sk2.p);
+  EXPECT_EQ(sk1.q, sk2.q);
+  EXPECT_EQ(pk1.n, pk3.n);
+}
+
+TEST(PaillierKeygenParallelTest, SameRngSuccessiveCallsDiffer) {
+  // Keygen consumes a salt draw, so two calls on one generator do not
+  // repeat keys (the pre-parallelism behavior).
+  PaillierPublicKey pk1, pk2;
+  PaillierSecretKey sk1, sk2;
+  Rng rng(13);
+  ASSERT_TRUE(Paillier::GenerateKeyPair(128, rng, &pk1, &sk1).ok());
+  ASSERT_TRUE(Paillier::GenerateKeyPair(128, rng, &pk2, &sk2).ok());
+  EXPECT_NE(pk1.n, pk2.n);
+}
+
+}  // namespace
+}  // namespace uldp

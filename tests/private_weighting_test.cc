@@ -257,6 +257,30 @@ TEST(ProtocolEdgeTest, AllUsersUnsampledYieldsNoiseOnly) {
   EXPECT_NEAR(out.value()[0], 0.5, 1e-8);  // just the two noise shares
 }
 
+TEST(ProtocolFastPathTest, FastAndColdPaillierPathsBitwiseAgree) {
+  // The cached-context fast path (context Montgomery reuse, randomizer
+  // pipeline, CRT decryption) must produce bit-for-bit the same round
+  // output as the static cold-path shim.
+  const int silos = 3, users = 5, dim = 4;
+  auto in = MakeInputs(silos, users, dim, 91);
+  std::vector<bool> mask(users, true);
+  mask[2] = false;
+  Vec outputs[2];
+  for (int fast = 0; fast < 2; ++fast) {
+    ProtocolConfig config;
+    config.paillier_bits = 512;
+    config.n_max = 30;
+    config.seed = 1234;
+    config.fast_paillier = fast == 1;
+    PrivateWeightingProtocol protocol(config, silos, users);
+    ASSERT_TRUE(protocol.Setup(in.histograms).ok());
+    auto out = protocol.WeightingRound(0, in.deltas, in.noise, mask);
+    ASSERT_TRUE(out.ok());
+    outputs[fast] = std::move(out.value());
+  }
+  EXPECT_EQ(outputs[0], outputs[1]);
+}
+
 TEST(ProtocolOverflowTest, Theorem4ConditionEnforced) {
   // Small modulus + large N_max: C_LCM alone dwarfs n/2 and Setup must
   // refuse (Theorem 4 condition (2)).

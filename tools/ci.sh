@@ -10,3 +10,11 @@ JOBS="$(nproc 2>/dev/null || echo 2)"
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j"$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"
+
+# Crypto fast-path micro bench in smoke mode: produces
+# BENCH_micro_crypto.json in the build dir (uploaded by CI alongside the
+# fig11 artifact) and fails the run if the cached-context fast path ever
+# disagrees bitwise with the cold path.
+if [ -x "$BUILD_DIR/bench_micro_crypto" ]; then
+  (cd "$BUILD_DIR" && ULDP_BENCH_SMOKE=1 ./bench_micro_crypto)
+fi
