@@ -3,11 +3,15 @@
 // Paillier shim, which rebuilds Montgomery state per call) against the
 // cached PaillierContext (long-lived contexts, sliding-window MontExp with
 // a dedicated squaring path, CRT decryption, and the one-multiply
-// randomizer-pipeline encryption). Also measures a fig11-style private
-// weighting round with the fast path off and on, so the end-to-end protocol
-// speedup lands in the same artifact, plus the remaining substrate unit
-// costs behind Figures 10/11 (BigInt mul/div, secure-aggregation masking,
-// SHA-256, the ChaCha stream, C_LCM).
+// randomizer-pipeline encryption), plus fixed-base exponentiation (per-base
+// window tables, math/fixed_base.h) against the sliding-window path it
+// amortizes away. Also measures a fig11-style private weighting round with
+// the fast path off/on and with the fixed-base weighting tables off/on
+// (full round and the silo-weighting phase they accelerate), so the
+// end-to-end protocol speedups land in the same artifact, plus the
+// remaining substrate unit costs behind Figures 10/11 (BigInt mul/div,
+// secure-aggregation masking serial vs pooled, SHA-256, the ChaCha stream,
+// C_LCM).
 //
 // Emits BENCH_micro_crypto.json via bench_common. Modes:
 //   default            — quick sweep (512/1024-bit keys), a few seconds
@@ -22,12 +26,14 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "common/parallel.h"
 #include "common/table.h"
 #include "core/private_weighting.h"
 #include "crypto/chacha.h"
 #include "crypto/paillier_ctx.h"
 #include "crypto/secure_agg.h"
 #include "crypto/sha256.h"
+#include "math/fixed_base.h"
 #include "math/primes.h"
 
 namespace {
@@ -97,15 +103,19 @@ double Find(const std::vector<OpRow>& rows, const std::string& op,
 }
 
 /// One full private-weighting round, timed, with the Paillier fast path
-/// toggled. Returns wall seconds; `out` receives the round result so the
-/// caller can assert the two paths agree bitwise.
-double TimedProtocolRound(bool fast_paillier, int users, int dim, Vec* out) {
+/// and the fixed-base weighting tables toggled. Returns wall seconds;
+/// `out` receives the round result so the caller can assert the paths
+/// agree bitwise, and `weighting_s` (optional) the silo-weighting phase
+/// seconds — the phase the fixed-base tables accelerate.
+double TimedProtocolRound(bool fast_paillier, bool fixed_base, int users,
+                          int dim, Vec* out, double* weighting_s = nullptr) {
   const int silos = 3;
   ProtocolConfig pc;
   pc.paillier_bits = 512;
   pc.n_max = 64;
   pc.seed = 99;
   pc.fast_paillier = fast_paillier;
+  pc.fixed_base = fixed_base;
   PrivateWeightingProtocol protocol(pc, silos, users);
   Rng rng(17);
   std::vector<std::vector<int>> hist(silos, std::vector<int>(users, 0));
@@ -131,6 +141,7 @@ double TimedProtocolRound(bool fast_paillier, int users, int dim, Vec* out) {
       std::chrono::duration<double>(Clock::now() - start).count();
   if (!result.ok()) return -1.0;
   *out = std::move(result.value());
+  if (weighting_s != nullptr) *weighting_s = protocol.timings().silo_weighting_s;
   return seconds;
 }
 
@@ -164,6 +175,30 @@ int main() {
            SecondsPerOp([&] { base.ModExp(exp, m); }, window, min_iters));
     RecordOp(table, json, rows, "modexp", "cached", bits,
            SecondsPerOp([&] { mont.MontExp(base, exp); }, window, min_iters));
+    // Fixed-base: per-base window table amortized over many exponentiations
+    // of one base (the weighting loop's shape), vs the sliding-window
+    // cached path above. The table build is reported separately so the
+    // amortization break-even is visible in the artifact.
+    FixedBaseTable fb_table(mont, base, bits, /*expected_uses=*/1024);
+    if (FixedBaseExp(fb_table, exp) != mont.MontExp(base, exp)) {
+      std::cerr << "BUG: fixed-base modexp disagrees with sliding window\n";
+      return 1;
+    }
+    RecordOp(table, json, rows, "modexp", "fixed_base", bits,
+           SecondsPerOp([&] { FixedBaseExp(fb_table, exp); }, window,
+                        min_iters));
+    RecordOp(table, json, rows, "fixed_base_table_build", "cached", bits,
+           SecondsPerOp(
+               [&] { FixedBaseTable t(mont, base, bits, 1024); }, window,
+               min_iters));
+    {
+      double sliding = Find(rows, "modexp", "cached", bits);
+      double fixed = Find(rows, "modexp", "fixed_base", bits);
+      if (sliding > 0.0 && fixed > 0.0) {
+        json.Add("speedup_fixed_base_vs_sliding_window", sliding / fixed,
+                 {{"op", "modexp"}, {"bits", std::to_string(bits)}});
+      }
+    }
 
     // -- Paillier operations ---------------------------------------------
     PaillierPublicKey pk;
@@ -211,6 +246,19 @@ int main() {
     RecordOp(table, json, rows, "mul_plaintext", "cached", bits,
            SecondsPerOp([&] { ctx.MulPlaintext(cipher, k); }, window,
                         min_iters));
+    FixedBaseTable mul_table =
+        ctx.MakeMulPlaintextTable(cipher, /*expected_uses=*/1024);
+    RecordOp(table, json, rows, "mul_plaintext", "fixed_base", bits,
+           SecondsPerOp([&] { ctx.MulPlaintextWithTable(mul_table, k); },
+                        window, min_iters));
+    {
+      double sliding = Find(rows, "mul_plaintext", "cached", bits);
+      double fixed = Find(rows, "mul_plaintext", "fixed_base", bits);
+      if (sliding > 0.0 && fixed > 0.0) {
+        json.Add("speedup_fixed_base_vs_sliding_window", sliding / fixed,
+                 {{"op", "mul_plaintext"}, {"bits", std::to_string(bits)}});
+      }
+    }
 
     // Headline speedups. Encryption is reported both ways: the consume
     // path (the one-multiply hot path Protocol 1 runs after the
@@ -260,6 +308,17 @@ int main() {
     RecordOp(table, json, rows, "secure_agg_mask_dim64", "-", 256,
              SecondsPerOp([&] { agg.MaskVector(0, keys, 1, 64); }, window,
                           min_iters));
+    // Mask generation serial vs pooled (per-peer PRF streams on the global
+    // pool; bitwise identical output).
+    RecordOp(table, json, rows, "secure_agg_mask_dim256", "serial", 256,
+             SecondsPerOp([&] { agg.MaskVector(0, keys, 2, 256); }, window,
+                          min_iters));
+    RecordOp(table, json, rows, "secure_agg_mask_dim256", "pooled", 256,
+             SecondsPerOp(
+                 [&] {
+                   agg.MaskVector(0, keys, 2, 256, &ThreadPool::Global());
+                 },
+                 window, min_iters));
 
     std::string data(4096, 'x');
     RecordOp(table, json, rows, "sha256_4096B", "-", 0,
@@ -278,8 +337,8 @@ int main() {
   std::cout << "\n=== Protocol round, Paillier fast path off vs on (3 silos, "
             << users << " users, " << dim << " params, 512-bit) ===\n";
   Vec slow_out, fast_out;
-  double slow_s = TimedProtocolRound(false, users, dim, &slow_out);
-  double fast_s = TimedProtocolRound(true, users, dim, &fast_out);
+  double slow_s = TimedProtocolRound(false, true, users, dim, &slow_out);
+  double fast_s = TimedProtocolRound(true, true, users, dim, &fast_out);
   if (slow_s < 0.0 || fast_s < 0.0) {
     std::cerr << "protocol round failed\n";
     return 1;
@@ -298,8 +357,41 @@ int main() {
     std::cerr << "BUG: fast path changed the round output\n";
     return 1;
   }
+
+  // -- Weighting phase before/after the per-user fixed-base tables --------
+  std::cout << "\n=== Protocol round, fixed-base weighting tables off vs on "
+               "(fast path on) ===\n";
+  Vec fb_off_out, fb_on_out;
+  double w_off = 0.0, w_on = 0.0;
+  double fb_off_s = TimedProtocolRound(true, false, users, dim, &fb_off_out,
+                                       &w_off);
+  double fb_on_s = TimedProtocolRound(true, true, users, dim, &fb_on_out,
+                                      &w_on);
+  if (fb_off_s < 0.0 || fb_on_s < 0.0) {
+    std::cerr << "protocol round failed\n";
+    return 1;
+  }
+  const bool fb_identical = fb_off_out == fb_on_out;
+  Table fb({"fixed_base", "weighting_phase_s", "phase_speedup",
+            "round_seconds", "bitwise_identical"});
+  fb.AddRow({"off", FormatG(w_off, 4), "1.0", FormatG(fb_off_s, 4), "ref"});
+  fb.AddRow({"on", FormatG(w_on, 4), FormatG(w_off / w_on, 3),
+             FormatG(fb_on_s, 4), fb_identical ? "yes" : "NO (BUG)"});
+  fb.Print(std::cout);
+  json.Add("weighting_phase_seconds", w_off, {{"fixed_base", "off"}});
+  json.Add("weighting_phase_seconds", w_on, {{"fixed_base", "on"}});
+  json.Add("weighting_phase_speedup_fixed_base", w_off / w_on);
+  json.Add("round_seconds_fixed_base_off", fb_off_s);
+  json.Add("round_seconds_fixed_base_on", fb_on_s);
+  json.Add("round_speedup_fixed_base", fb_off_s / fb_on_s);
+  json.Add("fixed_base_bitwise_identical", fb_identical ? 1.0 : 0.0);
+  if (!fb_identical) {
+    std::cerr << "BUG: fixed-base tables changed the round output\n";
+    return 1;
+  }
   std::cout << "\nThe fast path reuses per-key Montgomery contexts, "
-               "decrypts via CRT, and consumes precomputed randomizers; "
-               "outputs are bitwise identical to the cold path.\n";
+               "decrypts via CRT, consumes precomputed randomizers, and "
+               "amortizes per-user fixed-base tables across the weighting "
+               "loop; outputs are bitwise identical to the cold path.\n";
   return 0;
 }

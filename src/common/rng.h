@@ -23,6 +23,13 @@ constexpr uint64_t kRngStreamSampling = ~0ull - 1;  // server user sampling
 constexpr uint64_t kRngStreamServer = ~0ull - 2;    // central server noise
 constexpr uint64_t kRngStreamEncrypt = ~0ull - 3;   // per-user encryption
 constexpr uint64_t kRngStreamKeygen = ~0ull - 4;    // Paillier prime search
+// OT-mode private sub-sampling (§4.1). The per-slot streams pack
+// (user, slot) into Fork's second counter, so one stream id serves every
+// slot of every user without colliding with the per-user streams above.
+constexpr uint64_t kRngStreamOtShuffle = ~0ull - 5;   // per-user slot shuffle
+constexpr uint64_t kRngStreamOtFlow = ~0ull - 6;      // per-user OT messages
+constexpr uint64_t kRngStreamOtSlotEnc = ~0ull - 7;   // per-(user, slot) enc
+constexpr uint64_t kRngStreamOtSlotElem = ~0ull - 8;  // per-(user, slot) C_i
 
 /// Deterministic pseudo-random generator (mt19937_64 core) with the
 /// distribution helpers the Uldp-FL algorithms need.

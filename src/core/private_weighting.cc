@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <numeric>
 
 #include "common/check.h"
+#include "core/mask_tags.h"
+#include "math/fixed_base.h"
 
 namespace uldp {
 
@@ -35,11 +38,15 @@ PrivateWeightingProtocol::PrivateWeightingProtocol(ProtocolConfig config,
 BigInt PrivateWeightingProtocol::BlindOf(int user) const {
   // All silos derive the same r_u from the shared seed R; the server never
   // learns R. r_u must be a unit of F_n — overwhelmingly likely (Eq. 4 of
-  // the paper); regenerate with a counter otherwise.
+  // the paper); regenerate with a counter otherwise. The typed phase tag
+  // keeps this stream family structurally disjoint from every other
+  // consumer of the shared seed (see mask_tags.h).
   for (uint32_t attempt = 0;; ++attempt) {
     ChaChaRng stream(shared_seed_key_,
-                     ChaChaRng::MakeNonce(static_cast<uint64_t>(user),
-                                          /*stream_id=*/attempt));
+                     ChaChaRng::MakeNonce(
+                         MakeMaskTag(MaskPhase::kUserBlind,
+                                     static_cast<uint64_t>(user)),
+                         /*stream_id=*/attempt));
     BigInt r = stream.UniformBelow(public_key_.n);
     if (!r.IsZero() && BigInt::Gcd(r, public_key_.n) == BigInt(1)) return r;
   }
@@ -148,6 +155,10 @@ Status PrivateWeightingProtocol::Setup(
   shared_seed_key_ = ChaChaRng::DeriveKey("uldp-shared-seed|" + r_seed.ToHex());
   if (config_.ot_slots > 0) {
     ot_group_ = DhGroup::GenerateSafePrimeGroup(config_.ot_group_bits, rng_);
+    // Every OT slot element and key-agreement message is a generator power;
+    // build the fixed-base table once here so the per-round OT copies share
+    // it through the group's shared_ptr.
+    ot_group_.EnsureGeneratorTable();
   }
   timings_.key_exchange_s += SecondsSince(t0);
 
@@ -178,6 +189,8 @@ Status PrivateWeightingProtocol::Setup(
   const BigInt& n = public_key_.n;
   // Each silo blinds its histogram independently (BlindOf / PairMask are
   // pure PRF evaluations), so the silo loop runs on the pool.
+  const uint64_t histogram_tag =
+      MakeMaskTag(MaskPhase::kHistogramBlind, /*round=*/0);
   pool_->ParallelFor(static_cast<size_t>(num_silos_), [&](size_t si) {
     const int s = static_cast<int>(si);
     std::vector<BigInt> blinded(num_users_);
@@ -188,7 +201,7 @@ Status PrivateWeightingProtocol::Setup(
       // -mask toward smaller, so the server-side sum cancels them.
       for (int other = 0; other < num_silos_; ++other) {
         if (other == s) continue;
-        BigInt m = PairMask(s, other, /*tag=*/0, u);
+        BigInt m = PairMask(s, other, histogram_tag, u);
         b = s < other ? b.ModAdd(m, n) : b.ModSub(m, n);
       }
       blinded[u] = std::move(b);
@@ -259,57 +272,117 @@ Result<Vec> PrivateWeightingProtocol::WeightingRound(
     // q-fraction hold Enc(B_inv), the rest Enc(0) — under a fresh private
     // shuffle; silos jointly (via the shared seed R) pick one slot and
     // fetch it by 1-out-of-P OT. Neither party learns the sampling result.
+    //
+    // The per-slot work (one Paillier encryption plus one OT group
+    // exponentiation per slot) dominates this phase, so it runs as one
+    // flat (user × slot) sweep: each slot draws from its own
+    // Fork(round, user‖slot) substream, which keeps the results bitwise
+    // thread-count-invariant even when a single user's slots land on
+    // different workers.
     const int slots = config_.ot_slots;
+    const size_t n_slots = static_cast<size_t>(slots);
     const int real_slots = static_cast<int>(
         std::max(0.0, std::min(1.0, config_.ot_sample_rate)) * slots + 0.5);
     const size_t clen =
         static_cast<size_t>((public_key_.n_squared.BitLength() + 7) / 8) + 8;
-    ObliviousTransfer ot(ot_group_, static_cast<size_t>(slots));
+    ObliviousTransfer ot(ot_group_, n_slots);
     // Byte-per-user scratch: std::vector<bool> packs bits, so concurrent
     // per-user writes would race on shared words.
     std::vector<char> ot_mask(num_users_, 1);
+    const uint64_t choice_tag = MakeMaskTag(MaskPhase::kOtSlotChoice, round);
+    auto slot_counter = [](size_t u, size_t slot) {
+      return (static_cast<uint64_t>(u) << 32) | static_cast<uint64_t>(slot);
+    };
+
+    struct OtUserState {
+      ObliviousTransfer::SenderState sender;
+      ObliviousTransfer::ReceiverState receiver;
+      BigInt receiver_b_inv;
+      std::vector<int> perm;
+    };
+    std::vector<OtUserState> states(num_users_);
+
+    // (a.1) Sender slot elements C_i: independent generator powers, one
+    // substream per (user, slot).
+    std::vector<std::vector<BigInt>> slot_elems(
+        num_users_, std::vector<BigInt>(n_slots));
+    pool_->ParallelFor(
+        static_cast<size_t>(num_users_) * n_slots, [&](size_t i) {
+          const size_t u = i / n_slots, slot = i % n_slots;
+          Rng rng = rng_.Fork(round, slot_counter(u, slot),
+                              kRngStreamOtSlotElem);
+          slot_elems[u][slot] = ot.SampleSlotElement(rng);
+        });
+
+    // (a.2) Per-user message flow: private shuffle, shared slot choice
+    // (identical across silos, from R), sender secret, receiver commit.
     pool_->ParallelFor(static_cast<size_t>(num_users_), [&](size_t ui) {
       const int u = static_cast<int>(ui);
-      Rng user_rng = rng_.Fork(round, static_cast<uint64_t>(u),
-                               kRngStreamEncrypt);
-      // Receiver-side slot choice, identical across silos (from R).
+      auto& st = states[ui];
       ChaChaRng choice(shared_seed_key_,
-                       ChaChaRng::MakeNonce(0xA1100000ull + round,
+                       ChaChaRng::MakeNonce(choice_tag,
                                             static_cast<uint32_t>(u)));
-      size_t sigma = choice.NextUint64() % static_cast<uint64_t>(slots);
-      // Server-side slot contents with a private permutation.
-      std::vector<int> perm(slots);
-      for (int i = 0; i < slots; ++i) perm[i] = i;
-      user_rng.Shuffle(perm);
-      std::vector<std::vector<uint8_t>> payload(slots);
-      for (int i = 0; i < slots; ++i) {
-        bool real = perm[i] < real_slots;
-        auto c = PEncrypt(real ? b_inv_[u] : BigInt(0), user_rng);
-        if (!c.ok()) {
-          user_status[u] = c.status();
-          return;
-        }
-        payload[i] = c.value().ToBytesLE(clen);
-      }
-      auto sender = ot.SenderInit(user_rng);
-      auto receiver = ot.ReceiverChoose(sender, sigma, user_rng);
+      const size_t sigma = choice.NextUint64() % n_slots;
+      st.perm.resize(slots);
+      std::iota(st.perm.begin(), st.perm.end(), 0);
+      Rng shuffle_rng = rng_.Fork(round, static_cast<uint64_t>(u),
+                                  kRngStreamOtShuffle);
+      shuffle_rng.Shuffle(st.perm);
+      Rng flow_rng = rng_.Fork(round, static_cast<uint64_t>(u),
+                               kRngStreamOtFlow);
+      st.sender = ot.SenderInitWithSlots(std::move(slot_elems[ui]), flow_rng);
+      auto receiver = ot.ReceiverChoose(st.sender, sigma, flow_rng);
       if (!receiver.ok()) {
         user_status[u] = receiver.status();
         return;
       }
-      auto encrypted = ot.SenderEncrypt(sender, receiver.value().b, payload);
-      if (!encrypted.ok()) {
-        user_status[u] = encrypted.status();
+      st.receiver = std::move(receiver.value());
+      auto b_inv = ot.InvertReceiverMessage(st.receiver.b);
+      if (!b_inv.ok()) {
+        user_status[u] = b_inv.status();
         return;
       }
-      auto fetched =
-          ot.ReceiverDecrypt(receiver.value(), sender, encrypted.value());
+      st.receiver_b_inv = std::move(b_inv.value());
+    });
+    ULDP_RETURN_IF_ERROR(FirstError(user_status));
+
+    // (a.3) The per-slot exponentiations, flattened across users AND the
+    // slots within one user: Paillier payload encryption, then the OT
+    // sender pad for the same slot. Per-(user, slot) status cells keep
+    // failure reporting race-free.
+    std::vector<std::vector<std::vector<uint8_t>>> encrypted(
+        num_users_, std::vector<std::vector<uint8_t>>(n_slots));
+    std::vector<Status> slot_status(static_cast<size_t>(num_users_) * n_slots,
+                                    Status::Ok());
+    pool_->ParallelFor(
+        static_cast<size_t>(num_users_) * n_slots, [&](size_t i) {
+          const size_t u = i / n_slots, slot = i % n_slots;
+          const auto& st = states[u];
+          Rng enc_rng = rng_.Fork(round, slot_counter(u, slot),
+                                  kRngStreamOtSlotEnc);
+          const bool real = st.perm[slot] < real_slots;
+          auto c = PEncrypt(real ? b_inv_[u] : BigInt(0), enc_rng);
+          if (!c.ok()) {
+            slot_status[i] = c.status();
+            return;
+          }
+          encrypted[u][slot] = ot.SenderEncryptSlot(
+              st.sender, st.receiver_b_inv, c.value().ToBytesLE(clen), slot);
+        });
+    ULDP_RETURN_IF_ERROR(FirstError(slot_status));
+
+    // (a.4) Receiver side: decrypt the chosen slot.
+    pool_->ParallelFor(static_cast<size_t>(num_users_), [&](size_t ui) {
+      const int u = static_cast<int>(ui);
+      auto& st = states[ui];
+      auto fetched = ot.ReceiverDecrypt(st.receiver, st.sender,
+                                        encrypted[ui]);
       if (!fetched.ok()) {
         user_status[u] = fetched.status();
         return;
       }
       enc_weights[u] = BigInt::FromBytesLE(fetched.value());
-      ot_mask[u] = perm[sigma] < real_slots ? 1 : 0;
+      ot_mask[u] = st.perm[st.receiver.sigma] < real_slots ? 1 : 0;
     });
     last_ot_mask_.assign(ot_mask.begin(), ot_mask.end());
   } else if (config_.fast_paillier) {
@@ -366,46 +439,100 @@ Result<Vec> PrivateWeightingProtocol::WeightingRound(
       return Status::InvalidArgument("delta matrix size mismatch");
     }
   }
+  // Fixed-base tables: every silo raises the SAME ciphertext
+  // Enc(B_inv(N_u)) to a per-coordinate scalar, so one window table per
+  // user (built once, shared read-only by all silo tasks) replaces the
+  // sliding-window exponentiation's squarings for all dim * |silos with
+  // the user| MulPlaintext calls. Table construction is a pure function of
+  // the ciphertext, so building on the pool stays deterministic.
+  const bool use_tables = config_.fast_paillier && config_.fixed_base;
+  std::vector<uint32_t> silos_with_user;
+  if (use_tables) {
+    silos_with_user.assign(num_users_, 0);
+    for (int s = 0; s < num_silos_; ++s) {
+      for (int u = 0; u < num_users_; ++u) {
+        if (histograms_[s][u] > 0 && !clipped_deltas[s][u].empty()) {
+          ++silos_with_user[u];
+        }
+      }
+    }
+  }
+  // Users are swept in index-ordered batches: each batch builds its tables
+  // in parallel, every silo consumes them, then the batch's tables are
+  // freed. This bounds transient table memory at ~batch * 2 MB worst case
+  // (the per-table entry cap at a 1024-bit key) instead of O(num_users),
+  // while keeping the per-(silo, coordinate) accumulation in the same
+  // ascending-user order as an unbatched sweep — outputs are bitwise
+  // unchanged. Without tables a single batch reproduces the plain loop.
+  const int user_batch = use_tables ? 128 : num_users_;
+  std::vector<std::unique_ptr<FixedBaseTable>> weight_tables(num_users_);
+  // Per-user blinds are pure PRF evaluations shared by every silo, so they
+  // are derived once per batch here rather than once per (silo, user) in
+  // the sweep; same for the round-constant C_LCM mod n.
+  std::vector<BigInt> user_blinds(num_users_);
+  const BigInt c_lcm_mod_n = c_lcm_.Mod(n);
   // Paillier g^m terms and scalar products, one ciphertext per coordinate.
   std::vector<std::vector<BigInt>> silo_cipher(
       num_silos_, std::vector<BigInt>(dim, BigInt(1)));
   std::vector<Status> silo_status(num_silos_, Status::Ok());
-  pool_->ParallelFor(static_cast<size_t>(num_silos_), [&](size_t si) {
-    const int s = static_cast<int>(si);
-    const auto& deltas = clipped_deltas[s];
-    for (int u = 0; u < num_users_; ++u) {
-      if (deltas[u].empty()) continue;  // user has no records at this silo
-      if (deltas[u].size() != dim) {
-        silo_status[s] = Status::InvalidArgument("delta dimension mismatch");
-        return;
-      }
-      if (histograms_[s][u] == 0) continue;
-      // Per-user scalar base: n_su * r_u * C_LCM mod n (delta encoding is
-      // per coordinate below).
-      BigInt base = BlindOf(u)
-                        .ModMul(BigInt(static_cast<int64_t>(histograms_[s][u])),
-                                n)
-                        .ModMul(c_lcm_.Mod(n), n);
-      for (size_t d = 0; d < dim; ++d) {
-        auto e = codec_.Encode(deltas[u][d]);
-        if (!e.ok()) {
-          silo_status[s] = e.status();
+  for (int u0 = 0; u0 < num_users_; u0 += user_batch) {
+    const int u1 = std::min(num_users_, u0 + user_batch);
+    pool_->ParallelFor(static_cast<size_t>(u1 - u0), [&](size_t i) {
+      const size_t u = static_cast<size_t>(u0) + i;
+      user_blinds[u] = BlindOf(static_cast<int>(u));
+      if (!use_tables || silos_with_user[u] == 0) return;
+      weight_tables[u] = std::make_unique<FixedBaseTable>(
+          paillier_->MakeMulPlaintextTable(
+              enc_weights[u],
+              static_cast<size_t>(silos_with_user[u]) * dim));
+    });
+    pool_->ParallelFor(static_cast<size_t>(num_silos_), [&](size_t si) {
+      const int s = static_cast<int>(si);
+      if (!silo_status[s].ok()) return;  // earlier batch already failed
+      const auto& deltas = clipped_deltas[s];
+      for (int u = u0; u < u1; ++u) {
+        if (deltas[u].empty()) continue;  // user has no records at this silo
+        if (deltas[u].size() != dim) {
+          silo_status[s] = Status::InvalidArgument("delta dimension mismatch");
           return;
         }
-        if (e.value().IsZero()) continue;
-        BigInt scalar = e.value().ModMul(base, n);
-        BigInt term = PMulPlaintext(enc_weights[u], scalar);
-        silo_cipher[s][d] = PAddCiphertexts(silo_cipher[s][d], term);
+        if (histograms_[s][u] == 0) continue;
+        // Per-user scalar base: n_su * r_u * C_LCM mod n (delta encoding
+        // is per coordinate below).
+        BigInt base =
+            user_blinds[u]
+                .ModMul(BigInt(static_cast<int64_t>(histograms_[s][u])), n)
+                .ModMul(c_lcm_mod_n, n);
+        for (size_t d = 0; d < dim; ++d) {
+          auto e = codec_.Encode(deltas[u][d]);
+          if (!e.ok()) {
+            silo_status[s] = e.status();
+            return;
+          }
+          if (e.value().IsZero()) continue;
+          BigInt scalar = e.value().ModMul(base, n);
+          BigInt term =
+              weight_tables[u] != nullptr
+                  ? paillier_->MulPlaintextWithTable(*weight_tables[u], scalar)
+                  : PMulPlaintext(enc_weights[u], scalar);
+          silo_cipher[s][d] = PAddCiphertexts(silo_cipher[s][d], term);
+        }
       }
-    }
-    // Encoded noise z' = Encode(z) * C_LCM added homomorphically.
+    });
+    for (int u = u0; u < u1; ++u) weight_tables[u].reset();
+  }
+  ULDP_RETURN_IF_ERROR(FirstError(silo_status));
+  // Encoded noise z' = Encode(z) * C_LCM added homomorphically, after all
+  // user terms (same per-coordinate op order as the unbatched sweep).
+  pool_->ParallelFor(static_cast<size_t>(num_silos_), [&](size_t si) {
+    const int s = static_cast<int>(si);
     for (size_t d = 0; d < dim; ++d) {
       auto z = codec_.Encode(silo_noise[s][d]);
       if (!z.ok()) {
         silo_status[s] = z.status();
         return;
       }
-      BigInt z_scaled = z.value().ModMul(c_lcm_.Mod(n), n);
+      BigInt z_scaled = z.value().ModMul(c_lcm_mod_n, n);
       silo_cipher[s][d] = PAddPlaintext(silo_cipher[s][d], z_scaled);
     }
   });
@@ -413,19 +540,22 @@ Result<Vec> PrivateWeightingProtocol::WeightingRound(
   timings_.silo_weighting_s += SecondsSince(t0);
 
   // -- Weighting (c): secure aggregation over ciphertexts -----------------
+  // Every (silo, coordinate) mask is an independent PRF evaluation, so the
+  // generation + application sweep is flattened over silos × dim rather
+  // than silos alone — with few silos and many coordinates the silo-level
+  // loop left most workers idle.
   t0 = Clock::now();
-  pool_->ParallelFor(static_cast<size_t>(num_silos_), [&](size_t si) {
-    const int s = static_cast<int>(si);
-    for (size_t d = 0; d < dim; ++d) {
-      BigInt mask(0);
-      for (int other = 0; other < num_silos_; ++other) {
-        if (other == s) continue;
-        BigInt m = PairMask(s, other, /*tag=*/0x5EC0000 + round,
-                            static_cast<int>(d));
-        mask = s < other ? mask.ModAdd(m, n) : mask.ModSub(m, n);
-      }
-      silo_cipher[s][d] = PAddPlaintext(silo_cipher[s][d], mask);
+  const uint64_t weighting_tag = MakeMaskTag(MaskPhase::kRoundWeighting, round);
+  pool_->ParallelFor(static_cast<size_t>(num_silos_) * dim, [&](size_t i) {
+    const int s = static_cast<int>(i / dim);
+    const size_t d = i % dim;
+    BigInt mask(0);
+    for (int other = 0; other < num_silos_; ++other) {
+      if (other == s) continue;
+      BigInt m = PairMask(s, other, weighting_tag, static_cast<int>(d));
+      mask = s < other ? mask.ModAdd(m, n) : mask.ModSub(m, n);
     }
+    silo_cipher[s][d] = PAddPlaintext(silo_cipher[s][d], mask);
   });
   // Server-side ciphertext product: coordinates are independent; the silo
   // sum inside each coordinate keeps its fixed order.

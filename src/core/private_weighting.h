@@ -86,6 +86,14 @@ struct ProtocolConfig {
   /// bitwise-identical round outputs; the switch exists so the micro bench
   /// can measure the speedup of a full protocol round before/after.
   bool fast_paillier = true;
+  /// Use per-user fixed-base exponentiation tables in the silo-weighting
+  /// loop: all `dim` MulPlaintext calls for one user share the base
+  /// Enc(B_inv(N_u)), so one precomputed window table per user turns each
+  /// coordinate's exponentiation into squaring-free table multiplies
+  /// (math/fixed_base.h). Effective only with fast_paillier; outputs are
+  /// bitwise identical either way — the switch exists so the micro bench
+  /// can measure the weighting phase before/after.
+  bool fixed_base = true;
 };
 
 /// Wall-clock seconds per protocol phase (Figure 10/11 measurements).

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "math/fixed_base.h"
 #include "math/montgomery.h"
 #include "math/primes.h"
 
@@ -39,7 +40,7 @@ constexpr const char* kModp3072Hex =
 DhGroup GroupFromHex(const char* hex) {
   auto p = BigInt::FromHex(hex);
   ULDP_CHECK_MSG(p.ok(), "bad built-in group constant");
-  DhGroup group{std::move(p.value()), BigInt(2), nullptr};
+  DhGroup group{std::move(p.value()), BigInt(2), nullptr, nullptr};
   group.EnsureMont();
   return group;
 }
@@ -51,9 +52,25 @@ const Montgomery& DhGroup::EnsureMont() {
   return *mont;
 }
 
+const FixedBaseTable& DhGroup::EnsureGeneratorTable() {
+  if (g_table == nullptr) {
+    // Exponents are drawn below p, so the table covers full-width values;
+    // the uses hint assumes the heavy-reuse workloads this exists for
+    // (per-slot OT exponentiations across all users of a round).
+    g_table = std::make_shared<const FixedBaseTable>(
+        EnsureMont(), g, p.BitLength(), /*expected_uses=*/4096);
+  }
+  return *g_table;
+}
+
 BigInt DhGroup::Exp(const BigInt& base, const BigInt& e) const {
   if (mont != nullptr) return mont->MontExp(base, e);
   return base.ModExp(e, p);
+}
+
+BigInt DhGroup::ExpG(const BigInt& e) const {
+  if (g_table != nullptr) return g_table->Exp(e);
+  return Exp(g, e);
 }
 
 DhGroup DhGroup::Rfc3526Modp2048() { return GroupFromHex(kModp2048Hex); }
@@ -65,7 +82,7 @@ DhGroup DhGroup::GenerateSafePrimeGroup(int bits, Rng& rng) {
   // For a safe prime p = 2q+1, any g with g^2 != 1 and g^q != 1 generates a
   // large subgroup; 2 generates the quadratic residues iff 2^q = 1.
   // Use 4 = 2^2, which is always a QR and has order q.
-  DhGroup group{std::move(p), BigInt(4), nullptr};
+  DhGroup group{std::move(p), BigInt(4), nullptr, nullptr};
   group.EnsureMont();
   return group;
 }
@@ -74,7 +91,7 @@ DhKeyPair GenerateDhKeyPair(const DhGroup& group, Rng& rng) {
   // Secret uniform in [2, p-2].
   BigInt secret =
       BigInt::RandomBelow(group.p - BigInt(3), rng) + BigInt(2);
-  BigInt pub = group.Exp(group.g, secret);
+  BigInt pub = group.ExpG(secret);
   return DhKeyPair{std::move(secret), std::move(pub)};
 }
 

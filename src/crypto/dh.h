@@ -17,6 +17,7 @@
 
 namespace uldp {
 
+class FixedBaseTable;
 class Montgomery;
 
 /// A multiplicative group (Z/pZ)* with prime p and generator g.
@@ -30,13 +31,28 @@ struct DhGroup {
   /// constructed.
   std::shared_ptr<const Montgomery> mont;
 
+  /// Fixed-base power table for the generator g, shared like `mont`. Not
+  /// built by the factories (the build only pays off under heavy generator
+  /// reuse — OT runs one g^x per slot per user); call EnsureGeneratorTable
+  /// once before such workloads. ExpG falls back to Exp(g, e) without it.
+  std::shared_ptr<const FixedBaseTable> g_table;
+
   /// Builds the cached context if absent. Mutates the group: call from a
   /// single thread (e.g. right after hand-assembling a DhGroup{p, g})
   /// before sharing it.
   const Montgomery& EnsureMont();
+  /// Builds the generator fixed-base table (and the Montgomery context it
+  /// needs) if absent. Same single-threaded mutation rule as EnsureMont.
+  const FixedBaseTable& EnsureGeneratorTable();
   /// base^e mod p — through the cached context when present, else the
   /// generic (rebuild-per-call) path.
   BigInt Exp(const BigInt& base, const BigInt& e) const;
+  /// g^e mod p — through the generator fixed-base table when present
+  /// (bitwise identical to Exp(g, e)), else Exp(g, e). Requires
+  /// e.BitLength() <= p.BitLength() (all group exponents are drawn below
+  /// p); wider exponents are a programmer error and CHECK-abort once the
+  /// table exists.
+  BigInt ExpG(const BigInt& e) const;
 
   /// RFC 3526 group 14: 2048-bit MODP, generator 2.
   static DhGroup Rfc3526Modp2048();

@@ -34,12 +34,16 @@ Result<BigInt> FixedPointCodec::Encode(double x) const {
   }
   int64_t units = std::llround(scaled);
   BigInt v(units);
-  BigInt mapped = v.Mod(modulus_);
-  // Ambiguity check: |units| must stay below n/2 or sign is lost.
-  if (BigInt(units).Abs() > half_modulus_) {
+  // Ambiguity check: the signed value must survive centering, which maps
+  // field elements into (-n/2, n/2]. Magnitudes above n/2 alias; for an
+  // even modulus, -n/2 and +n/2 land on the same field element (Decode
+  // returns it as +n/2), so exactly -n/2 is rejected as well.
+  BigInt mag = v.Abs();
+  if (mag > half_modulus_ ||
+      (v.IsNegative() && modulus_.IsEven() && mag == half_modulus_)) {
     return Status::OutOfRange("encoded magnitude exceeds modulus/2");
   }
-  return mapped;
+  return v.Mod(modulus_);
 }
 
 BigInt FixedPointCodec::Center(const BigInt& x) const {

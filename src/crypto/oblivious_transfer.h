@@ -45,6 +45,16 @@ class ObliviousTransfer {
   /// Sender side: samples per-slot group elements and the sender secret.
   SenderState SenderInit(Rng& rng) const;
 
+  /// Samples one random element of the cyclic subgroup (one slot's C_i).
+  /// Slot elements are independent, so callers batching across a pool can
+  /// draw each from its own Rng::Fork substream and assemble the state
+  /// with SenderInitWithSlots — SenderInit is exactly that, serially.
+  BigInt SampleSlotElement(Rng& rng) const;
+
+  /// Builds the sender state from pre-sampled slot elements (`slots` must
+  /// have num_slots() entries); samples only the sender secret from `rng`.
+  SenderState SenderInitWithSlots(std::vector<BigInt> slots, Rng& rng) const;
+
   /// Receiver side: commits to slot `sigma` (0-based). The message `b` is
   /// uniform in the group regardless of sigma, so the sender learns nothing.
   Result<ReceiverState> ReceiverChoose(const SenderState& sender_public,
@@ -56,6 +66,19 @@ class ObliviousTransfer {
   Result<std::vector<std::vector<uint8_t>>> SenderEncrypt(
       const SenderState& sender, const BigInt& receiver_b,
       const std::vector<std::vector<uint8_t>>& messages) const;
+
+  /// Range-checks the receiver message B and returns B^{-1} mod p, the
+  /// per-receiver value SenderEncryptSlot amortizes across slots.
+  Result<BigInt> InvertReceiverMessage(const BigInt& receiver_b) const;
+
+  /// Encrypts a single slot: the per-slot unit of SenderEncrypt, exposed so
+  /// one receiver's slots can be encrypted concurrently (each slot costs a
+  /// group exponentiation). `receiver_b_inv` comes from
+  /// InvertReceiverMessage; slots of one sender state may run in any order.
+  std::vector<uint8_t> SenderEncryptSlot(const SenderState& sender,
+                                         const BigInt& receiver_b_inv,
+                                         const std::vector<uint8_t>& message,
+                                         size_t slot) const;
 
   /// Receiver side: recovers m_sigma from its slot.
   Result<std::vector<uint8_t>> ReceiverDecrypt(

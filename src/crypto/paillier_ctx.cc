@@ -151,6 +151,22 @@ BigInt PaillierContext::MulPlaintext(const BigInt& c, const BigInt& k) const {
   return mont_n2_.MontExp(c, k.Mod(pk_.n));
 }
 
+FixedBaseTable PaillierContext::MakeMulPlaintextTable(
+    const BigInt& c, size_t expected_uses) const {
+  // Same base reduction as MulPlaintext so out-of-range ciphertexts build
+  // the table MontExp would have seen.
+  if (c.IsNegative() || c >= pk_.n_squared) {
+    return FixedBaseTable(mont_n2_, c.Mod(pk_.n_squared), pk_.n.BitLength(),
+                          expected_uses);
+  }
+  return FixedBaseTable(mont_n2_, c, pk_.n.BitLength(), expected_uses);
+}
+
+BigInt PaillierContext::MulPlaintextWithTable(const FixedBaseTable& table,
+                                              const BigInt& k) const {
+  return table.Exp(k.Mod(pk_.n));
+}
+
 Result<BigInt> PaillierContext::Rerandomize(const BigInt& c, Rng& rng) const {
   auto zero = Encrypt(BigInt(0), rng);
   if (!zero.ok()) return zero.status();

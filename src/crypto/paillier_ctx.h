@@ -37,6 +37,7 @@
 #include "common/status.h"
 #include "crypto/paillier.h"
 #include "math/bigint.h"
+#include "math/fixed_base.h"
 #include "math/montgomery.h"
 
 namespace uldp {
@@ -63,6 +64,24 @@ class PaillierContext {
   BigInt AddPlaintext(const BigInt& c, const BigInt& k) const;
   BigInt MulPlaintext(const BigInt& c, const BigInt& k) const;
   Result<BigInt> Rerandomize(const BigInt& c, Rng& rng) const;
+
+  // -- Fixed-base MulPlaintext ----------------------------------------------
+  // MulPlaintext is c^k mod n^2 with k < n. When one ciphertext is raised
+  // to many scalars — the silo-weighting loop raises Enc(B_inv(N_u)) once
+  // per model coordinate — a per-ciphertext fixed-base table removes every
+  // squaring from those exponentiations (math/fixed_base.h).
+
+  /// Precomputes the fixed-base table for ciphertext `c` over the cached
+  /// n^2 context. `expected_uses` is the number of MulPlaintextWithTable
+  /// calls the table will serve (sizes the window). The table is immutable
+  /// and safe to share across threads; it must not outlive this context.
+  FixedBaseTable MakeMulPlaintextTable(const BigInt& c,
+                                       size_t expected_uses) const;
+
+  /// c^k mod n^2 through `table` (built from c by MakeMulPlaintextTable).
+  /// Bitwise identical to MulPlaintext(c, k).
+  BigInt MulPlaintextWithTable(const FixedBaseTable& table,
+                               const BigInt& k) const;
 
   // -- Randomizer pipeline --------------------------------------------------
   // r^n mod n^2 does not depend on the plaintext, so it can be produced

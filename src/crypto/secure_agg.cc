@@ -1,6 +1,7 @@
 #include "crypto/secure_agg.h"
 
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace uldp {
 
@@ -12,11 +13,36 @@ SecureAggregator::SecureAggregator(BigInt modulus, int num_parties)
 
 std::vector<BigInt> SecureAggregator::MaskVector(
     int me, const std::vector<ChaChaRng::Key>& pairwise_keys, uint64_t tag,
-    size_t dim) const {
+    size_t dim, ThreadPool* pool) const {
   ULDP_CHECK_GE(me, 0);
   ULDP_CHECK_LT(me, num_parties_);
   ULDP_CHECK_EQ(static_cast<int>(pairwise_keys.size()), num_parties_);
   std::vector<BigInt> mask(dim, BigInt(0));
+  if (pool != nullptr) {
+    // Each peer's stream is one sequential ChaCha evaluation, so generation
+    // parallelizes across peers; the combine afterwards walks peers in
+    // index order, reproducing the serial accumulation op-for-op.
+    std::vector<std::vector<BigInt>> streams(num_parties_);
+    pool->ParallelFor(static_cast<size_t>(num_parties_), [&](size_t other) {
+      if (static_cast<int>(other) == me) return;
+      ChaChaRng stream(pairwise_keys[other], ChaChaRng::MakeNonce(tag));
+      std::vector<BigInt> values(dim);
+      for (size_t d = 0; d < dim; ++d) {
+        values[d] = stream.UniformBelow(modulus_);
+      }
+      streams[other] = std::move(values);
+    });
+    for (int other = 0; other < num_parties_; ++other) {
+      if (other == me) continue;
+      const bool add = me < other;
+      for (size_t d = 0; d < dim; ++d) {
+        const BigInt& m = streams[other][d];
+        mask[d] =
+            add ? mask[d].ModAdd(m, modulus_) : mask[d].ModSub(m, modulus_);
+      }
+    }
+    return mask;
+  }
   for (int other = 0; other < num_parties_; ++other) {
     if (other == me) continue;
     // Both parties of the pair seed the identical stream; the smaller index

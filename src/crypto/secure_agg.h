@@ -17,6 +17,8 @@
 
 namespace uldp {
 
+class ThreadPool;
+
 /// Secure aggregation context for a fixed party set and modulus.
 class SecureAggregator {
  public:
@@ -28,9 +30,14 @@ class SecureAggregator {
   /// `pairwise_keys[j]` is the ChaCha key shared between `me` and party j
   /// (entry for j == me is ignored). Both parties of a pair must have
   /// derived identical keys (see DeriveSharedSeedMaterial).
-  std::vector<BigInt> MaskVector(
-      int me, const std::vector<ChaChaRng::Key>& pairwise_keys, uint64_t tag,
-      size_t dim) const;
+  /// With a `pool`, the per-peer PRF streams are generated concurrently
+  /// (each peer's stream is an independent ChaCha evaluation) and combined
+  /// in fixed peer order, so the result is bitwise identical to the serial
+  /// path at any thread count.
+  std::vector<BigInt> MaskVector(int me,
+                                 const std::vector<ChaChaRng::Key>& pairwise_keys,
+                                 uint64_t tag, size_t dim,
+                                 ThreadPool* pool = nullptr) const;
 
   /// values[i] = (values[i] + masks[i]) mod n, in place.
   void AddMasks(std::vector<BigInt>& values,

@@ -31,13 +31,16 @@ Status ParseInt(const std::string& field, int line, int* out) {
 }
 
 std::vector<std::string> SplitCsvLine(const std::string& line) {
+  // A '\r' inside a field is field data (only the line-end CR of a CRLF
+  // file is stripped, before this function runs); silently eating it here
+  // would corrupt values instead of reporting them as malformed.
   std::vector<std::string> fields;
   std::string cur;
   for (char c : line) {
     if (c == ',') {
       fields.push_back(cur);
       cur.clear();
-    } else if (c != '\r') {
+    } else {
       cur.push_back(c);
     }
   }
@@ -54,11 +57,22 @@ Result<std::vector<Record>> ParseCsvRecords(const std::string& content,
   std::string line;
   int line_number = 0;
   size_t expected_columns = 0;
+  // The header is the first non-empty line, wherever it appears — keying
+  // on line_number == 1 made a leading blank line demote the real header
+  // into a (non-numeric) data row.
+  bool header_pending = options.has_header;
   while (std::getline(stream, line)) {
     ++line_number;
+    if (!line.empty() && line.back() == '\r') line.pop_back();  // CRLF file
     if (line.empty()) continue;
-    if (options.has_header && line_number == 1) continue;
     std::vector<std::string> fields = SplitCsvLine(line);
+    if (header_pending) {
+      // The header participates in column-count validation: a header/data
+      // width mismatch means the column options index the wrong fields.
+      header_pending = false;
+      expected_columns = fields.size();
+      continue;
+    }
     if (expected_columns == 0) {
       expected_columns = fields.size();
     } else if (fields.size() != expected_columns) {

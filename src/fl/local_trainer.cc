@@ -45,7 +45,7 @@ const char* kAggFieldPrimeHex =
 }  // namespace
 
 Vec AggregateDeltas(const std::vector<Vec>& silo_deltas, bool secure,
-                    uint64_t round_tag) {
+                    uint64_t round_tag, ThreadPool* pool) {
   ULDP_CHECK(!silo_deltas.empty());
   const size_t dim = silo_deltas[0].size();
   if (!secure) {
@@ -80,7 +80,7 @@ Vec AggregateDeltas(const std::vector<Vec>& silo_deltas, bool secure,
       enc[d] = std::move(e.value());
     }
     if (parties >= 2) {
-      auto mask = agg.MaskVector(s, keys[s], round_tag, dim);
+      auto mask = agg.MaskVector(s, keys[s], round_tag, dim, pool);
       agg.AddMasks(enc, mask);
     }
     masked[s] = std::move(enc);

@@ -71,12 +71,17 @@ class FlAlgorithm {
 void TrainLocalSgd(Model& model, const std::vector<Example>& examples,
                    int epochs, int batch_size, double learning_rate, Rng& rng);
 
+class ThreadPool;
+
 /// Sums per-silo delta vectors. With `secure` set, each delta is
 /// fixed-point-encoded, masked with pairwise ChaCha masks that cancel in
 /// the sum, and decoded after summation — so a curious server summing the
 /// transcripts learns only the total (Bonawitz-style aggregation).
+/// `pool` (optional) parallelizes mask generation; the result is bitwise
+/// identical at any thread count. Callers with a thread-count knob (the
+/// round engine) pass their own pool so the knob stays authoritative.
 Vec AggregateDeltas(const std::vector<Vec>& silo_deltas, bool secure,
-                    uint64_t round_tag);
+                    uint64_t round_tag, ThreadPool* pool = nullptr);
 
 }  // namespace uldp
 

@@ -65,8 +65,10 @@ Result<Vec> RoundEngine::RunRound(int round, const Vec& global,
                                   const LocalWork& work) {
   std::vector<Vec> deltas;
   ULDP_RETURN_IF_ERROR(RunSilos(global, work, &deltas));
+  // The engine's pool (sized by the num_threads knob) also drives mask
+  // generation, so the knob bounds every thread this round spawns.
   return AggregateDeltas(deltas, config_.secure_aggregation,
-                         static_cast<uint64_t>(round));
+                         static_cast<uint64_t>(round), &*pool_);
 }
 
 }  // namespace uldp

@@ -1,0 +1,100 @@
+#include "math/fixed_base.h"
+
+#include "common/check.h"
+
+namespace uldp {
+
+namespace {
+
+// Memory guard: at most this many table entries regardless of how much
+// reuse is promised (8192 entries of a 2048-bit modulus ≈ 2 MB).
+constexpr size_t kMaxTableEntries = 8192;
+
+// Window width minimizing build + expected per-use multiplies:
+//   build      = ceil(bits/w) * (2^w - 1)            multiplies
+//   per use    = ceil(bits/w) * (1 - 2^-w)           expected multiplies
+// subject to the entry cap. Deterministic (pure integer/dyadic math).
+int PickWindow(int exp_bits, size_t expected_uses) {
+  int best_w = 1;
+  double best_cost = -1.0;
+  for (int w = 1; w <= 8; ++w) {
+    size_t levels = (static_cast<size_t>(exp_bits) + w - 1) / w;
+    size_t entries = levels * ((static_cast<size_t>(1) << w) - 1);
+    if (w > 1 && entries > kMaxTableEntries) break;
+    double per_use = static_cast<double>(levels) *
+                     (1.0 - 1.0 / static_cast<double>(1ull << w));
+    double cost = static_cast<double>(entries) +
+                  static_cast<double>(expected_uses) * per_use;
+    if (best_cost < 0.0 || cost < best_cost) {
+      best_cost = cost;
+      best_w = w;
+    }
+  }
+  return best_w;
+}
+
+}  // namespace
+
+FixedBaseTable::FixedBaseTable(const Montgomery& mont, const BigInt& base,
+                               int max_exp_bits, size_t expected_uses)
+    : mont_(&mont),
+      max_bits_(max_exp_bits),
+      w_(PickWindow(max_exp_bits, expected_uses)) {
+  ULDP_CHECK_GE(max_bits_, 1);
+  const size_t levels = (static_cast<size_t>(max_bits_) + w_ - 1) / w_;
+  powers_.resize(levels);
+  // level_base = base^(2^(w*i)) in the Montgomery domain. Each level stores
+  // its first 2^w - 1 multiples; the next level's base is one further
+  // multiply (powers[i].back() * level_base = level_base^(2^w)), so the
+  // whole build is pure MontMuls — no squarings.
+  std::vector<uint64_t> level_base = mont_->ToMont(base);
+  for (size_t i = 0; i < levels; ++i) {
+    const int level_bits =
+        static_cast<int>(i) == static_cast<int>(levels) - 1
+            ? max_bits_ - static_cast<int>(i) * w_
+            : w_;
+    const size_t count = ((static_cast<size_t>(1) << level_bits)) - 1;
+    powers_[i].reserve(count);
+    powers_[i].push_back(level_base);
+    for (size_t j = 1; j < count; ++j) {
+      powers_[i].push_back(mont_->MontMul(powers_[i][j - 1], level_base));
+    }
+    if (i + 1 < levels) {
+      // Full-width levels always store 2^w - 1 entries, so the step to the
+      // next level base is a single multiply.
+      level_base = mont_->MontMul(powers_[i].back(), level_base);
+    }
+  }
+}
+
+BigInt FixedBaseTable::Exp(const BigInt& exp) const {
+  ULDP_CHECK_MSG(!exp.IsNegative(), "fixed-base exponent must be >= 0");
+  const int bits = exp.BitLength();
+  ULDP_CHECK_LE(bits, max_bits_);
+  std::vector<uint64_t> acc;
+  bool started = false;
+  const int levels = (bits + w_ - 1) / w_;
+  for (int i = 0; i < levels; ++i) {
+    uint32_t digit = 0;
+    for (int b = w_ - 1; b >= 0; --b) {
+      const int idx = i * w_ + b;
+      digit = (digit << 1) | (idx < bits && exp.Bit(idx) ? 1u : 0u);
+    }
+    if (digit == 0) continue;
+    const auto& entry = powers_[i][digit - 1];
+    if (started) {
+      acc = mont_->MontMul(acc, entry);
+    } else {
+      acc = entry;
+      started = true;
+    }
+  }
+  if (!started) return mont_->FromMont(mont_->one_mont_);  // exp == 0
+  return mont_->FromMont(acc);
+}
+
+BigInt FixedBaseExp(const FixedBaseTable& table, const BigInt& exponent) {
+  return table.Exp(exponent);
+}
+
+}  // namespace uldp

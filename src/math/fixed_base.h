@@ -1,0 +1,63 @@
+// Fixed-base modular exponentiation: per-base precomputed window tables
+// over a cached Montgomery context (Brickell-Gordon-McCurley-Wilson radix
+// 2^w pre-computation). When many exponentiations share one base — all
+// `dim` MulPlaintext calls of the silo-weighting loop share Enc(B_inv(N_u)),
+// every OT slot raises the group generator — a table of
+//   powers[i][j-1] = base^(j * 2^(w*i))   (j in [1, 2^w))
+// turns each exponentiation into at most ceil(bits/w) Montgomery multiplies
+// with no squarings at all, versus ~bits squarings + bits/w multiplies for
+// the sliding-window path. Outputs are bitwise identical to
+// Montgomery::MontExp for every (base, exponent).
+
+#ifndef ULDP_MATH_FIXED_BASE_H_
+#define ULDP_MATH_FIXED_BASE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "math/bigint.h"
+#include "math/montgomery.h"
+
+namespace uldp {
+
+/// Precomputed power table for one base under one Montgomery context. The
+/// context must outlive the table. Immutable after construction, so one
+/// table is safe to share across pool threads.
+class FixedBaseTable {
+ public:
+  /// Builds the table for exponents of at most `max_exp_bits` bits.
+  /// `base` must be non-negative with bit length at most the modulus's limb
+  /// capacity (any value MontExp accepts). `expected_uses` sizes the window:
+  /// the build costs ceil(bits/w) * (2^w - 1) multiplies, so small reuse
+  /// counts get narrow windows and large ones wide windows (capped so a
+  /// table never exceeds a few MB).
+  FixedBaseTable(const Montgomery& mont, const BigInt& base, int max_exp_bits,
+                 size_t expected_uses = 256);
+
+  FixedBaseTable(FixedBaseTable&&) = default;
+  FixedBaseTable& operator=(FixedBaseTable&&) = default;
+
+  /// base^exp mod n, bitwise identical to mont.MontExp(base, exp).
+  /// exp must be non-negative with at most max_exp_bits() bits.
+  BigInt Exp(const BigInt& exp) const;
+
+  int max_exp_bits() const { return max_bits_; }
+  int window_bits() const { return w_; }
+  const Montgomery& mont() const { return *mont_; }
+
+ private:
+  const Montgomery* mont_;
+  int max_bits_;
+  int w_;
+  // powers_[i][j-1] = base^(j * 2^(w*i)) in the Montgomery domain; the top
+  // level is trimmed to the digits its remaining bits can produce.
+  std::vector<std::vector<std::vector<uint64_t>>> powers_;
+};
+
+/// Free-function spelling of table.Exp(exponent).
+BigInt FixedBaseExp(const FixedBaseTable& table, const BigInt& exponent);
+
+}  // namespace uldp
+
+#endif  // ULDP_MATH_FIXED_BASE_H_

@@ -39,6 +39,10 @@ class Montgomery {
   const BigInt& modulus() const;
 
  private:
+  // FixedBaseTable builds per-base power tables directly in the Montgomery
+  // domain (math/fixed_base.h), so it shares the private limb-level ops.
+  friend class FixedBaseTable;
+
   // All internal vectors have exactly k_ limbs (little endian).
   using Limbs = std::vector<uint64_t>;
 

@@ -55,6 +55,53 @@ TEST(CsvParseTest, SkipsBlankLinesHandlesCrlf) {
   EXPECT_EQ(records.value()[1].features, (Vec{3.0, 4.0}));
 }
 
+TEST(CsvParseTest, LeadingBlankLinesDoNotDemoteHeader) {
+  // Regression: the header skip used to key on line_number == 1, so a
+  // leading blank line made the real header parse as a data row (and fail
+  // on the non-numeric column names).
+  CsvOptions opt;
+  opt.label_column = 1;
+  auto records = ParseCsvRecords(
+      "\n"
+      "\r\n"
+      "feature,label\n"
+      "1.5,1\n"
+      "2.5,0\n",
+      opt);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records.value().size(), 2u);
+  EXPECT_EQ(records.value()[0].features, (Vec{1.5}));
+  EXPECT_EQ(records.value()[1].label, 0);
+}
+
+TEST(CsvParseTest, CarriageReturnInsideFieldIsAnErrorNotStripped) {
+  // Regression: SplitCsvLine used to eat '\r' anywhere, silently gluing
+  // "1.0\r5" into "1.05"; only the CRLF line terminator may be stripped.
+  CsvOptions opt;
+  opt.has_header = false;
+  auto bad = ParseCsvRecords(std::string("1.0\r5,2.0\n"), opt);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("non-numeric"), std::string::npos);
+  // CRLF terminators (including on the header) still parse cleanly.
+  CsvOptions with_header;
+  auto crlf = ParseCsvRecords("a,b\r\n1.0,2.0\r\n", with_header);
+  ASSERT_TRUE(crlf.ok());
+  EXPECT_EQ(crlf.value()[0].features, (Vec{1.0, 2.0}));
+}
+
+TEST(CsvParseTest, HeaderColumnCountValidatedAgainstDataRows) {
+  // Regression: the header's width was never checked, so a file whose
+  // data rows disagree with the declared columns loaded silently with the
+  // column options indexing the wrong fields.
+  CsvOptions opt;
+  auto bad = ParseCsvRecords("a,b,c\n1.0,2.0\n", opt);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("expected 3 columns"),
+            std::string::npos);
+  auto good = ParseCsvRecords("a,b\n1.0,2.0\n", opt);
+  ASSERT_TRUE(good.ok());
+}
+
 TEST(CsvParseTest, Errors) {
   CsvOptions opt;
   opt.has_header = false;

@@ -86,6 +86,58 @@ TEST(FixedPointSmallFieldTest, RejectsMagnitudeBeyondHalfModulus) {
   EXPECT_FALSE(codec.Encode(-51.0).ok());
 }
 
+TEST(FixedPointSmallFieldTest, ExactHalfModulusBoundaries) {
+  // Odd modulus n = 101: the representable range is [-(n-1)/2, (n-1)/2]
+  // and both endpoints round-trip.
+  FixedPointCodec odd(BigInt(101), 1.0);
+  EXPECT_DOUBLE_EQ(odd.DecodePlain(odd.Encode(50.0).value()), 50.0);
+  EXPECT_DOUBLE_EQ(odd.DecodePlain(odd.Encode(-50.0).value()), -50.0);
+  EXPECT_FALSE(odd.Encode(51.0).ok());
+  EXPECT_FALSE(odd.Encode(-51.0).ok());
+
+  // Even modulus n = 100: +n/2 is representable (centering maps the
+  // element n/2 to +n/2), but -n/2 would alias to the same element —
+  // Encode must reject it rather than flip its sign. This was the
+  // boundary off-by-one: Encode(-50) used to return the encoding of +50.
+  FixedPointCodec even(BigInt(100), 1.0);
+  ASSERT_TRUE(even.Encode(50.0).ok());
+  EXPECT_DOUBLE_EQ(even.DecodePlain(even.Encode(50.0).value()), 50.0);
+  EXPECT_FALSE(even.Encode(-50.0).ok());
+  EXPECT_DOUBLE_EQ(even.DecodePlain(even.Encode(-49.0).value()), -49.0);
+  EXPECT_FALSE(even.Encode(51.0).ok());
+}
+
+TEST(FixedPointSmallFieldTest, DecodeRoundsHalfAwayFromZeroAtClcmTies) {
+  // Decode computes round(mag * 1e15 / c_lcm) at 1e-15 sub-unit
+  // resolution; with c_lcm = 2e15 the quotient hits exact .5 ties, which
+  // must round away from zero symmetrically for both signs.
+  Rng rng(8);
+  BigInt modulus = GeneratePrime(160, rng);
+  FixedPointCodec codec(modulus, 1.0);
+  BigInt c_lcm = BigInt(static_cast<uint64_t>(2000000000000000ull));  // 2e15
+  // mag = 1: 1e15/2e15 = 0.5e-15 -> rounds up to 1e-15.
+  EXPECT_DOUBLE_EQ(codec.Decode(BigInt(1), c_lcm), 1e-15);
+  // mag = 3: 1.5e-15 -> 2e-15 (tie away from zero).
+  EXPECT_DOUBLE_EQ(codec.Decode(BigInt(3), c_lcm), 2e-15);
+  // Negative side mirrors: centered value -3 has the same magnitude.
+  EXPECT_DOUBLE_EQ(codec.Decode(modulus - BigInt(3), c_lcm), -2e-15);
+  // Non-ties are unaffected.
+  EXPECT_DOUBLE_EQ(codec.Decode(BigInt(4), c_lcm), 2e-15);
+  EXPECT_DOUBLE_EQ(codec.Decode(BigInt(5), c_lcm), 3e-15);  // 2.5 -> 3
+}
+
+TEST(FixedPointSmallFieldTest, NonFiniteAndOverflowInputs) {
+  FixedPointCodec codec(BigInt(101), 1.0);
+  EXPECT_FALSE(codec.Encode(std::nan("")).ok());
+  EXPECT_FALSE(codec.Encode(std::numeric_limits<double>::infinity()).ok());
+  EXPECT_FALSE(codec.Encode(-std::numeric_limits<double>::infinity()).ok());
+  EXPECT_EQ(codec.Encode(std::nan("")).status().code(),
+            StatusCode::kInvalidArgument);
+  // The int64 guard fires before llround can overflow.
+  EXPECT_EQ(codec.Encode(5e18).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(codec.Encode(-5e18).status().code(), StatusCode::kOutOfRange);
+}
+
 TEST(FixedPointSmallFieldTest, CenteringBoundary) {
   FixedPointCodec codec(BigInt(101), 1.0);
   EXPECT_DOUBLE_EQ(codec.DecodePlain(BigInt(50)), 50.0);

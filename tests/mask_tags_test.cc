@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "core/mask_tags.h"
+#include "crypto/chacha.h"
+
+namespace uldp {
+namespace {
+
+const std::vector<MaskPhase> kAllPhases = {
+    MaskPhase::kHistogramBlind, MaskPhase::kRoundWeighting,
+    MaskPhase::kOtSlotChoice, MaskPhase::kUserBlind};
+
+TEST(MaskTagsTest, TagsAreInjectiveAcrossPhasesAndRounds) {
+  std::set<uint64_t> seen;
+  for (MaskPhase phase : kAllPhases) {
+    for (uint64_t round : std::vector<uint64_t>{
+             0, 1, 2, 1000, 0x5EC0000, kMaskTagRoundLimit - 1}) {
+      uint64_t tag = MakeMaskTag(phase, round);
+      EXPECT_TRUE(seen.insert(tag).second)
+          << "tag collision at phase " << static_cast<uint64_t>(phase)
+          << " round " << round;
+    }
+  }
+}
+
+TEST(MaskTagsTest, RoundBitsNeverReachPhaseByte) {
+  // The flat pre-fix scheme mixed raw tags (0, 0x5EC0000 + round) in one
+  // namespace, staying collision-free only by inspection; the packed
+  // scheme keeps the phase byte out of the round's reach structurally.
+  uint64_t tag = MakeMaskTag(MaskPhase::kHistogramBlind,
+                             kMaskTagRoundLimit - 1);
+  EXPECT_EQ(tag >> 56, static_cast<uint64_t>(MaskPhase::kHistogramBlind));
+  EXPECT_EQ(MakeMaskTag(MaskPhase::kRoundWeighting, 0) >> 56,
+            static_cast<uint64_t>(MaskPhase::kRoundWeighting));
+}
+
+TEST(MaskTagsTest, NoStreamReuseAcrossPhasesOrRounds) {
+  // Regression for the blinded-histogram privacy argument: under one
+  // pairwise key, every (phase, round) pair must address a distinct ChaCha
+  // stream even when the per-element index collides (the histogram phase
+  // indexes by user, the weighting phase by coordinate — user 3 and
+  // coordinate 3 produce the same nonce second-half).
+  auto key = ChaChaRng::DeriveKey("mask-tags-test-key");
+  std::set<std::vector<uint64_t>> prefixes;
+  for (MaskPhase phase : kAllPhases) {
+    for (uint64_t round : {0ull, 1ull, 7ull}) {
+      ChaChaRng stream(key,
+                       ChaChaRng::MakeNonce(MakeMaskTag(phase, round),
+                                            /*index=*/3));
+      std::vector<uint64_t> prefix = {stream.NextUint64(), stream.NextUint64(),
+                                      stream.NextUint64(), stream.NextUint64()};
+      EXPECT_TRUE(prefixes.insert(prefix).second)
+          << "stream reuse at phase " << static_cast<uint64_t>(phase)
+          << " round " << round;
+    }
+  }
+}
+
+#ifdef GTEST_HAS_DEATH_TEST
+TEST(MaskTagsDeathTest, OverflowingRoundIsRejected) {
+  EXPECT_DEATH(MakeMaskTag(MaskPhase::kRoundWeighting, kMaskTagRoundLimit),
+               "round");
+}
+#endif
+
+}  // namespace
+}  // namespace uldp

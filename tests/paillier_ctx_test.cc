@@ -148,6 +148,28 @@ TEST_F(PaillierCtxFixture, EncryptBatchRejectsOutOfRange) {
   EXPECT_FALSE(ctx_->EncryptBatch({BigInt(1), pk_->n}, fork, pool).ok());
 }
 
+TEST_F(PaillierCtxFixture, FixedBaseMulPlaintextBitwiseEqualsMulPlaintext) {
+  Rng rng(31);
+  for (int trial = 0; trial < 4; ++trial) {
+    BigInt m = BigInt::RandomBelow(pk_->n, rng);
+    BigInt c = ctx_->Encrypt(m, rng).value();
+    FixedBaseTable table = ctx_->MakeMulPlaintextTable(c, /*expected_uses=*/64);
+    for (const BigInt& k :
+         {BigInt(0), BigInt(1), BigInt(2), BigInt::RandomBelow(pk_->n, rng),
+          pk_->n - BigInt(1), pk_->n + BigInt(5)}) {
+      EXPECT_EQ(ctx_->MulPlaintextWithTable(table, k), ctx_->MulPlaintext(c, k))
+          << "trial " << trial << " k " << k.ToDecimal();
+    }
+  }
+  // Out-of-range ciphertext: the table must see the same reduced base
+  // MulPlaintext reduces to.
+  BigInt big_c = pk_->n_squared + BigInt(12345);
+  FixedBaseTable table = ctx_->MakeMulPlaintextTable(big_c, 4);
+  BigInt k = BigInt::RandomBelow(pk_->n, rng);
+  EXPECT_EQ(ctx_->MulPlaintextWithTable(table, k),
+            ctx_->MulPlaintext(big_c, k));
+}
+
 TEST_F(PaillierCtxFixture, EvalOnlyContextCannotDecrypt) {
   PaillierContext eval(*pk_);
   EXPECT_FALSE(eval.has_secret_key());

@@ -281,6 +281,91 @@ TEST(ProtocolFastPathTest, FastAndColdPaillierPathsBitwiseAgree) {
   EXPECT_EQ(outputs[0], outputs[1]);
 }
 
+TEST(ProtocolFixedBaseTest, FixedBaseRoundBitwiseAgreesWithSlidingWindow) {
+  // The per-user fixed-base tables must not change a single bit of the
+  // round output relative to the sliding-window MulPlaintext path.
+  const int silos = 3, users = 5, dim = 6;
+  auto in = MakeInputs(silos, users, dim, 47);
+  std::vector<bool> mask(users, true);
+  mask[3] = false;
+  Vec outputs[2];
+  for (int fb = 0; fb < 2; ++fb) {
+    ProtocolConfig config;
+    config.paillier_bits = 512;
+    config.n_max = 30;
+    config.seed = 4321;
+    config.fixed_base = fb == 1;
+    PrivateWeightingProtocol protocol(config, silos, users);
+    ASSERT_TRUE(protocol.Setup(in.histograms).ok());
+    auto out = protocol.WeightingRound(0, in.deltas, in.noise, mask);
+    ASSERT_TRUE(out.ok());
+    outputs[fb] = std::move(out.value());
+  }
+  EXPECT_EQ(outputs[0], outputs[1]);
+}
+
+TEST(ProtocolThreadInvarianceTest, RoundBitwiseIdenticalAt125Threads) {
+  // Fixed-base tables, the flattened mask sweep, and the randomizer
+  // pipeline all run on the pool; the round output must not depend on the
+  // thread count.
+  const int silos = 3, users = 6, dim = 5;
+  auto in = MakeInputs(silos, users, dim, 61);
+  std::vector<bool> mask(users, true);
+  mask[2] = false;
+  Vec ref;
+  for (int threads : {1, 2, 5}) {
+    ProtocolConfig config;
+    config.paillier_bits = 512;
+    config.n_max = 30;
+    config.seed = 2024;
+    config.num_threads = threads;
+    PrivateWeightingProtocol protocol(config, silos, users);
+    ASSERT_TRUE(protocol.Setup(in.histograms).ok());
+    auto out = protocol.WeightingRound(1, in.deltas, in.noise, mask);
+    ASSERT_TRUE(out.ok());
+    if (threads == 1) {
+      ref = std::move(out.value());
+    } else {
+      EXPECT_EQ(out.value(), ref) << "thread count " << threads;
+    }
+  }
+}
+
+TEST(ProtocolThreadInvarianceTest, OtModeBitwiseIdenticalAt125Threads) {
+  // OT mode adds the flat (user × slot) sweeps — slot elements, payload
+  // encryption, sender pads — each on its own Fork substream; outputs and
+  // the hidden sampling mask must be schedule-independent.
+  const int silos = 2, users = 4, dim = 3;
+  auto in = MakeInputs(silos, users, dim, 73);
+  std::vector<bool> ignored(users, true);
+  Vec ref;
+  std::vector<bool> ref_mask;
+  for (int threads : {1, 2, 5}) {
+    ProtocolConfig config;
+    config.paillier_bits = 512;
+    config.n_max = 30;
+    config.seed = 3456;
+    config.ot_slots = 4;
+    config.ot_sample_rate = 0.5;
+    config.ot_group_bits = 192;
+    config.num_threads = threads;
+    PrivateWeightingProtocol protocol(config, silos, users);
+    ASSERT_TRUE(protocol.Setup(in.histograms).ok());
+    auto out = protocol.WeightingRound(0, in.deltas, in.noise, ignored);
+    ASSERT_TRUE(out.ok());
+    if (threads == 1) {
+      ref = std::move(out.value());
+      ref_mask = protocol.last_ot_mask();
+      Vec expect = PlaintextReference(in, ref_mask, dim);
+      for (int d = 0; d < dim; ++d) EXPECT_NEAR(ref[d], expect[d], 1e-7);
+    } else {
+      EXPECT_EQ(out.value(), ref) << "thread count " << threads;
+      EXPECT_EQ(protocol.last_ot_mask(), ref_mask)
+          << "thread count " << threads;
+    }
+  }
+}
+
 TEST(ProtocolOverflowTest, Theorem4ConditionEnforced) {
   // Small modulus + large N_max: C_LCM alone dwarfs n/2 and Setup must
   // refuse (Theorem 4 condition (2)).

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "common/parallel.h"
 #include "crypto/secure_agg.h"
 #include "math/primes.h"
 
@@ -75,6 +76,48 @@ TEST(SecureAggTest, MasksSumToZeroAcrossParties) {
     for (int d = 0; d < 3; ++d) total[d] = total[d].ModAdd(mask[d], q);
   }
   for (int d = 0; d < 3; ++d) EXPECT_TRUE(total[d].IsZero());
+}
+
+TEST(SecureAggTest, PooledMaskGenerationCancelsAtAnyThreadCount) {
+  // Property test guarding the parallel mask pipeline: for random shapes,
+  // the per-party masks must sum to zero across all parties, and the
+  // pooled path must be bitwise identical to the serial one at every
+  // thread count (the mask streams come from Fork-style independent PRF
+  // evaluations combined in fixed peer order).
+  Rng shape_rng(7341);
+  for (int trial = 0; trial < 6; ++trial) {
+    const int parties = 2 + static_cast<int>(shape_rng.UniformInt(9));
+    const size_t dim = 1 + shape_rng.UniformInt(40);
+    const uint64_t tag = shape_rng.NextUint64();
+    Rng rng(1000 + trial);
+    BigInt q = GeneratePrime(96, rng);
+    SecureAggregator agg(q, parties);
+    auto keys = MakePairKeys(parties, "pool" + std::to_string(trial));
+
+    std::vector<std::vector<BigInt>> serial(parties);
+    for (int p = 0; p < parties; ++p) {
+      serial[p] = agg.MaskVector(p, keys[p], tag, dim);
+    }
+    std::vector<BigInt> total(dim, BigInt(0));
+    for (int p = 0; p < parties; ++p) {
+      for (size_t d = 0; d < dim; ++d) {
+        total[d] = total[d].ModAdd(serial[p][d], q);
+      }
+    }
+    for (size_t d = 0; d < dim; ++d) {
+      EXPECT_TRUE(total[d].IsZero())
+          << "masks leak at trial " << trial << " dim " << d;
+    }
+
+    for (int threads : {1, 2, 5}) {
+      ThreadPool pool(threads);
+      for (int p = 0; p < parties; ++p) {
+        EXPECT_EQ(agg.MaskVector(p, keys[p], tag, dim, &pool), serial[p])
+            << "thread count " << threads << " changed party " << p
+            << "'s masks (trial " << trial << ")";
+      }
+    }
+  }
 }
 
 TEST(SecureAggTest, DifferentTagsGiveDifferentMasks) {

@@ -2,19 +2,36 @@
 # CI entry point: configure (the top-level CMakeLists enforces
 # -Wall -Wextra), build everything, and run the test suite — the repo's
 # tier-1 verify. Usage: tools/ci.sh [build-dir]
+#
+# SANITIZE=1 tools/ci.sh [build-dir] instead builds with ASan+UBSan
+# (-DULDP_SANITIZE=ON) and runs the fast unit-test subset sanitized —
+# the substrate suites where boundary off-by-ones live (BigInt,
+# Montgomery/fixed-base, fixed point, CSV, masks, Paillier, DH/OT).
 set -euo pipefail
 cd "$(dirname "$0")/.."
-BUILD_DIR="${1:-build}"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
+if [ "${SANITIZE:-0}" = "1" ]; then
+  # Separate default build dir: writing ULDP_SANITIZE=ON into the plain
+  # build/ cache would leave later non-sanitized runs silently sanitized.
+  BUILD_DIR="${1:-build-asan}"
+  FAST_TESTS='^(bigint_test|montgomery_primes_test|fixed_base_test|fixed_point_test|csv_loader_test|mask_tags_test|secure_agg_test|sha_chacha_test|common_test|parallel_test|paillier_test|paillier_ctx_test|dh_test|oblivious_transfer_test)$'
+  cmake -B "$BUILD_DIR" -S . -DULDP_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$BUILD_DIR" -j"$JOBS"
+  ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
+    ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS" -R "$FAST_TESTS"
+  exit 0
+fi
+
+BUILD_DIR="${1:-build}"
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j"$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"
 
 # Crypto fast-path micro bench in smoke mode: produces
 # BENCH_micro_crypto.json in the build dir (uploaded by CI alongside the
-# fig11 artifact) and fails the run if the cached-context fast path ever
-# disagrees bitwise with the cold path.
+# fig11 artifact) and fails the run if the cached-context fast path or the
+# fixed-base weighting tables ever disagree bitwise with the cold path.
 if [ -x "$BUILD_DIR/bench_micro_crypto" ]; then
   (cd "$BUILD_DIR" && ULDP_BENCH_SMOKE=1 ./bench_micro_crypto)
 fi
