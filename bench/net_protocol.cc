@@ -1,0 +1,249 @@
+// Transport-subsystem bench: one Protocol 1 setup plus several weighting
+// rounds run three ways — in-process (direct core calls), over
+// ChannelTransport (in-process queues through the full wire codec), and
+// over loopback TCP — reporting per-transport round latency and the bytes
+// on the wire per server phase. Asserts that all three paths produce
+// bitwise-identical aggregates (the subsystem's must-hold invariant) and
+// exits non-zero otherwise, so CI catches codec or driver divergence.
+//
+// Emits BENCH_net_protocol.json. ULDP_BENCH_SMOKE=1 shrinks the scale for
+// CI; ULDP_BENCH_SCALE=full grows it toward paper-scale parameters.
+
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <thread>
+
+#include "bench_common.h"
+#include "core/private_weighting.h"
+#include "net/demo.h"
+#include "net/protocol_node.h"
+#include "net/tcp.h"
+#include "net/transport.h"
+
+namespace uldp {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using net::ChannelTransport;
+using net::DemoInputs;
+using net::ProtocolServer;
+using net::TcpListener;
+using net::TcpTransport;
+using net::Transport;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct BenchScale {
+  int silos;
+  int users;
+  int dim;
+  int rounds;
+  int paillier_bits;
+};
+
+struct DistributedResult {
+  std::vector<Vec> outs;
+  double setup_s = 0.0;
+  double round_s = 0.0;  // mean seconds per round
+  std::vector<net::NetPhaseStats> phases;
+  uint64_t total_bytes = 0;
+};
+
+ProtocolConfig MakeConfig(const BenchScale& scale) {
+  ProtocolConfig config;
+  config.paillier_bits = scale.paillier_bits;
+  config.n_max = 30;
+  config.seed = 99;
+  return config;
+}
+
+constexpr uint64_t kInputSeed = 2026;
+
+DistributedResult RunDistributed(
+    const BenchScale& scale,
+    std::vector<std::unique_ptr<Transport>> server_ends,
+    std::vector<std::unique_ptr<Transport>> silo_ends) {
+  ProtocolConfig config = MakeConfig(scale);
+  std::vector<std::thread> threads;
+  std::vector<Status> silo_status(scale.silos, Status::Ok());
+  for (int s = 0; s < scale.silos; ++s) {
+    threads.emplace_back([&, s] {
+      silo_status[s] =
+          net::RunDemoSilo(config, s, scale.silos, scale.users, scale.dim,
+                           kInputSeed, *silo_ends[s]);
+    });
+  }
+
+  DistributedResult result;
+  ProtocolServer server(config, scale.silos, scale.users);
+  auto t0 = Clock::now();
+  for (auto& end : server_ends) {
+    auto added = server.AddConnection(std::move(end));
+    if (!added.ok()) {
+      std::cerr << "AddConnection: " << added.ToString() << "\n";
+      std::exit(1);
+    }
+  }
+  Status setup = server.RunSetup();
+  if (!setup.ok()) {
+    std::cerr << "RunSetup: " << setup.ToString() << "\n";
+    std::exit(1);
+  }
+  result.setup_s = SecondsSince(t0);
+
+  std::vector<bool> mask(scale.users, true);
+  t0 = Clock::now();
+  for (int r = 0; r < scale.rounds; ++r) {
+    auto out = server.RunRound(r, mask);
+    if (!out.ok()) {
+      std::cerr << "RunRound: " << out.status().ToString() << "\n";
+      std::exit(1);
+    }
+    result.outs.push_back(std::move(out.value()));
+  }
+  result.round_s = SecondsSince(t0) / scale.rounds;
+  Status shutdown = server.Shutdown();
+  if (!shutdown.ok()) {
+    std::cerr << "Shutdown: " << shutdown.ToString() << "\n";
+    std::exit(1);
+  }
+  for (auto& t : threads) t.join();
+  for (const Status& s : silo_status) {
+    if (!s.ok()) {
+      std::cerr << "silo: " << s.ToString() << "\n";
+      std::exit(1);
+    }
+  }
+  result.phases = server.phase_stats();
+  result.total_bytes =
+      server.total_bytes_sent() + server.total_bytes_received();
+  return result;
+}
+
+DistributedResult RunOverChannels(const BenchScale& scale) {
+  std::vector<std::unique_ptr<Transport>> server_ends, silo_ends;
+  for (int s = 0; s < scale.silos; ++s) {
+    auto [a, b] = ChannelTransport::CreatePair();
+    server_ends.push_back(std::move(a));
+    silo_ends.push_back(std::move(b));
+  }
+  return RunDistributed(scale, std::move(server_ends), std::move(silo_ends));
+}
+
+DistributedResult RunOverTcp(const BenchScale& scale) {
+  auto listener = TcpListener::Listen(0);
+  if (!listener.ok()) {
+    std::cerr << listener.status().ToString() << "\n";
+    std::exit(1);
+  }
+  std::vector<std::unique_ptr<Transport>> server_ends, silo_ends;
+  for (int s = 0; s < scale.silos; ++s) {
+    auto client = TcpTransport::Connect("127.0.0.1", listener.value().port());
+    if (!client.ok()) {
+      std::cerr << client.status().ToString() << "\n";
+      std::exit(1);
+    }
+    silo_ends.push_back(std::move(client.value()));
+    auto accepted = listener.value().Accept();
+    if (!accepted.ok()) {
+      std::cerr << accepted.status().ToString() << "\n";
+      std::exit(1);
+    }
+    server_ends.push_back(std::move(accepted.value()));
+  }
+  return RunDistributed(scale, std::move(server_ends), std::move(silo_ends));
+}
+
+int Run() {
+  const bool smoke = std::getenv("ULDP_BENCH_SMOKE") != nullptr;
+  BenchScale scale;
+  scale.silos = smoke ? 2 : bench::Scaled(3, 5);
+  scale.users = smoke ? 4 : bench::Scaled(10, 100);
+  scale.dim = smoke ? 4 : bench::Scaled(32, 256);
+  scale.rounds = smoke ? 1 : bench::Scaled(2, 5);
+  scale.paillier_bits = smoke ? 512 : bench::Scaled(512, 1024);
+
+  std::cout << "net_protocol bench: " << scale.silos << " silos, "
+            << scale.users << " users, dim " << scale.dim << ", "
+            << scale.rounds << " round(s), " << scale.paillier_bits
+            << "-bit Paillier\n";
+
+  bench::BenchJson json("net_protocol");
+
+  // In-process reference (no transport, direct core calls).
+  ProtocolConfig config = MakeConfig(scale);
+  DemoInputs in =
+      net::MakeDemoInputs(kInputSeed, scale.silos, scale.users, scale.dim);
+  PrivateWeightingProtocol protocol(config, scale.silos, scale.users);
+  auto t0 = Clock::now();
+  Status setup = protocol.Setup(in.histograms);
+  if (!setup.ok()) {
+    std::cerr << setup.ToString() << "\n";
+    return 1;
+  }
+  double inproc_setup_s = SecondsSince(t0);
+  std::vector<bool> mask(scale.users, true);
+  std::vector<Vec> reference;
+  t0 = Clock::now();
+  for (int r = 0; r < scale.rounds; ++r) {
+    auto out = protocol.WeightingRound(r, in.deltas, in.noise, mask);
+    if (!out.ok()) {
+      std::cerr << out.status().ToString() << "\n";
+      return 1;
+    }
+    reference.push_back(std::move(out.value()));
+  }
+  double inproc_round_s = SecondsSince(t0) / scale.rounds;
+  json.Add("setup_seconds", inproc_setup_s, {{"transport", "in_process"}});
+  json.Add("round_seconds", inproc_round_s, {{"transport", "in_process"}});
+  std::cout << "  in-process: setup " << inproc_setup_s << " s, round "
+            << inproc_round_s << " s\n";
+
+  struct Backend {
+    const char* name;
+    DistributedResult result;
+  };
+  Backend backends[] = {
+      {"channel", RunOverChannels(scale)},
+      {"tcp_loopback", RunOverTcp(scale)},
+  };
+  for (const Backend& backend : backends) {
+    const DistributedResult& r = backend.result;
+    if (r.outs != reference) {
+      std::cerr << "FATAL: " << backend.name
+                << " aggregates diverge from the in-process reference\n";
+      return 1;
+    }
+    json.Add("setup_seconds", r.setup_s, {{"transport", backend.name}});
+    json.Add("round_seconds", r.round_s, {{"transport", backend.name}});
+    json.Add("total_bytes", static_cast<double>(r.total_bytes),
+             {{"transport", backend.name}});
+    std::cout << "  " << backend.name << ": setup " << r.setup_s
+              << " s, round " << r.round_s << " s, "
+              << r.total_bytes << " bytes total (bitwise match)\n";
+    for (const auto& phase : r.phases) {
+      json.Add("phase_bytes_sent", static_cast<double>(phase.bytes_sent),
+               {{"transport", backend.name}, {"phase", phase.phase}});
+      json.Add("phase_bytes_received",
+               static_cast<double>(phase.bytes_received),
+               {{"transport", backend.name}, {"phase", phase.phase}});
+      json.Add("phase_seconds", phase.seconds,
+               {{"transport", backend.name}, {"phase", phase.phase}});
+      std::cout << "    phase " << phase.phase << ": sent "
+                << phase.bytes_sent << " B, received "
+                << phase.bytes_received << " B, " << phase.seconds
+                << " s\n";
+    }
+  }
+  json.Write();
+  std::cout << "wrote BENCH_net_protocol.json\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace uldp
+
+int main() { return uldp::Run(); }

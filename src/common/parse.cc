@@ -1,0 +1,95 @@
+#include "common/parse.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
+namespace uldp {
+
+namespace {
+
+std::string Quoted(const std::string& s) { return "\"" + s + "\""; }
+
+// strtoll/strtod silently skip leading whitespace; a flag value with
+// whitespace is a quoting mistake, not a number.
+bool HasLeadingSpace(const std::string& s) {
+  return !s.empty() && std::isspace(static_cast<unsigned char>(s[0])) != 0;
+}
+
+}  // namespace
+
+Result<int64_t> ParseInt(const std::string& s, int64_t min, int64_t max,
+                         const std::string& what) {
+  if (s.empty() || HasLeadingSpace(s)) {
+    return Status::InvalidArgument(what + ": empty or malformed value");
+  }
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size() || end == s.c_str()) {
+    return Status::InvalidArgument(what + ": " + Quoted(s) +
+                                   " is not an integer");
+  }
+  if (errno == ERANGE || v < min || v > max) {
+    return Status::OutOfRange(what + ": " + Quoted(s) + " out of range [" +
+                              std::to_string(min) + ", " +
+                              std::to_string(max) + "]");
+  }
+  return static_cast<int64_t>(v);
+}
+
+Result<uint64_t> ParseUint(const std::string& s, uint64_t max,
+                           const std::string& what) {
+  if (s.empty() || HasLeadingSpace(s)) {
+    return Status::InvalidArgument(what + ": empty or malformed value");
+  }
+  if (s[0] == '-') {
+    return Status::OutOfRange(what + ": " + Quoted(s) + " is negative");
+  }
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size() || end == s.c_str()) {
+    return Status::InvalidArgument(what + ": " + Quoted(s) +
+                                   " is not an integer");
+  }
+  if (errno == ERANGE || v > max) {
+    return Status::OutOfRange(what + ": " + Quoted(s) + " out of range [0, " +
+                              std::to_string(max) + "]");
+  }
+  return static_cast<uint64_t>(v);
+}
+
+Result<double> ParseDouble(const std::string& s, const std::string& what) {
+  if (s.empty() || HasLeadingSpace(s)) {
+    return Status::InvalidArgument(what + ": empty or malformed value");
+  }
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size() || end == s.c_str()) {
+    return Status::InvalidArgument(what + ": " + Quoted(s) +
+                                   " is not a number");
+  }
+  if (errno == ERANGE || !std::isfinite(v)) {
+    return Status::OutOfRange(what + ": " + Quoted(s) + " is not finite");
+  }
+  return v;
+}
+
+Result<HostPort> ParseHostPort(const std::string& s, const std::string& what) {
+  size_t colon = s.rfind(':');
+  if (colon == std::string::npos || colon == 0) {
+    return Status::InvalidArgument(what + ": " + Quoted(s) +
+                                   " is not host:port");
+  }
+  auto port = ParseInt(s.substr(colon + 1), 1, 65535, what + " port");
+  if (!port.ok()) return port.status();
+  HostPort hp;
+  hp.host = s.substr(0, colon);
+  hp.port = static_cast<int>(port.value());
+  return hp;
+}
+
+}  // namespace uldp

@@ -1,0 +1,40 @@
+// Strict string-to-number parsing for user-facing inputs (CLI flags,
+// host:port endpoints). std::atoi silently maps garbage to 0, which turned
+// typos like --threads=fast into "auto" and --serve=80O0 into port 0; these
+// helpers reject anything that is not a complete, in-range numeral with a
+// clear Status instead.
+
+#ifndef ULDP_COMMON_PARSE_H_
+#define ULDP_COMMON_PARSE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace uldp {
+
+/// Parses a base-10 signed integer. The whole string must be consumed
+/// (optional leading '-', no whitespace, no trailing junk) and the value
+/// must lie in [min, max]. `what` names the input in error messages
+/// (e.g. "--threads").
+Result<int64_t> ParseInt(const std::string& s, int64_t min, int64_t max,
+                         const std::string& what);
+
+/// Parses a base-10 unsigned integer in [0, max].
+Result<uint64_t> ParseUint(const std::string& s, uint64_t max,
+                           const std::string& what);
+
+/// Parses a finite floating-point number (strtod grammar, whole string).
+Result<double> ParseDouble(const std::string& s, const std::string& what);
+
+/// Splits "host:port" and range-checks the port into [1, 65535].
+struct HostPort {
+  std::string host;
+  int port = 0;
+};
+Result<HostPort> ParseHostPort(const std::string& s, const std::string& what);
+
+}  // namespace uldp
+
+#endif  // ULDP_COMMON_PARSE_H_

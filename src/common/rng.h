@@ -30,6 +30,15 @@ constexpr uint64_t kRngStreamOtShuffle = ~0ull - 5;   // per-user slot shuffle
 constexpr uint64_t kRngStreamOtFlow = ~0ull - 6;      // per-user OT messages
 constexpr uint64_t kRngStreamOtSlotEnc = ~0ull - 7;   // per-(user, slot) enc
 constexpr uint64_t kRngStreamOtSlotElem = ~0ull - 8;  // per-(user, slot) C_i
+// Distributed Protocol 1 (src/net/): every per-party value is derived from
+// its own Fork substream of the protocol seed, never from a shared
+// sequentially-consumed generator, so a remote endpoint reconstructs
+// exactly the value the in-process simulation would have drawn.
+constexpr uint64_t kRngStreamOtSender = ~0ull - 9;    // per-user OT sender r
+constexpr uint64_t kRngStreamOtReceiver = ~0ull - 10;  // per-user OT recv k
+constexpr uint64_t kRngStreamDhKey = ~0ull - 11;       // per-silo DH key pair
+constexpr uint64_t kRngStreamSharedSeed = ~0ull - 12;  // silo 0's seed R
+constexpr uint64_t kRngStreamOtGroup = ~0ull - 13;     // OT safe-prime group
 
 /// Deterministic pseudo-random generator (mt19937_64 core) with the
 /// distribution helpers the Uldp-FL algorithms need.

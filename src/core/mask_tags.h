@@ -38,7 +38,26 @@ enum class MaskPhase : uint64_t {
   /// with the user id (the low-56 index) rather than a round; the nonce's
   /// stream slot carries the non-unit retry counter.
   kUserBlind = 4,
+  /// OT-mode weight relay: the receiver silo re-encrypts the fetched
+  /// Enc(B_inv) vector under each pairwise key before the server relays it,
+  /// so the server cannot match fetched ciphertexts against its slots (that
+  /// match would reveal the hidden sampling outcome). Per-round, the
+  /// nonce's stream slot carries the destination silo.
+  kOtWeightRelay = 5,
+  /// Setup (c): silo 0 encrypts the shared random seed R under each
+  /// pairwise key for the server to relay. One-shot (round is always 0);
+  /// the nonce's stream slot carries the destination silo.
+  kSeedRelay = 6,
 };
+
+/// Phase byte of a packed tag (inverse of MakeMaskTag).
+inline MaskPhase MaskTagPhase(uint64_t tag) {
+  return static_cast<MaskPhase>(tag >> 56);
+}
+/// Round (or index) bits of a packed tag.
+inline uint64_t MaskTagRound(uint64_t tag) {
+  return tag & ((1ull << 56) - 1);
+}
 
 /// Rounds must fit the 56 bits below the phase byte.
 constexpr uint64_t kMaskTagRoundLimit = 1ull << 56;

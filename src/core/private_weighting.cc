@@ -1,13 +1,9 @@
 #include "core/private_weighting.h"
 
-#include <algorithm>
 #include <chrono>
-#include <cmath>
-#include <numeric>
+#include <utility>
 
 #include "common/check.h"
-#include "core/mask_tags.h"
-#include "math/fixed_base.h"
 
 namespace uldp {
 
@@ -27,65 +23,12 @@ PrivateWeightingProtocol::PrivateWeightingProtocol(ProtocolConfig config,
     : config_(config),
       num_silos_(num_silos),
       num_users_(num_users),
-      rng_(config.seed),
       pool_(config.num_threads),
+      server_(std::make_unique<ServerCore>(config, num_silos, num_users)),
       silo_views_(num_silos) {
   ULDP_CHECK_GE(num_silos_, 2);
   ULDP_CHECK_GE(num_users_, 1);
   ULDP_CHECK_GE(config_.n_max, 1);
-}
-
-BigInt PrivateWeightingProtocol::BlindOf(int user) const {
-  // All silos derive the same r_u from the shared seed R; the server never
-  // learns R. r_u must be a unit of F_n — overwhelmingly likely (Eq. 4 of
-  // the paper); regenerate with a counter otherwise. The typed phase tag
-  // keeps this stream family structurally disjoint from every other
-  // consumer of the shared seed (see mask_tags.h).
-  for (uint32_t attempt = 0;; ++attempt) {
-    ChaChaRng stream(shared_seed_key_,
-                     ChaChaRng::MakeNonce(
-                         MakeMaskTag(MaskPhase::kUserBlind,
-                                     static_cast<uint64_t>(user)),
-                         /*stream_id=*/attempt));
-    BigInt r = stream.UniformBelow(public_key_.n);
-    if (!r.IsZero() && BigInt::Gcd(r, public_key_.n) == BigInt(1)) return r;
-  }
-}
-
-BigInt PrivateWeightingProtocol::PairMask(int silo_a, int silo_b,
-                                          uint64_t tag, int user) const {
-  ChaChaRng stream(pair_keys_[silo_a][silo_b],
-                   ChaChaRng::MakeNonce(tag, static_cast<uint32_t>(user)));
-  return stream.UniformBelow(public_key_.n);
-}
-
-Result<BigInt> PrivateWeightingProtocol::PEncrypt(const BigInt& m,
-                                                  Rng& rng) const {
-  return config_.fast_paillier ? paillier_->Encrypt(m, rng)
-                               : Paillier::Encrypt(public_key_, m, rng);
-}
-
-Result<BigInt> PrivateWeightingProtocol::PDecrypt(const BigInt& c) const {
-  return config_.fast_paillier ? paillier_->Decrypt(c)
-                               : Paillier::Decrypt(public_key_, secret_key_, c);
-}
-
-BigInt PrivateWeightingProtocol::PAddCiphertexts(const BigInt& c1,
-                                                 const BigInt& c2) const {
-  // Single-multiply ops have no fast/cold distinction (the context
-  // delegates to the static implementation).
-  return Paillier::AddCiphertexts(public_key_, c1, c2);
-}
-
-BigInt PrivateWeightingProtocol::PAddPlaintext(const BigInt& c,
-                                               const BigInt& k) const {
-  return Paillier::AddPlaintext(public_key_, c, k);
-}
-
-BigInt PrivateWeightingProtocol::PMulPlaintext(const BigInt& c,
-                                               const BigInt& k) const {
-  return config_.fast_paillier ? paillier_->MulPlaintext(c, k)
-                               : Paillier::MulPlaintext(public_key_, c, k);
 }
 
 Status PrivateWeightingProtocol::Setup(
@@ -97,85 +40,18 @@ Status PrivateWeightingProtocol::Setup(
     if (static_cast<int>(h.size()) != num_users_) {
       return Status::InvalidArgument("histogram size != user count");
     }
-  }
-
-  // -- Setup (a): keys and C_LCM ------------------------------------------
-  auto t0 = Clock::now();
-  // The two prime searches run concurrently on the protocol pool; the key
-  // is a pure function of the seed regardless of thread count.
-  ULDP_RETURN_IF_ERROR(Paillier::GenerateKeyPair(config_.paillier_bits, rng_,
-                                                 &public_key_, &secret_key_,
-                                                 &*pool_));
-  if (config_.fast_paillier) {
-    paillier_ = std::make_unique<PaillierContext>(public_key_, secret_key_);
-  }
-  c_lcm_ = LcmUpTo(static_cast<uint64_t>(config_.n_max));
-  codec_ = FixedPointCodec(public_key_.n, config_.precision);
-
-  // Theorem 4 condition (2): the worst-case integer magnitude
-  //   sum_s sum_u |E| n_su (C_LCM / N_u) + |S| |Z| C_LCM
-  // must stay below n/2 (signed fixed-point headroom). |E|,|Z| < 2^63 by
-  // the Encode range check.
-  {
-    BigInt e_max = BigInt(1) << 63;
-    BigInt bound =
-        c_lcm_ * e_max *
-        BigInt(static_cast<uint64_t>(num_silos_) *
-               (static_cast<uint64_t>(num_users_) * config_.n_max + 1));
-    if (bound >= public_key_.n >> 1) {
-      return Status::FailedPrecondition(
-          "Theorem 4 overflow condition violated: increase paillier_bits or "
-          "decrease n_max (C_LCM has " +
-          std::to_string(c_lcm_.BitLength()) + " bits, modulus " +
-          std::to_string(public_key_.n.BitLength()) + ")");
-    }
-  }
-
-  // -- Setup (b): DH pairwise keys (server relays public keys) ------------
-  DhGroup group = DhGroup::Rfc3526Modp2048();
-  std::vector<DhKeyPair> dh(num_silos_);
-  for (int s = 0; s < num_silos_; ++s) dh[s] = GenerateDhKeyPair(group, rng_);
-  pair_keys_.assign(num_silos_,
-                    std::vector<ChaChaRng::Key>(num_silos_));
-  for (int a = 0; a < num_silos_; ++a) {
-    for (int b = a + 1; b < num_silos_; ++b) {
-      auto shared = ComputeSharedSecret(group, dh[a].secret_key,
-                                        dh[b].public_key);
-      if (!shared.ok()) return shared.status();
-      auto key = ChaChaRng::DeriveKey(
-          DeriveSharedSeedMaterial(shared.value(), "pairmask", a, b));
-      pair_keys_[a][b] = key;
-      pair_keys_[b][a] = key;
-    }
-  }
-
-  // -- Setup (c): silo 0 distributes the shared random seed R -------------
-  // (encrypted under the pairwise keys; the server only relays ciphertext.)
-  BigInt r_seed = BigInt::RandomBits(256, rng_);
-  shared_seed_key_ = ChaChaRng::DeriveKey("uldp-shared-seed|" + r_seed.ToHex());
-  if (config_.ot_slots > 0) {
-    ot_group_ = DhGroup::GenerateSafePrimeGroup(config_.ot_group_bits, rng_);
-    // Every OT slot element and key-agreement message is a generator power;
-    // build the fixed-base table once here so the per-round OT copies share
-    // it through the group's shared_ptr.
-    ot_group_.EnsureGeneratorTable();
-  }
-  timings_.key_exchange_s += SecondsSince(t0);
-
-  // -- Setup (d)-(e): blinded histograms + secure aggregation --------------
-  t0 = Clock::now();
-  histograms_ = silo_histograms;
-  for (int s = 0; s < num_silos_; ++s) {
-    for (int u = 0; u < num_users_; ++u) {
-      if (histograms_[s][u] < 0) {
+    for (int count : h) {
+      if (count < 0) {
         return Status::InvalidArgument("negative histogram entry");
       }
     }
   }
-  // Validate N_u <= N_max.
+  // Validate N_u <= N_max. (A deployment cannot check this directly — no
+  // party knows N_u — which is why Theorem 4 budgets N_max headroom; the
+  // simulation holds all inputs and checks it up front.)
   std::vector<int64_t> totals(num_users_, 0);
   for (int s = 0; s < num_silos_; ++s) {
-    for (int u = 0; u < num_users_; ++u) totals[u] += histograms_[s][u];
+    for (int u = 0; u < num_users_; ++u) totals[u] += silo_histograms[s][u];
   }
   for (int u = 0; u < num_users_; ++u) {
     if (totals[u] > config_.n_max) {
@@ -185,57 +61,51 @@ Status PrivateWeightingProtocol::Setup(
     }
   }
 
-  server_view_.doubly_blinded_histograms.assign(num_silos_, {});
-  const BigInt& n = public_key_.n;
-  // Each silo blinds its histogram independently (BlindOf / PairMask are
-  // pure PRF evaluations), so the silo loop runs on the pool.
-  const uint64_t histogram_tag =
-      MakeMaskTag(MaskPhase::kHistogramBlind, /*round=*/0);
-  pool_->ParallelFor(static_cast<size_t>(num_silos_), [&](size_t si) {
-    const int s = static_cast<int>(si);
-    std::vector<BigInt> blinded(num_users_);
-    for (int u = 0; u < num_users_; ++u) {
-      BigInt b = BlindOf(u).ModMul(
-          BigInt(static_cast<int64_t>(histograms_[s][u])), n);
-      // Pairwise additive masks (setup e): +mask toward larger peers,
-      // -mask toward smaller, so the server-side sum cancels them.
-      for (int other = 0; other < num_silos_; ++other) {
-        if (other == s) continue;
-        BigInt m = PairMask(s, other, histogram_tag, u);
-        b = s < other ? b.ModAdd(m, n) : b.ModSub(m, n);
-      }
-      blinded[u] = std::move(b);
-    }
-    server_view_.doubly_blinded_histograms[s] = std::move(blinded);
+  // -- Setup (a): server key generation (+ Theorem-4 check) ----------------
+  auto t0 = Clock::now();
+  ULDP_RETURN_IF_ERROR(server_->GenerateKeys(*pool_));
+
+  // -- Setup (b): per-silo DH key pairs; pairwise keys from the directory.
+  // Each silo's pair is a Fork(0, silo) substream of the seed, so the key
+  // exchange needs only the public-key directory — exactly what the server
+  // relays in the distributed driver.
+  histograms_ = silo_histograms;
+  silos_.clear();
+  for (int s = 0; s < num_silos_; ++s) {
+    silos_.push_back(std::make_unique<SiloCore>(server_->params(), s,
+                                                silo_histograms[s]));
+  }
+  std::vector<BigInt> directory(num_silos_);
+  for (int s = 0; s < num_silos_; ++s) {
+    directory[s] = silos_[s]->dh_key().public_key;
+  }
+  std::vector<Status> silo_status(num_silos_, Status::Ok());
+  pool_->ParallelFor(static_cast<size_t>(num_silos_), [&](size_t s) {
+    silo_status[s] = silos_[s]->ComputePairKeys(directory);
   });
+  ULDP_RETURN_IF_ERROR(FirstError(silo_status));
 
-  // Server aggregates: B(N_u) = sum_s B'(n_su) = r_u * N_u mod n.
-  server_view_.blinded_totals.assign(num_users_, BigInt(0));
-  for (int u = 0; u < num_users_; ++u) {
-    BigInt acc(0);
-    for (int s = 0; s < num_silos_; ++s) {
-      acc = acc.ModAdd(server_view_.doubly_blinded_histograms[s][u], n);
-    }
-    server_view_.blinded_totals[u] = std::move(acc);
-  }
+  // -- Setup (c): silo 0 distributes the shared random seed R -------------
+  // (in the distributed driver it travels encrypted under the pairwise
+  // keys and the server only relays ciphertext; in process it is handed
+  // over directly).
+  BigInt r_seed = silos_[0]->MakeSharedSeed();
+  for (int s = 0; s < num_silos_; ++s) silos_[s]->SetSharedSeed(r_seed);
+  timings_.key_exchange_s += SecondsSince(t0);
 
-  // -- Setup (f): server inverts the blinded totals ------------------------
-  b_inv_.assign(num_users_, BigInt(0));
-  for (int u = 0; u < num_users_; ++u) {
-    const BigInt& bt = server_view_.blinded_totals[u];
-    if (bt.IsZero()) {
-      // N_u = 0: the user holds no records anywhere; weight stays zero.
-      continue;
-    }
-    auto inv = bt.ModInverse(n);
-    if (!inv.ok()) return inv.status();
-    b_inv_[u] = std::move(inv.value());
+  // -- Setup (d)-(f): blinded histograms + secure aggregation --------------
+  t0 = Clock::now();
+  for (int s = 0; s < num_silos_; ++s) {
+    auto blinded = silos_[s]->BlindHistogram(*pool_);
+    if (!blinded.ok()) return blinded.status();
+    ULDP_RETURN_IF_ERROR(
+        server_->AbsorbBlindedHistogram(s, std::move(blinded.value())));
   }
+  ULDP_RETURN_IF_ERROR(server_->FinalizeSetup());
   timings_.histogram_s += SecondsSince(t0);
   setup_done_ = true;
   return Status::Ok();
 }
-
 
 Result<Vec> PrivateWeightingProtocol::WeightingRound(
     uint64_t round, const std::vector<std::vector<Vec>>& clipped_deltas,
@@ -258,168 +128,39 @@ Result<Vec> PrivateWeightingProtocol::WeightingRound(
     }
   }
 
-  const BigInt& n = public_key_.n;
-
-  // -- Weighting (a): server encrypts the (sampled) inverted weights ------
-  // Users are independent; each draws its encryption randomness from a
-  // Fork(round, user) substream, so the pool schedule never changes the
-  // ciphertexts.
+  // -- Weighting (a): the server encrypts the (sampled) inverted weights.
+  // In OT mode the §4.1 extension runs instead: the server offers P
+  // shuffled slots per user (real Enc(B_inv) in a q-fraction, Enc(0) in
+  // the rest) and the joint receiver fetches one by 1-out-of-P OT, so
+  // neither side learns the sampling outcome.
   auto t0 = Clock::now();
-  std::vector<BigInt> enc_weights(num_users_);
-  std::vector<Status> user_status(num_users_, Status::Ok());
+  std::vector<BigInt> enc_weights;
   if (config_.ot_slots > 0) {
-    // §4.1 extension: per user, the server lays out P slots — a
-    // q-fraction hold Enc(B_inv), the rest Enc(0) — under a fresh private
-    // shuffle; silos jointly (via the shared seed R) pick one slot and
-    // fetch it by 1-out-of-P OT. Neither party learns the sampling result.
-    //
-    // The per-slot work (one Paillier encryption plus one OT group
-    // exponentiation per slot) dominates this phase, so it runs as one
-    // flat (user × slot) sweep: each slot draws from its own
-    // Fork(round, user‖slot) substream, which keeps the results bitwise
-    // thread-count-invariant even when a single user's slots land on
-    // different workers.
-    const int slots = config_.ot_slots;
-    const size_t n_slots = static_cast<size_t>(slots);
-    const int real_slots = static_cast<int>(
-        std::max(0.0, std::min(1.0, config_.ot_sample_rate)) * slots + 0.5);
-    const size_t clen =
-        static_cast<size_t>((public_key_.n_squared.BitLength() + 7) / 8) + 8;
-    ObliviousTransfer ot(ot_group_, n_slots);
-    // Byte-per-user scratch: std::vector<bool> packs bits, so concurrent
-    // per-user writes would race on shared words.
-    std::vector<char> ot_mask(num_users_, 1);
-    const uint64_t choice_tag = MakeMaskTag(MaskPhase::kOtSlotChoice, round);
-    auto slot_counter = [](size_t u, size_t slot) {
-      return (static_cast<uint64_t>(u) << 32) | static_cast<uint64_t>(slot);
-    };
-
-    struct OtUserState {
-      ObliviousTransfer::SenderState sender;
-      ObliviousTransfer::ReceiverState receiver;
-      BigInt receiver_b_inv;
-      std::vector<int> perm;
-    };
-    std::vector<OtUserState> states(num_users_);
-
-    // (a.1) Sender slot elements C_i: independent generator powers, one
-    // substream per (user, slot).
-    std::vector<std::vector<BigInt>> slot_elems(
-        num_users_, std::vector<BigInt>(n_slots));
-    pool_->ParallelFor(
-        static_cast<size_t>(num_users_) * n_slots, [&](size_t i) {
-          const size_t u = i / n_slots, slot = i % n_slots;
-          Rng rng = rng_.Fork(round, slot_counter(u, slot),
-                              kRngStreamOtSlotElem);
-          slot_elems[u][slot] = ot.SampleSlotElement(rng);
-        });
-
-    // (a.2) Per-user message flow: private shuffle, shared slot choice
-    // (identical across silos, from R), sender secret, receiver commit.
-    pool_->ParallelFor(static_cast<size_t>(num_users_), [&](size_t ui) {
-      const int u = static_cast<int>(ui);
-      auto& st = states[ui];
-      ChaChaRng choice(shared_seed_key_,
-                       ChaChaRng::MakeNonce(choice_tag,
-                                            static_cast<uint32_t>(u)));
-      const size_t sigma = choice.NextUint64() % n_slots;
-      st.perm.resize(slots);
-      std::iota(st.perm.begin(), st.perm.end(), 0);
-      Rng shuffle_rng = rng_.Fork(round, static_cast<uint64_t>(u),
-                                  kRngStreamOtShuffle);
-      shuffle_rng.Shuffle(st.perm);
-      Rng flow_rng = rng_.Fork(round, static_cast<uint64_t>(u),
-                               kRngStreamOtFlow);
-      st.sender = ot.SenderInitWithSlots(std::move(slot_elems[ui]), flow_rng);
-      auto receiver = ot.ReceiverChoose(st.sender, sigma, flow_rng);
-      if (!receiver.ok()) {
-        user_status[u] = receiver.status();
-        return;
-      }
-      st.receiver = std::move(receiver.value());
-      auto b_inv = ot.InvertReceiverMessage(st.receiver.b);
-      if (!b_inv.ok()) {
-        user_status[u] = b_inv.status();
-        return;
-      }
-      st.receiver_b_inv = std::move(b_inv.value());
-    });
-    ULDP_RETURN_IF_ERROR(FirstError(user_status));
-
-    // (a.3) The per-slot exponentiations, flattened across users AND the
-    // slots within one user: Paillier payload encryption, then the OT
-    // sender pad for the same slot. Per-(user, slot) status cells keep
-    // failure reporting race-free.
-    std::vector<std::vector<std::vector<uint8_t>>> encrypted(
-        num_users_, std::vector<std::vector<uint8_t>>(n_slots));
-    std::vector<Status> slot_status(static_cast<size_t>(num_users_) * n_slots,
-                                    Status::Ok());
-    pool_->ParallelFor(
-        static_cast<size_t>(num_users_) * n_slots, [&](size_t i) {
-          const size_t u = i / n_slots, slot = i % n_slots;
-          const auto& st = states[u];
-          Rng enc_rng = rng_.Fork(round, slot_counter(u, slot),
-                                  kRngStreamOtSlotEnc);
-          const bool real = st.perm[slot] < real_slots;
-          auto c = PEncrypt(real ? b_inv_[u] : BigInt(0), enc_rng);
-          if (!c.ok()) {
-            slot_status[i] = c.status();
-            return;
-          }
-          encrypted[u][slot] = ot.SenderEncryptSlot(
-              st.sender, st.receiver_b_inv, c.value().ToBytesLE(clen), slot);
-        });
-    ULDP_RETURN_IF_ERROR(FirstError(slot_status));
-
-    // (a.4) Receiver side: decrypt the chosen slot.
-    pool_->ParallelFor(static_cast<size_t>(num_users_), [&](size_t ui) {
-      const int u = static_cast<int>(ui);
-      auto& st = states[ui];
-      auto fetched = ot.ReceiverDecrypt(st.receiver, st.sender,
-                                        encrypted[ui]);
-      if (!fetched.ok()) {
-        user_status[u] = fetched.status();
-        return;
-      }
-      enc_weights[u] = BigInt::FromBytesLE(fetched.value());
-      ot_mask[u] = st.perm[st.receiver.sigma] < real_slots ? 1 : 0;
-    });
-    last_ot_mask_.assign(ot_mask.begin(), ot_mask.end());
-  } else if (config_.fast_paillier) {
-    // Randomizer pipeline: r^n mod n^2 is plaintext-independent, so
-    // EncryptBatch first batch-computes one randomizer per user on the
-    // pool (drawing r from the same Fork(round, user) substream, in the
-    // same order, as a direct Encrypt would — ciphertexts stay bitwise
-    // thread-count-invariant), then encryption itself is a single modular
-    // multiply per user.
-    std::vector<BigInt> plains(num_users_);
+    auto senders = server_->OtSenderInit(round, *pool_);
+    if (!senders.ok()) return senders.status();
+    auto bs = silos_[0]->OtReceiverChoose(round, senders.value(), *pool_);
+    if (!bs.ok()) return bs.status();
+    auto slots = server_->OtEncryptSlots(round, bs.value(), *pool_);
+    if (!slots.ok()) return slots.status();
+    auto fetched = silos_[0]->OtReceiverDecrypt(round, senders.value(),
+                                                slots.value(), *pool_);
+    if (!fetched.ok()) return fetched.status();
+    enc_weights = std::move(fetched.value());
+    // Ground truth of the hidden sampling outcome: only the simulation —
+    // holding both the sender's shuffles and the receiver's choices — can
+    // reconstruct it.
+    const int real_slots = OtRealSlots(config_);
+    const auto& perms = server_->ot_perms();
+    const auto& sigmas = silos_[0]->ot_sigmas();
+    last_ot_mask_.assign(num_users_, false);
     for (int u = 0; u < num_users_; ++u) {
-      if (user_sampled[u]) plains[u] = b_inv_[u];
+      last_ot_mask_[u] = perms[u][sigmas[u]] < real_slots;
     }
-    auto batch = paillier_->EncryptBatch(
-        plains,
-        [&](size_t u) {
-          return rng_.Fork(round, static_cast<uint64_t>(u),
-                           kRngStreamEncrypt);
-        },
-        *pool_);
-    if (!batch.ok()) return batch.status();
-    enc_weights = std::move(batch.value());
   } else {
-    pool_->ParallelFor(static_cast<size_t>(num_users_), [&](size_t ui) {
-      const int u = static_cast<int>(ui);
-      Rng user_rng = rng_.Fork(round, static_cast<uint64_t>(u),
-                               kRngStreamEncrypt);
-      BigInt plain = user_sampled[u] ? b_inv_[u] : BigInt(0);
-      auto c = Paillier::Encrypt(public_key_, plain, user_rng);
-      if (!c.ok()) {
-        user_status[u] = c.status();
-        return;
-      }
-      enc_weights[u] = std::move(c.value());
-    });
+    auto enc = server_->EncryptWeights(round, user_sampled, *pool_);
+    if (!enc.ok()) return enc.status();
+    enc_weights = std::move(enc.value());
   }
-  ULDP_RETURN_IF_ERROR(FirstError(user_status));
   timings_.encrypt_weights_s += SecondsSince(t0);
 
   // Broadcast: every silo receives the same ciphertext vector (fetched via
@@ -429,23 +170,25 @@ Result<Vec> PrivateWeightingProtocol::WeightingRound(
     silo_views_[s].encrypted_weights = enc_weights;
   }
 
-  // -- Weighting (b): per-silo encrypted weighted sums --------------------
-  // The dominant protocol cost (Figure 10/11). Silos are independent
-  // actors, so the outer loop runs on the pool; everything inside is a
-  // pure function of setup state.
+  // -- Weighting (b)+(c), silo side: encrypted weighted sums, encoded
+  // noise, pairwise masks. Every silo raises the SAME ciphertext
+  // Enc(B_inv(N_u)), so the orchestrator sweeps users in index-ordered
+  // batches: each batch builds one fixed-base table per user (in
+  // parallel), every silo core consumes the batch read-only on the pool,
+  // then the batch's tables are freed — bounding transient table memory
+  // while paying one table build per user instead of one per
+  // (silo, user). A distributed silo endpoint runs the same phases via
+  // SiloCore::WeightMaskRound with its own tables; outputs are exact
+  // modular products either way, so both layouts are bitwise identical.
   t0 = Clock::now();
   for (int s = 0; s < num_silos_; ++s) {
     if (static_cast<int>(clipped_deltas[s].size()) != num_users_) {
       return Status::InvalidArgument("delta matrix size mismatch");
     }
   }
-  // Fixed-base tables: every silo raises the SAME ciphertext
-  // Enc(B_inv(N_u)) to a per-coordinate scalar, so one window table per
-  // user (built once, shared read-only by all silo tasks) replaces the
-  // sliding-window exponentiation's squarings for all dim * |silos with
-  // the user| MulPlaintext calls. Table construction is a pure function of
-  // the ciphertext, so building on the pool stays deterministic.
   const bool use_tables = config_.fast_paillier && config_.fixed_base;
+  const bool keep_tables = use_tables && config_.cache_enc_weights;
+  weight_tables_.BeginRound(num_users_, keep_tables);
   std::vector<uint32_t> silos_with_user;
   if (use_tables) {
     silos_with_user.assign(num_users_, 0);
@@ -457,132 +200,51 @@ Result<Vec> PrivateWeightingProtocol::WeightingRound(
       }
     }
   }
-  // Users are swept in index-ordered batches: each batch builds its tables
-  // in parallel, every silo consumes them, then the batch's tables are
-  // freed. This bounds transient table memory at ~batch * 2 MB worst case
-  // (the per-table entry cap at a 1024-bit key) instead of O(num_users),
-  // while keeping the per-(silo, coordinate) accumulation in the same
-  // ascending-user order as an unbatched sweep — outputs are bitwise
-  // unchanged. Without tables a single batch reproduces the plain loop.
-  const int user_batch = use_tables ? 128 : num_users_;
-  std::vector<std::unique_ptr<FixedBaseTable>> weight_tables(num_users_);
-  // Per-user blinds are pure PRF evaluations shared by every silo, so they
-  // are derived once per batch here rather than once per (silo, user) in
-  // the sweep; same for the round-constant C_LCM mod n.
-  std::vector<BigInt> user_blinds(num_users_);
-  const BigInt c_lcm_mod_n = c_lcm_.Mod(n);
-  // Paillier g^m terms and scalar products, one ciphertext per coordinate.
-  std::vector<std::vector<BigInt>> silo_cipher(
-      num_silos_, std::vector<BigInt>(dim, BigInt(1)));
+  std::vector<std::vector<BigInt>> silo_ciphers(num_silos_);
+  for (int s = 0; s < num_silos_; ++s) {
+    silo_ciphers[s] = SiloCore::NewCipherAccumulator(dim);
+  }
   std::vector<Status> silo_status(num_silos_, Status::Ok());
+  const int user_batch = use_tables ? 128 : num_users_;
   for (int u0 = 0; u0 < num_users_; u0 += user_batch) {
     const int u1 = std::min(num_users_, u0 + user_batch);
-    pool_->ParallelFor(static_cast<size_t>(u1 - u0), [&](size_t i) {
-      const size_t u = static_cast<size_t>(u0) + i;
-      user_blinds[u] = BlindOf(static_cast<int>(u));
-      if (!use_tables || silos_with_user[u] == 0) return;
-      weight_tables[u] = std::make_unique<FixedBaseTable>(
-          paillier_->MakeMulPlaintextTable(
-              enc_weights[u],
-              static_cast<size_t>(silos_with_user[u]) * dim));
-    });
-    pool_->ParallelFor(static_cast<size_t>(num_silos_), [&](size_t si) {
-      const int s = static_cast<int>(si);
-      if (!silo_status[s].ok()) return;  // earlier batch already failed
-      const auto& deltas = clipped_deltas[s];
-      for (int u = u0; u < u1; ++u) {
-        if (deltas[u].empty()) continue;  // user has no records at this silo
-        if (deltas[u].size() != dim) {
-          silo_status[s] = Status::InvalidArgument("delta dimension mismatch");
-          return;
-        }
-        if (histograms_[s][u] == 0) continue;
-        // Per-user scalar base: n_su * r_u * C_LCM mod n (delta encoding
-        // is per coordinate below).
-        BigInt base =
-            user_blinds[u]
-                .ModMul(BigInt(static_cast<int64_t>(histograms_[s][u])), n)
-                .ModMul(c_lcm_mod_n, n);
-        for (size_t d = 0; d < dim; ++d) {
-          auto e = codec_.Encode(deltas[u][d]);
-          if (!e.ok()) {
-            silo_status[s] = e.status();
-            return;
-          }
-          if (e.value().IsZero()) continue;
-          BigInt scalar = e.value().ModMul(base, n);
-          BigInt term =
-              weight_tables[u] != nullptr
-                  ? paillier_->MulPlaintextWithTable(*weight_tables[u], scalar)
-                  : PMulPlaintext(enc_weights[u], scalar);
-          silo_cipher[s][d] = PAddCiphertexts(silo_cipher[s][d], term);
-        }
-      }
-    });
-    for (int u = u0; u < u1; ++u) weight_tables[u].reset();
-  }
-  ULDP_RETURN_IF_ERROR(FirstError(silo_status));
-  // Encoded noise z' = Encode(z) * C_LCM added homomorphically, after all
-  // user terms (same per-coordinate op order as the unbatched sweep).
-  pool_->ParallelFor(static_cast<size_t>(num_silos_), [&](size_t si) {
-    const int s = static_cast<int>(si);
-    for (size_t d = 0; d < dim; ++d) {
-      auto z = codec_.Encode(silo_noise[s][d]);
-      if (!z.ok()) {
-        silo_status[s] = z.status();
-        return;
-      }
-      BigInt z_scaled = z.value().ModMul(c_lcm_mod_n, n);
-      silo_cipher[s][d] = PAddPlaintext(silo_cipher[s][d], z_scaled);
+    if (use_tables) {
+      const PaillierContext* ctx = silos_[0]->eval_context();
+      pool_->ParallelFor(static_cast<size_t>(u1 - u0), [&](size_t i) {
+        const int u = u0 + static_cast<int>(i);
+        if (silos_with_user[u] == 0) return;
+        weight_tables_.Ensure(*ctx, u, enc_weights[u],
+                              static_cast<size_t>(silos_with_user[u]) * dim);
+      });
     }
+    pool_->ParallelFor(static_cast<size_t>(num_silos_), [&](size_t s) {
+      if (!silo_status[s].ok()) return;  // earlier batch already failed
+      silo_status[s] = silos_[s]->AccumulateUsers(
+          u0, u1, enc_weights,
+          use_tables ? &weight_tables_.tables() : nullptr,
+          clipped_deltas[s], &silo_ciphers[s], *pool_);
+    });
+    ULDP_RETURN_IF_ERROR(FirstError(silo_status));
+    if (use_tables && !keep_tables) weight_tables_.DropRange(u0, u1);
+  }
+  pool_->ParallelFor(static_cast<size_t>(num_silos_), [&](size_t s) {
+    silo_status[s] = silos_[s]->FinishRound(round, silo_noise[s],
+                                            &silo_ciphers[s], *pool_);
   });
   ULDP_RETURN_IF_ERROR(FirstError(silo_status));
   timings_.silo_weighting_s += SecondsSince(t0);
 
-  // -- Weighting (c): secure aggregation over ciphertexts -----------------
-  // Every (silo, coordinate) mask is an independent PRF evaluation, so the
-  // generation + application sweep is flattened over silos × dim rather
-  // than silos alone — with few silos and many coordinates the silo-level
-  // loop left most workers idle.
+  // -- Weighting (c), server side: ciphertext product (masks cancel)...
   t0 = Clock::now();
-  const uint64_t weighting_tag = MakeMaskTag(MaskPhase::kRoundWeighting, round);
-  pool_->ParallelFor(static_cast<size_t>(num_silos_) * dim, [&](size_t i) {
-    const int s = static_cast<int>(i / dim);
-    const size_t d = i % dim;
-    BigInt mask(0);
-    for (int other = 0; other < num_silos_; ++other) {
-      if (other == s) continue;
-      BigInt m = PairMask(s, other, weighting_tag, static_cast<int>(d));
-      mask = s < other ? mask.ModAdd(m, n) : mask.ModSub(m, n);
-    }
-    silo_cipher[s][d] = PAddPlaintext(silo_cipher[s][d], mask);
-  });
-  // Server-side ciphertext product: coordinates are independent; the silo
-  // sum inside each coordinate keeps its fixed order.
-  std::vector<BigInt> product(dim, BigInt(1));
-  pool_->ParallelFor(dim, [&](size_t d) {
-    for (int s = 0; s < num_silos_; ++s) {
-      product[d] = PAddCiphertexts(product[d], silo_cipher[s][d]);
-    }
-  });
+  auto product = server_->AggregateCiphertexts(silo_ciphers, *pool_);
+  if (!product.ok()) return product.status();
   timings_.aggregation_s += SecondsSince(t0);
 
-  // Server decrypts and decodes (the only value it ever sees in the clear).
+  // ...then decrypt and decode (the only value the server sees in the
+  // clear).
   t0 = Clock::now();
-  Vec out(dim, 0.0);
-  std::vector<Status> dim_status(dim, Status::Ok());
-  // CRT decryption (mod p^2 / q^2 with half-size exponents) on the fast
-  // path — the per-coordinate loop this protocol's decryption phase spends
-  // its time in.
-  pool_->ParallelFor(dim, [&](size_t d) {
-    auto plain = PDecrypt(product[d]);
-    if (!plain.ok()) {
-      dim_status[d] = plain.status();
-      return;
-    }
-    out[d] = codec_.Decode(plain.value(), c_lcm_);
-  });
-  ULDP_RETURN_IF_ERROR(FirstError(dim_status));
+  auto out = server_->DecryptAggregate(product.value(), *pool_);
+  if (!out.ok()) return out.status();
   timings_.decryption_s += SecondsSince(t0);
   return out;
 }

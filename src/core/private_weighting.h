@@ -23,9 +23,14 @@
 //     (c) silos apply pairwise additive masks homomorphically; the server
 //         multiplies the ciphertexts (masks cancel), decrypts and decodes.
 //
-// The per-party views (what each actor received) are recorded so the
-// privacy properties (Theorem 5) can be asserted in tests, and per-phase
-// wall-times are recorded for the Figure 10/11 benchmarks.
+// The phase logic itself lives in core/protocol_party.h (ServerCore +
+// SiloCore): this class is the *in-process orchestrator* that wires one
+// server core to N silo cores with direct calls, records the per-party
+// views (so the privacy properties — Theorem 5 — can be asserted in tests)
+// and per-phase wall-times (Figure 10/11). The distributed driver
+// (net/protocol_node.h) runs the same cores over a Transport; because
+// every core value is derived from Rng::Fork substreams of the seed, a
+// distributed round is bitwise identical to an in-process round.
 
 #ifndef ULDP_CORE_PRIVATE_WEIGHTING_H_
 #define ULDP_CORE_PRIVATE_WEIGHTING_H_
@@ -34,84 +39,20 @@
 #include <vector>
 
 #include "common/parallel.h"
-#include "common/rng.h"
 #include "common/status.h"
-#include "crypto/chacha.h"
-#include "crypto/dh.h"
-#include "crypto/fixed_point.h"
-#include "crypto/oblivious_transfer.h"
-#include "crypto/paillier.h"
-#include "crypto/paillier_ctx.h"
+#include "core/protocol_party.h"
 #include "nn/tensor.h"
 
 namespace uldp {
-
-struct ProtocolConfig {
-  /// Paillier modulus bits (the paper's security parameter lambda is 3072;
-  /// tests and the scaled-down benches use smaller).
-  int paillier_bits = 1024;
-  /// Upper bound N_max on records per user; C_LCM = lcm(1..N_max). Must be
-  /// small enough that C_LCM plus slack fits below the modulus (Theorem 4
-  /// condition (2)) — validated in Setup.
-  int n_max = 100;
-  /// Fixed-point precision P.
-  double precision = 1e-10;
-  uint64_t seed = 7;
-  /// > 0 enables the OT-based private user-level sub-sampling extension
-  /// (§4.1): the server offers P ciphertext slots per user (real Enc(B_inv)
-  /// in a q-fraction of them after a private shuffle, Enc(0) in the rest)
-  /// and silos fetch one slot via 1-out-of-P OT, so neither side learns the
-  /// sampling outcome. The value is P (the slot count); representable
-  /// rates are multiples of 1/P. In OT mode silos cannot skip unsampled
-  /// users (they do not know who is sampled), which is exactly the extra
-  /// cost §4.1 warns about.
-  int ot_slots = 0;
-  /// Sub-sampling rate used in OT mode (quantized to multiples of
-  /// 1/ot_slots). Ignored when ot_slots == 0 (the server-side mask passed
-  /// to WeightingRound is used instead).
-  double ot_sample_rate = 1.0;
-  /// Bit size of the safe-prime DH group backing the OT (simulation-scale
-  /// default; a deployment would use a standardized group).
-  int ot_group_bits = 384;
-  /// Thread count for the protocol's parallel phases (per-user weight
-  /// encryption, per-silo encrypted weighting and masking, per-coordinate
-  /// aggregation and decryption). <= 0 resolves via ULDP_THREADS env /
-  /// hardware concurrency. Results are bitwise independent of this value:
-  /// all encryption randomness comes from Rng::Fork(round, user)
-  /// substreams and reductions run in fixed index order.
-  int num_threads = 0;
-  /// Route Paillier work through the cached-context fast path (long-lived
-  /// Montgomery contexts, CRT decryption, batched randomizer pipeline).
-  /// The slow path (static Paillier shim, classic decryption) produces
-  /// bitwise-identical round outputs; the switch exists so the micro bench
-  /// can measure the speedup of a full protocol round before/after.
-  bool fast_paillier = true;
-  /// Use per-user fixed-base exponentiation tables in the silo-weighting
-  /// loop: all `dim` MulPlaintext calls for one user share the base
-  /// Enc(B_inv(N_u)), so one precomputed window table per user turns each
-  /// coordinate's exponentiation into squaring-free table multiplies
-  /// (math/fixed_base.h). Effective only with fast_paillier; outputs are
-  /// bitwise identical either way — the switch exists so the micro bench
-  /// can measure the weighting phase before/after.
-  bool fixed_base = true;
-};
 
 /// Wall-clock seconds per protocol phase (Figure 10/11 measurements).
 struct ProtocolTimings {
   double key_exchange_s = 0.0;   // setup (a)-(c)
   double histogram_s = 0.0;      // setup (d)-(f)
   double encrypt_weights_s = 0.0;  // weighting (a), per round, accumulated
-  double silo_weighting_s = 0.0;   // weighting (b), summed over silos
-  double aggregation_s = 0.0;      // weighting (c): masking + server product
+  double silo_weighting_s = 0.0;   // weighting (b)+(c) silo side, summed
+  double aggregation_s = 0.0;      // weighting (c): server ciphertext product
   double decryption_s = 0.0;       // server decrypt + decode
-};
-
-/// What the server observed (for privacy assertions).
-struct ServerProtocolView {
-  /// Doubly blinded per-silo histograms as received in setup (e).
-  std::vector<std::vector<BigInt>> doubly_blinded_histograms;  // [silo][user]
-  /// Aggregated blinded totals B(N_u) = r_u * N_u mod n.
-  std::vector<BigInt> blinded_totals;  // [user]
 };
 
 /// What silo s observed.
@@ -150,52 +91,42 @@ class PrivateWeightingProtocol {
   const std::vector<bool>& last_ot_mask() const { return last_ot_mask_; }
 
   const ProtocolTimings& timings() const { return timings_; }
-  const ServerProtocolView& server_view() const { return server_view_; }
+  const ServerProtocolView& server_view() const { return server_->view(); }
   const SiloProtocolView& silo_view(int s) const { return silo_views_[s]; }
-  const PaillierPublicKey& public_key() const { return public_key_; }
-  const BigInt& c_lcm() const { return c_lcm_; }
+  const PaillierPublicKey& public_key() const {
+    return server_->params().public_key;
+  }
+  const BigInt& c_lcm() const { return server_->params().c_lcm; }
   bool setup_done() const { return setup_done_; }
 
+  /// Cache counters (config.cache_enc_weights): rounds that reused the
+  /// previous ciphertext vector, and per-user fixed-base tables reused
+  /// across rounds. Both stay 0 with the default config.
+  uint64_t enc_weight_cache_hits() const {
+    return server_->enc_weight_cache_hits();
+  }
+  uint64_t weight_table_cache_hits() const { return weight_tables_.hits(); }
+
  private:
-  /// Blind r_u for user u, derived from the silo-shared seed R.
-  BigInt BlindOf(int user) const;
-  /// Pairwise additive histogram/ciphertext mask between silos a and b.
-  BigInt PairMask(int silo_a, int silo_b, uint64_t tag, int user) const;
-
-  // Paillier operations, routed through the cached context
-  // (config_.fast_paillier) or the static cold-path shim. Results are
-  // bitwise identical either way.
-  Result<BigInt> PEncrypt(const BigInt& m, Rng& rng) const;
-  Result<BigInt> PDecrypt(const BigInt& c) const;
-  BigInt PAddCiphertexts(const BigInt& c1, const BigInt& c2) const;
-  BigInt PAddPlaintext(const BigInt& c, const BigInt& k) const;
-  BigInt PMulPlaintext(const BigInt& c, const BigInt& k) const;
-
   ProtocolConfig config_;
   int num_silos_;
   int num_users_;
+  PoolHandle pool_;
 
-  // Server state.
-  PaillierPublicKey public_key_;
-  PaillierSecretKey secret_key_;
-  /// Cached-context fast path for the key pair (built in Setup).
-  std::unique_ptr<PaillierContext> paillier_;
-  std::vector<BigInt> b_inv_;  // B_inv(N_u), server-side
-  // Silo-shared state (the server never holds these).
-  ChaChaRng::Key shared_seed_key_;                      // from R
-  std::vector<std::vector<ChaChaRng::Key>> pair_keys_;  // [s][s'] DH-derived
-  std::vector<std::vector<int>> histograms_;            // silo-private n_su
-  BigInt c_lcm_;
-  FixedPointCodec codec_{BigInt(5), 1e-10};  // re-initialized in Setup
+  std::unique_ptr<ServerCore> server_;
+  std::vector<std::unique_ptr<SiloCore>> silos_;
+  std::vector<std::vector<int>> histograms_;  // for table-use sizing
+
+  // In-process shared fixed-base tables: every silo raises the SAME
+  // ciphertext Enc(B_inv(N_u)), so the orchestrator builds one table per
+  // user per batch and all silo cores consume it read-only (a distributed
+  // silo builds its own inside WeightMaskRound). Entries persist across
+  // rounds only under config.cache_enc_weights, keyed by the ciphertext.
+  WeightTableCache weight_tables_;
 
   bool setup_done_ = false;
-  Rng rng_;
-  PoolHandle pool_;
   ProtocolTimings timings_;
-  ServerProtocolView server_view_;
   std::vector<SiloProtocolView> silo_views_;
-  // OT-mode state.
-  DhGroup ot_group_;
   std::vector<bool> last_ot_mask_;
 };
 

@@ -1,0 +1,815 @@
+#include "core/protocol_party.h"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+#include "common/check.h"
+#include "core/mask_tags.h"
+
+namespace uldp {
+
+namespace {
+
+/// Theorem 4 condition (2): the worst-case integer magnitude
+///   sum_s sum_u |E| n_su (C_LCM / N_u) + |S| |Z| C_LCM
+/// must stay below n/2 (signed fixed-point headroom). |E|,|Z| < 2^63 by
+/// the Encode range check.
+Status CheckTheorem4Bound(const ProtocolConfig& config, int num_silos,
+                          int num_users, const BigInt& c_lcm,
+                          const BigInt& n) {
+  BigInt e_max = BigInt(1) << 63;
+  BigInt bound =
+      c_lcm * e_max *
+      BigInt(static_cast<uint64_t>(num_silos) *
+             (static_cast<uint64_t>(num_users) * config.n_max + 1));
+  if (bound >= n >> 1) {
+    return Status::FailedPrecondition(
+        "Theorem 4 overflow condition violated: increase paillier_bits or "
+        "decrease n_max (C_LCM has " +
+        std::to_string(c_lcm.BitLength()) + " bits, modulus " +
+        std::to_string(n.BitLength()) + ")");
+  }
+  return Status::Ok();
+}
+
+uint64_t SlotCounter(size_t user, size_t slot) {
+  return (static_cast<uint64_t>(user) << 32) | static_cast<uint64_t>(slot);
+}
+
+}  // namespace
+
+int OtRealSlots(const ProtocolConfig& config) {
+  return static_cast<int>(
+      std::max(0.0, std::min(1.0, config.ot_sample_rate)) * config.ot_slots +
+      0.5);
+}
+
+Status ProtocolParams::Derive() {
+  if (num_silos < 2 || num_users < 1) {
+    return Status::InvalidArgument("protocol needs >= 2 silos and >= 1 user");
+  }
+  if (public_key.n.IsZero()) {
+    return Status::InvalidArgument("protocol params missing Paillier modulus");
+  }
+  public_key.n_squared = public_key.n * public_key.n;
+  public_key.modulus_bits = public_key.n.BitLength();
+  c_lcm = LcmUpTo(static_cast<uint64_t>(config.n_max));
+  codec = FixedPointCodec(public_key.n, config.precision);
+  if (config.ot_slots > 0) {
+    if (ot_group.p.IsZero() || ot_group.g.IsZero()) {
+      return Status::InvalidArgument("OT mode requires the OT group");
+    }
+    ot_group.EnsureGeneratorTable();
+  }
+  return CheckTheorem4Bound(config, num_silos, num_users, c_lcm,
+                            public_key.n);
+}
+
+// ---------------------------------------------------------------------------
+// ServerCore
+
+ServerCore::ServerCore(const ProtocolConfig& config, int num_silos,
+                       int num_users)
+    : root_(config.seed) {
+  ULDP_CHECK_GE(num_silos, 2);
+  ULDP_CHECK_GE(num_users, 1);
+  ULDP_CHECK_GE(config.n_max, 1);
+  params_.config = config;
+  params_.num_silos = num_silos;
+  params_.num_users = num_users;
+}
+
+Status ServerCore::GenerateKeys(ThreadPool& pool) {
+  const ProtocolConfig& config = params_.config;
+  // The key is a pure function of the seed: the keygen entropy comes from a
+  // dedicated Fork substream, so nothing else the server (or any silo)
+  // draws can shift it.
+  Rng keygen_rng = root_.Fork(0, 0, kRngStreamKeygen);
+  ULDP_RETURN_IF_ERROR(Paillier::GenerateKeyPair(config.paillier_bits,
+                                                 keygen_rng,
+                                                 &params_.public_key,
+                                                 &secret_key_, &pool));
+  if (config.fast_paillier) {
+    paillier_ =
+        std::make_unique<PaillierContext>(params_.public_key, secret_key_);
+  }
+  if (config.ot_slots > 0) {
+    Rng ot_rng = root_.Fork(0, 0, kRngStreamOtGroup);
+    params_.ot_group =
+        DhGroup::GenerateSafePrimeGroup(config.ot_group_bits, ot_rng);
+  }
+  ULDP_RETURN_IF_ERROR(params_.Derive());
+  view_.doubly_blinded_histograms.assign(params_.num_silos, {});
+  histogram_absorbed_.assign(params_.num_silos, false);
+  keys_done_ = true;
+  return Status::Ok();
+}
+
+Status ServerCore::AbsorbBlindedHistogram(int silo,
+                                          std::vector<BigInt> blinded) {
+  if (!keys_done_) {
+    return Status::FailedPrecondition("GenerateKeys() has not run");
+  }
+  if (silo < 0 || silo >= params_.num_silos) {
+    return Status::InvalidArgument("blinded histogram from unknown silo " +
+                                   std::to_string(silo));
+  }
+  if (static_cast<int>(blinded.size()) != params_.num_users) {
+    return Status::InvalidArgument("blinded histogram size != user count");
+  }
+  for (const BigInt& b : blinded) {
+    if (b.IsNegative() || b >= params_.public_key.n) {
+      return Status::InvalidArgument(
+          "blinded histogram entry outside the field");
+    }
+  }
+  view_.doubly_blinded_histograms[silo] = std::move(blinded);
+  histogram_absorbed_[silo] = true;
+  return Status::Ok();
+}
+
+Status ServerCore::FinalizeSetup() {
+  if (!keys_done_) {
+    return Status::FailedPrecondition("GenerateKeys() has not run");
+  }
+  for (int s = 0; s < params_.num_silos; ++s) {
+    if (!histogram_absorbed_[s]) {
+      return Status::FailedPrecondition("silo " + std::to_string(s) +
+                                        " has not sent its histogram");
+    }
+  }
+  const BigInt& n = params_.public_key.n;
+  // B(N_u) = sum_s B'(n_su) = r_u * N_u mod n (pairwise masks cancel).
+  view_.blinded_totals.assign(params_.num_users, BigInt(0));
+  for (int u = 0; u < params_.num_users; ++u) {
+    BigInt acc(0);
+    for (int s = 0; s < params_.num_silos; ++s) {
+      acc = acc.ModAdd(view_.doubly_blinded_histograms[s][u], n);
+    }
+    view_.blinded_totals[u] = std::move(acc);
+  }
+  b_inv_.assign(params_.num_users, BigInt(0));
+  for (int u = 0; u < params_.num_users; ++u) {
+    const BigInt& bt = view_.blinded_totals[u];
+    if (bt.IsZero()) {
+      // N_u = 0: the user holds no records anywhere; weight stays zero.
+      continue;
+    }
+    auto inv = bt.ModInverse(n);
+    if (!inv.ok()) return inv.status();
+    b_inv_[u] = std::move(inv.value());
+  }
+  setup_done_ = true;
+  return Status::Ok();
+}
+
+Result<BigInt> ServerCore::PEncrypt(const BigInt& m, Rng& rng) const {
+  return params_.config.fast_paillier
+             ? paillier_->Encrypt(m, rng)
+             : Paillier::Encrypt(params_.public_key, m, rng);
+}
+
+Result<BigInt> ServerCore::PDecrypt(const BigInt& c) const {
+  return params_.config.fast_paillier
+             ? paillier_->Decrypt(c)
+             : Paillier::Decrypt(params_.public_key, secret_key_, c);
+}
+
+Result<std::vector<BigInt>> ServerCore::EncryptWeights(
+    uint64_t round, const std::vector<bool>& user_sampled, ThreadPool& pool) {
+  if (!setup_done_) {
+    return Status::FailedPrecondition("setup has not completed");
+  }
+  if (params_.config.ot_slots > 0) {
+    return Status::FailedPrecondition(
+        "OT mode derives the sampling mask privately; use OtSenderInit");
+  }
+  const int num_users = params_.num_users;
+  if (static_cast<int>(user_sampled.size()) != num_users) {
+    return Status::InvalidArgument("sampling mask size mismatch");
+  }
+  if (params_.config.cache_enc_weights && cache_valid_ &&
+      cached_mask_ == user_sampled) {
+    ++enc_cache_hits_;
+    return cached_enc_;
+  }
+  std::vector<BigInt> enc_weights(num_users);
+  if (params_.config.fast_paillier) {
+    // Randomizer pipeline: r^n mod n^2 is plaintext-independent, so
+    // EncryptBatch batch-computes one randomizer per user on the pool
+    // (drawing r from the same Fork(round, user) substream, in the same
+    // order, as a direct Encrypt would), then encryption itself is a
+    // single modular multiply per user.
+    std::vector<BigInt> plains(num_users);
+    for (int u = 0; u < num_users; ++u) {
+      if (user_sampled[u]) plains[u] = b_inv_[u];
+    }
+    auto batch = paillier_->EncryptBatch(
+        plains,
+        [&](size_t u) {
+          return root_.Fork(round, static_cast<uint64_t>(u),
+                            kRngStreamEncrypt);
+        },
+        pool);
+    if (!batch.ok()) return batch.status();
+    enc_weights = std::move(batch.value());
+  } else {
+    std::vector<Status> user_status(num_users, Status::Ok());
+    pool.ParallelFor(static_cast<size_t>(num_users), [&](size_t ui) {
+      const int u = static_cast<int>(ui);
+      Rng user_rng = root_.Fork(round, static_cast<uint64_t>(u),
+                                kRngStreamEncrypt);
+      BigInt plain = user_sampled[u] ? b_inv_[u] : BigInt(0);
+      auto c = Paillier::Encrypt(params_.public_key, plain, user_rng);
+      if (!c.ok()) {
+        user_status[u] = c.status();
+        return;
+      }
+      enc_weights[u] = std::move(c.value());
+    });
+    ULDP_RETURN_IF_ERROR(FirstError(user_status));
+  }
+  if (params_.config.cache_enc_weights) {
+    cached_enc_ = enc_weights;
+    cached_mask_ = user_sampled;
+    cache_valid_ = true;
+  }
+  return enc_weights;
+}
+
+Result<std::vector<OtSenderPublic>> ServerCore::OtSenderInit(uint64_t round,
+                                                             ThreadPool& pool) {
+  if (!setup_done_) {
+    return Status::FailedPrecondition("setup has not completed");
+  }
+  const ProtocolConfig& config = params_.config;
+  if (config.ot_slots <= 0) {
+    return Status::FailedPrecondition("OT mode is disabled");
+  }
+  const int num_users = params_.num_users;
+  const size_t n_slots = static_cast<size_t>(config.ot_slots);
+  ObliviousTransfer ot(params_.ot_group, n_slots);
+
+  // Flat (user × (slot + 1)) sweep: lanes [0, slots) sample the per-slot
+  // group elements C_i; the extra lane draws the sender secret r and runs
+  // the A = g^r exponentiation, so sender-side exponentiations parallelize
+  // across slots AND users even when one user dominates.
+  std::vector<std::vector<BigInt>> slot_elems(num_users,
+                                              std::vector<BigInt>(n_slots));
+  std::vector<BigInt> secrets(num_users), elements(num_users);
+  pool.ParallelFor(
+      static_cast<size_t>(num_users) * (n_slots + 1), [&](size_t i) {
+        const size_t u = i / (n_slots + 1), lane = i % (n_slots + 1);
+        if (lane < n_slots) {
+          Rng rng = root_.Fork(round, SlotCounter(u, lane),
+                               kRngStreamOtSlotElem);
+          slot_elems[u][lane] = ot.SampleSlotElement(rng);
+        } else {
+          Rng rng = root_.Fork(round, static_cast<uint64_t>(u),
+                               kRngStreamOtSender);
+          secrets[u] = ot.SampleSenderSecret(rng);
+          elements[u] = ot.SenderElement(secrets[u]);
+        }
+      });
+
+  // Per-user assembly plus the private real/dummy slot shuffle.
+  ot_senders_.assign(num_users, {});
+  ot_perms_.assign(num_users, {});
+  pool.ParallelFor(static_cast<size_t>(num_users), [&](size_t u) {
+    ot_senders_[u] = ot.AssembleSender(std::move(slot_elems[u]),
+                                       std::move(secrets[u]),
+                                       std::move(elements[u]));
+    ot_perms_[u].resize(config.ot_slots);
+    std::iota(ot_perms_[u].begin(), ot_perms_[u].end(), 0);
+    Rng shuffle_rng = root_.Fork(round, static_cast<uint64_t>(u),
+                                 kRngStreamOtShuffle);
+    shuffle_rng.Shuffle(ot_perms_[u]);
+  });
+  ot_round_ = round;
+  ot_pending_ = true;
+
+  std::vector<OtSenderPublic> publics(num_users);
+  for (int u = 0; u < num_users; ++u) {
+    publics[u].c = ot_senders_[u].c;
+    publics[u].a = ot_senders_[u].a;
+  }
+  return publics;
+}
+
+Result<std::vector<std::vector<std::vector<uint8_t>>>>
+ServerCore::OtEncryptSlots(uint64_t round,
+                           const std::vector<BigInt>& receiver_bs,
+                           ThreadPool& pool) {
+  if (!ot_pending_ || ot_round_ != round) {
+    return Status::FailedPrecondition(
+        "OtEncryptSlots without a matching OtSenderInit");
+  }
+  const int num_users = params_.num_users;
+  if (static_cast<int>(receiver_bs.size()) != num_users) {
+    return Status::InvalidArgument("OT receiver message count mismatch");
+  }
+  const size_t n_slots = static_cast<size_t>(params_.config.ot_slots);
+  const int real_slots = OtRealSlots(params_.config);
+  const size_t clen = static_cast<size_t>(
+                          (params_.public_key.n_squared.BitLength() + 7) / 8) +
+                      8;
+  ObliviousTransfer ot(params_.ot_group, n_slots);
+
+  // Per-user B^{-1}, amortized across the user's slots.
+  std::vector<BigInt> b_invs(num_users);
+  std::vector<Status> user_status(num_users, Status::Ok());
+  pool.ParallelFor(static_cast<size_t>(num_users), [&](size_t u) {
+    auto inv = ot.InvertReceiverMessage(receiver_bs[u]);
+    if (!inv.ok()) {
+      user_status[u] = inv.status();
+      return;
+    }
+    b_invs[u] = std::move(inv.value());
+  });
+  ULDP_RETURN_IF_ERROR(FirstError(user_status));
+
+  // Flat (user × slot) sweep: one Paillier encryption plus one OT pad
+  // exponentiation per lane, each on its own Fork substream.
+  std::vector<std::vector<std::vector<uint8_t>>> encrypted(
+      num_users, std::vector<std::vector<uint8_t>>(n_slots));
+  std::vector<Status> slot_status(static_cast<size_t>(num_users) * n_slots,
+                                  Status::Ok());
+  pool.ParallelFor(
+      static_cast<size_t>(num_users) * n_slots, [&](size_t i) {
+        const size_t u = i / n_slots, slot = i % n_slots;
+        Rng enc_rng = root_.Fork(round, SlotCounter(u, slot),
+                                 kRngStreamOtSlotEnc);
+        const bool real = ot_perms_[u][slot] < real_slots;
+        auto c = PEncrypt(real ? b_inv_[u] : BigInt(0), enc_rng);
+        if (!c.ok()) {
+          slot_status[i] = c.status();
+          return;
+        }
+        encrypted[u][slot] = ot.SenderEncryptSlot(
+            ot_senders_[u], b_invs[u], c.value().ToBytesLE(clen), slot);
+      });
+  ULDP_RETURN_IF_ERROR(FirstError(slot_status));
+  return encrypted;
+}
+
+Result<std::vector<BigInt>> ServerCore::AggregateCiphertexts(
+    const std::vector<std::vector<BigInt>>& silo_ciphers,
+    ThreadPool& pool) const {
+  if (!setup_done_) {
+    return Status::FailedPrecondition("setup has not completed");
+  }
+  if (static_cast<int>(silo_ciphers.size()) != params_.num_silos) {
+    return Status::InvalidArgument("cipher count != silo count");
+  }
+  const size_t dim = silo_ciphers[0].size();
+  for (const auto& c : silo_ciphers) {
+    if (c.size() != dim) {
+      return Status::InvalidArgument("silo cipher dimension mismatch");
+    }
+    for (const BigInt& x : c) {
+      if (x.IsNegative() || x >= params_.public_key.n_squared) {
+        return Status::InvalidArgument("silo ciphertext outside Z_{n^2}");
+      }
+    }
+  }
+  std::vector<BigInt> product(dim, BigInt(1));
+  pool.ParallelFor(dim, [&](size_t d) {
+    for (int s = 0; s < params_.num_silos; ++s) {
+      product[d] = Paillier::AddCiphertexts(params_.public_key, product[d],
+                                            silo_ciphers[s][d]);
+    }
+  });
+  return product;
+}
+
+Result<Vec> ServerCore::DecryptAggregate(const std::vector<BigInt>& product,
+                                         ThreadPool& pool) const {
+  if (!setup_done_) {
+    return Status::FailedPrecondition("setup has not completed");
+  }
+  const size_t dim = product.size();
+  Vec out(dim, 0.0);
+  std::vector<Status> dim_status(dim, Status::Ok());
+  pool.ParallelFor(dim, [&](size_t d) {
+    auto plain = PDecrypt(product[d]);
+    if (!plain.ok()) {
+      dim_status[d] = plain.status();
+      return;
+    }
+    out[d] = params_.codec.Decode(plain.value(), params_.c_lcm);
+  });
+  ULDP_RETURN_IF_ERROR(FirstError(dim_status));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// SiloCore
+
+SiloCore::SiloCore(ProtocolParams params, int silo_id,
+                   std::vector<int> histogram)
+    : params_(std::move(params)),
+      silo_id_(silo_id),
+      histogram_(std::move(histogram)),
+      root_(params_.config.seed) {
+  ULDP_CHECK_GE(silo_id_, 0);
+  ULDP_CHECK_LT(silo_id_, params_.num_silos);
+  ULDP_CHECK_EQ(histogram_.size(), static_cast<size_t>(params_.num_users));
+  if (params_.config.fast_paillier) {
+    paillier_ = std::make_unique<PaillierContext>(params_.public_key);
+  }
+  dh_group_ = DhGroup::Rfc3526Modp2048();
+  // The key pair is a pure function of (seed, silo id): the distributed
+  // silo derives exactly the pair the in-process simulation would.
+  Rng dh_rng = root_.Fork(0, static_cast<uint64_t>(silo_id_), kRngStreamDhKey);
+  dh_key_ = GenerateDhKeyPair(dh_group_, dh_rng);
+}
+
+Status SiloCore::ComputePairKeys(const std::vector<BigInt>& dh_publics) {
+  if (static_cast<int>(dh_publics.size()) != params_.num_silos) {
+    return Status::InvalidArgument("DH directory size != silo count");
+  }
+  if (dh_publics[silo_id_] != dh_key_.public_key) {
+    return Status::InvalidArgument(
+        "DH directory does not contain this silo's public key");
+  }
+  pair_keys_.assign(params_.num_silos, ChaChaRng::Key{});
+  for (int peer = 0; peer < params_.num_silos; ++peer) {
+    if (peer == silo_id_) continue;
+    auto shared = ComputeSharedSecret(dh_group_, dh_key_.secret_key,
+                                      dh_publics[peer]);
+    if (!shared.ok()) return shared.status();
+    pair_keys_[peer] = ChaChaRng::DeriveKey(DeriveSharedSeedMaterial(
+        shared.value(), "pairmask", silo_id_, peer));
+  }
+  pair_keys_done_ = true;
+  return Status::Ok();
+}
+
+BigInt SiloCore::MakeSharedSeed() const {
+  Rng seed_rng = root_.Fork(0, 0, kRngStreamSharedSeed);
+  return BigInt::RandomBits(256, seed_rng);
+}
+
+void SiloCore::SetSharedSeed(const BigInt& r_seed) {
+  shared_seed_key_ =
+      ChaChaRng::DeriveKey("uldp-shared-seed|" + r_seed.ToHex());
+  seed_set_ = true;
+}
+
+Result<std::vector<uint8_t>> SiloCore::PairStreamXor(
+    int peer, uint64_t tag, uint32_t stream_id,
+    std::vector<uint8_t> data) const {
+  if (!pair_keys_done_) {
+    return Status::FailedPrecondition("pairwise keys not derived yet");
+  }
+  if (peer < 0 || peer >= params_.num_silos || peer == silo_id_) {
+    return Status::InvalidArgument("invalid relay peer " +
+                                   std::to_string(peer));
+  }
+  ChaChaRng stream(pair_keys_[peer], ChaChaRng::MakeNonce(tag, stream_id));
+  size_t i = 0;
+  while (i < data.size()) {
+    uint64_t block = stream.NextUint64();
+    for (int b = 0; b < 8 && i < data.size(); ++b, ++i) {
+      data[i] ^= static_cast<uint8_t>(block >> (8 * b));
+    }
+  }
+  return data;
+}
+
+BigInt SiloCore::BlindOf(int user) const {
+  // All silos derive the same r_u from the shared seed R; the server never
+  // learns R. r_u must be a unit of F_n — overwhelmingly likely (Eq. 4 of
+  // the paper); regenerate with a counter otherwise.
+  const BigInt& n = params_.public_key.n;
+  for (uint32_t attempt = 0;; ++attempt) {
+    ChaChaRng stream(shared_seed_key_,
+                     ChaChaRng::MakeNonce(
+                         MakeMaskTag(MaskPhase::kUserBlind,
+                                     static_cast<uint64_t>(user)),
+                         /*stream_id=*/attempt));
+    BigInt r = stream.UniformBelow(n);
+    if (!r.IsZero() && BigInt::Gcd(r, n) == BigInt(1)) return r;
+  }
+}
+
+BigInt SiloCore::PairMask(int peer, uint64_t tag, int index) const {
+  ChaChaRng stream(pair_keys_[peer],
+                   ChaChaRng::MakeNonce(tag, static_cast<uint32_t>(index)));
+  return stream.UniformBelow(params_.public_key.n);
+}
+
+Result<std::vector<BigInt>> SiloCore::BlindHistogram(ThreadPool& pool) const {
+  if (!pair_keys_done_ || !seed_set_) {
+    return Status::FailedPrecondition(
+        "histogram blinding requires pair keys and the shared seed");
+  }
+  const BigInt& n = params_.public_key.n;
+  const int num_users = params_.num_users;
+  const uint64_t histogram_tag =
+      MakeMaskTag(MaskPhase::kHistogramBlind, /*round=*/0);
+  std::vector<BigInt> blinded(num_users);
+  std::vector<Status> user_status(num_users, Status::Ok());
+  pool.ParallelFor(static_cast<size_t>(num_users), [&](size_t ui) {
+    const int u = static_cast<int>(ui);
+    if (histogram_[u] < 0) {
+      user_status[u] = Status::InvalidArgument("negative histogram entry");
+      return;
+    }
+    BigInt b = BlindOf(u).ModMul(
+        BigInt(static_cast<int64_t>(histogram_[u])), n);
+    // Pairwise additive masks (setup e): +mask toward larger peers,
+    // -mask toward smaller, so the server-side sum cancels them.
+    for (int other = 0; other < params_.num_silos; ++other) {
+      if (other == silo_id_) continue;
+      BigInt m = PairMask(other, histogram_tag, u);
+      b = silo_id_ < other ? b.ModAdd(m, n) : b.ModSub(m, n);
+    }
+    blinded[u] = std::move(b);
+  });
+  ULDP_RETURN_IF_ERROR(FirstError(user_status));
+  return blinded;
+}
+
+Result<std::vector<BigInt>> SiloCore::OtReceiverChoose(
+    uint64_t round, const std::vector<OtSenderPublic>& senders,
+    ThreadPool& pool) {
+  if (!seed_set_) {
+    return Status::FailedPrecondition("shared seed not set");
+  }
+  const ProtocolConfig& config = params_.config;
+  if (config.ot_slots <= 0) {
+    return Status::FailedPrecondition("OT mode is disabled");
+  }
+  const int num_users = params_.num_users;
+  if (static_cast<int>(senders.size()) != num_users) {
+    return Status::InvalidArgument("OT sender message count mismatch");
+  }
+  const size_t n_slots = static_cast<size_t>(config.ot_slots);
+  for (const auto& s : senders) {
+    if (s.c.size() != n_slots) {
+      return Status::InvalidArgument("OT sender slot count mismatch");
+    }
+  }
+  ObliviousTransfer ot(params_.ot_group, n_slots);
+  const uint64_t choice_tag = MakeMaskTag(MaskPhase::kOtSlotChoice, round);
+  ot_ks_.assign(num_users, BigInt(0));
+  ot_sigmas_.assign(num_users, 0);
+  std::vector<BigInt> bs(num_users);
+  std::vector<Status> user_status(num_users, Status::Ok());
+  pool.ParallelFor(static_cast<size_t>(num_users), [&](size_t ui) {
+    const int u = static_cast<int>(ui);
+    // Shared-seed slot choice: identical across silos, hidden from the
+    // server and — post-shuffle — uninformative to the silos.
+    ChaChaRng choice(shared_seed_key_,
+                     ChaChaRng::MakeNonce(choice_tag,
+                                          static_cast<uint32_t>(u)));
+    const size_t sigma = choice.NextUint64() % n_slots;
+    Rng krng = root_.Fork(round, static_cast<uint64_t>(u),
+                          kRngStreamOtReceiver);
+    auto state = ot.ReceiverCommit(senders[u].c[sigma], sigma, krng);
+    if (!state.ok()) {
+      user_status[u] = state.status();
+      return;
+    }
+    ot_ks_[u] = std::move(state.value().k);
+    ot_sigmas_[u] = sigma;
+    bs[u] = std::move(state.value().b);
+  });
+  ULDP_RETURN_IF_ERROR(FirstError(user_status));
+  ot_round_ = round;
+  ot_pending_ = true;
+  return bs;
+}
+
+Result<std::vector<BigInt>> SiloCore::OtReceiverDecrypt(
+    uint64_t round, const std::vector<OtSenderPublic>& senders,
+    const std::vector<std::vector<std::vector<uint8_t>>>& encrypted,
+    ThreadPool& pool) {
+  if (!ot_pending_ || ot_round_ != round) {
+    return Status::FailedPrecondition(
+        "OtReceiverDecrypt without a matching OtReceiverChoose");
+  }
+  const int num_users = params_.num_users;
+  const size_t n_slots = static_cast<size_t>(params_.config.ot_slots);
+  if (static_cast<int>(senders.size()) != num_users ||
+      static_cast<int>(encrypted.size()) != num_users) {
+    return Status::InvalidArgument("OT ciphertext count mismatch");
+  }
+  for (const auto& e : encrypted) {
+    if (e.size() != n_slots) {
+      return Status::InvalidArgument("OT ciphertext slot count mismatch");
+    }
+  }
+  ObliviousTransfer ot(params_.ot_group, n_slots);
+  std::vector<BigInt> enc_weights(num_users);
+  std::vector<Status> user_status(num_users, Status::Ok());
+  // Flat per-user sweep: the pad exponentiation K = A^k dominates.
+  pool.ParallelFor(static_cast<size_t>(num_users), [&](size_t u) {
+    BigInt key = ot.ReceiverKeyElement(senders[u].a, ot_ks_[u]);
+    std::vector<uint8_t> plain =
+        ot.ApplyPad(key, encrypted[u][ot_sigmas_[u]]);
+    BigInt c = BigInt::FromBytesLE(plain);
+    if (c >= params_.public_key.n_squared) {
+      user_status[u] =
+          Status::InvalidArgument("OT payload outside Z_{n^2}");
+      return;
+    }
+    enc_weights[u] = std::move(c);
+  });
+  ULDP_RETURN_IF_ERROR(FirstError(user_status));
+  return enc_weights;
+}
+
+BigInt SiloCore::PMulPlaintext(const BigInt& c, const BigInt& k) const {
+  return params_.config.fast_paillier
+             ? paillier_->MulPlaintext(c, k)
+             : Paillier::MulPlaintext(params_.public_key, c, k);
+}
+
+void WeightTableCache::BeginRound(int num_users, bool keep) {
+  if (!keep) {
+    tables_.clear();
+    base_.clear();
+  }
+  tables_.resize(num_users);
+  base_.resize(num_users);
+}
+
+const FixedBaseTable* WeightTableCache::Ensure(const PaillierContext& ctx,
+                                               int user,
+                                               const BigInt& enc_weight,
+                                               size_t uses) {
+  if (enc_weight.IsNegative() ||
+      enc_weight >= ctx.public_key().n_squared) {
+    return nullptr;
+  }
+  if (tables_[user] != nullptr && base_[user] == enc_weight) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return tables_[user].get();
+  }
+  tables_[user] = std::make_unique<FixedBaseTable>(
+      ctx.MakeMulPlaintextTable(enc_weight, uses));
+  base_[user] = enc_weight;
+  return tables_[user].get();
+}
+
+void WeightTableCache::DropRange(int u0, int u1) {
+  for (int u = u0; u < u1; ++u) tables_[u].reset();
+}
+
+std::vector<BigInt> SiloCore::NewCipherAccumulator(size_t dim) {
+  return std::vector<BigInt>(dim, BigInt(1));
+}
+
+Status SiloCore::AccumulateUsers(
+    int u0, int u1, const std::vector<BigInt>& enc_weights,
+    const std::vector<std::unique_ptr<FixedBaseTable>>* tables,
+    const std::vector<Vec>& deltas, std::vector<BigInt>* cipher,
+    ThreadPool& pool) const {
+  if (!seed_set_) {
+    return Status::FailedPrecondition("weighting requires the shared seed");
+  }
+  const int num_users = params_.num_users;
+  if (static_cast<int>(enc_weights.size()) != num_users) {
+    return Status::InvalidArgument("encrypted weight count mismatch");
+  }
+  if (static_cast<int>(deltas.size()) != num_users) {
+    return Status::InvalidArgument("delta matrix size mismatch");
+  }
+  if (u0 < 0 || u1 > num_users || u0 > u1) {
+    return Status::InvalidArgument("user batch out of range");
+  }
+  const size_t dim = cipher->size();
+  const BigInt& n = params_.public_key.n;
+  const PaillierPublicKey& pk = params_.public_key;
+  const BigInt c_lcm_mod_n = params_.c_lcm.Mod(n);
+
+  // Per-user prep: validation plus the scalar base n_su * r_u * C_LCM
+  // mod n (the delta encoding is per coordinate below).
+  std::vector<Status> prep_status(u1 - u0, Status::Ok());
+  std::vector<BigInt> bases(u1 - u0);
+  std::vector<char> active(u1 - u0, 0);
+  pool.ParallelFor(static_cast<size_t>(u1 - u0), [&](size_t i) {
+    const int u = u0 + static_cast<int>(i);
+    if (deltas[u].empty()) return;  // user has no records at this silo
+    if (deltas[u].size() != dim) {
+      prep_status[i] = Status::InvalidArgument("delta dimension mismatch");
+      return;
+    }
+    if (enc_weights[u].IsNegative() || enc_weights[u] >= pk.n_squared) {
+      prep_status[i] =
+          Status::InvalidArgument("encrypted weight outside Z_{n^2}");
+      return;
+    }
+    if (histogram_[u] == 0) return;
+    active[i] = 1;
+    bases[i] = BlindOf(u)
+                   .ModMul(BigInt(static_cast<int64_t>(histogram_[u])), n)
+                   .ModMul(c_lcm_mod_n, n);
+  });
+  ULDP_RETURN_IF_ERROR(FirstError(prep_status));
+
+  std::vector<Status> dim_status(dim, Status::Ok());
+  pool.ParallelFor(dim, [&](size_t d) {
+    for (int u = u0; u < u1; ++u) {
+      if (!active[u - u0]) continue;
+      auto e = params_.codec.Encode(deltas[u][d]);
+      if (!e.ok()) {
+        dim_status[d] = e.status();
+        return;
+      }
+      if (e.value().IsZero()) continue;
+      BigInt scalar = e.value().ModMul(bases[u - u0], n);
+      const FixedBaseTable* table =
+          tables != nullptr ? (*tables)[u].get() : nullptr;
+      BigInt term = table != nullptr
+                        ? paillier_->MulPlaintextWithTable(*table, scalar)
+                        : PMulPlaintext(enc_weights[u], scalar);
+      (*cipher)[d] = Paillier::AddCiphertexts(pk, (*cipher)[d], term);
+    }
+  });
+  return FirstError(dim_status);
+}
+
+Status SiloCore::FinishRound(uint64_t round, const Vec& noise,
+                             std::vector<BigInt>* cipher,
+                             ThreadPool& pool) const {
+  if (!pair_keys_done_ || !seed_set_) {
+    return Status::FailedPrecondition(
+        "weighting requires pair keys and the shared seed");
+  }
+  if (noise.size() != cipher->size()) {
+    return Status::InvalidArgument("noise dimension mismatch");
+  }
+  const size_t dim = cipher->size();
+  const BigInt& n = params_.public_key.n;
+  const PaillierPublicKey& pk = params_.public_key;
+  const BigInt c_lcm_mod_n = params_.c_lcm.Mod(n);
+  // Encoded noise z' = Encode(z) * C_LCM, then the pairwise additive masks
+  // (weighting (c)); the per-coordinate lanes are independent.
+  const uint64_t weighting_tag =
+      MakeMaskTag(MaskPhase::kRoundWeighting, round);
+  std::vector<Status> dim_status(dim, Status::Ok());
+  pool.ParallelFor(dim, [&](size_t d) {
+    auto z = params_.codec.Encode(noise[d]);
+    if (!z.ok()) {
+      dim_status[d] = z.status();
+      return;
+    }
+    BigInt z_scaled = z.value().ModMul(c_lcm_mod_n, n);
+    (*cipher)[d] = Paillier::AddPlaintext(pk, (*cipher)[d], z_scaled);
+    BigInt mask(0);
+    for (int other = 0; other < params_.num_silos; ++other) {
+      if (other == silo_id_) continue;
+      BigInt m = PairMask(other, weighting_tag, static_cast<int>(d));
+      mask = silo_id_ < other ? mask.ModAdd(m, n) : mask.ModSub(m, n);
+    }
+    (*cipher)[d] = Paillier::AddPlaintext(pk, (*cipher)[d], mask);
+  });
+  return FirstError(dim_status);
+}
+
+Result<std::vector<BigInt>> SiloCore::WeightMaskRound(
+    uint64_t round, const std::vector<BigInt>& enc_weights,
+    const std::vector<Vec>& deltas, const Vec& noise, ThreadPool& pool) {
+  if (!pair_keys_done_ || !seed_set_) {
+    return Status::FailedPrecondition(
+        "weighting requires pair keys and the shared seed");
+  }
+  const int num_users = params_.num_users;
+  const ProtocolConfig& config = params_.config;
+  const size_t dim = noise.size();
+
+  const bool use_tables = config.fast_paillier && config.fixed_base;
+  const bool keep_tables = use_tables && config.cache_enc_weights;
+  table_cache_.BeginRound(num_users, keep_tables);
+
+  // Users are swept in index-ordered batches: each batch builds its
+  // fixed-base tables in parallel, the per-coordinate sweep consumes
+  // them, and (unless the cache keeps them) the batch's tables are freed.
+  // This bounds transient table memory at ~batch * 2 MB worst case
+  // instead of O(num_users); the round output is an exact modular
+  // product, so batching never changes a bit.
+  const int user_batch = use_tables ? 128 : num_users;
+  std::vector<BigInt> cipher = NewCipherAccumulator(dim);
+  for (int u0 = 0; u0 < num_users; u0 += user_batch) {
+    const int u1 = std::min(num_users, u0 + user_batch);
+    if (use_tables) {
+      pool.ParallelFor(static_cast<size_t>(u1 - u0), [&](size_t i) {
+        const int u = u0 + static_cast<int>(i);
+        if (deltas[u].empty() || histogram_[u] == 0) return;
+        table_cache_.Ensure(*paillier_, u, enc_weights[u], dim);
+      });
+    }
+    ULDP_RETURN_IF_ERROR(AccumulateUsers(
+        u0, u1, enc_weights, use_tables ? &table_cache_.tables() : nullptr,
+        deltas, &cipher, pool));
+    if (use_tables && !keep_tables) table_cache_.DropRange(u0, u1);
+  }
+  ULDP_RETURN_IF_ERROR(FinishRound(round, noise, &cipher, pool));
+  return cipher;
+}
+
+}  // namespace uldp

@@ -1,0 +1,380 @@
+// Per-party phase logic for Protocol 1, factored behind message
+// boundaries. ServerCore holds everything the aggregation server computes
+// (Paillier keys, blinded-histogram aggregation, weight encryption, OT
+// sender side, ciphertext aggregation and decryption); SiloCore holds
+// everything one silo computes (DH keys, pairwise masks, histogram
+// blinding, OT receiver side, the encrypted weighted sum). Every value
+// crossing between them is a plain message payload — BigInt vectors, OT
+// flows, byte strings — never shared state.
+//
+// Both the in-process simulation (core/private_weighting.h orchestrates a
+// ServerCore plus N SiloCores with direct calls) and the distributed
+// driver (net/protocol_node.h moves the same payloads over a Transport)
+// run on these cores, so a distributed round is bitwise identical to an
+// in-process round by construction.
+//
+// Determinism contract: no core ever draws from a shared sequential
+// generator. Every random value is a Rng::Fork substream of the protocol
+// seed addressed by (round, party/user, stream id) — see rng.h — so a
+// remote endpoint holding only the public ProtocolConfig reconstructs
+// exactly the randomness the simulation would have used. (The shared seed
+// makes this a faithful *simulation* of the message flow, not a deployment
+// key-management scheme; see the class comments.)
+
+#ifndef ULDP_CORE_PROTOCOL_PARTY_H_
+#define ULDP_CORE_PROTOCOL_PARTY_H_
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "crypto/chacha.h"
+#include "crypto/dh.h"
+#include "crypto/fixed_point.h"
+#include "crypto/oblivious_transfer.h"
+#include "crypto/paillier.h"
+#include "crypto/paillier_ctx.h"
+#include "math/fixed_base.h"
+#include "nn/tensor.h"
+
+namespace uldp {
+
+struct ProtocolConfig {
+  /// Paillier modulus bits (the paper's security parameter lambda is 3072;
+  /// tests and the scaled-down benches use smaller).
+  int paillier_bits = 1024;
+  /// Upper bound N_max on records per user; C_LCM = lcm(1..N_max). Must be
+  /// small enough that C_LCM plus slack fits below the modulus (Theorem 4
+  /// condition (2)) — validated during key generation.
+  int n_max = 100;
+  /// Fixed-point precision P.
+  double precision = 1e-10;
+  uint64_t seed = 7;
+  /// > 0 enables the OT-based private user-level sub-sampling extension
+  /// (§4.1): the server offers P ciphertext slots per user (real Enc(B_inv)
+  /// in a q-fraction of them after a private shuffle, Enc(0) in the rest)
+  /// and silos fetch one slot via 1-out-of-P OT, so neither side learns the
+  /// sampling outcome. The value is P (the slot count); representable
+  /// rates are multiples of 1/P. In OT mode silos cannot skip unsampled
+  /// users (they do not know who is sampled), which is exactly the extra
+  /// cost §4.1 warns about.
+  int ot_slots = 0;
+  /// Sub-sampling rate used in OT mode (quantized to multiples of
+  /// 1/ot_slots). Ignored when ot_slots == 0 (the server-side mask passed
+  /// to WeightingRound is used instead).
+  double ot_sample_rate = 1.0;
+  /// Bit size of the safe-prime DH group backing the OT (simulation-scale
+  /// default; a deployment would use a standardized group).
+  int ot_group_bits = 384;
+  /// Thread count for the protocol's parallel phases (per-user weight
+  /// encryption, per-silo encrypted weighting and masking, per-coordinate
+  /// aggregation and decryption). <= 0 resolves via ULDP_THREADS env /
+  /// hardware concurrency. Results are bitwise independent of this value:
+  /// all encryption randomness comes from Rng::Fork substreams and every
+  /// reduction is an exact modular product.
+  int num_threads = 0;
+  /// Route Paillier work through the cached-context fast path (long-lived
+  /// Montgomery contexts, CRT decryption, batched randomizer pipeline).
+  /// The slow path (static Paillier shim, classic decryption) produces
+  /// bitwise-identical round outputs; the switch exists so the micro bench
+  /// can measure the speedup of a full protocol round before/after.
+  bool fast_paillier = true;
+  /// Use per-user fixed-base exponentiation tables in the silo-weighting
+  /// loop: all `dim` MulPlaintext calls for one user share the base
+  /// Enc(B_inv(N_u)), so one precomputed window table per user turns each
+  /// coordinate's exponentiation into squaring-free table multiplies
+  /// (math/fixed_base.h). Effective only with fast_paillier; outputs are
+  /// bitwise identical either way — the switch exists so the micro bench
+  /// can measure the weighting phase before/after.
+  bool fixed_base = true;
+  /// Reuse the previous round's encrypted weights (and with fixed_base the
+  /// per-user MulPlaintext tables derived from them) when OT is off and the
+  /// sampling mask is unchanged. Ciphertexts are semantically secure, so
+  /// resending one is safe against the silos; the trade is that the server
+  /// skips re-randomization and each silo retains one table per user
+  /// across rounds (up to ~2 MB per user at a 1024-bit key). Off by
+  /// default: enabling it changes which randomizers a round consumes, so
+  /// cached and uncached runs produce different (equally valid) outputs.
+  bool cache_enc_weights = false;
+};
+
+/// Derived slot count of real (non-dummy) ciphertexts in OT mode.
+int OtRealSlots(const ProtocolConfig& config);
+
+/// Public protocol parameters every party ends up holding after key setup.
+/// The server generates them; remote silos receive the non-derivable parts
+/// (Paillier n, the OT group) in the SetupParams message and rebuild the
+/// rest (C_LCM, the codec) locally.
+struct ProtocolParams {
+  ProtocolConfig config;
+  int num_silos = 0;
+  int num_users = 0;
+  PaillierPublicKey public_key;
+  BigInt c_lcm;
+  DhGroup ot_group;  // populated iff config.ot_slots > 0
+  FixedPointCodec codec{BigInt(5), 1e-10};
+
+  /// Rebuilds the derived fields (n², C_LCM, codec, OT Montgomery state)
+  /// from config + public_key (+ ot_group p, g if OT is on). Used by
+  /// remote silos after receiving the SetupParams message.
+  Status Derive();
+};
+
+/// What the server observed (for privacy assertions).
+struct ServerProtocolView {
+  /// Doubly blinded per-silo histograms as received in setup (e).
+  std::vector<std::vector<BigInt>> doubly_blinded_histograms;  // [silo][user]
+  /// Aggregated blinded totals B(N_u) = r_u * N_u mod n.
+  std::vector<BigInt> blinded_totals;  // [user]
+};
+
+/// Public half of one user's OT sender state: the per-slot group elements
+/// and A = g^r. This is exactly the first OT message on the wire.
+struct OtSenderPublic {
+  std::vector<BigInt> c;
+  BigInt a;
+};
+
+/// Server-side phase logic. Owns the Paillier secret key, the inverted
+/// blinded totals B_inv(N_u), and the OT sender state; never sees a raw
+/// histogram, an unmasked silo sum, or the OT sampling outcome.
+class ServerCore {
+ public:
+  ServerCore(const ProtocolConfig& config, int num_silos, int num_users);
+
+  /// Setup (a): generates the Paillier key pair (and the OT group when
+  /// enabled) from Fork substreams of config.seed, derives C_LCM and the
+  /// codec, and checks the Theorem-4 overflow condition.
+  Status GenerateKeys(ThreadPool& pool);
+  const ProtocolParams& params() const { return params_; }
+  bool keys_done() const { return keys_done_; }
+
+  /// Setup (e): records silo `silo`'s doubly blinded histogram. Values
+  /// must be field elements (< n).
+  Status AbsorbBlindedHistogram(int silo, std::vector<BigInt> blinded);
+  /// Setup (e)-(f): sums the blinded histograms (masks cancel) and inverts
+  /// the blinded totals. Requires every silo's histogram absorbed.
+  Status FinalizeSetup();
+  bool setup_done() const { return setup_done_; }
+  const ServerProtocolView& view() const { return view_; }
+
+  /// Weighting (a), server-side sampling (OT off): Enc(B_inv(N_u)) for
+  /// sampled users, Enc(0) otherwise; randomness from Fork(round, user).
+  /// With config.cache_enc_weights, returns the previous round's
+  /// ciphertexts when the mask is unchanged.
+  Result<std::vector<BigInt>> EncryptWeights(
+      uint64_t round, const std::vector<bool>& user_sampled, ThreadPool& pool);
+  uint64_t enc_weight_cache_hits() const { return enc_cache_hits_; }
+
+  /// Weighting (a), OT mode, sender step 1: per-user slot elements, sender
+  /// secrets (A = g^r runs inside the flat user × slot sweep), and the
+  /// private real/dummy slot shuffles. Returns the public sender messages.
+  Result<std::vector<OtSenderPublic>> OtSenderInit(uint64_t round,
+                                                   ThreadPool& pool);
+  /// Weighting (a), OT mode, sender step 2: encrypts every (user, slot)
+  /// payload — Enc(B_inv) in shuffled real slots, Enc(0) in dummies —
+  /// under the per-slot OT pads derived from the receiver commitments.
+  Result<std::vector<std::vector<std::vector<uint8_t>>>> OtEncryptSlots(
+      uint64_t round, const std::vector<BigInt>& receiver_bs,
+      ThreadPool& pool);
+  /// Ground-truth slot shuffles of the last OtSenderInit — simulation
+  /// diagnostic only (a real server never learns the receiver's slot).
+  const std::vector<std::vector<int>>& ot_perms() const { return ot_perms_; }
+
+  /// Weighting (c), server side: per-coordinate product of the masked
+  /// silo ciphertexts (pairwise masks cancel).
+  Result<std::vector<BigInt>> AggregateCiphertexts(
+      const std::vector<std::vector<BigInt>>& silo_ciphers,
+      ThreadPool& pool) const;
+  /// Decrypts and decodes the aggregate — the only plaintext the server
+  /// ever sees.
+  Result<Vec> DecryptAggregate(const std::vector<BigInt>& product,
+                               ThreadPool& pool) const;
+
+ private:
+  Result<BigInt> PEncrypt(const BigInt& m, Rng& rng) const;
+  Result<BigInt> PDecrypt(const BigInt& c) const;
+
+  ProtocolParams params_;
+  PaillierSecretKey secret_key_;
+  std::unique_ptr<PaillierContext> paillier_;
+  std::vector<BigInt> b_inv_;  // B_inv(N_u)
+  ServerProtocolView view_;
+  std::vector<bool> histogram_absorbed_;
+  bool keys_done_ = false;
+  bool setup_done_ = false;
+  Rng root_;  // Fork-only root; never drawn from directly
+
+  // Encrypted-weight cache (config.cache_enc_weights).
+  std::vector<BigInt> cached_enc_;
+  std::vector<bool> cached_mask_;
+  bool cache_valid_ = false;
+  uint64_t enc_cache_hits_ = 0;
+
+  // OT sender round state.
+  uint64_t ot_round_ = 0;
+  bool ot_pending_ = false;
+  std::vector<ObliviousTransfer::SenderState> ot_senders_;
+  std::vector<std::vector<int>> ot_perms_;
+};
+
+/// Ciphertext-keyed cache of per-user fixed-base MulPlaintext tables for
+/// the silo-weighting loop. One instance is shared by the in-process
+/// orchestrator across all silo cores; each distributed silo endpoint
+/// owns its own. Entries persist across rounds only when BeginRound runs
+/// with keep = true (config.cache_enc_weights): the key is the ciphertext
+/// itself, so fresh round randomness or a changed sampling mask
+/// invalidates an entry automatically.
+class WeightTableCache {
+ public:
+  /// Sizes the cache for the round; keep = false drops every old entry.
+  void BeginRound(int num_users, bool keep);
+  /// Returns the table for (user, enc_weight), building it over `ctx`'s
+  /// cached n² context when missing or stale and counting a hit
+  /// otherwise. Returns null (caching nothing) when enc_weight is outside
+  /// Z_{n²} — the weighting sweep rejects such inputs with a proper
+  /// Status. Safe to call concurrently for distinct users.
+  const FixedBaseTable* Ensure(const PaillierContext& ctx, int user,
+                               const BigInt& enc_weight, size_t uses);
+  /// Frees the tables of users [u0, u1) — the batch-bounded transient
+  /// memory discipline of the weighting sweep.
+  void DropRange(int u0, int u1);
+  const std::vector<std::unique_ptr<FixedBaseTable>>& tables() const {
+    return tables_;
+  }
+  uint64_t hits() const { return hits_.load(); }
+
+ private:
+  std::vector<BigInt> base_;
+  std::vector<std::unique_ptr<FixedBaseTable>> tables_;
+  std::atomic<uint64_t> hits_{0};
+};
+
+/// Silo-side phase logic. Owns the silo's private histogram, its DH key
+/// pair, the pairwise mask keys, and the silo-shared seed R; never sees
+/// the Paillier secret key or another silo's counts.
+class SiloCore {
+ public:
+  /// `params` must have public_key (and ot_group in OT mode) populated.
+  SiloCore(ProtocolParams params, int silo_id, std::vector<int> histogram);
+
+  int silo_id() const { return silo_id_; }
+  /// Setup (b): this silo's DH key pair — a pure function of
+  /// (seed, silo id), so the remote silo derives the same pair the
+  /// simulation would.
+  const DhKeyPair& dh_key() const { return dh_key_; }
+  /// Setup (b): derives the pairwise mask keys from the full directory of
+  /// silo DH public keys (relayed by the server).
+  Status ComputePairKeys(const std::vector<BigInt>& dh_publics);
+
+  /// Setup (c), silo 0 only: derives the shared random seed R.
+  BigInt MakeSharedSeed() const;
+  void SetSharedSeed(const BigInt& r_seed);
+  bool has_shared_seed() const { return seed_set_; }
+
+  /// XOR-stream encryption under the pairwise key with `peer`, addressed
+  /// by a typed mask tag and a stream id. Symmetric (the same call
+  /// decrypts); used for the seed and OT-weight relays the server only
+  /// ever sees as opaque bytes.
+  Result<std::vector<uint8_t>> PairStreamXor(
+      int peer, uint64_t tag, uint32_t stream_id,
+      std::vector<uint8_t> data) const;
+
+  /// Setup (d)-(e): multiplicatively blinds the histogram with r_u and
+  /// applies the pairwise additive masks.
+  Result<std::vector<BigInt>> BlindHistogram(ThreadPool& pool) const;
+
+  /// Weighting (a), OT mode, receiver step: the shared-seed slot choice
+  /// sigma and the commitment B = C_sigma * g^{-k} per user.
+  Result<std::vector<BigInt>> OtReceiverChoose(
+      uint64_t round, const std::vector<OtSenderPublic>& senders,
+      ThreadPool& pool);
+  /// Weighting (a), OT mode, receiver step 2: decrypts the chosen slot of
+  /// every user (the pad exponentiation K = A^k runs in a flat sweep).
+  Result<std::vector<BigInt>> OtReceiverDecrypt(
+      uint64_t round, const std::vector<OtSenderPublic>& senders,
+      const std::vector<std::vector<std::vector<uint8_t>>>& encrypted,
+      ThreadPool& pool);
+  /// Slot choices of the last OT round — simulation diagnostic.
+  const std::vector<size_t>& ot_sigmas() const { return ot_sigmas_; }
+
+  /// Weighting (b) + (c) for this silo: the encrypted weighted sum over
+  /// its users, the encoded noise, and the pairwise additive masks.
+  /// `deltas[u]` is empty when user u has no records here; non-empty
+  /// entries must all have noise.size() coordinates. This is the
+  /// self-contained entry point a distributed silo endpoint uses; it is
+  /// composed from the batch-level pieces below, which the in-process
+  /// orchestrator drives directly so one fixed-base table per user can be
+  /// shared read-only across all silo cores.
+  Result<std::vector<BigInt>> WeightMaskRound(
+      uint64_t round, const std::vector<BigInt>& enc_weights,
+      const std::vector<Vec>& deltas, const Vec& noise, ThreadPool& pool);
+
+  /// Fresh per-coordinate accumulator for phase (b): `dim` ciphertext
+  /// identities.
+  static std::vector<BigInt> NewCipherAccumulator(size_t dim);
+
+  /// This silo's evaluation-only Paillier context (null unless
+  /// fast_paillier). Tables built over it are a pure function of the
+  /// ciphertext and modulus, so any party's build is bitwise identical
+  /// and safe to share read-only — the orchestrator feeds it to a shared
+  /// WeightTableCache.
+  const PaillierContext* eval_context() const { return paillier_.get(); }
+
+  /// Phase (b) for users [u0, u1): accumulates this silo's encrypted
+  /// weighted terms into `cipher` (from NewCipherAccumulator, size =
+  /// noise dimension). `tables`, when non-null, maps user → fixed-base
+  /// table for enc_weights[u] (null entries fall back to plain
+  /// MulPlaintext). Parallelizes over coordinates on `pool`; the result
+  /// is an exact modular product, so batching and scheduling never change
+  /// a bit.
+  Status AccumulateUsers(
+      int u0, int u1, const std::vector<BigInt>& enc_weights,
+      const std::vector<std::unique_ptr<FixedBaseTable>>* tables,
+      const std::vector<Vec>& deltas, std::vector<BigInt>* cipher,
+      ThreadPool& pool) const;
+
+  /// Phase (b) tail + (c): adds the encoded noise, then this silo's
+  /// pairwise additive masks for the round.
+  Status FinishRound(uint64_t round, const Vec& noise,
+                     std::vector<BigInt>* cipher, ThreadPool& pool) const;
+
+  /// Fixed-base tables reused from a previous round because the encrypted
+  /// weight was unchanged (config.cache_enc_weights).
+  uint64_t weight_table_cache_hits() const { return table_cache_.hits(); }
+
+ private:
+  BigInt BlindOf(int user) const;
+  BigInt PairMask(int peer, uint64_t tag, int index) const;
+  BigInt PMulPlaintext(const BigInt& c, const BigInt& k) const;
+
+  ProtocolParams params_;
+  int silo_id_ = 0;
+  std::vector<int> histogram_;
+  std::unique_ptr<PaillierContext> paillier_;  // evaluation-only
+  DhGroup dh_group_;
+  DhKeyPair dh_key_;
+  std::vector<ChaChaRng::Key> pair_keys_;  // [peer]; self entry unused
+  bool pair_keys_done_ = false;
+  ChaChaRng::Key shared_seed_key_{};
+  bool seed_set_ = false;
+  Rng root_;  // Fork-only root
+
+  // OT receiver round state.
+  uint64_t ot_round_ = 0;
+  bool ot_pending_ = false;
+  std::vector<BigInt> ot_ks_;
+  std::vector<size_t> ot_sigmas_;
+
+  // Per-user fixed-base tables for WeightMaskRound (the distributed
+  // endpoint path; the in-process orchestrator shares one cache across
+  // silo cores instead).
+  WeightTableCache table_cache_;
+};
+
+}  // namespace uldp
+
+#endif  // ULDP_CORE_PROTOCOL_PARTY_H_

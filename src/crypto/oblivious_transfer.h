@@ -55,10 +55,31 @@ class ObliviousTransfer {
   /// have num_slots() entries); samples only the sender secret from `rng`.
   SenderState SenderInitWithSlots(std::vector<BigInt> slots, Rng& rng) const;
 
+  /// Samples the sender secret r (uniform in [2, p-2], as
+  /// SenderInitWithSlots draws it) without computing A — so the
+  /// exponentiation A = g^r can join a flat parallel sweep.
+  BigInt SampleSenderSecret(Rng& rng) const;
+
+  /// A = g^r for a secret from SampleSenderSecret: the one exponentiation
+  /// of sender initialization, exposed as a pure function so batched
+  /// senders can run it inside a flat (user × slot) sweep.
+  BigInt SenderElement(const BigInt& r) const;
+
+  /// Assembles a sender state from independently computed parts (`a` must
+  /// equal SenderElement(r); `slots` must have num_slots() entries).
+  SenderState AssembleSender(std::vector<BigInt> slots, BigInt r,
+                             BigInt a) const;
+
   /// Receiver side: commits to slot `sigma` (0-based). The message `b` is
   /// uniform in the group regardless of sigma, so the sender learns nothing.
   Result<ReceiverState> ReceiverChoose(const SenderState& sender_public,
                                        size_t sigma, Rng& rng) const;
+
+  /// Receiver commitment from the chosen slot element alone — the unit of
+  /// ReceiverChoose, for batched receivers that hold sender messages in a
+  /// different layout than SenderState.
+  Result<ReceiverState> ReceiverCommit(const BigInt& c_sigma, size_t sigma,
+                                       Rng& rng) const;
 
   /// Sender side: encrypts every slot. messages[i] must all have equal
   /// length. Key for slot i is H((C_i / B)^r); only slot sigma's key is
@@ -84,6 +105,16 @@ class ObliviousTransfer {
   Result<std::vector<uint8_t>> ReceiverDecrypt(
       const ReceiverState& receiver, const SenderState& sender_public,
       const std::vector<std::vector<uint8_t>>& encrypted) const;
+
+  /// K_sigma = A^k — the one exponentiation of ReceiverDecrypt, exposed so
+  /// batched receivers can run it inside a flat parallel sweep.
+  BigInt ReceiverKeyElement(const BigInt& sender_a, const BigInt& k) const;
+
+  /// XOR-pads `data` with the stream derived from `key_element` — the
+  /// symmetric-encryption half shared by SenderEncryptSlot (pad with K_i)
+  /// and ReceiverDecrypt (un-pad with K_sigma).
+  std::vector<uint8_t> ApplyPad(const BigInt& key_element,
+                                std::vector<uint8_t> data) const;
 
   size_t num_slots() const { return num_slots_; }
 

@@ -1,0 +1,45 @@
+#include "net/demo.h"
+
+#include <utility>
+
+#include "common/rng.h"
+
+namespace uldp {
+namespace net {
+
+DemoInputs MakeDemoInputs(uint64_t seed, int num_silos, int num_users,
+                          int dim) {
+  Rng rng(seed);
+  DemoInputs in;
+  in.histograms.assign(num_silos, std::vector<int>(num_users, 0));
+  in.deltas.assign(num_silos, std::vector<Vec>(num_users));
+  in.noise.assign(num_silos, Vec(dim, 0.0));
+  for (int s = 0; s < num_silos; ++s) {
+    for (int u = 0; u < num_users; ++u) {
+      in.histograms[s][u] = static_cast<int>(rng.UniformInt(5));  // 0..4
+      if (in.histograms[s][u] > 0) {
+        in.deltas[s][u].resize(dim);
+        for (double& v : in.deltas[s][u]) v = rng.Gaussian(0.0, 1.0);
+      }
+    }
+    for (double& v : in.noise[s]) v = rng.Gaussian(0.0, 0.3);
+  }
+  return in;
+}
+
+Status RunDemoSilo(const ProtocolConfig& config, int silo_id, int num_silos,
+                   int num_users, int dim, uint64_t inputs_seed,
+                   Transport& transport) {
+  DemoInputs in = MakeDemoInputs(inputs_seed, num_silos, num_users, dim);
+  SiloClient client(config, silo_id, num_silos, num_users,
+                    in.histograms[silo_id]);
+  auto input = [&](uint64_t, std::vector<Vec>* deltas, Vec* noise) {
+    *deltas = in.deltas[silo_id];
+    *noise = in.noise[silo_id];
+    return Status::Ok();
+  };
+  return client.Run(transport, input);
+}
+
+}  // namespace net
+}  // namespace uldp

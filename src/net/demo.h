@@ -1,0 +1,43 @@
+// Deterministic demo inputs for the distributed Protocol 1 driver: every
+// party (server with --verify, each silo client, the bench, the tests)
+// derives the same synthetic histograms/deltas/noise from one seed, so a
+// distributed run can be checked bitwise against the in-process simulation
+// without shipping data files around.
+
+#ifndef ULDP_NET_DEMO_H_
+#define ULDP_NET_DEMO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/protocol_party.h"
+#include "net/protocol_node.h"
+#include "net/transport.h"
+#include "nn/tensor.h"
+
+namespace uldp {
+namespace net {
+
+/// Synthetic protocol inputs: histograms[s][u] in [0, 4], Gaussian deltas
+/// for (silo, user) pairs with records, Gaussian noise per silo.
+struct DemoInputs {
+  std::vector<std::vector<int>> histograms;  // [silo][user]
+  std::vector<std::vector<Vec>> deltas;      // [silo][user]
+  std::vector<Vec> noise;                    // [silo]
+};
+
+DemoInputs MakeDemoInputs(uint64_t seed, int num_silos, int num_users,
+                          int dim);
+
+/// Runs one silo client over `transport` with its slice of
+/// MakeDemoInputs(inputs_seed, ...) as the round input (the same deltas
+/// every round). Returns when the server shuts the run down.
+Status RunDemoSilo(const ProtocolConfig& config, int silo_id, int num_silos,
+                   int num_users, int dim, uint64_t inputs_seed,
+                   Transport& transport);
+
+}  // namespace net
+}  // namespace uldp
+
+#endif  // ULDP_NET_DEMO_H_

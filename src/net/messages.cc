@@ -1,0 +1,275 @@
+#include "net/messages.h"
+
+namespace uldp {
+namespace net {
+
+namespace {
+
+// FNV-1a over the canonical wire serialization of the public config.
+uint64_t Fnv1a(const std::vector<uint8_t>& bytes) {
+  uint64_t h = 1469598103934665603ull;
+  for (uint8_t b : bytes) {
+    h ^= b;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+uint64_t ProtocolWireDigest(const ProtocolConfig& config, int num_silos,
+                            int num_users) {
+  WireWriter w;
+  w.U16(kWireVersion);
+  w.U32(static_cast<uint32_t>(config.paillier_bits));
+  w.U32(static_cast<uint32_t>(config.n_max));
+  w.F64(config.precision);
+  w.U64(config.seed);
+  w.U32(static_cast<uint32_t>(config.ot_slots));
+  w.F64(config.ot_sample_rate);
+  w.U32(static_cast<uint32_t>(config.ot_group_bits));
+  w.U8(config.cache_enc_weights ? 1 : 0);
+  w.U32(static_cast<uint32_t>(num_silos));
+  w.U32(static_cast<uint32_t>(num_users));
+  return Fnv1a(w.buffer());
+}
+
+Status CheckPhaseTag(uint64_t tag, MaskPhase phase, uint64_t round) {
+  if (MaskTagPhase(tag) != phase || MaskTagRound(tag) != round) {
+    return Status::InvalidArgument(
+        "phase tag mismatch: got phase " +
+        std::to_string(static_cast<uint64_t>(MaskTagPhase(tag))) + " round " +
+        std::to_string(MaskTagRound(tag)) + ", expected phase " +
+        std::to_string(static_cast<uint64_t>(phase)) + " round " +
+        std::to_string(round));
+  }
+  return Status::Ok();
+}
+
+void JoinMsg::AppendTo(WireWriter& w) const {
+  w.U32(silo_id);
+  w.U32(num_silos);
+  w.U32(num_users);
+  w.U64(config_digest);
+}
+
+Result<JoinMsg> JoinMsg::Parse(WireReader& r) {
+  JoinMsg m;
+  ULDP_RETURN_IF_ERROR(r.U32(&m.silo_id));
+  ULDP_RETURN_IF_ERROR(r.U32(&m.num_silos));
+  ULDP_RETURN_IF_ERROR(r.U32(&m.num_users));
+  ULDP_RETURN_IF_ERROR(r.U64(&m.config_digest));
+  return m;
+}
+
+void SetupParamsMsg::AppendTo(WireWriter& w) const {
+  w.Big(paillier_n);
+  w.Big(ot_p);
+  w.Big(ot_g);
+}
+
+Result<SetupParamsMsg> SetupParamsMsg::Parse(WireReader& r) {
+  SetupParamsMsg m;
+  ULDP_RETURN_IF_ERROR(r.Big(&m.paillier_n));
+  ULDP_RETURN_IF_ERROR(r.Big(&m.ot_p));
+  ULDP_RETURN_IF_ERROR(r.Big(&m.ot_g));
+  return m;
+}
+
+void DhPublicKeyMsg::AppendTo(WireWriter& w) const {
+  w.U32(silo_id);
+  w.Big(public_key);
+}
+
+Result<DhPublicKeyMsg> DhPublicKeyMsg::Parse(WireReader& r) {
+  DhPublicKeyMsg m;
+  ULDP_RETURN_IF_ERROR(r.U32(&m.silo_id));
+  ULDP_RETURN_IF_ERROR(r.Big(&m.public_key));
+  return m;
+}
+
+void DhDirectoryMsg::AppendTo(WireWriter& w) const { w.BigVec(public_keys); }
+
+Result<DhDirectoryMsg> DhDirectoryMsg::Parse(WireReader& r) {
+  DhDirectoryMsg m;
+  ULDP_RETURN_IF_ERROR(r.BigVec(&m.public_keys));
+  return m;
+}
+
+void SeedShareMsg::AppendTo(WireWriter& w) const {
+  w.U32(from_silo);
+  w.U32(to_silo);
+  w.Bytes(ciphertext);
+}
+
+Result<SeedShareMsg> SeedShareMsg::Parse(WireReader& r) {
+  SeedShareMsg m;
+  ULDP_RETURN_IF_ERROR(r.U32(&m.from_silo));
+  ULDP_RETURN_IF_ERROR(r.U32(&m.to_silo));
+  ULDP_RETURN_IF_ERROR(r.Bytes(&m.ciphertext));
+  return m;
+}
+
+void BlindedHistogramMsg::AppendTo(WireWriter& w) const {
+  w.U32(silo_id);
+  w.BigVec(values);
+}
+
+Result<BlindedHistogramMsg> BlindedHistogramMsg::Parse(WireReader& r) {
+  BlindedHistogramMsg m;
+  ULDP_RETURN_IF_ERROR(r.U32(&m.silo_id));
+  ULDP_RETURN_IF_ERROR(r.BigVec(&m.values));
+  return m;
+}
+
+void SetupAckMsg::AppendTo(WireWriter&) const {}
+
+Result<SetupAckMsg> SetupAckMsg::Parse(WireReader&) { return SetupAckMsg{}; }
+
+void RoundBeginMsg::AppendTo(WireWriter& w) const {
+  w.U64(phase_tag);
+  w.BigVec(enc_weights);
+}
+
+Result<RoundBeginMsg> RoundBeginMsg::Parse(WireReader& r) {
+  RoundBeginMsg m;
+  ULDP_RETURN_IF_ERROR(r.U64(&m.phase_tag));
+  ULDP_RETURN_IF_ERROR(r.BigVec(&m.enc_weights));
+  return m;
+}
+
+void OtSenderMsg::AppendTo(WireWriter& w) const {
+  w.U64(phase_tag);
+  w.U32(static_cast<uint32_t>(senders.size()));
+  for (const OtSenderPublic& s : senders) {
+    w.BigVec(s.c);
+    w.Big(s.a);
+  }
+}
+
+Result<OtSenderMsg> OtSenderMsg::Parse(WireReader& r) {
+  OtSenderMsg m;
+  ULDP_RETURN_IF_ERROR(r.U64(&m.phase_tag));
+  uint32_t count;
+  ULDP_RETURN_IF_ERROR(r.U32(&count));
+  if (static_cast<size_t>(count) > r.remaining() / 9) {
+    return Status::InvalidArgument("OT sender count exceeds payload");
+  }
+  m.senders.assign(count, {});
+  for (uint32_t i = 0; i < count; ++i) {
+    ULDP_RETURN_IF_ERROR(r.BigVec(&m.senders[i].c));
+    ULDP_RETURN_IF_ERROR(r.Big(&m.senders[i].a));
+  }
+  return m;
+}
+
+void OtReceiverMsg::AppendTo(WireWriter& w) const {
+  w.U64(phase_tag);
+  w.BigVec(bs);
+}
+
+Result<OtReceiverMsg> OtReceiverMsg::Parse(WireReader& r) {
+  OtReceiverMsg m;
+  ULDP_RETURN_IF_ERROR(r.U64(&m.phase_tag));
+  ULDP_RETURN_IF_ERROR(r.BigVec(&m.bs));
+  return m;
+}
+
+void OtSlotsMsg::AppendTo(WireWriter& w) const {
+  w.U64(phase_tag);
+  w.U32(static_cast<uint32_t>(slots.size()));
+  for (const auto& user_slots : slots) w.BytesVec(user_slots);
+}
+
+Result<OtSlotsMsg> OtSlotsMsg::Parse(WireReader& r) {
+  OtSlotsMsg m;
+  ULDP_RETURN_IF_ERROR(r.U64(&m.phase_tag));
+  uint32_t count;
+  ULDP_RETURN_IF_ERROR(r.U32(&count));
+  if (static_cast<size_t>(count) > r.remaining() / 4) {
+    return Status::InvalidArgument("OT slot user count exceeds payload");
+  }
+  m.slots.assign(count, {});
+  for (uint32_t i = 0; i < count; ++i) {
+    ULDP_RETURN_IF_ERROR(r.BytesVec(&m.slots[i]));
+  }
+  return m;
+}
+
+void WeightRelayMsg::AppendTo(WireWriter& w) const {
+  w.U64(phase_tag);
+  w.U32(from_silo);
+  w.U32(to_silo);
+  w.Bytes(ciphertext);
+}
+
+Result<WeightRelayMsg> WeightRelayMsg::Parse(WireReader& r) {
+  WeightRelayMsg m;
+  ULDP_RETURN_IF_ERROR(r.U64(&m.phase_tag));
+  ULDP_RETURN_IF_ERROR(r.U32(&m.from_silo));
+  ULDP_RETURN_IF_ERROR(r.U32(&m.to_silo));
+  ULDP_RETURN_IF_ERROR(r.Bytes(&m.ciphertext));
+  return m;
+}
+
+void SiloCipherMsg::AppendTo(WireWriter& w) const {
+  w.U64(phase_tag);
+  w.U32(silo_id);
+  w.BigVec(cipher);
+}
+
+Result<SiloCipherMsg> SiloCipherMsg::Parse(WireReader& r) {
+  SiloCipherMsg m;
+  ULDP_RETURN_IF_ERROR(r.U64(&m.phase_tag));
+  ULDP_RETURN_IF_ERROR(r.U32(&m.silo_id));
+  ULDP_RETURN_IF_ERROR(r.BigVec(&m.cipher));
+  return m;
+}
+
+void RoundResultMsg::AppendTo(WireWriter& w) const {
+  w.U64(phase_tag);
+  w.F64Vec(aggregate);
+}
+
+Result<RoundResultMsg> RoundResultMsg::Parse(WireReader& r) {
+  RoundResultMsg m;
+  ULDP_RETURN_IF_ERROR(r.U64(&m.phase_tag));
+  ULDP_RETURN_IF_ERROR(r.F64Vec(&m.aggregate));
+  return m;
+}
+
+void ShutdownMsg::AppendTo(WireWriter&) const {}
+
+Result<ShutdownMsg> ShutdownMsg::Parse(WireReader&) { return ShutdownMsg{}; }
+
+void MaskedVectorMsg::AppendTo(WireWriter& w) const {
+  w.U64(phase_tag);
+  w.U32(party_id);
+  w.BigVec(values);
+}
+
+Result<MaskedVectorMsg> MaskedVectorMsg::Parse(WireReader& r) {
+  MaskedVectorMsg m;
+  ULDP_RETURN_IF_ERROR(r.U64(&m.phase_tag));
+  ULDP_RETURN_IF_ERROR(r.U32(&m.party_id));
+  ULDP_RETURN_IF_ERROR(r.BigVec(&m.values));
+  return m;
+}
+
+void ErrorMsg::AppendTo(WireWriter& w) const {
+  w.U16(code);
+  std::vector<uint8_t> bytes(message.begin(), message.end());
+  w.Bytes(bytes);
+}
+
+Result<ErrorMsg> ErrorMsg::Parse(WireReader& r) {
+  ErrorMsg m;
+  ULDP_RETURN_IF_ERROR(r.U16(&m.code));
+  std::vector<uint8_t> bytes;
+  ULDP_RETURN_IF_ERROR(r.Bytes(&bytes));
+  m.message.assign(bytes.begin(), bytes.end());
+  return m;
+}
+
+}  // namespace net
+}  // namespace uldp

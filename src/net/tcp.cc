@@ -1,0 +1,193 @@
+#include "net/tcp.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace uldp {
+namespace net {
+
+namespace {
+
+std::string Errno(const std::string& op) {
+  return op + ": " + std::strerror(errno);
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<TcpTransport>> TcpTransport::Connect(
+    const std::string& host, int port) {
+  if (port < 1 || port > 65535) {
+    return Status::InvalidArgument("tcp: port " + std::to_string(port) +
+                                   " out of range [1, 65535]");
+  }
+  std::string addr = host == "localhost" ? "127.0.0.1" : host;
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, addr.c_str(), &sa.sin_addr) != 1) {
+    return Status::InvalidArgument("tcp: cannot parse IPv4 address \"" +
+                                   host + "\"");
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Internal(Errno("tcp: socket"));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+    Status status = Status::Internal(
+        Errno("tcp: connect to " + addr + ":" + std::to_string(port)));
+    ::close(fd);
+    return status;
+  }
+  SetNoDelay(fd);
+  return std::make_unique<TcpTransport>(fd);
+}
+
+TcpTransport::~TcpTransport() { Close(); }
+
+Status TcpTransport::WriteAll(const uint8_t* data, size_t size) {
+  size_t done = 0;
+  while (done < size) {
+    ssize_t n = ::send(fd_, data + done, size - done, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(Errno("tcp: send"));
+    }
+    done += static_cast<size_t>(n);
+  }
+  sent_ += size;
+  return Status::Ok();
+}
+
+Status TcpTransport::ReadAll(uint8_t* data, size_t size) {
+  size_t done = 0;
+  while (done < size) {
+    ssize_t n = ::recv(fd_, data + done, size - done, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(Errno("tcp: recv"));
+    }
+    if (n == 0) {
+      return Status::FailedPrecondition(
+          "tcp: peer closed the connection mid-frame");
+    }
+    done += static_cast<size_t>(n);
+  }
+  received_ += size;
+  return Status::Ok();
+}
+
+Status TcpTransport::Send(const Frame& frame) {
+  if (fd_ < 0) return Status::FailedPrecondition("tcp transport closed");
+  std::vector<uint8_t> bytes = EncodeFrame(frame);
+  return WriteAll(bytes.data(), bytes.size());
+}
+
+Result<Frame> TcpTransport::Recv() {
+  if (fd_ < 0) return Status::FailedPrecondition("tcp transport closed");
+  uint8_t header[kFrameHeaderSize];
+  ULDP_RETURN_IF_ERROR(ReadAll(header, sizeof(header)));
+  Frame frame;
+  uint32_t payload_len;
+  ULDP_RETURN_IF_ERROR(ParseFrameHeader(header, &frame.type, &payload_len));
+  frame.payload.resize(payload_len);
+  if (payload_len > 0) {
+    ULDP_RETURN_IF_ERROR(ReadAll(frame.payload.data(), payload_len));
+  }
+  return frame;
+}
+
+void TcpTransport::Close() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+TcpListener::TcpListener(TcpListener&& other) noexcept
+    : fd_(other.fd_), port_(other.port_) {
+  other.fd_ = -1;
+  other.port_ = 0;
+}
+
+TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+    other.port_ = 0;
+  }
+  return *this;
+}
+
+TcpListener::~TcpListener() { Close(); }
+
+Result<TcpListener> TcpListener::Listen(int port) {
+  if (port < 0 || port > 65535) {
+    return Status::InvalidArgument("tcp: listen port " +
+                                   std::to_string(port) +
+                                   " out of range [0, 65535]");
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Internal(Errno("tcp: socket"));
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(static_cast<uint16_t>(port));
+  sa.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+    Status status = Status::Internal(
+        Errno("tcp: bind 127.0.0.1:" + std::to_string(port)));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, SOMAXCONN) != 0) {
+    Status status = Status::Internal(Errno("tcp: listen"));
+    ::close(fd);
+    return status;
+  }
+  socklen_t len = sizeof(sa);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&sa), &len) != 0) {
+    Status status = Status::Internal(Errno("tcp: getsockname"));
+    ::close(fd);
+    return status;
+  }
+  TcpListener listener;
+  listener.fd_ = fd;
+  listener.port_ = ntohs(sa.sin_port);
+  return listener;
+}
+
+Result<std::unique_ptr<TcpTransport>> TcpListener::Accept() {
+  if (fd_ < 0) return Status::FailedPrecondition("tcp listener closed");
+  for (;;) {
+    int client = ::accept(fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(Errno("tcp: accept"));
+    }
+    SetNoDelay(client);
+    return std::make_unique<TcpTransport>(client);
+  }
+}
+
+void TcpListener::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace net
+}  // namespace uldp

@@ -1,0 +1,74 @@
+// TCP backend for the cross-silo transport: blocking POSIX sockets
+// exchanging the length-prefixed frames of net/wire.h. Loopback-tested;
+// a deployment would wrap this in TLS (the protocol's payloads are
+// ciphertexts and masked values, but transport auth still matters).
+
+#ifndef ULDP_NET_TCP_H_
+#define ULDP_NET_TCP_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "net/transport.h"
+
+namespace uldp {
+namespace net {
+
+class TcpTransport : public Transport {
+ public:
+  /// Connects to host:port. `host` is a dotted IPv4 address or
+  /// "localhost".
+  static Result<std::unique_ptr<TcpTransport>> Connect(
+      const std::string& host, int port);
+
+  /// Takes ownership of a connected socket (used by TcpListener::Accept).
+  explicit TcpTransport(int fd) : fd_(fd) {}
+  ~TcpTransport() override;
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  Status Send(const Frame& frame) override;
+  Result<Frame> Recv() override;
+  void Close() override;
+  uint64_t bytes_sent() const override { return sent_; }
+  uint64_t bytes_received() const override { return received_; }
+
+ private:
+  Status WriteAll(const uint8_t* data, size_t size);
+  Status ReadAll(uint8_t* data, size_t size);
+
+  int fd_ = -1;
+  uint64_t sent_ = 0;
+  uint64_t received_ = 0;
+};
+
+/// Listening socket bound to loopback.
+class TcpListener {
+ public:
+  /// Binds 127.0.0.1:`port` (`port` 0 picks an ephemeral port, readable
+  /// via port() afterwards).
+  static Result<TcpListener> Listen(int port);
+
+  TcpListener() = default;
+  TcpListener(TcpListener&& other) noexcept;
+  TcpListener& operator=(TcpListener&& other) noexcept;
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+  ~TcpListener();
+
+  /// Blocks until one client connects.
+  Result<std::unique_ptr<TcpTransport>> Accept();
+  int port() const { return port_; }
+  void Close();
+
+ private:
+  int fd_ = -1;
+  int port_ = 0;
+};
+
+}  // namespace net
+}  // namespace uldp
+
+#endif  // ULDP_NET_TCP_H_

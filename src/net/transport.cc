@@ -1,0 +1,56 @@
+#include "net/transport.h"
+
+namespace uldp {
+namespace net {
+
+std::pair<std::unique_ptr<ChannelTransport>, std::unique_ptr<ChannelTransport>>
+ChannelTransport::CreatePair() {
+  auto a_to_b = std::make_shared<Queue>();
+  auto b_to_a = std::make_shared<Queue>();
+  std::unique_ptr<ChannelTransport> a(new ChannelTransport(a_to_b, b_to_a));
+  std::unique_ptr<ChannelTransport> b(new ChannelTransport(b_to_a, a_to_b));
+  return {std::move(a), std::move(b)};
+}
+
+Status ChannelTransport::Send(const Frame& frame) {
+  std::vector<uint8_t> bytes = EncodeFrame(frame);
+  const size_t size = bytes.size();
+  {
+    std::lock_guard<std::mutex> lock(tx_->mu);
+    if (tx_->closed) {
+      return Status::FailedPrecondition("channel transport closed");
+    }
+    tx_->frames.push_back(std::move(bytes));
+  }
+  tx_->cv.notify_one();
+  sent_.fetch_add(size, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+Result<Frame> ChannelTransport::Recv() {
+  std::vector<uint8_t> bytes;
+  {
+    std::unique_lock<std::mutex> lock(rx_->mu);
+    rx_->cv.wait(lock, [&] { return !rx_->frames.empty() || rx_->closed; });
+    if (rx_->frames.empty()) {
+      return Status::FailedPrecondition("channel transport closed");
+    }
+    bytes = std::move(rx_->frames.front());
+    rx_->frames.pop_front();
+  }
+  received_.fetch_add(bytes.size(), std::memory_order_relaxed);
+  return DecodeFrame(bytes);
+}
+
+void ChannelTransport::Close() {
+  for (const auto& q : {tx_, rx_}) {
+    {
+      std::lock_guard<std::mutex> lock(q->mu);
+      q->closed = true;
+    }
+    q->cv.notify_all();
+  }
+}
+
+}  // namespace net
+}  // namespace uldp

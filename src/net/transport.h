@@ -1,0 +1,81 @@
+// Transport abstraction for the cross-silo protocol: a bidirectional,
+// blocking, frame-oriented channel between one silo and the server.
+//
+// Two backends:
+//   * ChannelTransport — an in-process queue pair for tests and
+//     single-machine simulations. Frames are serialized to wire bytes and
+//     decoded on receive, so the codec path (and the byte counters) are
+//     exercised identically to a real network.
+//   * TcpTransport (net/tcp.h) — blocking POSIX sockets, loopback-tested.
+//
+// Both endpoints count bytes sent/received (wire bytes, frame headers
+// included) so the bench can report bytes-on-the-wire per phase.
+
+#ifndef ULDP_NET_TRANSPORT_H_
+#define ULDP_NET_TRANSPORT_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "common/status.h"
+#include "net/wire.h"
+
+namespace uldp {
+namespace net {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Sends one frame; blocks until the frame is handed to the backend.
+  virtual Status Send(const Frame& frame) = 0;
+  /// Blocks until a full frame arrives. Errors on close, disconnect, or a
+  /// malformed/truncated frame.
+  virtual Result<Frame> Recv() = 0;
+  /// Closes both directions; pending and future Recv calls fail.
+  virtual void Close() = 0;
+
+  virtual uint64_t bytes_sent() const = 0;
+  virtual uint64_t bytes_received() const = 0;
+};
+
+/// In-process transport: a pair of endpoints connected by two one-way
+/// frame queues (mutex + condvar; senders never block on capacity).
+class ChannelTransport : public Transport {
+ public:
+  /// Creates a connected endpoint pair; either side may be handed to
+  /// another thread.
+  static std::pair<std::unique_ptr<ChannelTransport>,
+                   std::unique_ptr<ChannelTransport>>
+  CreatePair();
+
+  Status Send(const Frame& frame) override;
+  Result<Frame> Recv() override;
+  void Close() override;
+  uint64_t bytes_sent() const override { return sent_.load(); }
+  uint64_t bytes_received() const override { return received_.load(); }
+
+ private:
+  struct Queue {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::vector<uint8_t>> frames;
+    bool closed = false;
+  };
+
+  ChannelTransport(std::shared_ptr<Queue> tx, std::shared_ptr<Queue> rx)
+      : tx_(std::move(tx)), rx_(std::move(rx)) {}
+
+  std::shared_ptr<Queue> tx_, rx_;
+  std::atomic<uint64_t> sent_{0}, received_{0};
+};
+
+}  // namespace net
+}  // namespace uldp
+
+#endif  // ULDP_NET_TRANSPORT_H_

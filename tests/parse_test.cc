@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "common/parse.h"
+
+namespace uldp {
+namespace {
+
+TEST(ParseIntTest, AcceptsWholeInRangeNumerals) {
+  auto v = ParseInt("42", 0, 100, "--x");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_EQ(ParseInt("-7", -10, 10, "--x").value(), -7);
+  EXPECT_EQ(ParseInt("0", 0, 0, "--x").value(), 0);
+}
+
+TEST(ParseIntTest, RejectsGarbageThatAtoiWouldAccept) {
+  // std::atoi maps all of these to a silent 0 or a truncated prefix.
+  EXPECT_FALSE(ParseInt("", 0, 100, "--threads").ok());
+  EXPECT_FALSE(ParseInt("fast", 0, 100, "--threads").ok());
+  EXPECT_FALSE(ParseInt("12abc", 0, 100, "--threads").ok());
+  EXPECT_FALSE(ParseInt(" 12", 0, 100, "--threads").ok());
+  EXPECT_FALSE(ParseInt("1.5", 0, 100, "--threads").ok());
+  EXPECT_FALSE(ParseInt("--3", -10, 100, "--threads").ok());
+}
+
+TEST(ParseIntTest, RejectsOutOfRangeWithClearMessage) {
+  auto v = ParseInt("70000", 1, 65535, "--serve");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kOutOfRange);
+  EXPECT_NE(v.status().message().find("--serve"), std::string::npos);
+  EXPECT_FALSE(ParseInt("-1", 0, 100, "--threads").ok());
+  // Magnitude beyond int64 (strtoll saturates with ERANGE).
+  EXPECT_FALSE(
+      ParseInt("99999999999999999999999", 0, 100, "--threads").ok());
+}
+
+TEST(ParseUintTest, RangeAndSign) {
+  EXPECT_EQ(ParseUint("18446744073709551615", ~0ull, "--seed").value(),
+            ~0ull);
+  EXPECT_FALSE(ParseUint("-1", 100, "--seed").ok());
+  EXPECT_FALSE(ParseUint("101", 100, "--seed").ok());
+  EXPECT_FALSE(ParseUint("ten", 100, "--seed").ok());
+}
+
+TEST(ParseDoubleTest, FiniteWholeStringOnly) {
+  EXPECT_EQ(ParseDouble("2.5e-3", "--sigma").value(), 2.5e-3);
+  EXPECT_EQ(ParseDouble("-1", "--sigma").value(), -1.0);
+  EXPECT_FALSE(ParseDouble("", "--sigma").ok());
+  EXPECT_FALSE(ParseDouble("1.5x", "--sigma").ok());
+  EXPECT_FALSE(ParseDouble("nan", "--sigma").ok());
+  EXPECT_FALSE(ParseDouble("inf", "--sigma").ok());
+  EXPECT_FALSE(ParseDouble("1e999", "--sigma").ok());
+}
+
+TEST(ParseHostPortTest, SplitsAndValidates) {
+  auto hp = ParseHostPort("127.0.0.1:8080", "--connect");
+  ASSERT_TRUE(hp.ok());
+  EXPECT_EQ(hp.value().host, "127.0.0.1");
+  EXPECT_EQ(hp.value().port, 8080);
+  EXPECT_EQ(ParseHostPort("localhost:1", "--connect").value().port, 1);
+  EXPECT_FALSE(ParseHostPort("no-port", "--connect").ok());
+  EXPECT_FALSE(ParseHostPort(":8080", "--connect").ok());
+  EXPECT_FALSE(ParseHostPort("host:0", "--connect").ok());
+  EXPECT_FALSE(ParseHostPort("host:65536", "--connect").ok());
+  EXPECT_FALSE(ParseHostPort("host:80b", "--connect").ok());
+}
+
+}  // namespace
+}  // namespace uldp

@@ -15,7 +15,7 @@ if [ "${SANITIZE:-0}" = "1" ]; then
   # Separate default build dir: writing ULDP_SANITIZE=ON into the plain
   # build/ cache would leave later non-sanitized runs silently sanitized.
   BUILD_DIR="${1:-build-asan}"
-  FAST_TESTS='^(bigint_test|montgomery_primes_test|fixed_base_test|fixed_point_test|csv_loader_test|mask_tags_test|secure_agg_test|sha_chacha_test|common_test|parallel_test|paillier_test|paillier_ctx_test|dh_test|oblivious_transfer_test)$'
+  FAST_TESTS='^(bigint_test|montgomery_primes_test|fixed_base_test|fixed_point_test|csv_loader_test|mask_tags_test|secure_agg_test|sha_chacha_test|common_test|parallel_test|paillier_test|paillier_ctx_test|dh_test|oblivious_transfer_test|net_wire_test|net_transport_test|parse_test)$'
   cmake -B "$BUILD_DIR" -S . -DULDP_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build "$BUILD_DIR" -j"$JOBS"
   ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
@@ -34,4 +34,56 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"
 # fixed-base weighting tables ever disagree bitwise with the cold path.
 if [ -x "$BUILD_DIR/bench_micro_crypto" ]; then
   (cd "$BUILD_DIR" && ULDP_BENCH_SMOKE=1 ./bench_micro_crypto)
+fi
+
+# Transport-subsystem bench in smoke mode: produces
+# BENCH_net_protocol.json (per-transport round latency + bytes on the wire
+# per phase) and fails if any transport's aggregates diverge bitwise from
+# the in-process protocol.
+if [ -x "$BUILD_DIR/bench_net_protocol" ]; then
+  (cd "$BUILD_DIR" && ULDP_BENCH_SMOKE=1 ./bench_net_protocol)
+fi
+
+# Loopback-TCP smoke round: a real uldp_fl_cli protocol server on an
+# ephemeral port plus two silo client processes, with --verify asserting
+# the distributed aggregates bitwise-match the in-process run.
+if [ -x "$BUILD_DIR/uldp_fl_cli" ]; then
+  SMOKE_LOG="$BUILD_DIR/net_smoke_server.log"
+  SMOKE_ARGS="--silos=2 --users=6 --dim=8 --paillier-bits=512 --seed=11"
+  rm -f "$SMOKE_LOG"
+  # shellcheck disable=SC2086
+  "$BUILD_DIR/uldp_fl_cli" --serve=0 --rounds=2 --verify $SMOKE_ARGS \
+      > "$SMOKE_LOG" 2>&1 &
+  SERVER_PID=$!
+  PORT=""
+  for _ in $(seq 1 100); do
+    PORT="$(sed -n 's/.*listening on port \([0-9]*\).*/\1/p' "$SMOKE_LOG" \
+            2>/dev/null | head -n1)"
+    [ -n "$PORT" ] && break
+    sleep 0.1
+  done
+  if [ -z "$PORT" ]; then
+    echo "net smoke: server never reported its port" >&2
+    cat "$SMOKE_LOG" >&2 || true
+    kill "$SERVER_PID" 2>/dev/null || true
+    exit 1
+  fi
+  # shellcheck disable=SC2086
+  "$BUILD_DIR/uldp_fl_cli" --connect=127.0.0.1:"$PORT" --silo-id=0 \
+      $SMOKE_ARGS &
+  C0=$!
+  # shellcheck disable=SC2086
+  "$BUILD_DIR/uldp_fl_cli" --connect=127.0.0.1:"$PORT" --silo-id=1 \
+      $SMOKE_ARGS &
+  C1=$!
+  FAIL=0
+  wait "$SERVER_PID" || FAIL=1
+  wait "$C0" || FAIL=1
+  wait "$C1" || FAIL=1
+  cat "$SMOKE_LOG"
+  if [ "$FAIL" != "0" ]; then
+    echo "net smoke: loopback-TCP protocol round FAILED" >&2
+    exit 1
+  fi
+  echo "net smoke: loopback-TCP protocol round OK (port $PORT)"
 fi

@@ -1,10 +1,16 @@
 // Command-line experiment runner: the downstream-user entry point for
 // running any Uldp-FL algorithm on a built-in synthetic dataset or a CSV
-// file without writing C++.
+// file without writing C++ — and for driving the distributed Protocol 1
+// over TCP.
 //
 //   uldp_fl_cli --dataset=creditcard --method=uldp-avg-w --rounds=30
 //               --users=100 --silos=5 --allocation=zipf --sigma=5
 //   uldp_fl_cli --csv=transactions.csv --label-column=30 ...
+//
+//   # distributed Protocol 1 (one server, N silo clients on loopback):
+//   uldp_fl_cli --serve=7100 --silos=2 --users=8 --dim=16 --rounds=2
+//   uldp_fl_cli --connect=127.0.0.1:7100 --silo-id=0 --silos=2 --users=8
+//               --dim=16
 //
 // Run with --help for the full flag list.
 
@@ -14,7 +20,9 @@
 #include <memory>
 #include <string>
 
+#include "common/parse.h"
 #include "core/experiment.h"
+#include "core/private_weighting.h"
 #include "core/uldp_avg.h"
 #include "core/uldp_group.h"
 #include "core/uldp_naive.h"
@@ -24,6 +32,9 @@
 #include "data/synthetic.h"
 #include "dp/calibration.h"
 #include "fl/fedavg.h"
+#include "net/demo.h"
+#include "net/protocol_node.h"
+#include "net/tcp.h"
 
 namespace uldp {
 namespace {
@@ -52,6 +63,15 @@ struct Flags {
   uint64_t seed = 1;
   int num_seeds = 1;  // > 1 averages runs
   int threads = 0;    // round-engine threads (0 = auto)
+  // Distributed Protocol 1 modes.
+  int serve = -1;           // >= 0: run a protocol server on this port
+                            // (0 picks an ephemeral port and prints it)
+  std::string connect;      // host:port: run a silo client
+  int silo_id = -1;         // required with --connect
+  int dim = 16;             // demo model dimension
+  int paillier_bits = 512;  // protocol modulus (demo scale)
+  int n_max = 30;           // protocol N_max
+  bool verify = false;      // server: compare against the in-process run
 };
 
 void PrintHelp() {
@@ -70,7 +90,21 @@ void PrintHelp() {
       "  --group-k=K                 group size for uldp-group\n"
       "  --seed=N --num-seeds=M      M > 1 reports mean±std over seeds\n"
       "  --threads=N                 silo-round threads (0 = auto;\n"
-      "                              results are identical for any N)\n";
+      "                              results are identical for any N)\n\n"
+      "Distributed Protocol 1 (src/net/): a server plus one client per\n"
+      "silo exchange every phase as wire frames over TCP and produce\n"
+      "bitwise-identical aggregates to the in-process simulation.\n"
+      "  --serve=PORT                run the protocol server (0 = pick an\n"
+      "                              ephemeral port and print it)\n"
+      "  --connect=HOST:PORT --silo-id=K   run silo K's client\n"
+      "  --dim=D --paillier-bits=B --n-max=N   demo protocol shape\n"
+      "  --verify                    server: also run the in-process\n"
+      "                              protocol and require bitwise equality\n"
+      "All parties must be started with the same --silos/--users/--seed\n"
+      "and protocol shape flags (enforced by a config digest at join\n"
+      "time); --dim must match too, but a mismatch only surfaces as a\n"
+      "dimension error at round time. --rounds/--threads are\n"
+      "server-/party-local.\n";
 }
 
 bool ParseFlag(const std::string& arg, const std::string& name,
@@ -81,6 +115,24 @@ bool ParseFlag(const std::string& arg, const std::string& name,
   return true;
 }
 
+/// Strict numeric flag parsing: any malformed or out-of-range value is a
+/// clear error instead of atoi's silent 0.
+Status ParseIntInto(const std::string& value, const std::string& name,
+                    int64_t min, int64_t max, int* out) {
+  auto v = ParseInt(value, min, max, "--" + name);
+  if (!v.ok()) return v.status();
+  *out = static_cast<int>(v.value());
+  return Status::Ok();
+}
+
+Status ParseDoubleInto(const std::string& value, const std::string& name,
+                       double* out) {
+  auto v = ParseDouble(value, "--" + name);
+  if (!v.ok()) return v.status();
+  *out = v.value();
+  return Status::Ok();
+}
+
 Result<Flags> ParseFlags(int argc, char** argv) {
   Flags flags;
   for (int i = 1; i < argc; ++i) {
@@ -89,56 +141,234 @@ Result<Flags> ParseFlags(int argc, char** argv) {
     if (arg == "--help" || arg == "-h") {
       PrintHelp();
       std::exit(0);
+    } else if (arg == "--verify") {
+      flags.verify = true;
     } else if (ParseFlag(arg, "dataset", &value)) {
       flags.dataset = value;
     } else if (ParseFlag(arg, "csv", &value)) {
       flags.csv = value;
     } else if (ParseFlag(arg, "label-column", &value)) {
-      flags.label_column = std::atoi(value.c_str());
+      ULDP_RETURN_IF_ERROR(ParseIntInto(value, "label-column", -1, 1 << 20,
+                                        &flags.label_column));
     } else if (ParseFlag(arg, "method", &value)) {
       flags.method = value;
     } else if (ParseFlag(arg, "allocation", &value)) {
       flags.allocation = value;
     } else if (ParseFlag(arg, "users", &value)) {
-      flags.users = std::atoi(value.c_str());
+      ULDP_RETURN_IF_ERROR(
+          ParseIntInto(value, "users", 1, 1 << 24, &flags.users));
     } else if (ParseFlag(arg, "silos", &value)) {
-      flags.silos = std::atoi(value.c_str());
+      ULDP_RETURN_IF_ERROR(
+          ParseIntInto(value, "silos", 1, 1 << 16, &flags.silos));
     } else if (ParseFlag(arg, "rounds", &value)) {
-      flags.rounds = std::atoi(value.c_str());
+      ULDP_RETURN_IF_ERROR(
+          ParseIntInto(value, "rounds", 1, 1 << 24, &flags.rounds));
     } else if (ParseFlag(arg, "eval-every", &value)) {
-      flags.eval_every = std::atoi(value.c_str());
+      ULDP_RETURN_IF_ERROR(
+          ParseIntInto(value, "eval-every", 1, 1 << 24, &flags.eval_every));
     } else if (ParseFlag(arg, "records", &value)) {
-      flags.records = std::atoi(value.c_str());
+      ULDP_RETURN_IF_ERROR(
+          ParseIntInto(value, "records", 1, 1 << 28, &flags.records));
     } else if (ParseFlag(arg, "group-k", &value)) {
-      flags.group_k = std::atoi(value.c_str());
+      ULDP_RETURN_IF_ERROR(
+          ParseIntInto(value, "group-k", 1, 1 << 24, &flags.group_k));
     } else if (ParseFlag(arg, "sigma", &value)) {
-      flags.sigma = std::atof(value.c_str());
+      ULDP_RETURN_IF_ERROR(ParseDoubleInto(value, "sigma", &flags.sigma));
     } else if (ParseFlag(arg, "clip", &value)) {
-      flags.clip = std::atof(value.c_str());
+      ULDP_RETURN_IF_ERROR(ParseDoubleInto(value, "clip", &flags.clip));
     } else if (ParseFlag(arg, "local-lr", &value)) {
-      flags.local_lr = std::atof(value.c_str());
+      ULDP_RETURN_IF_ERROR(
+          ParseDoubleInto(value, "local-lr", &flags.local_lr));
     } else if (ParseFlag(arg, "global-lr", &value)) {
-      flags.global_lr = std::atof(value.c_str());
+      ULDP_RETURN_IF_ERROR(
+          ParseDoubleInto(value, "global-lr", &flags.global_lr));
     } else if (ParseFlag(arg, "delta", &value)) {
-      flags.delta = std::atof(value.c_str());
+      ULDP_RETURN_IF_ERROR(ParseDoubleInto(value, "delta", &flags.delta));
     } else if (ParseFlag(arg, "user-sample-rate", &value)) {
-      flags.user_sample_rate = std::atof(value.c_str());
+      ULDP_RETURN_IF_ERROR(ParseDoubleInto(value, "user-sample-rate",
+                                           &flags.user_sample_rate));
     } else if (ParseFlag(arg, "target-epsilon", &value)) {
-      flags.target_epsilon = std::atof(value.c_str());
+      ULDP_RETURN_IF_ERROR(ParseDoubleInto(value, "target-epsilon",
+                                           &flags.target_epsilon));
     } else if (ParseFlag(arg, "local-epochs", &value)) {
-      flags.local_epochs = std::atoi(value.c_str());
+      ULDP_RETURN_IF_ERROR(ParseIntInto(value, "local-epochs", 1, 1 << 20,
+                                        &flags.local_epochs));
     } else if (ParseFlag(arg, "seed", &value)) {
-      flags.seed = std::strtoull(value.c_str(), nullptr, 10);
+      auto seed = ParseUint(value, ~0ull, "--seed");
+      if (!seed.ok()) return seed.status();
+      flags.seed = seed.value();
     } else if (ParseFlag(arg, "num-seeds", &value)) {
-      flags.num_seeds = std::atoi(value.c_str());
+      ULDP_RETURN_IF_ERROR(
+          ParseIntInto(value, "num-seeds", 1, 1 << 16, &flags.num_seeds));
     } else if (ParseFlag(arg, "threads", &value)) {
-      flags.threads = std::atoi(value.c_str());
+      ULDP_RETURN_IF_ERROR(
+          ParseIntInto(value, "threads", 0, 1 << 14, &flags.threads));
+    } else if (ParseFlag(arg, "serve", &value)) {
+      ULDP_RETURN_IF_ERROR(
+          ParseIntInto(value, "serve", 0, 65535, &flags.serve));
+    } else if (ParseFlag(arg, "connect", &value)) {
+      flags.connect = value;
+    } else if (ParseFlag(arg, "silo-id", &value)) {
+      ULDP_RETURN_IF_ERROR(
+          ParseIntInto(value, "silo-id", 0, (1 << 16) - 1, &flags.silo_id));
+    } else if (ParseFlag(arg, "dim", &value)) {
+      ULDP_RETURN_IF_ERROR(ParseIntInto(value, "dim", 1, 1 << 20, &flags.dim));
+    } else if (ParseFlag(arg, "paillier-bits", &value)) {
+      ULDP_RETURN_IF_ERROR(ParseIntInto(value, "paillier-bits", 64, 8192,
+                                        &flags.paillier_bits));
+    } else if (ParseFlag(arg, "n-max", &value)) {
+      ULDP_RETURN_IF_ERROR(
+          ParseIntInto(value, "n-max", 1, 1 << 16, &flags.n_max));
     } else {
       return Status::InvalidArgument("unknown flag: " + arg +
                                      " (try --help)");
     }
   }
+  if (flags.serve >= 0 && !flags.connect.empty()) {
+    return Status::InvalidArgument(
+        "--serve and --connect are mutually exclusive");
+  }
+  if (!flags.connect.empty() && flags.silo_id < 0) {
+    return Status::InvalidArgument("--connect requires --silo-id");
+  }
+  if ((flags.serve >= 0 || !flags.connect.empty()) && flags.silos < 2) {
+    return Status::InvalidArgument(
+        "the distributed protocol needs --silos >= 2");
+  }
+  if (!flags.connect.empty() && flags.silo_id >= flags.silos) {
+    return Status::OutOfRange("--silo-id must be < --silos");
+  }
   return flags;
+}
+
+ProtocolConfig NetProtocolConfig(const Flags& flags) {
+  ProtocolConfig config;
+  config.paillier_bits = flags.paillier_bits;
+  config.n_max = flags.n_max;
+  config.seed = flags.seed;
+  config.num_threads = flags.threads;
+  return config;
+}
+
+int RunServe(const Flags& flags) {
+  auto listener = net::TcpListener::Listen(flags.serve);
+  if (!listener.ok()) {
+    std::cerr << listener.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "uldp_fl_cli: protocol server listening on port "
+            << listener.value().port() << " (" << flags.silos << " silos, "
+            << flags.users << " users, dim " << flags.dim << ", "
+            << flags.rounds << " rounds)" << std::endl;
+
+  ProtocolConfig config = NetProtocolConfig(flags);
+  net::ProtocolServer server(config, flags.silos, flags.users);
+  while (server.connected_silos() < flags.silos) {
+    auto conn = listener.value().Accept();
+    if (!conn.ok()) {
+      std::cerr << conn.status().ToString() << "\n";
+      return 1;
+    }
+    Status added = server.AddConnection(std::move(conn.value()));
+    if (!added.ok()) {
+      // A rejected join (bad id, mismatched config) is the client's
+      // problem; keep serving the cohort.
+      std::cerr << "rejected join: " << added.ToString() << std::endl;
+      continue;
+    }
+    std::cout << "silo connected (" << server.connected_silos() << "/"
+              << flags.silos << ")" << std::endl;
+  }
+
+  Status setup = server.RunSetup();
+  if (!setup.ok()) {
+    std::cerr << "setup: " << setup.ToString() << "\n";
+    return 1;
+  }
+  std::cout << "setup complete" << std::endl;
+
+  std::vector<bool> mask(flags.users, true);
+  std::vector<Vec> aggregates;
+  for (int r = 0; r < flags.rounds; ++r) {
+    auto out = server.RunRound(static_cast<uint64_t>(r), mask);
+    if (!out.ok()) {
+      std::cerr << "round " << r << ": " << out.status().ToString() << "\n";
+      return 1;
+    }
+    std::cout << "round " << r << " aggregate[0.."
+              << std::min<size_t>(3, out.value().size()) << ") =";
+    for (size_t d = 0; d < std::min<size_t>(3, out.value().size()); ++d) {
+      std::cout << " " << out.value()[d];
+    }
+    std::cout << std::endl;
+    aggregates.push_back(std::move(out.value()));
+  }
+  Status shutdown = server.Shutdown();
+  if (!shutdown.ok()) {
+    std::cerr << "shutdown: " << shutdown.ToString() << "\n";
+    return 1;
+  }
+  for (const auto& phase : server.phase_stats()) {
+    std::cout << "phase " << phase.phase << ": sent " << phase.bytes_sent
+              << " B, received " << phase.bytes_received << " B in "
+              << phase.seconds << " s" << std::endl;
+  }
+
+  if (flags.verify) {
+    // Replays the exact same protocol in process (same seed, same demo
+    // inputs) and requires bitwise equality — the transport subsystem's
+    // core invariant, checkable from the command line.
+    net::DemoInputs in = net::MakeDemoInputs(flags.seed, flags.silos,
+                                             flags.users, flags.dim);
+    PrivateWeightingProtocol protocol(config, flags.silos, flags.users);
+    Status ps = protocol.Setup(in.histograms);
+    if (!ps.ok()) {
+      std::cerr << "verify setup: " << ps.ToString() << "\n";
+      return 1;
+    }
+    for (int r = 0; r < flags.rounds; ++r) {
+      auto out = protocol.WeightingRound(static_cast<uint64_t>(r), in.deltas,
+                                         in.noise, mask);
+      if (!out.ok()) {
+        std::cerr << "verify round: " << out.status().ToString() << "\n";
+        return 1;
+      }
+      if (out.value() != aggregates[r]) {
+        std::cerr << "VERIFY FAILED: round " << r
+                  << " distributed aggregate differs from in-process run\n";
+        return 1;
+      }
+    }
+    std::cout << "verify: distributed aggregates bitwise-match the "
+                 "in-process run" << std::endl;
+  }
+  return 0;
+}
+
+int RunConnect(const Flags& flags) {
+  auto hp = ParseHostPort(flags.connect, "--connect");
+  if (!hp.ok()) {
+    std::cerr << hp.status().ToString() << "\n";
+    return 2;
+  }
+  auto transport = net::TcpTransport::Connect(hp.value().host,
+                                              hp.value().port);
+  if (!transport.ok()) {
+    std::cerr << transport.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "silo " << flags.silo_id << " connected to " << flags.connect
+            << std::endl;
+  Status status = net::RunDemoSilo(NetProtocolConfig(flags), flags.silo_id,
+                                   flags.silos, flags.users, flags.dim,
+                                   flags.seed, *transport.value());
+  if (!status.ok()) {
+    std::cerr << "silo " << flags.silo_id << ": " << status.ToString()
+              << "\n";
+    return 1;
+  }
+  std::cout << "silo " << flags.silo_id << " finished" << std::endl;
+  return 0;
 }
 
 struct LoadedData {
@@ -279,6 +509,9 @@ int Run(int argc, char** argv) {
     return 2;
   }
   const Flags& flags = flags_or.value();
+
+  if (flags.serve >= 0) return RunServe(flags);
+  if (!flags.connect.empty()) return RunConnect(flags);
 
   double sigma = flags.sigma;
   if (flags.target_epsilon > 0.0 && flags.method != "default") {
