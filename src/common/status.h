@@ -21,6 +21,7 @@ enum class StatusCode {
   kInternal,
   kNotFound,
   kUnimplemented,
+  kDeadlineExceeded,
 };
 
 /// Lightweight status value. `Status::Ok()` is the success value; all other
@@ -49,6 +50,9 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

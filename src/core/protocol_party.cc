@@ -383,6 +383,26 @@ Result<std::vector<BigInt>> ServerCore::AggregateCiphertexts(
   return product;
 }
 
+Status ServerCore::AccumulateSiloCipher(const std::vector<BigInt>& cipher,
+                                        std::vector<BigInt>* product) const {
+  if (!setup_done_) {
+    return Status::FailedPrecondition("setup has not completed");
+  }
+  if (cipher.size() != product->size()) {
+    return Status::InvalidArgument("silo cipher dimension mismatch");
+  }
+  for (const BigInt& x : cipher) {
+    if (x.IsNegative() || x >= params_.public_key.n_squared) {
+      return Status::InvalidArgument("silo ciphertext outside Z_{n^2}");
+    }
+  }
+  for (size_t d = 0; d < cipher.size(); ++d) {
+    (*product)[d] = Paillier::AddCiphertexts(params_.public_key,
+                                             (*product)[d], cipher[d]);
+  }
+  return Status::Ok();
+}
+
 Result<Vec> ServerCore::DecryptAggregate(const std::vector<BigInt>& product,
                                          ThreadPool& pool) const {
   if (!setup_done_) {
@@ -751,6 +771,13 @@ Status SiloCore::FinishRound(uint64_t round, const Vec& noise,
   // (weighting (c)); the per-coordinate lanes are independent.
   const uint64_t weighting_tag =
       MakeMaskTag(MaskPhase::kRoundWeighting, round);
+  // Pipelined runs precompute the round's combined masks while waiting on
+  // the previous aggregate (PrecomputeRoundMasks); the cached values are
+  // the identical PRF evaluations, so both branches are bitwise equal.
+  const std::vector<BigInt>* pre =
+      premask_valid_ && premask_round_ == round && premask_.size() == dim
+          ? &premask_
+          : nullptr;
   std::vector<Status> dim_status(dim, Status::Ok());
   pool.ParallelFor(dim, [&](size_t d) {
     auto z = params_.codec.Encode(noise[d]);
@@ -760,15 +787,45 @@ Status SiloCore::FinishRound(uint64_t round, const Vec& noise,
     }
     BigInt z_scaled = z.value().ModMul(c_lcm_mod_n, n);
     (*cipher)[d] = Paillier::AddPlaintext(pk, (*cipher)[d], z_scaled);
+    BigInt mask;
+    if (pre != nullptr) {
+      mask = (*pre)[d];
+    } else {
+      mask = BigInt(0);
+      for (int other = 0; other < params_.num_silos; ++other) {
+        if (other == silo_id_) continue;
+        BigInt m = PairMask(other, weighting_tag, static_cast<int>(d));
+        mask = silo_id_ < other ? mask.ModAdd(m, n) : mask.ModSub(m, n);
+      }
+    }
+    (*cipher)[d] = Paillier::AddPlaintext(pk, (*cipher)[d], mask);
+  });
+  return FirstError(dim_status);
+}
+
+Status SiloCore::PrecomputeRoundMasks(uint64_t round, size_t dim,
+                                      ThreadPool& pool) {
+  if (!pair_keys_done_) {
+    return Status::FailedPrecondition(
+        "mask precomputation requires pair keys");
+  }
+  const BigInt& n = params_.public_key.n;
+  const uint64_t weighting_tag =
+      MakeMaskTag(MaskPhase::kRoundWeighting, round);
+  premask_valid_ = false;
+  premask_.assign(dim, BigInt(0));
+  pool.ParallelFor(dim, [&](size_t d) {
     BigInt mask(0);
     for (int other = 0; other < params_.num_silos; ++other) {
       if (other == silo_id_) continue;
       BigInt m = PairMask(other, weighting_tag, static_cast<int>(d));
       mask = silo_id_ < other ? mask.ModAdd(m, n) : mask.ModSub(m, n);
     }
-    (*cipher)[d] = Paillier::AddPlaintext(pk, (*cipher)[d], mask);
+    premask_[d] = mask;
   });
-  return FirstError(dim_status);
+  premask_round_ = round;
+  premask_valid_ = true;
+  return Status::Ok();
 }
 
 Result<std::vector<BigInt>> SiloCore::WeightMaskRound(

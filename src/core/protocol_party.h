@@ -99,6 +99,17 @@ struct ProtocolConfig {
   /// default: enabling it changes which randomizers a round consumes, so
   /// cached and uncached runs produce different (equally valid) outputs.
   bool cache_enc_weights = false;
+  /// Multi-round pipelining (party-local, like num_threads — peers need
+  /// not agree and the message flow is unchanged). Server: precompute
+  /// round r+1's encrypted weights on a background thread while round r's
+  /// silo ciphers are in flight, and fold arriving ciphers into the
+  /// aggregate incrementally instead of barrier-gathering. Silo:
+  /// precompute round r+1's pairwise masks while waiting for round r's
+  /// result. Every precomputed value comes from the same Fork substreams
+  /// and PRF evaluations the inline path would use, so outputs are
+  /// bitwise identical with the knob on or off (tested). Ignored in OT
+  /// mode (the OT round is an interactive multi-step exchange).
+  bool pipeline = false;
 };
 
 /// Derived slot count of real (non-dummy) ciphertexts in OT mode.
@@ -189,6 +200,14 @@ class ServerCore {
   Result<std::vector<BigInt>> AggregateCiphertexts(
       const std::vector<std::vector<BigInt>>& silo_ciphers,
       ThreadPool& pool) const;
+  /// Staleness-aware accumulate path: folds one silo's masked cipher into
+  /// the running per-coordinate product as it lands, so the server never
+  /// barrier-gathers the full cohort. Ciphertext aggregation is an exact
+  /// modular product — commutative and associative — so any arrival order
+  /// yields bitwise-identical aggregates to AggregateCiphertexts.
+  /// `product` starts as dim ciphertext identities (BigInt(1)).
+  Status AccumulateSiloCipher(const std::vector<BigInt>& cipher,
+                              std::vector<BigInt>* product) const;
   /// Decrypts and decodes the aggregate — the only plaintext the server
   /// ever sees.
   Result<Vec> DecryptAggregate(const std::vector<BigInt>& product,
@@ -342,6 +361,14 @@ class SiloCore {
   Status FinishRound(uint64_t round, const Vec& noise,
                      std::vector<BigInt>* cipher, ThreadPool& pool) const;
 
+  /// Pipelining hook: precomputes the combined per-coordinate pairwise
+  /// mask vector for `round` so a waiting silo can overlap next-round
+  /// mask generation with the server's current-round aggregation.
+  /// FinishRound(round, ...) consumes the cache when it matches (same
+  /// round and dimension) and recomputes inline otherwise; the cached
+  /// values are the identical PRF evaluations, so outputs never change.
+  Status PrecomputeRoundMasks(uint64_t round, size_t dim, ThreadPool& pool);
+
   /// Fixed-base tables reused from a previous round because the encrypted
   /// weight was unchanged (config.cache_enc_weights).
   uint64_t weight_table_cache_hits() const { return table_cache_.hits(); }
@@ -373,6 +400,13 @@ class SiloCore {
   // endpoint path; the in-process orchestrator shares one cache across
   // silo cores instead).
   WeightTableCache table_cache_;
+
+  // PrecomputeRoundMasks cache, consumed by FinishRound. Written by the
+  // owner's prefetch step and read after it joins the prefetch thread, so
+  // no lock is needed (join is the happens-before edge).
+  std::vector<BigInt> premask_;
+  uint64_t premask_round_ = 0;
+  bool premask_valid_ = false;
 };
 
 }  // namespace uldp

@@ -46,6 +46,81 @@ UldpAvgTrainer::UldpAvgTrainer(const FederatedDataset& data,
       silo_shards_[s].push_back(UserShard{u, data_.MakeExamples(idx)});
     }
   }
+  if (config_.async_rounds) {
+    // The private-protocol reduce is a lockstep multi-party computation —
+    // the weighting encryption has no staleness-bounded analogue (yet).
+    ULDP_CHECK_MSG(options_.private_protocol == nullptr,
+                   "async_rounds is incompatible with the private protocol");
+    Status started = engine_.StartAsync(
+        [this](int version, int silo, const Vec& snapshot, Model& model,
+               Vec& delta) {
+          return LocalSiloWork(static_cast<uint64_t>(version), snapshot, silo,
+                               model, delta);
+        },
+        AsyncOptionsFrom(config_));
+    ULDP_CHECK_MSG(started.ok(), started.ToString());
+  }
+}
+
+UldpAvgTrainer::~UldpAvgTrainer() { engine_.StopAsync(); }
+
+std::vector<bool> UldpAvgTrainer::SampledMask(uint64_t version) {
+  std::lock_guard<std::mutex> lock(mask_mu_);
+  if (mask_version_ != version) {
+    // Algorithm 4: the server Poisson-samples the user set for this round
+    // (one substream per round, drawn in user order — independent of silo
+    // scheduling); unsampled users' weights are zeroed.
+    const int u_count = data_.num_users();
+    mask_.assign(u_count, true);
+    if (options_.user_sample_rate < 1.0) {
+      Rng sampler = rng_.Fork(version, 0, kRngStreamSampling);
+      for (int u = 0; u < u_count; ++u) {
+        mask_[u] = sampler.Bernoulli(options_.user_sample_rate);
+      }
+    }
+    mask_version_ = version;
+  }
+  return mask_;
+}
+
+Status UldpAvgTrainer::LocalSiloWork(uint64_t version, const Vec& snapshot,
+                                     int silo, Model& model, Vec& silo_delta) {
+  const int s_count = data_.num_silos();
+  const std::vector<bool> sampled = SampledMask(version);
+
+  // Line 17: every silo adds N(0, sigma^2 C^2 / |S|) so the aggregate noise
+  // matches user-level sensitivity C with multiplier sigma. In central
+  // mode the server adds the equivalent N(0, sigma^2 C^2) once instead.
+  // Under async rounds with a partial buffer or a positive staleness
+  // bound, each share is inflated by AsyncNoiseMargin so even the worst
+  // flush carries the charged noise (see the FlConfig DP note).
+  const bool central = config_.noise_placement == NoisePlacement::kCentral;
+  const double noise_std =
+      central ? 0.0
+              : config_.sigma * config_.clip *
+                    AsyncNoiseMargin(config_, s_count) /
+                    std::sqrt(static_cast<double>(s_count));
+
+  // Per-user training on a Fork(version, silo, user) substream, clip, then
+  // weight (Algorithm 3, lines 9-16).
+  for (const UserShard& shard : silo_shards_[silo]) {
+    if (!sampled[shard.user]) continue;
+    double w = weights_[silo][shard.user];
+    if (w == 0.0) continue;
+    model.SetParams(snapshot);
+    Rng local = rng_.Fork(version, static_cast<uint64_t>(silo),
+                          static_cast<uint64_t>(shard.user));
+    TrainLocalSgd(model, shard.examples, config_.local_epochs,
+                  config_.batch_size, config_.local_lr, local);
+    Vec delta = model.GetParams();
+    Axpy(-1.0, snapshot, delta);
+    ClipToL2Ball(delta, config_.clip);  // line 16: clip then weight
+    Axpy(w, delta, silo_delta);
+  }
+  Rng noise = rng_.Fork(version, static_cast<uint64_t>(silo),
+                        kRngStreamNoise);
+  AddGaussianNoise(silo_delta, noise_std, noise);
+  return Status::Ok();
 }
 
 Status UldpAvgTrainer::RunRound(int round, Vec& global_params) {
@@ -53,67 +128,40 @@ Status UldpAvgTrainer::RunRound(int round, Vec& global_params) {
   const int u_count = data_.num_users();
   const double q = options_.user_sample_rate;
   const uint64_t r = static_cast<uint64_t>(round);
-
-  // Algorithm 4: the server Poisson-samples the user set for this round
-  // (one substream per round, drawn in user order) and zeroes the weights
-  // of unsampled users.
-  std::vector<bool> sampled(u_count, true);
-  if (q < 1.0) {
-    Rng sampler = rng_.Fork(r, 0, kRngStreamSampling);
-    for (int u = 0; u < u_count; ++u) sampled[u] = sampler.Bernoulli(q);
-  }
-
-  // Line 17: every silo adds N(0, sigma^2 C^2 / |S|) so the aggregate noise
-  // matches user-level sensitivity C with multiplier sigma. In central
-  // mode the server adds the equivalent N(0, sigma^2 C^2) once instead.
   const bool central = config_.noise_placement == NoisePlacement::kCentral;
-  const double noise_std =
-      central ? 0.0
-              : config_.sigma * config_.clip /
-                    std::sqrt(static_cast<double>(s_count));
   const bool use_protocol = options_.private_protocol != nullptr;
-
-  // Per-silo local work (Algorithm 3, lines 9-16): per-user training on a
-  // Fork(round, silo, user) substream, clip, then weight. In the
-  // private-protocol path we keep per-user clipped (unweighted) deltas
-  // instead, since the weighting happens inside the encryption.
-  std::vector<std::vector<Vec>> protocol_deltas;
-  std::vector<Vec> silo_noise;
-  if (use_protocol) {
-    protocol_deltas.assign(s_count, std::vector<Vec>(u_count));
-    silo_noise.assign(s_count, Vec());
-  }
-  auto local_work = [&](int s, Model& model, Vec& silo_delta) {
-    for (const UserShard& shard : silo_shards_[s]) {
-      if (!sampled[shard.user]) continue;
-      double w = weights_[s][shard.user];
-      if (w == 0.0 && !use_protocol) continue;
-      model.SetParams(global_params);
-      Rng local = rng_.Fork(r, static_cast<uint64_t>(s),
-                            static_cast<uint64_t>(shard.user));
-      TrainLocalSgd(model, shard.examples, config_.local_epochs,
-                    config_.batch_size, config_.local_lr, local);
-      Vec delta = model.GetParams();
-      Axpy(-1.0, global_params, delta);
-      ClipToL2Ball(delta, config_.clip);  // line 16: clip then weight
-      if (use_protocol) {
-        protocol_deltas[s][shard.user] = std::move(delta);
-      } else {
-        Axpy(w, delta, silo_delta);
-      }
-    }
-    Rng noise = rng_.Fork(r, static_cast<uint64_t>(s), kRngStreamNoise);
-    if (use_protocol) {
-      silo_noise[s].assign(global_params.size(), 0.0);
-      AddGaussianNoise(silo_noise[s], noise_std, noise);
-    } else {
-      AddGaussianNoise(silo_delta, noise_std, noise);
-    }
-    return Status::Ok();
-  };
 
   Vec total;
   if (use_protocol) {
+    // Algorithm 4 mask, computed once at the server for the protocol call.
+    std::vector<bool> sampled = SampledMask(r);
+    const double noise_std =
+        central ? 0.0
+                : config_.sigma * config_.clip /
+                      std::sqrt(static_cast<double>(s_count));
+    // The protocol path keeps per-user clipped (unweighted) deltas since
+    // the weighting happens inside the encryption.
+    std::vector<std::vector<Vec>> protocol_deltas(s_count,
+                                                  std::vector<Vec>(u_count));
+    std::vector<Vec> silo_noise(s_count, Vec());
+    auto local_work = [&](int s, Model& model, Vec&) {
+      for (const UserShard& shard : silo_shards_[s]) {
+        if (!sampled[shard.user]) continue;
+        model.SetParams(global_params);
+        Rng local = rng_.Fork(r, static_cast<uint64_t>(s),
+                              static_cast<uint64_t>(shard.user));
+        TrainLocalSgd(model, shard.examples, config_.local_epochs,
+                      config_.batch_size, config_.local_lr, local);
+        Vec delta = model.GetParams();
+        Axpy(-1.0, global_params, delta);
+        ClipToL2Ball(delta, config_.clip);
+        protocol_deltas[s][shard.user] = std::move(delta);
+      }
+      Rng noise = rng_.Fork(r, static_cast<uint64_t>(s), kRngStreamNoise);
+      silo_noise[s].assign(global_params.size(), 0.0);
+      AddGaussianNoise(silo_noise[s], noise_std, noise);
+      return Status::Ok();
+    };
     ULDP_RETURN_IF_ERROR(
         engine_.RunSilos(global_params, local_work, nullptr));
     auto agg = options_.private_protocol->WeightingRound(
@@ -121,7 +169,14 @@ Status UldpAvgTrainer::RunRound(int round, Vec& global_params) {
     if (!agg.ok()) return agg.status();
     total = std::move(agg.value());
   } else {
-    auto agg = engine_.RunRound(round, global_params, local_work);
+    auto agg =
+        config_.async_rounds
+            ? engine_.StepAsync(round, global_params)
+            : engine_.RunRound(round, global_params,
+                               [&](int s, Model& model, Vec& delta) {
+                                 return LocalSiloWork(r, global_params, s,
+                                                      model, delta);
+                               });
     if (!agg.ok()) return agg.status();
     total = std::move(agg.value());
   }

@@ -15,6 +15,7 @@
 #ifndef ULDP_CORE_ULDP_AVG_H_
 #define ULDP_CORE_ULDP_AVG_H_
 
+#include <mutex>
 #include <string>
 
 #include "core/weighting.h"
@@ -40,6 +41,7 @@ class UldpAvgTrainer final : public FlAlgorithm {
  public:
   UldpAvgTrainer(const FederatedDataset& data, const Model& model,
                  FlConfig config, UldpAvgOptions options = {});
+  ~UldpAvgTrainer() override;
 
   Status RunRound(int round, Vec& global_params) override;
   Result<double> EpsilonSpent(double delta) const override;
@@ -48,6 +50,15 @@ class UldpAvgTrainer final : public FlAlgorithm {
   const std::vector<std::vector<double>>& weights() const { return weights_; }
 
  private:
+  /// Per-silo round work for the plaintext-weighting path, shared by the
+  /// sync and async engine paths.
+  Status LocalSiloWork(uint64_t version, const Vec& snapshot, int silo,
+                       Model& model, Vec& delta);
+  /// The round's Poisson sampling mask (Algorithm 4) — a pure function of
+  /// the version, memoized so per-silo callbacks don't each redo the
+  /// O(users) derivation.
+  std::vector<bool> SampledMask(uint64_t version);
+
   const FederatedDataset& data_;
   FlConfig config_;
   UldpAvgOptions options_;
@@ -62,6 +73,10 @@ class UldpAvgTrainer final : public FlAlgorithm {
   };
   // Per-silo lists of users with records there — the silo actor's work.
   std::vector<std::vector<UserShard>> silo_shards_;
+  // SampledMask memo (async workers query it concurrently).
+  std::mutex mask_mu_;
+  uint64_t mask_version_ = ~0ull;
+  std::vector<bool> mask_;
 };
 
 }  // namespace uldp

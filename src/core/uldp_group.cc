@@ -63,6 +63,33 @@ UldpGroupTrainer::UldpGroupTrainer(const FederatedDataset& data,
     }
     silo_examples_[s] = data_.MakeExamples(indices);
   }
+  if (config_.async_rounds) {
+    Status started = engine_.StartAsync(
+        [this](int version, int silo, const Vec& snapshot, Model& model,
+               Vec& delta) {
+          return LocalSiloWork(static_cast<uint64_t>(version), snapshot, silo,
+                               model, delta);
+        },
+        AsyncOptionsFrom(config_));
+    ULDP_CHECK_MSG(started.ok(), started.ToString());
+  }
+}
+
+UldpGroupTrainer::~UldpGroupTrainer() { engine_.StopAsync(); }
+
+Status UldpGroupTrainer::LocalSiloWork(uint64_t version, const Vec& snapshot,
+                                       int silo, Model& model, Vec& delta) {
+  DpSgdOptions options;
+  options.learning_rate = config_.local_lr;
+  options.clip = config_.clip;
+  options.sigma = config_.sigma;
+  options.sample_rate = dp_sample_rate_;
+  options.steps = dp_steps_per_round_;
+  Rng local = rng_.Fork(version, static_cast<uint64_t>(silo));
+  ULDP_RETURN_IF_ERROR(RunDpSgd(model, silo_examples_[silo], options, local));
+  delta = model.GetParams();
+  Axpy(-1.0, snapshot, delta);
+  return Status::Ok();
 }
 
 size_t UldpGroupTrainer::num_kept_records() const {
@@ -72,23 +99,15 @@ size_t UldpGroupTrainer::num_kept_records() const {
 }
 
 Status UldpGroupTrainer::RunRound(int round, Vec& global_params) {
-  DpSgdOptions options;
-  options.learning_rate = config_.local_lr;
-  options.clip = config_.clip;
-  options.sigma = config_.sigma;
-  options.sample_rate = dp_sample_rate_;
-  options.steps = dp_steps_per_round_;
-
-  auto total = engine_.RunRound(
-      round, global_params, [&](int s, Model& model, Vec& delta) {
-        Rng local = rng_.Fork(static_cast<uint64_t>(round),
-                              static_cast<uint64_t>(s));
-        ULDP_RETURN_IF_ERROR(
-            RunDpSgd(model, silo_examples_[s], options, local));
-        delta = model.GetParams();
-        Axpy(-1.0, global_params, delta);
-        return Status::Ok();
-      });
+  auto total =
+      config_.async_rounds
+          ? engine_.StepAsync(round, global_params)
+          : engine_.RunRound(round, global_params,
+                             [&](int s, Model& model, Vec& delta) {
+                               return LocalSiloWork(
+                                   static_cast<uint64_t>(round),
+                                   global_params, s, model, delta);
+                             });
   if (!total.ok()) return total.status();
   Axpy(config_.global_lr / data_.num_silos(), total.value(), global_params);
   tracker_.AdvanceRounds(1);

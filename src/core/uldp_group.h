@@ -35,6 +35,7 @@ class UldpGroupTrainer final : public FlAlgorithm {
                    FlConfig config, GroupSizeSpec group_size,
                    double dp_sample_rate, int dp_steps_per_round,
                    GroupConversionRoute route = GroupConversionRoute::kRdp);
+  ~UldpGroupTrainer() override;
 
   Status RunRound(int round, Vec& global_params) override;
   Result<double> EpsilonSpent(double delta) const override;
@@ -46,6 +47,10 @@ class UldpGroupTrainer final : public FlAlgorithm {
   size_t num_kept_records() const;
 
  private:
+  /// Per-silo round work, shared by the sync and async engine paths.
+  Status LocalSiloWork(uint64_t version, const Vec& snapshot, int silo,
+                       Model& model, Vec& delta);
+
   const FederatedDataset& data_;
   FlConfig config_;
   Rng rng_;

@@ -18,32 +18,60 @@ UldpNaiveTrainer::UldpNaiveTrainer(const FederatedDataset& data,
   for (int s = 0; s < data_.num_silos(); ++s) {
     silo_examples_[s] = data_.MakeExamples(data_.RecordsOfSilo(s));
   }
+  if (config_.async_rounds) {
+    Status started = engine_.StartAsync(
+        [this](int version, int silo, const Vec& snapshot, Model& model,
+               Vec& delta) {
+          return LocalSiloWork(static_cast<uint64_t>(version), snapshot, silo,
+                               model, delta);
+        },
+        AsyncOptionsFrom(config_));
+    ULDP_CHECK_MSG(started.ok(), started.ToString());
+  }
 }
 
-Status UldpNaiveTrainer::RunRound(int round, Vec& global_params) {
-  const int s_count = data_.num_silos();
+UldpNaiveTrainer::~UldpNaiveTrainer() { engine_.StopAsync(); }
+
+Status UldpNaiveTrainer::LocalSiloWork(uint64_t version, const Vec& snapshot,
+                                       int silo, Model& model, Vec& delta) {
   // Each silo adds N(0, sigma^2 C^2 |S|) per coordinate — user-level
   // sensitivity across silos is C|S| (Algorithm 1, line 14). Central mode
   // adds the equivalent N(0, sigma^2 C^2 |S|^2) once at the server.
+  // Async flushes of K <= |S| shares need no inflation here: a K-entry
+  // flush has sensitivity <= C * sum(alpha_i) while its pooled noise is
+  // sigma C sqrt(|S| * sum(alpha_i^2)), and Cauchy-Schwarz keeps the
+  // ratio at or above the charged sigma for every K <= |S|.
+  const int s_count = data_.num_silos();
   const bool central = config_.noise_placement == NoisePlacement::kCentral;
   const double noise_std =
       central ? 0.0
               : config_.sigma * config_.clip *
                     std::sqrt(static_cast<double>(s_count));
+  Rng local = rng_.Fork(version, static_cast<uint64_t>(silo));
+  TrainLocalSgd(model, silo_examples_[silo], config_.local_epochs,
+                config_.batch_size, config_.local_lr, local);
+  delta = model.GetParams();
+  Axpy(-1.0, snapshot, delta);  // trained - global (Alg. 1 line 12, sign
+                                // normalized to descent)
+  ClipToL2Ball(delta, config_.clip);
+  Rng noise = rng_.Fork(version, static_cast<uint64_t>(silo),
+                        kRngStreamNoise);
+  AddGaussianNoise(delta, noise_std, noise);
+  return Status::Ok();
+}
+
+Status UldpNaiveTrainer::RunRound(int round, Vec& global_params) {
+  const int s_count = data_.num_silos();
+  const bool central = config_.noise_placement == NoisePlacement::kCentral;
   const uint64_t r = static_cast<uint64_t>(round);
-  auto total = engine_.RunRound(
-      round, global_params, [&](int s, Model& model, Vec& delta) {
-        Rng local = rng_.Fork(r, static_cast<uint64_t>(s));
-        TrainLocalSgd(model, silo_examples_[s], config_.local_epochs,
-                      config_.batch_size, config_.local_lr, local);
-        delta = model.GetParams();
-        Axpy(-1.0, global_params, delta);  // trained - global (Alg. 1 line
-                                           // 12, sign normalized to descent)
-        ClipToL2Ball(delta, config_.clip);
-        Rng noise = rng_.Fork(r, static_cast<uint64_t>(s), kRngStreamNoise);
-        AddGaussianNoise(delta, noise_std, noise);
-        return Status::Ok();
-      });
+  auto total =
+      config_.async_rounds
+          ? engine_.StepAsync(round, global_params)
+          : engine_.RunRound(round, global_params,
+                             [&](int s, Model& model, Vec& delta) {
+                               return LocalSiloWork(r, global_params, s,
+                                                    model, delta);
+                             });
   if (!total.ok()) return total.status();
   if (central) {
     Rng server = rng_.Fork(r, 0, kRngStreamServer);

@@ -17,12 +17,17 @@ class UldpNaiveTrainer final : public FlAlgorithm {
  public:
   UldpNaiveTrainer(const FederatedDataset& data, const Model& model,
                    FlConfig config);
+  ~UldpNaiveTrainer() override;
 
   Status RunRound(int round, Vec& global_params) override;
   Result<double> EpsilonSpent(double delta) const override;
   std::string name() const override { return "ULDP-NAIVE"; }
 
  private:
+  /// Per-silo round work, shared by the sync and async engine paths.
+  Status LocalSiloWork(uint64_t version, const Vec& snapshot, int silo,
+                       Model& model, Vec& delta);
+
   const FederatedDataset& data_;
   FlConfig config_;
   Rng rng_;

@@ -32,6 +32,73 @@ UldpSgdTrainer::UldpSgdTrainer(const FederatedDataset& data,
       silo_shards_[s].push_back(UserShard{u, data_.MakeExamples(idx)});
     }
   }
+  if (config_.async_rounds) {
+    Status started = engine_.StartAsync(
+        [this](int version, int silo, const Vec& snapshot, Model& model,
+               Vec& delta) {
+          return LocalSiloWork(static_cast<uint64_t>(version), snapshot, silo,
+                               model, delta);
+        },
+        AsyncOptionsFrom(config_));
+    ULDP_CHECK_MSG(started.ok(), started.ToString());
+  }
+}
+
+UldpSgdTrainer::~UldpSgdTrainer() { engine_.StopAsync(); }
+
+std::vector<bool> UldpSgdTrainer::SampledMask(uint64_t version) {
+  std::lock_guard<std::mutex> lock(mask_mu_);
+  if (mask_version_ != version) {
+    // Server-side Poisson sampling of the user set (one substream per
+    // round, drawn in user order — independent of silo scheduling).
+    const int u_count = data_.num_users();
+    mask_.assign(u_count, true);
+    if (user_sample_rate_ < 1.0) {
+      Rng sampler = rng_.Fork(version, 0, kRngStreamSampling);
+      for (int u = 0; u < u_count; ++u) {
+        mask_[u] = sampler.Bernoulli(user_sample_rate_);
+      }
+    }
+    mask_version_ = version;
+  }
+  return mask_;
+}
+
+Status UldpSgdTrainer::LocalSiloWork(uint64_t version, const Vec& snapshot,
+                                     int silo, Model& model, Vec& silo_grad) {
+  const int s_count = data_.num_silos();
+  const std::vector<bool> sampled = SampledMask(version);
+
+  // Async partial-buffer / staleness runs inflate each distributed noise
+  // share so the worst flush still carries the charged noise (see the
+  // FlConfig DP note); exactly 1.0 in sync and barrier-async runs.
+  const bool central = config_.noise_placement == NoisePlacement::kCentral;
+  const double noise_std =
+      central ? 0.0
+              : config_.sigma * config_.clip *
+                    AsyncNoiseMargin(config_, s_count) /
+                    std::sqrt(static_cast<double>(s_count));
+  Vec grad(silo_grad.size(), 0.0);
+  std::vector<const Example*> batch;
+  for (const UserShard& shard : silo_shards_[silo]) {
+    if (!sampled[shard.user]) continue;
+    double w = weights_[silo][shard.user];
+    if (w == 0.0) continue;
+    // Full-batch per-user gradient at the pulled global model
+    // (Algorithm 3, lines 21-23).
+    model.SetParams(snapshot);
+    std::fill(grad.begin(), grad.end(), 0.0);
+    batch.clear();
+    batch.reserve(shard.examples.size());
+    for (const Example& ex : shard.examples) batch.push_back(&ex);
+    model.LossAndGrad(batch, &grad);
+    ClipToL2Ball(grad, config_.clip);
+    Axpy(w, grad, silo_grad);
+  }
+  Rng noise = rng_.Fork(version, static_cast<uint64_t>(silo),
+                        kRngStreamNoise);
+  AddGaussianNoise(silo_grad, noise_std, noise);
+  return Status::Ok();
 }
 
 Status UldpSgdTrainer::RunRound(int round, Vec& global_params) {
@@ -39,43 +106,15 @@ Status UldpSgdTrainer::RunRound(int round, Vec& global_params) {
   const int u_count = data_.num_users();
   const double q = user_sample_rate_;
   const uint64_t r = static_cast<uint64_t>(round);
-
-  // Server-side Poisson sampling of the user set (one substream per round,
-  // drawn in user order — independent of silo scheduling).
-  std::vector<bool> sampled(u_count, true);
-  if (q < 1.0) {
-    Rng sampler = rng_.Fork(r, 0, kRngStreamSampling);
-    for (int u = 0; u < u_count; ++u) sampled[u] = sampler.Bernoulli(q);
-  }
-
   const bool central = config_.noise_placement == NoisePlacement::kCentral;
-  const double noise_std =
-      central ? 0.0
-              : config_.sigma * config_.clip /
-                    std::sqrt(static_cast<double>(s_count));
-  auto total = engine_.RunRound(
-      round, global_params, [&](int s, Model& model, Vec& silo_grad) {
-        Vec grad(silo_grad.size(), 0.0);
-        std::vector<const Example*> batch;
-        for (const UserShard& shard : silo_shards_[s]) {
-          if (!sampled[shard.user]) continue;
-          double w = weights_[s][shard.user];
-          if (w == 0.0) continue;
-          // Full-batch per-user gradient at the current global model
-          // (Algorithm 3, lines 21-23).
-          model.SetParams(global_params);
-          std::fill(grad.begin(), grad.end(), 0.0);
-          batch.clear();
-          batch.reserve(shard.examples.size());
-          for (const Example& ex : shard.examples) batch.push_back(&ex);
-          model.LossAndGrad(batch, &grad);
-          ClipToL2Ball(grad, config_.clip);
-          Axpy(w, grad, silo_grad);
-        }
-        Rng noise = rng_.Fork(r, static_cast<uint64_t>(s), kRngStreamNoise);
-        AddGaussianNoise(silo_grad, noise_std, noise);
-        return Status::Ok();
-      });
+  auto total =
+      config_.async_rounds
+          ? engine_.StepAsync(round, global_params)
+          : engine_.RunRound(round, global_params,
+                             [&](int s, Model& model, Vec& grad) {
+                               return LocalSiloWork(r, global_params, s,
+                                                    model, grad);
+                             });
   if (!total.ok()) return total.status();
   if (central) {
     Rng server = rng_.Fork(r, 0, kRngStreamServer);

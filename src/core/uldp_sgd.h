@@ -5,6 +5,7 @@
 #ifndef ULDP_CORE_ULDP_SGD_H_
 #define ULDP_CORE_ULDP_SGD_H_
 
+#include <mutex>
 #include <string>
 
 #include "core/weighting.h"
@@ -20,12 +21,23 @@ class UldpSgdTrainer final : public FlAlgorithm {
                  FlConfig config,
                  WeightingStrategy weighting = WeightingStrategy::kUniform,
                  double user_sample_rate = 1.0);
+  ~UldpSgdTrainer() override;
 
   Status RunRound(int round, Vec& global_params) override;
   Result<double> EpsilonSpent(double delta) const override;
   std::string name() const override { return name_; }
 
  private:
+  /// Per-silo round work, shared by the sync and async engine paths. The
+  /// round's user-sampling mask comes from SampledMask, so every silo and
+  /// both engine paths see identical masks.
+  Status LocalSiloWork(uint64_t version, const Vec& snapshot, int silo,
+                       Model& model, Vec& delta);
+  /// The round's Poisson sampling mask — a pure function of the version
+  /// (one dedicated Fork substream, drawn in user order), memoized so the
+  /// per-silo callbacks don't each redo the O(users) derivation.
+  std::vector<bool> SampledMask(uint64_t version);
+
   const FederatedDataset& data_;
   FlConfig config_;
   double user_sample_rate_;
@@ -40,6 +52,10 @@ class UldpSgdTrainer final : public FlAlgorithm {
   };
   // Per-silo lists of users with records there — the silo actor's work.
   std::vector<std::vector<UserShard>> silo_shards_;
+  // SampledMask memo (async workers query it concurrently).
+  std::mutex mask_mu_;
+  uint64_t mask_version_ = ~0ull;
+  std::vector<bool> mask_;
 };
 
 }  // namespace uldp

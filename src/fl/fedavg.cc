@@ -16,19 +16,40 @@ FedAvgTrainer::FedAvgTrainer(const FederatedDataset& data, const Model& model,
   for (int s = 0; s < data_.num_silos(); ++s) {
     silo_examples_[s] = data_.MakeExamples(data_.RecordsOfSilo(s));
   }
+  if (config_.async_rounds) {
+    Status started = engine_.StartAsync(
+        [this](int version, int silo, const Vec& snapshot, Model& model,
+               Vec& delta) {
+          return LocalSiloWork(static_cast<uint64_t>(version), snapshot, silo,
+                               model, delta);
+        },
+        AsyncOptionsFrom(config_));
+    ULDP_CHECK_MSG(started.ok(), started.ToString());
+  }
+}
+
+FedAvgTrainer::~FedAvgTrainer() { engine_.StopAsync(); }
+
+Status FedAvgTrainer::LocalSiloWork(uint64_t version, const Vec& snapshot,
+                                    int silo, Model& model, Vec& delta) {
+  Rng local = rng_.Fork(version, static_cast<uint64_t>(silo));
+  TrainLocalSgd(model, silo_examples_[silo], config_.local_epochs,
+                config_.batch_size, config_.local_lr, local);
+  delta = model.GetParams();
+  Axpy(-1.0, snapshot, delta);  // delta = trained - global
+  return Status::Ok();
 }
 
 Status FedAvgTrainer::RunRound(int round, Vec& global_params) {
-  auto total = engine_.RunRound(
-      round, global_params, [&](int s, Model& model, Vec& delta) {
-        Rng local = rng_.Fork(static_cast<uint64_t>(round),
-                              static_cast<uint64_t>(s));
-        TrainLocalSgd(model, silo_examples_[s], config_.local_epochs,
-                      config_.batch_size, config_.local_lr, local);
-        delta = model.GetParams();
-        Axpy(-1.0, global_params, delta);  // delta = trained - global
-        return Status::Ok();
-      });
+  auto total =
+      config_.async_rounds
+          ? engine_.StepAsync(round, global_params)
+          : engine_.RunRound(round, global_params,
+                             [&](int s, Model& model, Vec& delta) {
+                               return LocalSiloWork(
+                                   static_cast<uint64_t>(round),
+                                   global_params, s, model, delta);
+                             });
   if (!total.ok()) return total.status();
   Axpy(config_.global_lr / data_.num_silos(), total.value(), global_params);
   return Status::Ok();

@@ -15,12 +15,19 @@ class FedAvgTrainer final : public FlAlgorithm {
   /// `model` provides the architecture (cloned per silo for local work).
   FedAvgTrainer(const FederatedDataset& data, const Model& model,
                 FlConfig config);
+  ~FedAvgTrainer() override;
 
   Status RunRound(int round, Vec& global_params) override;
   Result<double> EpsilonSpent(double delta) const override;
   std::string name() const override { return "DEFAULT"; }
 
  private:
+  /// Per-silo round work against `snapshot` (the version-`version` global
+  /// parameters) — shared verbatim by the synchronous barrier path and the
+  /// async staleness-bounded path, so the two are bitwise comparable.
+  Status LocalSiloWork(uint64_t version, const Vec& snapshot, int silo,
+                       Model& model, Vec& delta);
+
   const FederatedDataset& data_;
   FlConfig config_;
   Rng rng_;

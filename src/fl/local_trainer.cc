@@ -1,6 +1,7 @@
 #include "fl/local_trainer.h"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 #include "common/check.h"
@@ -43,6 +44,16 @@ const char* kAggFieldPrimeHex =
     "ffffffff00000001000000000000000000000000ffffffffffffffffffffffff";
 
 }  // namespace
+
+double AsyncNoiseMargin(const FlConfig& config, int num_silos) {
+  if (!config.async_rounds) return 1.0;
+  const int k =
+      config.async_buffer <= 0 ? num_silos : config.async_buffer;
+  // Exactly 1.0 at the barrier defaults (K = |S|, max_staleness = 0), so
+  // scaling by it keeps the async barrier bitwise identical to sync.
+  return (1.0 + config.max_staleness) *
+         std::sqrt(static_cast<double>(num_silos) / k);
+}
 
 Vec AggregateDeltas(const std::vector<Vec>& silo_deltas, bool secure,
                     uint64_t round_tag, ThreadPool* pool) {

@@ -47,6 +47,45 @@ struct FlConfig {
   /// aggregation is secure in all algorithms). Adds BigInt cost per
   /// coordinate; identical result up to the fixed-point precision.
   bool secure_aggregation = false;
+  /// Asynchronous staleness-bounded rounds: silo deltas are applied as
+  /// they land instead of barrier-waiting on the slowest silo. A server
+  /// step flushes once `async_buffer` updates arrived; an update computed
+  /// against a model `tau` versions old is accepted iff tau <=
+  /// max_staleness, discounted by 1 / (1 + tau). With max_staleness = 0
+  /// and async_buffer = num_silos (the defaults) every step is a barrier
+  /// over all silos and the result is bitwise identical to the
+  /// synchronous engine.
+  ///
+  /// DP accounting note: per-user clipping happens inside the silo
+  /// *before* submission, so a user's contribution to any single flushed
+  /// aggregate still has L2 sensitivity <= C — the discount alpha(tau)
+  /// <= 1 scales its terms and can only shrink that bound. Rejected
+  /// (over-stale) updates are discarded without release, which costs no
+  /// budget. Noise calibration: with the barrier defaults (async_buffer =
+  /// num_silos, max_staleness = 0) a flush carries exactly the
+  /// synchronous round's noise and the paper's per-step composition
+  /// applies verbatim. With a partial buffer K < |S| or a positive
+  /// staleness bound, a flush pools noise from only K (possibly
+  /// discounted) shares, so the noise-pooling trainers (ULDP-AVG/SGD)
+  /// scale each share by AsyncNoiseMargin = (1 + max_staleness) *
+  /// sqrt(|S| / K): even the worst flush (K maximally discounted shares)
+  /// then carries at least the noise the accountant charges for, at the
+  /// cost of over-noising fresh updates — a conservative calibration.
+  /// ULDP-NAIVE needs no inflation (its per-silo shares are already
+  /// over-calibrated for any K-subset; see the Cauchy-Schwarz note in
+  /// uldp_naive.cc), and ULDP-GROUP's noise protects its own silo's
+  /// records and scales with its own delta, so discounting is pure
+  /// post-processing there.
+  /// Central noise placement sidesteps the inflation entirely (the
+  /// server noises each flushed aggregate in full) and is the
+  /// recommended pairing for aggressive staleness settings.
+  bool async_rounds = false;
+  /// Maximum accepted staleness tau (async_rounds only).
+  int max_staleness = 0;
+  /// Arrivals buffered before a server step flushes (async_rounds only);
+  /// <= 0 resolves to the silo count. Values < num_silos let fast silos
+  /// outpace a straggler (its update lands late, discounted or rejected).
+  int async_buffer = 0;
 };
 
 /// A federated algorithm: owns its per-silo state and privacy accounting;
@@ -72,6 +111,13 @@ void TrainLocalSgd(Model& model, const std::vector<Example>& examples,
                    int epochs, int batch_size, double learning_rate, Rng& rng);
 
 class ThreadPool;
+
+/// Inflation factor for a silo's distributed noise share under async
+/// rounds (the FlConfig DP note): 1 exactly for synchronous runs and for
+/// the async barrier defaults; (1 + max_staleness) * sqrt(num_silos / K)
+/// otherwise, so even a flush of K maximally discounted shares carries
+/// the noise the accountant charges for.
+double AsyncNoiseMargin(const FlConfig& config, int num_silos);
 
 /// Sums per-silo delta vectors. With `secure` set, each delta is
 /// fixed-point-encoded, masked with pairwise ChaCha masks that cancel in

@@ -1,6 +1,7 @@
 #include "fl/round_engine.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/check.h"
 #include "fl/local_trainer.h"
@@ -13,6 +14,116 @@ RoundEngineConfig EngineConfigFrom(const FlConfig& config) {
   ec.secure_aggregation = config.secure_aggregation;
   return ec;
 }
+
+AsyncOptions AsyncOptionsFrom(const FlConfig& config) {
+  AsyncOptions opt;
+  opt.max_staleness = config.max_staleness;
+  opt.buffer_size = config.async_buffer;
+  return opt;
+}
+
+double StalenessDiscount(int staleness) {
+  return staleness == 0 ? 1.0 : 1.0 / (1.0 + staleness);
+}
+
+// ---------------------------------------------------------------------------
+// AsyncAggregator
+
+AsyncAggregator::AsyncAggregator(int num_silos, int max_staleness,
+                                 int buffer_size)
+    : num_silos_(num_silos),
+      max_staleness_(max_staleness),
+      buffer_size_(buffer_size <= 0 ? num_silos : buffer_size) {
+  ULDP_CHECK_GE(num_silos_, 1);
+  ULDP_CHECK_GE(max_staleness_, 0);
+  ULDP_CHECK_GE(buffer_size_, 1);
+  ULDP_CHECK_LE(buffer_size_, num_silos_);
+}
+
+int AsyncAggregator::Offer(int silo, int pull_version, Vec delta) {
+  ULDP_CHECK_GE(pull_version, 0);
+  ULDP_CHECK_LE(pull_version, version_);
+  const int staleness = version_ - pull_version;
+  if (staleness > max_staleness_) {
+    ++stats_.rejected;
+    return -1;
+  }
+  // Discount in place (skip the exact no-op multiply at staleness 0 so the
+  // synchronous-equivalence argument never leans on 1.0 * x == x).
+  if (staleness > 0) {
+    const double alpha = StalenessDiscount(staleness);
+    for (double& v : delta) v *= alpha;
+  }
+  entries_.push_back(Entry{pull_version, silo, std::move(delta)});
+  ++stats_.applied;
+  stats_.max_staleness_seen = std::max(stats_.max_staleness_seen, staleness);
+  return staleness;
+}
+
+Vec AsyncAggregator::Flush(bool secure, uint64_t round_tag, ThreadPool* pool) {
+  ULDP_CHECK(!entries_.empty());
+  // Deterministic reduce order: a silo contributes at most once per pulled
+  // version, so (pull_version, silo) is a unique key and the sorted order
+  // is independent of arrival interleaving.
+  std::sort(entries_.begin(), entries_.end(),
+            [](const Entry& a, const Entry& b) {
+              return a.pull_version != b.pull_version
+                         ? a.pull_version < b.pull_version
+                         : a.silo < b.silo;
+            });
+  std::vector<Vec> deltas;
+  deltas.reserve(entries_.size());
+  for (Entry& e : entries_) deltas.push_back(std::move(e.delta));
+  entries_.clear();
+  ++version_;
+  ++stats_.steps;
+  return AggregateDeltas(deltas, secure, round_tag, pool);
+}
+
+// Async-mode shared state. `mu` guards everything below it; workers block
+// on `ready_cv` for dispatchable silos, the stepping thread blocks on
+// `arrivals_cv` for completed tasks.
+struct RoundEngine::AsyncState {
+  AsyncLocalWork work;
+  AsyncOptions options;
+  AsyncAggregator aggregator;
+  bool secure = false;
+
+  std::mutex mu;
+  std::condition_variable ready_cv;
+  std::condition_variable arrivals_cv;
+  bool done = false;
+  /// Version-`snapshot_version` global parameters, valid from the StepAsync
+  /// call that published them until the next one.
+  Vec snapshot;
+  int snapshot_version = -1;
+  /// Silos ready to pull the current snapshot, in release order.
+  std::deque<int> ready;
+  /// Silos whose last update was consumed and that wait for the next
+  /// snapshot (all silos start here).
+  std::vector<bool> waiting;
+  struct Arrival {
+    int silo;
+    int pull_version;
+    Vec delta;
+    Status status;
+  };
+  std::deque<Arrival> arrivals;
+  std::vector<std::thread> workers;
+  // Injected-schedule mode only: next event index and per-silo task state.
+  size_t schedule_pos = 0;
+  std::vector<int> pull_version;   // per silo, valid while busy
+  std::vector<Vec> pull_snapshot;  // per silo, valid while busy
+  std::vector<bool> busy;
+
+  AsyncState(int num_silos, const AsyncOptions& opt)
+      : options(opt),
+        aggregator(num_silos, opt.max_staleness, opt.buffer_size),
+        waiting(num_silos, true),
+        pull_version(num_silos, -1),
+        pull_snapshot(num_silos),
+        busy(num_silos, false) {}
+};
 
 RoundEngine::RoundEngine(const Model& model, int num_silos,
                          RoundEngineConfig config)
@@ -27,6 +138,8 @@ RoundEngine::RoundEngine(const Model& model, int num_silos,
     free_models_.push_back(model_clones_.back().get());
   }
 }
+
+RoundEngine::~RoundEngine() { StopAsync(); }
 
 Model* RoundEngine::AcquireModel() {
   std::unique_lock<std::mutex> lock(model_mu_);
@@ -69,6 +182,188 @@ Result<Vec> RoundEngine::RunRound(int round, const Vec& global,
   // generation, so the knob bounds every thread this round spawns.
   return AggregateDeltas(deltas, config_.secure_aggregation,
                          static_cast<uint64_t>(round), &*pool_);
+}
+
+// ---------------------------------------------------------------------------
+// Async mode
+
+Status RoundEngine::StartAsync(AsyncLocalWork work, AsyncOptions options) {
+  if (async_ != nullptr) {
+    return Status::FailedPrecondition("async mode already started");
+  }
+  if (options.max_staleness < 0) {
+    return Status::InvalidArgument("max_staleness must be >= 0");
+  }
+  const int k = options.buffer_size <= 0 ? num_silos_ : options.buffer_size;
+  if (k < 1 || k > num_silos_) {
+    return Status::InvalidArgument(
+        "async_buffer must be in [1, num_silos]; got " + std::to_string(k));
+  }
+  for (int s : options.arrival_schedule) {
+    if (s < 0 || s >= num_silos_) {
+      return Status::InvalidArgument("arrival schedule names silo " +
+                                     std::to_string(s) + " of " +
+                                     std::to_string(num_silos_));
+    }
+  }
+  async_ = std::make_unique<AsyncState>(num_silos_, options);
+  async_->work = std::move(work);
+  async_->secure = config_.secure_aggregation;
+  if (options.arrival_schedule.empty()) {
+    const int workers = std::min(num_silos_, pool_->num_threads());
+    async_->workers.reserve(workers);
+    for (int i = 0; i < workers; ++i) {
+      async_->workers.emplace_back([this] { AsyncWorkerLoop(); });
+    }
+  }
+  return Status::Ok();
+}
+
+void RoundEngine::StopAsync() {
+  if (async_ == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lock(async_->mu);
+    async_->done = true;
+  }
+  async_->ready_cv.notify_all();
+  for (std::thread& t : async_->workers) t.join();
+  async_->workers.clear();
+}
+
+AsyncStats RoundEngine::async_stats() const {
+  ULDP_CHECK(async_ != nullptr);
+  std::lock_guard<std::mutex> lock(async_->mu);
+  return async_->aggregator.stats();
+}
+
+void RoundEngine::AsyncWorkerLoop() {
+  AsyncState& st = *async_;
+  std::unique_lock<std::mutex> lock(st.mu);
+  for (;;) {
+    st.ready_cv.wait(lock, [&] { return st.done || !st.ready.empty(); });
+    if (st.done) return;
+    const int silo = st.ready.front();
+    st.ready.pop_front();
+    // Pull at pop time: the task binds to the latest published snapshot,
+    // minimizing the staleness it will be charged on arrival.
+    const int pull_version = st.snapshot_version;
+    Vec snapshot = st.snapshot;
+    lock.unlock();
+
+    Model* model = AcquireModel();
+    model->SetParams(snapshot);
+    Vec delta(snapshot.size(), 0.0);
+    Status status = st.work(pull_version, silo, snapshot, *model, delta);
+    ReleaseModel(model);
+
+    lock.lock();
+    st.arrivals.push_back(AsyncState::Arrival{silo, pull_version,
+                                              std::move(delta),
+                                              std::move(status)});
+    st.arrivals_cv.notify_all();
+  }
+}
+
+Result<Vec> RoundEngine::StepAsync(int round, const Vec& global) {
+  if (async_ == nullptr) {
+    return Status::FailedPrecondition("StartAsync() has not run");
+  }
+  AsyncState& st = *async_;
+  {
+    std::lock_guard<std::mutex> lock(st.mu);
+    if (round != st.aggregator.version()) {
+      return Status::FailedPrecondition(
+          "StepAsync round " + std::to_string(round) +
+          " does not match the engine version " +
+          std::to_string(st.aggregator.version()));
+    }
+    ULDP_CHECK_EQ(global.size(), model_clones_[0]->NumParams());
+    st.snapshot = global;
+    st.snapshot_version = round;
+  }
+  return st.options.arrival_schedule.empty() ? StepAsyncThreaded(round)
+                                             : StepAsyncScheduled(round);
+}
+
+Result<Vec> RoundEngine::StepAsyncThreaded(int round) {
+  AsyncState& st = *async_;
+  std::unique_lock<std::mutex> lock(st.mu);
+  // Release every silo that was waiting for this snapshot, in silo order.
+  for (int s = 0; s < num_silos_; ++s) {
+    if (!st.waiting[s]) continue;
+    st.waiting[s] = false;
+    st.ready.push_back(s);
+  }
+  st.ready_cv.notify_all();
+
+  while (!st.aggregator.ReadyToFlush()) {
+    st.arrivals_cv.wait(lock, [&] { return !st.arrivals.empty(); });
+    AsyncState::Arrival arrival = std::move(st.arrivals.front());
+    st.arrivals.pop_front();
+    if (!arrival.status.ok()) return arrival.status;
+    const int staleness = st.aggregator.Offer(
+        arrival.silo, arrival.pull_version, std::move(arrival.delta));
+    if (staleness < 0) {
+      // Over the bound: discard and retrain against the current snapshot.
+      st.ready.push_back(arrival.silo);
+      st.ready_cv.notify_all();
+    } else {
+      st.waiting[arrival.silo] = true;
+    }
+  }
+  // Flush outside the lock: the reduce (which may run masks on the pool)
+  // must not block workers pulling the next snapshot. The entries and the
+  // version advance atomically inside the aggregator call below, which is
+  // only reached by this (single) stepping thread.
+  AsyncAggregator& agg = st.aggregator;
+  const bool secure = st.secure;
+  lock.unlock();
+  return agg.Flush(secure, static_cast<uint64_t>(round), &*pool_);
+}
+
+Result<Vec> RoundEngine::StepAsyncScheduled(int round) {
+  AsyncState& st = *async_;
+  // Serial deterministic mode: no locking — everything runs on the caller.
+  for (int s = 0; s < num_silos_; ++s) {
+    if (!st.waiting[s]) continue;
+    st.waiting[s] = false;
+    st.busy[s] = true;
+    st.pull_version[s] = round;
+    st.pull_snapshot[s] = st.snapshot;
+  }
+  while (!st.aggregator.ReadyToFlush()) {
+    if (st.schedule_pos >= st.options.arrival_schedule.size()) {
+      return Status::InvalidArgument(
+          "arrival schedule exhausted before step " + std::to_string(round) +
+          " flushed");
+    }
+    const int silo = st.options.arrival_schedule[st.schedule_pos++];
+    if (!st.busy[silo]) {
+      return Status::InvalidArgument(
+          "arrival schedule names silo " + std::to_string(silo) +
+          " which has no task in flight");
+    }
+    Model* model = AcquireModel();
+    model->SetParams(st.pull_snapshot[silo]);
+    Vec delta(st.pull_snapshot[silo].size(), 0.0);
+    Status status = st.work(st.pull_version[silo], silo,
+                            st.pull_snapshot[silo], *model, delta);
+    ReleaseModel(model);
+    if (!status.ok()) return status;
+    st.busy[silo] = false;
+    const int staleness =
+        st.aggregator.Offer(silo, st.pull_version[silo], std::move(delta));
+    if (staleness < 0) {
+      // Retrain immediately against the current snapshot.
+      st.busy[silo] = true;
+      st.pull_version[silo] = st.aggregator.version();
+      st.pull_snapshot[silo] = st.snapshot;
+    } else {
+      st.waiting[silo] = true;
+    }
+  }
+  return st.aggregator.Flush(st.secure, static_cast<uint64_t>(round),
+                             &*pool_);
 }
 
 }  // namespace uldp

@@ -1,0 +1,327 @@
+#include "net/async_rounds.h"
+
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "common/check.h"
+#include "net/messages.h"
+#include "nn/model.h"
+
+namespace uldp {
+namespace net {
+
+uint64_t AsyncRoundsWireDigest(const AsyncRoundsConfig& config, int num_silos,
+                               int dim) {
+  WireWriter w;
+  w.U16(kWireVersion);
+  w.U32(static_cast<uint32_t>(config.max_staleness));
+  w.U32(static_cast<uint32_t>(config.buffer_size <= 0 ? num_silos
+                                                      : config.buffer_size));
+  w.F64(config.step_scale);
+  w.U64(config.seed);
+  w.U32(static_cast<uint32_t>(num_silos));
+  w.U32(static_cast<uint32_t>(dim));
+  return WireDigest(w.buffer());
+}
+
+// ---------------------------------------------------------------------------
+// AsyncRoundServer
+
+AsyncRoundServer::AsyncRoundServer(const AsyncRoundsConfig& config,
+                                   int num_silos, int dim)
+    : config_(config), num_silos_(num_silos), dim_(dim), conns_(num_silos) {
+  ULDP_CHECK_GE(num_silos_, 1);
+  ULDP_CHECK_GE(dim_, 1);
+}
+
+int AsyncRoundServer::connected_silos() const {
+  int n = 0;
+  for (const auto& c : conns_) n += c != nullptr ? 1 : 0;
+  return n;
+}
+
+Status AsyncRoundServer::AddConnection(std::unique_ptr<Transport> transport) {
+  auto frame = transport->Recv();
+  if (!frame.ok()) return frame.status();
+  if (frame.value().type == static_cast<uint16_t>(MessageType::kError)) {
+    return StatusFromErrorFrame(frame.value(), "joining silo");
+  }
+  auto join_or = FromFrame<JoinMsg>(frame.value());
+  if (!join_or.ok()) return join_or.status();
+  const JoinMsg& join = join_or.value();
+
+  // Unsigned comparisons throughout (same hostile-id discipline as
+  // ProtocolServer::AddConnection).
+  Status verdict = Status::Ok();
+  if (join.num_silos != static_cast<uint32_t>(num_silos_) ||
+      join.num_users != static_cast<uint32_t>(dim_)) {
+    verdict = Status::InvalidArgument(
+        "silo announced cohort " + std::to_string(join.num_silos) + " x dim " +
+        std::to_string(join.num_users) + ", server expects " +
+        std::to_string(num_silos_) + " x dim " + std::to_string(dim_));
+  } else if (join.config_digest !=
+             AsyncRoundsWireDigest(config_, num_silos_, dim_)) {
+    verdict = Status::InvalidArgument(
+        "async-round config digest mismatch: silo and server were started "
+        "with different parameters");
+  } else if (join.silo_id >= static_cast<uint32_t>(num_silos_)) {
+    verdict = Status::InvalidArgument(
+        "silo id " + std::to_string(join.silo_id) + " out of range");
+  } else if (conns_[join.silo_id] != nullptr) {
+    verdict = Status::InvalidArgument(
+        "silo id " + std::to_string(join.silo_id) + " already connected");
+  }
+  if (!verdict.ok()) {
+    transport->Send(MakeErrorFrame(verdict));  // tell the client why
+    return verdict;
+  }
+  conns_[join.silo_id] = std::move(transport);
+  return Status::Ok();
+}
+
+Status AsyncRoundServer::Release(int silo, uint64_t version,
+                                 const Vec& global) {
+  StalenessInfoMsg info;
+  info.version = version;
+  info.max_staleness = static_cast<uint32_t>(config_.max_staleness);
+  info.buffer_size = static_cast<uint32_t>(
+      config_.buffer_size <= 0 ? num_silos_ : config_.buffer_size);
+  info.params = global;
+  return conns_[silo]->Send(ToFrame(info));
+}
+
+void AsyncRoundServer::FailAll(const Status& status) {
+  Frame frame = MakeErrorFrame(status);
+  for (const auto& conn : conns_) {
+    if (conn != nullptr) conn->Send(frame);  // best effort
+  }
+}
+
+Result<Vec> AsyncRoundServer::Run(int num_steps, Vec global) {
+  auto out = RunInternal(num_steps, std::move(global));
+  if (!out.ok()) FailAll(out.status());
+  return out;
+}
+
+Result<Vec> AsyncRoundServer::RunInternal(int num_steps, Vec global) {
+  if (connected_silos() != num_silos_) {
+    return Status::FailedPrecondition(
+        std::to_string(connected_silos()) + " of " +
+        std::to_string(num_silos_) + " silos connected");
+  }
+  if (num_steps < 1) {
+    return Status::InvalidArgument("num_steps must be >= 1");
+  }
+  if (global.size() != static_cast<size_t>(dim_)) {
+    return Status::InvalidArgument("initial parameter dimension mismatch");
+  }
+  stats_ = AsyncStats{};
+  AsyncAggregator aggregator(num_silos_, config_.max_staleness,
+                             config_.buffer_size);
+
+  // One reader thread per silo feeds a single arrival queue: that is what
+  // "deltas applied as they land" means over blocking transports. Frame
+  // accounting keeps shutdown deadlock-free: every Release owes the
+  // server exactly one response frame, a reader only blocks in Recv while
+  // a frame is owed (it is in flight or will be sent by a live peer), and
+  // once `done` is set readers drain their owed frames and exit — no
+  // transport ever has to be torn down under a straggler's final ack.
+  struct Event {
+    int silo;
+    Result<Frame> frame;
+  };
+  std::mutex mu;
+  std::condition_variable events_cv;   // stepping loop waits for arrivals
+  std::condition_variable readers_cv;  // readers wait for owed frames
+  std::deque<Event> events;
+  std::vector<int> owed(num_silos_, 0);
+  bool done = false;
+  std::vector<std::thread> readers;
+  readers.reserve(num_silos_);
+  for (int s = 0; s < num_silos_; ++s) {
+    readers.emplace_back([&, s] {
+      for (;;) {
+        {
+          std::unique_lock<std::mutex> lock(mu);
+          readers_cv.wait(lock, [&] { return owed[s] > 0 || done; });
+          if (owed[s] == 0) return;
+          --owed[s];
+        }
+        auto frame = conns_[s]->Recv();
+        const bool terminal = !frame.ok();
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          events.push_back(Event{s, std::move(frame)});
+        }
+        events_cv.notify_all();
+        if (terminal) return;
+      }
+    });
+  }
+  auto release = [&](int silo, const Vec& params) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      ++owed[silo];
+    }
+    Status sent =
+        Release(silo, static_cast<uint64_t>(aggregator.version()), params);
+    readers_cv.notify_all();
+    return sent;
+  };
+  // Always runs before returning: tells the silos the run is over (Ok
+  // path) or already failed (FailAll ran), then lets the readers drain.
+  auto finish = [&](bool send_shutdown) {
+    if (send_shutdown) {
+      Frame shutdown = ToFrame(ShutdownMsg{});
+      for (const auto& conn : conns_) conn->Send(shutdown);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      done = true;
+    }
+    readers_cv.notify_all();
+    for (std::thread& t : readers) t.join();
+  };
+
+  // All silos start on version 0.
+  for (int s = 0; s < num_silos_; ++s) {
+    Status sent = release(s, global);
+    if (!sent.ok()) {
+      finish(/*send_shutdown=*/true);
+      return sent;
+    }
+  }
+
+  std::vector<bool> waiting(num_silos_, false);
+  for (int step = 0; step < num_steps; ++step) {
+    while (!aggregator.ReadyToFlush()) {
+      std::unique_lock<std::mutex> lock(mu);
+      events_cv.wait(lock, [&] { return !events.empty(); });
+      Event event = std::move(events.front());
+      events.pop_front();
+      lock.unlock();
+      Status verdict = Status::Ok();
+      if (!event.frame.ok()) {
+        verdict = event.frame.status();
+      } else if (event.frame.value().type ==
+                 static_cast<uint16_t>(MessageType::kError)) {
+        verdict = StatusFromErrorFrame(event.frame.value(),
+                                       "silo " + std::to_string(event.silo));
+      }
+      RoundAckMsg ack;
+      if (verdict.ok()) {
+        auto msg = FromFrame<RoundAckMsg>(event.frame.value());
+        if (!msg.ok()) {
+          verdict = msg.status();
+        } else if (msg.value().silo_id != static_cast<uint32_t>(event.silo)) {
+          verdict = Status::InvalidArgument("round ack from wrong silo id");
+        } else if (msg.value().delta.size() != static_cast<size_t>(dim_)) {
+          verdict = Status::InvalidArgument("round ack dimension mismatch");
+        } else if (msg.value().version >
+                   static_cast<uint64_t>(aggregator.version())) {
+          verdict = Status::InvalidArgument("round ack from the future");
+        } else {
+          ack = std::move(msg.value());
+        }
+      }
+      if (!verdict.ok()) {
+        FailAll(verdict);
+        finish(/*send_shutdown=*/false);
+        return verdict;
+      }
+      const int staleness = aggregator.Offer(
+          event.silo, static_cast<int>(ack.version), std::move(ack.delta));
+      if (staleness < 0) {
+        // Over the bound: drop and retrain against the current model.
+        Status sent = release(event.silo, global);
+        if (!sent.ok()) {
+          finish(/*send_shutdown=*/true);
+          return sent;
+        }
+      } else {
+        waiting[event.silo] = true;
+      }
+    }
+    Vec sum = aggregator.Flush(/*secure=*/false,
+                               static_cast<uint64_t>(step), nullptr);
+    Axpy(config_.step_scale, sum, global);
+    // Release every silo whose update was consumed, in silo order.
+    for (int s = 0; s < num_silos_; ++s) {
+      if (!waiting[s]) continue;
+      waiting[s] = false;
+      if (step + 1 == num_steps) continue;  // shutdown follows
+      Status sent = release(s, global);
+      if (!sent.ok()) {
+        finish(/*send_shutdown=*/true);
+        return sent;
+      }
+    }
+  }
+  stats_ = aggregator.stats();
+  finish(/*send_shutdown=*/true);
+  return global;
+}
+
+// ---------------------------------------------------------------------------
+// AsyncRoundClient
+
+AsyncRoundClient::AsyncRoundClient(const AsyncRoundsConfig& config,
+                                   int silo_id, int num_silos, int dim)
+    : config_(config), silo_id_(silo_id), num_silos_(num_silos), dim_(dim) {
+  ULDP_CHECK_GE(silo_id_, 0);
+  ULDP_CHECK_LT(silo_id_, num_silos_);
+  ULDP_CHECK_GE(dim_, 1);
+}
+
+Status AsyncRoundClient::Run(Transport& transport, const WorkFn& work) {
+  Status status = RunLoop(transport, work);
+  if (!status.ok()) {
+    transport.Send(MakeErrorFrame(status));  // best effort
+  }
+  return status;
+}
+
+Status AsyncRoundClient::RunLoop(Transport& transport, const WorkFn& work) {
+  JoinMsg join;
+  join.silo_id = static_cast<uint32_t>(silo_id_);
+  join.num_silos = static_cast<uint32_t>(num_silos_);
+  join.num_users = static_cast<uint32_t>(dim_);
+  join.config_digest = AsyncRoundsWireDigest(config_, num_silos_, dim_);
+  ULDP_RETURN_IF_ERROR(transport.Send(ToFrame(join)));
+
+  for (;;) {
+    auto frame = transport.Recv();
+    if (!frame.ok()) return frame.status();
+    const uint16_t type = frame.value().type;
+    if (type == static_cast<uint16_t>(MessageType::kShutdown)) {
+      return Status::Ok();
+    }
+    if (type == static_cast<uint16_t>(MessageType::kError)) {
+      return StatusFromErrorFrame(frame.value(), "server");
+    }
+    auto info = FromFrame<StalenessInfoMsg>(frame.value());
+    if (!info.ok()) return info.status();
+    if (info.value().params.size() != static_cast<size_t>(dim_)) {
+      return Status::InvalidArgument("released parameters have dim " +
+                                     std::to_string(info.value().params.size()) +
+                                     ", expected " + std::to_string(dim_));
+    }
+    Vec delta;
+    ULDP_RETURN_IF_ERROR(
+        work(info.value().version, info.value().params, &delta));
+    if (delta.size() != static_cast<size_t>(dim_)) {
+      return Status::Internal("local work produced a wrong-sized delta");
+    }
+    RoundAckMsg ack;
+    ack.version = info.value().version;
+    ack.silo_id = static_cast<uint32_t>(silo_id_);
+    ack.delta = std::move(delta);
+    ULDP_RETURN_IF_ERROR(transport.Send(ToFrame(ack)));
+  }
+}
+
+}  // namespace net
+}  // namespace uldp

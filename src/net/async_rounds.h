@@ -1,0 +1,125 @@
+// Asynchronous staleness-bounded FL rounds over the transport layer: the
+// distributed counterpart of RoundEngine's async mode (fl/round_engine.h).
+// An AsyncRoundServer holds one Transport per silo and applies silo deltas
+// as they land — bounded by max_staleness, discounted by 1/(1+staleness),
+// flushed every buffer_size arrivals — instead of barrier-waiting on the
+// slowest silo. An AsyncRoundClient serves one silo: it trains whenever
+// the server releases it with a model snapshot and submits its delta.
+//
+// Message flow (client perspective):
+//
+//   -> Join                    (silo id, cohort shape, config digest)
+//   repeated:
+//     <- StalenessInfo         (version, staleness bound, global params)
+//     -> RoundAck              (version trained against, silo delta)
+//   <- Shutdown
+//
+// Determinism: the server's reduce is AsyncAggregator's — buffered entries
+// sorted by (pull_version, silo) — so it is a pure function of the buffer
+// contents, never of network interleaving. With max_staleness = 0 and
+// buffer_size = num_silos every step is a barrier over all silos and the
+// run is bitwise identical to the synchronous RoundEngine on the same
+// work, over any transport (tested over ChannelTransport and loopback
+// TCP). With a larger bound the *set* of applied updates depends on real
+// arrival timing — that is the point — but every applied update's content
+// is still a pure function of (version, silo).
+//
+// DP accounting: silos clip per user and add their noise share before
+// submission, so a user's contribution to any flushed aggregate has
+// unchanged sensitivity; see FlConfig::async_rounds for the full note.
+
+#ifndef ULDP_NET_ASYNC_ROUNDS_H_
+#define ULDP_NET_ASYNC_ROUNDS_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "fl/round_engine.h"
+#include "net/transport.h"
+#include "nn/tensor.h"
+
+namespace uldp {
+namespace net {
+
+/// Cohort-wide async-round parameters; every party must be started with
+/// identical values (enforced by a digest in the Join handshake).
+struct AsyncRoundsConfig {
+  /// Maximum accepted staleness tau; updates older than this are dropped
+  /// and the silo retrains against the current model.
+  int max_staleness = 0;
+  /// Arrivals per server step; <= 0 resolves to the silo count.
+  int buffer_size = 0;
+  /// Server update: global += step_scale * flushed_sum (the trainer's
+  /// eta_g / |S| scaling).
+  double step_scale = 1.0;
+  /// Work seed, digested so all parties agree on the task content.
+  uint64_t seed = 0;
+};
+
+/// Digest of the async-round configuration plus the cohort shape, compared
+/// at join time exactly like ProtocolWireDigest.
+uint64_t AsyncRoundsWireDigest(const AsyncRoundsConfig& config, int num_silos,
+                               int dim);
+
+class AsyncRoundServer {
+ public:
+  AsyncRoundServer(const AsyncRoundsConfig& config, int num_silos, int dim);
+
+  /// Performs the Join handshake on a freshly connected transport and
+  /// registers it under the announced silo id (rejects duplicates,
+  /// out-of-range ids, and config-digest mismatches with an Error frame).
+  Status AddConnection(std::unique_ptr<Transport> transport);
+  int connected_silos() const;
+
+  /// Drives `num_steps` staleness-bounded server steps starting from
+  /// `global` and returns the final parameters. Requires every silo
+  /// connected. On failure every silo is told (Error frame) so no client
+  /// is left blocked in Recv.
+  Result<Vec> Run(int num_steps, Vec global);
+
+  /// Applied/rejected/step counters of the last Run.
+  const AsyncStats& stats() const { return stats_; }
+
+ private:
+  Result<Vec> RunInternal(int num_steps, Vec global);
+  Status Release(int silo, uint64_t version, const Vec& global);
+  void FailAll(const Status& status);
+
+  AsyncRoundsConfig config_;
+  int num_silos_;
+  int dim_;
+  std::vector<std::unique_ptr<Transport>> conns_;  // [silo id]
+  AsyncStats stats_;
+};
+
+class AsyncRoundClient {
+ public:
+  /// Local work for one released version: fills `delta` (resized to the
+  /// model dimension) with this silo's clipped, noised contribution
+  /// against `params`. All randomness must come from Fork(version, silo)
+  /// substreams of the shared seed.
+  using WorkFn = std::function<Status(uint64_t version, const Vec& params,
+                                      Vec* delta)>;
+
+  AsyncRoundClient(const AsyncRoundsConfig& config, int silo_id,
+                   int num_silos, int dim);
+
+  /// Serves async rounds over `transport` until Shutdown (returns Ok) or a
+  /// fatal error (returned; also reported to the server best-effort).
+  Status Run(Transport& transport, const WorkFn& work);
+
+ private:
+  Status RunLoop(Transport& transport, const WorkFn& work);
+
+  AsyncRoundsConfig config_;
+  int silo_id_;
+  int num_silos_;
+  int dim_;
+};
+
+}  // namespace net
+}  // namespace uldp
+
+#endif  // ULDP_NET_ASYNC_ROUNDS_H_

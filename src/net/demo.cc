@@ -1,5 +1,7 @@
 #include "net/demo.h"
 
+#include <chrono>
+#include <thread>
 #include <utility>
 
 #include "common/rng.h"
@@ -39,6 +41,36 @@ Status RunDemoSilo(const ProtocolConfig& config, int silo_id, int num_silos,
     return Status::Ok();
   };
   return client.Run(transport, input);
+}
+
+std::function<Status(uint64_t version, const Vec& params, Vec* delta)>
+MakeAsyncDemoWork(uint64_t seed, int silo, int dim, double sleep_seconds) {
+  Rng root(seed);
+  return [root, silo, dim, sleep_seconds](uint64_t version, const Vec& params,
+                                          Vec* delta) {
+    if (params.size() != static_cast<size_t>(dim)) {
+      return Status::InvalidArgument("async demo work dimension mismatch");
+    }
+    if (sleep_seconds > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(sleep_seconds));
+    }
+    Rng local = root.Fork(version, static_cast<uint64_t>(silo));
+    delta->assign(params.size(), 0.0);
+    for (size_t d = 0; d < params.size(); ++d) {
+      (*delta)[d] = -0.1 * params[d] + local.Gaussian(0.0, 0.1);
+    }
+    return Status::Ok();
+  };
+}
+
+Status RunAsyncDemoSilo(const AsyncRoundsConfig& config, int silo_id,
+                        int num_silos, int dim, Transport& transport,
+                        double sleep_seconds) {
+  AsyncRoundClient client(config, silo_id, num_silos, dim);
+  return client.Run(transport,
+                    MakeAsyncDemoWork(config.seed, silo_id, dim,
+                                      sleep_seconds));
 }
 
 }  // namespace net

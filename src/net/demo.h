@@ -8,10 +8,12 @@
 #define ULDP_NET_DEMO_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/status.h"
 #include "core/protocol_party.h"
+#include "net/async_rounds.h"
 #include "net/protocol_node.h"
 #include "net/transport.h"
 #include "nn/tensor.h"
@@ -36,6 +38,23 @@ DemoInputs MakeDemoInputs(uint64_t seed, int num_silos, int num_users,
 Status RunDemoSilo(const ProtocolConfig& config, int silo_id, int num_silos,
                    int num_users, int dim, uint64_t inputs_seed,
                    Transport& transport);
+
+/// Deterministic async-round demo work for silo `silo`: the delta is a
+/// pure function of (version, silo, pulled params) — a contraction toward
+/// the origin plus Fork(version, silo)-keyed Gaussian noise — so any
+/// driver (local engine, channel transport, loopback TCP) computing the
+/// same (version, silo) task produces bitwise-identical deltas. The
+/// params-dependence makes staleness observable: a delta computed against
+/// an old snapshot differs from a fresh one. `sleep_seconds` injects a
+/// compute-time straggler for the bench.
+std::function<Status(uint64_t version, const Vec& params, Vec* delta)>
+MakeAsyncDemoWork(uint64_t seed, int silo, int dim,
+                  double sleep_seconds = 0.0);
+
+/// Runs one async-round silo client over `transport` with the demo work.
+Status RunAsyncDemoSilo(const AsyncRoundsConfig& config, int silo_id,
+                        int num_silos, int dim, Transport& transport,
+                        double sleep_seconds = 0.0);
 
 }  // namespace net
 }  // namespace uldp

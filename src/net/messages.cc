@@ -3,10 +3,8 @@
 namespace uldp {
 namespace net {
 
-namespace {
-
-// FNV-1a over the canonical wire serialization of the public config.
-uint64_t Fnv1a(const std::vector<uint8_t>& bytes) {
+// FNV-1a over the canonical wire serialization of a public config.
+uint64_t WireDigest(const std::vector<uint8_t>& bytes) {
   uint64_t h = 1469598103934665603ull;
   for (uint8_t b : bytes) {
     h ^= b;
@@ -14,8 +12,6 @@ uint64_t Fnv1a(const std::vector<uint8_t>& bytes) {
   }
   return h;
 }
-
-}  // namespace
 
 uint64_t ProtocolWireDigest(const ProtocolConfig& config, int num_silos,
                             int num_users) {
@@ -31,7 +27,7 @@ uint64_t ProtocolWireDigest(const ProtocolConfig& config, int num_silos,
   w.U8(config.cache_enc_weights ? 1 : 0);
   w.U32(static_cast<uint32_t>(num_silos));
   w.U32(static_cast<uint32_t>(num_users));
-  return Fnv1a(w.buffer());
+  return WireDigest(w.buffer());
 }
 
 Status CheckPhaseTag(uint64_t tag, MaskPhase phase, uint64_t round) {
@@ -44,6 +40,24 @@ Status CheckPhaseTag(uint64_t tag, MaskPhase phase, uint64_t round) {
         std::to_string(round));
   }
   return Status::Ok();
+}
+
+Frame MakeErrorFrame(const Status& status) {
+  ErrorMsg msg;
+  msg.code = static_cast<uint16_t>(status.code());
+  msg.message = status.message();
+  return ToFrame(msg);
+}
+
+Status StatusFromErrorFrame(const Frame& frame, const std::string& peer) {
+  auto msg = FromFrame<ErrorMsg>(frame);
+  if (!msg.ok()) return msg.status();
+  StatusCode code = static_cast<StatusCode>(msg.value().code);
+  if (msg.value().code > static_cast<uint16_t>(StatusCode::kDeadlineExceeded) ||
+      code == StatusCode::kOk) {
+    code = StatusCode::kInternal;
+  }
+  return Status(code, peer + " reported: " + msg.value().message);
 }
 
 void JoinMsg::AppendTo(WireWriter& w) const {
@@ -253,6 +267,36 @@ Result<MaskedVectorMsg> MaskedVectorMsg::Parse(WireReader& r) {
   ULDP_RETURN_IF_ERROR(r.U64(&m.phase_tag));
   ULDP_RETURN_IF_ERROR(r.U32(&m.party_id));
   ULDP_RETURN_IF_ERROR(r.BigVec(&m.values));
+  return m;
+}
+
+void StalenessInfoMsg::AppendTo(WireWriter& w) const {
+  w.U64(version);
+  w.U32(max_staleness);
+  w.U32(buffer_size);
+  w.F64Vec(params);
+}
+
+Result<StalenessInfoMsg> StalenessInfoMsg::Parse(WireReader& r) {
+  StalenessInfoMsg m;
+  ULDP_RETURN_IF_ERROR(r.U64(&m.version));
+  ULDP_RETURN_IF_ERROR(r.U32(&m.max_staleness));
+  ULDP_RETURN_IF_ERROR(r.U32(&m.buffer_size));
+  ULDP_RETURN_IF_ERROR(r.F64Vec(&m.params));
+  return m;
+}
+
+void RoundAckMsg::AppendTo(WireWriter& w) const {
+  w.U64(version);
+  w.U32(silo_id);
+  w.F64Vec(delta);
+}
+
+Result<RoundAckMsg> RoundAckMsg::Parse(WireReader& r) {
+  RoundAckMsg m;
+  ULDP_RETURN_IF_ERROR(r.U64(&m.version));
+  ULDP_RETURN_IF_ERROR(r.U32(&m.silo_id));
+  ULDP_RETURN_IF_ERROR(r.F64Vec(&m.delta));
   return m;
 }
 

@@ -42,7 +42,13 @@ enum class MessageType : uint16_t {
   kShutdown = 15,
   kMaskedVector = 16,
   kError = 17,
+  kStalenessInfo = 18,
+  kRoundAck = 19,
 };
+
+/// FNV-1a over a canonical wire serialization — the digest primitive
+/// behind every Join-handshake config check.
+uint64_t WireDigest(const std::vector<uint8_t>& bytes);
 
 /// Digest of the public protocol configuration plus the cohort shape.
 /// Join handshakes compare digests so a silo started with mismatched
@@ -53,6 +59,15 @@ uint64_t ProtocolWireDigest(const ProtocolConfig& config, int num_silos,
 
 /// Validates a received phase tag against the expected phase and round.
 Status CheckPhaseTag(uint64_t tag, MaskPhase phase, uint64_t round);
+
+/// Wraps a fatal Status as an Error frame for the peer.
+Frame MakeErrorFrame(const Status& status);
+
+/// Turns a received Error frame into the Status it carries, preserving the
+/// transported code (out-of-range or kOk values degrade to kInternal — an
+/// Error frame is never a success). One definition for every driver, so a
+/// StatusCode addition cannot leave a stale range cap behind.
+Status StatusFromErrorFrame(const Frame& frame, const std::string& peer);
 
 // ---------------------------------------------------------------------------
 // Message structs. Convention: kType, AppendTo(WireWriter&), and
@@ -212,6 +227,32 @@ struct MaskedVectorMsg {
   std::vector<BigInt> values;
   void AppendTo(WireWriter& w) const;
   static Result<MaskedVectorMsg> Parse(WireReader& r);
+};
+
+/// Server -> silo (asynchronous FL rounds, net/async_rounds.h): releases
+/// the silo to train against the version-`version` global parameters.
+/// `max_staleness` / `buffer_size` announce the staleness-bounded update
+/// rule so a silo can sanity-check the server against its own config.
+struct StalenessInfoMsg {
+  static constexpr MessageType kType = MessageType::kStalenessInfo;
+  uint64_t version = 0;
+  uint32_t max_staleness = 0;
+  uint32_t buffer_size = 0;
+  std::vector<double> params;
+  void AppendTo(WireWriter& w) const;
+  static Result<StalenessInfoMsg> Parse(WireReader& r);
+};
+
+/// Silo -> server (asynchronous FL rounds): completes the task pulled at
+/// `version` with this silo's clipped, weighted, noised delta. The server
+/// charges it staleness (current version - `version`) on arrival.
+struct RoundAckMsg {
+  static constexpr MessageType kType = MessageType::kRoundAck;
+  uint64_t version = 0;
+  uint32_t silo_id = 0;
+  std::vector<double> delta;
+  void AppendTo(WireWriter& w) const;
+  static Result<RoundAckMsg> Parse(WireReader& r);
 };
 
 /// Either side: a fatal Status, so the peer fails with the real message

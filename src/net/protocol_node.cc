@@ -1,6 +1,7 @@
 #include "net/protocol_node.h"
 
 #include <chrono>
+#include <mutex>
 #include <utility>
 
 #include "common/check.h"
@@ -17,26 +18,14 @@ double NowSeconds() {
       .count();
 }
 
-Frame ErrorFrame(const Status& status) {
-  ErrorMsg msg;
-  msg.code = static_cast<uint16_t>(status.code());
-  msg.message = status.message();
-  return ToFrame(msg);
-}
-
-/// Turns a received Error frame into the Status it carries, preserving
-/// the transported code (unknown or kOk values degrade to kInternal — an
-/// Error frame is never a success).
-Status StatusFromErrorFrame(const Frame& frame, const std::string& peer) {
-  auto msg = FromFrame<ErrorMsg>(frame);
-  if (!msg.ok()) return msg.status();
-  StatusCode code = static_cast<StatusCode>(msg.value().code);
-  if (msg.value().code > static_cast<uint16_t>(StatusCode::kUnimplemented) ||
-      code == StatusCode::kOk) {
-    code = StatusCode::kInternal;
+/// Joins an owned prefetch thread on every exit path.
+struct ThreadJoiner {
+  std::thread t;
+  ~ThreadJoiner() { Join(); }
+  void Join() {
+    if (t.joinable()) t.join();
   }
-  return Status(code, peer + " reported: " + msg.value().message);
-}
+};
 
 }  // namespace
 
@@ -51,6 +40,48 @@ ProtocolServer::ProtocolServer(const ProtocolConfig& config, int num_silos,
       core_(config, num_silos, num_users),
       pool_(config.num_threads),
       conns_(num_silos) {}
+
+ProtocolServer::~ProtocolServer() {
+  if (prefetch_thread_.joinable()) prefetch_thread_.join();
+}
+
+std::unique_ptr<std::vector<BigInt>> ProtocolServer::TakePrefetch(
+    uint64_t round, const std::vector<bool>& user_sampled) {
+  if (!prefetch_thread_.joinable()) return nullptr;
+  prefetch_thread_.join();
+  if (!prefetch_status_.ok() || prefetch_round_ != round ||
+      prefetch_mask_ != user_sampled) {
+    // A failed or mismatched prefetch is discarded, never an error: the
+    // caller recomputes inline with the identical substreams. Repeated
+    // mask mismatches mean the driver re-samples every round (Algorithm 4
+    // Poisson sampling) — the same-mask speculation can never hit, so
+    // StartPrefetch stops speculating instead of burning an encryption
+    // sweep per round.
+    ++prefetch_misses_;
+    return nullptr;
+  }
+  prefetch_misses_ = 0;
+  ++prefetch_hits_;
+  return std::make_unique<std::vector<BigInt>>(std::move(prefetch_enc_));
+}
+
+void ProtocolServer::StartPrefetch(uint64_t round,
+                                   const std::vector<bool>& user_sampled) {
+  ULDP_CHECK(!prefetch_thread_.joinable());
+  if (prefetch_misses_ >= kMaxPrefetchMisses) return;
+  prefetch_round_ = round;
+  prefetch_mask_ = user_sampled;
+  prefetch_thread_ = std::thread([this] {
+    auto enc = core_.EncryptWeights(prefetch_round_, prefetch_mask_,
+                                    prefetch_pool_);
+    if (enc.ok()) {
+      prefetch_enc_ = std::move(enc.value());
+      prefetch_status_ = Status::Ok();
+    } else {
+      prefetch_status_ = enc.status();
+    }
+  });
+}
 
 int ProtocolServer::connected_silos() const {
   int n = 0;
@@ -81,7 +112,7 @@ Status ProtocolServer::Broadcast(const Frame& frame) {
 }
 
 void ProtocolServer::FailAll(const Status& status) {
-  Frame frame = ErrorFrame(status);
+  Frame frame = MakeErrorFrame(status);
   for (const auto& conn : conns_) {
     if (conn != nullptr) conn->Send(frame);  // best effort
   }
@@ -160,7 +191,7 @@ Status ProtocolServer::AddConnection(std::unique_ptr<Transport> transport) {
                                       " already connected");
   }
   if (!verdict.ok()) {
-    transport->Send(ErrorFrame(verdict));  // tell the client why
+    transport->Send(MakeErrorFrame(verdict));  // tell the client why
     return verdict;
   }
   conns_[join.silo_id] = std::move(transport);
@@ -328,18 +359,38 @@ Result<Vec> ProtocolServer::RunRoundInternal(
                                   frame.value()));
     }
   } else {
-    auto enc = core_.EncryptWeights(round, user_sampled, *pool_);
-    if (!enc.ok()) return enc.status();
+    // Pipelined servers serve this round from the round-ahead prefetch
+    // when it matches and immediately start precomputing the next round's
+    // ciphertexts in the background — that work overlaps the silos'
+    // weighting compute and this round's aggregation below.
+    std::unique_ptr<std::vector<BigInt>> prefetched =
+        config_.pipeline ? TakePrefetch(round, user_sampled) : nullptr;
+    std::vector<BigInt> enc_weights;
+    if (prefetched != nullptr) {
+      enc_weights = std::move(*prefetched);
+    } else {
+      auto enc = core_.EncryptWeights(round, user_sampled, *pool_);
+      if (!enc.ok()) return enc.status();
+      enc_weights = std::move(enc.value());
+    }
     RoundBeginMsg begin;
     begin.phase_tag = MakeMaskTag(MaskPhase::kRoundWeighting, round);
-    begin.enc_weights = std::move(enc.value());
+    begin.enc_weights = std::move(enc_weights);
     ULDP_RETURN_IF_ERROR(Broadcast(ToFrame(begin)));
+    if (config_.pipeline && round + 1 < kMaskTagRoundLimit) {
+      StartPrefetch(round + 1, user_sampled);
+    }
   }
   EndPhase("enc_weights");
 
-  // Gather the masked silo ciphertexts.
+  // Gather the masked silo ciphertexts. The pipelined path folds each
+  // cipher into the running product as it lands (the staleness-aware
+  // accumulate path — exact modular products make arrival order
+  // irrelevant bitwise); the lockstep path barrier-gathers then reduces.
   BeginPhase();
-  std::vector<std::vector<BigInt>> ciphers(num_silos_);
+  std::vector<std::vector<BigInt>> ciphers(config_.pipeline ? 0 : num_silos_);
+  std::vector<BigInt> incremental;
+  std::mutex fold_mu;
   std::vector<Status> status(num_silos_, Status::Ok());
   pool_->ParallelFor(static_cast<size_t>(num_silos_), [&](size_t s) {
     auto frame = RecvFrom(static_cast<int>(s));
@@ -362,13 +413,23 @@ Result<Vec> ProtocolServer::RunRoundInternal(
       status[s] = Status::InvalidArgument("cipher from wrong silo id");
       return;
     }
-    ciphers[s] = std::move(msg.value().cipher);
+    if (!config_.pipeline) {
+      ciphers[s] = std::move(msg.value().cipher);
+      return;
+    }
+    std::lock_guard<std::mutex> lock(fold_mu);
+    if (incremental.empty()) {
+      incremental.assign(msg.value().cipher.size(), BigInt(1));
+    }
+    status[s] = core_.AccumulateSiloCipher(msg.value().cipher, &incremental);
   });
   ULDP_RETURN_IF_ERROR(FirstError(status));
   EndPhase("silo_ciphers");
 
   BeginPhase();
-  auto product = core_.AggregateCiphertexts(ciphers, *pool_);
+  Result<std::vector<BigInt>> product =
+      config_.pipeline ? Result<std::vector<BigInt>>(std::move(incremental))
+                       : core_.AggregateCiphertexts(ciphers, *pool_);
   if (!product.ok()) return product.status();
   auto out = core_.DecryptAggregate(product.value(), *pool_);
   if (!out.ok()) return out.status();
@@ -403,7 +464,7 @@ Status SiloClient::Run(Transport& transport, const RoundInput& input,
                        const RoundResultFn& on_result) {
   Status status = RunLoop(transport, input, on_result);
   if (!status.ok()) {
-    transport.Send(ErrorFrame(status));  // best effort
+    transport.Send(MakeErrorFrame(status));  // best effort
   }
   return status;
 }
@@ -555,9 +616,15 @@ Status SiloClient::RunLoop(Transport& transport, const RoundInput& input,
   if (!ack.ok()) return ack.status();
 
   // -- Round loop ----------------------------------------------------------
+  // Pipelining: while the server aggregates and decrypts round r, this
+  // silo precomputes its round-r+1 pairwise masks on a side thread (same
+  // PRF evaluations FinishRound would run inline — bitwise identical).
+  // The joiner below is the happens-before edge before the masks are read.
+  ThreadJoiner premask;
   for (;;) {
     frame = transport.Recv();
     if (!frame.ok()) return frame.status();
+    premask.Join();
     const uint16_t type = frame.value().type;
     if (type == static_cast<uint16_t>(MessageType::kShutdown)) {
       return Status::Ok();
@@ -640,6 +707,15 @@ Status SiloClient::RunLoop(Transport& transport, const RoundInput& input,
     cipher_msg.silo_id = static_cast<uint32_t>(silo_id_);
     cipher_msg.cipher = std::move(cipher.value());
     ULDP_RETURN_IF_ERROR(transport.Send(ToFrame(cipher_msg)));
+    if (config_.pipeline && config_.ot_slots <= 0 &&
+        round + 1 < kMaskTagRoundLimit) {
+      const size_t dim = noise.size();
+      premask.t = std::thread([this, round, dim] {
+        // Best-effort: the only failure mode (missing pair keys) is
+        // impossible here, and FinishRound recomputes inline on a miss.
+        core_->PrecomputeRoundMasks(round + 1, dim, premask_pool_).ok();
+      });
+    }
 
     frame = transport.Recv();
     if (!frame.ok()) return frame.status();

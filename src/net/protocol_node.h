@@ -30,6 +30,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/parallel.h"
@@ -54,15 +55,16 @@ struct NetPhaseStats {
 class ProtocolServer {
  public:
   ProtocolServer(const ProtocolConfig& config, int num_silos, int num_users);
+  ~ProtocolServer();
 
   /// Performs the Join handshake on a freshly connected transport and
   /// registers it under the silo id the client announced. Rejects
   /// duplicate ids, out-of-range ids, and config-digest mismatches (the
   /// client receives an Error frame explaining why). Blocks until the
-  /// join frame arrives: a connected-but-silent peer stalls the accept
-  /// loop (no handshake timeout yet — acceptable for the trusted-cohort
-  /// simulation scale, a deployment would handshake per-connection with
-  /// a recv deadline).
+  /// join frame arrives; to keep a connected-but-silent peer from
+  /// stalling the accept loop, set a recv deadline on the transport first
+  /// (TcpTransport::SetRecvTimeout — the CLI's --net-timeout does this)
+  /// so the handshake fails with DeadlineExceeded instead of hanging.
   Status AddConnection(std::unique_ptr<Transport> transport);
   int connected_silos() const;
 
@@ -75,7 +77,22 @@ class ProtocolServer {
   /// is also broadcast to the silos). `user_sampled` is ignored in OT
   /// mode, exactly like the in-process WeightingRound. On failure every
   /// silo is told (Error frame) so no client is left blocked in Recv.
+  ///
+  /// With config.pipeline set (and OT off), round r+1's encrypted weights
+  /// are precomputed on a background thread while round r's silo ciphers
+  /// are gathered and aggregated — the randomizers come from the same
+  /// Fork(round, user) substreams either way, so pipelined and lockstep
+  /// runs are bitwise identical. The prefetch assumes the sampling mask is
+  /// unchanged; RunRound discards a mismatched prefetch, encrypts inline,
+  /// and stops speculating after repeated misses (a driver that
+  /// re-samples every round would otherwise waste a full encryption sweep
+  /// per round). Arriving silo ciphers are folded into the aggregate as
+  /// they land (ServerCore::AccumulateSiloCipher) instead of
+  /// barrier-gathered.
   Result<Vec> RunRound(uint64_t round, const std::vector<bool>& user_sampled);
+
+  /// Encrypted-weight rounds served from the pipeline prefetch.
+  uint64_t prefetch_hits() const { return prefetch_hits_; }
 
   /// Tells every silo the run is over; their Run() loops return Ok.
   Status Shutdown();
@@ -88,6 +105,13 @@ class ProtocolServer {
   Status RunSetupInternal();
   Result<Vec> RunRoundInternal(uint64_t round,
                                const std::vector<bool>& user_sampled);
+  /// Joins a pending enc-weight prefetch; returns its ciphertexts when it
+  /// matches (round, mask) and was clean, null otherwise.
+  std::unique_ptr<std::vector<BigInt>> TakePrefetch(
+      uint64_t round, const std::vector<bool>& user_sampled);
+  /// Starts the round-`round` enc-weight prefetch on a background thread
+  /// (runs serially there — the main pool keeps driving the live round).
+  void StartPrefetch(uint64_t round, const std::vector<bool>& user_sampled);
   Status SendTo(int silo, const Frame& frame);
   /// Receives the next frame from `silo`, turning Error frames into the
   /// Status they carry.
@@ -109,6 +133,24 @@ class ProtocolServer {
   uint64_t phase_sent_start_ = 0;
   uint64_t phase_received_start_ = 0;
   double phase_time_start_ = 0.0;
+
+  // Pipeline prefetch state (config_.pipeline). The prefetch thread runs
+  // EncryptWeights inline on itself (a 1-thread pool spawns no workers),
+  // touching only plaintext-independent randomizer state, while the main
+  // thread's concurrent work on the round is read-only w.r.t. that state;
+  // the join in TakePrefetch is the happens-before edge before anyone
+  // reads the result.
+  ThreadPool prefetch_pool_{1};
+  std::thread prefetch_thread_;
+  uint64_t prefetch_round_ = 0;
+  std::vector<bool> prefetch_mask_;
+  Status prefetch_status_ = Status::Ok();
+  std::vector<BigInt> prefetch_enc_;
+  uint64_t prefetch_hits_ = 0;
+  /// Consecutive discarded prefetches; at the cap the speculation is
+  /// disabled (a per-round-resampling driver can never hit it).
+  static constexpr int kMaxPrefetchMisses = 2;
+  int prefetch_misses_ = 0;
 };
 
 class SiloClient {
@@ -145,6 +187,9 @@ class SiloClient {
   std::vector<int> histogram_;
   PoolHandle pool_;
   std::unique_ptr<SiloCore> core_;  // built after SetupParams arrives
+  /// Pipeline mask prefetch runs inline on its own thread (see
+  /// ProtocolServer::prefetch_pool_ for the same pattern).
+  ThreadPool premask_pool_{1};
 };
 
 }  // namespace net

@@ -4,6 +4,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -73,6 +74,14 @@ Status TcpTransport::ReadAll(uint8_t* data, size_t size) {
     ssize_t n = ::recv(fd_, data + done, size - done, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_RCVTIMEO fired. The deadline can land mid-frame, leaving the
+        // stream unframeable, so the connection is closed rather than
+        // resumed.
+        Close();
+        return Status::DeadlineExceeded(
+            "tcp: recv deadline exceeded waiting for a peer frame");
+      }
       return Status::Internal(Errno("tcp: recv"));
     }
     if (n == 0) {
@@ -82,6 +91,20 @@ Status TcpTransport::ReadAll(uint8_t* data, size_t size) {
     done += static_cast<size_t>(n);
   }
   received_ += size;
+  return Status::Ok();
+}
+
+Status TcpTransport::SetRecvTimeout(int milliseconds) {
+  if (fd_ < 0) return Status::FailedPrecondition("tcp transport closed");
+  if (milliseconds < 0) {
+    return Status::InvalidArgument("recv timeout must be >= 0 ms");
+  }
+  timeval tv{};
+  tv.tv_sec = milliseconds / 1000;
+  tv.tv_usec = (milliseconds % 1000) * 1000;
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    return Status::Internal(Errno("tcp: setsockopt(SO_RCVTIMEO)"));
+  }
   return Status::Ok();
 }
 

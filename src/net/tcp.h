@@ -35,6 +35,14 @@ class TcpTransport : public Transport {
   uint64_t bytes_sent() const override { return sent_; }
   uint64_t bytes_received() const override { return received_; }
 
+  /// Recv deadline via SO_RCVTIMEO: a Recv that sees no bytes for
+  /// `milliseconds` fails with DeadlineExceeded instead of blocking
+  /// forever on a silent peer (the ROADMAP's AddConnection/Recv hang).
+  /// 0 restores fully blocking reads. A timeout can fire mid-frame, after
+  /// which the byte stream is unframeable, so a timed-out transport is
+  /// closed — callers treat DeadlineExceeded as fatal for the connection.
+  Status SetRecvTimeout(int milliseconds);
+
  private:
   Status WriteAll(const uint8_t* data, size_t size);
   Status ReadAll(uint8_t* data, size_t size);

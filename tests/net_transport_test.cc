@@ -5,6 +5,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <thread>
 
 #include "net/tcp.h"
@@ -97,6 +98,51 @@ TEST(TcpTransportTest, LoopbackSendRecv) {
   client_thread.join();
   EXPECT_EQ(server.value()->bytes_received(),
             kFrameHeaderSize + (1u << 20));
+}
+
+TEST(TcpTransportTest, RecvDeadlineFailsFastOnSilentPeer) {
+  auto listener = TcpListener::Listen(0);
+  ASSERT_TRUE(listener.ok());
+  auto client = TcpTransport::Connect("127.0.0.1", listener.value().port());
+  ASSERT_TRUE(client.ok());
+  auto server = listener.value().Accept();
+  ASSERT_TRUE(server.ok());
+
+  // The client never sends a byte; without the deadline this Recv would
+  // block forever (the ROADMAP's silent-peer hang).
+  ASSERT_TRUE(server.value()->SetRecvTimeout(100).ok());
+  auto start = std::chrono::steady_clock::now();
+  auto frame = server.value()->Recv();
+  auto elapsed = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_LT(elapsed, 5.0);
+  // The timed-out transport is closed (mid-frame timeouts desync the
+  // stream); further reads fail as closed, not as timeouts.
+  EXPECT_FALSE(server.value()->Recv().ok());
+}
+
+TEST(TcpTransportTest, RecvDeadlineZeroRestoresBlockingReads) {
+  auto listener = TcpListener::Listen(0);
+  ASSERT_TRUE(listener.ok());
+  auto client = TcpTransport::Connect("127.0.0.1", listener.value().port());
+  ASSERT_TRUE(client.ok());
+  auto server = listener.value().Accept();
+  ASSERT_TRUE(server.ok());
+  ASSERT_TRUE(server.value()->SetRecvTimeout(200).ok());
+  ASSERT_TRUE(server.value()->SetRecvTimeout(0).ok());
+  std::thread sender([&client] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(350));
+    ASSERT_TRUE(client.value()->Send(TestFrame(3, 16)).ok());
+  });
+  // With the deadline cleared, a frame arriving after the old 200 ms
+  // deadline is still received.
+  auto frame = server.value()->Recv();
+  sender.join();
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_EQ(frame.value().type, 3);
 }
 
 TEST(TcpTransportTest, ConnectErrorsAreStatusesNotAborts) {

@@ -1,0 +1,170 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: compare BENCH_*.json against committed baselines.
+
+Each baseline file in bench/baselines/ names one bench and a list of
+checks over its samples:
+
+    {
+      "bench": "async_rounds",            # matches BENCH_<bench>.json
+      "required": true,                   # fail when the bench JSON is absent
+      "checks": [
+        {"metric": "async_speedup", "min": 1.5},
+        {"metric": "bitwise_divergence", "max": 0},
+        {"metric": "round_seconds", "labels": {"mode": "async"},
+         "baseline": 0.05, "max_regression": 0.25}
+      ]
+    }
+
+Check kinds (combinable):
+  min / max            absolute bounds on the measured value
+  baseline + max_regression
+                       latency gate: fail when value > baseline * (1 + r)
+                       (r = 0.25 means ">25% regression fails")
+
+A sample is located by metric name plus a labels subset match; exactly one
+sample must match. Any bitwise_divergence-style flag is gated with
+{"max": 0}. Exit code 0 = all gates green, 1 = regression or malformed
+input.
+
+Updating baselines after an intentional perf change:
+  cmake --build build -j && (cd build && ULDP_BENCH_SMOKE=1 ./bench_<name>)
+  then copy the new values into bench/baselines/<name>.json and commit
+  them with the change that moved the numbers. Baselines are measured in
+  CI's smoke mode (ULDP_BENCH_SMOKE=1) on the standard CI runner class;
+  re-measure them when the runner hardware changes.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_json(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def match_samples(samples, metric, labels):
+    """Samples whose metric matches and whose labels contain `labels`."""
+    out = []
+    for sample in samples:
+        if sample.get("metric") != metric:
+            continue
+        have = sample.get("labels", {})
+        if all(have.get(k) == v for k, v in labels.items()):
+            out.append(sample)
+    return out
+
+
+def run_check(bench_name, samples, check):
+    """Returns a list of failure strings (empty = check passed)."""
+    metric = check.get("metric")
+    if not metric:
+        return ["%s: check is missing a metric name" % bench_name]
+    labels = check.get("labels", {})
+    where = metric + (str(labels) if labels else "")
+    matches = match_samples(samples, metric, labels)
+    if len(matches) != 1:
+        return [
+            "%s: %s matched %d samples (need exactly 1)"
+            % (bench_name, where, len(matches))
+        ]
+    value = matches[0].get("value")
+    if not isinstance(value, (int, float)):
+        return ["%s: %s has a non-numeric value" % (bench_name, where)]
+    failures = []
+    if "min" in check and value < check["min"]:
+        failures.append(
+            "%s: %s = %g is below the floor %g"
+            % (bench_name, where, value, check["min"])
+        )
+    if "max" in check and value > check["max"]:
+        failures.append(
+            "%s: %s = %g is above the ceiling %g"
+            % (bench_name, where, value, check["max"])
+        )
+    if "baseline" in check:
+        regression = check.get("max_regression", 0.25)
+        limit = check["baseline"] * (1.0 + regression)
+        if value > limit:
+            failures.append(
+                "%s: %s = %g regressed >%d%% over baseline %g (limit %g)"
+                % (
+                    bench_name,
+                    where,
+                    value,
+                    round(regression * 100),
+                    check["baseline"],
+                    limit,
+                )
+            )
+    return failures
+
+
+def check_baseline_file(bench_dir, baseline_path):
+    """Gates one baseline file; returns (failures, skipped_reason)."""
+    baseline = load_json(baseline_path)
+    bench_name = baseline.get("bench")
+    if not bench_name:
+        return (["%s: missing \"bench\" name" % baseline_path], None)
+    bench_path = os.path.join(bench_dir, "BENCH_%s.json" % bench_name)
+    if not os.path.exists(bench_path):
+        if baseline.get("required", True):
+            return (
+                ["%s: %s not found (bench did not run?)"
+                 % (bench_name, bench_path)],
+                None,
+            )
+        return ([], "%s: no %s, skipped (optional)" % (bench_name, bench_path))
+    bench = load_json(bench_path)
+    samples = bench.get("samples", [])
+    failures = []
+    for check in baseline.get("checks", []):
+        failures.extend(run_check(bench_name, samples, check))
+    return (failures, None)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--bench-dir", default="build",
+        help="directory holding the BENCH_*.json files (default: build)")
+    parser.add_argument(
+        "--baselines", default="bench/baselines",
+        help="directory of committed baseline files")
+    args = parser.parse_args(argv)
+
+    if not os.path.isdir(args.baselines):
+        print("check_bench: baseline directory %s not found" % args.baselines)
+        return 1
+    baseline_files = sorted(
+        os.path.join(args.baselines, name)
+        for name in os.listdir(args.baselines)
+        if name.endswith(".json")
+    )
+    if not baseline_files:
+        print("check_bench: no baselines in %s" % args.baselines)
+        return 1
+
+    failures = []
+    for path in baseline_files:
+        try:
+            file_failures, skipped = check_baseline_file(args.bench_dir, path)
+        except (OSError, ValueError) as err:
+            file_failures, skipped = (["%s: %s" % (path, err)], None)
+        if skipped:
+            print("check_bench: " + skipped)
+        failures.extend(file_failures)
+
+    if failures:
+        for failure in failures:
+            print("check_bench: FAIL " + failure)
+        return 1
+    print("check_bench: all bench gates green (%d baseline file(s))"
+          % len(baseline_files))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Unit tests for the bench-regression gate (tools/check_bench.py).
+
+Run directly or via ctest (registered as check_bench_test). The synthetic
+2x-regression case is the acceptance check: a bench whose latency doubled
+against its committed baseline must turn the gate red.
+"""
+
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import check_bench  # noqa: E402
+
+
+def write_json(path, obj):
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(obj, f)
+
+
+class CheckBenchTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.bench_dir = os.path.join(self.tmp.name, "build")
+        self.baseline_dir = os.path.join(self.tmp.name, "baselines")
+        os.makedirs(self.bench_dir)
+        os.makedirs(self.baseline_dir)
+
+    def tearDown(self):
+        self.tmp.cleanup()
+
+    def run_gate(self):
+        return check_bench.main(
+            ["--bench-dir", self.bench_dir, "--baselines", self.baseline_dir]
+        )
+
+    def write_bench(self, name, samples):
+        write_json(
+            os.path.join(self.bench_dir, "BENCH_%s.json" % name),
+            {"bench": name, "samples": samples},
+        )
+
+    def write_baseline(self, name, checks, required=True):
+        write_json(
+            os.path.join(self.baseline_dir, name + ".json"),
+            {"bench": name, "required": required, "checks": checks},
+        )
+
+    def test_green_within_baseline(self):
+        self.write_bench(
+            "demo",
+            [
+                {"metric": "round_seconds", "value": 0.11,
+                 "labels": {"mode": "async"}},
+                {"metric": "bitwise_divergence", "value": 0, "labels": {}},
+            ],
+        )
+        self.write_baseline(
+            "demo",
+            [
+                {"metric": "round_seconds", "labels": {"mode": "async"},
+                 "baseline": 0.1, "max_regression": 0.25},
+                {"metric": "bitwise_divergence", "max": 0},
+            ],
+        )
+        self.assertEqual(self.run_gate(), 0)
+
+    def test_synthetic_2x_regression_fails(self):
+        # The acceptance case: latency doubled against the baseline.
+        self.write_bench(
+            "demo",
+            [{"metric": "round_seconds", "value": 0.2,
+              "labels": {"mode": "async"}}],
+        )
+        self.write_baseline(
+            "demo",
+            [{"metric": "round_seconds", "labels": {"mode": "async"},
+              "baseline": 0.1, "max_regression": 0.25}],
+        )
+        self.assertEqual(self.run_gate(), 1)
+
+    def test_bitwise_divergence_flag_fails(self):
+        self.write_bench(
+            "demo",
+            [{"metric": "bitwise_divergence", "value": 1, "labels": {}}],
+        )
+        self.write_baseline(
+            "demo", [{"metric": "bitwise_divergence", "max": 0}]
+        )
+        self.assertEqual(self.run_gate(), 1)
+
+    def test_floor_check_fails_below_min(self):
+        self.write_bench(
+            "demo", [{"metric": "async_speedup", "value": 1.2, "labels": {}}]
+        )
+        self.write_baseline("demo", [{"metric": "async_speedup", "min": 1.5}])
+        self.assertEqual(self.run_gate(), 1)
+
+    def test_labels_select_the_right_sample(self):
+        self.write_bench(
+            "demo",
+            [
+                {"metric": "round_seconds", "value": 9.0,
+                 "labels": {"mode": "sync"}},
+                {"metric": "round_seconds", "value": 0.1,
+                 "labels": {"mode": "async"}},
+            ],
+        )
+        self.write_baseline(
+            "demo",
+            [{"metric": "round_seconds", "labels": {"mode": "async"},
+              "baseline": 0.1, "max_regression": 0.25}],
+        )
+        self.assertEqual(self.run_gate(), 0)
+
+    def test_missing_metric_fails(self):
+        self.write_bench("demo", [])
+        self.write_baseline("demo", [{"metric": "async_speedup", "min": 1.0}])
+        self.assertEqual(self.run_gate(), 1)
+
+    def test_ambiguous_match_fails(self):
+        self.write_bench(
+            "demo",
+            [
+                {"metric": "round_seconds", "value": 0.1,
+                 "labels": {"mode": "a"}},
+                {"metric": "round_seconds", "value": 0.2,
+                 "labels": {"mode": "b"}},
+            ],
+        )
+        self.write_baseline(
+            "demo", [{"metric": "round_seconds", "max": 1.0}]
+        )
+        self.assertEqual(self.run_gate(), 1)
+
+    def test_missing_required_bench_fails(self):
+        self.write_baseline("demo", [{"metric": "x", "min": 0}])
+        self.assertEqual(self.run_gate(), 1)
+
+    def test_missing_optional_bench_skips(self):
+        self.write_baseline(
+            "demo", [{"metric": "x", "min": 0}], required=False
+        )
+        # A second, satisfied baseline keeps the run meaningful.
+        self.write_bench(
+            "other", [{"metric": "y", "value": 1, "labels": {}}]
+        )
+        self.write_baseline("other", [{"metric": "y", "min": 1}])
+        self.assertEqual(self.run_gate(), 0)
+
+    def test_malformed_bench_json_fails(self):
+        with open(os.path.join(self.bench_dir, "BENCH_demo.json"), "w",
+                  encoding="utf-8") as f:
+            f.write("{not json")
+        self.write_baseline("demo", [{"metric": "x", "min": 0}])
+        self.assertEqual(self.run_gate(), 1)
+
+
+if __name__ == "__main__":
+    unittest.main()

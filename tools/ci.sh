@@ -15,7 +15,7 @@ if [ "${SANITIZE:-0}" = "1" ]; then
   # Separate default build dir: writing ULDP_SANITIZE=ON into the plain
   # build/ cache would leave later non-sanitized runs silently sanitized.
   BUILD_DIR="${1:-build-asan}"
-  FAST_TESTS='^(bigint_test|montgomery_primes_test|fixed_base_test|fixed_point_test|csv_loader_test|mask_tags_test|secure_agg_test|sha_chacha_test|common_test|parallel_test|paillier_test|paillier_ctx_test|dh_test|oblivious_transfer_test|net_wire_test|net_transport_test|parse_test)$'
+  FAST_TESTS='^(bigint_test|montgomery_primes_test|fixed_base_test|fixed_point_test|csv_loader_test|mask_tags_test|secure_agg_test|sha_chacha_test|common_test|parallel_test|paillier_test|paillier_ctx_test|dh_test|oblivious_transfer_test|net_wire_test|net_transport_test|parse_test|async_rounds_test)$'
   cmake -B "$BUILD_DIR" -S . -DULDP_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build "$BUILD_DIR" -j"$JOBS"
   ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
@@ -44,12 +44,32 @@ if [ -x "$BUILD_DIR/bench_net_protocol" ]; then
   (cd "$BUILD_DIR" && ULDP_BENCH_SMOKE=1 ./bench_net_protocol)
 fi
 
+# Async-rounds bench in smoke mode: produces BENCH_async_rounds.json
+# (sync vs staleness-bounded async step latency under an injected 2x
+# straggler, plus transport-backed async and pipelined-protocol runs) and
+# fails on bitwise divergence from the synchronous engine or an async
+# speedup below 1.5x.
+if [ -x "$BUILD_DIR/bench_async_rounds" ]; then
+  (cd "$BUILD_DIR" && ULDP_BENCH_SMOKE=1 ./bench_async_rounds)
+fi
+
+# Bench-regression gate: every committed baseline in bench/baselines/ is
+# compared against the BENCH_*.json the smoke benches just wrote; a >25%
+# latency regression, a lost speedup floor, or any bitwise-divergence flag
+# fails the run (see tools/check_bench.py for the update procedure).
+python3 tools/check_bench.py --bench-dir "$BUILD_DIR" \
+    --baselines bench/baselines
+
 # Loopback-TCP smoke round: a real uldp_fl_cli protocol server on an
 # ephemeral port plus two silo client processes, with --verify asserting
 # the distributed aggregates bitwise-match the in-process run.
 if [ -x "$BUILD_DIR/uldp_fl_cli" ]; then
   SMOKE_LOG="$BUILD_DIR/net_smoke_server.log"
-  SMOKE_ARGS="--silos=2 --users=6 --dim=8 --paillier-bits=512 --seed=11"
+  # --net-timeout: every TCP recv (handshake included) gets a deadline, so
+  # a hung or never-connecting client fails this step in ~2 minutes
+  # instead of hanging the workflow until the job timeout.
+  SMOKE_ARGS="--silos=2 --users=6 --dim=8 --paillier-bits=512 --seed=11 \
+--net-timeout=120"
   rm -f "$SMOKE_LOG"
   # shellcheck disable=SC2086
   "$BUILD_DIR/uldp_fl_cli" --serve=0 --rounds=2 --verify $SMOKE_ARGS \
@@ -86,4 +106,46 @@ if [ -x "$BUILD_DIR/uldp_fl_cli" ]; then
     exit 1
   fi
   echo "net smoke: loopback-TCP protocol round OK (port $PORT)"
+
+  # Async-rounds loopback smoke: the staleness-bounded FL server plus two
+  # silo clients over real TCP, --verify asserting bitwise identity to the
+  # synchronous engine at max_staleness=0.
+  ASYNC_LOG="$BUILD_DIR/net_async_smoke_server.log"
+  ASYNC_ARGS="--async --silos=2 --users=6 --dim=8 --seed=11 --net-timeout=120"
+  rm -f "$ASYNC_LOG"
+  # shellcheck disable=SC2086
+  "$BUILD_DIR/uldp_fl_cli" --serve=0 --rounds=3 --verify $ASYNC_ARGS \
+      > "$ASYNC_LOG" 2>&1 &
+  SERVER_PID=$!
+  PORT=""
+  for _ in $(seq 1 100); do
+    PORT="$(sed -n 's/.*listening on port \([0-9]*\).*/\1/p' "$ASYNC_LOG" \
+            2>/dev/null | head -n1)"
+    [ -n "$PORT" ] && break
+    sleep 0.1
+  done
+  if [ -z "$PORT" ]; then
+    echo "async smoke: server never reported its port" >&2
+    cat "$ASYNC_LOG" >&2 || true
+    kill "$SERVER_PID" 2>/dev/null || true
+    exit 1
+  fi
+  # shellcheck disable=SC2086
+  "$BUILD_DIR/uldp_fl_cli" --connect=127.0.0.1:"$PORT" --silo-id=0 \
+      $ASYNC_ARGS &
+  C0=$!
+  # shellcheck disable=SC2086
+  "$BUILD_DIR/uldp_fl_cli" --connect=127.0.0.1:"$PORT" --silo-id=1 \
+      $ASYNC_ARGS &
+  C1=$!
+  FAIL=0
+  wait "$SERVER_PID" || FAIL=1
+  wait "$C0" || FAIL=1
+  wait "$C1" || FAIL=1
+  cat "$ASYNC_LOG"
+  if [ "$FAIL" != "0" ]; then
+    echo "async smoke: loopback-TCP staleness-bounded rounds FAILED" >&2
+    exit 1
+  fi
+  echo "async smoke: loopback-TCP staleness-bounded rounds OK (port $PORT)"
 fi

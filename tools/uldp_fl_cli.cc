@@ -63,6 +63,11 @@ struct Flags {
   uint64_t seed = 1;
   int num_seeds = 1;  // > 1 averages runs
   int threads = 0;    // round-engine threads (0 = auto)
+  // Asynchronous staleness-bounded rounds.
+  bool async = false;      // local: async trainers; with --serve/--connect:
+                           // async FL demo over the transport layer
+  int max_staleness = 0;   // staleness bound tau
+  int async_buffer = 0;    // arrivals per server step (0 = silos)
   // Distributed Protocol 1 modes.
   int serve = -1;           // >= 0: run a protocol server on this port
                             // (0 picks an ephemeral port and prints it)
@@ -72,6 +77,8 @@ struct Flags {
   int paillier_bits = 512;  // protocol modulus (demo scale)
   int n_max = 30;           // protocol N_max
   bool verify = false;      // server: compare against the in-process run
+  bool pipeline = false;    // protocol: multi-round pipelining (this party)
+  int net_timeout = 0;      // seconds; recv/handshake deadline on TCP (0=off)
 };
 
 void PrintHelp() {
@@ -90,7 +97,14 @@ void PrintHelp() {
       "  --group-k=K                 group size for uldp-group\n"
       "  --seed=N --num-seeds=M      M > 1 reports mean±std over seeds\n"
       "  --threads=N                 silo-round threads (0 = auto;\n"
-      "                              results are identical for any N)\n\n"
+      "                              results are identical for any N)\n"
+      "  --async                     asynchronous staleness-bounded rounds:\n"
+      "                              silo deltas apply as they land instead\n"
+      "                              of barrier-waiting on the slowest silo\n"
+      "  --max-staleness=T           accept updates up to T versions stale\n"
+      "                              (discounted 1/(1+tau); 0 = barrier,\n"
+      "                              bitwise-identical to sync)\n"
+      "  --async-buffer=K            arrivals per server step (0 = silos)\n\n"
       "Distributed Protocol 1 (src/net/): a server plus one client per\n"
       "silo exchange every phase as wire frames over TCP and produce\n"
       "bitwise-identical aggregates to the in-process simulation.\n"
@@ -100,6 +114,16 @@ void PrintHelp() {
       "  --dim=D --paillier-bits=B --n-max=N   demo protocol shape\n"
       "  --verify                    server: also run the in-process\n"
       "                              protocol and require bitwise equality\n"
+      "  --pipeline                  overlap round r+1 precomputation with\n"
+      "                              round r aggregation (party-local;\n"
+      "                              outputs bitwise identical)\n"
+      "  --net-timeout=SECONDS       TCP recv/handshake deadline — a hung\n"
+      "                              peer fails fast instead of blocking\n"
+      "                              forever (0 = off)\n"
+      "With --async, --serve/--connect run the asynchronous FL demo over\n"
+      "TCP (StalenessInfo/RoundAck frames) instead of Protocol 1;\n"
+      "--verify requires --max-staleness=0, where the distributed run is\n"
+      "bitwise-identical to the synchronous engine.\n"
       "All parties must be started with the same --silos/--users/--seed\n"
       "and protocol shape flags (enforced by a config digest at join\n"
       "time); --dim must match too, but a mismatch only surfaces as a\n"
@@ -143,6 +167,19 @@ Result<Flags> ParseFlags(int argc, char** argv) {
       std::exit(0);
     } else if (arg == "--verify") {
       flags.verify = true;
+    } else if (arg == "--async") {
+      flags.async = true;
+    } else if (arg == "--pipeline") {
+      flags.pipeline = true;
+    } else if (ParseFlag(arg, "max-staleness", &value)) {
+      ULDP_RETURN_IF_ERROR(ParseIntInto(value, "max-staleness", 0, 1 << 20,
+                                        &flags.max_staleness));
+    } else if (ParseFlag(arg, "async-buffer", &value)) {
+      ULDP_RETURN_IF_ERROR(ParseIntInto(value, "async-buffer", 0, 1 << 16,
+                                        &flags.async_buffer));
+    } else if (ParseFlag(arg, "net-timeout", &value)) {
+      ULDP_RETURN_IF_ERROR(ParseIntInto(value, "net-timeout", 0, 1 << 20,
+                                        &flags.net_timeout));
     } else if (ParseFlag(arg, "dataset", &value)) {
       flags.dataset = value;
     } else if (ParseFlag(arg, "csv", &value)) {
@@ -238,6 +275,21 @@ Result<Flags> ParseFlags(int argc, char** argv) {
   if (!flags.connect.empty() && flags.silo_id >= flags.silos) {
     return Status::OutOfRange("--silo-id must be < --silos");
   }
+  if (flags.async_buffer > flags.silos) {
+    return Status::InvalidArgument("--async-buffer must be <= --silos");
+  }
+  if ((flags.max_staleness > 0 || flags.async_buffer > 0) && !flags.async) {
+    return Status::InvalidArgument(
+        "--max-staleness/--async-buffer require --async");
+  }
+  if (flags.async && flags.verify &&
+      (flags.max_staleness != 0 ||
+       (flags.async_buffer != 0 && flags.async_buffer != flags.silos))) {
+    return Status::InvalidArgument(
+        "--verify needs --max-staleness=0 and a full --async-buffer (the "
+        "barrier case); a staleness-bounded or partial-buffer run over a "
+        "real network has no deterministic reference)");
+  }
   return flags;
 }
 
@@ -247,7 +299,132 @@ ProtocolConfig NetProtocolConfig(const Flags& flags) {
   config.n_max = flags.n_max;
   config.seed = flags.seed;
   config.num_threads = flags.threads;
+  config.pipeline = flags.pipeline;
   return config;
+}
+
+net::AsyncRoundsConfig NetAsyncConfig(const Flags& flags) {
+  net::AsyncRoundsConfig config;
+  config.max_staleness = flags.max_staleness;
+  config.buffer_size = flags.async_buffer;
+  config.step_scale = 1.0 / flags.silos;
+  config.seed = flags.seed;
+  return config;
+}
+
+/// Applies --net-timeout to a TCP endpoint (handshake + recv deadline).
+Status ApplyNetTimeout(net::TcpTransport& transport, const Flags& flags) {
+  if (flags.net_timeout <= 0) return Status::Ok();
+  return transport.SetRecvTimeout(flags.net_timeout * 1000);
+}
+
+int RunServeAsync(const Flags& flags) {
+  auto listener = net::TcpListener::Listen(flags.serve);
+  if (!listener.ok()) {
+    std::cerr << listener.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "uldp_fl_cli: async round server listening on port "
+            << listener.value().port() << " (" << flags.silos << " silos, dim "
+            << flags.dim << ", " << flags.rounds << " steps, max staleness "
+            << flags.max_staleness << ")" << std::endl;
+
+  net::AsyncRoundsConfig config = NetAsyncConfig(flags);
+  net::AsyncRoundServer server(config, flags.silos, flags.dim);
+  while (server.connected_silos() < flags.silos) {
+    auto conn = listener.value().Accept();
+    if (!conn.ok()) {
+      std::cerr << conn.status().ToString() << "\n";
+      return 1;
+    }
+    Status limited = ApplyNetTimeout(*conn.value(), flags);
+    if (!limited.ok()) {
+      std::cerr << limited.ToString() << "\n";
+      return 1;
+    }
+    Status added = server.AddConnection(std::move(conn.value()));
+    if (!added.ok()) {
+      std::cerr << "rejected join: " << added.ToString() << std::endl;
+      continue;
+    }
+    std::cout << "silo connected (" << server.connected_silos() << "/"
+              << flags.silos << ")" << std::endl;
+  }
+
+  Vec global(flags.dim, 0.0);
+  auto out = server.Run(flags.rounds, global);
+  if (!out.ok()) {
+    std::cerr << out.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "async rounds done: applied " << server.stats().applied
+            << ", rejected " << server.stats().rejected << ", max staleness "
+            << server.stats().max_staleness_seen << "; params[0.."
+            << std::min<size_t>(3, out.value().size()) << ") =";
+  for (size_t d = 0; d < std::min<size_t>(3, out.value().size()); ++d) {
+    std::cout << " " << out.value()[d];
+  }
+  std::cout << std::endl;
+
+  if (flags.verify) {
+    // Serial replay of the staleness-bounded update rule at tau = 0 (the
+    // barrier case): identical work, identical reduce — bitwise equal.
+    AsyncAggregator reference(flags.silos, 0, 0);
+    Vec ref(flags.dim, 0.0);
+    for (int r = 0; r < flags.rounds; ++r) {
+      for (int s = 0; s < flags.silos; ++s) {
+        Vec delta;
+        Status worked = net::MakeAsyncDemoWork(flags.seed, s, flags.dim)(
+            static_cast<uint64_t>(r), ref, &delta);
+        if (!worked.ok()) {
+          std::cerr << "verify work: " << worked.ToString() << "\n";
+          return 1;
+        }
+        reference.Offer(s, r, std::move(delta));
+      }
+      Vec sum = reference.Flush(false, static_cast<uint64_t>(r), nullptr);
+      Axpy(config.step_scale, sum, ref);
+    }
+    if (ref != out.value()) {
+      std::cerr << "VERIFY FAILED: distributed async parameters differ from "
+                   "the synchronous engine\n";
+      return 1;
+    }
+    std::cout << "verify: distributed async run bitwise-matches the "
+                 "synchronous engine" << std::endl;
+  }
+  return 0;
+}
+
+int RunConnectAsync(const Flags& flags) {
+  auto hp = ParseHostPort(flags.connect, "--connect");
+  if (!hp.ok()) {
+    std::cerr << hp.status().ToString() << "\n";
+    return 2;
+  }
+  auto transport = net::TcpTransport::Connect(hp.value().host,
+                                              hp.value().port);
+  if (!transport.ok()) {
+    std::cerr << transport.status().ToString() << "\n";
+    return 1;
+  }
+  Status limited = ApplyNetTimeout(*transport.value(), flags);
+  if (!limited.ok()) {
+    std::cerr << limited.ToString() << "\n";
+    return 1;
+  }
+  std::cout << "async silo " << flags.silo_id << " connected to "
+            << flags.connect << std::endl;
+  Status status = net::RunAsyncDemoSilo(NetAsyncConfig(flags), flags.silo_id,
+                                        flags.silos, flags.dim,
+                                        *transport.value());
+  if (!status.ok()) {
+    std::cerr << "async silo " << flags.silo_id << ": " << status.ToString()
+              << "\n";
+    return 1;
+  }
+  std::cout << "async silo " << flags.silo_id << " finished" << std::endl;
+  return 0;
 }
 
 int RunServe(const Flags& flags) {
@@ -267,6 +444,11 @@ int RunServe(const Flags& flags) {
     auto conn = listener.value().Accept();
     if (!conn.ok()) {
       std::cerr << conn.status().ToString() << "\n";
+      return 1;
+    }
+    Status limited = ApplyNetTimeout(*conn.value(), flags);
+    if (!limited.ok()) {
+      std::cerr << limited.ToString() << "\n";
       return 1;
     }
     Status added = server.AddConnection(std::move(conn.value()));
@@ -355,6 +537,11 @@ int RunConnect(const Flags& flags) {
                                               hp.value().port);
   if (!transport.ok()) {
     std::cerr << transport.status().ToString() << "\n";
+    return 1;
+  }
+  Status limited = ApplyNetTimeout(*transport.value(), flags);
+  if (!limited.ok()) {
+    std::cerr << limited.ToString() << "\n";
     return 1;
   }
   std::cout << "silo " << flags.silo_id << " connected to " << flags.connect
@@ -467,6 +654,9 @@ Result<std::unique_ptr<FlAlgorithm>> MakeAlgorithm(const Flags& flags,
   config.local_epochs = flags.local_epochs;
   config.seed = seed;
   config.num_threads = flags.threads;
+  config.async_rounds = flags.async;
+  config.max_staleness = flags.max_staleness;
+  config.async_buffer = flags.async_buffer;
 
   auto lr_or = [&](double fallback) {
     return flags.global_lr > 0.0 ? flags.global_lr : fallback;
@@ -510,8 +700,12 @@ int Run(int argc, char** argv) {
   }
   const Flags& flags = flags_or.value();
 
-  if (flags.serve >= 0) return RunServe(flags);
-  if (!flags.connect.empty()) return RunConnect(flags);
+  if (flags.serve >= 0) {
+    return flags.async ? RunServeAsync(flags) : RunServe(flags);
+  }
+  if (!flags.connect.empty()) {
+    return flags.async ? RunConnectAsync(flags) : RunConnect(flags);
+  }
 
   double sigma = flags.sigma;
   if (flags.target_epsilon > 0.0 && flags.method != "default") {
