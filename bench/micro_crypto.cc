@@ -34,6 +34,7 @@
 #include "crypto/secure_agg.h"
 #include "crypto/sha256.h"
 #include "math/fixed_base.h"
+#include "math/multi_exp.h"
 #include "math/primes.h"
 
 namespace {
@@ -142,6 +143,52 @@ double TimedProtocolRound(bool fast_paillier, bool fixed_base, int users,
   if (!result.ok()) return -1.0;
   *out = std::move(result.value());
   if (weighting_s != nullptr) *weighting_s = protocol.timings().silo_weighting_s;
+  return seconds;
+}
+
+/// One protocol round on a pack-feasible configuration (small n_max /
+/// precision / clip so pack_slots up to 8 fits a 512-bit plaintext), with
+/// the packing factor, Pippenger multi-exp, and fixed-base tables
+/// toggled. Returns wall seconds; `out` receives the aggregate so the
+/// caller can assert every configuration decodes bitwise identically.
+double TimedPackedRound(int pack_slots, bool multi_exp, bool fixed_base,
+                        int users, int dim, Vec* out) {
+  const int silos = 3;
+  ProtocolConfig pc;
+  pc.paillier_bits = 512;
+  pc.n_max = 8;  // C_LCM = 840: 8 slots of guard-banded digits fit 512 bits
+  pc.precision = 1e-6;
+  pc.pack_clip = 8.0;
+  pc.seed = 909;
+  pc.pack_slots = pack_slots;
+  pc.multi_exp = multi_exp;
+  pc.fixed_base = fixed_base;
+  PrivateWeightingProtocol protocol(pc, silos, users);
+  Rng rng(23);
+  std::vector<std::vector<int>> hist(silos, std::vector<int>(users, 0));
+  for (int u = 0; u < users; ++u) {
+    // Each user's records land in one silo, so totals stay <= n_max = 8.
+    hist[static_cast<int>(rng.UniformInt(silos))][u] =
+        1 + static_cast<int>(rng.UniformInt(4));
+  }
+  if (!protocol.Setup(hist).ok()) return -1.0;
+  std::vector<std::vector<Vec>> deltas(silos, std::vector<Vec>(users));
+  std::vector<Vec> noise(silos, Vec(dim));
+  for (int s = 0; s < silos; ++s) {
+    for (int u = 0; u < users; ++u) {
+      if (hist[s][u] == 0) continue;
+      deltas[s][u].resize(dim);
+      for (double& v : deltas[s][u]) v = rng.Gaussian(0.0, 0.1);
+    }
+    for (double& v : noise[s]) v = rng.Gaussian(0.0, 0.1);
+  }
+  std::vector<bool> sampled(users, true);
+  auto start = Clock::now();
+  auto result = protocol.WeightingRound(0, deltas, noise, sampled);
+  double seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  if (!result.ok()) return -1.0;
+  *out = std::move(result.value());
   return seconds;
 }
 
@@ -329,6 +376,91 @@ int main() {
     RecordOp(table, json, rows, "lcm_up_to_100", "-", 0,
              SecondsPerOp([&] { LcmUpTo(100); }, window, min_iters));
   }
+
+  // -- Pippenger multi-exp vs the per-ciphertext MontExp fold -------------
+  // The weighting-phase shape: fold prod_i c_i^{k_i} mod n^2 over a batch
+  // of ciphertexts. The bucket method shares window squarings across the
+  // whole batch; the loop pays them per base.
+  {
+    PaillierPublicKey pk;
+    PaillierSecretKey sk;
+    Rng keyrng(77);
+    if (!Paillier::GenerateKeyPair(512, keyrng, &pk, &sk).ok()) {
+      std::cerr << "keygen failed for the multi-exp series\n";
+      return 1;
+    }
+    PaillierContext ctx(pk);
+    Rng rng(78);
+    const int batch = 48;
+    std::vector<BigInt> bases, exps;
+    for (int i = 0; i < batch; ++i) {
+      bases.push_back(
+          ctx.Encrypt(BigInt::RandomBelow(pk.n, rng), rng).value());
+      exps.push_back(BigInt::RandomBelow(pk.n, rng));
+    }
+    const Montgomery& mont = ctx.mont_n_squared();
+    const BigInt& m2 = mont.modulus();
+    auto loop_fold = [&] {
+      BigInt acc(1);
+      for (int i = 0; i < batch; ++i) {
+        acc = acc.ModMul(mont.MontExp(bases[i], exps[i]), m2);
+      }
+      return acc;
+    };
+    MultiExp multi(mont, bases);
+    if (multi.Product(exps) != loop_fold()) {
+      std::cerr << "BUG: multi-exp disagrees with the MontExp fold\n";
+      return 1;
+    }
+    const std::string op = "multi_exp_fold" + std::to_string(batch);
+    RecordOp(table, json, rows, op, "loop", 512,
+             SecondsPerOp([&] { loop_fold(); }, window, min_iters));
+    RecordOp(table, json, rows, op, "pippenger", 512,
+             SecondsPerOp([&] { multi.Product(exps); }, window, min_iters));
+    const double loop_s = Find(rows, op, "loop", 512);
+    const double multi_s = Find(rows, op, "pippenger", 512);
+    json.Add("speedup_multi_exp_vs_loop", loop_s / multi_s,
+             {{"bases", std::to_string(batch)}, {"bits", "512"}});
+    json.Add("multi_exp_bitwise_identical", 1.0);
+  }
+
+  // -- Lim-Lee comb vs radix fixed-base layout ----------------------------
+  // Same reuse budget, same base: the comb trades a few per-use squarings
+  // for a much smaller table.
+  {
+    Rng rng(79);
+    BigInt m = GeneratePrime(512, rng);
+    Montgomery mont(m);
+    BigInt base = BigInt::RandomBelow(m, rng);
+    FixedBaseTable radix(mont, base, 512, 100000,
+                         FixedBaseTable::Strategy::kRadix);
+    FixedBaseTable comb(mont, base, 512, 100000,
+                        FixedBaseTable::Strategy::kComb);
+    BigInt exp = BigInt::RandomBits(512, rng);
+    const BigInt want = mont.MontExp(base, exp);
+    const bool comb_ok = radix.Exp(exp) == want && comb.Exp(exp) == want;
+    RecordOp(table, json, rows, "modexp", "fixed_base_radix", 512,
+             SecondsPerOp([&] { radix.Exp(exp); }, window, min_iters));
+    RecordOp(table, json, rows, "modexp", "fixed_base_comb", 512,
+             SecondsPerOp([&] { comb.Exp(exp); }, window, min_iters));
+    const double radix_s = Find(rows, "modexp", "fixed_base_radix", 512);
+    const double comb_s = Find(rows, "modexp", "fixed_base_comb", 512);
+    json.Add("fixed_base_entries", static_cast<double>(radix.entries()),
+             {{"layout", "radix"}, {"bits", "512"}});
+    json.Add("fixed_base_entries", static_cast<double>(comb.entries()),
+             {{"layout", "comb"}, {"bits", "512"}});
+    json.Add("fixed_base_entries_ratio_radix_vs_comb",
+             static_cast<double>(radix.entries()) /
+                 static_cast<double>(comb.entries()),
+             {{"bits", "512"}});
+    json.Add("comb_vs_radix_speed_ratio", radix_s / comb_s,
+             {{"bits", "512"}});
+    json.Add("comb_bitwise_identical", comb_ok ? 1.0 : 0.0);
+    if (!comb_ok) {
+      std::cerr << "BUG: comb/radix fixed-base outputs diverge\n";
+      return 1;
+    }
+  }
   table.Print(std::cout);
 
   // -- End-to-end: one fig11-style protocol round, fast path off vs on ----
@@ -389,6 +521,70 @@ int main() {
     std::cerr << "BUG: fixed-base tables changed the round output\n";
     return 1;
   }
+
+  // -- Packed protocol rounds: pack_slots 1 vs 2 vs 4 vs 8 ----------------
+  std::cout << "\n=== Protocol round with ciphertext packing (pack-feasible "
+               "config: n_max 8, precision 1e-6, clip 8) ===\n";
+  Vec packed_ref;
+  double packed1_s = TimedPackedRound(1, false, true, users, dim, &packed_ref);
+  if (packed1_s < 0.0) {
+    std::cerr << "packed protocol round failed\n";
+    return 1;
+  }
+  Table packed({"pack_slots", "round_seconds", "speedup",
+                "bitwise_identical"});
+  packed.AddRow({"1", FormatG(packed1_s, 4), "1.0", "ref"});
+  json.Add("round_seconds_packed", packed1_s, {{"pack_slots", "1"}});
+  bool packed_identical = true;
+  for (int k : {2, 4, 8}) {
+    Vec out;
+    double k_s = TimedPackedRound(k, false, true, users, dim, &out);
+    if (k_s < 0.0) {
+      std::cerr << "packed protocol round failed at pack_slots " << k << "\n";
+      return 1;
+    }
+    const bool same = out == packed_ref;
+    packed_identical = packed_identical && same;
+    const std::string ks = std::to_string(k);
+    packed.AddRow({ks, FormatG(k_s, 4), FormatG(packed1_s / k_s, 3),
+                   same ? "yes" : "NO (BUG)"});
+    json.Add("round_seconds_packed", k_s, {{"pack_slots", ks}});
+    json.Add("packed_round_speedup", packed1_s / k_s, {{"pack_slots", ks}});
+  }
+  packed.Print(std::cout);
+  json.Add("packed_bitwise_identical", packed_identical ? 1.0 : 0.0);
+  if (!packed_identical) {
+    std::cerr << "BUG: packing changed the round output\n";
+    return 1;
+  }
+
+  // Multi-exp inside the protocol, against the plain per-ciphertext
+  // MontExp loop (fixed-base tables off in both runs so the comparison
+  // isolates the fold strategy). With only a handful of active users per
+  // silo the bucket method is near break-even — the micro series above
+  // shows the batch-48 gain — so this row is informational, not gated.
+  Vec loop_out, me_out;
+  double loop_round_s =
+      TimedPackedRound(1, false, false, users, dim, &loop_out);
+  double me_round_s = TimedPackedRound(1, true, false, users, dim, &me_out);
+  if (loop_round_s < 0.0 || me_round_s < 0.0) {
+    std::cerr << "multi-exp protocol round failed\n";
+    return 1;
+  }
+  const bool me_identical = loop_out == me_out && loop_out == packed_ref;
+  std::cout << "multi-exp round: loop " << FormatG(loop_round_s, 4)
+            << " s, pippenger " << FormatG(me_round_s, 4) << " s ("
+            << FormatG(loop_round_s / me_round_s, 3) << "x, "
+            << (me_identical ? "bitwise match" : "DIVERGED") << ")\n";
+  json.Add("round_seconds_multi_exp", loop_round_s, {{"mode", "loop"}});
+  json.Add("round_seconds_multi_exp", me_round_s, {{"mode", "pippenger"}});
+  json.Add("round_speedup_multi_exp", loop_round_s / me_round_s);
+  json.Add("multi_exp_round_bitwise_identical", me_identical ? 1.0 : 0.0);
+  if (!me_identical) {
+    std::cerr << "BUG: multi-exp changed the round output\n";
+    return 1;
+  }
+
   std::cout << "\nThe fast path reuses per-key Montgomery contexts, "
                "decrypts via CRT, consumes precomputed randomizers, and "
                "amortizes per-user fixed-base tables across the weighting "

@@ -186,7 +186,10 @@ Result<Vec> PrivateWeightingProtocol::WeightingRound(
       return Status::InvalidArgument("delta matrix size mismatch");
     }
   }
-  const bool use_tables = config_.fast_paillier && config_.fixed_base;
+  const size_t cdim = server_->params().packed.PackedDim(dim);
+  const bool use_multi_exp = config_.multi_exp && config_.fast_paillier;
+  const bool use_tables =
+      config_.fast_paillier && config_.fixed_base && !use_multi_exp;
   const bool keep_tables = use_tables && config_.cache_enc_weights;
   weight_tables_.BeginRound(num_users_, keep_tables);
   std::vector<uint32_t> silos_with_user;
@@ -202,10 +205,10 @@ Result<Vec> PrivateWeightingProtocol::WeightingRound(
   }
   std::vector<std::vector<BigInt>> silo_ciphers(num_silos_);
   for (int s = 0; s < num_silos_; ++s) {
-    silo_ciphers[s] = SiloCore::NewCipherAccumulator(dim);
+    silo_ciphers[s] = SiloCore::NewCipherAccumulator(cdim);
   }
   std::vector<Status> silo_status(num_silos_, Status::Ok());
-  const int user_batch = use_tables ? 128 : num_users_;
+  const int user_batch = use_tables || use_multi_exp ? 128 : num_users_;
   for (int u0 = 0; u0 < num_users_; u0 += user_batch) {
     const int u1 = std::min(num_users_, u0 + user_batch);
     if (use_tables) {
@@ -214,7 +217,7 @@ Result<Vec> PrivateWeightingProtocol::WeightingRound(
         const int u = u0 + static_cast<int>(i);
         if (silos_with_user[u] == 0) return;
         weight_tables_.Ensure(*ctx, u, enc_weights[u],
-                              static_cast<size_t>(silos_with_user[u]) * dim);
+                              static_cast<size_t>(silos_with_user[u]) * cdim);
       });
     }
     pool_->ParallelFor(static_cast<size_t>(num_silos_), [&](size_t s) {
@@ -222,7 +225,7 @@ Result<Vec> PrivateWeightingProtocol::WeightingRound(
       silo_status[s] = silos_[s]->AccumulateUsers(
           u0, u1, enc_weights,
           use_tables ? &weight_tables_.tables() : nullptr,
-          clipped_deltas[s], &silo_ciphers[s], *pool_);
+          clipped_deltas[s], dim, &silo_ciphers[s], *pool_);
     });
     ULDP_RETURN_IF_ERROR(FirstError(silo_status));
     if (use_tables && !keep_tables) weight_tables_.DropRange(u0, u1);
@@ -243,7 +246,7 @@ Result<Vec> PrivateWeightingProtocol::WeightingRound(
   // ...then decrypt and decode (the only value the server sees in the
   // clear).
   t0 = Clock::now();
-  auto out = server_->DecryptAggregate(product.value(), *pool_);
+  auto out = server_->DecryptAggregate(product.value(), *pool_, dim);
   if (!out.ok()) return out.status();
   timings_.decryption_s += SecondsSince(t0);
   return out;

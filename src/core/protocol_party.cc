@@ -1,11 +1,13 @@
 #include "core/protocol_party.h"
 
 #include <algorithm>
+#include <memory>
 #include <numeric>
 #include <utility>
 
 #include "common/check.h"
 #include "core/mask_tags.h"
+#include "math/multi_exp.h"
 
 namespace uldp {
 
@@ -56,6 +58,11 @@ Status ProtocolParams::Derive() {
   public_key.modulus_bits = public_key.n.BitLength();
   c_lcm = LcmUpTo(static_cast<uint64_t>(config.n_max));
   codec = FixedPointCodec(public_key.n, config.precision);
+  auto pack = PackedCodec::Create(public_key.n, config.precision,
+                                  config.pack_slots, config.pack_clip, c_lcm,
+                                  num_silos, num_users);
+  if (!pack.ok()) return pack.status();
+  packed = std::move(pack.value());
   if (config.ot_slots > 0) {
     if (ot_group.p.IsZero() || ot_group.g.IsZero()) {
       return Status::InvalidArgument("OT mode requires the OT group");
@@ -404,20 +411,40 @@ Status ServerCore::AccumulateSiloCipher(const std::vector<BigInt>& cipher,
 }
 
 Result<Vec> ServerCore::DecryptAggregate(const std::vector<BigInt>& product,
-                                         ThreadPool& pool) const {
+                                         ThreadPool& pool,
+                                         size_t model_dim) const {
   if (!setup_done_) {
     return Status::FailedPrecondition("setup has not completed");
   }
-  const size_t dim = product.size();
-  Vec out(dim, 0.0);
-  std::vector<Status> dim_status(dim, Status::Ok());
-  pool.ParallelFor(dim, [&](size_t d) {
-    auto plain = PDecrypt(product[d]);
+  const PackedCodec& packed = params_.packed;
+  if (model_dim == 0) {
+    if (packed.active()) {
+      return Status::InvalidArgument(
+          "packed decryption requires the model dimension");
+    }
+    model_dim = product.size();
+  }
+  if (packed.PackedDim(model_dim) != product.size()) {
+    return Status::InvalidArgument("aggregate dimension mismatch");
+  }
+  const size_t cdim = product.size();
+  const size_t slots = static_cast<size_t>(packed.slots());
+  Vec out(model_dim, 0.0);
+  std::vector<Status> dim_status(cdim, Status::Ok());
+  pool.ParallelFor(cdim, [&](size_t g) {
+    auto plain = PDecrypt(product[g]);
     if (!plain.ok()) {
-      dim_status[d] = plain.status();
+      dim_status[g] = plain.status();
       return;
     }
-    out[d] = params_.codec.Decode(plain.value(), params_.c_lcm);
+    if (packed.active()) {
+      const size_t d0 = g * slots;
+      dim_status[g] =
+          packed.DecodeGroup(plain.value(), params_.codec, params_.c_lcm,
+                             std::min(slots, model_dim - d0), &out[d0]);
+    } else {
+      out[g] = params_.codec.Decode(plain.value(), params_.c_lcm);
+    }
   });
   ULDP_RETURN_IF_ERROR(FirstError(dim_status));
   return out;
@@ -686,8 +713,8 @@ std::vector<BigInt> SiloCore::NewCipherAccumulator(size_t dim) {
 Status SiloCore::AccumulateUsers(
     int u0, int u1, const std::vector<BigInt>& enc_weights,
     const std::vector<std::unique_ptr<FixedBaseTable>>* tables,
-    const std::vector<Vec>& deltas, std::vector<BigInt>* cipher,
-    ThreadPool& pool) const {
+    const std::vector<Vec>& deltas, size_t model_dim,
+    std::vector<BigInt>* cipher, ThreadPool& pool) const {
   if (!seed_set_) {
     return Status::FailedPrecondition("weighting requires the shared seed");
   }
@@ -701,7 +728,12 @@ Status SiloCore::AccumulateUsers(
   if (u0 < 0 || u1 > num_users || u0 > u1) {
     return Status::InvalidArgument("user batch out of range");
   }
-  const size_t dim = cipher->size();
+  const PackedCodec& packed = params_.packed;
+  const size_t cdim = cipher->size();
+  if (cdim != packed.PackedDim(model_dim)) {
+    return Status::InvalidArgument("cipher accumulator dimension mismatch");
+  }
+  const size_t slots = static_cast<size_t>(packed.slots());
   const BigInt& n = params_.public_key.n;
   const PaillierPublicKey& pk = params_.public_key;
   const BigInt c_lcm_mod_n = params_.c_lcm.Mod(n);
@@ -714,7 +746,7 @@ Status SiloCore::AccumulateUsers(
   pool.ParallelFor(static_cast<size_t>(u1 - u0), [&](size_t i) {
     const int u = u0 + static_cast<int>(i);
     if (deltas[u].empty()) return;  // user has no records at this silo
-    if (deltas[u].size() != dim) {
+    if (deltas[u].size() != model_dim) {
       prep_status[i] = Status::InvalidArgument("delta dimension mismatch");
       return;
     }
@@ -731,13 +763,63 @@ Status SiloCore::AccumulateUsers(
   });
   ULDP_RETURN_IF_ERROR(FirstError(prep_status));
 
-  std::vector<Status> dim_status(dim, Status::Ok());
-  pool.ParallelFor(dim, [&](size_t d) {
+  // Packed or not, the per-user exponent for coordinate group g is the
+  // group's (packed) delta encoding times the user's scalar base — the
+  // aggregation stays a mod-n linear form, so slot digits add exactly like
+  // unpacked coordinates.
+  auto group_exponent = [&](int u, size_t g, Result<BigInt>* out) {
+    if (packed.active()) {
+      const size_t d0 = g * slots;
+      *out = packed.EncodeGroup(deltas[u].data() + d0,
+                                std::min(slots, model_dim - d0));
+    } else {
+      *out = params_.codec.Encode(deltas[u][g]);
+    }
+  };
+
+  // Pippenger path: the whole batch's Enc(B_inv) bases convert into the
+  // Montgomery domain once, then every coordinate group folds through one
+  // shared-squaring multi-exponentiation.
+  std::unique_ptr<MultiExp> multi;
+  std::vector<int> multi_users;
+  if (params_.config.multi_exp && params_.config.fast_paillier) {
+    std::vector<BigInt> multi_bases;
     for (int u = u0; u < u1; ++u) {
       if (!active[u - u0]) continue;
-      auto e = params_.codec.Encode(deltas[u][d]);
+      multi_users.push_back(u);
+      multi_bases.push_back(enc_weights[u]);
+    }
+    if (!multi_bases.empty()) {
+      multi = std::make_unique<MultiExp>(paillier_->mont_n_squared(),
+                                         multi_bases);
+    }
+  }
+
+  std::vector<Status> dim_status(cdim, Status::Ok());
+  pool.ParallelFor(cdim, [&](size_t g) {
+    if (multi != nullptr) {
+      std::vector<BigInt> exps(multi_users.size(), BigInt(0));
+      for (size_t i = 0; i < multi_users.size(); ++i) {
+        const int u = multi_users[i];
+        Result<BigInt> e = BigInt(0);
+        group_exponent(u, g, &e);
+        if (!e.ok()) {
+          dim_status[g] = e.status();
+          return;
+        }
+        if (e.value().IsZero()) continue;  // zero exponents are free
+        exps[i] = e.value().ModMul(bases[u - u0], n);
+      }
+      (*cipher)[g] =
+          Paillier::AddCiphertexts(pk, (*cipher)[g], multi->Product(exps));
+      return;
+    }
+    for (int u = u0; u < u1; ++u) {
+      if (!active[u - u0]) continue;
+      Result<BigInt> e = BigInt(0);
+      group_exponent(u, g, &e);
       if (!e.ok()) {
-        dim_status[d] = e.status();
+        dim_status[g] = e.status();
         return;
       }
       if (e.value().IsZero()) continue;
@@ -747,7 +829,7 @@ Status SiloCore::AccumulateUsers(
       BigInt term = table != nullptr
                         ? paillier_->MulPlaintextWithTable(*table, scalar)
                         : PMulPlaintext(enc_weights[u], scalar);
-      (*cipher)[d] = Paillier::AddCiphertexts(pk, (*cipher)[d], term);
+      (*cipher)[g] = Paillier::AddCiphertexts(pk, (*cipher)[g], term);
     }
   });
   return FirstError(dim_status);
@@ -760,45 +842,56 @@ Status SiloCore::FinishRound(uint64_t round, const Vec& noise,
     return Status::FailedPrecondition(
         "weighting requires pair keys and the shared seed");
   }
-  if (noise.size() != cipher->size()) {
+  const PackedCodec& packed = params_.packed;
+  if (packed.PackedDim(noise.size()) != cipher->size()) {
     return Status::InvalidArgument("noise dimension mismatch");
   }
-  const size_t dim = cipher->size();
+  const size_t cdim = cipher->size();
+  const size_t slots = static_cast<size_t>(packed.slots());
   const BigInt& n = params_.public_key.n;
   const PaillierPublicKey& pk = params_.public_key;
   const BigInt c_lcm_mod_n = params_.c_lcm.Mod(n);
   // Encoded noise z' = Encode(z) * C_LCM, then the pairwise additive masks
-  // (weighting (c)); the per-coordinate lanes are independent.
+  // (weighting (c)); the per-(packed-)coordinate lanes are independent, and
+  // masks are drawn per ciphertext coordinate so packed and unpacked runs
+  // stay within the same PRF tag space.
   const uint64_t weighting_tag =
       MakeMaskTag(MaskPhase::kRoundWeighting, round);
   // Pipelined runs precompute the round's combined masks while waiting on
   // the previous aggregate (PrecomputeRoundMasks); the cached values are
   // the identical PRF evaluations, so both branches are bitwise equal.
   const std::vector<BigInt>* pre =
-      premask_valid_ && premask_round_ == round && premask_.size() == dim
+      premask_valid_ && premask_round_ == round && premask_.size() == cdim
           ? &premask_
           : nullptr;
-  std::vector<Status> dim_status(dim, Status::Ok());
-  pool.ParallelFor(dim, [&](size_t d) {
-    auto z = params_.codec.Encode(noise[d]);
+  std::vector<Status> dim_status(cdim, Status::Ok());
+  pool.ParallelFor(cdim, [&](size_t g) {
+    Result<BigInt> z = BigInt(0);
+    if (packed.active()) {
+      const size_t d0 = g * slots;
+      z = packed.EncodeGroup(noise.data() + d0,
+                             std::min(slots, noise.size() - d0));
+    } else {
+      z = params_.codec.Encode(noise[g]);
+    }
     if (!z.ok()) {
-      dim_status[d] = z.status();
+      dim_status[g] = z.status();
       return;
     }
     BigInt z_scaled = z.value().ModMul(c_lcm_mod_n, n);
-    (*cipher)[d] = Paillier::AddPlaintext(pk, (*cipher)[d], z_scaled);
+    (*cipher)[g] = Paillier::AddPlaintext(pk, (*cipher)[g], z_scaled);
     BigInt mask;
     if (pre != nullptr) {
-      mask = (*pre)[d];
+      mask = (*pre)[g];
     } else {
       mask = BigInt(0);
       for (int other = 0; other < params_.num_silos; ++other) {
         if (other == silo_id_) continue;
-        BigInt m = PairMask(other, weighting_tag, static_cast<int>(d));
+        BigInt m = PairMask(other, weighting_tag, static_cast<int>(g));
         mask = silo_id_ < other ? mask.ModAdd(m, n) : mask.ModSub(m, n);
       }
     }
-    (*cipher)[d] = Paillier::AddPlaintext(pk, (*cipher)[d], mask);
+    (*cipher)[g] = Paillier::AddPlaintext(pk, (*cipher)[g], mask);
   });
   return FirstError(dim_status);
 }
@@ -809,6 +902,9 @@ Status SiloCore::PrecomputeRoundMasks(uint64_t round, size_t dim,
     return Status::FailedPrecondition(
         "mask precomputation requires pair keys");
   }
+  // Callers pass the model dimension; masks live per ciphertext
+  // coordinate, so packed runs precompute ceil(dim/slots) lanes.
+  dim = params_.packed.PackedDim(dim);
   const BigInt& n = params_.public_key.n;
   const uint64_t weighting_tag =
       MakeMaskTag(MaskPhase::kRoundWeighting, round);
@@ -838,8 +934,13 @@ Result<std::vector<BigInt>> SiloCore::WeightMaskRound(
   const int num_users = params_.num_users;
   const ProtocolConfig& config = params_.config;
   const size_t dim = noise.size();
+  const size_t cdim = params_.packed.PackedDim(dim);
 
-  const bool use_tables = config.fast_paillier && config.fixed_base;
+  // Pippenger multi-exponentiation amortizes one shared squaring chain
+  // across the whole user batch, superseding per-user fixed-base tables.
+  const bool use_multi_exp = config.multi_exp && config.fast_paillier;
+  const bool use_tables =
+      config.fast_paillier && config.fixed_base && !use_multi_exp;
   const bool keep_tables = use_tables && config.cache_enc_weights;
   table_cache_.BeginRound(num_users, keep_tables);
 
@@ -849,20 +950,20 @@ Result<std::vector<BigInt>> SiloCore::WeightMaskRound(
   // This bounds transient table memory at ~batch * 2 MB worst case
   // instead of O(num_users); the round output is an exact modular
   // product, so batching never changes a bit.
-  const int user_batch = use_tables ? 128 : num_users;
-  std::vector<BigInt> cipher = NewCipherAccumulator(dim);
+  const int user_batch = use_tables || use_multi_exp ? 128 : num_users;
+  std::vector<BigInt> cipher = NewCipherAccumulator(cdim);
   for (int u0 = 0; u0 < num_users; u0 += user_batch) {
     const int u1 = std::min(num_users, u0 + user_batch);
     if (use_tables) {
       pool.ParallelFor(static_cast<size_t>(u1 - u0), [&](size_t i) {
         const int u = u0 + static_cast<int>(i);
         if (deltas[u].empty() || histogram_[u] == 0) return;
-        table_cache_.Ensure(*paillier_, u, enc_weights[u], dim);
+        table_cache_.Ensure(*paillier_, u, enc_weights[u], cdim);
       });
     }
     ULDP_RETURN_IF_ERROR(AccumulateUsers(
         u0, u1, enc_weights, use_tables ? &table_cache_.tables() : nullptr,
-        deltas, &cipher, pool));
+        deltas, dim, &cipher, pool));
     if (use_tables && !keep_tables) table_cache_.DropRange(u0, u1);
   }
   ULDP_RETURN_IF_ERROR(FinishRound(round, noise, &cipher, pool));

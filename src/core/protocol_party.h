@@ -110,6 +110,28 @@ struct ProtocolConfig {
   /// bitwise identical with the knob on or off (tested). Ignored in OT
   /// mode (the OT round is an interactive multi-step exchange).
   bool pipeline = false;
+  /// Ciphertext packing factor: k > 1 packs k fixed-point weights into
+  /// every Paillier plaintext as signed radix-2^B slots, so the weighting
+  /// phase ships and folds ceil(dim/k) ciphertexts instead of dim. B is
+  /// sized from C_LCM · (pack_clip/precision) · (users + silos) plus guard
+  /// bits, so aggregation provably cannot carry across slots; Setup
+  /// rejects configs where k·B cannot fit the modulus. Packed aggregates
+  /// decode bitwise identical to unpacked ones (crypto/fixed_point.h).
+  /// Both endpoints must agree (part of the wire digest).
+  int pack_slots = 1;
+  /// Per-coordinate magnitude bound |delta|, |noise| <= pack_clip the
+  /// packing carry guard is sized for; violations are hard errors at
+  /// encode time. Ignored when pack_slots == 1 (the unpacked path keeps
+  /// the original n/2 headroom of Theorem 4).
+  double pack_clip = 64.0;
+  /// Fold the weighting phase through Pippenger bucket multi-
+  /// exponentiation (math/multi_exp.h): per coordinate group, all active
+  /// users' Enc(B_inv)^scalar terms share one squaring chain instead of
+  /// one sliding-window exponentiation each. Party-local like
+  /// fast_paillier (peers need not agree); outputs are bitwise identical
+  /// either way. Effective only with fast_paillier; supersedes the
+  /// per-user fixed-base tables when set.
+  bool multi_exp = false;
 };
 
 /// Derived slot count of real (non-dummy) ciphertexts in OT mode.
@@ -127,6 +149,10 @@ struct ProtocolParams {
   BigInt c_lcm;
   DhGroup ot_group;  // populated iff config.ot_slots > 0
   FixedPointCodec codec{BigInt(5), 1e-10};
+  /// Slot layout for config.pack_slots > 1 (inactive otherwise); built by
+  /// Derive(), which rejects configurations whose carry guard cannot fit
+  /// the modulus.
+  PackedCodec packed;
 
   /// Rebuilds the derived fields (n², C_LCM, codec, OT Montgomery state)
   /// from config + public_key (+ ot_group p, g if OT is on). Used by
@@ -209,9 +235,11 @@ class ServerCore {
   Status AccumulateSiloCipher(const std::vector<BigInt>& cipher,
                               std::vector<BigInt>* product) const;
   /// Decrypts and decodes the aggregate — the only plaintext the server
-  /// ever sees.
+  /// ever sees. With packing active, `product` holds ceil(dim/k) group
+  /// ciphertexts and `model_dim` (the unpacked coordinate count) is
+  /// required to size the output; 0 means "unpacked, infer from product".
   Result<Vec> DecryptAggregate(const std::vector<BigInt>& product,
-                               ThreadPool& pool) const;
+                               ThreadPool& pool, size_t model_dim = 0) const;
 
  private:
   Result<BigInt> PEncrypt(const BigInt& m, Rng& rng) const;
@@ -332,8 +360,9 @@ class SiloCore {
       uint64_t round, const std::vector<BigInt>& enc_weights,
       const std::vector<Vec>& deltas, const Vec& noise, ThreadPool& pool);
 
-  /// Fresh per-coordinate accumulator for phase (b): `dim` ciphertext
-  /// identities.
+  /// Fresh per-coordinate accumulator for phase (b): one ciphertext
+  /// identity per shipped coordinate — PackedDim(model dim) of them when
+  /// packing is active.
   static std::vector<BigInt> NewCipherAccumulator(size_t dim);
 
   /// This silo's evaluation-only Paillier context (null unless
@@ -345,28 +374,33 @@ class SiloCore {
 
   /// Phase (b) for users [u0, u1): accumulates this silo's encrypted
   /// weighted terms into `cipher` (from NewCipherAccumulator, size =
-  /// noise dimension). `tables`, when non-null, maps user → fixed-base
-  /// table for enc_weights[u] (null entries fall back to plain
-  /// MulPlaintext). Parallelizes over coordinates on `pool`; the result
-  /// is an exact modular product, so batching and scheduling never change
-  /// a bit.
+  /// PackedDim(model_dim); model_dim is the unpacked coordinate count,
+  /// i.e. the noise dimension). `tables`, when non-null, maps user →
+  /// fixed-base table for enc_weights[u] (null entries fall back to plain
+  /// MulPlaintext); with config.multi_exp the per-group fold runs through
+  /// Pippenger instead. Parallelizes over coordinates on `pool`; the
+  /// result is an exact modular product, so batching, scheduling, packing,
+  /// and the multi-exp path never change a bit.
   Status AccumulateUsers(
       int u0, int u1, const std::vector<BigInt>& enc_weights,
       const std::vector<std::unique_ptr<FixedBaseTable>>* tables,
-      const std::vector<Vec>& deltas, std::vector<BigInt>* cipher,
-      ThreadPool& pool) const;
+      const std::vector<Vec>& deltas, size_t model_dim,
+      std::vector<BigInt>* cipher, ThreadPool& pool) const;
 
-  /// Phase (b) tail + (c): adds the encoded noise, then this silo's
-  /// pairwise additive masks for the round.
+  /// Phase (b) tail + (c): adds the encoded noise (packed into groups when
+  /// packing is active), then this silo's pairwise additive masks for the
+  /// round — one mask per shipped coordinate.
   Status FinishRound(uint64_t round, const Vec& noise,
                      std::vector<BigInt>* cipher, ThreadPool& pool) const;
 
   /// Pipelining hook: precomputes the combined per-coordinate pairwise
   /// mask vector for `round` so a waiting silo can overlap next-round
-  /// mask generation with the server's current-round aggregation.
-  /// FinishRound(round, ...) consumes the cache when it matches (same
-  /// round and dimension) and recomputes inline otherwise; the cached
-  /// values are the identical PRF evaluations, so outputs never change.
+  /// mask generation with the server's current-round aggregation. `dim`
+  /// is the model (unpacked) dimension; the packed mask count is derived
+  /// internally. FinishRound(round, ...) consumes the cache when it
+  /// matches (same round and dimension) and recomputes inline otherwise;
+  /// the cached values are the identical PRF evaluations, so outputs
+  /// never change.
   Status PrecomputeRoundMasks(uint64_t round, size_t dim, ThreadPool& pool);
 
   /// Fixed-base tables reused from a previous round because the encrypted

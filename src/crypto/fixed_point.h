@@ -4,9 +4,19 @@
 //
 // Decode additionally divides out the C_LCM factor that Protocol 1
 // multiplies into every term so that the 1/N_u weights stay integral.
+//
+// PackedCodec layers a slot layout on top: k weights share one Paillier
+// plaintext as signed radix-2^B digits, with B sized from the worst-case
+// aggregate magnitude (C_LCM · clip/P units · (users + silos) terms) plus
+// guard bits, so additive aggregation across every user and silo provably
+// cannot carry across a slot boundary. Configurations where it could are
+// rejected at Create() time.
 
 #ifndef ULDP_CRYPTO_FIXED_POINT_H_
 #define ULDP_CRYPTO_FIXED_POINT_H_
+
+#include <cstddef>
+#include <cstdint>
 
 #include "common/status.h"
 #include "math/bigint.h"
@@ -31,6 +41,11 @@ class FixedPointCodec {
   /// (rounded), then scale by P.
   double Decode(const BigInt& x, const BigInt& c_lcm) const;
 
+  /// The arithmetic tail of Decode on an already-centered signed value:
+  /// divide by c_lcm (rounded), scale by P. Shared with the packed path so
+  /// packed and unpacked aggregates decode to bitwise-identical doubles.
+  double DecodeCentered(const BigInt& centered, const BigInt& c_lcm) const;
+
   const BigInt& modulus() const { return modulus_; }
   double precision() const { return precision_; }
 
@@ -41,6 +56,67 @@ class FixedPointCodec {
   BigInt modulus_;
   BigInt half_modulus_;
   double precision_;
+};
+
+/// Slot layout packing up to `slots` fixed-point weights into one field
+/// element as signed radix-2^B digits. Homomorphic aggregation is mod-n
+/// linear, so the final aggregate is congruent to Σ_j V_j · 2^(jB) with
+/// V_j the per-slot signed aggregate; DecodeGroup recovers the digits
+/// exactly as long as |V_j| stays inside the carry guard, which Create()
+/// verifies against the worst admissible protocol inputs.
+///
+/// Default-constructed instances are inactive (slots() == 1, PackedDim is
+/// the identity) so the codec can live by value in copied param structs.
+class PackedCodec {
+ public:
+  PackedCodec() = default;
+
+  /// Builds the layout for `pack_slots` slots of weights clipped to
+  /// |x| <= pack_clip, aggregated across at most num_users weighted terms
+  /// plus num_silos noise terms, each carrying a C_LCM factor. Fails with
+  /// FailedPrecondition when slots · B cannot fit the modulus — the caller
+  /// must shrink pack_slots, pack_clip, or n_max, or grow the key.
+  /// pack_slots == 1 yields an inactive codec.
+  static Result<PackedCodec> Create(const BigInt& modulus, double precision,
+                                    int pack_slots, double pack_clip,
+                                    const BigInt& c_lcm, int num_silos,
+                                    int num_users);
+
+  bool active() const { return slots_ > 1; }
+  int slots() const { return slots_; }
+  int slot_bits() const { return slot_bits_; }
+  double pack_clip() const { return pack_clip_; }
+  /// Ciphertexts needed for a model of `dim` coordinates: ceil(dim/slots).
+  size_t PackedDim(size_t dim) const {
+    return slots_ <= 1 ? dim
+                       : (dim + static_cast<size_t>(slots_) - 1) /
+                             static_cast<size_t>(slots_);
+  }
+
+  /// Σ_j units(xs[j]) · 2^(jB) mod n over `count` (1..slots) weights —
+  /// the packed counterpart of FixedPointCodec::Encode, with units(x) the
+  /// identical llround(x/P). Errors on non-finite input or |x| beyond the
+  /// clip bound the carry guard was sized for.
+  Result<BigInt> EncodeGroup(const double* xs, size_t count) const;
+
+  /// Decodes an aggregate group plaintext: center into (-n/2, n/2],
+  /// extract `count` signed radix-2^B digits, decode each through
+  /// codec.DecodeCentered — bitwise identical to the unpacked Decode of
+  /// the same per-coordinate aggregate. Errors when the residue past the
+  /// last slot is nonzero (corrupt or overflowed aggregate).
+  Status DecodeGroup(const BigInt& x, const FixedPointCodec& codec,
+                     const BigInt& c_lcm, size_t count, double* out) const;
+
+ private:
+  BigInt modulus_;
+  BigInt half_modulus_;
+  double precision_ = 0.0;
+  double pack_clip_ = 0.0;
+  int64_t units_max_ = 0;  // ceil(pack_clip / precision)
+  int slots_ = 1;
+  int slot_bits_ = 0;  // B
+  BigInt slot_base_;   // 2^B
+  BigInt slot_half_;   // 2^(B-1)
 };
 
 }  // namespace uldp

@@ -1,5 +1,7 @@
 #include "math/fixed_base.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 
 namespace uldp {
@@ -10,37 +12,109 @@ namespace {
 // reuse is promised (8192 entries of a 2048-bit modulus ≈ 2 MB).
 constexpr size_t kMaxTableEntries = 8192;
 
-// Window width minimizing build + expected per-use multiplies:
-//   build      = ceil(bits/w) * (2^w - 1)            multiplies
-//   per use    = ceil(bits/w) * (1 - 2^-w)           expected multiplies
-// subject to the entry cap. Deterministic (pure integer/dyadic math).
-int PickWindow(int exp_bits, size_t expected_uses) {
-  int best_w = 1;
-  double best_cost = -1.0;
+// A Montgomery squaring through the dedicated path costs roughly this
+// fraction of a generic multiply; the cost models below use it to compare
+// the squaring-free radix layout against the comb.
+constexpr double kSqrWeight = 0.67;
+
+struct Plan {
+  FixedBaseTable::Strategy kind = FixedBaseTable::Strategy::kRadix;
+  int w = 1;       // radix window width, or comb teeth h
+  int comb_b = 0;  // comb columns per sub-block
+  double cost = -1.0;
+};
+
+// Radix cost:
+//   build    = levels * (2^w - 1)            multiplies (no squarings)
+//   per use  = levels * (1 - 2^-w)           expected multiplies
+void ConsiderRadix(int exp_bits, size_t expected_uses, Plan* best) {
   for (int w = 1; w <= 8; ++w) {
-    size_t levels = (static_cast<size_t>(exp_bits) + w - 1) / w;
-    size_t entries = levels * ((static_cast<size_t>(1) << w) - 1);
+    const size_t levels = (static_cast<size_t>(exp_bits) + w - 1) / w;
+    const size_t entries = levels * ((static_cast<size_t>(1) << w) - 1);
     if (w > 1 && entries > kMaxTableEntries) break;
-    double per_use = static_cast<double>(levels) *
-                     (1.0 - 1.0 / static_cast<double>(1ull << w));
-    double cost = static_cast<double>(entries) +
-                  static_cast<double>(expected_uses) * per_use;
-    if (best_cost < 0.0 || cost < best_cost) {
-      best_cost = cost;
-      best_w = w;
+    const double per_use = static_cast<double>(levels) *
+                           (1.0 - 1.0 / static_cast<double>(1ull << w));
+    const double cost = static_cast<double>(entries) +
+                        static_cast<double>(expected_uses) * per_use;
+    if (best->cost < 0.0 || cost < best->cost) {
+      best->kind = FixedBaseTable::Strategy::kRadix;
+      best->w = w;
+      best->comb_b = 0;
+      best->cost = cost;
     }
   }
-  return best_w;
+}
+
+// Comb cost with teeth h and sub-block width b (a = ceil(bits/h) columns,
+// v = ceil(a/b) sub-blocks):
+//   build    = chain squarings + v * (2^h - 1 - h) multiplies
+//   per use  = (b - 1) squarings + a * (1 - 2^-h) expected multiplies
+// v is capped at 4: beyond that each doubling trades a large table-size
+// increase for a shrinking per-use saving, and small tables at radix-level
+// speed are the point of the comb layout.
+void ConsiderComb(int exp_bits, size_t expected_uses, Plan* best) {
+  const int max_h = std::min(8, std::max(1, exp_bits));
+  for (int h = 1; h <= max_h; ++h) {
+    const int a = (exp_bits + h - 1) / h;
+    for (int v = 1; v <= 4; v *= 2) {
+      const int b = (a + v - 1) / v;
+      const int v_used = (a + b - 1) / b;
+      const size_t entries = static_cast<size_t>(v_used) *
+                             ((static_cast<size_t>(1) << h) - 1);
+      if (entries > kMaxTableEntries && !(h == 1 && v == 1)) continue;
+      const double chain =
+          static_cast<double>((h - 1) * a + (v_used - 1) * b);
+      const double build =
+          kSqrWeight * chain +
+          static_cast<double>(v_used) *
+              (static_cast<double>(1ull << h) - 1.0 - h);
+      const double per_use =
+          kSqrWeight * (b - 1) +
+          static_cast<double>(a) *
+              (1.0 - 1.0 / static_cast<double>(1ull << h));
+      const double cost = build + static_cast<double>(expected_uses) * per_use;
+      if (best->cost < 0.0 || cost < best->cost) {
+        best->kind = FixedBaseTable::Strategy::kComb;
+        best->w = h;
+        best->comb_b = b;
+        best->cost = cost;
+      }
+      if (b == 1) break;  // narrower sub-blocks are impossible
+    }
+  }
+}
+
+Plan PickPlan(int exp_bits, size_t expected_uses,
+              FixedBaseTable::Strategy strategy) {
+  Plan best;
+  if (strategy != FixedBaseTable::Strategy::kComb) {
+    ConsiderRadix(exp_bits, expected_uses, &best);
+  }
+  if (strategy != FixedBaseTable::Strategy::kRadix) {
+    ConsiderComb(exp_bits, expected_uses, &best);
+  }
+  return best;
 }
 
 }  // namespace
 
 FixedBaseTable::FixedBaseTable(const Montgomery& mont, const BigInt& base,
-                               int max_exp_bits, size_t expected_uses)
-    : mont_(&mont),
-      max_bits_(max_exp_bits),
-      w_(PickWindow(max_exp_bits, expected_uses)) {
+                               int max_exp_bits, size_t expected_uses,
+                               Strategy strategy)
+    : mont_(&mont), max_bits_(max_exp_bits) {
   ULDP_CHECK_GE(max_bits_, 1);
+  const Plan plan = PickPlan(max_bits_, expected_uses, strategy);
+  kind_ = plan.kind;
+  w_ = plan.w;
+  comb_b_ = plan.comb_b;
+  if (kind_ == Strategy::kComb) {
+    BuildComb(base);
+  } else {
+    BuildRadix(base);
+  }
+}
+
+void FixedBaseTable::BuildRadix(const BigInt& base) {
   const size_t levels = (static_cast<size_t>(max_bits_) + w_ - 1) / w_;
   powers_.resize(levels);
   // level_base = base^(2^(w*i)) in the Montgomery domain. Each level stores
@@ -67,10 +141,55 @@ FixedBaseTable::FixedBaseTable(const Montgomery& mont, const BigInt& base,
   }
 }
 
+void FixedBaseTable::BuildComb(const BigInt& base) {
+  const int h = w_;
+  comb_a_ = (max_bits_ + h - 1) / h;
+  comb_v_ = (comb_a_ + comb_b_ - 1) / comb_b_;
+  // Tooth/sub-block anchors base^(2^(j*a + k*b)) fall on one increasing
+  // squaring chain from the base (for fixed j the k-targets stay below
+  // (j+1)*a because (v-1)*b < a), so one pass captures them all.
+  std::vector<std::vector<std::vector<uint64_t>>> anchor(
+      h, std::vector<std::vector<uint64_t>>(comb_v_));
+  std::vector<uint64_t> cur = mont_->ToMont(base);
+  int pos = 0;
+  for (int j = 0; j < h; ++j) {
+    for (int k = 0; k < comb_v_; ++k) {
+      const int target = j * comb_a_ + k * comb_b_;
+      while (pos < target) {
+        cur = mont_->MontSqrLimbs(cur);
+        ++pos;
+      }
+      anchor[j][k] = cur;
+    }
+  }
+  // comb_[k][u-1] for u in [1, 2^h): powers of two copy their anchor, every
+  // other u is one multiply of its lowest set bit against the rest.
+  const size_t table = (static_cast<size_t>(1) << h) - 1;
+  comb_.assign(comb_v_, std::vector<std::vector<uint64_t>>(table));
+  for (int k = 0; k < comb_v_; ++k) {
+    for (size_t u = 1; u <= table; ++u) {
+      const size_t low = u & (~u + 1);  // lowest set bit
+      if (u == low) {
+        int j = 0;
+        while ((static_cast<size_t>(1) << j) != u) ++j;
+        comb_[k][u - 1] = anchor[j][k];
+      } else {
+        comb_[k][u - 1] =
+            mont_->MontMul(comb_[k][u - low - 1], comb_[k][low - 1]);
+      }
+    }
+  }
+}
+
 BigInt FixedBaseTable::Exp(const BigInt& exp) const {
   ULDP_CHECK_MSG(!exp.IsNegative(), "fixed-base exponent must be >= 0");
   const int bits = exp.BitLength();
   ULDP_CHECK_LE(bits, max_bits_);
+  if (kind_ == Strategy::kComb) return ExpComb(exp, bits);
+  return ExpRadix(exp, bits);
+}
+
+BigInt FixedBaseTable::ExpRadix(const BigInt& exp, int bits) const {
   std::vector<uint64_t> acc;
   bool started = false;
   const int levels = (bits + w_ - 1) / w_;
@@ -91,6 +210,43 @@ BigInt FixedBaseTable::Exp(const BigInt& exp) const {
   }
   if (!started) return mont_->FromMont(mont_->one_mont_);  // exp == 0
   return mont_->FromMont(acc);
+}
+
+BigInt FixedBaseTable::ExpComb(const BigInt& exp, int bits) const {
+  const int h = w_;
+  std::vector<uint64_t> acc;
+  bool started = false;
+  // Columns share significance 2^t within their sub-block: square once per
+  // column step (MSB-first), then multiply in every sub-block's comb word.
+  for (int t = comb_b_ - 1; t >= 0; --t) {
+    if (started) acc = mont_->MontSqrLimbs(acc);
+    for (int k = 0; k < comb_v_; ++k) {
+      const int col = k * comb_b_ + t;
+      if (col >= comb_a_) continue;
+      uint32_t word = 0;
+      for (int j = h - 1; j >= 0; --j) {
+        const int idx = j * comb_a_ + col;
+        word = (word << 1) | (idx < bits && exp.Bit(idx) ? 1u : 0u);
+      }
+      if (word == 0) continue;
+      const auto& entry = comb_[k][word - 1];
+      if (started) {
+        acc = mont_->MontMul(acc, entry);
+      } else {
+        acc = entry;
+        started = true;
+      }
+    }
+  }
+  if (!started) return mont_->FromMont(mont_->one_mont_);  // exp == 0
+  return mont_->FromMont(acc);
+}
+
+size_t FixedBaseTable::entries() const {
+  size_t total = 0;
+  for (const auto& level : powers_) total += level.size();
+  for (const auto& block : comb_) total += block.size();
+  return total;
 }
 
 BigInt FixedBaseExp(const FixedBaseTable& table, const BigInt& exponent) {

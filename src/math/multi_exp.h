@@ -1,0 +1,59 @@
+// Simultaneous multi-exponentiation: Π_i bases[i]^exps[i] mod n over a
+// cached Montgomery context, via windowed Pippenger bucket accumulation.
+//
+// The per-ciphertext loop the silo weighting phase runs —
+//   for each user u: acc = acc * MontExp(enc_weight_u, scalar_u) mod n²
+// — pays ~|n²| squarings per user. Pippenger shares one squaring chain
+// across the whole batch: exponents are cut into w-bit windows processed
+// MSB-first; within a window each base is multiplied into the bucket of
+// its digit, and the buckets fold with 2·(2^w − 1) multiplies. Total cost
+// is ~bits squarings + windows·(batch + 2^(w+1)) multiplies instead of
+// ~batch·bits squarings, a large win once the batch outgrows the window.
+//
+// Because modular arithmetic is exact and results are canonical in [0, n),
+// Product() is bitwise identical to the sequential MontExp fold for every
+// input — the protocol's determinism contract holds under the fast path.
+
+#ifndef ULDP_MATH_MULTI_EXP_H_
+#define ULDP_MATH_MULTI_EXP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "math/bigint.h"
+#include "math/montgomery.h"
+
+namespace uldp {
+
+/// Multi-exponentiation over a fixed batch of bases. Conversion of the
+/// bases into the Montgomery domain happens once at construction, so one
+/// instance amortizes across many Product() calls (one per packed
+/// coordinate group in the weighting fold). The context must outlive the
+/// instance. Immutable after construction — safe to share across threads.
+class MultiExp {
+ public:
+  /// `bases` must be non-negative and reduced into [0, n).
+  MultiExp(const Montgomery& mont, const std::vector<BigInt>& bases);
+
+  MultiExp(MultiExp&&) = default;
+  MultiExp& operator=(MultiExp&&) = default;
+
+  /// Π_i bases[i]^exps[i] mod n, bitwise identical to folding
+  /// mont.MontExp(bases[i], exps[i]) with ModMul. Requires
+  /// exps.size() == size() and every exponent >= 0. An empty batch (or
+  /// all-zero exponents) yields 1 mod n.
+  BigInt Product(const std::vector<BigInt>& exps) const;
+
+  size_t size() const { return bases_mont_.size(); }
+  const Montgomery& mont() const { return *mont_; }
+
+ private:
+  const Montgomery* mont_;
+  // Montgomery-domain copies of the bases, k-limb little endian.
+  std::vector<std::vector<uint64_t>> bases_mont_;
+};
+
+}  // namespace uldp
+
+#endif  // ULDP_MATH_MULTI_EXP_H_

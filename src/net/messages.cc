@@ -25,6 +25,12 @@ uint64_t ProtocolWireDigest(const ProtocolConfig& config, int num_silos,
   w.F64(config.ot_sample_rate);
   w.U32(static_cast<uint32_t>(config.ot_group_bits));
   w.U8(config.cache_enc_weights ? 1 : 0);
+  // Packing is part of the wire contract: every silo and the server must
+  // agree on the slot layout or packed aggregates decode as garbage.
+  // fast_paillier / fixed_base / multi_exp stay out — they are party-local
+  // evaluation strategies with bitwise-identical outputs.
+  w.U32(static_cast<uint32_t>(config.pack_slots));
+  w.F64(config.pack_clip);
   w.U32(static_cast<uint32_t>(num_silos));
   w.U32(static_cast<uint32_t>(num_users));
   return WireDigest(w.buffer());
@@ -229,6 +235,7 @@ Result<WeightRelayMsg> WeightRelayMsg::Parse(WireReader& r) {
 void SiloCipherMsg::AppendTo(WireWriter& w) const {
   w.U64(phase_tag);
   w.U32(silo_id);
+  w.U32(dim);
   w.BigVec(cipher);
 }
 
@@ -236,6 +243,7 @@ Result<SiloCipherMsg> SiloCipherMsg::Parse(WireReader& r) {
   SiloCipherMsg m;
   ULDP_RETURN_IF_ERROR(r.U64(&m.phase_tag));
   ULDP_RETURN_IF_ERROR(r.U32(&m.silo_id));
+  ULDP_RETURN_IF_ERROR(r.U32(&m.dim));
   ULDP_RETURN_IF_ERROR(r.BigVec(&m.cipher));
   return m;
 }

@@ -192,10 +192,14 @@ struct WeightRelayMsg {
 };
 
 /// Silo -> server: the masked encrypted weighted sum (weighting (b)+(c)).
+/// `dim` is the model dimension; with ciphertext packing enabled the
+/// cipher vector holds ceil(dim / pack_slots) entries, and the server uses
+/// `dim` to size the packed decode (and cross-checks it across silos).
 struct SiloCipherMsg {
   static constexpr MessageType kType = MessageType::kSiloCipher;
   uint64_t phase_tag = 0;
   uint32_t silo_id = 0;
+  uint32_t dim = 0;
   std::vector<BigInt> cipher;
   void AppendTo(WireWriter& w) const;
   static Result<SiloCipherMsg> Parse(WireReader& r);

@@ -392,6 +392,7 @@ Result<Vec> ProtocolServer::RunRoundInternal(
   std::vector<BigInt> incremental;
   std::mutex fold_mu;
   std::vector<Status> status(num_silos_, Status::Ok());
+  std::vector<uint32_t> dims(num_silos_, 0);
   pool_->ParallelFor(static_cast<size_t>(num_silos_), [&](size_t s) {
     auto frame = RecvFrom(static_cast<int>(s));
     if (!frame.ok()) {
@@ -413,6 +414,15 @@ Result<Vec> ProtocolServer::RunRoundInternal(
       status[s] = Status::InvalidArgument("cipher from wrong silo id");
       return;
     }
+    // The advertised model dimension must match the packed cipher count;
+    // a mismatch means the peer runs a different slot layout.
+    if (core_.params().packed.PackedDim(msg.value().dim) !=
+        msg.value().cipher.size()) {
+      status[s] = Status::InvalidArgument(
+          "silo cipher count inconsistent with model dimension");
+      return;
+    }
+    dims[s] = msg.value().dim;
     if (!config_.pipeline) {
       ciphers[s] = std::move(msg.value().cipher);
       return;
@@ -424,6 +434,11 @@ Result<Vec> ProtocolServer::RunRoundInternal(
     status[s] = core_.AccumulateSiloCipher(msg.value().cipher, &incremental);
   });
   ULDP_RETURN_IF_ERROR(FirstError(status));
+  for (int s = 1; s < num_silos_; ++s) {
+    if (dims[s] != dims[0]) {
+      return Status::InvalidArgument("silos disagree on the model dimension");
+    }
+  }
   EndPhase("silo_ciphers");
 
   BeginPhase();
@@ -431,7 +446,7 @@ Result<Vec> ProtocolServer::RunRoundInternal(
       config_.pipeline ? Result<std::vector<BigInt>>(std::move(incremental))
                        : core_.AggregateCiphertexts(ciphers, *pool_);
   if (!product.ok()) return product.status();
-  auto out = core_.DecryptAggregate(product.value(), *pool_);
+  auto out = core_.DecryptAggregate(product.value(), *pool_, dims[0]);
   if (!out.ok()) return out.status();
   RoundResultMsg result;
   result.phase_tag = MakeMaskTag(MaskPhase::kRoundWeighting, round);
@@ -705,6 +720,7 @@ Status SiloClient::RunLoop(Transport& transport, const RoundInput& input,
     SiloCipherMsg cipher_msg;
     cipher_msg.phase_tag = MakeMaskTag(MaskPhase::kRoundWeighting, round);
     cipher_msg.silo_id = static_cast<uint32_t>(silo_id_);
+    cipher_msg.dim = static_cast<uint32_t>(noise.size());
     cipher_msg.cipher = std::move(cipher.value());
     ULDP_RETURN_IF_ERROR(transport.Send(ToFrame(cipher_msg)));
     if (config_.pipeline && config_.ot_slots <= 0 &&

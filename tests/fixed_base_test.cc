@@ -82,6 +82,51 @@ TEST(FixedBaseTest, SmallMaxBitsAndShortTables) {
   }
 }
 
+TEST(FixedBaseTest, CombAndRadixAreBitwiseEqual) {
+  Rng rng(16);
+  for (int bits : {96, 320, 521}) {
+    BigInt m = GeneratePrime(bits, rng);
+    Montgomery mont(m);
+    BigInt base = BigInt::RandomBelow(m, rng);
+    FixedBaseTable radix(mont, base, bits, 4096,
+                         FixedBaseTable::Strategy::kRadix);
+    FixedBaseTable comb(mont, base, bits, 4096,
+                        FixedBaseTable::Strategy::kComb);
+    ASSERT_EQ(radix.kind(), FixedBaseTable::Strategy::kRadix);
+    ASSERT_EQ(comb.kind(), FixedBaseTable::Strategy::kComb);
+    for (int ebits : {1, 2, 7, bits / 2, bits - 1, bits}) {
+      BigInt exp = BigInt::RandomBits(ebits, rng);
+      BigInt want = mont.MontExp(base, exp);
+      EXPECT_EQ(radix.Exp(exp), want) << bits << "/" << ebits;
+      EXPECT_EQ(comb.Exp(exp), want) << bits << "/" << ebits;
+    }
+    EXPECT_EQ(comb.Exp(BigInt(0)), BigInt(1));
+  }
+}
+
+TEST(FixedBaseTest, CombTablesAreSmallerAtEqualReuse) {
+  // The Lim-Lee layout targets ~2x fewer stored entries than the radix
+  // table at heavy reuse; at 512-bit operands the actual ratio is ~5x.
+  Rng rng(17);
+  BigInt m = GeneratePrime(512, rng);
+  Montgomery mont(m);
+  BigInt base = BigInt::RandomBelow(m, rng);
+  FixedBaseTable radix(mont, base, 512, 100000,
+                       FixedBaseTable::Strategy::kRadix);
+  FixedBaseTable comb(mont, base, 512, 100000,
+                      FixedBaseTable::Strategy::kComb);
+  EXPECT_GE(static_cast<double>(radix.entries()),
+            2.0 * static_cast<double>(comb.entries()))
+      << "radix " << radix.entries() << " vs comb " << comb.entries();
+  // And the auto picker must resolve to a concrete strategy whose output
+  // matches both forced variants.
+  FixedBaseTable auto_table(mont, base, 512, 100000);
+  EXPECT_NE(auto_table.kind(), FixedBaseTable::Strategy::kAuto);
+  BigInt exp = BigInt::RandomBits(512, rng);
+  EXPECT_EQ(auto_table.Exp(exp), radix.Exp(exp));
+  EXPECT_EQ(auto_table.Exp(exp), comb.Exp(exp));
+}
+
 TEST(FixedBaseTest, DhGeneratorTableMatchesGenericExp) {
   Rng rng(15);
   DhGroup group = DhGroup::GenerateSafePrimeGroup(192, rng);

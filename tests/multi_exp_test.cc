@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "crypto/paillier.h"
+#include "crypto/paillier_ctx.h"
+#include "math/montgomery.h"
+#include "math/multi_exp.h"
+#include "math/primes.h"
+
+namespace uldp {
+namespace {
+
+// The reference MultiExp must match: a plain MontExp fold, skipping
+// zero-exponent terms exactly as the weighting phase does.
+BigInt LoopProduct(const Montgomery& mont, const std::vector<BigInt>& bases,
+                   const std::vector<BigInt>& exps) {
+  const BigInt& n = mont.modulus();
+  BigInt acc = BigInt(1).Mod(n);
+  for (size_t i = 0; i < bases.size(); ++i) {
+    if (exps[i].IsZero()) continue;
+    acc = acc.ModMul(mont.MontExp(bases[i], exps[i]), n);
+  }
+  return acc;
+}
+
+TEST(MultiExpTest, MatchesMontExpFoldBitwise) {
+  Rng rng(31);
+  for (int bits : {64, 192, 521}) {
+    BigInt m = GeneratePrime(bits, rng);
+    Montgomery mont(m);
+    for (size_t batch : {1u, 2u, 7u, 33u, 64u}) {
+      std::vector<BigInt> bases(batch), exps(batch);
+      for (size_t i = 0; i < batch; ++i) {
+        bases[i] = BigInt::RandomBelow(m, rng);
+        exps[i] = BigInt::RandomBits(1 + static_cast<int>(i) % bits, rng);
+      }
+      MultiExp multi(mont, bases);
+      EXPECT_EQ(multi.Product(exps), LoopProduct(mont, bases, exps))
+          << bits << "-bit modulus, batch " << batch;
+    }
+  }
+}
+
+TEST(MultiExpTest, ZeroAndEdgeExponents) {
+  Rng rng(32);
+  BigInt m = GeneratePrime(256, rng);
+  Montgomery mont(m);
+  std::vector<BigInt> bases;
+  for (int i = 0; i < 8; ++i) bases.push_back(BigInt::RandomBelow(m, rng));
+  bases[3] = BigInt(0);  // a zero base with a nonzero exponent
+  MultiExp multi(mont, bases);
+
+  // All-zero exponents: empty product is 1.
+  std::vector<BigInt> zeros(8, BigInt(0));
+  EXPECT_EQ(multi.Product(zeros), BigInt(1));
+
+  // A single active term degenerates to plain MontExp.
+  std::vector<BigInt> one_hot(8, BigInt(0));
+  one_hot[5] = BigInt::RandomBits(200, rng);
+  EXPECT_EQ(multi.Product(one_hot), mont.MontExp(bases[5], one_hot[5]));
+
+  // Mixed widths including maximal and unit exponents.
+  std::vector<BigInt> exps = {BigInt(1),
+                              m - BigInt(1),
+                              BigInt(0),
+                              BigInt(2),
+                              BigInt(1) << 255,
+                              BigInt(3),
+                              BigInt::RandomBits(256, rng),
+                              BigInt(0)};
+  EXPECT_EQ(multi.Product(exps), LoopProduct(mont, bases, exps));
+}
+
+TEST(MultiExpTest, EmptyBatchYieldsOne) {
+  Rng rng(33);
+  BigInt m = GeneratePrime(128, rng);
+  Montgomery mont(m);
+  MultiExp multi(mont, {});
+  EXPECT_EQ(multi.size(), 0u);
+  EXPECT_EQ(multi.Product({}), BigInt(1));
+}
+
+TEST(MultiExpTest, PaillierCiphertextFoldMatchesMulPlaintext) {
+  // The production use: fold user ciphertexts c_u^{s_u} mod n² and compare
+  // against the per-ciphertext MulPlaintext path.
+  Rng rng(34);
+  PaillierPublicKey pk;
+  PaillierSecretKey sk;
+  ASSERT_TRUE(Paillier::GenerateKeyPair(512, rng, &pk, &sk).ok());
+  PaillierContext ctx(pk);
+  const size_t batch = 24;
+  std::vector<BigInt> ciphers, scalars;
+  for (size_t i = 0; i < batch; ++i) {
+    auto c = ctx.Encrypt(BigInt::RandomBelow(pk.n, rng), rng);
+    ASSERT_TRUE(c.ok());
+    ciphers.push_back(c.value());
+    scalars.push_back(i % 5 == 0 ? BigInt(0)
+                                 : BigInt::RandomBelow(pk.n, rng));
+  }
+  BigInt loop = BigInt(1);
+  for (size_t i = 0; i < batch; ++i) {
+    if (scalars[i].IsZero()) continue;
+    loop = ctx.AddCiphertexts(loop, ctx.MulPlaintext(ciphers[i], scalars[i]));
+  }
+  MultiExp multi(ctx.mont_n_squared(), ciphers);
+  EXPECT_EQ(multi.Product(scalars), loop);
+}
+
+}  // namespace
+}  // namespace uldp

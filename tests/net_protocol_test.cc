@@ -140,6 +140,56 @@ TEST(NetProtocolTest, OtModeOverChannelsBitwiseMatchesInProcess) {
   EXPECT_EQ(channel, reference);
 }
 
+TEST(NetProtocolTest, PackedRoundsBitwiseMatchUnpackedOverAllTransports) {
+  // pack_slots = 4 fits the default precision/clip at 512-bit keys; the
+  // packed distributed runs must decode to the exact doubles the unpacked
+  // in-process simulation produces — packing is a pure wire/evaluation
+  // layout, never a numerics change.
+  ProtocolConfig unpacked = TestConfig();
+  std::vector<Vec> reference = RunInProcess(unpacked);
+
+  ProtocolConfig packed = TestConfig();
+  packed.pack_slots = 4;
+  std::vector<Vec> packed_local = RunInProcess(packed);
+  std::vector<Vec> packed_channel = RunOverChannels(packed);
+  std::vector<Vec> packed_tcp = RunOverTcp(packed);
+  EXPECT_EQ(packed_local, reference);
+  EXPECT_EQ(packed_channel, reference);
+  EXPECT_EQ(packed_tcp, reference);
+}
+
+TEST(NetProtocolTest, PackedOtModeOverChannelsBitwiseMatchesInProcess) {
+  ProtocolConfig config = OtTestConfig();
+  config.pack_slots = 4;
+  std::vector<Vec> reference = RunInProcess(config);
+  std::vector<Vec> channel = RunOverChannels(config);
+  EXPECT_EQ(channel, reference);
+
+  ProtocolConfig unpacked = OtTestConfig();
+  std::vector<Vec> unpacked_reference = RunInProcess(unpacked);
+  EXPECT_EQ(reference, unpacked_reference);
+}
+
+TEST(NetProtocolTest, PackedConfigsAreDigestSeparated) {
+  // A silo running a different slot layout must be rejected at Join, not
+  // left to decode garbage aggregates.
+  ProtocolConfig config = TestConfig();
+  ProtocolConfig other = TestConfig();
+  other.pack_slots = 4;
+  EXPECT_NE(ProtocolWireDigest(config, kSilos, kUsers),
+            ProtocolWireDigest(other, kSilos, kUsers));
+  ProtocolConfig clip = TestConfig();
+  clip.pack_clip = 32.0;
+  EXPECT_NE(ProtocolWireDigest(config, kSilos, kUsers),
+            ProtocolWireDigest(clip, kSilos, kUsers));
+  // multi_exp is a party-local evaluation strategy (bitwise-identical
+  // outputs), so it must NOT split the wire digest.
+  ProtocolConfig me = TestConfig();
+  me.multi_exp = true;
+  EXPECT_EQ(ProtocolWireDigest(config, kSilos, kUsers),
+            ProtocolWireDigest(me, kSilos, kUsers));
+}
+
 TEST(NetProtocolTest, JoinRejectsMismatchedConfigAndBadIds) {
   ProtocolConfig config = TestConfig();
   ProtocolServer server(config, kSilos, kUsers);

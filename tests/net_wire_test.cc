@@ -229,9 +229,11 @@ TEST(MessageRoundTripTest, HistogramAndCiphers) {
   SiloCipherMsg cipher;
   cipher.phase_tag = MakeMaskTag(MaskPhase::kRoundWeighting, 3);
   cipher.silo_id = 2;
+  cipher.dim = 32;  // model dim; packed frames carry fewer ciphertexts
   cipher.cipher = BoundaryBigInts();
   auto cipher_back = RoundTrip(cipher);
   EXPECT_EQ(cipher_back.phase_tag, cipher.phase_tag);
+  EXPECT_EQ(cipher_back.dim, cipher.dim);
   EXPECT_EQ(cipher_back.cipher, cipher.cipher);
 
   MaskedVectorMsg masked;
@@ -318,6 +320,38 @@ TEST(MessageDecodeTest, CorruptedNestedCountsRejected) {
   EXPECT_FALSE(FromFrame<OtSlotsMsg>(frame).ok());
 }
 
+TEST(MessageDecodeTest, CorruptedPackedCipherFrameRejected) {
+  // A packed silo-cipher frame whose advertised model dim was tampered
+  // with still parses at the codec layer (dim is just a u32), but a
+  // truncated cipher vector must fail before any BigInt is half-read.
+  SiloCipherMsg cipher;
+  cipher.phase_tag = MakeMaskTag(MaskPhase::kRoundWeighting, 1);
+  cipher.silo_id = 0;
+  cipher.dim = 8;           // model dim 8 packed at k=4 ...
+  cipher.cipher.assign(2, BigInt(1) << 100);  // ... into 2 ciphertexts
+  Frame frame = ToFrame(cipher);
+
+  // Truncate mid-vector: the trailing-bytes/underflow checks must fire.
+  Frame truncated = frame;
+  truncated.payload.resize(truncated.payload.size() - 5);
+  EXPECT_FALSE(FromFrame<SiloCipherMsg>(truncated).ok());
+
+  // Inflate the vector count beyond the payload.
+  Frame inflated = frame;
+  // Layout: u64 tag (8) + u32 silo (4) + u32 dim (4) + u32 count.
+  inflated.payload[16] = 0xFF;
+  inflated.payload[17] = 0xFF;
+  EXPECT_FALSE(FromFrame<SiloCipherMsg>(inflated).ok());
+
+  // Flipping a dim byte still parses here — the server's slot-layout
+  // cross-check (PackedDim(dim) == cipher count) is what rejects it.
+  Frame bad_dim = frame;
+  bad_dim.payload[12] ^= 0x01;
+  auto parsed = FromFrame<SiloCipherMsg>(bad_dim);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_NE(parsed.value().dim, cipher.dim);
+}
+
 TEST(MessageDigestTest, DigestSeparatesConfigs) {
   ProtocolConfig a;
   uint64_t base = ProtocolWireDigest(a, 3, 10);
@@ -330,6 +364,13 @@ TEST(MessageDigestTest, DigestSeparatesConfigs) {
   EXPECT_NE(base, ProtocolWireDigest(c, 3, 10));
   EXPECT_NE(base, ProtocolWireDigest(a, 4, 10));
   EXPECT_NE(base, ProtocolWireDigest(a, 3, 11));
+  // The packing layout is part of the wire contract.
+  ProtocolConfig d = a;
+  d.pack_slots = 4;
+  EXPECT_NE(base, ProtocolWireDigest(d, 3, 10));
+  ProtocolConfig e = a;
+  e.pack_clip = a.pack_clip * 2;
+  EXPECT_NE(base, ProtocolWireDigest(e, 3, 10));
 }
 
 TEST(MessageTagTest, CheckPhaseTagValidatesPhaseAndRound) {

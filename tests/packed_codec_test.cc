@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "crypto/fixed_point.h"
+#include "math/bigint.h"
+
+namespace uldp {
+namespace {
+
+// A 512-bit-ish odd modulus; packing only needs BitLength and mod
+// arithmetic, not a real Paillier key.
+BigInt TestModulus() { return (BigInt(1) << 512) - BigInt(569); }
+
+struct PackSetup {
+  BigInt n = TestModulus();
+  BigInt c_lcm = LcmUpTo(8);  // n_max = 8 -> 840
+  double precision = 1e-6;
+  double clip = 8.0;
+  int silos = 3;
+  int users = 8;  // == n_max, so the carry test can hit the exact bound
+
+  PackedCodec Make(int slots) const {
+    auto r = PackedCodec::Create(n, precision, slots, clip, c_lcm, silos,
+                                 users);
+    EXPECT_TRUE(r.ok()) << r.status().message();
+    return r.value();
+  }
+  FixedPointCodec Codec() const { return FixedPointCodec(n, precision); }
+};
+
+TEST(PackedCodecTest, InactiveAndRejectedConfigs) {
+  PackSetup s;
+  auto inactive = PackedCodec::Create(s.n, s.precision, 1, s.clip, s.c_lcm,
+                                      s.silos, s.users);
+  ASSERT_TRUE(inactive.ok());
+  EXPECT_FALSE(inactive.value().active());
+  EXPECT_EQ(inactive.value().PackedDim(37), 37u);
+
+  EXPECT_FALSE(
+      PackedCodec::Create(s.n, s.precision, 0, s.clip, s.c_lcm, 3, 5).ok());
+  EXPECT_FALSE(
+      PackedCodec::Create(s.n, s.precision, 65, s.clip, s.c_lcm, 3, 5).ok());
+  EXPECT_FALSE(
+      PackedCodec::Create(s.n, s.precision, 4, -1.0, s.c_lcm, 3, 5).ok());
+  EXPECT_FALSE(
+      PackedCodec::Create(s.n, -1e-6, 4, s.clip, s.c_lcm, 3, 5).ok());
+  // Too many slots for the modulus: the slot width times the slot count
+  // cannot fit 512 bits at this clip/precision, so Create must refuse
+  // rather than let aggregation carry across slot boundaries.
+  auto too_wide =
+      PackedCodec::Create(s.n, 1e-10, 8, 64.0, LcmUpTo(30), 3, 30);
+  ASSERT_FALSE(too_wide.ok());
+  EXPECT_EQ(too_wide.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(PackedCodecTest, RoundTripMatchesUnpackedBitwise) {
+  PackSetup s;
+  FixedPointCodec codec = s.Codec();
+  for (int slots : {2, 4, 8}) {
+    PackedCodec packed = s.Make(slots);
+    std::vector<double> xs = {0.25,  -1.5,    0.0, 7.9999,
+                              -7.25, 1e-6, -1e-6, 3.141592};
+    xs.resize(static_cast<size_t>(slots));
+    auto group = packed.EncodeGroup(xs.data(), xs.size());
+    ASSERT_TRUE(group.ok());
+    // Scale by c_lcm as the protocol terms do, then decode both ways.
+    BigInt scaled = group.value().ModMul(s.c_lcm.Mod(s.n), s.n);
+    std::vector<double> out(xs.size());
+    ASSERT_TRUE(
+        packed.DecodeGroup(scaled, codec, s.c_lcm, xs.size(), out.data())
+            .ok());
+    for (size_t j = 0; j < xs.size(); ++j) {
+      auto e = codec.Encode(xs[j]);
+      ASSERT_TRUE(e.ok());
+      double want =
+          codec.Decode(e.value().ModMul(s.c_lcm.Mod(s.n), s.n), s.c_lcm);
+      EXPECT_EQ(out[j], want) << "slots " << slots << " lane " << j;
+    }
+  }
+}
+
+TEST(PackedCodecTest, SlotBoundaryCarryAtMaxAggregate) {
+  // The carry guard is sized for num_users (= n_max here) weighted terms
+  // at full clip (weight factor <= C_LCM) plus num_silos noise terms:
+  // simulate exactly that worst case in adjacent slots with alternating
+  // signs and check every lane still decodes exactly.
+  PackSetup s;
+  FixedPointCodec codec = s.Codec();
+  PackedCodec packed = s.Make(4);
+  const int n_max = 8;
+  BigInt acc(0);
+  std::vector<double> want(4, 0.0);
+  // n_max "users" each contributing clip * C_LCM (the protocol's maximal
+  // per-user weight factor is n_su * r_u-free C_LCM multiples; EncodeGroup
+  // handles the clip bound, the C_LCM scaling happens homomorphically).
+  for (int u = 0; u < n_max; ++u) {
+    std::vector<double> xs = {8.0, -8.0, 8.0, -8.0};
+    auto g = packed.EncodeGroup(xs.data(), xs.size());
+    ASSERT_TRUE(g.ok());
+    acc = acc.ModAdd(g.value().ModMul(s.c_lcm.Mod(s.n), s.n), s.n);
+    for (int j = 0; j < 4; ++j) want[j] += xs[j];
+  }
+  // num_silos noise terms at the clip as well.
+  for (int silo = 0; silo < s.silos; ++silo) {
+    std::vector<double> zs = {-8.0, 8.0, -8.0, 8.0};
+    auto g = packed.EncodeGroup(zs.data(), zs.size());
+    ASSERT_TRUE(g.ok());
+    acc = acc.ModAdd(g.value().ModMul(s.c_lcm.Mod(s.n), s.n), s.n);
+    for (int j = 0; j < 4; ++j) want[j] += zs[j];
+  }
+  std::vector<double> out(4);
+  ASSERT_TRUE(packed.DecodeGroup(acc, codec, s.c_lcm, 4, out.data()).ok());
+  for (int j = 0; j < 4; ++j) {
+    EXPECT_NEAR(out[j], want[j], 1e-9) << "lane " << j;
+  }
+}
+
+TEST(PackedCodecTest, NegativeAggregatesNearModulusWrap) {
+  // Pure-negative aggregates live just below n after the mod reduction;
+  // centering must bring every slot back exactly.
+  PackSetup s;
+  FixedPointCodec codec = s.Codec();
+  PackedCodec packed = s.Make(4);
+  std::vector<double> xs = {-7.999999, -1e-6, -4.5, -8.0};
+  auto g = packed.EncodeGroup(xs.data(), xs.size());
+  ASSERT_TRUE(g.ok());
+  BigInt scaled = g.value().ModMul(s.c_lcm.Mod(s.n), s.n);
+  std::vector<double> out(4);
+  ASSERT_TRUE(packed.DecodeGroup(scaled, codec, s.c_lcm, 4, out.data()).ok());
+  for (int j = 0; j < 4; ++j) {
+    auto e = codec.Encode(xs[j]);
+    ASSERT_TRUE(e.ok());
+    EXPECT_EQ(out[j],
+              codec.Decode(e.value().ModMul(s.c_lcm.Mod(s.n), s.n), s.c_lcm))
+        << "lane " << j;
+  }
+}
+
+TEST(PackedCodecTest, TailGroupWhenDimNotDivisible) {
+  PackSetup s;
+  FixedPointCodec codec = s.Codec();
+  PackedCodec packed = s.Make(4);
+  EXPECT_EQ(packed.PackedDim(10), 3u);  // 4 + 4 + 2
+  std::vector<double> tail = {2.5, -3.25};
+  auto g = packed.EncodeGroup(tail.data(), tail.size());
+  ASSERT_TRUE(g.ok());
+  BigInt scaled = g.value().ModMul(s.c_lcm.Mod(s.n), s.n);
+  std::vector<double> out(2);
+  ASSERT_TRUE(packed.DecodeGroup(scaled, codec, s.c_lcm, 2, out.data()).ok());
+  for (int j = 0; j < 2; ++j) {
+    auto e = codec.Encode(tail[j]);
+    ASSERT_TRUE(e.ok());
+    EXPECT_EQ(out[j],
+              codec.Decode(e.value().ModMul(s.c_lcm.Mod(s.n), s.n), s.c_lcm));
+  }
+}
+
+TEST(PackedCodecTest, ClipViolationAndCorruptionAreRejected) {
+  PackSetup s;
+  FixedPointCodec codec = s.Codec();
+  PackedCodec packed = s.Make(4);
+
+  // EncodeGroup enforces the clip bound the guard bits were sized for.
+  std::vector<double> over = {9.0, 0.0, 0.0, 0.0};
+  EXPECT_FALSE(packed.EncodeGroup(over.data(), over.size()).ok());
+  std::vector<double> nan = {std::nan(""), 0.0, 0.0, 0.0};
+  EXPECT_FALSE(packed.EncodeGroup(nan.data(), nan.size()).ok());
+
+  // A frame with bits beyond the last decoded slot is corrupt: the decode
+  // must fail loudly, not silently fold garbage into slot values.
+  std::vector<double> xs = {1.0, 2.0};
+  auto g = packed.EncodeGroup(xs.data(), xs.size());
+  ASSERT_TRUE(g.ok());
+  BigInt corrupt =
+      g.value().ModAdd(BigInt(1) << (packed.slot_bits() * 3), s.n);
+  std::vector<double> out(2);
+  auto st = packed.DecodeGroup(corrupt, codec, s.c_lcm, 2, out.data());
+  EXPECT_FALSE(st.ok());
+
+  // Out-of-range field elements are rejected before any slot math.
+  EXPECT_FALSE(packed.DecodeGroup(s.n, codec, s.c_lcm, 2, out.data()).ok());
+  EXPECT_FALSE(
+      packed.DecodeGroup(BigInt(0) - BigInt(1), codec, s.c_lcm, 2, out.data())
+          .ok());
+}
+
+}  // namespace
+}  // namespace uldp

@@ -492,6 +492,149 @@ TEST(ProtocolCacheTest, CachedRoundsAreThreadCountInvariant) {
   }
 }
 
+// Packing-feasible configuration: at 512-bit keys the slot width is driven
+// by C_LCM(n_max) and pack_clip/precision, and n_max=8 / 1e-6 / clip 8
+// leaves room for all of k in {2, 4, 8}.
+ProtocolConfig PackedTestConfig(int pack_slots) {
+  ProtocolConfig config;
+  config.paillier_bits = 512;
+  config.n_max = 8;
+  config.precision = 1e-6;
+  config.pack_clip = 8.0;
+  config.pack_slots = pack_slots;
+  config.seed = 909;
+  return config;
+}
+
+TEST(ProtocolPackedTest, PackedRoundsBitwiseMatchUnpacked) {
+  // dim = 5 is divisible by none of the slot counts, so every packed run
+  // also exercises a partial tail group.
+  const int silos = 2, users = 5, dim = 5;
+  auto in = MakeInputs(silos, users, dim, 171);
+  std::vector<bool> mask(users, true);
+  mask[2] = false;
+  Vec unpacked;
+  for (int slots : {1, 2, 4, 8}) {
+    PrivateWeightingProtocol protocol(PackedTestConfig(slots), silos, users);
+    ASSERT_TRUE(protocol.Setup(in.histograms).ok());
+    auto out = protocol.WeightingRound(0, in.deltas, in.noise, mask);
+    ASSERT_TRUE(out.ok()) << "pack_slots " << slots;
+    if (slots == 1) {
+      unpacked = std::move(out.value());
+      Vec expect = PlaintextReference(in, mask, dim);
+      for (int d = 0; d < dim; ++d) {
+        EXPECT_NEAR(unpacked[d], expect[d], 1e-4);
+      }
+    } else {
+      // Same quantized integers flow through either layout, so the decoded
+      // doubles are bitwise identical — not merely close.
+      EXPECT_EQ(out.value(), unpacked) << "pack_slots " << slots;
+    }
+  }
+}
+
+TEST(ProtocolPackedTest, PackedRoundsAreThreadCountInvariant) {
+  const int silos = 2, users = 5, dim = 6;
+  auto in = MakeInputs(silos, users, dim, 172);
+  std::vector<bool> mask(users, true);
+  Vec ref;
+  for (int threads : {1, 2, 5}) {
+    ProtocolConfig config = PackedTestConfig(4);
+    config.num_threads = threads;
+    PrivateWeightingProtocol protocol(config, silos, users);
+    ASSERT_TRUE(protocol.Setup(in.histograms).ok());
+    auto out = protocol.WeightingRound(0, in.deltas, in.noise, mask);
+    ASSERT_TRUE(out.ok());
+    if (threads == 1) {
+      ref = std::move(out.value());
+    } else {
+      EXPECT_EQ(out.value(), ref) << "thread count " << threads;
+    }
+  }
+}
+
+TEST(ProtocolPackedTest, PackedOtModeBitwiseMatchesUnpacked) {
+  const int silos = 2, users = 4, dim = 5;
+  auto in = MakeInputs(silos, users, dim, 173);
+  std::vector<bool> ignored(users, true);
+  Vec unpacked;
+  std::vector<bool> unpacked_mask;
+  for (int slots : {1, 4}) {
+    ProtocolConfig config = PackedTestConfig(slots);
+    config.ot_slots = 4;
+    config.ot_sample_rate = 0.5;
+    config.ot_group_bits = 192;
+    PrivateWeightingProtocol protocol(config, silos, users);
+    ASSERT_TRUE(protocol.Setup(in.histograms).ok());
+    auto out = protocol.WeightingRound(0, in.deltas, in.noise, ignored);
+    ASSERT_TRUE(out.ok());
+    if (slots == 1) {
+      unpacked = std::move(out.value());
+      unpacked_mask = protocol.last_ot_mask();
+    } else {
+      // The OT transcript never touches the slot layout, so the hidden
+      // mask and the aggregate both carry over bitwise.
+      EXPECT_EQ(protocol.last_ot_mask(), unpacked_mask);
+      EXPECT_EQ(out.value(), unpacked);
+    }
+  }
+}
+
+TEST(ProtocolPackedTest, InfeasiblePackingIsRejectedAtSetup) {
+  // Default precision (1e-10) and clip at n_max=30 need ~86-bit slots;
+  // eight of them cannot fit a 512-bit modulus and Setup must say so
+  // instead of letting aggregation overflow slot boundaries.
+  ProtocolConfig config;
+  config.paillier_bits = 512;
+  config.n_max = 30;
+  config.seed = 910;
+  config.pack_slots = 8;
+  PrivateWeightingProtocol protocol(config, 2, 2);
+  auto status = protocol.Setup({{1, 1}, {1, 1}});
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ProtocolMultiExpTest, MultiExpRoundBitwiseAgreesWithLoop) {
+  // Pippenger bucket accumulation shares one squaring chain across the
+  // user batch; the round output must not move by a single bit.
+  const int silos = 3, users = 5, dim = 4;
+  auto in = MakeInputs(silos, users, dim, 174);
+  std::vector<bool> mask(users, true);
+  mask[1] = false;
+  Vec outputs[2];
+  for (int me = 0; me < 2; ++me) {
+    ProtocolConfig config;
+    config.paillier_bits = 512;
+    config.n_max = 30;
+    config.seed = 911;
+    config.multi_exp = me == 1;
+    PrivateWeightingProtocol protocol(config, silos, users);
+    ASSERT_TRUE(protocol.Setup(in.histograms).ok());
+    auto out = protocol.WeightingRound(0, in.deltas, in.noise, mask);
+    ASSERT_TRUE(out.ok());
+    outputs[me] = std::move(out.value());
+  }
+  EXPECT_EQ(outputs[0], outputs[1]);
+}
+
+TEST(ProtocolMultiExpTest, MultiExpComposesWithPackingBitwise) {
+  const int silos = 2, users = 5, dim = 7;
+  auto in = MakeInputs(silos, users, dim, 175);
+  std::vector<bool> mask(users, true);
+  Vec outputs[2];
+  for (int me = 0; me < 2; ++me) {
+    ProtocolConfig config = PackedTestConfig(4);
+    config.multi_exp = me == 1;
+    PrivateWeightingProtocol protocol(config, silos, users);
+    ASSERT_TRUE(protocol.Setup(in.histograms).ok());
+    auto out = protocol.WeightingRound(0, in.deltas, in.noise, mask);
+    ASSERT_TRUE(out.ok());
+    outputs[me] = std::move(out.value());
+  }
+  EXPECT_EQ(outputs[0], outputs[1]);
+}
+
 TEST(ProtocolTrainerTest, PrivatePathMatchesPlaintextEnhancedWeighting) {
   Rng rng(21);
   auto cd = MakeCreditcardLike(300, 150, rng);
