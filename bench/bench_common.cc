@@ -83,6 +83,20 @@ void BenchJson::Write() {
             << " samples)\n";
 }
 
+uint64_t PeakRssBytes() {
+#if defined(__linux__)
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    // "VmHWM:      1234 kB" — the per-process high-water mark of VmRSS.
+    if (line.rfind("VmHWM:", 0) == 0) {
+      return static_cast<uint64_t>(std::atoll(line.c_str() + 6)) * 1024;
+    }
+  }
+#endif
+  return 0;
+}
+
 bool FullScale() {
   const char* env = std::getenv("ULDP_BENCH_SCALE");
   return env != nullptr && std::string(env) == "full";

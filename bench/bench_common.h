@@ -5,6 +5,7 @@
 #ifndef ULDP_BENCH_BENCH_COMMON_H_
 #define ULDP_BENCH_BENCH_COMMON_H_
 
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
@@ -42,6 +43,14 @@ class BenchJson {
   std::vector<Sample> samples_;
   bool written_ = false;
 };
+
+/// Peak resident set size of this process in bytes (VmHWM from
+/// /proc/self/status). Linux-only; returns 0 where the interface is
+/// unavailable so benches degrade to not reporting the metric instead of
+/// failing. Note VmHWM is monotone within a process — benches comparing
+/// configurations fork one child per configuration and collect each
+/// child's own peak (see bench/stream_scaling.cc).
+uint64_t PeakRssBytes();
 
 /// True when ULDP_BENCH_SCALE=full — paper-scale parameters; otherwise the
 /// bench runs a scaled-down configuration that finishes in seconds to a

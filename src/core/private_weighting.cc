@@ -134,6 +134,8 @@ Result<Vec> PrivateWeightingProtocol::WeightingRound(
   // the rest) and the joint receiver fetches one by 1-out-of-P OT, so
   // neither side learns the sampling outcome.
   auto t0 = Clock::now();
+  const int chunk_users = StreamChunkUsers(config_);
+  const bool streaming = chunk_users > 0;
   std::vector<BigInt> enc_weights;
   if (config_.ot_slots > 0) {
     auto senders = server_->OtSenderInit(round, *pool_);
@@ -156,16 +158,19 @@ Result<Vec> PrivateWeightingProtocol::WeightingRound(
     for (int u = 0; u < num_users_; ++u) {
       last_ot_mask_[u] = perms[u][sigmas[u]] < real_slots;
     }
-  } else {
+  } else if (!streaming) {
     auto enc = server_->EncryptWeights(round, user_sampled, *pool_);
     if (!enc.ok()) return enc.status();
     enc_weights = std::move(enc.value());
   }
+  // (streaming && !OT: ciphertexts are produced chunk by chunk below and
+  // never materialized as a full vector anywhere.)
   timings_.encrypt_weights_s += SecondsSince(t0);
 
   // Broadcast: every silo receives the same ciphertext vector (fetched via
   // OT in the private-sub-sampling extension; ciphertexts are semantically
-  // secure either way).
+  // secure either way). A streamed round only ever holds one chunk, so the
+  // recorded view stays empty.
   for (int s = 0; s < num_silos_; ++s) {
     silo_views_[s].encrypted_weights = enc_weights;
   }
@@ -187,6 +192,72 @@ Result<Vec> PrivateWeightingProtocol::WeightingRound(
     }
   }
   const size_t cdim = server_->params().packed.PackedDim(dim);
+  if (streaming) {
+    // Streaming sweep: encrypt -> fold -> discard in chunks of
+    // stream_chunk_users. Each silo folds the chunk into its running
+    // accumulator with its own (chunk-lifetime) tables, so peak resident
+    // ciphertexts are O(chunk), not O(users). Every per-user value comes
+    // from a Fork(round, user) substream and every fold is an exact
+    // modular product, so this path is bitwise identical to the
+    // materializing sweep below.
+    std::vector<std::vector<BigInt>> silo_ciphers(num_silos_);
+    for (int s = 0; s < num_silos_; ++s) {
+      silo_ciphers[s] = SiloCore::NewCipherAccumulator(cdim);
+    }
+    std::vector<Status> silo_status(num_silos_, Status::Ok());
+    for (int u0 = 0; u0 < num_users_; u0 += chunk_users) {
+      const int u1 = std::min(num_users_, u0 + chunk_users);
+      auto tenc = Clock::now();
+      std::vector<BigInt> enc_chunk;
+      if (config_.ot_slots > 0) {
+        // OT mode fetched the full vector interactively above; the silo
+        // fold still runs chunked.
+        enc_chunk.assign(enc_weights.begin() + u0, enc_weights.begin() + u1);
+      } else {
+        auto ec =
+            server_->EncryptWeightsRange(round, user_sampled, u0, u1, *pool_);
+        if (!ec.ok()) return ec.status();
+        enc_chunk = std::move(ec.value());
+      }
+      timings_.encrypt_weights_s += SecondsSince(tenc);
+      pool_->ParallelFor(static_cast<size_t>(num_silos_), [&](size_t s) {
+        if (!silo_status[s].ok()) return;  // earlier chunk already failed
+        silo_status[s] = silos_[s]->AccumulateUsersChunk(
+            enc_chunk, u0, u1, clipped_deltas[s], dim, &silo_ciphers[s],
+            *pool_);
+      });
+      ULDP_RETURN_IF_ERROR(FirstError(silo_status));
+    }
+    pool_->ParallelFor(static_cast<size_t>(num_silos_), [&](size_t s) {
+      silo_status[s] = silos_[s]->FinishRound(round, silo_noise[s],
+                                              &silo_ciphers[s], *pool_);
+    });
+    ULDP_RETURN_IF_ERROR(FirstError(silo_status));
+    timings_.silo_weighting_s += SecondsSince(t0);
+
+    // Server side: fold each silo's cipher in coordinate chunks — the
+    // arrival pattern of the chunked wire frames — into the running
+    // product.
+    t0 = Clock::now();
+    const size_t chunk_coords = static_cast<size_t>(StreamChunkCoords(config_));
+    std::vector<BigInt> product = SiloCore::NewCipherAccumulator(cdim);
+    for (int s = 0; s < num_silos_; ++s) {
+      for (size_t c0 = 0; c0 < cdim; c0 += chunk_coords) {
+        const size_t c1 = std::min(cdim, c0 + chunk_coords);
+        std::vector<BigInt> slice(silo_ciphers[s].begin() + c0,
+                                  silo_ciphers[s].begin() + c1);
+        ULDP_RETURN_IF_ERROR(
+            server_->AccumulateSiloCipherRange(slice, c0, &product));
+      }
+    }
+    timings_.aggregation_s += SecondsSince(t0);
+
+    t0 = Clock::now();
+    auto out = server_->DecryptAggregate(product, *pool_, dim);
+    if (!out.ok()) return out.status();
+    timings_.decryption_s += SecondsSince(t0);
+    return out;
+  }
   const bool use_multi_exp = config_.multi_exp && config_.fast_paillier;
   const bool use_tables =
       config_.fast_paillier && config_.fixed_base && !use_multi_exp;

@@ -47,6 +47,19 @@ int OtRealSlots(const ProtocolConfig& config) {
       0.5);
 }
 
+int StreamChunkUsers(const ProtocolConfig& config) {
+  return config.stream_chunk_users > 0 ? config.stream_chunk_users : 0;
+}
+
+int StreamChunkCoords(const ProtocolConfig& config) {
+  if (config.stream_chunk_users <= 0) return 0;
+  return config.stream_chunk_coords > 0 ? config.stream_chunk_coords : 256;
+}
+
+int StreamWindow(const ProtocolConfig& config) {
+  return config.stream_window > 0 ? config.stream_window : 4;
+}
+
 Status ProtocolParams::Derive() {
   if (num_silos < 2 || num_users < 1) {
     return Status::InvalidArgument("protocol needs >= 2 silos and >= 1 user");
@@ -68,6 +81,12 @@ Status ProtocolParams::Derive() {
       return Status::InvalidArgument("OT mode requires the OT group");
     }
     ot_group.EnsureGeneratorTable();
+  }
+  if (config.stream_chunk_users > 0 && config.cache_enc_weights) {
+    // The enc-weight cache is by definition a full round's worth of
+    // resident ciphertexts — the opposite of the streaming contract.
+    return Status::InvalidArgument(
+        "stream_chunk_users is incompatible with cache_enc_weights");
   }
   return CheckTheorem4Bound(config, num_silos, num_users, c_lcm,
                             public_key.n);
@@ -245,6 +264,62 @@ Result<std::vector<BigInt>> ServerCore::EncryptWeights(
   return enc_weights;
 }
 
+Result<std::vector<BigInt>> ServerCore::EncryptWeightsRange(
+    uint64_t round, const std::vector<bool>& user_sampled, int u0, int u1,
+    ThreadPool& pool) {
+  if (!setup_done_) {
+    return Status::FailedPrecondition("setup has not completed");
+  }
+  if (params_.config.ot_slots > 0) {
+    return Status::FailedPrecondition(
+        "OT mode derives the sampling mask privately; use OtSenderInit");
+  }
+  const int num_users = params_.num_users;
+  if (static_cast<int>(user_sampled.size()) != num_users) {
+    return Status::InvalidArgument("sampling mask size mismatch");
+  }
+  if (u0 < 0 || u1 > num_users || u0 > u1) {
+    return Status::InvalidArgument("user range out of bounds");
+  }
+  const int count = u1 - u0;
+  std::vector<BigInt> enc_weights(count);
+  if (params_.config.fast_paillier) {
+    // Same randomizer pipeline as EncryptWeights, with the Fork substream
+    // addressed by the absolute user index u0 + i: per-user randomness is
+    // independent of how the round is chunked, so concatenated range calls
+    // are bitwise identical to one full-vector call.
+    std::vector<BigInt> plains(count);
+    for (int i = 0; i < count; ++i) {
+      if (user_sampled[u0 + i]) plains[i] = b_inv_[u0 + i];
+    }
+    auto batch = paillier_->EncryptBatch(
+        plains,
+        [&](size_t i) {
+          return root_.Fork(round, static_cast<uint64_t>(u0) + i,
+                            kRngStreamEncrypt);
+        },
+        pool);
+    if (!batch.ok()) return batch.status();
+    enc_weights = std::move(batch.value());
+  } else {
+    std::vector<Status> user_status(count, Status::Ok());
+    pool.ParallelFor(static_cast<size_t>(count), [&](size_t i) {
+      const int u = u0 + static_cast<int>(i);
+      Rng user_rng =
+          root_.Fork(round, static_cast<uint64_t>(u), kRngStreamEncrypt);
+      BigInt plain = user_sampled[u] ? b_inv_[u] : BigInt(0);
+      auto c = Paillier::Encrypt(params_.public_key, plain, user_rng);
+      if (!c.ok()) {
+        user_status[i] = c.status();
+        return;
+      }
+      enc_weights[i] = std::move(c.value());
+    });
+    ULDP_RETURN_IF_ERROR(FirstError(user_status));
+  }
+  return enc_weights;
+}
+
 Result<std::vector<OtSenderPublic>> ServerCore::OtSenderInit(uint64_t round,
                                                              ThreadPool& pool) {
   if (!setup_done_) {
@@ -406,6 +481,27 @@ Status ServerCore::AccumulateSiloCipher(const std::vector<BigInt>& cipher,
   for (size_t d = 0; d < cipher.size(); ++d) {
     (*product)[d] = Paillier::AddCiphertexts(params_.public_key,
                                              (*product)[d], cipher[d]);
+  }
+  return Status::Ok();
+}
+
+Status ServerCore::AccumulateSiloCipherRange(
+    const std::vector<BigInt>& chunk, size_t offset,
+    std::vector<BigInt>* product) const {
+  if (!setup_done_) {
+    return Status::FailedPrecondition("setup has not completed");
+  }
+  if (offset > product->size() || chunk.size() > product->size() - offset) {
+    return Status::InvalidArgument("silo cipher chunk out of range");
+  }
+  for (const BigInt& x : chunk) {
+    if (x.IsNegative() || x >= params_.public_key.n_squared) {
+      return Status::InvalidArgument("silo ciphertext outside Z_{n^2}");
+    }
+  }
+  for (size_t i = 0; i < chunk.size(); ++i) {
+    (*product)[offset + i] = Paillier::AddCiphertexts(
+        params_.public_key, (*product)[offset + i], chunk[i]);
   }
   return Status::Ok();
 }
@@ -833,6 +929,46 @@ Status SiloCore::AccumulateUsers(
     }
   });
   return FirstError(dim_status);
+}
+
+Status SiloCore::AccumulateUsersChunk(const std::vector<BigInt>& enc_chunk,
+                                      int u0, int u1,
+                                      const std::vector<Vec>& deltas,
+                                      size_t model_dim,
+                                      std::vector<BigInt>* cipher,
+                                      ThreadPool& pool) {
+  const int num_users = params_.num_users;
+  if (u0 < 0 || u1 > num_users || u0 > u1) {
+    return Status::InvalidArgument("user chunk out of range");
+  }
+  if (enc_chunk.size() != static_cast<size_t>(u1 - u0)) {
+    return Status::InvalidArgument("encrypted weight chunk size mismatch");
+  }
+  if (static_cast<int>(enc_scratch_.size()) != num_users) {
+    enc_scratch_.assign(static_cast<size_t>(num_users), BigInt());
+  }
+  for (int u = u0; u < u1; ++u) enc_scratch_[u] = enc_chunk[u - u0];
+  const ProtocolConfig& config = params_.config;
+  const bool use_multi_exp = config.multi_exp && config.fast_paillier;
+  const bool use_tables =
+      config.fast_paillier && config.fixed_base && !use_multi_exp;
+  const size_t cdim = cipher->size();
+  // keep = false: streaming excludes cache_enc_weights, so tables never
+  // outlive the chunk that built them.
+  table_cache_.BeginRound(num_users, /*keep=*/false);
+  if (use_tables) {
+    pool.ParallelFor(static_cast<size_t>(u1 - u0), [&](size_t i) {
+      const int u = u0 + static_cast<int>(i);
+      if (deltas[u].empty() || histogram_[u] == 0) return;
+      table_cache_.Ensure(*paillier_, u, enc_scratch_[u], cdim);
+    });
+  }
+  Status status = AccumulateUsers(
+      u0, u1, enc_scratch_, use_tables ? &table_cache_.tables() : nullptr,
+      deltas, model_dim, cipher, pool);
+  if (use_tables) table_cache_.DropRange(u0, u1);
+  for (int u = u0; u < u1; ++u) enc_scratch_[u] = BigInt();
+  return status;
 }
 
 Status SiloCore::FinishRound(uint64_t round, const Vec& noise,

@@ -132,7 +132,37 @@ struct ProtocolConfig {
   /// either way. Effective only with fast_paillier; supersedes the
   /// per-user fixed-base tables when set.
   bool multi_exp = false;
+  /// > 0 enables memory-bounded streaming rounds: the server encrypts and
+  /// ships Enc(B_inv) in chunks of this many users, each silo folds a
+  /// chunk into its running cipher accumulator and discards it before the
+  /// next arrives, and the silo->server cipher travels as chunked frames
+  /// the server folds on arrival. Peak resident per-user ciphertexts drop
+  /// from O(users) to O(stream_chunk_users); because every per-user value
+  /// comes from a Fork(round, user) substream and every fold is an exact
+  /// modular product, streamed rounds are bitwise identical to
+  /// materializing ones. Changes the distributed message flow, so both
+  /// endpoints must agree (part of the wire digest). 0 = materialize (the
+  /// classic path). Incompatible with cache_enc_weights (the cache is by
+  /// definition a round's worth of resident ciphertexts).
+  int stream_chunk_users = 0;
+  /// Ciphertext coordinates per chunked SiloCipher/MaskedVector wire
+  /// frame when streaming is on (stream_chunk_users > 0). Bounds the
+  /// largest weighting-phase frame to ~chunk * ciphertext_bytes instead
+  /// of dim * ciphertext_bytes. <= 0 picks a default (256). Part of the
+  /// wire digest (both endpoints must frame identically).
+  int stream_chunk_coords = 0;
+  /// Flow-control credit window for chunked streams: a sender keeps at
+  /// most this many unacknowledged chunks in flight before blocking on a
+  /// StreamAck. Sender-local pacing (receivers ack every chunk), so peers
+  /// need not agree and it stays out of the wire digest. <= 0 -> 4.
+  int stream_window = 0;
 };
+
+/// Effective chunk sizes for streaming mode (resolving the <= 0 defaults);
+/// both return 0 when streaming is off.
+int StreamChunkUsers(const ProtocolConfig& config);
+int StreamChunkCoords(const ProtocolConfig& config);
+int StreamWindow(const ProtocolConfig& config);
 
 /// Derived slot count of real (non-dummy) ciphertexts in OT mode.
 int OtRealSlots(const ProtocolConfig& config);
@@ -204,6 +234,14 @@ class ServerCore {
   /// ciphertexts when the mask is unchanged.
   Result<std::vector<BigInt>> EncryptWeights(
       uint64_t round, const std::vector<bool>& user_sampled, ThreadPool& pool);
+  /// Streaming variant: encrypts only users [u0, u1) (returning u1 - u0
+  /// ciphertexts). Randomness still comes from Fork(round, u) addressed by
+  /// the *absolute* user index, so concatenating range calls reproduces
+  /// EncryptWeights bit for bit while holding only one chunk resident.
+  /// Never consults the enc-weight cache (streaming excludes it).
+  Result<std::vector<BigInt>> EncryptWeightsRange(
+      uint64_t round, const std::vector<bool>& user_sampled, int u0, int u1,
+      ThreadPool& pool);
   uint64_t enc_weight_cache_hits() const { return enc_cache_hits_; }
 
   /// Weighting (a), OT mode, sender step 1: per-user slot elements, sender
@@ -234,6 +272,13 @@ class ServerCore {
   /// `product` starts as dim ciphertext identities (BigInt(1)).
   Status AccumulateSiloCipher(const std::vector<BigInt>& cipher,
                               std::vector<BigInt>* product) const;
+  /// Chunked-streaming variant: folds `chunk` into product coordinates
+  /// [offset, offset + chunk.size()). The fold is the same exact modular
+  /// product, so folding a cipher chunk-by-chunk as frames arrive is
+  /// bitwise identical to folding it whole.
+  Status AccumulateSiloCipherRange(const std::vector<BigInt>& chunk,
+                                   size_t offset,
+                                   std::vector<BigInt>* product) const;
   /// Decrypts and decodes the aggregate — the only plaintext the server
   /// ever sees. With packing active, `product` holds ceil(dim/k) group
   /// ciphertexts and `model_dim` (the unpacked coordinate count) is
@@ -309,6 +354,7 @@ class SiloCore {
   SiloCore(ProtocolParams params, int silo_id, std::vector<int> histogram);
 
   int silo_id() const { return silo_id_; }
+  const ProtocolParams& params() const { return params_; }
   /// Setup (b): this silo's DH key pair — a pure function of
   /// (seed, silo id), so the remote silo derives the same pair the
   /// simulation would.
@@ -387,6 +433,18 @@ class SiloCore {
       const std::vector<Vec>& deltas, size_t model_dim,
       std::vector<BigInt>* cipher, ThreadPool& pool) const;
 
+  /// Streaming phase (b): folds users [u0, u1) given only that chunk of
+  /// ciphertexts (enc_chunk[i] = Enc(B_inv) for user u0 + i), building and
+  /// dropping this silo's own fixed-base tables for the chunk. The caller
+  /// discards enc_chunk afterwards, so peak resident ciphertexts stay at
+  /// O(chunk) instead of O(users); concatenated chunk folds reproduce
+  /// WeightMaskRound's accumulator bit for bit (exact modular products).
+  /// Finish with FinishRound as usual.
+  Status AccumulateUsersChunk(const std::vector<BigInt>& enc_chunk, int u0,
+                              int u1, const std::vector<Vec>& deltas,
+                              size_t model_dim, std::vector<BigInt>* cipher,
+                              ThreadPool& pool);
+
   /// Phase (b) tail + (c): adds the encoded noise (packed into groups when
   /// packing is active), then this silo's pairwise additive masks for the
   /// round — one mask per shipped coordinate.
@@ -434,6 +492,11 @@ class SiloCore {
   // endpoint path; the in-process orchestrator shares one cache across
   // silo cores instead).
   WeightTableCache table_cache_;
+
+  // AccumulateUsersChunk scratch: a full-size vector of (mostly empty)
+  // BigInts so the chunk can be addressed by absolute user index through
+  // AccumulateUsers. Holds at most one chunk's ciphertexts at a time.
+  std::vector<BigInt> enc_scratch_;
 
   // PrecomputeRoundMasks cache, consumed by FinishRound. Written by the
   // owner's prefetch step and read after it joins the prefetch thread, so

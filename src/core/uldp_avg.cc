@@ -1,5 +1,6 @@
 #include "core/uldp_avg.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.h"
@@ -140,30 +141,52 @@ Status UldpAvgTrainer::RunRound(int round, Vec& global_params) {
                 : config_.sigma * config_.clip /
                       std::sqrt(static_cast<double>(s_count));
     // The protocol path keeps per-user clipped (unweighted) deltas since
-    // the weighting happens inside the encryption.
+    // the weighting happens inside the encryption. Each user's training
+    // draws from its own Fork(round, silo, user) substream and fills its
+    // own delta slot, so a silo's user sweep splits into independent
+    // shard tasks (FlConfig::shard_users) with no effect on the bits —
+    // the silo's noise share comes from its first shard, from the same
+    // substream a whole-silo sweep would use.
     std::vector<std::vector<Vec>> protocol_deltas(s_count,
                                                   std::vector<Vec>(u_count));
     std::vector<Vec> silo_noise(s_count, Vec());
-    auto local_work = [&](int s, Model& model, Vec&) {
-      for (const UserShard& shard : silo_shards_[s]) {
-        if (!sampled[shard.user]) continue;
+    std::vector<int> shard_counts(s_count, 1);
+    if (config_.shard_users > 0) {
+      for (int s = 0; s < s_count; ++s) {
+        const int n = static_cast<int>(silo_shards_[s].size());
+        shard_counts[s] =
+            std::max(1, (n + config_.shard_users - 1) / config_.shard_users);
+      }
+    }
+    auto shard_work = [&](int s, int shard, Model& model) {
+      const std::vector<UserShard>& users = silo_shards_[s];
+      const size_t per = config_.shard_users > 0
+                             ? static_cast<size_t>(config_.shard_users)
+                             : users.size();
+      const size_t u0 = static_cast<size_t>(shard) * per;
+      const size_t u1 = std::min(users.size(), u0 + per);
+      for (size_t i = u0; i < u1; ++i) {
+        const UserShard& user_shard = users[i];
+        if (!sampled[user_shard.user]) continue;
         model.SetParams(global_params);
         Rng local = rng_.Fork(r, static_cast<uint64_t>(s),
-                              static_cast<uint64_t>(shard.user));
-        TrainLocalSgd(model, shard.examples, config_.local_epochs,
+                              static_cast<uint64_t>(user_shard.user));
+        TrainLocalSgd(model, user_shard.examples, config_.local_epochs,
                       config_.batch_size, config_.local_lr, local);
         Vec delta = model.GetParams();
         Axpy(-1.0, global_params, delta);
         ClipToL2Ball(delta, config_.clip);
-        protocol_deltas[s][shard.user] = std::move(delta);
+        protocol_deltas[s][user_shard.user] = std::move(delta);
       }
-      Rng noise = rng_.Fork(r, static_cast<uint64_t>(s), kRngStreamNoise);
-      silo_noise[s].assign(global_params.size(), 0.0);
-      AddGaussianNoise(silo_noise[s], noise_std, noise);
+      if (shard == 0) {
+        Rng noise = rng_.Fork(r, static_cast<uint64_t>(s), kRngStreamNoise);
+        silo_noise[s].assign(global_params.size(), 0.0);
+        AddGaussianNoise(silo_noise[s], noise_std, noise);
+      }
       return Status::Ok();
     };
     ULDP_RETURN_IF_ERROR(
-        engine_.RunSilos(global_params, local_work, nullptr));
+        engine_.RunSiloShards(global_params, shard_counts, shard_work));
     auto agg = options_.private_protocol->WeightingRound(
         r, protocol_deltas, silo_noise, sampled);
     if (!agg.ok()) return agg.status();

@@ -1,13 +1,11 @@
 #include "net/async_rounds.h"
 
-#include <deque>
-#include <mutex>
 #include <string>
-#include <thread>
 #include <utility>
 
 #include "common/check.h"
 #include "net/messages.h"
+#include "net/mux.h"
 #include "nn/model.h"
 
 namespace uldp {
@@ -122,68 +120,54 @@ Result<Vec> AsyncRoundServer::RunInternal(int num_steps, Vec global) {
   AsyncAggregator aggregator(num_silos_, config_.max_staleness,
                              config_.buffer_size);
 
-  // One reader thread per silo feeds a single arrival queue: that is what
-  // "deltas applied as they land" means over blocking transports. Frame
-  // accounting keeps shutdown deadlock-free: every Release owes the
-  // server exactly one response frame, a reader only blocks in Recv while
-  // a frame is owed (it is in flight or will be sent by a live peer), and
-  // once `done` is set readers drain their owed frames and exit — no
-  // transport ever has to be torn down under a straggler's final ack.
-  struct Event {
-    int silo;
-    Result<Frame> frame;
-  };
-  std::mutex mu;
-  std::condition_variable events_cv;   // stepping loop waits for arrivals
-  std::condition_variable readers_cv;  // readers wait for owed frames
-  std::deque<Event> events;
+  // All arrivals come through one receive front end (net/mux.h): over TCP
+  // a few epoll event-loop threads serve every connection; over channels
+  // one blocking reader per peer. That is what "deltas applied as they
+  // land" means. Frame accounting (`owed`) only matters at the clean
+  // finish, where the server drains every released silo's final ack so a
+  // straggler still sees Shutdown instead of an interrupted connection;
+  // on the failure path the mux is torn down immediately — interrupt
+  // every transport, join every thread — so a silo that hangs mid-frame
+  // can never leave a reader blocked past FailAll.
+  std::vector<Transport*> peers;
+  peers.reserve(conns_.size());
+  for (const auto& c : conns_) peers.push_back(c.get());
+  auto mux = MakeFrameMux(std::move(peers));
+  ULDP_RETURN_IF_ERROR(mux->Start());
+
   std::vector<int> owed(num_silos_, 0);
-  bool done = false;
-  std::vector<std::thread> readers;
-  readers.reserve(num_silos_);
-  for (int s = 0; s < num_silos_; ++s) {
-    readers.emplace_back([&, s] {
-      for (;;) {
-        {
-          std::unique_lock<std::mutex> lock(mu);
-          readers_cv.wait(lock, [&] { return owed[s] > 0 || done; });
-          if (owed[s] == 0) return;
-          --owed[s];
-        }
-        auto frame = conns_[s]->Recv();
-        const bool terminal = !frame.ok();
-        {
-          std::lock_guard<std::mutex> lock(mu);
-          events.push_back(Event{s, std::move(frame)});
-        }
-        events_cv.notify_all();
-        if (terminal) return;
-      }
-    });
-  }
   auto release = [&](int silo, const Vec& params) {
-    {
-      std::lock_guard<std::mutex> lock(mu);
-      ++owed[silo];
-    }
     Status sent =
         Release(silo, static_cast<uint64_t>(aggregator.version()), params);
-    readers_cv.notify_all();
+    if (sent.ok()) ++owed[silo];
     return sent;
   };
   // Always runs before returning: tells the silos the run is over (Ok
-  // path) or already failed (FailAll ran), then lets the readers drain.
+  // path) or already failed (FailAll ran), drains what is still owed on
+  // a clean exit, then tears the mux down.
   auto finish = [&](bool send_shutdown) {
     if (send_shutdown) {
       Frame shutdown = ToFrame(ShutdownMsg{});
       for (const auto& conn : conns_) conn->Send(shutdown);
+      int outstanding = 0;
+      for (int s = 0; s < num_silos_; ++s) outstanding += owed[s];
+      while (outstanding > 0) {
+        auto event = mux->RecvAny();
+        if (!event.ok()) break;  // mux-level failure: nothing left to drain
+        const int peer = event.value().peer;
+        if (event.value().frame.ok()) {
+          if (owed[peer] > 0) {
+            --owed[peer];
+            --outstanding;
+          }
+        } else {
+          // Dead peer: whatever it owed will never arrive.
+          outstanding -= owed[peer];
+          owed[peer] = 0;
+        }
+      }
     }
-    {
-      std::lock_guard<std::mutex> lock(mu);
-      done = true;
-    }
-    readers_cv.notify_all();
-    for (std::thread& t : readers) t.join();
+    mux->Shutdown();
   };
 
   // All silos start on version 0.
@@ -198,25 +182,29 @@ Result<Vec> AsyncRoundServer::RunInternal(int num_steps, Vec global) {
   std::vector<bool> waiting(num_silos_, false);
   for (int step = 0; step < num_steps; ++step) {
     while (!aggregator.ReadyToFlush()) {
-      std::unique_lock<std::mutex> lock(mu);
-      events_cv.wait(lock, [&] { return !events.empty(); });
-      Event event = std::move(events.front());
-      events.pop_front();
-      lock.unlock();
+      auto event_or = mux->RecvAny();
+      if (!event_or.ok()) {
+        FailAll(event_or.status());
+        finish(/*send_shutdown=*/false);
+        return event_or.status();
+      }
+      MuxEvent event = std::move(event_or.value());
+      if (event.frame.ok() && owed[event.peer] > 0) --owed[event.peer];
       Status verdict = Status::Ok();
       if (!event.frame.ok()) {
+        owed[event.peer] = 0;
         verdict = event.frame.status();
       } else if (event.frame.value().type ==
                  static_cast<uint16_t>(MessageType::kError)) {
         verdict = StatusFromErrorFrame(event.frame.value(),
-                                       "silo " + std::to_string(event.silo));
+                                       "silo " + std::to_string(event.peer));
       }
       RoundAckMsg ack;
       if (verdict.ok()) {
         auto msg = FromFrame<RoundAckMsg>(event.frame.value());
         if (!msg.ok()) {
           verdict = msg.status();
-        } else if (msg.value().silo_id != static_cast<uint32_t>(event.silo)) {
+        } else if (msg.value().silo_id != static_cast<uint32_t>(event.peer)) {
           verdict = Status::InvalidArgument("round ack from wrong silo id");
         } else if (msg.value().delta.size() != static_cast<size_t>(dim_)) {
           verdict = Status::InvalidArgument("round ack dimension mismatch");
@@ -233,16 +221,16 @@ Result<Vec> AsyncRoundServer::RunInternal(int num_steps, Vec global) {
         return verdict;
       }
       const int staleness = aggregator.Offer(
-          event.silo, static_cast<int>(ack.version), std::move(ack.delta));
+          event.peer, static_cast<int>(ack.version), std::move(ack.delta));
       if (staleness < 0) {
         // Over the bound: drop and retrain against the current model.
-        Status sent = release(event.silo, global);
+        Status sent = release(event.peer, global);
         if (!sent.ok()) {
           finish(/*send_shutdown=*/true);
           return sent;
         }
       } else {
-        waiting[event.silo] = true;
+        waiting[event.peer] = true;
       }
     }
     Vec sum = aggregator.Flush(/*secure=*/false,

@@ -33,6 +33,12 @@ uint64_t ProtocolWireDigest(const ProtocolConfig& config, int num_silos,
   w.F64(config.pack_clip);
   w.U32(static_cast<uint32_t>(num_silos));
   w.U32(static_cast<uint32_t>(num_users));
+  // Streaming changes the round's message flow (chunked frames instead of
+  // monolithic RoundBegin/SiloCipher), so both chunk knobs are part of the
+  // contract. stream_window stays out: receivers ack every chunk, so the
+  // sender's in-flight window is party-local pacing.
+  w.U32(static_cast<uint32_t>(StreamChunkUsers(config)));
+  w.U32(static_cast<uint32_t>(StreamChunkCoords(config)));
   return WireDigest(w.buffer());
 }
 
@@ -305,6 +311,58 @@ Result<RoundAckMsg> RoundAckMsg::Parse(WireReader& r) {
   ULDP_RETURN_IF_ERROR(r.U64(&m.version));
   ULDP_RETURN_IF_ERROR(r.U32(&m.silo_id));
   ULDP_RETURN_IF_ERROR(r.F64Vec(&m.delta));
+  return m;
+}
+
+void StreamBeginMsg::AppendTo(WireWriter& w) const {
+  w.U64(phase_tag);
+  w.U8(kind);
+  w.U32(sender_id);
+  w.U32(total_count);
+  w.U32(chunk_elems);
+  w.U32(dim);
+}
+
+Result<StreamBeginMsg> StreamBeginMsg::Parse(WireReader& r) {
+  StreamBeginMsg m;
+  ULDP_RETURN_IF_ERROR(r.U64(&m.phase_tag));
+  ULDP_RETURN_IF_ERROR(r.U8(&m.kind));
+  ULDP_RETURN_IF_ERROR(r.U32(&m.sender_id));
+  ULDP_RETURN_IF_ERROR(r.U32(&m.total_count));
+  ULDP_RETURN_IF_ERROR(r.U32(&m.chunk_elems));
+  ULDP_RETURN_IF_ERROR(r.U32(&m.dim));
+  return m;
+}
+
+void StreamChunkMsg::AppendTo(WireWriter& w) const {
+  w.U64(phase_tag);
+  w.U8(kind);
+  w.U32(index);
+  w.BigVec(values);
+}
+
+Result<StreamChunkMsg> StreamChunkMsg::Parse(WireReader& r) {
+  StreamChunkMsg m;
+  ULDP_RETURN_IF_ERROR(r.U64(&m.phase_tag));
+  ULDP_RETURN_IF_ERROR(r.U8(&m.kind));
+  ULDP_RETURN_IF_ERROR(r.U32(&m.index));
+  ULDP_RETURN_IF_ERROR(r.BigVec(&m.values));
+  return m;
+}
+
+void StreamAckMsg::AppendTo(WireWriter& w) const {
+  w.U64(phase_tag);
+  w.U8(kind);
+  w.U32(index);
+  w.U32(credits);
+}
+
+Result<StreamAckMsg> StreamAckMsg::Parse(WireReader& r) {
+  StreamAckMsg m;
+  ULDP_RETURN_IF_ERROR(r.U64(&m.phase_tag));
+  ULDP_RETURN_IF_ERROR(r.U8(&m.kind));
+  ULDP_RETURN_IF_ERROR(r.U32(&m.index));
+  ULDP_RETURN_IF_ERROR(r.U32(&m.credits));
   return m;
 }
 

@@ -44,6 +44,23 @@ enum class MessageType : uint16_t {
   kError = 17,
   kStalenessInfo = 18,
   kRoundAck = 19,
+  kStreamBegin = 20,
+  kStreamChunk = 21,
+  kStreamAck = 22,
+};
+
+/// What a chunked stream carries — determines which monolithic message the
+/// stream replaces and how the receiver folds chunks.
+enum class StreamKind : uint8_t {
+  /// Server -> silo: the round's Enc(B_inv) vector in user chunks
+  /// (replaces RoundBeginMsg when streaming is on).
+  kEncWeights = 0,
+  /// Silo -> server: the masked cipher in coordinate chunks (replaces
+  /// SiloCipherMsg).
+  kSiloCipher = 1,
+  /// A pairwise-masked vector in coordinate chunks (replaces
+  /// MaskedVectorMsg; for the FL-layer secure-aggregation path).
+  kMaskedVector = 2,
 };
 
 /// FNV-1a over a canonical wire serialization — the digest primitive
@@ -257,6 +274,52 @@ struct RoundAckMsg {
   std::vector<double> delta;
   void AppendTo(WireWriter& w) const;
   static Result<RoundAckMsg> Parse(WireReader& r);
+};
+
+/// Either direction: opens a chunked stream (streaming rounds,
+/// src/net/stream.h). `total_count` is the full element count the stream
+/// will carry, `chunk_elems` the per-chunk element ceiling (the last chunk
+/// may be short), `dim` the model dimension (the receiver's decode/fold
+/// context — user count for kEncWeights, unpacked model dim for
+/// kSiloCipher/kMaskedVector). phase_tag matches the message the stream
+/// replaces.
+struct StreamBeginMsg {
+  static constexpr MessageType kType = MessageType::kStreamBegin;
+  uint64_t phase_tag = 0;
+  uint8_t kind = 0;  // StreamKind
+  uint32_t sender_id = 0;
+  uint32_t total_count = 0;
+  uint32_t chunk_elems = 0;
+  uint32_t dim = 0;
+  void AppendTo(WireWriter& w) const;
+  static Result<StreamBeginMsg> Parse(WireReader& r);
+};
+
+/// One chunk of an open stream: elements [index * chunk_elems,
+/// index * chunk_elems + values.size()) of the streamed vector. Chunks are
+/// sent (and must arrive) in index order; the receiver rejects any gap,
+/// duplicate, or reordering.
+struct StreamChunkMsg {
+  static constexpr MessageType kType = MessageType::kStreamChunk;
+  uint64_t phase_tag = 0;
+  uint8_t kind = 0;  // StreamKind
+  uint32_t index = 0;
+  std::vector<BigInt> values;
+  void AppendTo(WireWriter& w) const;
+  static Result<StreamChunkMsg> Parse(WireReader& r);
+};
+
+/// Receiver -> sender: chunk `index` has been folded; `credits` more
+/// chunks may be sent beyond it (windowed flow control — the sender keeps
+/// at most `credits` unacknowledged chunks in flight).
+struct StreamAckMsg {
+  static constexpr MessageType kType = MessageType::kStreamAck;
+  uint64_t phase_tag = 0;
+  uint8_t kind = 0;  // StreamKind
+  uint32_t index = 0;
+  uint32_t credits = 0;
+  void AppendTo(WireWriter& w) const;
+  static Result<StreamAckMsg> Parse(WireReader& r);
 };
 
 /// Either side: a fatal Status, so the peer fails with the real message

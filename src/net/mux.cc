@@ -1,0 +1,408 @@
+#include "net/mux.h"
+
+#include <sys/epoll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace uldp {
+namespace net {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+/// Queueing and waiting logic shared by both backends. Subclasses deliver
+/// frames / terminal statuses from their receive threads; waiters block on
+/// one condition variable. `waiter_deadline` selects who enforces recv
+/// deadlines: the waiter (epoll backend — loop threads never block per
+/// peer) or the backend's own blocking Recv (threaded backend).
+class MuxBase : public FrameMux {
+ public:
+  MuxBase(std::vector<Transport*> peers, bool waiter_deadline)
+      : peers_(std::move(peers)),
+        state_(peers_.size()),
+        waiter_deadline_(waiter_deadline) {}
+
+  Result<Frame> RecvFrom(int peer) override {
+    if (peer < 0 || peer >= static_cast<int>(peers_.size())) {
+      return Status::InvalidArgument("mux: peer index out of range");
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!started_) return Status::FailedPrecondition("mux not started");
+    uint64_t seen_bytes = peers_[peer]->bytes_received();
+    auto wait_start = SteadyClock::now();
+    for (;;) {
+      PeerState& st = state_[peer];
+      if (!st.frames.empty()) {
+        Frame frame = std::move(st.frames.front());
+        st.frames.pop_front();
+        return frame;
+      }
+      if (st.is_terminal) return st.terminal;
+      if (stopped_) return Status::FailedPrecondition("mux shut down");
+      const int timeout_ms =
+          waiter_deadline_ ? peers_[peer]->recv_timeout_ms() : 0;
+      if (timeout_ms <= 0) {
+        cv_.wait(lock);
+        continue;
+      }
+      const auto deadline =
+          wait_start + std::chrono::milliseconds(timeout_ms);
+      if (cv_.wait_until(lock, deadline) != std::cv_status::timeout) {
+        continue;
+      }
+      if (!state_[peer].frames.empty() || state_[peer].is_terminal ||
+          stopped_) {
+        continue;
+      }
+      const uint64_t now_bytes = peers_[peer]->bytes_received();
+      if (now_bytes != seen_bytes) {
+        // Mid-frame progress restarts the window — the same "no bytes for
+        // timeout_ms" rule SO_RCVTIMEO applies to a blocking Recv.
+        seen_bytes = now_bytes;
+        wait_start = SteadyClock::now();
+        continue;
+      }
+      MarkTerminalLocked(
+          peer, Status::DeadlineExceeded(
+                    "tcp: recv deadline exceeded waiting for a peer frame"));
+      peers_[peer]->Interrupt();
+    }
+  }
+
+  Result<MuxEvent> RecvAny() override {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!started_) return Status::FailedPrecondition("mux not started");
+    uint64_t seen_bytes = TotalBytes();
+    auto wait_start = SteadyClock::now();
+    for (;;) {
+      for (size_t i = 0; i < state_.size(); ++i) {
+        if (state_[i].frames.empty()) continue;
+        MuxEvent event;
+        event.peer = static_cast<int>(i);
+        event.frame = std::move(state_[i].frames.front());
+        state_[i].frames.pop_front();
+        return event;
+      }
+      bool all_gone = true;
+      for (size_t i = 0; i < state_.size(); ++i) {
+        if (!state_[i].is_terminal) {
+          all_gone = false;
+          continue;
+        }
+        if (state_[i].terminal_reported) continue;
+        state_[i].terminal_reported = true;
+        MuxEvent event;
+        event.peer = static_cast<int>(i);
+        event.frame = state_[i].terminal;
+        return event;
+      }
+      if (stopped_) return Status::FailedPrecondition("mux shut down");
+      if (all_gone) {
+        return Status::FailedPrecondition("mux: every peer disconnected");
+      }
+      int timeout_ms = 0;
+      if (waiter_deadline_) {
+        for (size_t i = 0; i < state_.size(); ++i) {
+          if (state_[i].is_terminal) continue;
+          const int t = peers_[i]->recv_timeout_ms();
+          if (t > 0 && (timeout_ms == 0 || t < timeout_ms)) timeout_ms = t;
+        }
+      }
+      if (timeout_ms <= 0) {
+        cv_.wait(lock);
+        continue;
+      }
+      const auto deadline =
+          wait_start + std::chrono::milliseconds(timeout_ms);
+      if (cv_.wait_until(lock, deadline) != std::cv_status::timeout) {
+        continue;
+      }
+      const uint64_t now_bytes = TotalBytes();
+      if (now_bytes != seen_bytes) {
+        seen_bytes = now_bytes;
+        wait_start = SteadyClock::now();
+        continue;
+      }
+      bool anything_queued = false;
+      for (const PeerState& st : state_) {
+        if (!st.frames.empty() ||
+            (st.is_terminal && !st.terminal_reported)) {
+          anything_queued = true;
+        }
+      }
+      if (anything_queued || stopped_) continue;
+      return Status::DeadlineExceeded(
+          "tcp: recv deadline exceeded waiting for a peer frame");
+    }
+  }
+
+ protected:
+  struct PeerState {
+    std::deque<Frame> frames;
+    Status terminal = Status::Ok();
+    bool is_terminal = false;
+    bool terminal_reported = false;
+  };
+
+  void Deliver(int peer, Frame frame) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      state_[peer].frames.push_back(std::move(frame));
+    }
+    cv_.notify_all();
+  }
+
+  void MarkTerminal(int peer, Status status) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      MarkTerminalLocked(peer, std::move(status));
+    }
+    cv_.notify_all();
+  }
+
+  void MarkTerminalLocked(int peer, Status status) {
+    PeerState& st = state_[peer];
+    if (st.is_terminal) return;  // first failure wins
+    st.is_terminal = true;
+    st.terminal = std::move(status);
+  }
+
+  uint64_t TotalBytes() const {
+    uint64_t total = 0;
+    for (const Transport* t : peers_) total += t->bytes_received();
+    return total;
+  }
+
+  Status CheckPeers() const {
+    for (const Transport* t : peers_) {
+      if (t == nullptr) {
+        return Status::InvalidArgument("mux: null transport");
+      }
+    }
+    return Status::Ok();
+  }
+
+  std::vector<Transport*> peers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<PeerState> state_;
+  bool started_ = false;
+  bool stopped_ = false;
+  const bool waiter_deadline_;
+};
+
+/// One blocking reader thread per transport; the backend's Recv enforces
+/// its own deadline (SO_RCVTIMEO on TCP, none on channels).
+class ThreadedFrameMux final : public MuxBase {
+ public:
+  explicit ThreadedFrameMux(std::vector<Transport*> peers)
+      : MuxBase(std::move(peers), /*waiter_deadline=*/false) {}
+
+  ~ThreadedFrameMux() override { Shutdown(); }
+
+  Status Start() override {
+    ULDP_RETURN_IF_ERROR(CheckPeers());
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (started_) return Status::FailedPrecondition("mux already started");
+      started_ = true;
+    }
+    readers_.reserve(peers_.size());
+    for (size_t i = 0; i < peers_.size(); ++i) {
+      readers_.emplace_back([this, i] {
+        for (;;) {
+          auto frame = peers_[i]->Recv();
+          if (!frame.ok()) {
+            MarkTerminal(static_cast<int>(i), frame.status());
+            return;
+          }
+          Deliver(static_cast<int>(i), std::move(frame.value()));
+        }
+      });
+    }
+    return Status::Ok();
+  }
+
+  void Shutdown() override {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopped_ || !started_) {
+        stopped_ = true;
+        started_ = true;  // future Recv calls fail with "mux shut down"
+        cv_.notify_all();
+        return;
+      }
+      stopped_ = true;
+    }
+    cv_.notify_all();
+    for (Transport* t : peers_) t->Interrupt();
+    for (std::thread& t : readers_) {
+      if (t.joinable()) t.join();
+    }
+  }
+
+ private:
+  std::vector<std::thread> readers_;
+};
+
+/// A few event-loop threads over fd-partitioned epoll sets; sockets are
+/// drained with non-blocking TryReadFrame so no loop ever blocks on one
+/// peer, and waiters enforce recv deadlines themselves.
+class EpollFrameMux final : public MuxBase {
+ public:
+  explicit EpollFrameMux(std::vector<Transport*> peers)
+      : MuxBase(std::move(peers), /*waiter_deadline=*/true) {}
+
+  ~EpollFrameMux() override { Shutdown(); }
+
+  Status Start() override {
+    ULDP_RETURN_IF_ERROR(CheckPeers());
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (started_) return Status::FailedPrecondition("mux already started");
+      started_ = true;
+    }
+    // Enough loops that a huge cohort shares the drain work, few enough
+    // that a small one costs a single thread.
+    const int num_loops = static_cast<int>(
+        std::min<size_t>(4, 1 + peers_.size() / 64));
+    epoll_fds_.assign(num_loops, -1);
+    for (int k = 0; k < num_loops; ++k) {
+      epoll_fds_[k] = ::epoll_create1(0);
+      if (epoll_fds_[k] < 0) {
+        Status status = Status::Internal(
+            std::string("epoll_create1: ") + std::strerror(errno));
+        CloseEpollFds();
+        return status;
+      }
+    }
+    for (size_t i = 0; i < peers_.size(); ++i) {
+      const int fd = peers_[i]->NativeHandle();
+      if (fd < 0) {
+        CloseEpollFds();
+        return Status::InvalidArgument(
+            "epoll mux requires kernel-backed transports");
+      }
+      epoll_event ev{};
+      ev.events = EPOLLIN | EPOLLRDHUP;
+      ev.data.u64 = static_cast<uint64_t>(i);
+      if (::epoll_ctl(epoll_fds_[i % num_loops], EPOLL_CTL_ADD, fd, &ev) !=
+          0) {
+        Status status = Status::Internal(std::string("epoll_ctl: ") +
+                                         std::strerror(errno));
+        CloseEpollFds();
+        return status;
+      }
+    }
+    loop_stop_.store(false);
+    loops_.reserve(num_loops);
+    for (int k = 0; k < num_loops; ++k) {
+      loops_.emplace_back([this, k] { Loop(k); });
+    }
+    return Status::Ok();
+  }
+
+  void Shutdown() override {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopped_ || !started_) {
+        stopped_ = true;
+        started_ = true;
+        cv_.notify_all();
+        return;
+      }
+      stopped_ = true;
+    }
+    cv_.notify_all();
+    loop_stop_.store(true);
+    for (Transport* t : peers_) t->Interrupt();
+    for (std::thread& t : loops_) {
+      if (t.joinable()) t.join();
+    }
+    CloseEpollFds();
+  }
+
+ private:
+  void CloseEpollFds() {
+    for (int& fd : epoll_fds_) {
+      if (fd >= 0) ::close(fd);
+      fd = -1;
+    }
+  }
+
+  void Loop(int k) {
+    epoll_event events[64];
+    while (!loop_stop_.load()) {
+      // The tick bounds how long a Shutdown waits for this thread when no
+      // socket ever becomes readable again.
+      const int n = ::epoll_wait(epoll_fds_[k], events, 64, 100);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        // An unusable epoll set fails every peer of this loop rather than
+        // spinning.
+        for (size_t i = static_cast<size_t>(k); i < peers_.size();
+             i += epoll_fds_.size()) {
+          MarkTerminal(static_cast<int>(i),
+                       Status::Internal(std::string("epoll_wait: ") +
+                                        std::strerror(errno)));
+        }
+        return;
+      }
+      for (int e = 0; e < n; ++e) {
+        DrainPeer(k, static_cast<int>(events[e].data.u64));
+      }
+    }
+  }
+
+  void DrainPeer(int k, int peer) {
+    Transport* t = peers_[peer];
+    for (;;) {
+      Frame frame;
+      auto complete = t->TryReadFrame(&frame);
+      if (!complete.ok()) {
+        // Stop watching a dead socket, or level-triggered epoll would spin
+        // on its EOF.
+        ::epoll_ctl(epoll_fds_[k], EPOLL_CTL_DEL, t->NativeHandle(),
+                    nullptr);
+        MarkTerminal(peer, complete.status());
+        return;
+      }
+      if (!complete.value()) return;  // drained; wait for the next wakeup
+      Deliver(peer, std::move(frame));
+    }
+  }
+
+  std::vector<int> epoll_fds_;
+  std::vector<std::thread> loops_;
+  std::atomic<bool> loop_stop_{false};
+};
+
+}  // namespace
+
+std::unique_ptr<FrameMux> MakeFrameMux(std::vector<Transport*> peers) {
+  bool all_native = !peers.empty();
+  for (const Transport* t : peers) {
+    if (t == nullptr || t->NativeHandle() < 0) {
+      all_native = false;
+      break;
+    }
+  }
+  if (all_native) {
+    return std::unique_ptr<FrameMux>(new EpollFrameMux(std::move(peers)));
+  }
+  return std::unique_ptr<FrameMux>(new ThreadedFrameMux(std::move(peers)));
+}
+
+}  // namespace net
+}  // namespace uldp

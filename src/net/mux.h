@@ -1,0 +1,82 @@
+// Frame demultiplexer: one receive front end over many transports, so a
+// server with hundreds of silo connections does not need one blocked
+// reader thread per peer.
+//
+// Two backends behind MakeFrameMux:
+//
+//   * EpollFrameMux — chosen when every transport exposes a kernel handle
+//     (TCP). A few event-loop threads share fd-partitioned epoll sets and
+//     drain readable sockets through Transport::TryReadFrame (MSG_DONTWAIT,
+//     so the loops never block on a slow peer). Receive deadlines are
+//     enforced at the waiter: a RecvFrom that sees no bytes from its peer
+//     for the transport's recv_timeout_ms fails with the same
+//     DeadlineExceeded a blocking TCP Recv produces, and interrupts the
+//     connection.
+//   * ThreadedFrameMux — the fallback for transports without a handle
+//     (ChannelTransport): one blocking reader thread per peer. Deadlines,
+//     where the backend supports them, fire inside the blocking Recv
+//     itself.
+//
+// Shutdown() interrupts every transport and joins all mux threads, so a
+// peer that hangs mid-frame can never leave a reader blocked after the
+// server has failed the run — the reader-leak fix for
+// ProtocolServer/AsyncRoundServer teardown.
+//
+// Thread safety: Start once, then RecvFrom/RecvAny from any threads
+// (multiple concurrent RecvFrom callers must target distinct peers;
+// concurrent RecvAny callers race for arrivals, which is the point).
+
+#ifndef ULDP_NET_MUX_H_
+#define ULDP_NET_MUX_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "net/transport.h"
+
+namespace uldp {
+namespace net {
+
+/// One arrival surfaced by RecvAny: the peer index and either its frame or
+/// its transport's terminal status (delivered once per peer).
+struct MuxEvent {
+  int peer = -1;
+  Result<Frame> frame = Frame{};
+};
+
+class FrameMux {
+ public:
+  virtual ~FrameMux() = default;
+
+  /// Spawns the receive threads. Call exactly once, after every peer's
+  /// handshake traffic (blocking Recv) is finished — the mux owns all
+  /// receives from then on.
+  virtual Status Start() = 0;
+
+  /// Next frame from `peer`, in arrival order. A transport-level failure
+  /// (disconnect, deadline, malformed frame) is sticky: every later call
+  /// returns the same status. Error *frames* are returned as frames — the
+  /// caller interprets them, exactly as with a direct Recv.
+  virtual Result<Frame> RecvFrom(int peer) = 0;
+
+  /// Next arrival from any peer. A peer's terminal status is surfaced as
+  /// one event and the peer is then ignored. Fails outright only when the
+  /// mux is shut down, every peer is gone, or a waiter deadline expires.
+  virtual Result<MuxEvent> RecvAny() = 0;
+
+  /// Interrupts every transport and joins all mux threads. Idempotent;
+  /// pending RecvFrom/RecvAny callers fail promptly.
+  virtual void Shutdown() = 0;
+};
+
+/// Picks EpollFrameMux when every transport has a NativeHandle, else
+/// ThreadedFrameMux. Transports are borrowed, not owned, and must outlive
+/// the mux; null entries are rejected at Start.
+std::unique_ptr<FrameMux> MakeFrameMux(std::vector<Transport*> peers);
+
+}  // namespace net
+}  // namespace uldp
+
+#endif  // ULDP_NET_MUX_H_

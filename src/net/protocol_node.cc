@@ -1,10 +1,12 @@
 #include "net/protocol_node.h"
 
+#include <algorithm>
 #include <chrono>
 #include <mutex>
 #include <utility>
 
 #include "common/check.h"
+#include "net/stream.h"
 
 namespace uldp {
 namespace net {
@@ -43,6 +45,7 @@ ProtocolServer::ProtocolServer(const ProtocolConfig& config, int num_silos,
 
 ProtocolServer::~ProtocolServer() {
   if (prefetch_thread_.joinable()) prefetch_thread_.join();
+  if (mux_ != nullptr) mux_->Shutdown();
 }
 
 std::unique_ptr<std::vector<BigInt>> ProtocolServer::TakePrefetch(
@@ -94,7 +97,10 @@ Status ProtocolServer::SendTo(int silo, const Frame& frame) {
 }
 
 Result<Frame> ProtocolServer::RecvFrom(int silo) {
-  auto frame = conns_[silo]->Recv();
+  if (mux_ == nullptr) {
+    return Status::FailedPrecondition("receive mux not started");
+  }
+  auto frame = mux_->RecvFrom(silo);
   if (!frame.ok()) return frame.status();
   if (frame.value().type == static_cast<uint16_t>(MessageType::kError)) {
     return StatusFromErrorFrame(frame.value(),
@@ -116,6 +122,9 @@ void ProtocolServer::FailAll(const Status& status) {
   for (const auto& conn : conns_) {
     if (conn != nullptr) conn->Send(frame);  // best effort
   }
+  // Interrupt every connection and join the receive threads: a silo that
+  // hangs mid-stream must not leave a reader blocked past the failure.
+  if (mux_ != nullptr) mux_->Shutdown();
 }
 
 uint64_t ProtocolServer::total_bytes_sent() const {
@@ -211,6 +220,15 @@ Status ProtocolServer::RunSetupInternal() {
     return Status::FailedPrecondition(
         std::to_string(connected_silos()) + " of " +
         std::to_string(num_silos_) + " silos connected");
+  }
+  if (mux_ == nullptr) {
+    // All join handshakes (blocking Recv) are done; from here every
+    // server-side receive runs through the shared front end.
+    std::vector<Transport*> peers;
+    peers.reserve(conns_.size());
+    for (const auto& c : conns_) peers.push_back(c.get());
+    mux_ = MakeFrameMux(std::move(peers));
+    ULDP_RETURN_IF_ERROR(mux_->Start());
   }
   BeginPhase();
   ULDP_RETURN_IF_ERROR(core_.GenerateKeys(*pool_));
@@ -358,6 +376,11 @@ Result<Vec> ProtocolServer::RunRoundInternal(
       ULDP_RETURN_IF_ERROR(SendTo(static_cast<int>(relay.to_silo),
                                   frame.value()));
     }
+  } else if (StreamChunkUsers(config_) > 0) {
+    // Streaming: per-user-chunk encrypt -> broadcast -> discard, so the
+    // server never materializes the full enc-weight vector (and the
+    // whole-vector prefetch stays off — it would defeat the RSS bound).
+    ULDP_RETURN_IF_ERROR(StreamEncWeights(round, user_sampled));
   } else {
     // Pipelined servers serve this round from the round-ahead prefetch
     // when it matches and immediately start precomputing the next round's
@@ -388,11 +411,23 @@ Result<Vec> ProtocolServer::RunRoundInternal(
   // accumulate path — exact modular products make arrival order
   // irrelevant bitwise); the lockstep path barrier-gathers then reduces.
   BeginPhase();
-  std::vector<std::vector<BigInt>> ciphers(config_.pipeline ? 0 : num_silos_);
+  const bool streaming = StreamChunkUsers(config_) > 0;
+  std::vector<std::vector<BigInt>> ciphers(
+      config_.pipeline || streaming ? 0 : num_silos_);
   std::vector<BigInt> incremental;
   std::mutex fold_mu;
   std::vector<Status> status(num_silos_, Status::Ok());
   std::vector<uint32_t> dims(num_silos_, 0);
+  if (streaming) {
+    // Each silo uploads its cipher as a coordinate-chunk stream; every
+    // chunk is folded into the shared product on arrival, so the server
+    // holds one aggregate instead of num_silos cipher vectors.
+    pool_->ParallelFor(static_cast<size_t>(num_silos_), [&](size_t s) {
+      status[s] = GatherSiloCipherStream(static_cast<int>(s), round,
+                                         &fold_mu, &incremental, &dims[s]);
+    });
+    ULDP_RETURN_IF_ERROR(FirstError(status));
+  } else {
   pool_->ParallelFor(static_cast<size_t>(num_silos_), [&](size_t s) {
     auto frame = RecvFrom(static_cast<int>(s));
     if (!frame.ok()) {
@@ -434,6 +469,7 @@ Result<Vec> ProtocolServer::RunRoundInternal(
     status[s] = core_.AccumulateSiloCipher(msg.value().cipher, &incremental);
   });
   ULDP_RETURN_IF_ERROR(FirstError(status));
+  }
   for (int s = 1; s < num_silos_; ++s) {
     if (dims[s] != dims[0]) {
       return Status::InvalidArgument("silos disagree on the model dimension");
@@ -443,8 +479,9 @@ Result<Vec> ProtocolServer::RunRoundInternal(
 
   BeginPhase();
   Result<std::vector<BigInt>> product =
-      config_.pipeline ? Result<std::vector<BigInt>>(std::move(incremental))
-                       : core_.AggregateCiphertexts(ciphers, *pool_);
+      config_.pipeline || streaming
+          ? Result<std::vector<BigInt>>(std::move(incremental))
+          : core_.AggregateCiphertexts(ciphers, *pool_);
   if (!product.ok()) return product.status();
   auto out = core_.DecryptAggregate(product.value(), *pool_, dims[0]);
   if (!out.ok()) return out.status();
@@ -456,7 +493,121 @@ Result<Vec> ProtocolServer::RunRoundInternal(
   return out;
 }
 
-Status ProtocolServer::Shutdown() { return Broadcast(ToFrame(ShutdownMsg{})); }
+Status ProtocolServer::StreamEncWeights(
+    uint64_t round, const std::vector<bool>& user_sampled) {
+  const uint64_t tag = MakeMaskTag(MaskPhase::kRoundWeighting, round);
+  const int chunk_users = StreamChunkUsers(config_);
+  const int window = StreamWindow(config_);
+
+  StreamBeginMsg begin;
+  begin.phase_tag = tag;
+  begin.kind = static_cast<uint8_t>(StreamKind::kEncWeights);
+  begin.sender_id = 0;
+  begin.total_count = static_cast<uint32_t>(num_users_);
+  begin.chunk_elems = static_cast<uint32_t>(chunk_users);
+  begin.dim = 0;  // silos size the fold from their own round inputs
+  ULDP_RETURN_IF_ERROR(Broadcast(ToFrame(begin)));
+
+  std::vector<int> in_flight(num_silos_, 0);
+  auto drain_ack = [&](int s) -> Status {
+    auto frame = RecvFrom(s);
+    if (!frame.ok()) return frame.status();
+    auto ack = FromFrame<StreamAckMsg>(frame.value());
+    if (!ack.ok()) return ack.status();
+    if (ack.value().phase_tag != tag ||
+        ack.value().kind != static_cast<uint8_t>(StreamKind::kEncWeights)) {
+      return Status::InvalidArgument(
+          "stream: enc-weight ack for a different stream");
+    }
+    const int credits =
+        static_cast<int>(std::max(1u, ack.value().credits));
+    in_flight[s] -= std::min(in_flight[s], credits);
+    return Status::Ok();
+  };
+
+  uint32_t index = 0;
+  for (int u0 = 0; u0 < num_users_; u0 += chunk_users, ++index) {
+    const int u1 = std::min(num_users_, u0 + chunk_users);
+    for (int s = 0; s < num_silos_; ++s) {
+      while (in_flight[s] >= window) {
+        ULDP_RETURN_IF_ERROR(drain_ack(s));
+      }
+    }
+    auto enc = core_.EncryptWeightsRange(round, user_sampled, u0, u1,
+                                         *pool_);
+    if (!enc.ok()) return enc.status();
+    StreamChunkMsg chunk;
+    chunk.phase_tag = tag;
+    chunk.kind = static_cast<uint8_t>(StreamKind::kEncWeights);
+    chunk.index = index;
+    chunk.values = std::move(enc.value());
+    ULDP_RETURN_IF_ERROR(Broadcast(ToFrame(chunk)));
+    // `chunk` (the only copy of these ciphertexts) dies here: peak
+    // resident enc weights are one chunk regardless of num_users.
+    for (int s = 0; s < num_silos_; ++s) ++in_flight[s];
+  }
+  for (int s = 0; s < num_silos_; ++s) {
+    while (in_flight[s] > 0) {
+      ULDP_RETURN_IF_ERROR(drain_ack(s));
+    }
+  }
+  return Status::Ok();
+}
+
+Status ProtocolServer::GatherSiloCipherStream(int silo, uint64_t round,
+                                              std::mutex* fold_mu,
+                                              std::vector<BigInt>* product,
+                                              uint32_t* dim_out) {
+  const uint64_t tag = MakeMaskTag(MaskPhase::kRoundWeighting, round);
+  auto frame = RecvFrom(silo);
+  if (!frame.ok()) return frame.status();
+  auto begin_or = FromFrame<StreamBeginMsg>(frame.value());
+  if (!begin_or.ok()) return begin_or.status();
+  const StreamBeginMsg& begin = begin_or.value();
+  if (begin.sender_id != static_cast<uint32_t>(silo)) {
+    return Status::InvalidArgument("cipher stream from wrong silo id");
+  }
+  ULDP_RETURN_IF_ERROR(
+      CheckPhaseTag(begin.phase_tag, MaskPhase::kRoundWeighting, round));
+  // Same layout check as the monolithic SiloCipherMsg path: the announced
+  // model dimension must match the packed cipher count.
+  const size_t cdim = core_.params().packed.PackedDim(begin.dim);
+  if (begin.total_count != cdim) {
+    return Status::InvalidArgument(
+        "silo cipher count inconsistent with model dimension");
+  }
+  *dim_out = begin.dim;
+  auto receiver_or = ChunkStreamReceiver::Create(
+      begin, StreamKind::kSiloCipher, tag, cdim,
+      static_cast<uint32_t>(StreamChunkCoords(config_)));
+  if (!receiver_or.ok()) return receiver_or.status();
+  ChunkStreamReceiver receiver = std::move(receiver_or.value());
+  while (!receiver.Done()) {
+    frame = RecvFrom(silo);
+    if (!frame.ok()) return frame.status();
+    auto chunk = FromFrame<StreamChunkMsg>(frame.value());
+    if (!chunk.ok()) return chunk.status();
+    auto ack = receiver.Feed(
+        std::move(chunk.value()),
+        [&](std::vector<BigInt>&& values, size_t offset) -> Status {
+          std::lock_guard<std::mutex> lock(*fold_mu);
+          if (product->empty()) product->assign(cdim, BigInt(1));
+          return core_.AccumulateSiloCipherRange(values, offset, product);
+        });
+    if (!ack.ok()) return ack.status();
+    ULDP_RETURN_IF_ERROR(SendTo(silo, ToFrame(ack.value())));
+  }
+  return Status::Ok();
+}
+
+Status ProtocolServer::Shutdown() {
+  Status status = Broadcast(ToFrame(ShutdownMsg{}));
+  // The broadcast is already queued/flushed per connection; interrupting
+  // afterwards only stops the receive side, so clients still read the
+  // Shutdown frame before seeing EOF.
+  if (mux_ != nullptr) mux_->Shutdown();
+  return status;
+}
 
 // ---------------------------------------------------------------------------
 // SiloClient
@@ -525,6 +676,96 @@ Result<std::vector<BigInt>> SiloClient::HandleOtRound(
     ULDP_RETURN_IF_ERROR(transport.Send(ToFrame(relay)));
   }
   return enc;
+}
+
+Status SiloClient::UploadCipherStream(Transport& transport, uint64_t round,
+                                      size_t model_dim,
+                                      std::vector<BigInt> cipher) {
+  StreamSendOptions opts;
+  opts.phase_tag = MakeMaskTag(MaskPhase::kRoundWeighting, round);
+  opts.kind = StreamKind::kSiloCipher;
+  opts.sender_id = static_cast<uint32_t>(silo_id_);
+  opts.dim = static_cast<uint32_t>(model_dim);
+  opts.chunk_elems = StreamChunkCoords(config_);
+  opts.window = StreamWindow(config_);
+  return SendChunkedBigVec(
+      cipher, opts, [&](const Frame& f) { return transport.Send(f); },
+      [&]() { return transport.Recv(); });
+}
+
+Status SiloClient::HandleStreamedRound(Transport& transport,
+                                       const Frame& first,
+                                       const RoundInput& input,
+                                       const RoundResultFn& on_result,
+                                       std::thread* premask) {
+  if (StreamChunkUsers(config_) <= 0 || config_.ot_slots > 0) {
+    return Status::InvalidArgument(
+        "unexpected enc-weight stream for this configuration");
+  }
+  auto begin_or = FromFrame<StreamBeginMsg>(first);
+  if (!begin_or.ok()) return begin_or.status();
+  const StreamBeginMsg& begin = begin_or.value();
+  if (MaskTagPhase(begin.phase_tag) != MaskPhase::kRoundWeighting) {
+    return Status::InvalidArgument("stream begin with wrong phase tag");
+  }
+  const uint64_t round = MaskTagRound(begin.phase_tag);
+
+  // Round inputs first: the fold needs this silo's deltas and the model
+  // dimension before the first chunk lands.
+  std::vector<Vec> deltas;
+  Vec noise;
+  ULDP_RETURN_IF_ERROR(input(round, &deltas, &noise));
+  const size_t dim = noise.size();
+  const size_t cdim = core_->params().packed.PackedDim(dim);
+
+  auto receiver_or = ChunkStreamReceiver::Create(
+      begin, StreamKind::kEncWeights, begin.phase_tag,
+      static_cast<size_t>(num_users_),
+      static_cast<uint32_t>(StreamChunkUsers(config_)));
+  if (!receiver_or.ok()) return receiver_or.status();
+  ChunkStreamReceiver receiver = std::move(receiver_or.value());
+
+  std::vector<BigInt> cipher = SiloCore::NewCipherAccumulator(cdim);
+  while (!receiver.Done()) {
+    auto frame = transport.Recv();
+    if (!frame.ok()) return frame.status();
+    if (frame.value().type == static_cast<uint16_t>(MessageType::kError)) {
+      return StatusFromErrorFrame(frame.value(), "server");
+    }
+    auto chunk = FromFrame<StreamChunkMsg>(frame.value());
+    if (!chunk.ok()) return chunk.status();
+    auto ack = receiver.Feed(
+        std::move(chunk.value()),
+        [&](std::vector<BigInt>&& values, size_t offset) -> Status {
+          return core_->AccumulateUsersChunk(
+              values, static_cast<int>(offset),
+              static_cast<int>(offset + values.size()), deltas, dim,
+              &cipher, *pool_);
+        });
+    if (!ack.ok()) return ack.status();
+    ULDP_RETURN_IF_ERROR(transport.Send(ToFrame(ack.value())));
+  }
+  ULDP_RETURN_IF_ERROR(core_->FinishRound(round, noise, &cipher, *pool_));
+  ULDP_RETURN_IF_ERROR(
+      UploadCipherStream(transport, round, dim, std::move(cipher)));
+
+  if (config_.pipeline && round + 1 < kMaskTagRoundLimit) {
+    *premask = std::thread([this, round, dim] {
+      core_->PrecomputeRoundMasks(round + 1, dim, premask_pool_).ok();
+    });
+  }
+
+  auto frame = transport.Recv();
+  if (!frame.ok()) return frame.status();
+  if (frame.value().type == static_cast<uint16_t>(MessageType::kError)) {
+    return StatusFromErrorFrame(frame.value(), "server");
+  }
+  auto result = FromFrame<RoundResultMsg>(frame.value());
+  if (!result.ok()) return result.status();
+  ULDP_RETURN_IF_ERROR(CheckPhaseTag(result.value().phase_tag,
+                                     MaskPhase::kRoundWeighting, round));
+  if (on_result) on_result(round, result.value().aggregate);
+  return Status::Ok();
 }
 
 Status SiloClient::RunLoop(Transport& transport, const RoundInput& input,
@@ -648,12 +889,23 @@ Status SiloClient::RunLoop(Transport& transport, const RoundInput& input,
       return StatusFromErrorFrame(frame.value(), "server");
     }
 
+    if (type == static_cast<uint16_t>(MessageType::kStreamBegin)) {
+      ULDP_RETURN_IF_ERROR(HandleStreamedRound(transport, frame.value(),
+                                               input, on_result,
+                                               &premask.t));
+      continue;
+    }
+
     uint64_t round = 0;
     std::vector<BigInt> enc_weights;
     if (type == static_cast<uint16_t>(MessageType::kRoundBegin)) {
       if (config_.ot_slots > 0) {
         return Status::InvalidArgument(
             "plain RoundBegin received in OT mode");
+      }
+      if (StreamChunkUsers(config_) > 0) {
+        return Status::InvalidArgument(
+            "plain RoundBegin received in streaming mode");
       }
       auto begin = FromFrame<RoundBeginMsg>(frame.value());
       if (!begin.ok()) return begin.status();
@@ -717,12 +969,20 @@ Status SiloClient::RunLoop(Transport& transport, const RoundInput& input,
     auto cipher = core_->WeightMaskRound(round, enc_weights, deltas, noise,
                                          *pool_);
     if (!cipher.ok()) return cipher.status();
-    SiloCipherMsg cipher_msg;
-    cipher_msg.phase_tag = MakeMaskTag(MaskPhase::kRoundWeighting, round);
-    cipher_msg.silo_id = static_cast<uint32_t>(silo_id_);
-    cipher_msg.dim = static_cast<uint32_t>(noise.size());
-    cipher_msg.cipher = std::move(cipher.value());
-    ULDP_RETURN_IF_ERROR(transport.Send(ToFrame(cipher_msg)));
+    if (StreamChunkUsers(config_) > 0) {
+      // Streaming with OT: the weight distribution is the OT dance
+      // (materialized by construction), but the cipher upload is still
+      // chunked so no frame approaches the transport cap.
+      ULDP_RETURN_IF_ERROR(UploadCipherStream(
+          transport, round, noise.size(), std::move(cipher.value())));
+    } else {
+      SiloCipherMsg cipher_msg;
+      cipher_msg.phase_tag = MakeMaskTag(MaskPhase::kRoundWeighting, round);
+      cipher_msg.silo_id = static_cast<uint32_t>(silo_id_);
+      cipher_msg.dim = static_cast<uint32_t>(noise.size());
+      cipher_msg.cipher = std::move(cipher.value());
+      ULDP_RETURN_IF_ERROR(transport.Send(ToFrame(cipher_msg)));
+    }
     if (config_.pipeline && config_.ot_slots <= 0 &&
         round + 1 < kMaskTagRoundLimit) {
       const size_t dim = noise.size();

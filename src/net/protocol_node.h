@@ -21,6 +21,21 @@
 //     -> SiloCipher              <- RoundResult
 //   <- Shutdown
 //
+// Streaming mode (config.stream_chunk_users > 0): the monolithic
+// RoundBegin and SiloCipher frames are replaced by chunked streams with
+// windowed-credit flow control (net/stream.h). The server encrypts
+// weights one user-chunk at a time and discards each chunk once acked;
+// silos fold each chunk into their cipher accumulator on arrival
+// (SiloCore::AccumulateUsersChunk) and upload the masked cipher in
+// coordinate chunks the server folds straight into the aggregate product
+// — so a round's peak resident ciphertexts are O(chunk), independent of
+// the user count, and bitwise identical to the materializing path.
+//
+// All server-side receives run through a FrameMux (net/mux.h): over TCP
+// a few epoll event-loop threads serve every connection, and mux
+// shutdown interrupts all transports and joins its threads, so a silo
+// hanging mid-stream can never leave a reader blocked after FailAll.
+//
 // Fatal errors travel as Error frames in either direction, so the peer
 // reports the real Status instead of hanging up.
 
@@ -29,6 +44,7 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -37,6 +53,7 @@
 #include "common/status.h"
 #include "core/protocol_party.h"
 #include "net/messages.h"
+#include "net/mux.h"
 #include "net/transport.h"
 #include "nn/tensor.h"
 
@@ -105,6 +122,18 @@ class ProtocolServer {
   Status RunSetupInternal();
   Result<Vec> RunRoundInternal(uint64_t round,
                                const std::vector<bool>& user_sampled);
+  /// Streaming enc-weight distribution: encrypts one user chunk at a
+  /// time, broadcasts it, and keeps at most StreamWindow(config) chunks
+  /// unacknowledged per silo before the chunk buffer is dropped.
+  Status StreamEncWeights(uint64_t round,
+                          const std::vector<bool>& user_sampled);
+  /// Streaming cipher gather for one silo: folds arriving coordinate
+  /// chunks straight into the shared aggregate `product` (lazily sized
+  /// under `fold_mu`) and acks each chunk.
+  Status GatherSiloCipherStream(int silo, uint64_t round,
+                                std::mutex* fold_mu,
+                                std::vector<BigInt>* product,
+                                uint32_t* dim_out);
   /// Joins a pending enc-weight prefetch; returns its ciphertexts when it
   /// matches (round, mask) and was clean, null otherwise.
   std::unique_ptr<std::vector<BigInt>> TakePrefetch(
@@ -128,6 +157,11 @@ class ProtocolServer {
   ServerCore core_;
   PoolHandle pool_;
   std::vector<std::unique_ptr<Transport>> conns_;  // [silo id]
+  /// Receive front end over all connections, created when RunSetup first
+  /// sees the full cohort (join handshakes use blocking Recv before
+  /// that). FailAll and Shutdown tear it down — interrupt + join — so no
+  /// receive thread outlives a failed run.
+  std::unique_ptr<FrameMux> mux_;
   bool setup_done_ = false;
   std::vector<NetPhaseStats> stats_;
   uint64_t phase_sent_start_ = 0;
@@ -179,6 +213,18 @@ class SiloClient {
   Result<std::vector<BigInt>> HandleOtRound(Transport& transport,
                                             uint64_t round,
                                             const OtSenderMsg& sender_msg);
+  /// One full streamed round (config.stream_chunk_users > 0, OT off):
+  /// folds enc-weight chunks as they arrive, finishes the masked cipher,
+  /// uploads it as a coordinate-chunk stream, and receives the round
+  /// result. Starts the next round's premask prefetch on `*premask` when
+  /// pipelining (the caller joins it before the next round).
+  Status HandleStreamedRound(Transport& transport, const Frame& first,
+                             const RoundInput& input,
+                             const RoundResultFn& on_result,
+                             std::thread* premask);
+  /// Uploads this silo's masked cipher as a chunked kSiloCipher stream.
+  Status UploadCipherStream(Transport& transport, uint64_t round,
+                            size_t model_dim, std::vector<BigInt> cipher);
 
   ProtocolConfig config_;
   int silo_id_;

@@ -64,7 +64,7 @@ Status TcpTransport::WriteAll(const uint8_t* data, size_t size) {
     }
     done += static_cast<size_t>(n);
   }
-  sent_ += size;
+  sent_.fetch_add(size, std::memory_order_relaxed);
   return Status::Ok();
 }
 
@@ -90,7 +90,7 @@ Status TcpTransport::ReadAll(uint8_t* data, size_t size) {
     }
     done += static_cast<size_t>(n);
   }
-  received_ += size;
+  received_.fetch_add(size, std::memory_order_relaxed);
   return Status::Ok();
 }
 
@@ -105,12 +105,14 @@ Status TcpTransport::SetRecvTimeout(int milliseconds) {
   if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
     return Status::Internal(Errno("tcp: setsockopt(SO_RCVTIMEO)"));
   }
+  set_recv_timeout_ms(milliseconds);
   return Status::Ok();
 }
 
 Status TcpTransport::Send(const Frame& frame) {
   if (fd_ < 0) return Status::FailedPrecondition("tcp transport closed");
   std::vector<uint8_t> bytes = EncodeFrame(frame);
+  NoteFrame(bytes.size());
   return WriteAll(bytes.data(), bytes.size());
 }
 
@@ -120,12 +122,65 @@ Result<Frame> TcpTransport::Recv() {
   ULDP_RETURN_IF_ERROR(ReadAll(header, sizeof(header)));
   Frame frame;
   uint32_t payload_len;
-  ULDP_RETURN_IF_ERROR(ParseFrameHeader(header, &frame.type, &payload_len));
+  // The configured receive cap is checked here, before the payload buffer
+  // exists: an oversized length field costs a header read and nothing
+  // else.
+  ULDP_RETURN_IF_ERROR(ParseFrameHeader(header, &frame.type, &payload_len,
+                                        max_frame_payload()));
   frame.payload.resize(payload_len);
   if (payload_len > 0) {
     ULDP_RETURN_IF_ERROR(ReadAll(frame.payload.data(), payload_len));
   }
+  NoteFrame(kFrameHeaderSize + static_cast<uint64_t>(payload_len));
   return frame;
+}
+
+Result<bool> TcpTransport::TryReadFrame(Frame* out) {
+  if (fd_ < 0) return Status::FailedPrecondition("tcp transport closed");
+  for (;;) {
+    const size_t target = read_header_done_
+                              ? kFrameHeaderSize + read_payload_len_
+                              : kFrameHeaderSize;
+    if (read_buf_.size() < target) read_buf_.resize(target);
+    while (read_have_ < target) {
+      ssize_t n = ::recv(fd_, read_buf_.data() + read_have_,
+                         target - read_have_, MSG_DONTWAIT);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return false;
+        return Status::Internal(Errno("tcp: recv"));
+      }
+      if (n == 0) {
+        return Status::FailedPrecondition(
+            read_have_ == 0 && !read_header_done_
+                ? "tcp: peer closed the connection"
+                : "tcp: peer closed the connection mid-frame");
+      }
+      read_have_ += static_cast<size_t>(n);
+      received_.fetch_add(static_cast<uint64_t>(n),
+                          std::memory_order_relaxed);
+    }
+    if (!read_header_done_) {
+      // Cap check before the payload buffer grows, exactly like Recv.
+      ULDP_RETURN_IF_ERROR(ParseFrameHeader(read_buf_.data(), &read_type_,
+                                            &read_payload_len_,
+                                            max_frame_payload()));
+      read_header_done_ = true;
+      continue;  // now accumulate the payload (possibly 0 bytes)
+    }
+    out->type = read_type_;
+    out->payload.assign(read_buf_.begin() + kFrameHeaderSize,
+                        read_buf_.begin() + static_cast<long>(target));
+    NoteFrame(target);
+    read_have_ = 0;
+    read_header_done_ = false;
+    read_payload_len_ = 0;
+    return true;
+  }
+}
+
+void TcpTransport::Interrupt() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
 }
 
 void TcpTransport::Close() {

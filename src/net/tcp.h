@@ -6,8 +6,10 @@
 #ifndef ULDP_NET_TCP_H_
 #define ULDP_NET_TCP_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "net/transport.h"
@@ -32,8 +34,13 @@ class TcpTransport : public Transport {
   Status Send(const Frame& frame) override;
   Result<Frame> Recv() override;
   void Close() override;
-  uint64_t bytes_sent() const override { return sent_; }
-  uint64_t bytes_received() const override { return received_; }
+  /// Shuts down both stream directions without releasing the fd: any
+  /// thread blocked in recv() wakes with EOF, but the descriptor stays
+  /// valid until Close()/destruction — safe against a concurrent reader.
+  void Interrupt() override;
+  int NativeHandle() const override { return fd_; }
+  uint64_t bytes_sent() const override { return sent_.load(); }
+  uint64_t bytes_received() const override { return received_.load(); }
 
   /// Recv deadline via SO_RCVTIMEO: a Recv that sees no bytes for
   /// `milliseconds` fails with DeadlineExceeded instead of blocking
@@ -41,15 +48,34 @@ class TcpTransport : public Transport {
   /// 0 restores fully blocking reads. A timeout can fire mid-frame, after
   /// which the byte stream is unframeable, so a timed-out transport is
   /// closed — callers treat DeadlineExceeded as fatal for the connection.
+  /// The event-loop mux reads the value back via recv_timeout_ms() and
+  /// enforces the same bound on its waiters.
   Status SetRecvTimeout(int milliseconds);
+
+  /// Non-blocking read step for event loops (net/mux.h): consumes
+  /// whatever bytes the socket has buffered (MSG_DONTWAIT) through an
+  /// internal header/payload state machine. Returns true with a complete
+  /// frame in `out`, false when the socket would block mid-frame (call
+  /// again when epoll reports readability), or an error on peer close /
+  /// malformed header — the same Statuses blocking Recv produces. Do not
+  /// interleave with blocking Recv on the same connection.
+  Result<bool> TryReadFrame(Frame* out) override;
 
  private:
   Status WriteAll(const uint8_t* data, size_t size);
   Status ReadAll(uint8_t* data, size_t size);
 
   int fd_ = -1;
-  uint64_t sent_ = 0;
-  uint64_t received_ = 0;
+  std::atomic<uint64_t> sent_{0};
+  std::atomic<uint64_t> received_{0};
+
+  // TryReadFrame state machine: bytes accumulated toward the current
+  // header-or-payload target.
+  std::vector<uint8_t> read_buf_;
+  size_t read_have_ = 0;
+  bool read_header_done_ = false;
+  uint16_t read_type_ = 0;
+  uint32_t read_payload_len_ = 0;
 };
 
 /// Listening socket bound to loopback.

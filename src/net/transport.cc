@@ -24,6 +24,7 @@ Status ChannelTransport::Send(const Frame& frame) {
   }
   tx_->cv.notify_one();
   sent_.fetch_add(size, std::memory_order_relaxed);
+  NoteFrame(size);
   return Status::Ok();
 }
 
@@ -39,6 +40,17 @@ Result<Frame> ChannelTransport::Recv() {
     rx_->frames.pop_front();
   }
   received_.fetch_add(bytes.size(), std::memory_order_relaxed);
+  NoteFrame(bytes.size());
+  // The bytes were produced in-process, but the configured receive cap is
+  // enforced all the same so channel-backed tests exercise the exact
+  // oversized-frame rejection a TCP endpoint applies.
+  if (bytes.size() > kFrameHeaderSize &&
+      bytes.size() - kFrameHeaderSize > max_frame_payload()) {
+    return Status::InvalidArgument(
+        "wire: frame payload length " +
+        std::to_string(bytes.size() - kFrameHeaderSize) + " exceeds cap " +
+        std::to_string(max_frame_payload()));
+  }
   return DecodeFrame(bytes);
 }
 

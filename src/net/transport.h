@@ -39,9 +39,76 @@ class Transport {
   virtual Result<Frame> Recv() = 0;
   /// Closes both directions; pending and future Recv calls fail.
   virtual void Close() = 0;
+  /// Unblocks any thread stuck in Recv without tearing the object down
+  /// (the event-loop shutdown path, net/mux.h). Backends where Close is
+  /// already safe against a concurrent Recv just close.
+  virtual void Interrupt() { Close(); }
+
+  /// Kernel handle for event-loop integration (net/mux.h); -1 when the
+  /// backend has none (ChannelTransport).
+  virtual int NativeHandle() const { return -1; }
+
+  /// Non-blocking read step for event loops: consume whatever bytes are
+  /// available and return true with a complete frame, false when the read
+  /// would block mid-frame, or the same terminal errors Recv produces.
+  /// Only meaningful on backends with a NativeHandle; the default says so.
+  virtual Result<bool> TryReadFrame(Frame* out) {
+    (void)out;
+    return Status::Unimplemented(
+        "this transport has no non-blocking read path");
+  }
 
   virtual uint64_t bytes_sent() const = 0;
   virtual uint64_t bytes_received() const = 0;
+
+  /// Per-connection receive cap on one frame's payload: an incoming frame
+  /// whose header announces more than this is rejected before any payload
+  /// allocation. Clamped to [kFrameHeaderSize, kMaxFramePayload]; the
+  /// default is kDefaultMaxFramePayload (--max-frame-bytes on the CLI).
+  void set_max_frame_payload(uint32_t cap) {
+    if (cap < 1024) cap = 1024;
+    if (cap > kMaxFramePayload) cap = kMaxFramePayload;
+    max_frame_payload_.store(cap, std::memory_order_relaxed);
+  }
+  uint32_t max_frame_payload() const {
+    return max_frame_payload_.load(std::memory_order_relaxed);
+  }
+
+  /// Receive deadline in milliseconds (0 = none). Set by the TCP backend's
+  /// SetRecvTimeout; the event-loop mux reads it to enforce the same
+  /// deadline on its waiters.
+  int recv_timeout_ms() const {
+    return recv_timeout_ms_.load(std::memory_order_relaxed);
+  }
+
+  /// Largest single frame seen in either direction (wire bytes, header
+  /// included) — the stream-scaling bench's per-chunk byte ceiling.
+  uint64_t largest_frame_bytes() const {
+    return largest_frame_.load(std::memory_order_relaxed);
+  }
+  /// Returns largest_frame_bytes() and resets the window, so a caller can
+  /// measure the largest frame of one protocol phase (e.g. the weighting
+  /// rounds, excluding the setup handshake) in isolation.
+  uint64_t TakeLargestFrame() {
+    return largest_frame_.exchange(0, std::memory_order_relaxed);
+  }
+
+ protected:
+  void NoteFrame(uint64_t wire_bytes) {
+    uint64_t prev = largest_frame_.load(std::memory_order_relaxed);
+    while (wire_bytes > prev &&
+           !largest_frame_.compare_exchange_weak(prev, wire_bytes,
+                                                 std::memory_order_relaxed)) {
+    }
+  }
+  void set_recv_timeout_ms(int ms) {
+    recv_timeout_ms_.store(ms, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint32_t> max_frame_payload_{kDefaultMaxFramePayload};
+  std::atomic<int> recv_timeout_ms_{0};
+  std::atomic<uint64_t> largest_frame_{0};
 };
 
 /// In-process transport: a pair of endpoints connected by two one-way

@@ -195,7 +195,7 @@ std::vector<uint8_t> EncodeFrame(const Frame& frame) {
 }
 
 Status ParseFrameHeader(const uint8_t* header, uint16_t* type,
-                        uint32_t* payload_len) {
+                        uint32_t* payload_len, uint32_t max_payload) {
   if (std::memcmp(header, kMagic, 4) != 0) {
     return Status::InvalidArgument("wire: bad frame magic");
   }
@@ -208,9 +208,12 @@ Status ParseFrameHeader(const uint8_t* header, uint16_t* type,
   *type = static_cast<uint16_t>(header[6] | (header[7] << 8));
   uint32_t len = 0;
   for (int i = 0; i < 4; ++i) len |= static_cast<uint32_t>(header[8 + i]) << (8 * i);
-  if (len > kMaxFramePayload) {
+  const uint32_t cap =
+      max_payload < kMaxFramePayload ? max_payload : kMaxFramePayload;
+  if (len > cap) {
     return Status::InvalidArgument("wire: frame payload length " +
-                                   std::to_string(len) + " exceeds cap");
+                                   std::to_string(len) + " exceeds cap " +
+                                   std::to_string(cap));
   }
   *payload_len = len;
   return Status::Ok();

@@ -35,10 +35,15 @@ namespace net {
 constexpr uint16_t kWireVersion = 1;
 /// Frame header size in bytes (magic + version + type + payload length).
 constexpr size_t kFrameHeaderSize = 12;
-/// Upper bound on a single frame's payload. Large enough for a full
+/// Hard upper bound on a single frame's payload. Large enough for a full
 /// Paillier-ciphertext vector at production scale, small enough that a
 /// corrupted length field cannot trigger a gigantic allocation.
 constexpr uint32_t kMaxFramePayload = 1u << 30;
+/// Default per-connection receive cap (Transport::set_max_frame_payload,
+/// --max-frame-bytes). Chunked streaming keeps legitimate frames far below
+/// this, so an oversized length field is rejected before allocation well
+/// under the 1 GiB hard cap.
+constexpr uint32_t kDefaultMaxFramePayload = 256u << 20;
 
 /// One framed message: the typed header plus its serialized payload.
 struct Frame {
@@ -109,9 +114,12 @@ std::vector<uint8_t> EncodeFrame(const Frame& frame);
 
 /// Validates a 12-byte frame header; on success returns the message type
 /// and payload length via the out-params. Rejects bad magic, unsupported
-/// versions, and payload lengths above kMaxFramePayload.
+/// versions, and payload lengths above min(max_payload, kMaxFramePayload)
+/// — the check runs before any payload allocation, so a corrupted or
+/// hostile length field costs nothing.
 Status ParseFrameHeader(const uint8_t* header, uint16_t* type,
-                        uint32_t* payload_len);
+                        uint32_t* payload_len,
+                        uint32_t max_payload = kMaxFramePayload);
 
 /// Decodes one complete frame from `data`. Fails on truncation, bad
 /// header, or trailing bytes after the frame.

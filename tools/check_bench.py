@@ -20,11 +20,16 @@ Check kinds (combinable):
   baseline + max_regression
                        latency gate: fail when value > baseline * (1 + r)
                        (r = 0.25 means ">25% regression fails")
+  agg: "max" | "min"   fold every matching sample into one value first —
+                       the memory-ceiling shape: {"metric":
+                       "peak_rss_bytes", "agg": "max", "max": 2e8} gates
+                       the worst peak across all configurations with one
+                       lower-is-better ceiling
 
 A sample is located by metric name plus a labels subset match; exactly one
-sample must match. Any bitwise_divergence-style flag is gated with
-{"max": 0}. Exit code 0 = all gates green, 1 = regression or malformed
-input.
+sample must match unless "agg" folds them. Any bitwise_divergence-style
+flag is gated with {"max": 0}. Exit code 0 = all gates green, 1 =
+regression or malformed input.
 
 Updating baselines after an intentional perf change:
   cmake --build build -j && (cd build && ULDP_BENCH_SMOKE=1 ./bench_<name>)
@@ -65,14 +70,26 @@ def run_check(bench_name, samples, check):
     labels = check.get("labels", {})
     where = metric + (str(labels) if labels else "")
     matches = match_samples(samples, metric, labels)
-    if len(matches) != 1:
-        return [
-            "%s: %s matched %d samples (need exactly 1)"
-            % (bench_name, where, len(matches))
-        ]
-    value = matches[0].get("value")
-    if not isinstance(value, (int, float)):
-        return ["%s: %s has a non-numeric value" % (bench_name, where)]
+    agg = check.get("agg")
+    if agg is not None:
+        if agg not in ("max", "min"):
+            return ["%s: %s has unknown agg %r" % (bench_name, where, agg)]
+        if not matches:
+            return ["%s: %s matched no samples" % (bench_name, where)]
+        values = [s.get("value") for s in matches]
+        if not all(isinstance(v, (int, float)) for v in values):
+            return ["%s: %s has a non-numeric value" % (bench_name, where)]
+        value = max(values) if agg == "max" else min(values)
+        where += "[agg=%s over %d]" % (agg, len(values))
+    else:
+        if len(matches) != 1:
+            return [
+                "%s: %s matched %d samples (need exactly 1)"
+                % (bench_name, where, len(matches))
+            ]
+        value = matches[0].get("value")
+        if not isinstance(value, (int, float)):
+            return ["%s: %s has a non-numeric value" % (bench_name, where)]
     failures = []
     if "min" in check and value < check["min"]:
         failures.append(

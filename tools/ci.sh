@@ -15,7 +15,7 @@ if [ "${SANITIZE:-0}" = "1" ]; then
   # Separate default build dir: writing ULDP_SANITIZE=ON into the plain
   # build/ cache would leave later non-sanitized runs silently sanitized.
   BUILD_DIR="${1:-build-asan}"
-  FAST_TESTS='^(bigint_test|montgomery_primes_test|fixed_base_test|fixed_point_test|csv_loader_test|mask_tags_test|secure_agg_test|sha_chacha_test|common_test|parallel_test|paillier_test|paillier_ctx_test|dh_test|oblivious_transfer_test|net_wire_test|net_transport_test|parse_test|async_rounds_test|multi_exp_test|packed_codec_test)$'
+  FAST_TESTS='^(bigint_test|montgomery_primes_test|fixed_base_test|fixed_point_test|csv_loader_test|mask_tags_test|secure_agg_test|sha_chacha_test|common_test|parallel_test|paillier_test|paillier_ctx_test|dh_test|oblivious_transfer_test|net_wire_test|net_transport_test|parse_test|async_rounds_test|multi_exp_test|packed_codec_test|net_stream_test|shard_round_test)$'
   cmake -B "$BUILD_DIR" -S . -DULDP_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build "$BUILD_DIR" -j"$JOBS"
   ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
@@ -51,6 +51,14 @@ fi
 # speedup below 1.5x.
 if [ -x "$BUILD_DIR/bench_async_rounds" ]; then
   (cd "$BUILD_DIR" && ULDP_BENCH_SMOKE=1 ./bench_async_rounds)
+fi
+
+# Streaming-round bench in smoke mode: produces BENCH_stream_scaling.json
+# (peak RSS and largest round-phase frame, materializing vs streaming, at
+# two user counts) and fails on bitwise divergence; check_bench then gates
+# the streamed frame ceiling and the RSS growth ratio.
+if [ -x "$BUILD_DIR/bench_stream_scaling" ]; then
+  (cd "$BUILD_DIR" && ULDP_BENCH_SMOKE=1 ./bench_stream_scaling)
 fi
 
 # Bench-regression gate: every committed baseline in bench/baselines/ is

@@ -63,6 +63,7 @@ struct Flags {
   uint64_t seed = 1;
   int num_seeds = 1;  // > 1 averages runs
   int threads = 0;    // round-engine threads (0 = auto)
+  int shard_users = 0;  // split silo sweeps into user shards (0 = off)
   // Asynchronous staleness-bounded rounds.
   bool async = false;      // local: async trainers; with --serve/--connect:
                            // async FL demo over the transport layer
@@ -79,6 +80,11 @@ struct Flags {
   bool verify = false;      // server: compare against the in-process run
   bool pipeline = false;    // protocol: multi-round pipelining (this party)
   int net_timeout = 0;      // seconds; recv/handshake deadline on TCP (0=off)
+  // Streaming rounds (bounded peak RSS; must match on every party).
+  int stream_chunk_users = 0;   // > 0: stream enc weights in user chunks
+  int stream_chunk_coords = 0;  // cipher-upload chunk size (0 = default)
+  int stream_window = 0;        // unacked chunks in flight (0 = default)
+  int max_frame_bytes = 0;      // wire frame payload cap (0 = default)
 };
 
 void PrintHelp() {
@@ -98,6 +104,11 @@ void PrintHelp() {
       "  --seed=N --num-seeds=M      M > 1 reports mean±std over seeds\n"
       "  --threads=N                 silo-round threads (0 = auto;\n"
       "                              results are identical for any N)\n"
+      "  --shard-users=K             split each silo's private-protocol\n"
+      "                              user sweep into shards of K users so\n"
+      "                              one dominant silo no longer owns the\n"
+      "                              critical path (bitwise identical;\n"
+      "                              0 = one task per silo)\n"
       "  --async                     asynchronous staleness-bounded rounds:\n"
       "                              silo deltas apply as they land instead\n"
       "                              of barrier-waiting on the slowest silo\n"
@@ -120,6 +131,19 @@ void PrintHelp() {
       "  --net-timeout=SECONDS       TCP recv/handshake deadline — a hung\n"
       "                              peer fails fast instead of blocking\n"
       "                              forever (0 = off)\n"
+      "  --stream-chunk-users=K      stream encrypted weights K users at a\n"
+      "                              time and fold silo ciphers chunk by\n"
+      "                              chunk: peak resident ciphertexts are\n"
+      "                              O(K), independent of --users, and the\n"
+      "                              aggregates stay bitwise identical\n"
+      "                              (0 = materialize whole rounds)\n"
+      "  --stream-chunk-coords=C     cipher-upload coordinates per chunk\n"
+      "                              (0 = default 256)\n"
+      "  --stream-window=W           unacknowledged chunks in flight per\n"
+      "                              peer (0 = default 4)\n"
+      "  --max-frame-bytes=B         reject any wire frame whose payload\n"
+      "                              exceeds B bytes before allocating it\n"
+      "                              (0 = default cap)\n"
       "With --async, --serve/--connect run the asynchronous FL demo over\n"
       "TCP (StalenessInfo/RoundAck frames) instead of Protocol 1;\n"
       "--verify requires --max-staleness=0, where the distributed run is\n"
@@ -180,6 +204,18 @@ Result<Flags> ParseFlags(int argc, char** argv) {
     } else if (ParseFlag(arg, "net-timeout", &value)) {
       ULDP_RETURN_IF_ERROR(ParseIntInto(value, "net-timeout", 0, 1 << 20,
                                         &flags.net_timeout));
+    } else if (ParseFlag(arg, "stream-chunk-users", &value)) {
+      ULDP_RETURN_IF_ERROR(ParseIntInto(value, "stream-chunk-users", 0,
+                                        1 << 24, &flags.stream_chunk_users));
+    } else if (ParseFlag(arg, "stream-chunk-coords", &value)) {
+      ULDP_RETURN_IF_ERROR(ParseIntInto(value, "stream-chunk-coords", 0,
+                                        1 << 20, &flags.stream_chunk_coords));
+    } else if (ParseFlag(arg, "stream-window", &value)) {
+      ULDP_RETURN_IF_ERROR(ParseIntInto(value, "stream-window", 0, 1 << 16,
+                                        &flags.stream_window));
+    } else if (ParseFlag(arg, "max-frame-bytes", &value)) {
+      ULDP_RETURN_IF_ERROR(ParseIntInto(value, "max-frame-bytes", 0,
+                                        1 << 30, &flags.max_frame_bytes));
     } else if (ParseFlag(arg, "dataset", &value)) {
       flags.dataset = value;
     } else if (ParseFlag(arg, "csv", &value)) {
@@ -240,6 +276,9 @@ Result<Flags> ParseFlags(int argc, char** argv) {
     } else if (ParseFlag(arg, "threads", &value)) {
       ULDP_RETURN_IF_ERROR(
           ParseIntInto(value, "threads", 0, 1 << 14, &flags.threads));
+    } else if (ParseFlag(arg, "shard-users", &value)) {
+      ULDP_RETURN_IF_ERROR(ParseIntInto(value, "shard-users", 0, 1 << 24,
+                                        &flags.shard_users));
     } else if (ParseFlag(arg, "serve", &value)) {
       ULDP_RETURN_IF_ERROR(
           ParseIntInto(value, "serve", 0, 65535, &flags.serve));
@@ -275,6 +314,15 @@ Result<Flags> ParseFlags(int argc, char** argv) {
   if (!flags.connect.empty() && flags.silo_id >= flags.silos) {
     return Status::OutOfRange("--silo-id must be < --silos");
   }
+  if (flags.stream_chunk_users > 0 && flags.async) {
+    return Status::InvalidArgument(
+        "--stream-chunk-users applies to Protocol 1, not the async FL demo");
+  }
+  if ((flags.stream_chunk_coords > 0 || flags.stream_window > 0) &&
+      flags.stream_chunk_users <= 0) {
+    return Status::InvalidArgument(
+        "--stream-chunk-coords/--stream-window require --stream-chunk-users");
+  }
   if (flags.async_buffer > flags.silos) {
     return Status::InvalidArgument("--async-buffer must be <= --silos");
   }
@@ -300,6 +348,9 @@ ProtocolConfig NetProtocolConfig(const Flags& flags) {
   config.seed = flags.seed;
   config.num_threads = flags.threads;
   config.pipeline = flags.pipeline;
+  config.stream_chunk_users = flags.stream_chunk_users;
+  config.stream_chunk_coords = flags.stream_chunk_coords;
+  config.stream_window = flags.stream_window;
   return config;
 }
 
@@ -312,8 +363,14 @@ net::AsyncRoundsConfig NetAsyncConfig(const Flags& flags) {
   return config;
 }
 
-/// Applies --net-timeout to a TCP endpoint (handshake + recv deadline).
+/// Applies the per-connection transport flags to a TCP endpoint:
+/// --net-timeout (handshake + recv deadline) and --max-frame-bytes
+/// (payload cap enforced before allocation).
 Status ApplyNetTimeout(net::TcpTransport& transport, const Flags& flags) {
+  if (flags.max_frame_bytes > 0) {
+    transport.set_max_frame_payload(
+        static_cast<uint32_t>(flags.max_frame_bytes));
+  }
   if (flags.net_timeout <= 0) return Status::Ok();
   return transport.SetRecvTimeout(flags.net_timeout * 1000);
 }
@@ -654,6 +711,7 @@ Result<std::unique_ptr<FlAlgorithm>> MakeAlgorithm(const Flags& flags,
   config.local_epochs = flags.local_epochs;
   config.seed = seed;
   config.num_threads = flags.threads;
+  config.shard_users = flags.shard_users;
   config.async_rounds = flags.async;
   config.max_staleness = flags.max_staleness;
   config.async_buffer = flags.async_buffer;
