@@ -1,0 +1,254 @@
+// Membership-churn bench: three sections, one JSON.
+//
+//  1. Throughput — the channel-backed async round server driven with a
+//     static cohort and with a churn schedule (one silo crashes a third
+//     of the way in, a late joiner is admitted two thirds in); reports
+//     steps_per_second for both. Churn must not stall the round loop:
+//     eviction interrupts the dead silo's reader instead of waiting on
+//     it, and the flush threshold tracks the active population.
+//  2. Determinism — the churn run is replayed against a serial
+//     active-set-schedule reference; any divergence sets
+//     bitwise_divergence and exits non-zero. evictions/admissions are
+//     reported so the gate can assert the churn actually happened.
+//  3. Checkpoint/resume — a static run is interrupted halfway, restored
+//     from its session.ckpt, and resumed; the final parameters must be
+//     bitwise identical to the uninterrupted run (resume_divergence).
+//
+// Emits BENCH_membership_churn.json. ULDP_BENCH_SMOKE=1 shrinks the scale
+// for CI; ULDP_BENCH_SCALE=full grows it.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "fl/round_engine.h"
+#include "fl/session.h"
+#include "net/async_rounds.h"
+#include "net/demo.h"
+#include "net/transport.h"
+
+namespace uldp {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using net::AsyncRoundServer;
+using net::AsyncRoundsConfig;
+using net::ChannelTransport;
+using net::Transport;
+
+constexpr uint64_t kWorkSeed = 7171;
+constexpr double kStepScale = 0.25;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+AsyncRoundsConfig MakeConfig(bool elastic) {
+  AsyncRoundsConfig config;
+  config.step_scale = kStepScale;
+  config.seed = kWorkSeed;
+  config.elastic = elastic;
+  return config;
+}
+
+/// Serial replay of the elastic update rule for a fixed per-step
+/// active-set schedule (the deterministic reference the server must hit).
+Vec ScheduleReference(int num_silos, int dim,
+                      const std::vector<std::vector<int>>& active_sets) {
+  AsyncAggregator agg(num_silos, 0, num_silos);
+  Vec ref(dim, 0.0);
+  for (size_t step = 0; step < active_sets.size(); ++step) {
+    for (int s : active_sets[step]) {
+      Vec delta;
+      Status worked = net::MakeAsyncDemoWork(kWorkSeed, s, dim)(
+          static_cast<uint64_t>(step), ref, &delta);
+      if (!worked.ok()) {
+        std::cerr << worked.ToString() << "\n";
+        std::exit(1);
+      }
+      agg.Offer(s, static_cast<int>(step), std::move(delta));
+    }
+    Vec sum = agg.Flush(false, static_cast<uint64_t>(step), nullptr);
+    int active = static_cast<int>(active_sets[step].size());
+    double scale = kStepScale;
+    if (active > 0 && active != num_silos) {
+      scale = kStepScale * num_silos / active;
+    }
+    Axpy(scale, sum, ref);
+  }
+  return ref;
+}
+
+struct ChurnOutcome {
+  Vec params;
+  double seconds = 0.0;
+  int64_t evictions = 0;
+  int64_t admissions = 0;
+};
+
+/// One channel-backed server run. fail_at/join_at < 0 disable the
+/// respective drill (silo 0 crashes / silo num_silos-1 joins late).
+ChurnOutcome RunChannels(const AsyncRoundsConfig& config, int num_silos,
+                         int dim, int steps, int64_t fail_at, int64_t join_at,
+                         const std::string& checkpoint_dir = "",
+                         int checkpoint_every = 0, int resume_to = -1) {
+  std::vector<std::unique_ptr<Transport>> server_ends, silo_ends;
+  for (int s = 0; s < num_silos; ++s) {
+    auto [a, b] = ChannelTransport::CreatePair();
+    server_ends.push_back(std::move(a));
+    silo_ends.push_back(std::move(b));
+  }
+  std::vector<std::thread> threads;
+  std::vector<Status> silo_status(num_silos, Status::Ok());
+  for (int s = 0; s < num_silos; ++s) {
+    net::AsyncDemoOptions options;
+    if (s == 0) options.fail_at_version = fail_at;
+    if (s == num_silos - 1) options.join_at_version = join_at;
+    threads.emplace_back([&, s, options] {
+      silo_status[s] = net::RunAsyncDemoSilo(config, s, num_silos, dim,
+                                             *silo_ends[s], options);
+    });
+  }
+  AsyncRoundServer server(config, num_silos, dim);
+  if (!checkpoint_dir.empty()) {
+    server.SetCheckpoint(checkpoint_dir, checkpoint_every);
+  }
+  if (resume_to >= 0) {
+    auto state = SessionState::ReadFile(checkpoint_dir + "/session.ckpt");
+    if (!state.ok()) {
+      std::cerr << state.status().ToString() << "\n";
+      std::exit(1);
+    }
+    Status restored = server.RestoreSession(std::move(state.value()));
+    if (!restored.ok()) {
+      std::cerr << restored.ToString() << "\n";
+      std::exit(1);
+    }
+  }
+  for (auto& end : server_ends) {
+    Status added = server.AddConnection(std::move(end));
+    if (!added.ok()) {
+      std::cerr << added.ToString() << "\n";
+      std::exit(1);
+    }
+  }
+  auto t0 = Clock::now();
+  auto out = resume_to >= 0 ? server.Resume(resume_to)
+                            : server.Run(steps, Vec(dim, 0.0));
+  ChurnOutcome outcome;
+  outcome.seconds = SecondsSince(t0);
+  for (auto& t : threads) t.join();
+  if (!out.ok()) {
+    std::cerr << out.status().ToString() << "\n";
+    std::exit(1);
+  }
+  for (int s = 0; s < num_silos; ++s) {
+    // The crash-drill silo is expected to report its injected failure.
+    if (s == 0 && fail_at >= 0) continue;
+    if (!silo_status[s].ok()) {
+      std::cerr << "silo " << s << ": " << silo_status[s].ToString() << "\n";
+      std::exit(1);
+    }
+  }
+  outcome.params = out.value();
+  outcome.evictions = server.evictions();
+  outcome.admissions = server.admissions();
+  return outcome;
+}
+
+int Run() {
+  const bool smoke = std::getenv("ULDP_BENCH_SMOKE") != nullptr;
+  const int silos = 3;
+  const int steps = smoke ? 6 : bench::Scaled(12, 48);
+  const int dim = smoke ? 8 : bench::Scaled(64, 256);
+  const int64_t fail_at = steps / 3;
+  const int64_t join_at = 2 * steps / 3;
+
+  std::cout << "membership_churn bench: " << silos << " silos, dim " << dim
+            << ", " << steps << " steps, silo 0 fails at " << fail_at
+            << ", silo " << silos - 1 << " joins at " << join_at << "\n";
+
+  bench::BenchJson json("membership_churn");
+  bool divergence = false;
+
+  // -- 1+2. Static vs churn throughput, churn determinism ------------------
+  ChurnOutcome fixed = RunChannels(MakeConfig(false), silos, dim, steps,
+                                   /*fail_at=*/-1, /*join_at=*/-1);
+  std::vector<std::vector<int>> all_active(
+      steps, [&] {
+        std::vector<int> everyone;
+        for (int s = 0; s < silos; ++s) everyone.push_back(s);
+        return everyone;
+      }());
+  if (fixed.params != ScheduleReference(silos, dim, all_active)) {
+    std::cerr << "FATAL: static run diverges from the serial reference\n";
+    divergence = true;
+  }
+
+  AsyncRoundsConfig churn_config = MakeConfig(true);
+  ChurnOutcome churn =
+      RunChannels(churn_config, silos, dim, steps, fail_at, join_at);
+  std::vector<std::vector<int>> churn_sets;
+  for (int step = 0; step < steps; ++step) {
+    std::vector<int> active;
+    if (step < fail_at) active.push_back(0);
+    for (int s = 1; s < silos - 1; ++s) active.push_back(s);
+    if (step >= join_at) active.push_back(silos - 1);
+    churn_sets.push_back(std::move(active));
+  }
+  if (churn.params != ScheduleReference(silos, dim, churn_sets)) {
+    std::cerr << "FATAL: churn run diverges from its schedule reference\n";
+    divergence = true;
+  }
+
+  const double static_sps = steps / fixed.seconds;
+  const double churn_sps = steps / churn.seconds;
+  json.Add("steps_per_second", static_sps, {{"mode", "static"}});
+  json.Add("steps_per_second", churn_sps, {{"mode", "churn"}});
+  json.Add("evictions", static_cast<double>(churn.evictions));
+  json.Add("admissions", static_cast<double>(churn.admissions));
+  std::cout << "  throughput: static " << static_sps << " steps/s, churn "
+            << churn_sps << " steps/s (evictions " << churn.evictions
+            << ", admissions " << churn.admissions << ")\n";
+
+  // -- 3. Checkpoint/resume bitwise identity -------------------------------
+  char tmpl[] = "/tmp/uldp_churn_bench_XXXXXX";
+  const char* dir = mkdtemp(tmpl);
+  if (dir == nullptr) {
+    std::cerr << "FATAL: cannot create a checkpoint directory\n";
+    return 1;
+  }
+  const int interrupt_at = steps / 2;
+  AsyncRoundsConfig static_config = MakeConfig(false);
+  RunChannels(static_config, silos, dim, interrupt_at, -1, -1, dir,
+              /*checkpoint_every=*/1);
+  ChurnOutcome resumed = RunChannels(static_config, silos, dim, steps, -1, -1,
+                                     dir, /*checkpoint_every=*/0,
+                                     /*resume_to=*/steps);
+  const bool resume_diverged = resumed.params != fixed.params;
+  if (resume_diverged) {
+    std::cerr << "FATAL: resumed run diverges from the uninterrupted run\n";
+  }
+  json.Add("resume_divergence", resume_diverged ? 1.0 : 0.0);
+  std::cout << "  resume: interrupted at " << interrupt_at << "/" << steps
+            << ", resumed run "
+            << (resume_diverged ? "DIVERGED" : "bitwise-identical") << "\n";
+  std::remove((std::string(dir) + "/session.ckpt").c_str());
+  std::remove(dir);
+
+  json.Add("bitwise_divergence", divergence ? 1.0 : 0.0);
+  json.Write();
+  std::cout << "wrote BENCH_membership_churn.json\n";
+  return (divergence || resume_diverged) ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace uldp
+
+int main() { return uldp::Run(); }

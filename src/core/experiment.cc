@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/table.h"
+#include "fl/session.h"
 #include "nn/metrics.h"
 
 namespace uldp {
@@ -18,14 +19,51 @@ Result<std::vector<RoundRecord>> RunExperiment(
   if (data.test_examples().empty()) {
     return Status::InvalidArgument("dataset has no test examples");
   }
+  if (config.resume && config.checkpoint_dir.empty()) {
+    return Status::InvalidArgument("resume requires a checkpoint directory");
+  }
   Rng init_rng(config.init_seed);
   eval_model.InitParams(init_rng);
   Vec global = eval_model.GetParams();
 
+  const std::string ckpt_path =
+      config.checkpoint_dir.empty() ? std::string()
+                                    : config.checkpoint_dir + "/session.ckpt";
+  int start_round = 0;
+  if (config.resume) {
+    auto state = SessionState::ReadFile(ckpt_path);
+    if (!state.ok()) return state.status();
+    if (state.value().seed != config.init_seed) {
+      return Status::InvalidArgument(
+          "checkpoint init seed " + std::to_string(state.value().seed) +
+          " does not match the experiment's " +
+          std::to_string(config.init_seed));
+    }
+    if (state.value().model.size() != global.size()) {
+      return Status::InvalidArgument(
+          "checkpoint model dimension does not match this experiment");
+    }
+    global = std::move(state.value().model);
+    start_round = static_cast<int>(state.value().round);
+    // The restored model already paid for its rounds; replay them into the
+    // trainer's accountant so reported epsilon stays cumulative.
+    algorithm.AccountRestoredRounds(start_round);
+  }
+
   std::vector<RoundRecord> trace;
   trace.reserve(config.rounds / std::max(1, config.eval_every) + 1);
-  for (int round = 0; round < config.rounds; ++round) {
+  for (int round = start_round; round < config.rounds; ++round) {
     ULDP_RETURN_IF_ERROR(algorithm.RunRound(round, global));
+    if (!config.checkpoint_dir.empty() && config.checkpoint_every > 0 &&
+        ((round + 1) % config.checkpoint_every == 0 ||
+         round + 1 == config.rounds)) {
+      SessionState state;
+      state.seed = config.init_seed;
+      state.dim = static_cast<uint32_t>(global.size());
+      state.round = static_cast<uint64_t>(round + 1);
+      state.model = global;
+      ULDP_RETURN_IF_ERROR(state.WriteFile(ckpt_path));
+    }
     if ((round + 1) % std::max(1, config.eval_every) != 0 &&
         round + 1 != config.rounds) {
       continue;

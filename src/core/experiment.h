@@ -26,6 +26,17 @@ struct ExperimentConfig {
   int eval_every = 1;    // evaluate every k rounds
   UtilityMetric metric = UtilityMetric::kAccuracy;
   uint64_t init_seed = 42;  // model initialization seed
+  /// When non-empty, the run writes its session state (fl/session.h) to
+  /// <checkpoint_dir>/session.ckpt every `checkpoint_every` rounds and on
+  /// the final round; with `resume` set it first loads that file and
+  /// continues from the recorded round. Because all training randomness
+  /// comes from Fork(round, silo, ...) substreams, a resumed run is
+  /// bitwise identical to the uninterrupted one on the same seed (the
+  /// trainer's already-spent privacy budget is replayed through
+  /// FlAlgorithm::AccountRestoredRounds).
+  std::string checkpoint_dir;
+  int checkpoint_every = 0;  // <= 0 disables checkpointing
+  bool resume = false;
 };
 
 struct RoundRecord {

@@ -48,6 +48,10 @@ enum class MaskPhase : uint64_t {
   /// pairwise key for the server to relay. One-shot (round is always 0);
   /// the nonce's stream slot carries the destination silo.
   kSeedRelay = 6,
+  /// FL-layer secure aggregation: per-round pairwise masks over the silo
+  /// deltas (fl/local_trainer.h MaskSiloDelta, and the async transport's
+  /// masked mode), indexed by coordinate.
+  kFlAggregation = 7,
 };
 
 /// Phase byte of a packed tag (inverse of MakeMaskTag).

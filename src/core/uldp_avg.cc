@@ -218,4 +218,8 @@ Result<double> UldpAvgTrainer::EpsilonSpent(double delta) const {
   return tracker_.Epsilon(delta);
 }
 
+void UldpAvgTrainer::AccountRestoredRounds(int64_t rounds) {
+  tracker_.AdvanceRounds(rounds);
+}
+
 }  // namespace uldp

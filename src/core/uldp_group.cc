@@ -118,4 +118,8 @@ Result<double> UldpGroupTrainer::EpsilonSpent(double delta) const {
   return tracker_.Epsilon(delta);
 }
 
+void UldpGroupTrainer::AccountRestoredRounds(int64_t rounds) {
+  tracker_.AdvanceRounds(rounds);
+}
+
 }  // namespace uldp

@@ -87,4 +87,8 @@ Result<double> UldpNaiveTrainer::EpsilonSpent(double delta) const {
   return tracker_.Epsilon(delta);
 }
 
+void UldpNaiveTrainer::AccountRestoredRounds(int64_t rounds) {
+  tracker_.AdvanceRounds(rounds);
+}
+
 }  // namespace uldp

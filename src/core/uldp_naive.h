@@ -21,6 +21,7 @@ class UldpNaiveTrainer final : public FlAlgorithm {
 
   Status RunRound(int round, Vec& global_params) override;
   Result<double> EpsilonSpent(double delta) const override;
+  void AccountRestoredRounds(int64_t rounds) override;
   std::string name() const override { return "ULDP-NAIVE"; }
 
  private:

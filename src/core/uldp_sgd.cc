@@ -133,4 +133,8 @@ Result<double> UldpSgdTrainer::EpsilonSpent(double delta) const {
   return tracker_.Epsilon(delta);
 }
 
+void UldpSgdTrainer::AccountRestoredRounds(int64_t rounds) {
+  tracker_.AdvanceRounds(rounds);
+}
+
 }  // namespace uldp

@@ -25,6 +25,7 @@ class UldpSgdTrainer final : public FlAlgorithm {
 
   Status RunRound(int round, Vec& global_params) override;
   Result<double> EpsilonSpent(double delta) const override;
+  void AccountRestoredRounds(int64_t rounds) override;
   std::string name() const override { return name_; }
 
  private:

@@ -110,6 +110,41 @@ void PrivacyTracker::AdvanceRounds(int64_t rounds) {
   }
 }
 
+void PrivacyTracker::RecordMembershipEpoch(uint64_t epoch,
+                                           uint64_t start_round,
+                                           uint32_t active_silos,
+                                           uint64_t user_total) {
+  TrackedEpoch e;
+  e.epoch = epoch;
+  e.start_round = start_round;
+  e.active_silos = active_silos;
+  e.user_total = user_total;
+  membership_epochs_.push_back(e);
+}
+
+Result<double> PrivacyTracker::EpsilonForRounds(int64_t rounds,
+                                                double delta) const {
+  ULDP_CHECK_GE(rounds, 0);
+  if (kind_ == Kind::kNonPrivate) {
+    return std::numeric_limits<double>::infinity();
+  }
+  RdpAccountant acc;
+  int64_t steps =
+      kind_ == Kind::kGroup ? rounds * steps_per_round_ : rounds;
+  acc.AddCurveSteps(step_curve_, steps);
+  if (kind_ == Kind::kGroup) {
+    int k = IsPowerOfTwo(group_k_) ? group_k_ : PrevPowerOfTwo(group_k_);
+    switch (route_) {
+      case GroupConversionRoute::kRdp:
+        return GroupPrivacyEpsilonRdp(acc, k, delta);
+      case GroupConversionRoute::kNormalDp:
+        return GroupPrivacyEpsilonNormalDp(acc, k, delta);
+    }
+    return Status::Internal("unreachable");
+  }
+  return acc.GetEpsilon(delta);
+}
+
 Result<double> PrivacyTracker::Epsilon(double delta) const {
   switch (kind_) {
     case Kind::kGaussian:

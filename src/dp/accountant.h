@@ -62,6 +62,32 @@ class PrivacyTracker {
   /// Epsilon spent so far at the given delta (+inf for NonPrivate).
   Result<double> Epsilon(double delta) const;
 
+  /// One membership epoch as the accountant sees it: the participating
+  /// population between two membership changes (fl/session.h seals these;
+  /// the manager in net/membership.h forwards them here so accounted
+  /// epsilon can be attributed to the users actually present).
+  struct TrackedEpoch {
+    uint64_t epoch = 0;
+    uint64_t start_round = 0;
+    uint32_t active_silos = 0;
+    uint64_t user_total = 0;
+  };
+
+  /// Records a membership change. The composition bound itself is
+  /// population-independent (every round is one user-level mechanism for
+  /// whoever participates), so this only logs; EpsilonForRounds answers
+  /// per-epoch exposure questions over the log.
+  void RecordMembershipEpoch(uint64_t epoch, uint64_t start_round,
+                             uint32_t active_silos, uint64_t user_total);
+  const std::vector<TrackedEpoch>& membership_epochs() const {
+    return membership_epochs_;
+  }
+
+  /// Epsilon a user would spend participating in exactly `rounds` rounds
+  /// (independent of this tracker's advanced state) — the per-epoch
+  /// exposure of a silo that joined late or left early.
+  Result<double> EpsilonForRounds(int64_t rounds, double delta) const;
+
  private:
   enum class Kind { kGaussian, kSubsampled, kGroup, kNonPrivate };
 
@@ -76,6 +102,7 @@ class PrivacyTracker {
   GroupConversionRoute route_;
   RdpAccountant accountant_;
   std::vector<double> step_curve_;  // per-step RDP curve, computed once
+  std::vector<TrackedEpoch> membership_epochs_;
 };
 
 }  // namespace uldp

@@ -43,6 +43,27 @@ namespace {
 const char* kAggFieldPrimeHex =
     "ffffffff00000001000000000000000000000000ffffffffffffffffffffffff";
 
+BigInt AggFieldPrime() {
+  auto prime = BigInt::FromHex(kAggFieldPrimeHex);
+  ULDP_CHECK(prime.ok());
+  return std::move(prime.value());
+}
+
+// Pairwise keys for `party`: in production these come from the DH
+// exchange; the simulation derives them from the public pair id (masks
+// still cancel and the code path is identical).
+std::vector<ChaChaRng::Key> PairwiseAggKeys(int party, int num_parties) {
+  std::vector<ChaChaRng::Key> keys(std::max(num_parties, 2));
+  for (int j = 0; j < num_parties; ++j) {
+    if (j == party) continue;
+    const int lo = std::min(party, j);
+    const int hi = std::max(party, j);
+    keys[j] = ChaChaRng::DeriveKey("agg-sim|" + std::to_string(lo) + "," +
+                                   std::to_string(hi));
+  }
+  return keys;
+}
+
 }  // namespace
 
 double AsyncNoiseMargin(const FlConfig& config, int num_silos) {
@@ -55,51 +76,51 @@ double AsyncNoiseMargin(const FlConfig& config, int num_silos) {
          std::sqrt(static_cast<double>(num_silos) / k);
 }
 
-Vec AggregateDeltas(const std::vector<Vec>& silo_deltas, bool secure,
-                    uint64_t round_tag, ThreadPool* pool) {
-  ULDP_CHECK(!silo_deltas.empty());
-  const size_t dim = silo_deltas[0].size();
-  if (!secure) {
-    return SumVecs(silo_deltas);
+std::vector<BigInt> MaskSiloDelta(const Vec& delta, int party,
+                                  int num_parties, uint64_t round_tag,
+                                  ThreadPool* pool) {
+  const size_t dim = delta.size();
+  BigInt prime = AggFieldPrime();
+  SecureAggregator agg(prime, std::max(num_parties, 2));
+  FixedPointCodec codec(prime, 1e-10);
+  std::vector<BigInt> enc(dim);
+  for (size_t d = 0; d < dim; ++d) {
+    auto e = codec.Encode(delta[d]);
+    ULDP_CHECK_MSG(e.ok(), e.status().ToString());
+    enc[d] = std::move(e.value());
   }
-  const int parties = static_cast<int>(silo_deltas.size());
-  auto prime = BigInt::FromHex(kAggFieldPrimeHex);
-  ULDP_CHECK(prime.ok());
-  SecureAggregator agg(prime.value(), std::max(parties, 2));
-  FixedPointCodec codec(prime.value(), 1e-10);
+  if (num_parties >= 2) {
+    auto keys = PairwiseAggKeys(party, num_parties);
+    auto mask = agg.MaskVector(party, keys, round_tag, dim, pool);
+    agg.AddMasks(enc, mask);
+  }
+  return enc;
+}
 
-  // Pairwise keys: in production these come from the DH exchange; the
-  // simulation derives them from the public pair id (masks still cancel and
-  // the code path is identical).
-  std::vector<std::vector<ChaChaRng::Key>> keys(
-      parties, std::vector<ChaChaRng::Key>(std::max(parties, 2)));
-  for (int i = 0; i < parties; ++i) {
-    for (int j = i + 1; j < parties; ++j) {
-      auto key = ChaChaRng::DeriveKey("agg-sim|" + std::to_string(i) + "," +
-                                      std::to_string(j));
-      keys[i][j] = key;
-      keys[j][i] = key;
-    }
-  }
-
-  std::vector<std::vector<BigInt>> masked(parties);
-  for (int s = 0; s < parties; ++s) {
-    std::vector<BigInt> enc(dim);
-    for (size_t d = 0; d < dim; ++d) {
-      auto e = codec.Encode(silo_deltas[s][d]);
-      ULDP_CHECK_MSG(e.ok(), e.status().ToString());
-      enc[d] = std::move(e.value());
-    }
-    if (parties >= 2) {
-      auto mask = agg.MaskVector(s, keys[s], round_tag, dim, pool);
-      agg.AddMasks(enc, mask);
-    }
-    masked[s] = std::move(enc);
-  }
+Vec UnmaskMaskedSum(const std::vector<std::vector<BigInt>>& masked) {
+  ULDP_CHECK(!masked.empty());
+  const size_t dim = masked[0].size();
+  BigInt prime = AggFieldPrime();
+  SecureAggregator agg(prime, std::max(static_cast<int>(masked.size()), 2));
+  FixedPointCodec codec(prime, 1e-10);
   std::vector<BigInt> total = agg.SumVectors(masked);
   Vec out(dim);
   for (size_t d = 0; d < dim; ++d) out[d] = codec.DecodePlain(total[d]);
   return out;
+}
+
+Vec AggregateDeltas(const std::vector<Vec>& silo_deltas, bool secure,
+                    uint64_t round_tag, ThreadPool* pool) {
+  ULDP_CHECK(!silo_deltas.empty());
+  if (!secure) {
+    return SumVecs(silo_deltas);
+  }
+  const int parties = static_cast<int>(silo_deltas.size());
+  std::vector<std::vector<BigInt>> masked(parties);
+  for (int s = 0; s < parties; ++s) {
+    masked[s] = MaskSiloDelta(silo_deltas[s], s, parties, round_tag, pool);
+  }
+  return UnmaskMaskedSum(masked);
 }
 
 }  // namespace uldp

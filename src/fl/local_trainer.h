@@ -12,6 +12,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "data/dataset.h"
+#include "math/bigint.h"
 #include "nn/model.h"
 
 namespace uldp {
@@ -112,6 +113,12 @@ class FlAlgorithm {
   /// (+infinity for non-private baselines).
   virtual Result<double> EpsilonSpent(double delta) const = 0;
 
+  /// Charges the accountant for `rounds` rounds that ran before this
+  /// process started (checkpoint resume: the restored model already paid
+  /// that privacy budget, so EpsilonSpent must report it). Default no-op
+  /// — correct for non-private baselines.
+  virtual void AccountRestoredRounds(int64_t rounds) { (void)rounds; }
+
   virtual std::string name() const = 0;
 };
 
@@ -139,6 +146,20 @@ double AsyncNoiseMargin(const FlConfig& config, int num_silos);
 /// round engine) pass their own pool so the knob stays authoritative.
 Vec AggregateDeltas(const std::vector<Vec>& silo_deltas, bool secure,
                     uint64_t round_tag, ThreadPool* pool = nullptr);
+
+/// One party's side of the secure reduce, split out so a real transport
+/// can ship masked vectors instead of plain deltas (net/async_rounds.h
+/// masked mode): fixed-point-encodes `delta` and adds this party's
+/// pairwise masks for round `round_tag`. Masking every party and summing
+/// with UnmaskMaskedSum is bitwise identical to
+/// AggregateDeltas(..., secure=true, ...) on the same inputs.
+std::vector<BigInt> MaskSiloDelta(const Vec& delta, int party,
+                                  int num_parties, uint64_t round_tag,
+                                  ThreadPool* pool = nullptr);
+
+/// The server's side: sums the masked vectors (masks cancel) and decodes
+/// the fixed-point total back to doubles.
+Vec UnmaskMaskedSum(const std::vector<std::vector<BigInt>>& masked);
 
 }  // namespace uldp
 

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "fl/local_trainer.h"
+#include "fl/session.h"
 
 namespace uldp {
 
@@ -60,6 +61,43 @@ int AsyncAggregator::Offer(int silo, int pull_version, Vec delta) {
   return staleness;
 }
 
+void AsyncAggregator::BindSession(SessionState* session) {
+  session_ = session;
+  if (session_ == nullptr) return;
+  // Adopt, then mirror: a restored session carries the interrupted run's
+  // counters; a fresh session carries zeros (same as ours).
+  version_ = static_cast<int>(session_->round);
+  stats_.applied = session_->stats.applied;
+  stats_.rejected = session_->stats.rejected;
+  stats_.dropped = session_->stats.dropped;
+  stats_.steps = session_->stats.steps;
+  stats_.max_staleness_seen = session_->stats.max_staleness_seen;
+  SyncSession();
+}
+
+void AsyncAggregator::SyncSession() {
+  if (session_ == nullptr) return;
+  session_->round = static_cast<uint64_t>(version_);
+  session_->stats.applied = stats_.applied;
+  session_->stats.rejected = stats_.rejected;
+  session_->stats.dropped = stats_.dropped;
+  session_->stats.steps = stats_.steps;
+  session_->stats.max_staleness_seen = stats_.max_staleness_seen;
+}
+
+void AsyncAggregator::DropSilo(int silo) {
+  auto removed = std::remove_if(
+      entries_.begin(), entries_.end(),
+      [silo](const Entry& e) { return e.silo == silo; });
+  stats_.dropped += entries_.end() - removed;
+  entries_.erase(removed, entries_.end());
+  SyncSession();
+}
+
+void AsyncAggregator::SetBufferSize(int buffer_size) {
+  buffer_size_ = std::max(1, std::min(buffer_size, num_silos_));
+}
+
 Vec AsyncAggregator::Flush(bool secure, uint64_t round_tag, ThreadPool* pool) {
   ULDP_CHECK(!entries_.empty());
   // Deterministic reduce order: a silo contributes at most once per pulled
@@ -77,6 +115,9 @@ Vec AsyncAggregator::Flush(bool secure, uint64_t round_tag, ThreadPool* pool) {
   entries_.clear();
   ++version_;
   ++stats_.steps;
+  // Offers since the last flush updated stats_ too, so one mirror per
+  // step keeps the bound session exactly current at checkpoint time.
+  SyncSession();
   return AggregateDeltas(deltas, secure, round_tag, pool);
 }
 
@@ -245,6 +286,9 @@ Status RoundEngine::StartAsync(AsyncLocalWork work, AsyncOptions options) {
   async_ = std::make_unique<AsyncState>(num_silos_, options);
   async_->work = std::move(work);
   async_->secure = config_.secure_aggregation;
+  // Binding adopts the session's round counter, so a resumed engine's
+  // first StepAsync call must pass session->round, not 0.
+  async_->aggregator.BindSession(options.session);
   if (options.arrival_schedule.empty()) {
     const int workers = std::min(num_silos_, pool_->num_threads());
     async_->workers.reserve(workers);

@@ -37,6 +37,7 @@
 namespace uldp {
 
 struct FlConfig;
+struct SessionState;
 
 struct RoundEngineConfig {
   /// <= 0 resolves via ThreadPool::DefaultThreadCount().
@@ -60,6 +61,12 @@ struct AsyncOptions {
   /// makes an async run fully deterministic. Empty = real completion
   /// order on worker threads.
   std::vector<int> arrival_schedule;
+  /// When set, the engine's aggregator binds to this session (fl/session.h):
+  /// it adopts the session's round counter and cumulative stats at
+  /// StartAsync and mirrors them back after every flush — StepAsync then
+  /// resumes at session->round, which is how checkpoint-resume continues a
+  /// run bitwise-identically. Not owned; must outlive async mode.
+  SessionState* session = nullptr;
 };
 
 /// Async-mode settings carried by the shared FL hyper-parameter block.
@@ -71,6 +78,9 @@ struct AsyncStats {
   int64_t applied = 0;
   int64_t rejected = 0;
   int64_t steps = 0;
+  /// Accepted offers later discarded because their silo was evicted
+  /// before the flush (elastic membership only).
+  int64_t dropped = 0;
   /// Largest accepted staleness.
   int max_staleness_seen = 0;
 };
@@ -113,7 +123,25 @@ class AsyncAggregator {
 
   const AsyncStats& stats() const { return stats_; }
 
+  /// Binds this aggregator to a session (fl/session.h): the version and
+  /// cumulative stats are ADOPTED from the session now (resume), and
+  /// mirrored back after every Flush/DropSilo. Pass nullptr to unbind.
+  /// Unbound aggregators behave exactly as before.
+  void BindSession(SessionState* session);
+
+  /// Discards any buffered entries from `silo` (eviction/leave): they
+  /// count as `dropped`, not un-applied — `applied` keeps meaning
+  /// "offers accepted".
+  void DropSilo(int silo);
+
+  /// Elastic membership shrinks/grows the flush threshold with the active
+  /// population; clamped to [1, num_silos].
+  void SetBufferSize(int buffer_size);
+
  private:
+  /// Mirrors version + stats into the bound session (no-op unbound).
+  void SyncSession();
+
   struct Entry {
     int pull_version;
     int silo;
@@ -125,6 +153,7 @@ class AsyncAggregator {
   int version_ = 0;
   std::vector<Entry> entries_;
   AsyncStats stats_;
+  SessionState* session_ = nullptr;
 };
 
 /// Schedules per-silo round work across threads and reduces the results.

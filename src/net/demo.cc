@@ -1,6 +1,7 @@
 #include "net/demo.h"
 
 #include <chrono>
+#include <string>
 #include <thread>
 #include <utility>
 
@@ -66,11 +67,39 @@ MakeAsyncDemoWork(uint64_t seed, int silo, int dim, double sleep_seconds) {
 
 Status RunAsyncDemoSilo(const AsyncRoundsConfig& config, int silo_id,
                         int num_silos, int dim, Transport& transport,
-                        double sleep_seconds) {
+                        const AsyncDemoOptions& options) {
   AsyncRoundClient client(config, silo_id, num_silos, dim);
-  return client.Run(transport,
-                    MakeAsyncDemoWork(config.seed, silo_id, dim,
-                                      sleep_seconds));
+  auto work = MakeAsyncDemoWork(config.seed, silo_id, dim,
+                                options.sleep_seconds);
+  if (options.fail_at_version >= 0) {
+    // Crash drill: drop the connection mid-run with no goodbye frame, the
+    // way a dying process would — the elastic server must evict us.
+    const uint64_t fail_at = static_cast<uint64_t>(options.fail_at_version);
+    auto inner = std::move(work);
+    work = [&transport, fail_at, inner](uint64_t version, const Vec& params,
+                                        Vec* delta) {
+      if (version >= fail_at) {
+        transport.Close();
+        return Status::Internal("injected silo failure at version " +
+                                std::to_string(version));
+      }
+      return inner(version, params, delta);
+    };
+  }
+  AsyncClientOptions client_options;
+  client_options.join_min_version = options.join_at_version;
+  client_options.leave_after_version = options.leave_at_version;
+  client_options.user_count = options.user_count;
+  return client.Run(transport, work, client_options);
+}
+
+Status RunAsyncDemoSilo(const AsyncRoundsConfig& config, int silo_id,
+                        int num_silos, int dim, Transport& transport,
+                        double sleep_seconds) {
+  AsyncDemoOptions options;
+  options.sleep_seconds = sleep_seconds;
+  return RunAsyncDemoSilo(config, silo_id, num_silos, dim, transport,
+                          options);
 }
 
 }  // namespace net

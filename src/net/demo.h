@@ -51,10 +51,30 @@ std::function<Status(uint64_t version, const Vec& params, Vec* delta)>
 MakeAsyncDemoWork(uint64_t seed, int silo, int dim,
                   double sleep_seconds = 0.0);
 
+/// Fault-injection and elastic-membership knobs for the async demo silo.
+struct AsyncDemoOptions {
+  /// Compute-time straggler injection (the bench's knob).
+  double sleep_seconds = 0.0;
+  /// >= 0: crash (close the transport mid-run without a goodbye) when
+  /// released with this version — the eviction drill.
+  int64_t fail_at_version = -1;
+  /// >= 0: join elastically, asking for a model version >= this.
+  int64_t join_at_version = -1;
+  /// >= 0: leave voluntarily when released with this version.
+  int64_t leave_at_version = -1;
+  /// Users announced on an elastic join.
+  uint32_t user_count = 1;
+};
+
 /// Runs one async-round silo client over `transport` with the demo work.
 Status RunAsyncDemoSilo(const AsyncRoundsConfig& config, int silo_id,
                         int num_silos, int dim, Transport& transport,
-                        double sleep_seconds = 0.0);
+                        const AsyncDemoOptions& options = {});
+
+/// Back-compat overload taking just the straggler knob.
+Status RunAsyncDemoSilo(const AsyncRoundsConfig& config, int silo_id,
+                        int num_silos, int dim, Transport& transport,
+                        double sleep_seconds);
 
 }  // namespace net
 }  // namespace uldp

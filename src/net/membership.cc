@@ -1,0 +1,134 @@
+#include "net/membership.h"
+
+namespace uldp {
+namespace net {
+
+void JoinRequestMsg::AppendTo(WireWriter& w) const {
+  w.U32(silo_id);
+  w.U32(num_silos);
+  w.U32(dim);
+  w.U32(user_count);
+  w.U64(min_version);
+  w.U64(config_digest);
+}
+
+Result<JoinRequestMsg> JoinRequestMsg::Parse(WireReader& r) {
+  JoinRequestMsg m;
+  ULDP_RETURN_IF_ERROR(r.U32(&m.silo_id));
+  ULDP_RETURN_IF_ERROR(r.U32(&m.num_silos));
+  ULDP_RETURN_IF_ERROR(r.U32(&m.dim));
+  ULDP_RETURN_IF_ERROR(r.U32(&m.user_count));
+  ULDP_RETURN_IF_ERROR(r.U64(&m.min_version));
+  ULDP_RETURN_IF_ERROR(r.U64(&m.config_digest));
+  return m;
+}
+
+void LeaveMsg::AppendTo(WireWriter& w) const {
+  w.U32(silo_id);
+  w.U64(version);
+}
+
+Result<LeaveMsg> LeaveMsg::Parse(WireReader& r) {
+  LeaveMsg m;
+  ULDP_RETURN_IF_ERROR(r.U32(&m.silo_id));
+  ULDP_RETURN_IF_ERROR(r.U64(&m.version));
+  return m;
+}
+
+void EvictMsg::AppendTo(WireWriter& w) const {
+  w.U32(silo_id);
+  w.U64(version);
+  w.U16(code);
+  std::vector<uint8_t> bytes(reason.begin(), reason.end());
+  w.Bytes(bytes);
+}
+
+Result<EvictMsg> EvictMsg::Parse(WireReader& r) {
+  EvictMsg m;
+  ULDP_RETURN_IF_ERROR(r.U32(&m.silo_id));
+  ULDP_RETURN_IF_ERROR(r.U64(&m.version));
+  ULDP_RETURN_IF_ERROR(r.U16(&m.code));
+  std::vector<uint8_t> bytes;
+  ULDP_RETURN_IF_ERROR(r.Bytes(&bytes));
+  m.reason.assign(bytes.begin(), bytes.end());
+  return m;
+}
+
+MembershipManager::MembershipManager(SessionState* session,
+                                     PrivacyTracker* tracker)
+    : session_(session), tracker_(tracker) {}
+
+Status MembershipManager::Join(uint32_t silo_id, uint32_t user_count,
+                               uint64_t version) {
+  if (user_count < 1) {
+    return Status::InvalidArgument("silo " + std::to_string(silo_id) +
+                                   " joined with zero users");
+  }
+  SiloMember* existing = session_->Find(silo_id);
+  if (existing != nullptr && (existing->status == SiloStatus::kJoined ||
+                              existing->status == SiloStatus::kActive)) {
+    return Status::FailedPrecondition(
+        "silo " + std::to_string(silo_id) + " is already " +
+        SiloStatusName(existing->status));
+  }
+  SiloMember& m = session_->Upsert(silo_id);
+  m.status = SiloStatus::kJoined;
+  m.join_round = version;
+  m.depart_round = 0;
+  m.last_version = version;
+  m.user_count = user_count;
+  m.weight = 0.0;
+  return Status::Ok();
+}
+
+Status MembershipManager::Activate(uint32_t silo_id, uint64_t version) {
+  SiloMember* m = session_->Find(silo_id);
+  if (m == nullptr || m->status != SiloStatus::kJoined) {
+    return Status::FailedPrecondition(
+        "silo " + std::to_string(silo_id) + " is not awaiting admission (" +
+        (m == nullptr ? "unknown" : SiloStatusName(m->status)) + ")");
+  }
+  m->status = SiloStatus::kActive;
+  m->join_round = version;
+  return Status::Ok();
+}
+
+Status MembershipManager::Leave(uint32_t silo_id, uint64_t version) {
+  SiloMember* m = session_->Find(silo_id);
+  if (m == nullptr || m->status != SiloStatus::kActive) {
+    return Status::FailedPrecondition(
+        "silo " + std::to_string(silo_id) + " cannot leave (" +
+        (m == nullptr ? "unknown" : SiloStatusName(m->status)) + ")");
+  }
+  m->status = SiloStatus::kLeft;
+  m->depart_round = version;
+  m->weight = 0.0;
+  return Status::Ok();
+}
+
+Status MembershipManager::Evict(uint32_t silo_id, uint64_t version) {
+  SiloMember* m = session_->Find(silo_id);
+  if (m == nullptr || (m->status != SiloStatus::kActive &&
+                       m->status != SiloStatus::kJoined)) {
+    return Status::FailedPrecondition(
+        "silo " + std::to_string(silo_id) + " cannot be evicted (" +
+        (m == nullptr ? "unknown" : SiloStatusName(m->status)) + ")");
+  }
+  m->status = SiloStatus::kEvicted;
+  m->depart_round = version;
+  m->weight = 0.0;
+  return Status::Ok();
+}
+
+const MembershipEpochRecord& MembershipManager::SealEpoch(
+    uint64_t start_round) {
+  const MembershipEpochRecord& record = session_->SealEpoch(start_round);
+  if (tracker_ != nullptr) {
+    tracker_->RecordMembershipEpoch(record.epoch, record.start_round,
+                                    record.active_silos, record.user_total);
+  }
+  return record;
+}
+
+}  // namespace net
+}  // namespace uldp

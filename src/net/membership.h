@@ -1,0 +1,110 @@
+// Dynamic membership for the elastic round server: the wire messages a
+// silo uses to join mid-run, leave cleanly, or learn it was evicted, plus
+// the MembershipManager that applies those transitions to a SessionState
+// and keeps reweighting + DP accounting in lockstep with the population.
+//
+// Transition discipline (enforced here, not scattered across the server):
+//
+//   JoinRequest  -> Join()     row status kJoined (admission pending)
+//   flush bound. -> Activate() kJoined -> kActive
+//   Leave frame  -> Leave()    kActive -> kLeft
+//   dead/faulty  -> Evict()    kActive -> kEvicted
+//
+// None of the transitions recompute weights by themselves — the server
+// batches all changes that take effect at one flush boundary and calls
+// SealEpoch() once, which recomputes the per-silo weights for the new
+// population, appends a MembershipEpochRecord to the session, and mirrors
+// it into the PrivacyTracker (when one is attached) so accounted epsilon
+// can be attributed to each epoch's actual participants.
+
+#ifndef ULDP_NET_MEMBERSHIP_H_
+#define ULDP_NET_MEMBERSHIP_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "dp/accountant.h"
+#include "fl/session.h"
+#include "net/messages.h"
+
+namespace uldp {
+namespace net {
+
+/// Silo -> server, first frame on a connection when the silo wants
+/// elastic admission (the fixed-cohort JoinMsg handshake stays for static
+/// runs). `min_version` lets a late joiner insist on a model at least
+/// that fresh; 0 means "whenever the next flush lands".
+struct JoinRequestMsg {
+  static constexpr MessageType kType = MessageType::kJoinRequest;
+  uint32_t silo_id = 0;
+  uint32_t num_silos = 0;
+  uint32_t dim = 0;
+  uint32_t user_count = 1;
+  uint64_t min_version = 0;
+  uint64_t config_digest = 0;
+  void AppendTo(WireWriter& w) const;
+  static Result<JoinRequestMsg> Parse(WireReader& r);
+};
+
+/// Silo -> server: voluntary departure after completing the task pulled
+/// at `version`. The server drops any still-buffered updates from this
+/// silo and reweights at the next flush boundary.
+struct LeaveMsg {
+  static constexpr MessageType kType = MessageType::kLeave;
+  uint32_t silo_id = 0;
+  uint64_t version = 0;
+  void AppendTo(WireWriter& w) const;
+  static Result<LeaveMsg> Parse(WireReader& r);
+};
+
+/// Server -> silo: declared dead or faulty at `version`; the connection
+/// is closed after this frame. `code` is the StatusCode of the cause.
+struct EvictMsg {
+  static constexpr MessageType kType = MessageType::kEvict;
+  uint32_t silo_id = 0;
+  uint64_t version = 0;
+  uint16_t code = 0;  // StatusCode
+  std::string reason;
+  void AppendTo(WireWriter& w) const;
+  static Result<EvictMsg> Parse(WireReader& r);
+};
+
+/// Applies membership transitions to a bound SessionState. Plain state
+/// machine over the session's membership table — no locking, no I/O; the
+/// owning server serializes calls.
+class MembershipManager {
+ public:
+  /// Neither pointer is owned; `tracker` may be null (no DP mirroring).
+  explicit MembershipManager(SessionState* session,
+                             PrivacyTracker* tracker = nullptr);
+
+  /// Registers `silo_id` as kJoined at version `version` (admission
+  /// happens at the next flush via Activate). Fails when the silo is
+  /// currently joined or active; a departed silo may rejoin, which
+  /// resets its row.
+  Status Join(uint32_t silo_id, uint32_t user_count, uint64_t version);
+
+  /// kJoined -> kActive (the admission boundary).
+  Status Activate(uint32_t silo_id, uint64_t version);
+
+  /// kActive -> kLeft at `version`.
+  Status Leave(uint32_t silo_id, uint64_t version);
+
+  /// kActive/kJoined -> kEvicted at `version`.
+  Status Evict(uint32_t silo_id, uint64_t version);
+
+  /// Seals the epoch after a batch of transitions: recomputes weights for
+  /// the new population, appends the epoch record starting at
+  /// `start_round`, and mirrors it into the tracker.
+  const MembershipEpochRecord& SealEpoch(uint64_t start_round);
+
+ private:
+  SessionState* session_;
+  PrivacyTracker* tracker_;
+};
+
+}  // namespace net
+}  // namespace uldp
+
+#endif  // ULDP_NET_MEMBERSHIP_H_

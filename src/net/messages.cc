@@ -4,13 +4,17 @@ namespace uldp {
 namespace net {
 
 // FNV-1a over the canonical wire serialization of a public config.
-uint64_t WireDigest(const std::vector<uint8_t>& bytes) {
+uint64_t WireDigest(const uint8_t* data, size_t size) {
   uint64_t h = 1469598103934665603ull;
-  for (uint8_t b : bytes) {
-    h ^= b;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= data[i];
     h *= 1099511628211ull;
   }
   return h;
+}
+
+uint64_t WireDigest(const std::vector<uint8_t>& bytes) {
+  return WireDigest(bytes.data(), bytes.size());
 }
 
 uint64_t ProtocolWireDigest(const ProtocolConfig& config, int num_silos,

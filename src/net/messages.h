@@ -47,6 +47,9 @@ enum class MessageType : uint16_t {
   kStreamBegin = 20,
   kStreamChunk = 21,
   kStreamAck = 22,
+  kJoinRequest = 23,
+  kLeave = 24,
+  kEvict = 25,
 };
 
 /// What a chunked stream carries — determines which monolithic message the
@@ -66,6 +69,7 @@ enum class StreamKind : uint8_t {
 /// FNV-1a over a canonical wire serialization — the digest primitive
 /// behind every Join-handshake config check.
 uint64_t WireDigest(const std::vector<uint8_t>& bytes);
+uint64_t WireDigest(const uint8_t* data, size_t size);
 
 /// Digest of the public protocol configuration plus the cohort shape.
 /// Join handshakes compare digests so a silo started with mismatched

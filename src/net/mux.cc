@@ -147,6 +147,22 @@ class MuxBase : public FrameMux {
     }
   }
 
+  void InterruptPeer(int peer, Status status) override {
+    Transport* t = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (peer < 0 || peer >= static_cast<int>(peers_.size())) return;
+      PeerState& st = state_[peer];
+      st.frames.clear();
+      MarkTerminalLocked(peer, std::move(status));
+      // Retired, not failed: RecvAny must never surface this peer again.
+      st.terminal_reported = true;
+      t = peers_[peer];
+    }
+    cv_.notify_all();
+    t->Interrupt();
+  }
+
  protected:
   struct PeerState {
     std::deque<Frame> frames;
@@ -155,9 +171,25 @@ class MuxBase : public FrameMux {
     bool terminal_reported = false;
   };
 
+  /// Appends a peer on a running mux; the backend wires up its receive
+  /// path (reader thread / epoll registration) afterwards.
+  Result<int> RegisterPeerLocked(Transport* t) {
+    if (t == nullptr) return Status::InvalidArgument("mux: null transport");
+    if (!started_ || stopped_) {
+      return Status::FailedPrecondition(
+          "mux: AddPeer needs a started, un-shutdown mux");
+    }
+    peers_.push_back(t);
+    state_.emplace_back();
+    return static_cast<int>(peers_.size()) - 1;
+  }
+
   void Deliver(int peer, Frame frame) {
     {
       std::lock_guard<std::mutex> lock(mu_);
+      // A frame racing an InterruptPeer retire is dropped, not queued —
+      // the caller already declared this peer gone.
+      if (state_[peer].is_terminal) return;
       state_[peer].frames.push_back(std::move(frame));
     }
     cv_.notify_all();
@@ -220,21 +252,27 @@ class ThreadedFrameMux final : public MuxBase {
     }
     readers_.reserve(peers_.size());
     for (size_t i = 0; i < peers_.size(); ++i) {
-      readers_.emplace_back([this, i] {
-        for (;;) {
-          auto frame = peers_[i]->Recv();
-          if (!frame.ok()) {
-            MarkTerminal(static_cast<int>(i), frame.status());
-            return;
-          }
-          Deliver(static_cast<int>(i), std::move(frame.value()));
-        }
-      });
+      // Capture the Transport* itself: AddPeer may reallocate peers_
+      // while this thread runs, so indexing from here would race.
+      Transport* t = peers_[i];
+      readers_.emplace_back(
+          [this, i, t] { ReadLoop(static_cast<int>(i), t); });
     }
     return Status::Ok();
   }
 
+  Result<int> AddPeer(Transport* t) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto peer = RegisterPeerLocked(t);
+    if (!peer.ok()) return peer;
+    readers_.emplace_back(
+        [this, peer = peer.value(), t] { ReadLoop(peer, t); });
+    return peer;
+  }
+
   void Shutdown() override {
+    std::vector<Transport*> peers;
+    std::vector<std::thread> readers;
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (stopped_ || !started_) {
@@ -244,15 +282,28 @@ class ThreadedFrameMux final : public MuxBase {
         return;
       }
       stopped_ = true;
+      peers = peers_;
+      readers.swap(readers_);
     }
     cv_.notify_all();
-    for (Transport* t : peers_) t->Interrupt();
-    for (std::thread& t : readers_) {
+    for (Transport* t : peers) t->Interrupt();
+    for (std::thread& t : readers) {
       if (t.joinable()) t.join();
     }
   }
 
  private:
+  void ReadLoop(int peer, Transport* t) {
+    for (;;) {
+      auto frame = t->Recv();
+      if (!frame.ok()) {
+        MarkTerminal(peer, frame.status());
+        return;
+      }
+      Deliver(peer, std::move(frame.value()));
+    }
+  }
+
   std::vector<std::thread> readers_;
 };
 
@@ -313,7 +364,34 @@ class EpollFrameMux final : public MuxBase {
     return Status::Ok();
   }
 
+  Result<int> AddPeer(Transport* t) override {
+    if (t != nullptr && t->NativeHandle() < 0) {
+      return Status::InvalidArgument(
+          "epoll mux requires kernel-backed transports");
+    }
+    int peer = -1;
+    int epfd = -1;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto registered = RegisterPeerLocked(t);
+      if (!registered.ok()) return registered;
+      peer = registered.value();
+      epfd = epoll_fds_[peer % epoll_fds_.size()];
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLRDHUP;
+    ev.data.u64 = static_cast<uint64_t>(peer);
+    // Level-triggered: bytes already queued on the socket wake the loop
+    // immediately, so nothing sent before registration is lost.
+    if (::epoll_ctl(epfd, EPOLL_CTL_ADD, t->NativeHandle(), &ev) != 0) {
+      MarkTerminal(peer, Status::Internal(std::string("epoll_ctl: ") +
+                                          std::strerror(errno)));
+    }
+    return peer;
+  }
+
   void Shutdown() override {
+    std::vector<Transport*> peers;
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (stopped_ || !started_) {
@@ -323,10 +401,11 @@ class EpollFrameMux final : public MuxBase {
         return;
       }
       stopped_ = true;
+      peers = peers_;
     }
     cv_.notify_all();
     loop_stop_.store(true);
-    for (Transport* t : peers_) t->Interrupt();
+    for (Transport* t : peers) t->Interrupt();
     for (std::thread& t : loops_) {
       if (t.joinable()) t.join();
     }
@@ -351,7 +430,12 @@ class EpollFrameMux final : public MuxBase {
         if (errno == EINTR) continue;
         // An unusable epoll set fails every peer of this loop rather than
         // spinning.
-        for (size_t i = static_cast<size_t>(k); i < peers_.size();
+        size_t peer_count;
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          peer_count = peers_.size();
+        }
+        for (size_t i = static_cast<size_t>(k); i < peer_count;
              i += epoll_fds_.size()) {
           MarkTerminal(static_cast<int>(i),
                        Status::Internal(std::string("epoll_wait: ") +
@@ -366,7 +450,14 @@ class EpollFrameMux final : public MuxBase {
   }
 
   void DrainPeer(int k, int peer) {
-    Transport* t = peers_[peer];
+    Transport* t;
+    {
+      // peers_ grows under mu_ (AddPeer); snapshot the pointer instead of
+      // holding a reference into a vector that may reallocate.
+      std::lock_guard<std::mutex> lock(mu_);
+      if (peer < 0 || peer >= static_cast<int>(peers_.size())) return;
+      t = peers_[peer];
+    }
     for (;;) {
       Frame frame;
       auto complete = t->TryReadFrame(&frame);

@@ -69,6 +69,23 @@ class FrameMux {
   /// Interrupts every transport and joins all mux threads. Idempotent;
   /// pending RecvFrom/RecvAny callers fail promptly.
   virtual void Shutdown() = 0;
+
+  /// Registers a transport on a running mux and returns its peer index
+  /// (indices only grow; existing peers keep theirs) — the elastic
+  /// server's mid-run admission path. The transport is borrowed like the
+  /// Start-time peers and must outlive the mux. Fails before Start or
+  /// after Shutdown; the epoll backend also rejects transports without a
+  /// kernel handle.
+  virtual Result<int> AddPeer(Transport* peer) = 0;
+
+  /// Retires one peer: any queued frames are dropped, its terminal status
+  /// becomes `status` without ever being surfaced through RecvAny, and
+  /// its transport is interrupted so a blocked reader returns now instead
+  /// of at the recv deadline — eviction support, and the membership-aware
+  /// owed-frame settle at shutdown (an evicted silo is never waited on).
+  /// Out-of-range indices are ignored; a peer already terminal keeps its
+  /// first status but still stops being surfaced.
+  virtual void InterruptPeer(int peer, Status status) = 0;
 };
 
 /// Picks EpollFrameMux when every transport has a NativeHandle, else

@@ -262,6 +262,10 @@ Result<std::unique_ptr<TcpTransport>> TcpListener::Accept() {
 
 void TcpListener::Close() {
   if (fd_ >= 0) {
+    // close() alone does not wake a thread blocked in accept() on this
+    // fd; shutdown() does (the pending accept fails with EINVAL), which
+    // is what lets an elastic server's acceptor thread be joined.
+    ::shutdown(fd_, SHUT_RDWR);
     ::close(fd_);
     fd_ = -1;
   }

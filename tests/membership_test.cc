@@ -1,0 +1,389 @@
+// Elastic membership (net/membership.h + the elastic AsyncRoundServer):
+// the transition state machine, epoch sealing with reweighting and DP
+// mirroring, and deterministic churn schedules over channels — eviction
+// of a crashed silo, mid-run admission of a late joiner, voluntary
+// leaves, and the masked (secure-aggregation) transport — each compared
+// bitwise against a hand-driven serial reference of the same schedule.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "dp/accountant.h"
+#include "fl/local_trainer.h"
+#include "fl/round_engine.h"
+#include "fl/session.h"
+#include "net/async_rounds.h"
+#include "net/demo.h"
+#include "net/membership.h"
+#include "net/transport.h"
+
+namespace uldp {
+namespace {
+
+constexpr uint64_t kWorkSeed = 77;
+constexpr double kStepScale = 0.25;
+
+// ---------------------------------------------------------------------------
+// Transition discipline
+
+TEST(MembershipManagerTest, TransitionDisciplineIsEnforced) {
+  SessionState session;
+  net::MembershipManager manager(&session);
+
+  ASSERT_TRUE(manager.Join(3, /*user_count=*/5, /*version=*/2).ok());
+  EXPECT_EQ(session.Find(3)->status, SiloStatus::kJoined);
+  // Joining again while joined/active is an error.
+  EXPECT_FALSE(manager.Join(3, 5, 2).ok());
+  // A joined silo cannot leave (it never participated)...
+  EXPECT_FALSE(manager.Leave(3, 2).ok());
+  // ...but it can be evicted (it may die before admission).
+  ASSERT_TRUE(manager.Activate(3, 3).ok());
+  EXPECT_EQ(session.Find(3)->status, SiloStatus::kActive);
+  EXPECT_EQ(session.Find(3)->join_round, 3u);
+  EXPECT_FALSE(manager.Activate(3, 3).ok());  // already active
+  ASSERT_TRUE(manager.Leave(3, 6).ok());
+  EXPECT_EQ(session.Find(3)->status, SiloStatus::kLeft);
+  EXPECT_EQ(session.Find(3)->depart_round, 6u);
+  // Departed silos are inert until they rejoin.
+  EXPECT_FALSE(manager.Leave(3, 7).ok());
+  EXPECT_FALSE(manager.Evict(3, 7).ok());
+  // Transitions on unknown silos are errors, not silent row creation.
+  EXPECT_FALSE(manager.Activate(9, 0).ok());
+  EXPECT_FALSE(manager.Leave(9, 0).ok());
+  EXPECT_FALSE(manager.Evict(9, 0).ok());
+
+  // Rejoining resets the row for a fresh tenure.
+  ASSERT_TRUE(manager.Join(3, /*user_count=*/2, /*version=*/8).ok());
+  ASSERT_TRUE(manager.Activate(3, 9).ok());
+  EXPECT_EQ(session.Find(3)->status, SiloStatus::kActive);
+  EXPECT_EQ(session.Find(3)->join_round, 9u);
+  EXPECT_EQ(session.Find(3)->user_count, 2u);
+  EXPECT_EQ(session.Find(3)->depart_round, 0u);
+
+  // Eviction also works straight from kJoined.
+  ASSERT_TRUE(manager.Join(4, 1, 9).ok());
+  ASSERT_TRUE(manager.Evict(4, 9).ok());
+  EXPECT_EQ(session.Find(4)->status, SiloStatus::kEvicted);
+}
+
+TEST(MembershipManagerTest, SealEpochReweightsAndMirrorsIntoTracker) {
+  SessionState session;
+  PrivacyTracker tracker = PrivacyTracker::ForGaussian(5.0);
+  net::MembershipManager manager(&session, &tracker);
+
+  for (uint32_t s = 0; s < 3; ++s) {
+    ASSERT_TRUE(manager.Join(s, /*user_count=*/s + 1, 0).ok());
+    ASSERT_TRUE(manager.Activate(s, 0).ok());
+  }
+  const MembershipEpochRecord& first = manager.SealEpoch(0);
+  EXPECT_EQ(first.epoch, 1u);
+  EXPECT_EQ(first.active_silos, 3u);
+  EXPECT_EQ(first.user_total, 6u);  // 1 + 2 + 3
+  for (uint32_t s = 0; s < 3; ++s) {
+    EXPECT_EQ(session.Find(s)->weight, 1.0 / 3);
+  }
+
+  ASSERT_TRUE(manager.Evict(1, 4).ok());
+  const MembershipEpochRecord& second = manager.SealEpoch(4);
+  EXPECT_EQ(second.epoch, 2u);
+  EXPECT_EQ(second.start_round, 4u);
+  EXPECT_EQ(second.active_silos, 2u);
+  EXPECT_EQ(second.user_total, 4u);  // users 1 and 3 remain
+  EXPECT_EQ(session.Find(0)->weight, 0.5);
+  EXPECT_EQ(session.Find(1)->weight, 0.0);
+  EXPECT_EQ(session.Find(2)->weight, 0.5);
+
+  // Every sealed epoch is mirrored into the accountant, field for field.
+  ASSERT_EQ(tracker.membership_epochs().size(), session.epochs.size());
+  for (size_t i = 0; i < session.epochs.size(); ++i) {
+    EXPECT_EQ(tracker.membership_epochs()[i].epoch, session.epochs[i].epoch);
+    EXPECT_EQ(tracker.membership_epochs()[i].start_round,
+              session.epochs[i].start_round);
+    EXPECT_EQ(tracker.membership_epochs()[i].active_silos,
+              session.epochs[i].active_silos);
+    EXPECT_EQ(tracker.membership_epochs()[i].user_total,
+              session.epochs[i].user_total);
+  }
+}
+
+TEST(MembershipManagerTest, EpsilonForRoundsMatchesAdvancedTracker) {
+  // Per-epoch exposure: a user present for exactly k rounds spends what a
+  // fresh tracker advanced k rounds reports.
+  PrivacyTracker probe = PrivacyTracker::ForGaussian(3.0);
+  PrivacyTracker advanced = PrivacyTracker::ForGaussian(3.0);
+  advanced.AdvanceRounds(4);
+  auto per_epoch = probe.EpsilonForRounds(4, 1e-5);
+  auto spent = advanced.Epsilon(1e-5);
+  ASSERT_TRUE(per_epoch.ok());
+  ASSERT_TRUE(spent.ok());
+  EXPECT_EQ(per_epoch.value(), spent.value());
+  // And it is independent of the probe's own advanced state.
+  probe.AdvanceRounds(10);
+  EXPECT_EQ(probe.EpsilonForRounds(4, 1e-5).value(), per_epoch.value());
+}
+
+// ---------------------------------------------------------------------------
+// Channel-backed churn schedules
+
+net::AsyncRoundsConfig ElasticConfig(bool elastic) {
+  net::AsyncRoundsConfig config;
+  config.step_scale = kStepScale;
+  config.seed = kWorkSeed;
+  config.elastic = elastic;
+  return config;
+}
+
+/// Serial replay of the elastic update rule for a fixed active-set
+/// schedule: per step, every active silo contributes its demo delta and
+/// the flushed sum is rescaled by num_silos/active.
+Vec ScheduleReference(int num_silos, int dim,
+                      const std::vector<std::vector<int>>& active_sets) {
+  AsyncAggregator agg(num_silos, 0, num_silos);
+  Vec ref(dim, 0.0);
+  for (size_t step = 0; step < active_sets.size(); ++step) {
+    for (int s : active_sets[step]) {
+      Vec delta;
+      Status worked = net::MakeAsyncDemoWork(kWorkSeed, s, dim)(
+          static_cast<uint64_t>(step), ref, &delta);
+      EXPECT_TRUE(worked.ok()) << worked.ToString();
+      EXPECT_EQ(agg.Offer(s, static_cast<uint64_t>(step), std::move(delta)),
+                0);
+    }
+    Vec sum = agg.Flush(false, static_cast<uint64_t>(step), nullptr);
+    int active = static_cast<int>(active_sets[step].size());
+    double scale = kStepScale;
+    if (active > 0 && active != num_silos) {
+      scale = kStepScale * num_silos / active;
+    }
+    Axpy(scale, sum, ref);
+  }
+  return ref;
+}
+
+TEST(ElasticMembershipTest, EvictionAndLateJoinMatchScheduleReference) {
+  const int silos = 3, dim = 5, steps = 6;
+  net::AsyncRoundsConfig config = ElasticConfig(true);
+
+  std::vector<std::unique_ptr<net::Transport>> server_ends, silo_ends;
+  for (int s = 0; s < silos; ++s) {
+    auto [a, b] = net::ChannelTransport::CreatePair();
+    server_ends.push_back(std::move(a));
+    silo_ends.push_back(std::move(b));
+  }
+  std::vector<std::thread> threads;
+  std::vector<Status> silo_status(silos, Status::Ok());
+  // Silo 0 crashes when released with version 2; silo 2 connects with a
+  // join request asking for admission at version >= 4.
+  for (int s = 0; s < silos; ++s) {
+    net::AsyncDemoOptions options;
+    if (s == 0) options.fail_at_version = 2;
+    if (s == 2) options.join_at_version = 4;
+    threads.emplace_back([&, s, options] {
+      silo_status[s] = net::RunAsyncDemoSilo(config, s, silos, dim,
+                                             *silo_ends[s], options);
+    });
+  }
+
+  PrivacyTracker tracker = PrivacyTracker::ForGaussian(5.0);
+  net::AsyncRoundServer server(config, silos, dim);
+  server.set_privacy_tracker(&tracker);
+  for (auto& end : server_ends) {
+    ASSERT_TRUE(server.AddConnection(std::move(end)).ok());
+  }
+  auto out = server.Run(steps, Vec(dim, 0.0));
+  for (auto& t : threads) t.join();
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+
+  // Silo 0's run ends with its injected failure; the others finish clean.
+  EXPECT_FALSE(silo_status[0].ok());
+  EXPECT_NE(silo_status[0].message().find("injected silo failure"),
+            std::string::npos)
+      << silo_status[0].ToString();
+  EXPECT_TRUE(silo_status[1].ok()) << silo_status[1].ToString();
+  EXPECT_TRUE(silo_status[2].ok()) << silo_status[2].ToString();
+
+  // The membership schedule pins every flush: versions 0-1 see {0,1},
+  // the eviction leaves {1} for 2-3, and the admission at 4 makes {1,2}.
+  Vec reference = ScheduleReference(
+      silos, dim, {{0, 1}, {0, 1}, {1}, {1}, {1, 2}, {1, 2}});
+  EXPECT_EQ(out.value(), reference);
+
+  EXPECT_EQ(server.evictions(), 1);
+  EXPECT_EQ(server.admissions(), 1);
+  const SessionState& session = server.session();
+  ASSERT_NE(session.Find(0), nullptr);
+  EXPECT_EQ(session.Find(0)->status, SiloStatus::kEvicted);
+  EXPECT_EQ(session.Find(0)->depart_round, 2u);
+  ASSERT_NE(session.Find(1), nullptr);
+  EXPECT_EQ(session.Find(1)->status, SiloStatus::kActive);
+  ASSERT_NE(session.Find(2), nullptr);
+  EXPECT_EQ(session.Find(2)->status, SiloStatus::kActive);
+  EXPECT_EQ(session.Find(2)->join_round, 4u);
+
+  // Three membership epochs: bootstrap {0,1}, post-eviction {1}, and
+  // post-admission {1,2} — sealed in the session and mirrored into the
+  // attached accountant.
+  ASSERT_EQ(session.epochs.size(), 3u);
+  EXPECT_EQ(session.epochs[0].active_silos, 2u);
+  EXPECT_EQ(session.epochs[0].start_round, 0u);
+  EXPECT_EQ(session.epochs[1].active_silos, 1u);
+  EXPECT_EQ(session.epochs[1].start_round, 2u);
+  EXPECT_EQ(session.epochs[2].active_silos, 2u);
+  EXPECT_EQ(session.epochs[2].start_round, 4u);
+  ASSERT_EQ(tracker.membership_epochs().size(), 3u);
+  EXPECT_EQ(tracker.membership_epochs()[2].user_total,
+            session.epochs[2].user_total);
+}
+
+TEST(ElasticMembershipTest, VoluntaryLeaveReweightsWithoutEviction) {
+  const int silos = 2, dim = 4, steps = 4;
+  net::AsyncRoundsConfig config = ElasticConfig(true);
+
+  std::vector<std::unique_ptr<net::Transport>> server_ends, silo_ends;
+  for (int s = 0; s < silos; ++s) {
+    auto [a, b] = net::ChannelTransport::CreatePair();
+    server_ends.push_back(std::move(a));
+    silo_ends.push_back(std::move(b));
+  }
+  std::vector<std::thread> threads;
+  std::vector<Status> silo_status(silos, Status::Ok());
+  for (int s = 0; s < silos; ++s) {
+    net::AsyncDemoOptions options;
+    if (s == 1) options.leave_at_version = 2;
+    threads.emplace_back([&, s, options] {
+      silo_status[s] = net::RunAsyncDemoSilo(config, s, silos, dim,
+                                             *silo_ends[s], options);
+    });
+  }
+  net::AsyncRoundServer server(config, silos, dim);
+  for (auto& end : server_ends) {
+    ASSERT_TRUE(server.AddConnection(std::move(end)).ok());
+  }
+  auto out = server.Run(steps, Vec(dim, 0.0));
+  for (auto& t : threads) t.join();
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  // A voluntary leave is a clean exit for the client...
+  EXPECT_TRUE(silo_status[0].ok()) << silo_status[0].ToString();
+  EXPECT_TRUE(silo_status[1].ok()) << silo_status[1].ToString();
+  // ...and not an eviction for the server.
+  EXPECT_EQ(server.evictions(), 0);
+  EXPECT_EQ(server.session().Find(1)->status, SiloStatus::kLeft);
+  EXPECT_EQ(server.session().Find(1)->depart_round, 2u);
+
+  Vec reference = ScheduleReference(silos, dim, {{0, 1}, {0, 1}, {0}, {0}});
+  EXPECT_EQ(out.value(), reference);
+}
+
+TEST(ElasticMembershipTest, StaticCohortRejectsJoinRequestsAndLeaves) {
+  // A non-elastic server must refuse elastic admission outright.
+  net::AsyncRoundsConfig config = ElasticConfig(false);
+  auto [a, b] = net::ChannelTransport::CreatePair();
+  net::AsyncRoundServer server(config, 2, 4);
+  std::thread client_thread([&config, &b] {
+    net::AsyncRoundClient client(config, 0, 2, 4);
+    net::AsyncClientOptions options;
+    options.join_min_version = 0;
+    EXPECT_FALSE(
+        client.Run(*b, net::MakeAsyncDemoWork(kWorkSeed, 0, 4), options)
+            .ok());
+  });
+  EXPECT_FALSE(server.AddConnection(std::move(a)).ok());
+  client_thread.join();
+}
+
+TEST(ElasticMembershipTest, StaticServerPopulatesSessionIdentically) {
+  // The fixed-membership path, driven through the session layer, must be
+  // bitwise identical to the serial schedule where everyone participates
+  // every step — the "static == pre-refactor behaviour" invariant.
+  const int silos = 3, dim = 5, steps = 3;
+  net::AsyncRoundsConfig config = ElasticConfig(false);
+  std::vector<std::unique_ptr<net::Transport>> server_ends, silo_ends;
+  for (int s = 0; s < silos; ++s) {
+    auto [a, b] = net::ChannelTransport::CreatePair();
+    server_ends.push_back(std::move(a));
+    silo_ends.push_back(std::move(b));
+  }
+  std::vector<std::thread> threads;
+  std::vector<Status> silo_status(silos, Status::Ok());
+  for (int s = 0; s < silos; ++s) {
+    threads.emplace_back([&, s] {
+      silo_status[s] =
+          net::RunAsyncDemoSilo(config, s, silos, dim, *silo_ends[s]);
+    });
+  }
+  net::AsyncRoundServer server(config, silos, dim);
+  for (auto& end : server_ends) {
+    ASSERT_TRUE(server.AddConnection(std::move(end)).ok());
+  }
+  auto out = server.Run(steps, Vec(dim, 0.0));
+  for (auto& t : threads) t.join();
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  for (const Status& s : silo_status) EXPECT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(out.value(),
+            ScheduleReference(silos, dim, {{0, 1, 2}, {0, 1, 2}, {0, 1, 2}}));
+
+  const SessionState& session = server.session();
+  EXPECT_EQ(session.round, static_cast<uint64_t>(steps));
+  EXPECT_EQ(session.ActiveCount(), silos);
+  EXPECT_EQ(session.stats.steps, static_cast<int64_t>(steps));
+  EXPECT_EQ(session.stats.applied, static_cast<int64_t>(steps * silos));
+  EXPECT_EQ(session.stats.applied, server.stats().applied);
+}
+
+// ---------------------------------------------------------------------------
+// Masked (secure-aggregation) transport
+
+TEST(MaskedTransportTest, MaskedRunMatchesSecureReduceBitwise) {
+  const int silos = 2, dim = 4, steps = 3;
+  net::AsyncRoundsConfig config = ElasticConfig(false);
+  config.masked = true;
+
+  std::vector<std::unique_ptr<net::Transport>> server_ends, silo_ends;
+  for (int s = 0; s < silos; ++s) {
+    auto [a, b] = net::ChannelTransport::CreatePair();
+    server_ends.push_back(std::move(a));
+    silo_ends.push_back(std::move(b));
+  }
+  std::vector<std::thread> threads;
+  std::vector<Status> silo_status(silos, Status::Ok());
+  for (int s = 0; s < silos; ++s) {
+    threads.emplace_back([&, s] {
+      silo_status[s] =
+          net::RunAsyncDemoSilo(config, s, silos, dim, *silo_ends[s]);
+    });
+  }
+  net::AsyncRoundServer server(config, silos, dim);
+  for (auto& end : server_ends) {
+    ASSERT_TRUE(server.AddConnection(std::move(end)).ok());
+  }
+  auto out = server.Run(steps, Vec(dim, 0.0));
+  for (auto& t : threads) t.join();
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  for (const Status& s : silo_status) EXPECT_TRUE(s.ok()) << s.ToString();
+
+  // Serial reference over the SECURE reduce: fixed-point encode + pairwise
+  // masks that cancel in the sum. The masked wire transport must land on
+  // exactly these parameters (AggregateDeltas(..., secure=true, ...) ==
+  // sum of MaskSiloDelta vectors, unmasked).
+  Vec ref(dim, 0.0);
+  for (int step = 0; step < steps; ++step) {
+    std::vector<Vec> deltas(silos);
+    for (int s = 0; s < silos; ++s) {
+      ASSERT_TRUE(net::MakeAsyncDemoWork(kWorkSeed, s, dim)(
+                      static_cast<uint64_t>(step), ref, &deltas[s])
+                      .ok());
+    }
+    Vec sum = AggregateDeltas(deltas, /*secure=*/true,
+                              static_cast<uint64_t>(step), nullptr);
+    Axpy(kStepScale, sum, ref);
+  }
+  EXPECT_EQ(out.value(), ref);
+  EXPECT_EQ(server.session().stats.applied,
+            static_cast<int64_t>(steps * silos));
+}
+
+}  // namespace
+}  // namespace uldp

@@ -1,0 +1,333 @@
+// The serializable session layer (fl/session.h): canonical round-trips,
+// strict rejection of corrupted/truncated/version-mismatched checkpoints,
+// atomic file round-trips, and checkpoint/resume bitwise identity — for
+// the local experiment runner (at several thread counts; the thread knob
+// is a pure perf knob) and for the transport-backed async round server.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/uldp_avg.h"
+#include "data/allocation.h"
+#include "data/synthetic.h"
+#include "fl/session.h"
+#include "net/async_rounds.h"
+#include "net/demo.h"
+#include "net/messages.h"
+#include "net/transport.h"
+#include "net/wire.h"
+
+namespace uldp {
+namespace {
+
+constexpr uint64_t kWorkSeed = 77;
+constexpr double kStepScale = 0.25;
+
+SessionState MakePopulatedState() {
+  SessionState s;
+  s.seed = 42;
+  s.dim = 3;
+  s.round = 7;
+  s.model = {1.5, -2.25, 0.125};
+  {
+    SiloMember& m = s.Upsert(0);
+    m.status = SiloStatus::kActive;
+    m.join_round = 0;
+    m.last_version = 7;
+    m.user_count = 4;
+  }
+  {
+    SiloMember& m = s.Upsert(2);
+    m.status = SiloStatus::kEvicted;
+    m.join_round = 1;
+    m.depart_round = 5;
+    m.user_count = 2;
+  }
+  s.SealEpoch(0);
+  s.SealEpoch(5);
+  s.stats.applied = 12;
+  s.stats.rejected = 1;
+  s.stats.dropped = 2;
+  s.stats.steps = 7;
+  s.stats.max_staleness_seen = 1;
+  return s;
+}
+
+std::string MakeTempDir() {
+  char tmpl[] = "/tmp/uldp_session_XXXXXX";
+  const char* dir = mkdtemp(tmpl);
+  EXPECT_NE(dir, nullptr);
+  return dir != nullptr ? dir : std::string();
+}
+
+// ---------------------------------------------------------------------------
+// Serialization
+
+TEST(SessionSerializeTest, PopulatedStateRoundTrips) {
+  SessionState state = MakePopulatedState();
+  std::vector<uint8_t> bytes = state.Serialize();
+  auto back = SessionState::Deserialize(bytes);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_TRUE(back.value() == state);
+  // The encoding is canonical: re-serializing reproduces the exact bytes.
+  EXPECT_EQ(back.value().Serialize(), bytes);
+}
+
+TEST(SessionSerializeTest, EmptyStateRoundTrips) {
+  SessionState state;
+  auto back = SessionState::Deserialize(state.Serialize());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_TRUE(back.value() == state);
+}
+
+TEST(SessionSerializeTest, EverySingleByteCorruptionIsRejected) {
+  std::vector<uint8_t> bytes = MakePopulatedState().Serialize();
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    std::vector<uint8_t> corrupt = bytes;
+    corrupt[i] ^= 0x5A;
+    EXPECT_FALSE(SessionState::Deserialize(corrupt).ok())
+        << "flip at byte " << i << " was accepted";
+  }
+}
+
+TEST(SessionSerializeTest, TruncationAndTrailingBytesAreRejected) {
+  std::vector<uint8_t> bytes = MakePopulatedState().Serialize();
+  for (size_t n : {size_t{0}, size_t{4}, size_t{7}, bytes.size() / 2,
+                   bytes.size() - 1}) {
+    std::vector<uint8_t> prefix(bytes.begin(), bytes.begin() + n);
+    EXPECT_FALSE(SessionState::Deserialize(prefix).ok())
+        << "prefix of " << n << " bytes was accepted";
+  }
+  std::vector<uint8_t> padded = bytes;
+  padded.push_back(0);
+  EXPECT_FALSE(SessionState::Deserialize(padded).ok());
+}
+
+TEST(SessionSerializeTest, UnknownFormatVersionIsRejectedEvenWithValidDigest) {
+  std::vector<uint8_t> bytes = MakePopulatedState().Serialize();
+  // Patch the u16 format version (right after the 4-byte magic) to 2 and
+  // re-digest the payload, so the ONLY defect is the version number.
+  net::WireWriter version;
+  version.U16(2);
+  bytes[4] = version.buffer()[0];
+  bytes[5] = version.buffer()[1];
+  net::WireWriter trailer;
+  trailer.U64(net::WireDigest(bytes.data(), bytes.size() - 8));
+  std::copy(trailer.buffer().begin(), trailer.buffer().end(),
+            bytes.end() - 8);
+  auto back = SessionState::Deserialize(bytes);
+  ASSERT_FALSE(back.ok());
+  EXPECT_NE(back.status().message().find("version"), std::string::npos)
+      << back.status().ToString();
+}
+
+TEST(SessionFileTest, WriteReadRoundTripsAndMissingFileIsNotFound) {
+  std::string dir = MakeTempDir();
+  ASSERT_FALSE(dir.empty());
+  std::string path = dir + "/session.ckpt";
+  EXPECT_EQ(SessionState::ReadFile(path).status().code(),
+            StatusCode::kNotFound);
+
+  SessionState state = MakePopulatedState();
+  ASSERT_TRUE(state.WriteFile(path).ok());
+  auto back = SessionState::ReadFile(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_TRUE(back.value() == state);
+
+  // The write is atomic (tmp + rename): no .tmp file survives.
+  std::FILE* tmp = std::fopen((path + ".tmp").c_str(), "rb");
+  EXPECT_EQ(tmp, nullptr);
+  if (tmp != nullptr) std::fclose(tmp);
+  std::remove(path.c_str());
+  std::remove(dir.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Experiment-level checkpoint/resume (local runner, threaded trainers)
+
+FederatedDataset MakeFederated(int n_train, int users, int silos,
+                               uint64_t seed) {
+  Rng rng(seed);
+  auto data = MakeCreditcardLike(n_train, 100, rng);
+  AllocationOptions opt;
+  opt.kind = AllocationKind::kZipf;
+  EXPECT_TRUE(AllocateUsersAndSilos(data.train, users, silos, opt, rng).ok());
+  return FederatedDataset(data.train, data.test, users, silos);
+}
+
+TEST(SessionResumeTest, ExperimentResumeIsBitwiseIdenticalAcrossThreads) {
+  auto fd = MakeFederated(300, 8, 3, 41);
+  auto arch = MakeMlp({30}, 2);
+  const int rounds = 6, interrupt_at = 3;
+  std::string dir = MakeTempDir();
+  ASSERT_FALSE(dir.empty());
+
+  for (int threads : {1, 2, 5}) {
+    FlConfig fl;
+    fl.seed = 91;
+    fl.sigma = 2.0;
+    fl.num_threads = threads;
+    auto make_trainer = [&] {
+      return std::make_unique<UldpAvgTrainer>(fd, *arch, fl,
+                                              UldpAvgOptions{});
+    };
+    ExperimentConfig direct;
+    direct.rounds = rounds;
+    direct.eval_every = 1;
+    auto full = RunExperiment(*make_trainer(), *arch, fd, direct);
+    ASSERT_TRUE(full.ok()) << full.status().ToString();
+    ASSERT_EQ(full.value().size(), static_cast<size_t>(rounds));
+
+    // Phase 1: run the first rounds, checkpointing on the way out.
+    ExperimentConfig first = direct;
+    first.rounds = interrupt_at;
+    first.checkpoint_dir = dir;
+    first.checkpoint_every = interrupt_at;
+    auto head = RunExperiment(*make_trainer(), *arch, fd, first);
+    ASSERT_TRUE(head.ok()) << head.status().ToString();
+
+    // Phase 2: a FRESH trainer resumes from the checkpoint. The trace of
+    // the remaining rounds — loss, utility, and accounted epsilon (via
+    // AccountRestoredRounds) — must be bitwise identical to the
+    // uninterrupted run's tail.
+    ExperimentConfig second = direct;
+    second.checkpoint_dir = dir;
+    second.resume = true;
+    auto tail = RunExperiment(*make_trainer(), *arch, fd, second);
+    ASSERT_TRUE(tail.ok()) << tail.status().ToString();
+    ASSERT_EQ(tail.value().size(), static_cast<size_t>(rounds - interrupt_at));
+    for (size_t i = 0; i < tail.value().size(); ++i) {
+      const RoundRecord& got = tail.value()[i];
+      const RoundRecord& want = full.value()[interrupt_at + i];
+      EXPECT_EQ(got.round, want.round) << threads << " threads";
+      EXPECT_EQ(got.test_loss, want.test_loss) << threads << " threads";
+      EXPECT_EQ(got.utility, want.utility) << threads << " threads";
+      EXPECT_EQ(got.epsilon, want.epsilon) << threads << " threads";
+    }
+  }
+  std::remove((dir + "/session.ckpt").c_str());
+  std::remove(dir.c_str());
+}
+
+TEST(SessionResumeTest, ExperimentResumeErrorsAreClear) {
+  auto fd = MakeFederated(200, 4, 2, 43);
+  auto arch = MakeMlp({30}, 2);
+  FlConfig fl;
+  fl.seed = 7;
+  UldpAvgTrainer trainer(fd, *arch, fl, UldpAvgOptions{});
+  ExperimentConfig config;
+  config.rounds = 2;
+  config.resume = true;  // no checkpoint dir
+  EXPECT_FALSE(RunExperiment(trainer, *arch, fd, config).ok());
+  config.checkpoint_dir = "/nonexistent-dir-for-session-test";
+  EXPECT_EQ(RunExperiment(trainer, *arch, fd, config).status().code(),
+            StatusCode::kNotFound);
+}
+
+// ---------------------------------------------------------------------------
+// Async round server checkpoint/resume over channels
+
+net::AsyncRoundsConfig ChannelConfig() {
+  net::AsyncRoundsConfig config;
+  config.step_scale = kStepScale;
+  config.seed = kWorkSeed;
+  return config;
+}
+
+/// Connects `silos` demo clients over channels and drives the server to
+/// `total` cumulative steps (Run on a fresh session, Resume on a restored
+/// one).
+Vec Drive(net::AsyncRoundServer& server, const net::AsyncRoundsConfig& config,
+          int silos, int dim, int total, bool resume) {
+  std::vector<std::unique_ptr<net::Transport>> server_ends, silo_ends;
+  for (int s = 0; s < silos; ++s) {
+    auto [a, b] = net::ChannelTransport::CreatePair();
+    server_ends.push_back(std::move(a));
+    silo_ends.push_back(std::move(b));
+  }
+  std::vector<std::thread> threads;
+  std::vector<Status> silo_status(silos, Status::Ok());
+  for (int s = 0; s < silos; ++s) {
+    threads.emplace_back([&, s] {
+      silo_status[s] =
+          net::RunAsyncDemoSilo(config, s, silos, dim, *silo_ends[s]);
+    });
+  }
+  for (auto& end : server_ends) {
+    EXPECT_TRUE(server.AddConnection(std::move(end)).ok());
+  }
+  auto out = resume ? server.Resume(total) : server.Run(total, Vec(dim, 0.0));
+  for (auto& t : threads) t.join();
+  for (const Status& s : silo_status) EXPECT_TRUE(s.ok()) << s.ToString();
+  EXPECT_TRUE(out.ok()) << out.status().ToString();
+  return out.ok() ? out.value() : Vec();
+}
+
+TEST(SessionResumeTest, AsyncServerResumeIsBitwiseIdentical) {
+  const int silos = 2, dim = 6, steps = 6, interrupt_at = 3;
+  net::AsyncRoundsConfig config = ChannelConfig();
+
+  Vec reference;
+  {
+    net::AsyncRoundServer server(config, silos, dim);
+    reference = Drive(server, config, silos, dim, steps, /*resume=*/false);
+    EXPECT_EQ(server.session().round, static_cast<uint64_t>(steps));
+  }
+
+  std::string dir = MakeTempDir();
+  ASSERT_FALSE(dir.empty());
+  Vec mid_model;
+  {
+    net::AsyncRoundServer server(config, silos, dim);
+    server.SetCheckpoint(dir, 1);
+    mid_model =
+        Drive(server, config, silos, dim, interrupt_at, /*resume=*/false);
+  }
+  auto state = SessionState::ReadFile(dir + "/session.ckpt");
+  ASSERT_TRUE(state.ok()) << state.status().ToString();
+  EXPECT_EQ(state.value().round, static_cast<uint64_t>(interrupt_at));
+  EXPECT_EQ(state.value().model, mid_model);
+
+  {
+    net::AsyncRoundServer server(config, silos, dim);
+    ASSERT_TRUE(server.RestoreSession(state.value()).ok());
+    Vec resumed = Drive(server, config, silos, dim, steps, /*resume=*/true);
+    EXPECT_EQ(resumed, reference);
+    // Counters are cumulative across the restore, not post-resume.
+    EXPECT_EQ(server.session().stats.steps, static_cast<int64_t>(steps));
+    EXPECT_EQ(server.session().stats.applied,
+              static_cast<int64_t>(steps * silos));
+  }
+
+  // A session that already reached the target returns its model untouched
+  // (no clients needed).
+  {
+    net::AsyncRoundServer server(config, silos, dim);
+    ASSERT_TRUE(server.RestoreSession(state.value()).ok());
+    auto out = server.Resume(interrupt_at);
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+    EXPECT_EQ(out.value(), mid_model);
+  }
+
+  // A state whose shape disagrees with the server is rejected up front.
+  {
+    net::AsyncRoundServer server(config, silos, dim + 1);
+    EXPECT_FALSE(server.RestoreSession(state.value()).ok());
+    net::AsyncRoundsConfig other = config;
+    other.seed = kWorkSeed + 1;
+    net::AsyncRoundServer wrong_seed(other, silos, dim);
+    EXPECT_FALSE(wrong_seed.RestoreSession(state.value()).ok());
+  }
+  std::remove((dir + "/session.ckpt").c_str());
+  std::remove(dir.c_str());
+}
+
+}  // namespace
+}  // namespace uldp

@@ -15,7 +15,7 @@ if [ "${SANITIZE:-0}" = "1" ]; then
   # Separate default build dir: writing ULDP_SANITIZE=ON into the plain
   # build/ cache would leave later non-sanitized runs silently sanitized.
   BUILD_DIR="${1:-build-asan}"
-  FAST_TESTS='^(bigint_test|montgomery_primes_test|fixed_base_test|fixed_point_test|csv_loader_test|mask_tags_test|secure_agg_test|sha_chacha_test|common_test|parallel_test|paillier_test|paillier_ctx_test|dh_test|oblivious_transfer_test|net_wire_test|net_transport_test|parse_test|async_rounds_test|multi_exp_test|packed_codec_test|net_stream_test|shard_round_test)$'
+  FAST_TESTS='^(bigint_test|montgomery_primes_test|fixed_base_test|fixed_point_test|csv_loader_test|mask_tags_test|secure_agg_test|sha_chacha_test|common_test|parallel_test|paillier_test|paillier_ctx_test|dh_test|oblivious_transfer_test|net_wire_test|net_transport_test|parse_test|async_rounds_test|multi_exp_test|packed_codec_test|net_stream_test|shard_round_test|session_test|membership_test)$'
   cmake -B "$BUILD_DIR" -S . -DULDP_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build "$BUILD_DIR" -j"$JOBS"
   ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
@@ -59,6 +59,15 @@ fi
 # the streamed frame ceiling and the RSS growth ratio.
 if [ -x "$BUILD_DIR/bench_stream_scaling" ]; then
   (cd "$BUILD_DIR" && ULDP_BENCH_SMOKE=1 ./bench_stream_scaling)
+fi
+
+# Membership-churn bench in smoke mode: produces
+# BENCH_membership_churn.json (static vs churn step throughput, eviction
+# and admission counts, checkpoint/resume identity) and fails if the
+# churn run diverges from its active-set schedule reference or a resumed
+# run diverges from the uninterrupted one.
+if [ -x "$BUILD_DIR/bench_membership_churn" ]; then
+  (cd "$BUILD_DIR" && ULDP_BENCH_SMOKE=1 ./bench_membership_churn)
 fi
 
 # Bench-regression gate: every committed baseline in bench/baselines/ is
@@ -156,4 +165,153 @@ if [ -x "$BUILD_DIR/uldp_fl_cli" ]; then
     exit 1
   fi
   echo "async smoke: loopback-TCP staleness-bounded rounds OK (port $PORT)"
+
+  # Elastic-churn loopback smoke: three silos over real TCP with dynamic
+  # membership — silo 0 crashes once released with version >= 2 (evicted,
+  # its buffered update dropped), silo 2 joins mid-run at version >= 3
+  # (admitted at the next flush). The crashing client exits 0 ("crashed
+  # as scheduled"); the server must still finish all rounds.
+  CHURN_LOG="$BUILD_DIR/net_churn_smoke_server.log"
+  CHURN_ARGS="--async --elastic --min-silos=1 --silos=3 --users=6 --dim=8 \
+--seed=11 --net-timeout=120 --fail-silo=0:2 --join-silo=2:3"
+  rm -f "$CHURN_LOG"
+  # shellcheck disable=SC2086
+  "$BUILD_DIR/uldp_fl_cli" --serve=0 --rounds=6 $CHURN_ARGS \
+      > "$CHURN_LOG" 2>&1 &
+  SERVER_PID=$!
+  PORT=""
+  for _ in $(seq 1 100); do
+    PORT="$(sed -n 's/.*listening on port \([0-9]*\).*/\1/p' "$CHURN_LOG" \
+            2>/dev/null | head -n1)"
+    [ -n "$PORT" ] && break
+    sleep 0.1
+  done
+  if [ -z "$PORT" ]; then
+    echo "churn smoke: server never reported its port" >&2
+    cat "$CHURN_LOG" >&2 || true
+    kill "$SERVER_PID" 2>/dev/null || true
+    exit 1
+  fi
+  # shellcheck disable=SC2086
+  "$BUILD_DIR/uldp_fl_cli" --connect=127.0.0.1:"$PORT" --silo-id=0 \
+      $CHURN_ARGS &
+  C0=$!
+  # shellcheck disable=SC2086
+  "$BUILD_DIR/uldp_fl_cli" --connect=127.0.0.1:"$PORT" --silo-id=1 \
+      $CHURN_ARGS &
+  C1=$!
+  # shellcheck disable=SC2086
+  "$BUILD_DIR/uldp_fl_cli" --connect=127.0.0.1:"$PORT" --silo-id=2 \
+      $CHURN_ARGS &
+  C2=$!
+  FAIL=0
+  wait "$SERVER_PID" || FAIL=1
+  wait "$C0" || FAIL=1
+  wait "$C1" || FAIL=1
+  wait "$C2" || FAIL=1
+  cat "$CHURN_LOG"
+  if [ "$FAIL" != "0" ]; then
+    echo "churn smoke: elastic evict + late-join run FAILED" >&2
+    exit 1
+  fi
+  if ! grep -q "evictions 1" "$CHURN_LOG" || \
+     ! grep -q "admissions 1" "$CHURN_LOG"; then
+    echo "churn smoke: expected exactly one eviction and one admission" >&2
+    exit 1
+  fi
+  echo "churn smoke: elastic evict + late-join run OK (port $PORT)"
+
+  # Kill-and-resume loopback smoke: a checkpointing async server is
+  # SIGKILLed mid-run (clients slowed with --straggler so the kill lands
+  # between rounds), then a fresh server --resumes from the surviving
+  # session.ckpt with new clients; its final params digest must match an
+  # uninterrupted run's bit for bit.
+  RESUME_ARGS="--async --silos=2 --users=6 --dim=8 --seed=11 \
+--net-timeout=120"
+  CKPT_DIR="$BUILD_DIR/resume_smoke_ckpt"
+  rm -rf "$CKPT_DIR" && mkdir -p "$CKPT_DIR"
+  run_async_pair() {  # $1=log $2=extra server args $3=extra client args
+    local log="$1" server_args="$2" client_args="$3" port="" pid c0 c1
+    rm -f "$log"
+    # shellcheck disable=SC2086
+    "$BUILD_DIR/uldp_fl_cli" --serve=0 --rounds=6 $RESUME_ARGS \
+        $server_args > "$log" 2>&1 &
+    pid=$!
+    for _ in $(seq 1 100); do
+      port="$(sed -n 's/.*listening on port \([0-9]*\).*/\1/p' "$log" \
+              2>/dev/null | head -n1)"
+      [ -n "$port" ] && break
+      sleep 0.1
+    done
+    if [ -z "$port" ]; then
+      echo "resume smoke: server never reported its port" >&2
+      cat "$log" >&2 || true
+      kill "$pid" 2>/dev/null || true
+      return 1
+    fi
+    # shellcheck disable=SC2086
+    "$BUILD_DIR/uldp_fl_cli" --connect=127.0.0.1:"$port" --silo-id=0 \
+        $RESUME_ARGS $client_args > /dev/null 2>&1 &
+    c0=$!
+    # shellcheck disable=SC2086
+    "$BUILD_DIR/uldp_fl_cli" --connect=127.0.0.1:"$port" --silo-id=1 \
+        $RESUME_ARGS $client_args > /dev/null 2>&1 &
+    c1=$!
+    SMOKE_SERVER_PID=$pid
+    SMOKE_CLIENT_PIDS="$c0 $c1"
+    return 0
+  }
+  # Reference: uninterrupted 6-round run.
+  run_async_pair "$BUILD_DIR/resume_smoke_ref.log" "" "" || exit 1
+  FAIL=0
+  wait "$SMOKE_SERVER_PID" || FAIL=1
+  for pid in $SMOKE_CLIENT_PIDS; do wait "$pid" || FAIL=1; done
+  if [ "$FAIL" != "0" ]; then
+    echo "resume smoke: reference run FAILED" >&2
+    cat "$BUILD_DIR/resume_smoke_ref.log" >&2
+    exit 1
+  fi
+  REF_DIGEST="$(sed -n 's/.*final params digest \([0-9a-f]*\).*/\1/p' \
+      "$BUILD_DIR/resume_smoke_ref.log" | head -n1)"
+  # Interrupted run: checkpoint every round, kill -9 the server once the
+  # first checkpoint lands (~0.3 s/round via --straggler, so the run is
+  # nowhere near done). The orphaned clients then fail; ignore them.
+  run_async_pair "$BUILD_DIR/resume_smoke_cut.log" \
+      "--checkpoint-dir=$CKPT_DIR --checkpoint-every=1" \
+      "--straggler=0.3" || exit 1
+  for _ in $(seq 1 200); do
+    [ -f "$CKPT_DIR/session.ckpt" ] && break
+    sleep 0.1
+  done
+  if [ ! -f "$CKPT_DIR/session.ckpt" ]; then
+    echo "resume smoke: no checkpoint appeared before the kill" >&2
+    kill "$SMOKE_SERVER_PID" 2>/dev/null || true
+    exit 1
+  fi
+  if ! kill -9 "$SMOKE_SERVER_PID" 2>/dev/null; then
+    echo "resume smoke: server finished before the kill; raise --straggler" \
+        >&2
+    exit 1
+  fi
+  wait "$SMOKE_SERVER_PID" 2>/dev/null || true
+  for pid in $SMOKE_CLIENT_PIDS; do wait "$pid" 2>/dev/null || true; done
+  # Resume: fresh server + clients continue from the surviving checkpoint.
+  run_async_pair "$BUILD_DIR/resume_smoke_res.log" \
+      "--checkpoint-dir=$CKPT_DIR --resume" "" || exit 1
+  FAIL=0
+  wait "$SMOKE_SERVER_PID" || FAIL=1
+  for pid in $SMOKE_CLIENT_PIDS; do wait "$pid" || FAIL=1; done
+  cat "$BUILD_DIR/resume_smoke_res.log"
+  if [ "$FAIL" != "0" ]; then
+    echo "resume smoke: resumed run FAILED" >&2
+    exit 1
+  fi
+  RES_DIGEST="$(sed -n 's/.*final params digest \([0-9a-f]*\).*/\1/p' \
+      "$BUILD_DIR/resume_smoke_res.log" | head -n1)"
+  if [ -z "$REF_DIGEST" ] || [ "$REF_DIGEST" != "$RES_DIGEST" ]; then
+    echo "resume smoke: digest mismatch (ref=$REF_DIGEST res=$RES_DIGEST)" >&2
+    exit 1
+  fi
+  echo "resume smoke: kill-and-resume run bitwise-identical" \
+      "(digest $REF_DIGEST)"
 fi

@@ -19,9 +19,11 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "common/parse.h"
 #include "core/experiment.h"
+#include "fl/session.h"
 #include "core/private_weighting.h"
 #include "core/uldp_avg.h"
 #include "core/uldp_group.h"
@@ -69,6 +71,20 @@ struct Flags {
                            // async FL demo over the transport layer
   int max_staleness = 0;   // staleness bound tau
   int async_buffer = 0;    // arrivals per server step (0 = silos)
+  // Elastic membership (async server/clients).
+  bool elastic = false;    // dynamic membership: mid-run joins + eviction
+  int min_silos = 0;       // fail below this active population (0 = 1)
+  bool masked = false;     // submit pairwise-masked deltas (secure agg)
+  // Checkpoint/resume (local experiments and the async server).
+  std::string checkpoint_dir;  // write <dir>/session.ckpt
+  int checkpoint_every = 0;    // every K rounds (0 = off)
+  bool resume = false;         // load the checkpoint and continue
+  // Fault injection (--fail-silo=ID:ROUND / --join-silo=ID:ROUND).
+  double straggler = 0.0;  // async client: seconds of compute per step
+  int fail_silo = -1;  // this silo crashes when released with ROUND
+  int fail_round = -1;
+  int join_silo = -1;  // this silo joins mid-run at version >= ROUND
+  int join_round = -1;
   // Distributed Protocol 1 modes.
   int serve = -1;           // >= 0: run a protocol server on this port
                             // (0 picks an ephemeral port and prints it)
@@ -115,7 +131,15 @@ void PrintHelp() {
       "  --max-staleness=T           accept updates up to T versions stale\n"
       "                              (discounted 1/(1+tau); 0 = barrier,\n"
       "                              bitwise-identical to sync)\n"
-      "  --async-buffer=K            arrivals per server step (0 = silos)\n\n"
+      "  --async-buffer=K            arrivals per server step (0 = silos)\n"
+      "  --checkpoint-dir=PATH       write PATH/session.ckpt (local runs\n"
+      "                              and the async server)\n"
+      "  --checkpoint-every=K        checkpoint every K rounds and on the\n"
+      "                              final round (required with\n"
+      "                              --checkpoint-dir)\n"
+      "  --resume                    load the checkpoint and continue; the\n"
+      "                              resumed run is bitwise identical to an\n"
+      "                              uninterrupted one on the same seed\n\n"
       "Distributed Protocol 1 (src/net/): a server plus one client per\n"
       "silo exchange every phase as wire frames over TCP and produce\n"
       "bitwise-identical aggregates to the in-process simulation.\n"
@@ -148,6 +172,27 @@ void PrintHelp() {
       "TCP (StalenessInfo/RoundAck frames) instead of Protocol 1;\n"
       "--verify requires --max-staleness=0, where the distributed run is\n"
       "bitwise-identical to the synchronous engine.\n"
+      "Elastic membership (async demo only):\n"
+      "  --elastic                   server: admit mid-run join requests at\n"
+      "                              flush boundaries and evict dead silos\n"
+      "                              instead of failing the run\n"
+      "  --min-silos=N               fail the run if the active population\n"
+      "                              drops below N (default 1)\n"
+      "  --masked                    silos upload pairwise-masked deltas\n"
+      "                              (core/masking.h); the server only sees\n"
+      "                              the unmasked sum, which is bitwise\n"
+      "                              identical to the plain reduce\n"
+      "  --straggler=SECONDS         async client: sleep this long per\n"
+      "                              local step (slows the run so kill/\n"
+      "                              resume drills can land mid-run)\n"
+      "  --fail-silo=ID:ROUND        the client running silo ID crashes\n"
+      "                              (closes its socket mid-round) once\n"
+      "                              released with version >= ROUND\n"
+      "  --join-silo=ID:ROUND        silo ID joins mid-run: its client\n"
+      "                              sends a join request admitted at the\n"
+      "                              first flush with version >= ROUND;\n"
+      "                              the server waits for one fewer silo\n"
+      "                              before starting\n"
       "All parties must be started with the same --silos/--users/--seed\n"
       "and protocol shape flags (enforced by a config digest at join\n"
       "time); --dim must match too, but a mismatch only surfaces as a\n"
@@ -181,6 +226,22 @@ Status ParseDoubleInto(const std::string& value, const std::string& name,
   return Status::Ok();
 }
 
+/// Parses the fault-injection flags' "ID:ROUND" form.
+Status ParseSiloRound(const std::string& value, const std::string& name,
+                      int* silo, int* round) {
+  size_t colon = value.find(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == value.size()) {
+    return Status::InvalidArgument("--" + name + " expects ID:ROUND, got \"" +
+                                   value + "\"");
+  }
+  ULDP_RETURN_IF_ERROR(
+      ParseIntInto(value.substr(0, colon), name, 0, (1 << 16) - 1, silo));
+  ULDP_RETURN_IF_ERROR(
+      ParseIntInto(value.substr(colon + 1), name, 0, 1 << 24, round));
+  return Status::Ok();
+}
+
 Result<Flags> ParseFlags(int argc, char** argv) {
   Flags flags;
   for (int i = 1; i < argc; ++i) {
@@ -195,6 +256,31 @@ Result<Flags> ParseFlags(int argc, char** argv) {
       flags.async = true;
     } else if (arg == "--pipeline") {
       flags.pipeline = true;
+    } else if (arg == "--elastic") {
+      flags.elastic = true;
+    } else if (arg == "--masked") {
+      flags.masked = true;
+    } else if (arg == "--resume") {
+      flags.resume = true;
+    } else if (ParseFlag(arg, "min-silos", &value)) {
+      ULDP_RETURN_IF_ERROR(
+          ParseIntInto(value, "min-silos", 1, 1 << 16, &flags.min_silos));
+    } else if (ParseFlag(arg, "checkpoint-dir", &value)) {
+      flags.checkpoint_dir = value;
+    } else if (ParseFlag(arg, "checkpoint-every", &value)) {
+      ULDP_RETURN_IF_ERROR(ParseIntInto(value, "checkpoint-every", 1, 1 << 24,
+                                        &flags.checkpoint_every));
+    } else if (ParseFlag(arg, "straggler", &value)) {
+      ULDP_RETURN_IF_ERROR(
+          ParseDoubleInto(value, "straggler", &flags.straggler));
+    } else if (ParseFlag(arg, "fail-silo", &value)) {
+      ULDP_RETURN_IF_ERROR(ParseSiloRound(value, "fail-silo",
+                                          &flags.fail_silo,
+                                          &flags.fail_round));
+    } else if (ParseFlag(arg, "join-silo", &value)) {
+      ULDP_RETURN_IF_ERROR(ParseSiloRound(value, "join-silo",
+                                          &flags.join_silo,
+                                          &flags.join_round));
     } else if (ParseFlag(arg, "max-staleness", &value)) {
       ULDP_RETURN_IF_ERROR(ParseIntInto(value, "max-staleness", 0, 1 << 20,
                                         &flags.max_staleness));
@@ -338,6 +424,65 @@ Result<Flags> ParseFlags(int argc, char** argv) {
         "barrier case); a staleness-bounded or partial-buffer run over a "
         "real network has no deterministic reference)");
   }
+  const bool distributed_async =
+      flags.async && (flags.serve >= 0 || !flags.connect.empty());
+  if ((flags.elastic || flags.masked) && !distributed_async) {
+    return Status::InvalidArgument(
+        "--elastic/--masked apply to the distributed async demo "
+        "(--async with --serve or --connect)");
+  }
+  if (flags.min_silos > 0 && !flags.elastic) {
+    return Status::InvalidArgument("--min-silos requires --elastic");
+  }
+  if (flags.min_silos > flags.silos) {
+    return Status::InvalidArgument("--min-silos must be <= --silos");
+  }
+  if (flags.straggler < 0) {
+    return Status::InvalidArgument("--straggler must be >= 0");
+  }
+  if (flags.straggler > 0 && !flags.async) {
+    return Status::InvalidArgument("--straggler requires --async");
+  }
+  if ((flags.fail_silo >= 0 || flags.join_silo >= 0) && !flags.elastic) {
+    return Status::InvalidArgument(
+        "--fail-silo/--join-silo require --elastic (a fixed cohort treats "
+        "any departure as fatal)");
+  }
+  if ((flags.fail_silo >= flags.silos || flags.join_silo >= flags.silos)) {
+    return Status::OutOfRange("--fail-silo/--join-silo ID must be < --silos");
+  }
+  if (flags.masked &&
+      (flags.elastic || flags.max_staleness != 0 ||
+       (flags.async_buffer != 0 && flags.async_buffer != flags.silos))) {
+    return Status::InvalidArgument(
+        "--masked needs the full fixed cohort every step (no --elastic, "
+        "--max-staleness=0, full --async-buffer): pairwise masks only "
+        "cancel when all silos contribute");
+  }
+  if (flags.verify && (flags.elastic || flags.masked)) {
+    return Status::InvalidArgument(
+        "--verify replays the plain fixed-cohort schedule; drop --elastic/"
+        "--masked");
+  }
+  if (flags.resume && flags.checkpoint_dir.empty()) {
+    return Status::InvalidArgument("--resume requires --checkpoint-dir");
+  }
+  if (!flags.checkpoint_dir.empty() && flags.checkpoint_every <= 0 &&
+      !flags.resume) {
+    return Status::InvalidArgument(
+        "--checkpoint-dir requires --checkpoint-every=K (K >= 1)");
+  }
+  if (!flags.checkpoint_dir.empty() &&
+      (!flags.connect.empty() || (flags.serve >= 0 && !flags.async))) {
+    return Status::InvalidArgument(
+        "checkpointing applies to local experiments and the async server, "
+        "not silo clients or the Protocol 1 server");
+  }
+  if (!flags.checkpoint_dir.empty() && flags.num_seeds > 1) {
+    return Status::InvalidArgument(
+        "checkpointing a multi-seed averaged run is not supported (the "
+        "seeds would overwrite each other's session.ckpt)");
+  }
   return flags;
 }
 
@@ -360,6 +505,9 @@ net::AsyncRoundsConfig NetAsyncConfig(const Flags& flags) {
   config.buffer_size = flags.async_buffer;
   config.step_scale = 1.0 / flags.silos;
   config.seed = flags.seed;
+  config.elastic = flags.elastic;
+  config.min_silos = flags.min_silos > 0 ? flags.min_silos : 1;
+  config.masked = flags.masked;
   return config;
 }
 
@@ -388,7 +536,31 @@ int RunServeAsync(const Flags& flags) {
 
   net::AsyncRoundsConfig config = NetAsyncConfig(flags);
   net::AsyncRoundServer server(config, flags.silos, flags.dim);
-  while (server.connected_silos() < flags.silos) {
+  if (!flags.checkpoint_dir.empty()) {
+    server.SetCheckpoint(flags.checkpoint_dir, flags.checkpoint_every);
+  }
+  if (flags.resume) {
+    auto state =
+        SessionState::ReadFile(flags.checkpoint_dir + "/session.ckpt");
+    if (!state.ok()) {
+      std::cerr << "resume: " << state.status().ToString() << "\n";
+      return 1;
+    }
+    uint64_t resumed_round = state.value().round;
+    Status restored = server.RestoreSession(std::move(state.value()));
+    if (!restored.ok()) {
+      std::cerr << "resume: " << restored.ToString() << "\n";
+      return 1;
+    }
+    std::cout << "resuming from " << flags.checkpoint_dir
+              << "/session.ckpt at round " << resumed_round << std::endl;
+  }
+
+  // With --join-silo one member of the cohort connects mid-run, so the
+  // initial barrier waits for one fewer silo; the elastic accept thread
+  // below picks up the late joiner.
+  const int initial_cohort = flags.silos - (flags.join_silo >= 0 ? 1 : 0);
+  while (server.connected_silos() < initial_cohort) {
     auto conn = listener.value().Accept();
     if (!conn.ok()) {
       std::cerr << conn.status().ToString() << "\n";
@@ -405,23 +577,61 @@ int RunServeAsync(const Flags& flags) {
       continue;
     }
     std::cout << "silo connected (" << server.connected_silos() << "/"
-              << flags.silos << ")" << std::endl;
+              << initial_cohort << ")" << std::endl;
   }
 
-  Vec global(flags.dim, 0.0);
-  auto out = server.Run(flags.rounds, global);
+  // Elastic runs keep accepting mid-run join requests while the round
+  // loop executes; closing the listener after the run unblocks Accept.
+  std::thread acceptor;
+  if (flags.elastic) {
+    acceptor = std::thread([&listener, &server, &flags]() {
+      for (;;) {
+        auto conn = listener.value().Accept();
+        if (!conn.ok()) return;  // listener closed: the run is over
+        if (!ApplyNetTimeout(*conn.value(), flags).ok()) continue;
+        Status added = server.AddConnection(std::move(conn.value()));
+        if (!added.ok()) {
+          std::cerr << "rejected join: " << added.ToString() << std::endl;
+        }
+      }
+    });
+  }
+
+  Result<Vec> out = [&]() -> Result<Vec> {
+    if (flags.resume) return server.Resume(flags.rounds);
+    Vec global(flags.dim, 0.0);
+    return server.Run(flags.rounds, global);
+  }();
+  if (acceptor.joinable()) {
+    listener.value().Close();
+    acceptor.join();
+  }
   if (!out.ok()) {
     std::cerr << out.status().ToString() << "\n";
     return 1;
   }
   std::cout << "async rounds done: applied " << server.stats().applied
-            << ", rejected " << server.stats().rejected << ", max staleness "
-            << server.stats().max_staleness_seen << "; params[0.."
-            << std::min<size_t>(3, out.value().size()) << ") =";
+            << ", rejected " << server.stats().rejected << ", dropped "
+            << server.stats().dropped << ", max staleness "
+            << server.stats().max_staleness_seen;
+  if (flags.elastic) {
+    std::cout << "; evictions " << server.evictions() << ", admissions "
+              << server.admissions();
+  }
+  std::cout << "; params[0.." << std::min<size_t>(3, out.value().size())
+            << ") =";
   for (size_t d = 0; d < std::min<size_t>(3, out.value().size()); ++d) {
     std::cout << " " << out.value()[d];
   }
   std::cout << std::endl;
+  {
+    // A grep-friendly whole-model fingerprint so the kill-and-resume smoke
+    // can compare runs without parsing float prints.
+    net::WireWriter w;
+    w.F64Vec(out.value());
+    std::cout << "final params digest " << std::hex
+              << net::WireDigest(w.buffer()) << std::dec << std::endl;
+  }
 
   if (flags.verify) {
     // Serial replay of the staleness-bounded update rule at tau = 0 (the
@@ -472,10 +682,27 @@ int RunConnectAsync(const Flags& flags) {
   }
   std::cout << "async silo " << flags.silo_id << " connected to "
             << flags.connect << std::endl;
+  net::AsyncDemoOptions options;
+  options.sleep_seconds = flags.straggler;
+  if (flags.fail_silo == flags.silo_id) {
+    options.fail_at_version = flags.fail_round;
+  }
+  if (flags.join_silo == flags.silo_id) {
+    options.join_at_version = flags.join_round;
+  }
   Status status = net::RunAsyncDemoSilo(NetAsyncConfig(flags), flags.silo_id,
                                         flags.silos, flags.dim,
-                                        *transport.value());
+                                        *transport.value(), options);
   if (!status.ok()) {
+    if (options.fail_at_version >= 0 &&
+        status.message().find("injected silo failure") != std::string::npos) {
+      // The --fail-silo drill fired as scheduled: an expected outcome for
+      // the churn smoke, not an error.
+      std::cout << "async silo " << flags.silo_id
+                << " crashed as scheduled: " << status.ToString()
+                << std::endl;
+      return 0;
+    }
     std::cerr << "async silo " << flags.silo_id << ": " << status.ToString()
               << "\n";
     return 1;
@@ -797,6 +1024,9 @@ int Run(int argc, char** argv) {
   experiment.eval_every = flags.eval_every;
   experiment.delta = flags.delta;
   experiment.metric = data.metric;
+  experiment.checkpoint_dir = flags.checkpoint_dir;
+  experiment.checkpoint_every = flags.checkpoint_every;
+  experiment.resume = flags.resume;
 
   if (flags.num_seeds > 1) {
     AlgorithmFactory factory = [&](uint64_t seed)
