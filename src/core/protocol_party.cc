@@ -8,6 +8,7 @@
 #include "common/check.h"
 #include "core/mask_tags.h"
 #include "math/multi_exp.h"
+#include "obs/trace.h"
 
 namespace uldp {
 
@@ -107,6 +108,7 @@ ServerCore::ServerCore(const ProtocolConfig& config, int num_silos,
 }
 
 Status ServerCore::GenerateKeys(ThreadPool& pool) {
+  obs::TraceSpan span("core.generate_keys");
   const ProtocolConfig& config = params_.config;
   // The key is a pure function of the seed: the keygen entropy comes from a
   // dedicated Fork substream, so nothing else the server (or any silo)
@@ -156,6 +158,7 @@ Status ServerCore::AbsorbBlindedHistogram(int silo,
 }
 
 Status ServerCore::FinalizeSetup() {
+  obs::TraceSpan span("core.finalize_setup");
   if (!keys_done_) {
     return Status::FailedPrecondition("GenerateKeys() has not run");
   }
@@ -204,6 +207,8 @@ Result<BigInt> ServerCore::PDecrypt(const BigInt& c) const {
 
 Result<std::vector<BigInt>> ServerCore::EncryptWeights(
     uint64_t round, const std::vector<bool>& user_sampled, ThreadPool& pool) {
+  obs::TraceSpan span("core.encrypt_weights", "round",
+                      static_cast<int64_t>(round));
   if (!setup_done_) {
     return Status::FailedPrecondition("setup has not completed");
   }
@@ -217,7 +222,7 @@ Result<std::vector<BigInt>> ServerCore::EncryptWeights(
   }
   if (params_.config.cache_enc_weights && cache_valid_ &&
       cached_mask_ == user_sampled) {
-    ++enc_cache_hits_;
+    enc_cache_hits_.Add(1);
     return cached_enc_;
   }
   std::vector<BigInt> enc_weights(num_users);
@@ -267,6 +272,8 @@ Result<std::vector<BigInt>> ServerCore::EncryptWeights(
 Result<std::vector<BigInt>> ServerCore::EncryptWeightsRange(
     uint64_t round, const std::vector<bool>& user_sampled, int u0, int u1,
     ThreadPool& pool) {
+  obs::TraceSpan span("core.encrypt_weights_range", "u0",
+                      static_cast<int64_t>(u0));
   if (!setup_done_) {
     return Status::FailedPrecondition("setup has not completed");
   }
@@ -322,6 +329,8 @@ Result<std::vector<BigInt>> ServerCore::EncryptWeightsRange(
 
 Result<std::vector<OtSenderPublic>> ServerCore::OtSenderInit(uint64_t round,
                                                              ThreadPool& pool) {
+  obs::TraceSpan span("core.ot_sender_init", "round",
+                      static_cast<int64_t>(round));
   if (!setup_done_) {
     return Status::FailedPrecondition("setup has not completed");
   }
@@ -467,6 +476,7 @@ Result<std::vector<BigInt>> ServerCore::AggregateCiphertexts(
 
 Status ServerCore::AccumulateSiloCipher(const std::vector<BigInt>& cipher,
                                         std::vector<BigInt>* product) const {
+  obs::TraceSpan span("core.accumulate_silo_cipher");
   if (!setup_done_) {
     return Status::FailedPrecondition("setup has not completed");
   }
@@ -488,6 +498,8 @@ Status ServerCore::AccumulateSiloCipher(const std::vector<BigInt>& cipher,
 Status ServerCore::AccumulateSiloCipherRange(
     const std::vector<BigInt>& chunk, size_t offset,
     std::vector<BigInt>* product) const {
+  obs::TraceSpan span("core.accumulate_silo_cipher_range", "offset",
+                      static_cast<int64_t>(offset));
   if (!setup_done_) {
     return Status::FailedPrecondition("setup has not completed");
   }
@@ -509,6 +521,7 @@ Status ServerCore::AccumulateSiloCipherRange(
 Result<Vec> ServerCore::DecryptAggregate(const std::vector<BigInt>& product,
                                          ThreadPool& pool,
                                          size_t model_dim) const {
+  obs::TraceSpan span("core.decrypt_aggregate");
   if (!setup_done_) {
     return Status::FailedPrecondition("setup has not completed");
   }
@@ -644,6 +657,7 @@ BigInt SiloCore::PairMask(int peer, uint64_t tag, int index) const {
 }
 
 Result<std::vector<BigInt>> SiloCore::BlindHistogram(ThreadPool& pool) const {
+  obs::TraceSpan span("core.blind_histogram");
   if (!pair_keys_done_ || !seed_set_) {
     return Status::FailedPrecondition(
         "histogram blinding requires pair keys and the shared seed");
@@ -678,6 +692,8 @@ Result<std::vector<BigInt>> SiloCore::BlindHistogram(ThreadPool& pool) const {
 Result<std::vector<BigInt>> SiloCore::OtReceiverChoose(
     uint64_t round, const std::vector<OtSenderPublic>& senders,
     ThreadPool& pool) {
+  obs::TraceSpan span("core.ot_receiver_choose", "round",
+                      static_cast<int64_t>(round));
   if (!seed_set_) {
     return Status::FailedPrecondition("shared seed not set");
   }
@@ -730,6 +746,8 @@ Result<std::vector<BigInt>> SiloCore::OtReceiverDecrypt(
     uint64_t round, const std::vector<OtSenderPublic>& senders,
     const std::vector<std::vector<std::vector<uint8_t>>>& encrypted,
     ThreadPool& pool) {
+  obs::TraceSpan span("core.ot_receiver_decrypt", "round",
+                      static_cast<int64_t>(round));
   if (!ot_pending_ || ot_round_ != round) {
     return Status::FailedPrecondition(
         "OtReceiverDecrypt without a matching OtReceiverChoose");
@@ -789,7 +807,7 @@ const FixedBaseTable* WeightTableCache::Ensure(const PaillierContext& ctx,
     return nullptr;
   }
   if (tables_[user] != nullptr && base_[user] == enc_weight) {
-    hits_.fetch_add(1, std::memory_order_relaxed);
+    hits_.Add(1);
     return tables_[user].get();
   }
   tables_[user] = std::make_unique<FixedBaseTable>(
@@ -812,6 +830,8 @@ Status SiloCore::AccumulateUsers(
     const std::vector<Vec>& deltas, size_t model_dim,
     std::vector<BigInt>* cipher, ThreadPool& pool) const {
   if (!seed_set_) {
+  obs::TraceSpan span("core.accumulate_users", "u0",
+                      static_cast<int64_t>(u0));
     return Status::FailedPrecondition("weighting requires the shared seed");
   }
   const int num_users = params_.num_users;
@@ -937,6 +957,8 @@ Status SiloCore::AccumulateUsersChunk(const std::vector<BigInt>& enc_chunk,
                                       size_t model_dim,
                                       std::vector<BigInt>* cipher,
                                       ThreadPool& pool) {
+  obs::TraceSpan span("core.accumulate_users_chunk", "u0",
+                      static_cast<int64_t>(u0));
   const int num_users = params_.num_users;
   if (u0 < 0 || u1 > num_users || u0 > u1) {
     return Status::InvalidArgument("user chunk out of range");
@@ -974,6 +996,8 @@ Status SiloCore::AccumulateUsersChunk(const std::vector<BigInt>& enc_chunk,
 Status SiloCore::FinishRound(uint64_t round, const Vec& noise,
                              std::vector<BigInt>* cipher,
                              ThreadPool& pool) const {
+  obs::TraceSpan span("core.finish_round", "round",
+                      static_cast<int64_t>(round));
   if (!pair_keys_done_ || !seed_set_) {
     return Status::FailedPrecondition(
         "weighting requires pair keys and the shared seed");
@@ -1034,6 +1058,8 @@ Status SiloCore::FinishRound(uint64_t round, const Vec& noise,
 
 Status SiloCore::PrecomputeRoundMasks(uint64_t round, size_t dim,
                                       ThreadPool& pool) {
+  obs::TraceSpan span("core.precompute_round_masks", "round",
+                      static_cast<int64_t>(round));
   if (!pair_keys_done_) {
     return Status::FailedPrecondition(
         "mask precomputation requires pair keys");

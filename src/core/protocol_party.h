@@ -39,6 +39,7 @@
 #include "crypto/paillier_ctx.h"
 #include "math/fixed_base.h"
 #include "nn/tensor.h"
+#include "obs/metrics.h"
 
 namespace uldp {
 
@@ -242,7 +243,7 @@ class ServerCore {
   Result<std::vector<BigInt>> EncryptWeightsRange(
       uint64_t round, const std::vector<bool>& user_sampled, int u0, int u1,
       ThreadPool& pool);
-  uint64_t enc_weight_cache_hits() const { return enc_cache_hits_; }
+  uint64_t enc_weight_cache_hits() const { return enc_cache_hits_.value(); }
 
   /// Weighting (a), OT mode, sender step 1: per-user slot elements, sender
   /// secrets (A = g^r runs inside the flat user × slot sweep), and the
@@ -300,11 +301,13 @@ class ServerCore {
   bool setup_done_ = false;
   Rng root_;  // Fork-only root; never drawn from directly
 
-  // Encrypted-weight cache (config.cache_enc_weights).
+  // Encrypted-weight cache (config.cache_enc_weights). The hit counter is
+  // registry-backed (src/obs) so metrics snapshots report it; the accessor
+  // above reads this instance exactly as before.
   std::vector<BigInt> cached_enc_;
   std::vector<bool> cached_mask_;
   bool cache_valid_ = false;
-  uint64_t enc_cache_hits_ = 0;
+  obs::Counter enc_cache_hits_{"core.enc_weight_cache_hits"};
 
   // OT sender round state.
   uint64_t ot_round_ = 0;
@@ -337,12 +340,12 @@ class WeightTableCache {
   const std::vector<std::unique_ptr<FixedBaseTable>>& tables() const {
     return tables_;
   }
-  uint64_t hits() const { return hits_.load(); }
+  uint64_t hits() const { return hits_.value(); }
 
  private:
   std::vector<BigInt> base_;
   std::vector<std::unique_ptr<FixedBaseTable>> tables_;
-  std::atomic<uint64_t> hits_{0};
+  obs::Counter hits_{"core.weight_table_cache_hits"};
 };
 
 /// Silo-side phase logic. Owns the silo's private histogram, its DH key

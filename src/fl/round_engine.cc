@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "fl/local_trainer.h"
 #include "fl/session.h"
+#include "obs/trace.h"
 
 namespace uldp {
 
@@ -47,6 +48,7 @@ int AsyncAggregator::Offer(int silo, int pull_version, Vec delta) {
   const int staleness = version_ - pull_version;
   if (staleness > max_staleness_) {
     ++stats_.rejected;
+    rejected_metric_.Add(1);
     return -1;
   }
   // Discount in place (skip the exact no-op multiply at staleness 0 so the
@@ -58,6 +60,8 @@ int AsyncAggregator::Offer(int silo, int pull_version, Vec delta) {
   entries_.push_back(Entry{pull_version, silo, std::move(delta)});
   ++stats_.applied;
   stats_.max_staleness_seen = std::max(stats_.max_staleness_seen, staleness);
+  applied_metric_.Add(1);
+  max_staleness_metric_.SetMax(staleness);
   return staleness;
 }
 
@@ -65,7 +69,26 @@ void AsyncAggregator::BindSession(SessionState* session) {
   session_ = session;
   if (session_ == nullptr) return;
   // Adopt, then mirror: a restored session carries the interrupted run's
-  // counters; a fresh session carries zeros (same as ours).
+  // counters; a fresh session carries zeros (same as ours). The registry
+  // mirrors adopt the restored totals too, so a resumed run's metrics
+  // snapshot continues the interrupted run's counts.
+  if (session_->stats.applied > stats_.applied) {
+    applied_metric_.Add(
+        static_cast<uint64_t>(session_->stats.applied - stats_.applied));
+  }
+  if (session_->stats.rejected > stats_.rejected) {
+    rejected_metric_.Add(
+        static_cast<uint64_t>(session_->stats.rejected - stats_.rejected));
+  }
+  if (session_->stats.dropped > stats_.dropped) {
+    dropped_metric_.Add(
+        static_cast<uint64_t>(session_->stats.dropped - stats_.dropped));
+  }
+  if (session_->stats.steps > stats_.steps) {
+    steps_metric_.Add(
+        static_cast<uint64_t>(session_->stats.steps - stats_.steps));
+  }
+  max_staleness_metric_.SetMax(session_->stats.max_staleness_seen);
   version_ = static_cast<int>(session_->round);
   stats_.applied = session_->stats.applied;
   stats_.rejected = session_->stats.rejected;
@@ -90,6 +113,7 @@ void AsyncAggregator::DropSilo(int silo) {
       entries_.begin(), entries_.end(),
       [silo](const Entry& e) { return e.silo == silo; });
   stats_.dropped += entries_.end() - removed;
+  dropped_metric_.Add(static_cast<uint64_t>(entries_.end() - removed));
   entries_.erase(removed, entries_.end());
   SyncSession();
 }
@@ -100,6 +124,9 @@ void AsyncAggregator::SetBufferSize(int buffer_size) {
 
 Vec AsyncAggregator::Flush(bool secure, uint64_t round_tag, ThreadPool* pool) {
   ULDP_CHECK(!entries_.empty());
+  obs::TraceSpan span("engine.async_flush", "entries",
+                      static_cast<int64_t>(entries_.size()));
+  steps_metric_.Add(1);
   // Deterministic reduce order: a silo contributes at most once per pulled
   // version, so (pull_version, silo) is a unique key and the sorted order
   // is independent of arrival interleaving.
@@ -217,6 +244,8 @@ Status RoundEngine::RunSilos(const Vec& global, const LocalWork& work,
   if (silo_deltas != nullptr) silo_deltas->assign(num_silos_, Vec());
   std::vector<Status> statuses(num_silos_, Status::Ok());
   pool_->ParallelFor(static_cast<size_t>(num_silos_), [&](size_t s) {
+    obs::TraceSpan span("engine.silo_task", "silo",
+                        static_cast<int64_t>(s));
     Model* model = AcquireModel();
     model->SetParams(global);
     Vec& delta = silo_deltas != nullptr ? (*silo_deltas)[s] : scratch[s];
@@ -243,6 +272,8 @@ Status RoundEngine::RunSiloShards(const Vec& global,
                         pool_->num_threads()));
   std::vector<Status> statuses(tasks.size(), Status::Ok());
   pool_->ParallelFor(tasks.size(), [&](size_t t) {
+    obs::TraceSpan span("engine.shard_task", "silo",
+                        static_cast<int64_t>(tasks[t].first));
     Model* model = AcquireModel();
     model->SetParams(global);
     statuses[t] = work(tasks[t].first, tasks[t].second, *model);
@@ -253,6 +284,7 @@ Status RoundEngine::RunSiloShards(const Vec& global,
 
 Result<Vec> RoundEngine::RunRound(int round, const Vec& global,
                                   const LocalWork& work) {
+  obs::TraceSpan span("engine.round", "round", round);
   std::vector<Vec> deltas;
   ULDP_RETURN_IF_ERROR(RunSilos(global, work, &deltas));
   // The engine's pool (sized by the num_threads knob) also drives mask
@@ -333,7 +365,11 @@ void RoundEngine::AsyncWorkerLoop() {
     Model* model = AcquireModel();
     model->SetParams(snapshot);
     Vec delta(snapshot.size(), 0.0);
-    Status status = st.work(pull_version, silo, snapshot, *model, delta);
+    Status status;
+    {
+      obs::TraceSpan span("engine.async_task", "silo", silo);
+      status = st.work(pull_version, silo, snapshot, *model, delta);
+    }
     ReleaseModel(model);
 
     lock.lock();
@@ -345,6 +381,7 @@ void RoundEngine::AsyncWorkerLoop() {
 }
 
 Result<Vec> RoundEngine::StepAsync(int round, const Vec& global) {
+  obs::TraceSpan span("engine.async_step", "round", round);
   if (async_ == nullptr) {
     return Status::FailedPrecondition("StartAsync() has not run");
   }

@@ -33,6 +33,7 @@
 #include "common/parallel.h"
 #include "common/status.h"
 #include "nn/model.h"
+#include "obs/metrics.h"
 
 namespace uldp {
 
@@ -152,8 +153,18 @@ class AsyncAggregator {
   int buffer_size_;
   int version_ = 0;
   std::vector<Entry> entries_;
+  /// Authoritative counters (serialized into sessions). The registry
+  /// metrics below mirror them so one snapshot reports async health next
+  /// to every other subsystem; stats() stays the exact per-aggregator
+  /// read.
   AsyncStats stats_;
   SessionState* session_ = nullptr;
+  obs::Counter applied_metric_{"fl.async.applied"};
+  obs::Counter rejected_metric_{"fl.async.rejected"};
+  obs::Counter dropped_metric_{"fl.async.dropped"};
+  obs::Counter steps_metric_{"fl.async.steps"};
+  obs::Gauge max_staleness_metric_{"fl.async.max_staleness_seen",
+                                   obs::Gauge::Agg::kMax};
 };
 
 /// Schedules per-silo round work across threads and reduces the results.

@@ -12,6 +12,8 @@
 #include "net/messages.h"
 #include "net/mux.h"
 #include "nn/model.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace uldp {
 namespace net {
@@ -208,6 +210,7 @@ Status AsyncRoundServer::Release(int silo, uint64_t version,
 }
 
 void AsyncRoundServer::FailAll(const Status& status) {
+  obs::MetricsRegistry::Global().AddCounter("net.async.fail_all", 1);
   Frame frame = MakeErrorFrame(status);
   std::lock_guard<std::mutex> lock(conn_mu_);
   for (const auto& conn : conns_) {
@@ -233,6 +236,7 @@ Status AsyncRoundServer::Depart(RunCtx& ctx, int silo, uint64_t version,
     Status st = ctx.manager.Evict(static_cast<uint32_t>(silo), version);
     ULDP_CHECK_MSG(st.ok(), st.ToString());
     ++evictions_;
+    obs::MetricsRegistry::Global().AddCounter("net.async.evictions", 1);
   } else {
     Status st = ctx.manager.Leave(static_cast<uint32_t>(silo), version);
     ULDP_CHECK_MSG(st.ok(), st.ToString());
@@ -269,6 +273,8 @@ Status AsyncRoundServer::AdmitDueJoins(RunCtx& ctx, uint64_t next_version) {
     }
   }
   if (due.empty()) return Status::Ok();
+  obs::TraceSpan span("async.admit", "due",
+                      static_cast<int64_t>(due.size()));
   bool changed = false;
   for (auto& join : due) {
     const int silo = static_cast<int>(join.silo_id);
@@ -299,6 +305,7 @@ Status AsyncRoundServer::AdmitDueJoins(RunCtx& ctx, uint64_t next_version) {
     ctx.owed[silo] = 0;
     ctx.waiting[silo] = false;
     ++admissions_;
+    obs::MetricsRegistry::Global().AddCounter("net.async.admissions", 1);
     changed = true;
     // The joiner starts from the current model snapshot.
     Status sent = Release(silo, next_version, ctx.global);
@@ -324,6 +331,8 @@ Status AsyncRoundServer::MaybeCheckpoint(uint64_t completed_steps,
       completed_steps != static_cast<uint64_t>(total_steps)) {
     return Status::Ok();
   }
+  obs::TraceSpan span("async.checkpoint", "step",
+                      static_cast<int64_t>(completed_steps));
   return session_.WriteFile(checkpoint_dir_ + "/session.ckpt");
 }
 
@@ -527,6 +536,8 @@ Result<Vec> AsyncRoundServer::RunInternal(int total_steps, Vec global) {
   for (int step_i = static_cast<int>(start_step); step_i < total_steps;
        ++step_i) {
     const uint64_t step = static_cast<uint64_t>(step_i);
+    obs::TraceSpan step_span("async.server_step", "step",
+                             static_cast<int64_t>(step));
     // Masked mode collects one pairwise-masked vector per silo instead of
     // buffering plaintext deltas in the aggregator.
     std::vector<std::vector<BigInt>> masked(
@@ -809,7 +820,11 @@ Status AsyncRoundClient::RunLoop(Transport& transport, const WorkFn& work,
       return Status::Ok();
     }
     Vec delta;
-    ULDP_RETURN_IF_ERROR(work(version, info.value().params, &delta));
+    {
+      obs::TraceSpan span("async.client_work", "version",
+                          static_cast<int64_t>(version));
+      ULDP_RETURN_IF_ERROR(work(version, info.value().params, &delta));
+    }
     if (delta.size() != static_cast<size_t>(dim_)) {
       return Status::Internal("local work produced a wrong-sized delta");
     }

@@ -14,6 +14,9 @@
 #include <string>
 #include <thread>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace uldp {
 namespace net {
 
@@ -46,6 +49,7 @@ class MuxBase : public FrameMux {
       if (!st.frames.empty()) {
         Frame frame = std::move(st.frames.front());
         st.frames.pop_front();
+        NoteDispatchLocked(st);
         return frame;
       }
       if (st.is_terminal) return st.terminal;
@@ -92,6 +96,7 @@ class MuxBase : public FrameMux {
         event.peer = static_cast<int>(i);
         event.frame = std::move(state_[i].frames.front());
         state_[i].frames.pop_front();
+        NoteDispatchLocked(state_[i]);
         return event;
       }
       bool all_gone = true;
@@ -154,6 +159,7 @@ class MuxBase : public FrameMux {
       if (peer < 0 || peer >= static_cast<int>(peers_.size())) return;
       PeerState& st = state_[peer];
       st.frames.clear();
+      st.enqueue_ns.clear();
       MarkTerminalLocked(peer, std::move(status));
       // Retired, not failed: RecvAny must never surface this peer again.
       st.terminal_reported = true;
@@ -166,10 +172,22 @@ class MuxBase : public FrameMux {
  protected:
   struct PeerState {
     std::deque<Frame> frames;
+    /// Deliver timestamps parallel to `frames` (NoteDispatchLocked pops
+    /// one per frame) — the queue-residency half of dispatch latency.
+    std::deque<uint64_t> enqueue_ns;
     Status terminal = Status::Ok();
     bool is_terminal = false;
     bool terminal_reported = false;
   };
+
+  /// Called with mu_ held right after a frame is popped: records how long
+  /// the frame sat queued between the receive thread's Deliver and the
+  /// waiter's pop.
+  void NoteDispatchLocked(PeerState& st) {
+    if (st.enqueue_ns.empty()) return;
+    dispatch_ns_.Record(obs::NowNs() - st.enqueue_ns.front());
+    st.enqueue_ns.pop_front();
+  }
 
   /// Appends a peer on a running mux; the backend wires up its receive
   /// path (reader thread / epoll registration) afterwards.
@@ -191,6 +209,9 @@ class MuxBase : public FrameMux {
       // the caller already declared this peer gone.
       if (state_[peer].is_terminal) return;
       state_[peer].frames.push_back(std::move(frame));
+      state_[peer].enqueue_ns.push_back(obs::NowNs());
+      frames_.Add(1);
+      queue_depth_.Record(state_[peer].frames.size());
     }
     cv_.notify_all();
   }
@@ -232,6 +253,9 @@ class MuxBase : public FrameMux {
   bool started_ = false;
   bool stopped_ = false;
   const bool waiter_deadline_;
+  obs::Counter frames_{"net.mux.frames"};
+  obs::Histogram dispatch_ns_{"net.mux.dispatch_ns"};
+  obs::Histogram queue_depth_{"net.mux.queue_depth"};
 };
 
 /// One blocking reader thread per transport; the backend's Recv enforces
@@ -425,7 +449,10 @@ class EpollFrameMux final : public MuxBase {
     while (!loop_stop_.load()) {
       // The tick bounds how long a Shutdown waits for this thread when no
       // socket ever becomes readable again.
+      const uint64_t wait_start = obs::NowNs();
       const int n = ::epoll_wait(epoll_fds_[k], events, 64, 100);
+      epoll_wait_ns_.Record(obs::NowNs() - wait_start);
+      if (n > 0) wakeups_.Add(1);
       if (n < 0) {
         if (errno == EINTR) continue;
         // An unusable epoll set fails every peer of this loop rather than
@@ -443,21 +470,28 @@ class EpollFrameMux final : public MuxBase {
         }
         return;
       }
-      for (int e = 0; e < n; ++e) {
-        DrainPeer(k, static_cast<int>(events[e].data.u64));
+      if (n > 0) {
+        obs::TraceSpan span("mux.drain", "ready_fds", n);
+        uint64_t delivered = 0;
+        for (int e = 0; e < n; ++e) {
+          delivered += DrainPeer(k, static_cast<int>(events[e].data.u64));
+        }
+        frames_per_wakeup_.Record(delivered);
       }
     }
   }
 
-  void DrainPeer(int k, int peer) {
+  /// Returns the number of frames delivered from this peer's socket.
+  uint64_t DrainPeer(int k, int peer) {
     Transport* t;
     {
       // peers_ grows under mu_ (AddPeer); snapshot the pointer instead of
       // holding a reference into a vector that may reallocate.
       std::lock_guard<std::mutex> lock(mu_);
-      if (peer < 0 || peer >= static_cast<int>(peers_.size())) return;
+      if (peer < 0 || peer >= static_cast<int>(peers_.size())) return 0;
       t = peers_[peer];
     }
+    uint64_t delivered = 0;
     for (;;) {
       Frame frame;
       auto complete = t->TryReadFrame(&frame);
@@ -467,16 +501,20 @@ class EpollFrameMux final : public MuxBase {
         ::epoll_ctl(epoll_fds_[k], EPOLL_CTL_DEL, t->NativeHandle(),
                     nullptr);
         MarkTerminal(peer, complete.status());
-        return;
+        return delivered;
       }
-      if (!complete.value()) return;  // drained; wait for the next wakeup
+      if (!complete.value()) return delivered;  // drained; next wakeup
       Deliver(peer, std::move(frame));
+      ++delivered;
     }
   }
 
   std::vector<int> epoll_fds_;
   std::vector<std::thread> loops_;
   std::atomic<bool> loop_stop_{false};
+  obs::Counter wakeups_{"net.mux.epoll_wakeups"};
+  obs::Histogram epoll_wait_ns_{"net.mux.epoll_wait_ns"};
+  obs::Histogram frames_per_wakeup_{"net.mux.frames_per_wakeup"};
 };
 
 }  // namespace

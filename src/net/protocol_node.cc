@@ -7,6 +7,8 @@
 
 #include "common/check.h"
 #include "net/stream.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace uldp {
 namespace net {
@@ -18,6 +20,16 @@ using Clock = std::chrono::steady_clock;
 double NowSeconds() {
   return std::chrono::duration<double>(Clock::now().time_since_epoch())
       .count();
+}
+
+/// Static trace-span names for the server's wire phases (the trace buffer
+/// stores pointers, not copies).
+const char* PhaseSpanName(const std::string& name) {
+  if (name == "setup") return "proto.phase.setup";
+  if (name == "enc_weights") return "proto.phase.enc_weights";
+  if (name == "silo_ciphers") return "proto.phase.silo_ciphers";
+  if (name == "aggregate") return "proto.phase.aggregate";
+  return "proto.phase";
 }
 
 /// Joins an owned prefetch thread on every exit path.
@@ -64,7 +76,7 @@ std::unique_ptr<std::vector<BigInt>> ProtocolServer::TakePrefetch(
     return nullptr;
   }
   prefetch_misses_ = 0;
-  ++prefetch_hits_;
+  prefetch_hits_.Add(1);
   return std::make_unique<std::vector<BigInt>>(std::move(prefetch_enc_));
 }
 
@@ -75,6 +87,8 @@ void ProtocolServer::StartPrefetch(uint64_t round,
   prefetch_round_ = round;
   prefetch_mask_ = user_sampled;
   prefetch_thread_ = std::thread([this] {
+    obs::TraceSpan span("proto.prefetch_enc", "round",
+                        static_cast<int64_t>(prefetch_round_));
     auto enc = core_.EncryptWeights(prefetch_round_, prefetch_mask_,
                                     prefetch_pool_);
     if (enc.ok()) {
@@ -118,6 +132,7 @@ Status ProtocolServer::Broadcast(const Frame& frame) {
 }
 
 void ProtocolServer::FailAll(const Status& status) {
+  obs::MetricsRegistry::Global().AddCounter("net.server.fail_all", 1);
   Frame frame = MakeErrorFrame(status);
   for (const auto& conn : conns_) {
     if (conn != nullptr) conn->Send(frame);  // best effort
@@ -163,7 +178,18 @@ void ProtocolServer::EndPhase(const std::string& name) {
   }
   entry->bytes_sent += total_bytes_sent() - phase_sent_start_;
   entry->bytes_received += total_bytes_received() - phase_received_start_;
-  entry->seconds += NowSeconds() - phase_time_start_;
+  const double seconds = NowSeconds() - phase_time_start_;
+  entry->seconds += seconds;
+  // Mirror each phase into the telemetry layer: a latency histogram in the
+  // registry and one complete trace event spanning the phase (BeginPhase /
+  // EndPhase are not lexically scoped, so no TraceSpan here).
+  const uint64_t dur_ns = static_cast<uint64_t>(seconds * 1e9);
+  obs::MetricsRegistry::Global().RecordHistogram(
+      "net.server.phase_ns." + name, dur_ns);
+  obs::TraceBuffer& trace = obs::TraceBuffer::Global();
+  if (trace.enabled()) {
+    trace.Record(PhaseSpanName(name), obs::NowNs() - dur_ns, dur_ns);
+  }
 }
 
 Status ProtocolServer::AddConnection(std::unique_ptr<Transport> transport) {
@@ -339,8 +365,12 @@ Result<Vec> ProtocolServer::RunRoundInternal(
   if (round >= kMaskTagRoundLimit) {
     return Status::OutOfRange("round exceeds the 56-bit tag limit");
   }
+  obs::TraceSpan round_span("proto.round", "round",
+                            static_cast<int64_t>(round));
   BeginPhase();
   if (config_.ot_slots > 0) {
+    obs::TraceSpan ot_span("proto.ot_round", "round",
+                           static_cast<int64_t>(round));
     // OT-based private sub-sampling: silo 0 acts as the joint receiver
     // (all silos share the seed that picks the slots) and re-distributes
     // the fetched ciphertexts to its peers, encrypted under pairwise keys
@@ -505,6 +535,8 @@ Result<Vec> ProtocolServer::RunRoundInternal(
 
 Status ProtocolServer::StreamEncWeights(
     uint64_t round, const std::vector<bool>& user_sampled) {
+  obs::TraceSpan span("proto.stream_enc_weights", "round",
+                      static_cast<int64_t>(round));
   const uint64_t tag = MakeMaskTag(MaskPhase::kRoundWeighting, round);
   const int chunk_users = StreamChunkUsers(config_);
   const int window = StreamWindow(config_);
@@ -568,6 +600,7 @@ Status ProtocolServer::GatherSiloCipherStream(int silo, uint64_t round,
                                               std::mutex* fold_mu,
                                               std::vector<BigInt>* product,
                                               uint32_t* dim_out) {
+  obs::TraceSpan span("proto.gather_cipher_stream", "silo", silo);
   const uint64_t tag = MakeMaskTag(MaskPhase::kRoundWeighting, round);
   auto frame = RecvFrom(silo);
   if (!frame.ok()) return frame.status();
@@ -647,6 +680,7 @@ Status SiloClient::Run(Transport& transport, const RoundInput& input,
 
 Result<std::vector<BigInt>> SiloClient::HandleOtRound(
     Transport& transport, uint64_t round, const OtSenderMsg& sender_msg) {
+  obs::TraceSpan span("silo.ot_round", "round", static_cast<int64_t>(round));
   // Receiver commitments, then the encrypted slots.
   auto bs = core_->OtReceiverChoose(round, sender_msg.senders, *pool_);
   if (!bs.ok()) return bs.status();
@@ -691,6 +725,8 @@ Result<std::vector<BigInt>> SiloClient::HandleOtRound(
 Status SiloClient::UploadCipherStream(Transport& transport, uint64_t round,
                                       size_t model_dim,
                                       std::vector<BigInt> cipher) {
+  obs::TraceSpan span("silo.upload_cipher", "round",
+                      static_cast<int64_t>(round));
   StreamSendOptions opts;
   opts.phase_tag = MakeMaskTag(MaskPhase::kRoundWeighting, round);
   opts.kind = StreamKind::kSiloCipher;
@@ -719,6 +755,8 @@ Status SiloClient::HandleStreamedRound(Transport& transport,
     return Status::InvalidArgument("stream begin with wrong phase tag");
   }
   const uint64_t round = MaskTagRound(begin.phase_tag);
+  obs::TraceSpan span("silo.stream_round", "round",
+                      static_cast<int64_t>(round));
 
   // Round inputs first: the fold needs this silo's deltas and the model
   // dimension before the first chunk lands.
@@ -780,6 +818,7 @@ Status SiloClient::HandleStreamedRound(Transport& transport,
 
 Status SiloClient::RunLoop(Transport& transport, const RoundInput& input,
                            const RoundResultFn& on_result) {
+  const uint64_t setup_start_ns = obs::NowNs();
   // -- Join handshake ------------------------------------------------------
   JoinMsg join;
   join.silo_id = static_cast<uint32_t>(silo_id_);
@@ -880,6 +919,14 @@ Status SiloClient::RunLoop(Transport& transport, const RoundInput& input,
   }
   auto ack = FromFrame<SetupAckMsg>(frame.value());
   if (!ack.ok()) return ack.status();
+  // The setup leg spans the whole straight-line section above, so it is
+  // recorded directly rather than via a scoped span.
+  obs::TraceBuffer& trace = obs::TraceBuffer::Global();
+  if (trace.enabled()) {
+    trace.Record("silo.setup", setup_start_ns,
+                 obs::NowNs() - setup_start_ns, "silo",
+                 static_cast<int64_t>(silo_id_));
+  }
 
   // -- Round loop ----------------------------------------------------------
   // Pipelining: while the server aggregates and decrypts round r, this
@@ -973,6 +1020,8 @@ Status SiloClient::RunLoop(Transport& transport, const RoundInput& input,
 
     // Round computation: the silo's own deltas and noise, then the
     // encrypted weighted sum with masks.
+    obs::TraceSpan round_span("silo.round", "round",
+                              static_cast<int64_t>(round));
     std::vector<Vec> deltas;
     Vec noise;
     ULDP_RETURN_IF_ERROR(input(round, &deltas, &noise));

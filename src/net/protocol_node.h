@@ -110,7 +110,7 @@ class ProtocolServer {
   Result<Vec> RunRound(uint64_t round, const std::vector<bool>& user_sampled);
 
   /// Encrypted-weight rounds served from the pipeline prefetch.
-  uint64_t prefetch_hits() const { return prefetch_hits_; }
+  uint64_t prefetch_hits() const { return prefetch_hits_.value(); }
 
   /// Tells every silo the run is over; their Run() loops return Ok.
   Status Shutdown();
@@ -187,7 +187,9 @@ class ProtocolServer {
   std::vector<bool> prefetch_mask_;
   Status prefetch_status_ = Status::Ok();
   std::vector<BigInt> prefetch_enc_;
-  uint64_t prefetch_hits_ = 0;
+  /// Registry-backed (net.server.prefetch_hits) so metrics snapshots
+  /// report it; prefetch_hits() reads this instance exactly as before.
+  obs::Counter prefetch_hits_{"net.server.prefetch_hits"};
   /// Consecutive discarded prefetches; at the cap the speculation is
   /// disabled (a per-round-resampling driver can never hit it).
   static constexpr int kMaxPrefetchMisses = 2;

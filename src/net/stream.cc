@@ -4,6 +4,9 @@
 #include <string>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace uldp {
 namespace net {
 
@@ -26,6 +29,31 @@ std::string KindName(uint8_t kind) {
   return "kind-" + std::to_string(static_cast<int>(kind));
 }
 
+/// Static span names (the trace buffer stores pointers, not copies).
+const char* ChunkSpanName(StreamKind kind) {
+  switch (kind) {
+    case StreamKind::kEncWeights:
+      return "stream.chunk.enc_weights";
+    case StreamKind::kSiloCipher:
+      return "stream.chunk.silo_cipher";
+    case StreamKind::kMaskedVector:
+      return "stream.chunk.masked_vector";
+  }
+  return "stream.chunk";
+}
+
+const char* FoldSpanName(StreamKind kind) {
+  switch (kind) {
+    case StreamKind::kEncWeights:
+      return "stream.fold.enc_weights";
+    case StreamKind::kSiloCipher:
+      return "stream.fold.silo_cipher";
+    case StreamKind::kMaskedVector:
+      return "stream.fold.masked_vector";
+  }
+  return "stream.fold";
+}
+
 }  // namespace
 
 Status SendChunkedStream(
@@ -43,6 +71,14 @@ Status SendChunkedStream(
   const uint32_t chunk_elems = static_cast<uint32_t>(opts.chunk_elems);
   const uint32_t chunk_count = ChunkCountFor(total_count, chunk_elems);
 
+  // Per-kind stream metrics; instances fold into the registry's retained
+  // aggregates when the stream finishes, so totals accumulate per kind.
+  const std::string metric_base =
+      "net.stream." + KindName(static_cast<uint8_t>(opts.kind));
+  obs::Counter chunks_sent(metric_base + ".chunks_sent");
+  obs::Counter chunk_bytes(metric_base + ".chunk_bytes");
+  obs::Histogram ack_wait_ns(metric_base + ".ack_wait_ns");
+
   StreamBeginMsg begin;
   begin.phase_tag = opts.phase_tag;
   begin.kind = static_cast<uint8_t>(opts.kind);
@@ -57,6 +93,7 @@ Status SendChunkedStream(
   // receiver's completion is confirmed before the caller moves on.
   int in_flight = 0;
   auto await_ack = [&]() -> Status {
+    obs::ScopedTimerNs timer(&ack_wait_ns);
     auto frame = recv();
     if (!frame.ok()) return frame.status();
     if (frame.value().type == static_cast<uint16_t>(MessageType::kError)) {
@@ -79,6 +116,8 @@ Status SendChunkedStream(
     while (in_flight >= opts.window) {
       ULDP_RETURN_IF_ERROR(await_ack());
     }
+    obs::TraceSpan span(ChunkSpanName(opts.kind), "index",
+                        static_cast<int64_t>(index));
     const size_t c0 = static_cast<size_t>(index) * chunk_elems;
     const size_t c1 = std::min(total_count, c0 + chunk_elems);
     auto values = make_chunk(c0, c1);
@@ -94,7 +133,10 @@ Status SendChunkedStream(
     chunk.kind = static_cast<uint8_t>(opts.kind);
     chunk.index = index;
     chunk.values = std::move(values.value());
-    ULDP_RETURN_IF_ERROR(send(ToFrame(chunk)));
+    Frame frame = ToFrame(chunk);
+    chunks_sent.Add(1);
+    chunk_bytes.Add(kFrameHeaderSize + frame.payload.size());
+    ULDP_RETURN_IF_ERROR(send(frame));
     ++in_flight;
   }
   while (in_flight > 0) {
@@ -187,6 +229,8 @@ Result<StreamAckMsg> ChunkStreamReceiver::Feed(
         std::to_string(chunk.values.size()) + " elements, expected " +
         std::to_string(expect_size));
   }
+  obs::TraceSpan span(FoldSpanName(kind_), "index",
+                      static_cast<int64_t>(chunk.index));
   ULDP_RETURN_IF_ERROR(fold(std::move(chunk.values), offset));
   StreamAckMsg ack;
   ack.phase_tag = phase_tag_;

@@ -64,7 +64,7 @@ Status TcpTransport::WriteAll(const uint8_t* data, size_t size) {
     }
     done += static_cast<size_t>(n);
   }
-  sent_.fetch_add(size, std::memory_order_relaxed);
+  NoteSent(size);
   return Status::Ok();
 }
 
@@ -90,7 +90,7 @@ Status TcpTransport::ReadAll(uint8_t* data, size_t size) {
     }
     done += static_cast<size_t>(n);
   }
-  received_.fetch_add(size, std::memory_order_relaxed);
+  NoteReceived(size);
   return Status::Ok();
 }
 
@@ -157,8 +157,7 @@ Result<bool> TcpTransport::TryReadFrame(Frame* out) {
                 : "tcp: peer closed the connection mid-frame");
       }
       read_have_ += static_cast<size_t>(n);
-      received_.fetch_add(static_cast<uint64_t>(n),
-                          std::memory_order_relaxed);
+      NoteReceived(static_cast<uint64_t>(n));
     }
     if (!read_header_done_) {
       // Cap check before the payload buffer grows, exactly like Recv.

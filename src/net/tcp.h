@@ -39,8 +39,6 @@ class TcpTransport : public Transport {
   /// valid until Close()/destruction — safe against a concurrent reader.
   void Interrupt() override;
   int NativeHandle() const override { return fd_; }
-  uint64_t bytes_sent() const override { return sent_.load(); }
-  uint64_t bytes_received() const override { return received_.load(); }
 
   /// Recv deadline via SO_RCVTIMEO: a Recv that sees no bytes for
   /// `milliseconds` fails with DeadlineExceeded instead of blocking
@@ -66,8 +64,6 @@ class TcpTransport : public Transport {
   Status ReadAll(uint8_t* data, size_t size);
 
   int fd_ = -1;
-  std::atomic<uint64_t> sent_{0};
-  std::atomic<uint64_t> received_{0};
 
   // TryReadFrame state machine: bytes accumulated toward the current
   // header-or-payload target.

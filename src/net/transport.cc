@@ -23,7 +23,7 @@ Status ChannelTransport::Send(const Frame& frame) {
     tx_->frames.push_back(std::move(bytes));
   }
   tx_->cv.notify_one();
-  sent_.fetch_add(size, std::memory_order_relaxed);
+  NoteSent(size);
   NoteFrame(size);
   return Status::Ok();
 }
@@ -39,7 +39,7 @@ Result<Frame> ChannelTransport::Recv() {
     bytes = std::move(rx_->frames.front());
     rx_->frames.pop_front();
   }
-  received_.fetch_add(bytes.size(), std::memory_order_relaxed);
+  NoteReceived(bytes.size());
   NoteFrame(bytes.size());
   // The bytes were produced in-process, but the configured receive cap is
   // enforced all the same so channel-backed tests exercise the exact

@@ -9,7 +9,11 @@
 //   * TcpTransport (net/tcp.h) — blocking POSIX sockets, loopback-tested.
 //
 // Both endpoints count bytes sent/received (wire bytes, frame headers
-// included) so the bench can report bytes-on-the-wire per phase.
+// included) so the bench can report bytes-on-the-wire per phase. The
+// counters live on the metrics registry (src/obs): per-connection
+// accessors read this object's own instances (exact, as before) while a
+// registry snapshot reports fleet totals across live and closed
+// connections under net.transport.*.
 
 #ifndef ULDP_NET_TRANSPORT_H_
 #define ULDP_NET_TRANSPORT_H_
@@ -24,6 +28,7 @@
 
 #include "common/status.h"
 #include "net/wire.h"
+#include "obs/metrics.h"
 
 namespace uldp {
 namespace net {
@@ -58,8 +63,8 @@ class Transport {
         "this transport has no non-blocking read path");
   }
 
-  virtual uint64_t bytes_sent() const = 0;
-  virtual uint64_t bytes_received() const = 0;
+  uint64_t bytes_sent() const { return sent_bytes_.value(); }
+  uint64_t bytes_received() const { return received_bytes_.value(); }
 
   /// Per-connection receive cap on one frame's payload: an incoming frame
   /// whose header announces more than this is rejected before any payload
@@ -82,25 +87,26 @@ class Transport {
   }
 
   /// Largest single frame seen in either direction (wire bytes, header
-  /// included) — the stream-scaling bench's per-chunk byte ceiling.
+  /// included) — the stream-scaling bench's per-chunk byte ceiling. Backed
+  /// by a max-aggregated registry gauge, so a snapshot reports the fleet
+  /// high-water mark while this accessor stays per-connection.
   uint64_t largest_frame_bytes() const {
-    return largest_frame_.load(std::memory_order_relaxed);
+    return static_cast<uint64_t>(largest_frame_.value());
   }
   /// Returns largest_frame_bytes() and resets the window, so a caller can
   /// measure the largest frame of one protocol phase (e.g. the weighting
   /// rounds, excluding the setup handshake) in isolation.
   uint64_t TakeLargestFrame() {
-    return largest_frame_.exchange(0, std::memory_order_relaxed);
+    return static_cast<uint64_t>(largest_frame_.Exchange(0));
   }
 
  protected:
   void NoteFrame(uint64_t wire_bytes) {
-    uint64_t prev = largest_frame_.load(std::memory_order_relaxed);
-    while (wire_bytes > prev &&
-           !largest_frame_.compare_exchange_weak(prev, wire_bytes,
-                                                 std::memory_order_relaxed)) {
-    }
+    largest_frame_.SetMax(static_cast<int64_t>(wire_bytes));
+    frame_bytes_.Record(wire_bytes);
   }
+  void NoteSent(uint64_t n) { sent_bytes_.Add(n); }
+  void NoteReceived(uint64_t n) { received_bytes_.Add(n); }
   void set_recv_timeout_ms(int ms) {
     recv_timeout_ms_.store(ms, std::memory_order_relaxed);
   }
@@ -108,7 +114,11 @@ class Transport {
  private:
   std::atomic<uint32_t> max_frame_payload_{kDefaultMaxFramePayload};
   std::atomic<int> recv_timeout_ms_{0};
-  std::atomic<uint64_t> largest_frame_{0};
+  obs::Counter sent_bytes_{"net.transport.bytes_sent"};
+  obs::Counter received_bytes_{"net.transport.bytes_received"};
+  obs::Gauge largest_frame_{"net.transport.largest_frame_bytes",
+                            obs::Gauge::Agg::kMax};
+  obs::Histogram frame_bytes_{"net.transport.frame_bytes"};
 };
 
 /// In-process transport: a pair of endpoints connected by two one-way
@@ -124,8 +134,6 @@ class ChannelTransport : public Transport {
   Status Send(const Frame& frame) override;
   Result<Frame> Recv() override;
   void Close() override;
-  uint64_t bytes_sent() const override { return sent_.load(); }
-  uint64_t bytes_received() const override { return received_.load(); }
 
  private:
   struct Queue {
@@ -139,7 +147,6 @@ class ChannelTransport : public Transport {
       : tx_(std::move(tx)), rx_(std::move(rx)) {}
 
   std::shared_ptr<Queue> tx_, rx_;
-  std::atomic<uint64_t> sent_{0}, received_{0};
 };
 
 }  // namespace net

@@ -1,0 +1,120 @@
+#include "obs/stats_server.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace uldp {
+namespace obs {
+
+namespace {
+
+void SendAll(int fd, const std::string& data) {
+  size_t done = 0;
+  while (done < data.size()) {
+    ssize_t n = ::send(fd, data.data() + done, data.size() - done,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // client went away; nothing to report
+    }
+    done += static_cast<size_t>(n);
+  }
+}
+
+}  // namespace
+
+Result<std::unique_ptr<StatsServer>> StatsServer::Start(int port) {
+  if (port < 0 || port > 65535) {
+    return Status::InvalidArgument("stats: port " + std::to_string(port) +
+                                   " out of range [0, 65535]");
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("stats: socket: ") +
+                            std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(static_cast<uint16_t>(port));
+  sa.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+    Status status =
+        Status::Internal("stats: bind 127.0.0.1:" + std::to_string(port) +
+                         ": " + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, 16) != 0) {
+    Status status = Status::Internal(std::string("stats: listen: ") +
+                                     std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  socklen_t len = sizeof(sa);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&sa), &len) != 0) {
+    Status status = Status::Internal(std::string("stats: getsockname: ") +
+                                     std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  std::unique_ptr<StatsServer> server(new StatsServer());
+  server->listen_fd_ = fd;
+  server->port_ = ntohs(sa.sin_port);
+  server->thread_ = std::thread([s = server.get()] { s->Serve(); });
+  return server;
+}
+
+StatsServer::~StatsServer() { Stop(); }
+
+void StatsServer::Stop() {
+  if (stop_.exchange(true)) return;
+  if (listen_fd_ >= 0) {
+    // shutdown() wakes the thread blocked in accept() (net/tcp.cc applies
+    // the same pattern to TcpListener::Close).
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+void StatsServer::Serve() {
+  while (!stop_.load()) {
+    int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed (Stop) or unusable
+    }
+    // Read (and discard) the request line + headers; the response is the
+    // same for every path.
+    char buf[4096];
+    ssize_t n = ::recv(client, buf, sizeof(buf), 0);
+    (void)n;
+    const std::string body = MetricsRegistry::Global().ToPrometheus();
+    std::string response =
+        "HTTP/1.1 200 OK\r\n"
+        "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+        "Content-Length: " +
+        std::to_string(body.size()) +
+        "\r\n"
+        "Connection: close\r\n"
+        "\r\n" +
+        body;
+    SendAll(client, response);
+    ::shutdown(client, SHUT_RDWR);
+    ::close(client);
+  }
+}
+
+}  // namespace obs
+}  // namespace uldp

@@ -1,0 +1,48 @@
+// Minimal live-stats HTTP endpoint: one loopback listener + one serving
+// thread answering every GET with the global metrics registry rendered in
+// Prometheus text exposition format (--stats-port on the protocol and
+// async servers). Deliberately tiny: HTTP/1.1, connection: close, no
+// routing — `curl localhost:<port>` or a Prometheus scrape both work.
+
+#ifndef ULDP_OBS_STATS_SERVER_H_
+#define ULDP_OBS_STATS_SERVER_H_
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "common/status.h"
+
+namespace uldp {
+namespace obs {
+
+class StatsServer {
+ public:
+  /// Binds 127.0.0.1:`port` (0 = ephemeral; read the bound port back from
+  /// port()) and starts the serving thread.
+  static Result<std::unique_ptr<StatsServer>> Start(int port);
+
+  ~StatsServer();
+  StatsServer(const StatsServer&) = delete;
+  StatsServer& operator=(const StatsServer&) = delete;
+
+  int port() const { return port_; }
+
+  /// Stops the serving thread and closes the listener. Idempotent; the
+  /// destructor calls it.
+  void Stop();
+
+ private:
+  StatsServer() = default;
+  void Serve();
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace obs
+}  // namespace uldp
+
+#endif  // ULDP_OBS_STATS_SERVER_H_

@@ -15,7 +15,7 @@ if [ "${SANITIZE:-0}" = "1" ]; then
   # Separate default build dir: writing ULDP_SANITIZE=ON into the plain
   # build/ cache would leave later non-sanitized runs silently sanitized.
   BUILD_DIR="${1:-build-asan}"
-  FAST_TESTS='^(bigint_test|montgomery_primes_test|fixed_base_test|fixed_point_test|csv_loader_test|mask_tags_test|secure_agg_test|sha_chacha_test|common_test|parallel_test|paillier_test|paillier_ctx_test|dh_test|oblivious_transfer_test|net_wire_test|net_transport_test|parse_test|async_rounds_test|multi_exp_test|packed_codec_test|net_stream_test|shard_round_test|session_test|membership_test)$'
+  FAST_TESTS='^(bigint_test|montgomery_primes_test|fixed_base_test|fixed_point_test|csv_loader_test|mask_tags_test|secure_agg_test|sha_chacha_test|common_test|parallel_test|paillier_test|paillier_ctx_test|dh_test|oblivious_transfer_test|net_wire_test|net_transport_test|parse_test|async_rounds_test|multi_exp_test|packed_codec_test|net_stream_test|shard_round_test|session_test|membership_test|obs_test)$'
   cmake -B "$BUILD_DIR" -S . -DULDP_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build "$BUILD_DIR" -j"$JOBS"
   ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
@@ -68,6 +68,14 @@ fi
 # run diverges from the uninterrupted one.
 if [ -x "$BUILD_DIR/bench_membership_churn" ]; then
   (cd "$BUILD_DIR" && ULDP_BENCH_SMOKE=1 ./bench_membership_churn)
+fi
+
+# Telemetry-overhead bench in smoke mode: produces BENCH_obs_overhead.json
+# (traced vs untraced round latency interleaved min-of-N, NullSpan vs bare
+# loop) and fails on bitwise divergence; check_bench then gates the <=2%
+# traced-round ceiling and the zero-cost compiled-out span shape.
+if [ -x "$BUILD_DIR/bench_obs_overhead" ]; then
+  (cd "$BUILD_DIR" && ULDP_BENCH_SMOKE=1 ./bench_obs_overhead)
 fi
 
 # Bench-regression gate: every committed baseline in bench/baselines/ is
@@ -314,4 +322,97 @@ if [ -x "$BUILD_DIR/uldp_fl_cli" ]; then
   fi
   echo "resume smoke: kill-and-resume run bitwise-identical" \
       "(digest $REF_DIGEST)"
+
+  # Telemetry loopback smoke: a fully instrumented distributed round with
+  # OT weight distribution, ciphertext packing, and chunked streaming all
+  # on (--verify asserts the instrumented run still bitwise-matches the
+  # in-process protocol). The server and silo 0 each write
+  # --metrics-out/--trace-out; tools/check_metrics.py then validates both
+  # snapshots structurally and requires the migrated counters, the
+  # epoll-mux histograms, per-chunk stream telemetry on the sender side,
+  # and a trace covering every Protocol 1 phase plus the OT round, the
+  # streamed cipher folds, and mux dispatch.
+  OBS_LOG="$BUILD_DIR/obs_smoke_server.log"
+  OBS_ARGS="--silos=2 --users=6 --dim=8 --paillier-bits=512 --seed=11 \
+--net-timeout=120 --ot-slots=4 --pack-slots=2 --stream-chunk-users=4"
+  rm -f "$BUILD_DIR"/obs_smoke_server_metrics.json \
+      "$BUILD_DIR"/obs_smoke_server_trace.json \
+      "$BUILD_DIR"/obs_smoke_silo0_metrics.json \
+      "$BUILD_DIR"/obs_smoke_silo0_trace.json \
+      "$OBS_LOG"
+  # shellcheck disable=SC2086
+  "$BUILD_DIR/uldp_fl_cli" --serve=0 --rounds=2 --verify $OBS_ARGS \
+      --metrics-out="$BUILD_DIR/obs_smoke_server_metrics.json" \
+      --trace-out="$BUILD_DIR/obs_smoke_server_trace.json" \
+      > "$OBS_LOG" 2>&1 &
+  SERVER_PID=$!
+  PORT=""
+  for _ in $(seq 1 100); do
+    PORT="$(sed -n 's/.*listening on port \([0-9]*\).*/\1/p' "$OBS_LOG" \
+            2>/dev/null | head -n1)"
+    [ -n "$PORT" ] && break
+    sleep 0.1
+  done
+  if [ -z "$PORT" ]; then
+    echo "obs smoke: server never reported its port" >&2
+    cat "$OBS_LOG" >&2 || true
+    kill "$SERVER_PID" 2>/dev/null || true
+    exit 1
+  fi
+  # shellcheck disable=SC2086
+  "$BUILD_DIR/uldp_fl_cli" --connect=127.0.0.1:"$PORT" --silo-id=0 \
+      $OBS_ARGS \
+      --metrics-out="$BUILD_DIR/obs_smoke_silo0_metrics.json" \
+      --trace-out="$BUILD_DIR/obs_smoke_silo0_trace.json" &
+  C0=$!
+  # shellcheck disable=SC2086
+  "$BUILD_DIR/uldp_fl_cli" --connect=127.0.0.1:"$PORT" --silo-id=1 \
+      $OBS_ARGS &
+  C1=$!
+  FAIL=0
+  wait "$SERVER_PID" || FAIL=1
+  wait "$C0" || FAIL=1
+  wait "$C1" || FAIL=1
+  cat "$OBS_LOG"
+  if [ "$FAIL" != "0" ]; then
+    echo "obs smoke: instrumented loopback round FAILED" >&2
+    exit 1
+  fi
+  # Server side: migrated transport/prefetch/core counters, mux
+  # histograms, and one complete span per protocol phase per round.
+  python3 tools/check_metrics.py \
+      --metrics "$BUILD_DIR/obs_smoke_server_metrics.json" \
+      --trace "$BUILD_DIR/obs_smoke_server_trace.json" \
+      --require-metric net.transport.bytes_sent \
+      --require-metric net.transport.bytes_received \
+      --require-metric net.mux.frames \
+      --require-metric net.mux.epoll_wakeups \
+      --require-metric net.server.prefetch_hits:0 \
+      --require-metric core.enc_weight_cache_hits:0 \
+      --require-metric core.weight_table_cache_hits:0 \
+      --require-hist net.mux.dispatch_ns \
+      --require-hist net.mux.epoll_wait_ns \
+      --require-hist net.transport.frame_bytes \
+      --require-hist net.server.phase_ns.aggregate \
+      --require-span proto.round:2 \
+      --require-span proto.phase.setup \
+      --require-span proto.phase.enc_weights:2 \
+      --require-span proto.phase.silo_ciphers:2 \
+      --require-span proto.phase.aggregate:2 \
+      --require-span proto.ot_round:2 \
+      --require-span stream.fold.silo_cipher \
+      --require-span mux.drain
+  # Silo side: per-chunk stream telemetry lives in the sender process.
+  python3 tools/check_metrics.py \
+      --metrics "$BUILD_DIR/obs_smoke_silo0_metrics.json" \
+      --trace "$BUILD_DIR/obs_smoke_silo0_trace.json" \
+      --require-metric net.stream.silo-cipher.chunks_sent:2 \
+      --require-metric net.stream.silo-cipher.chunk_bytes \
+      --require-hist net.stream.silo-cipher.ack_wait_ns \
+      --require-span silo.setup \
+      --require-span silo.round:2 \
+      --require-span silo.ot_round:2 \
+      --require-span silo.upload_cipher:2 \
+      --require-span stream.chunk.silo_cipher:2
+  echo "obs smoke: instrumented loopback round OK (port $PORT)"
 fi

@@ -37,6 +37,9 @@
 #include "net/demo.h"
 #include "net/protocol_node.h"
 #include "net/tcp.h"
+#include "obs/metrics.h"
+#include "obs/stats_server.h"
+#include "obs/trace.h"
 
 namespace uldp {
 namespace {
@@ -93,6 +96,8 @@ struct Flags {
   int dim = 16;             // demo model dimension
   int paillier_bits = 512;  // protocol modulus (demo scale)
   int n_max = 30;           // protocol N_max
+  int ot_slots = 0;         // > 0: OT-based private sub-sampling, P slots
+  int pack_slots = 1;       // ciphertext packing slots (1 = unpacked)
   bool verify = false;      // server: compare against the in-process run
   bool pipeline = false;    // protocol: multi-round pipelining (this party)
   int net_timeout = 0;      // seconds; recv/handshake deadline on TCP (0=off)
@@ -101,6 +106,12 @@ struct Flags {
   int stream_chunk_coords = 0;  // cipher-upload chunk size (0 = default)
   int stream_window = 0;        // unacked chunks in flight (0 = default)
   int max_frame_bytes = 0;      // wire frame payload cap (0 = default)
+  // Telemetry (src/obs/) — strictly passive: results are bitwise
+  // identical with or without these.
+  std::string metrics_out;  // write the metrics registry JSON on exit
+  std::string trace_out;    // record spans, write Chrome trace JSON on exit
+  int stats_port = -1;      // >= 0: live Prometheus endpoint (servers;
+                            // 0 picks an ephemeral port and prints it)
 };
 
 void PrintHelp() {
@@ -147,6 +158,12 @@ void PrintHelp() {
       "                              ephemeral port and print it)\n"
       "  --connect=HOST:PORT --silo-id=K   run silo K's client\n"
       "  --dim=D --paillier-bits=B --n-max=N   demo protocol shape\n"
+      "  --ot-slots=P                OT-based private user sub-sampling\n"
+      "                              with P slots (0 = off); all parties\n"
+      "                              must agree\n"
+      "  --pack-slots=K              pack K fixed-point coordinates per\n"
+      "                              Paillier ciphertext (1 = unpacked);\n"
+      "                              all parties must agree\n"
       "  --verify                    server: also run the in-process\n"
       "                              protocol and require bitwise equality\n"
       "  --pipeline                  overlap round r+1 precomputation with\n"
@@ -197,7 +214,18 @@ void PrintHelp() {
       "and protocol shape flags (enforced by a config digest at join\n"
       "time); --dim must match too, but a mismatch only surfaces as a\n"
       "dimension error at round time. --rounds/--threads are\n"
-      "server-/party-local.\n";
+      "server-/party-local.\n"
+      "Observability (src/obs/; passive — results are bitwise identical\n"
+      "with or without these, in every mode):\n"
+      "  --metrics-out=PATH          write the metrics registry snapshot\n"
+      "                              (counters, gauges, histograms) as JSON\n"
+      "                              on exit — including failed runs\n"
+      "  --trace-out=PATH            record phase/chunk trace spans and\n"
+      "                              write Chrome trace-event JSON on exit\n"
+      "                              (load in about://tracing or Perfetto)\n"
+      "  --stats-port=PORT           servers: live Prometheus text endpoint\n"
+      "                              on 127.0.0.1:PORT (0 = pick an\n"
+      "                              ephemeral port and print it)\n";
 }
 
 bool ParseFlag(const std::string& arg, const std::string& name,
@@ -381,6 +409,19 @@ Result<Flags> ParseFlags(int argc, char** argv) {
     } else if (ParseFlag(arg, "n-max", &value)) {
       ULDP_RETURN_IF_ERROR(
           ParseIntInto(value, "n-max", 1, 1 << 16, &flags.n_max));
+    } else if (ParseFlag(arg, "ot-slots", &value)) {
+      ULDP_RETURN_IF_ERROR(
+          ParseIntInto(value, "ot-slots", 0, 1 << 16, &flags.ot_slots));
+    } else if (ParseFlag(arg, "pack-slots", &value)) {
+      ULDP_RETURN_IF_ERROR(
+          ParseIntInto(value, "pack-slots", 1, 1 << 10, &flags.pack_slots));
+    } else if (ParseFlag(arg, "metrics-out", &value)) {
+      flags.metrics_out = value;
+    } else if (ParseFlag(arg, "trace-out", &value)) {
+      flags.trace_out = value;
+    } else if (ParseFlag(arg, "stats-port", &value)) {
+      ULDP_RETURN_IF_ERROR(
+          ParseIntInto(value, "stats-port", 0, 65535, &flags.stats_port));
     } else {
       return Status::InvalidArgument("unknown flag: " + arg +
                                      " (try --help)");
@@ -403,6 +444,14 @@ Result<Flags> ParseFlags(int argc, char** argv) {
   if (flags.stream_chunk_users > 0 && flags.async) {
     return Status::InvalidArgument(
         "--stream-chunk-users applies to Protocol 1, not the async FL demo");
+  }
+  if ((flags.ot_slots > 0 || flags.pack_slots > 1) && flags.async) {
+    return Status::InvalidArgument(
+        "--ot-slots/--pack-slots apply to Protocol 1, not the async FL demo");
+  }
+  if (flags.stats_port >= 0 && flags.serve < 0) {
+    return Status::InvalidArgument(
+        "--stats-port runs on the servers; it requires --serve");
   }
   if ((flags.stream_chunk_coords > 0 || flags.stream_window > 0) &&
       flags.stream_chunk_users <= 0) {
@@ -496,6 +545,8 @@ ProtocolConfig NetProtocolConfig(const Flags& flags) {
   config.stream_chunk_users = flags.stream_chunk_users;
   config.stream_chunk_coords = flags.stream_chunk_coords;
   config.stream_window = flags.stream_window;
+  config.ot_slots = flags.ot_slots;
+  config.pack_slots = flags.pack_slots;
   return config;
 }
 
@@ -977,21 +1028,7 @@ Result<std::unique_ptr<FlAlgorithm>> MakeAlgorithm(const Flags& flags,
   return alg;
 }
 
-int Run(int argc, char** argv) {
-  auto flags_or = ParseFlags(argc, argv);
-  if (!flags_or.ok()) {
-    std::cerr << flags_or.status().ToString() << "\n";
-    return 2;
-  }
-  const Flags& flags = flags_or.value();
-
-  if (flags.serve >= 0) {
-    return flags.async ? RunServeAsync(flags) : RunServe(flags);
-  }
-  if (!flags.connect.empty()) {
-    return flags.async ? RunConnectAsync(flags) : RunConnect(flags);
-  }
-
+int RunLocal(const Flags& flags) {
   double sigma = flags.sigma;
   if (flags.target_epsilon > 0.0 && flags.method != "default") {
     auto calibrated = SigmaForTargetEpsilon(flags.target_epsilon, flags.delta,
@@ -1061,6 +1098,65 @@ int Run(int argc, char** argv) {
   }
   PrintTrace(alg.value()->name(), trace.value());
   return 0;
+}
+
+int Dispatch(const Flags& flags) {
+  if (flags.serve >= 0) {
+    return flags.async ? RunServeAsync(flags) : RunServe(flags);
+  }
+  if (!flags.connect.empty()) {
+    return flags.async ? RunConnectAsync(flags) : RunConnect(flags);
+  }
+  return RunLocal(flags);
+}
+
+/// Writes the end-of-run telemetry artifacts. Runs after every mode
+/// dispatch — including failed rounds, FailAll teardowns, and injected
+/// silo crashes — so an aborted run still leaves a complete metrics
+/// snapshot and a valid (tmp+rename, never truncated) trace file.
+void FlushTelemetry(const Flags& flags) {
+  if (!flags.metrics_out.empty()) {
+    Status s =
+        obs::MetricsRegistry::Global().WriteJsonFile(flags.metrics_out);
+    if (!s.ok()) {
+      std::cerr << "metrics-out: " << s.ToString() << "\n";
+    }
+  }
+  if (!flags.trace_out.empty()) {
+    Status s = obs::TraceBuffer::Global().WriteJson(flags.trace_out);
+    if (!s.ok()) {
+      std::cerr << "trace-out: " << s.ToString() << "\n";
+    }
+  }
+}
+
+int Run(int argc, char** argv) {
+  auto flags_or = ParseFlags(argc, argv);
+  if (!flags_or.ok()) {
+    std::cerr << flags_or.status().ToString() << "\n";
+    return 2;
+  }
+  const Flags& flags = flags_or.value();
+
+  if (!flags.trace_out.empty()) {
+    obs::TraceBuffer::Global().Enable();
+  }
+  std::unique_ptr<obs::StatsServer> stats;
+  if (flags.stats_port >= 0) {
+    auto started = obs::StatsServer::Start(flags.stats_port);
+    if (!started.ok()) {
+      std::cerr << "stats-port: " << started.status().ToString() << "\n";
+      return 1;
+    }
+    stats = std::move(started.value());
+    std::cout << "live stats on http://127.0.0.1:" << stats->port()
+              << std::endl;
+  }
+
+  int rc = Dispatch(flags);
+  if (stats != nullptr) stats->Stop();
+  FlushTelemetry(flags);
+  return rc;
 }
 
 }  // namespace
