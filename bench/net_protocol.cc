@@ -20,6 +20,7 @@
 #include "net/demo.h"
 #include "net/protocol_node.h"
 #include "net/tcp.h"
+#include "net/transcript.h"
 #include "net/transport.h"
 
 namespace uldp {
@@ -133,6 +134,31 @@ DistributedResult RunOverChannels(const ProtocolConfig& config,
   }
   return RunDistributed(config, scale, std::move(server_ends),
                         std::move(silo_ends));
+}
+
+/// RunOverChannels with a TranscriptLog recording the server side (one
+/// entry per frame the server sends or receives, SHA-256-chained) —
+/// the recording-overhead series. The snapshot is returned through
+/// `server_log` for in-bench verification.
+DistributedResult RunOverChannelsRecorded(
+    const ProtocolConfig& config, const BenchScale& scale,
+    net::TranscriptFile* server_transcript) {
+  std::vector<std::unique_ptr<Transport>> server_ends, silo_ends;
+  auto log = std::make_shared<net::TranscriptLog>(
+      net::TranscriptMeta::FromProtocolConfig(
+          config, net::TranscriptRole::kProtocolServer, 0, scale.silos,
+          scale.users, scale.dim, scale.rounds));
+  for (int s = 0; s < scale.silos; ++s) {
+    auto [a, b] = ChannelTransport::CreatePair();
+    a->BindTranscript(log, static_cast<uint32_t>(s));
+    server_ends.push_back(std::move(a));
+    silo_ends.push_back(std::move(b));
+  }
+  DistributedResult result = RunDistributed(config, scale,
+                                            std::move(server_ends),
+                                            std::move(silo_ends));
+  *server_transcript = log->Snapshot();
+  return result;
 }
 
 DistributedResult RunOverTcp(const ProtocolConfig& config,
@@ -303,6 +329,69 @@ int Run() {
     std::cout << "\n";
   }
   json.Add("packed_bitwise_identical", 1.0);
+
+  // -- Transcript recording: round-time overhead + in-bench verification --
+  // The same fixed scale as the packed series, channel transport, with
+  // the server recording a hash-chained transcript of every frame.
+  // Interleaved min-of-5 keeps the ratio honest under runner noise; the
+  // recorded run must stay bitwise identical to the unrecorded one (the
+  // tap is passive), and the transcript itself must chain-verify and
+  // replay byte-for-byte before the bench reports success.
+  BenchScale tscale;
+  tscale.silos = 2;
+  tscale.users = 4;
+  tscale.dim = 32;
+  tscale.rounds = 2;
+  tscale.paillier_bits = 512;
+  ProtocolConfig tconfig = MakeConfig(tscale);
+  constexpr int kTranscriptReps = 5;
+  double off_min = 0.0, on_min = 0.0;
+  std::vector<Vec> transcript_reference;
+  net::TranscriptFile transcript;
+  for (int rep = 0; rep < kTranscriptReps; ++rep) {
+    DistributedResult off = RunOverChannels(tconfig, tscale);
+    DistributedResult on =
+        RunOverChannelsRecorded(tconfig, tscale, &transcript);
+    if (rep == 0) {
+      transcript_reference = off.outs;
+      off_min = off.round_s;
+      on_min = on.round_s;
+    } else {
+      off_min = std::min(off_min, off.round_s);
+      on_min = std::min(on_min, on.round_s);
+    }
+    if (off.outs != transcript_reference || on.outs != transcript_reference) {
+      std::cerr << "FATAL: transcript-recorded run diverges from the "
+                   "unrecorded reference\n";
+      return 1;
+    }
+  }
+  Status chain = transcript.VerifyChain();
+  if (!chain.ok()) {
+    std::cerr << "FATAL: recorded transcript fails chain verification: "
+              << chain.ToString() << "\n";
+    return 1;
+  }
+  net::ReplayReport report;
+  Status replayed = net::VerifyTranscript(transcript, nullptr, &report);
+  if (!replayed.ok()) {
+    std::cerr << "FATAL: recorded transcript fails replay verification: "
+              << replayed.ToString() << "\n";
+    return 1;
+  }
+  const double overhead = off_min > 0.0 ? on_min / off_min : 1.0;
+  json.Add("transcript_round_seconds", off_min, {{"recording", "off"}});
+  json.Add("transcript_round_seconds", on_min, {{"recording", "on"}});
+  json.Add("transcript_round_overhead", overhead);
+  json.Add("transcript_frames",
+           static_cast<double>(transcript.entries.size()));
+  json.Add("transcript_verify_ok", 1.0);
+  std::cout << "\ntranscript recording (channel transport, dim "
+            << tscale.dim << ", 512-bit): round off " << off_min
+            << " s, on " << on_min << " s (" << overhead
+            << "x), " << transcript.entries.size()
+            << " frames chained; replay reproduced "
+            << report.frames_matched << " outbound frames byte-for-byte\n";
 
   json.Write();
   std::cout << "wrote BENCH_net_protocol.json\n";

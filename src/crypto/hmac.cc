@@ -1,0 +1,46 @@
+#include "crypto/hmac.h"
+
+#include <cstring>
+
+namespace uldp {
+
+namespace {
+constexpr size_t kBlockSize = 64;  // SHA-256 block
+}  // namespace
+
+Sha256Digest HmacSha256(const uint8_t* key, size_t key_len,
+                        const uint8_t* data, size_t data_len) {
+  // K' = key padded (or hashed, if longer than a block) to the block size.
+  uint8_t k[kBlockSize] = {0};
+  if (key_len > kBlockSize) {
+    Sha256Digest kh = Sha256(key, key_len);
+    std::memcpy(k, kh.data(), kh.size());
+  } else if (key_len > 0) {
+    std::memcpy(k, key, key_len);
+  }
+
+  // inner = H((K' ^ ipad) || data)
+  std::vector<uint8_t> inner(kBlockSize + data_len);
+  for (size_t i = 0; i < kBlockSize; ++i) inner[i] = k[i] ^ 0x36;
+  if (data_len > 0) std::memcpy(inner.data() + kBlockSize, data, data_len);
+  Sha256Digest inner_hash = Sha256(inner.data(), inner.size());
+
+  // outer = H((K' ^ opad) || inner)
+  uint8_t outer[kBlockSize + 32];
+  for (size_t i = 0; i < kBlockSize; ++i) outer[i] = k[i] ^ 0x5c;
+  std::memcpy(outer + kBlockSize, inner_hash.data(), inner_hash.size());
+  return Sha256(outer, sizeof(outer));
+}
+
+Sha256Digest HmacSha256(const std::vector<uint8_t>& key,
+                        const std::vector<uint8_t>& data) {
+  return HmacSha256(key.data(), key.size(), data.data(), data.size());
+}
+
+bool DigestEquals(const Sha256Digest& a, const Sha256Digest& b) {
+  uint8_t diff = 0;
+  for (size_t i = 0; i < a.size(); ++i) diff |= a[i] ^ b[i];
+  return diff == 0;
+}
+
+}  // namespace uldp

@@ -1,0 +1,31 @@
+// HMAC-SHA256 (RFC 2104 / FIPS 198-1) over the from-scratch SHA-256 in
+// crypto/sha256.h. Used as the keyed finalizer over a transcript log's
+// hash-chain head (net/transcript.h): the chain alone proves internal
+// consistency, the HMAC additionally binds the chain to a key a forger
+// who re-hashes a doctored log does not hold.
+
+#ifndef ULDP_CRYPTO_HMAC_H_
+#define ULDP_CRYPTO_HMAC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/sha256.h"
+
+namespace uldp {
+
+/// One-shot HMAC-SHA256 of `data` under `key`. Keys longer than the
+/// 64-byte SHA-256 block are hashed first, per the RFC; any key length
+/// (including empty) is accepted.
+Sha256Digest HmacSha256(const uint8_t* key, size_t key_len,
+                        const uint8_t* data, size_t data_len);
+Sha256Digest HmacSha256(const std::vector<uint8_t>& key,
+                        const std::vector<uint8_t>& data);
+
+/// Constant-time digest comparison, so a verifier cannot be timed to
+/// recover how many leading MAC bytes a forgery got right.
+bool DigestEquals(const Sha256Digest& a, const Sha256Digest& b);
+
+}  // namespace uldp
+
+#endif  // ULDP_CRYPTO_HMAC_H_

@@ -113,7 +113,9 @@ Status TcpTransport::Send(const Frame& frame) {
   if (fd_ < 0) return Status::FailedPrecondition("tcp transport closed");
   std::vector<uint8_t> bytes = EncodeFrame(frame);
   NoteFrame(bytes.size());
-  return WriteAll(bytes.data(), bytes.size());
+  Status wrote = WriteAll(bytes.data(), bytes.size());
+  if (wrote.ok()) TapSent(bytes.data(), bytes.size());
+  return wrote;
 }
 
 Result<Frame> TcpTransport::Recv() {
@@ -132,6 +134,18 @@ Result<Frame> TcpTransport::Recv() {
     ULDP_RETURN_IF_ERROR(ReadAll(frame.payload.data(), payload_len));
   }
   NoteFrame(kFrameHeaderSize + static_cast<uint64_t>(payload_len));
+  if (transcript_bound()) {
+    // The header and payload were read into separate buffers; a bound
+    // transcript wants the contiguous wire image, so reassemble it (the
+    // copy is paid only when recording).
+    std::vector<uint8_t> wire(kFrameHeaderSize + payload_len);
+    std::memcpy(wire.data(), header, kFrameHeaderSize);
+    if (payload_len > 0) {
+      std::memcpy(wire.data() + kFrameHeaderSize, frame.payload.data(),
+                  payload_len);
+    }
+    TapReceived(wire.data(), wire.size());
+  }
   return frame;
 }
 
@@ -171,6 +185,9 @@ Result<bool> TcpTransport::TryReadFrame(Frame* out) {
     out->payload.assign(read_buf_.begin() + kFrameHeaderSize,
                         read_buf_.begin() + static_cast<long>(target));
     NoteFrame(target);
+    // read_buf_[0, target) is the contiguous wire image of this frame —
+    // the epoll-mux read path records the same bytes blocking Recv would.
+    TapReceived(read_buf_.data(), target);
     read_have_ = 0;
     read_header_done_ = false;
     read_payload_len_ = 0;

@@ -20,6 +20,7 @@ Status ChannelTransport::Send(const Frame& frame) {
     if (tx_->closed) {
       return Status::FailedPrecondition("channel transport closed");
     }
+    TapSent(bytes.data(), size);
     tx_->frames.push_back(std::move(bytes));
   }
   tx_->cv.notify_one();
@@ -51,7 +52,12 @@ Result<Frame> ChannelTransport::Recv() {
         std::to_string(bytes.size() - kFrameHeaderSize) + " exceeds cap " +
         std::to_string(max_frame_payload()));
   }
-  return DecodeFrame(bytes);
+  Result<Frame> frame = DecodeFrame(bytes);
+  // Only frames the wire layer accepted enter the transcript: a decode
+  // failure terminates the connection, and a replay has nothing to say
+  // about bytes no driver ever saw.
+  if (frame.ok()) TapReceived(bytes.data(), bytes.size());
+  return frame;
 }
 
 void ChannelTransport::Close() {

@@ -33,6 +33,20 @@
 namespace uldp {
 namespace net {
 
+/// Observer of the exact wire bytes crossing a transport, in both
+/// directions — the recording hook behind tamper-evident run transcripts
+/// (net/transcript.h). A sink bound to several transports receives each
+/// frame tagged with the peer id it was bound under; implementations must
+/// be thread-safe (sends and receives tap from different threads).
+class TranscriptSink {
+ public:
+  virtual ~TranscriptSink() = default;
+  /// One complete frame exactly as encoded on the wire (header included).
+  /// `sent` is from the local party's perspective.
+  virtual void RecordFrame(uint32_t peer_id, bool sent, const uint8_t* data,
+                           size_t size) = 0;
+};
+
 class Transport {
  public:
   virtual ~Transport() = default;
@@ -100,7 +114,38 @@ class Transport {
     return static_cast<uint64_t>(largest_frame_.Exchange(0));
   }
 
+  /// Attaches a transcript recorder: every frame subsequently sent or
+  /// received on this transport is reported to `sink` as the exact wire
+  /// bytes, tagged with `peer_id`. Bind before any traffic flows (the CLI
+  /// binds right after accept/connect); a null sink detaches. The tap is
+  /// strictly passive — it observes encoded bytes and never alters them,
+  /// so recorded and unrecorded runs are bitwise identical.
+  void BindTranscript(std::shared_ptr<TranscriptSink> sink,
+                      uint32_t peer_id) {
+    transcript_peer_ = peer_id;
+    std::atomic_store_explicit(&transcript_, std::move(sink),
+                               std::memory_order_release);
+  }
+
  protected:
+  /// Backends call these with the full encoded frame (header + payload)
+  /// at the moment it hits — or arrives from — the wire.
+  void TapSent(const uint8_t* data, size_t size) {
+    auto sink = std::atomic_load_explicit(&transcript_,
+                                          std::memory_order_acquire);
+    if (sink != nullptr) sink->RecordFrame(transcript_peer_, true, data, size);
+  }
+  void TapReceived(const uint8_t* data, size_t size) {
+    auto sink = std::atomic_load_explicit(&transcript_,
+                                          std::memory_order_acquire);
+    if (sink != nullptr) {
+      sink->RecordFrame(transcript_peer_, false, data, size);
+    }
+  }
+  bool transcript_bound() const {
+    return std::atomic_load_explicit(&transcript_,
+                                     std::memory_order_acquire) != nullptr;
+  }
   void NoteFrame(uint64_t wire_bytes) {
     largest_frame_.SetMax(static_cast<int64_t>(wire_bytes));
     frame_bytes_.Record(wire_bytes);
@@ -112,6 +157,8 @@ class Transport {
   }
 
  private:
+  std::shared_ptr<TranscriptSink> transcript_;  // atomic free-function access
+  uint32_t transcript_peer_ = 0;
   std::atomic<uint32_t> max_frame_payload_{kDefaultMaxFramePayload};
   std::atomic<int> recv_timeout_ms_{0};
   obs::Counter sent_bytes_{"net.transport.bytes_sent"};

@@ -78,6 +78,11 @@ if [ -x "$BUILD_DIR/bench_obs_overhead" ]; then
   (cd "$BUILD_DIR" && ULDP_BENCH_SMOKE=1 ./bench_obs_overhead)
 fi
 
+# Docs-vs-code lint: every MessageType/StreamKind enumerator must appear
+# in docs/wire.md and every relative markdown link must resolve, so the
+# wire documentation cannot silently drift from src/net/messages.h.
+python3 tools/check_docs.py
+
 # Bench-regression gate: every committed baseline in bench/baselines/ is
 # compared against the BENCH_*.json the smoke benches just wrote; a >25%
 # latency regression, a lost speedup floor, or any bitwise-divergence flag
@@ -415,4 +420,76 @@ if [ -x "$BUILD_DIR/uldp_fl_cli" ]; then
       --require-span silo.upload_cipher:2 \
       --require-span stream.chunk.silo_cipher:2
   echo "obs smoke: instrumented loopback round OK (port $PORT)"
+
+  # Transcript smoke: record a 2-silo loopback run with OT weight
+  # distribution, ciphertext packing, and chunked streaming all on, then
+  # --verify-transcript all three transcripts (hash chain + keyed HMAC +
+  # byte-exact deterministic replay through the real party drivers), and
+  # finally corrupt one byte of the server transcript and assert the
+  # verifier rejects it with a nonzero exit.
+  TR_LOG="$BUILD_DIR/transcript_smoke_server.log"
+  TR_DIR="$BUILD_DIR/transcript_smoke"
+  TR_KEY="00112233aabbcc"
+  TR_ARGS="--silos=2 --users=6 --dim=8 --paillier-bits=512 --n-max=8 \
+--seed=11 --net-timeout=120 --ot-slots=4 --pack-slots=2 \
+--stream-chunk-users=4 --record-transcript=$TR_DIR --hmac-key=$TR_KEY"
+  rm -rf "$TR_DIR" && mkdir -p "$TR_DIR"
+  rm -f "$TR_LOG"
+  # shellcheck disable=SC2086
+  "$BUILD_DIR/uldp_fl_cli" --serve=0 --rounds=2 --verify $TR_ARGS \
+      > "$TR_LOG" 2>&1 &
+  SERVER_PID=$!
+  PORT=""
+  for _ in $(seq 1 100); do
+    PORT="$(sed -n 's/.*listening on port \([0-9]*\).*/\1/p' "$TR_LOG" \
+            2>/dev/null | head -n1)"
+    [ -n "$PORT" ] && break
+    sleep 0.1
+  done
+  if [ -z "$PORT" ]; then
+    echo "transcript smoke: server never reported its port" >&2
+    cat "$TR_LOG" >&2 || true
+    kill "$SERVER_PID" 2>/dev/null || true
+    exit 1
+  fi
+  # shellcheck disable=SC2086
+  "$BUILD_DIR/uldp_fl_cli" --connect=127.0.0.1:"$PORT" --silo-id=0 \
+      $TR_ARGS &
+  C0=$!
+  # shellcheck disable=SC2086
+  "$BUILD_DIR/uldp_fl_cli" --connect=127.0.0.1:"$PORT" --silo-id=1 \
+      $TR_ARGS &
+  C1=$!
+  FAIL=0
+  wait "$SERVER_PID" || FAIL=1
+  wait "$C0" || FAIL=1
+  wait "$C1" || FAIL=1
+  cat "$TR_LOG"
+  if [ "$FAIL" != "0" ]; then
+    echo "transcript smoke: recorded loopback round FAILED" >&2
+    exit 1
+  fi
+  for t in server silo0 silo1; do
+    if [ ! -f "$TR_DIR/$t.ult" ]; then
+      echo "transcript smoke: $TR_DIR/$t.ult was not written" >&2
+      exit 1
+    fi
+    if ! "$BUILD_DIR/uldp_fl_cli" \
+        --verify-transcript="$TR_DIR/$t.ult" --hmac-key="$TR_KEY"; then
+      echo "transcript smoke: $t.ult failed verification" >&2
+      exit 1
+    fi
+  done
+  # One flipped byte (mid-file, past the header) must be detected.
+  cp "$TR_DIR/server.ult" "$TR_DIR/server_corrupt.ult"
+  printf '\377' | dd of="$TR_DIR/server_corrupt.ult" bs=1 seek=2000 \
+      conv=notrunc status=none
+  if "$BUILD_DIR/uldp_fl_cli" \
+      --verify-transcript="$TR_DIR/server_corrupt.ult" \
+      --hmac-key="$TR_KEY" 2>/dev/null; then
+    echo "transcript smoke: corrupted transcript was ACCEPTED" >&2
+    exit 1
+  fi
+  echo "transcript smoke: record + verify + corruption-reject OK" \
+      "(port $PORT)"
 fi

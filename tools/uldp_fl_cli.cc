@@ -14,6 +14,7 @@
 //
 // Run with --help for the full flag list.
 
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
 #include <map>
@@ -37,6 +38,7 @@
 #include "net/demo.h"
 #include "net/protocol_node.h"
 #include "net/tcp.h"
+#include "net/transcript.h"
 #include "obs/metrics.h"
 #include "obs/stats_server.h"
 #include "obs/trace.h"
@@ -106,6 +108,10 @@ struct Flags {
   int stream_chunk_coords = 0;  // cipher-upload chunk size (0 = default)
   int stream_window = 0;        // unacked chunks in flight (0 = default)
   int max_frame_bytes = 0;      // wire frame payload cap (0 = default)
+  // Tamper-evident transcripts (src/net/transcript.h).
+  std::string record_transcript;  // dir: write this party's transcript
+  std::string verify_transcript;  // file: verify chain/HMAC + replay
+  std::string hmac_key;           // hex key for the keyed chain finalizer
   // Telemetry (src/obs/) — strictly passive: results are bitwise
   // identical with or without these.
   std::string metrics_out;  // write the metrics registry JSON on exit
@@ -185,6 +191,28 @@ void PrintHelp() {
       "  --max-frame-bytes=B         reject any wire frame whose payload\n"
       "                              exceeds B bytes before allocating it\n"
       "                              (0 = default cap)\n"
+      "Tamper-evident transcripts (src/net/transcript.h; see\n"
+      "docs/transcripts.md):\n"
+      "  --record-transcript=DIR     record every frame this party sends or\n"
+      "                              receives as a hash-chained transcript\n"
+      "                              in DIR (server.ult / siloK.ult /\n"
+      "                              async-*.ult), written on every exit\n"
+      "                              path including failures; recording is\n"
+      "                              passive — the run's bytes and results\n"
+      "                              are unchanged\n"
+      "  --verify-transcript=FILE    verify a recorded transcript: trailing\n"
+      "                              digest, SHA-256 hash chain, optional\n"
+      "                              HMAC, then a deterministic replay\n"
+      "                              through the real protocol drivers that\n"
+      "                              must reproduce every recorded outbound\n"
+      "                              frame byte-for-byte (protocol roles;\n"
+      "                              async roles verify chain + HMAC only)\n"
+      "  --hmac-key=HEX              keyed chain finalizer: with\n"
+      "                              --record-transcript, bind the chain\n"
+      "                              head to this key; with\n"
+      "                              --verify-transcript, require and check\n"
+      "                              the binding (a forger who re-hashes a\n"
+      "                              doctored chain fails without the key)\n"
       "With --async, --serve/--connect run the asynchronous FL demo over\n"
       "TCP (StalenessInfo/RoundAck frames) instead of Protocol 1;\n"
       "--verify requires --max-staleness=0, where the distributed run is\n"
@@ -415,6 +443,12 @@ Result<Flags> ParseFlags(int argc, char** argv) {
     } else if (ParseFlag(arg, "pack-slots", &value)) {
       ULDP_RETURN_IF_ERROR(
           ParseIntInto(value, "pack-slots", 1, 1 << 10, &flags.pack_slots));
+    } else if (ParseFlag(arg, "record-transcript", &value)) {
+      flags.record_transcript = value;
+    } else if (ParseFlag(arg, "verify-transcript", &value)) {
+      flags.verify_transcript = value;
+    } else if (ParseFlag(arg, "hmac-key", &value)) {
+      flags.hmac_key = value;
     } else if (ParseFlag(arg, "metrics-out", &value)) {
       flags.metrics_out = value;
     } else if (ParseFlag(arg, "trace-out", &value)) {
@@ -516,6 +550,24 @@ Result<Flags> ParseFlags(int argc, char** argv) {
   if (flags.resume && flags.checkpoint_dir.empty()) {
     return Status::InvalidArgument("--resume requires --checkpoint-dir");
   }
+  if (!flags.verify_transcript.empty() &&
+      (flags.serve >= 0 || !flags.connect.empty() ||
+       !flags.record_transcript.empty())) {
+    return Status::InvalidArgument(
+        "--verify-transcript is its own mode; drop --serve/--connect/"
+        "--record-transcript");
+  }
+  if (!flags.record_transcript.empty() && flags.serve < 0 &&
+      flags.connect.empty()) {
+    return Status::InvalidArgument(
+        "--record-transcript applies to the distributed modes "
+        "(--serve/--connect); local runs have no wire traffic to record");
+  }
+  if (!flags.hmac_key.empty() && flags.record_transcript.empty() &&
+      flags.verify_transcript.empty()) {
+    return Status::InvalidArgument(
+        "--hmac-key requires --record-transcript or --verify-transcript");
+  }
   if (!flags.checkpoint_dir.empty() && flags.checkpoint_every <= 0 &&
       !flags.resume) {
     return Status::InvalidArgument(
@@ -574,6 +626,73 @@ Status ApplyNetTimeout(net::TcpTransport& transport, const Flags& flags) {
   return transport.SetRecvTimeout(flags.net_timeout * 1000);
 }
 
+/// Holds a party's live transcript recorder and writes the file when it
+/// goes out of scope — every exit path of a Run* function, success or
+/// failure, leaves a chain-valid (possibly partial) transcript behind,
+/// the same always-flush discipline as FlushTelemetry. Null `log` means
+/// recording is off and the destructor is a no-op.
+struct TranscriptFlusher {
+  std::shared_ptr<net::TranscriptLog> log;
+  std::string path;
+
+  TranscriptFlusher() = default;
+  TranscriptFlusher(TranscriptFlusher&&) = default;
+  TranscriptFlusher& operator=(TranscriptFlusher&&) = default;
+  ~TranscriptFlusher() {
+    if (log == nullptr) return;
+    Status wrote = log->WriteFile(path);
+    if (!wrote.ok()) {
+      std::cerr << "record-transcript: " << wrote.ToString() << "\n";
+      return;
+    }
+    std::cout << "transcript written to " << path << " ("
+              << log->entry_count() << " frames)" << std::endl;
+  }
+};
+
+/// Builds this party's transcript recorder (--record-transcript), or a
+/// null flusher when recording is off. The file name encodes the role so
+/// one directory collects a whole cohort's transcripts.
+Result<TranscriptFlusher> MakeTranscriptRecorder(const Flags& flags) {
+  TranscriptFlusher out;
+  if (flags.record_transcript.empty()) return out;
+  std::vector<uint8_t> key;
+  if (!flags.hmac_key.empty()) {
+    auto parsed = net::ParseHexKey(flags.hmac_key);
+    if (!parsed.ok()) return parsed.status();
+    key = std::move(parsed.value());
+  }
+  const bool serving = flags.serve >= 0;
+  net::TranscriptMeta meta;
+  std::string name;
+  if (flags.async) {
+    // Async transcripts carry chain + HMAC evidence only (no replay), so
+    // the meta records the run shape without a protocol config digest.
+    meta.role = serving ? net::TranscriptRole::kAsyncServer
+                        : net::TranscriptRole::kAsyncSilo;
+    meta.silo_id = serving ? 0 : static_cast<uint32_t>(flags.silo_id);
+    meta.num_silos = static_cast<uint32_t>(flags.silos);
+    meta.dim = static_cast<uint32_t>(flags.dim);
+    meta.rounds = serving ? static_cast<uint64_t>(flags.rounds) : 0;
+    meta.seed = flags.seed;
+    name = serving ? "async-server.ult"
+                   : "async-silo" + std::to_string(flags.silo_id) + ".ult";
+  } else {
+    meta = net::TranscriptMeta::FromProtocolConfig(
+        NetProtocolConfig(flags),
+        serving ? net::TranscriptRole::kProtocolServer
+                : net::TranscriptRole::kProtocolSilo,
+        serving ? 0 : static_cast<uint32_t>(flags.silo_id), flags.silos,
+        flags.users, flags.dim,
+        serving ? static_cast<uint64_t>(flags.rounds) : 0);
+    name = serving ? "server.ult"
+                   : "silo" + std::to_string(flags.silo_id) + ".ult";
+  }
+  out.log = std::make_shared<net::TranscriptLog>(meta, std::move(key));
+  out.path = flags.record_transcript + "/" + name;
+  return out;
+}
+
 int RunServeAsync(const Flags& flags) {
   auto listener = net::TcpListener::Listen(flags.serve);
   if (!listener.ok()) {
@@ -584,6 +703,18 @@ int RunServeAsync(const Flags& flags) {
             << listener.value().port() << " (" << flags.silos << " silos, dim "
             << flags.dim << ", " << flags.rounds << " steps, max staleness "
             << flags.max_staleness << ")" << std::endl;
+
+  auto recorder = MakeTranscriptRecorder(flags);
+  if (!recorder.ok()) {
+    std::cerr << recorder.status().ToString() << "\n";
+    return 2;
+  }
+  // Declared before the server so a failure path flushes the transcript
+  // only after the server (and its receive threads) are torn down.
+  TranscriptFlusher transcript = std::move(recorder.value());
+  // Transcript peer ids are the accept counter (shared with the elastic
+  // acceptor thread below, hence atomic).
+  std::atomic<uint32_t> accept_count{0};
 
   net::AsyncRoundsConfig config = NetAsyncConfig(flags);
   net::AsyncRoundServer server(config, flags.silos, flags.dim);
@@ -622,6 +753,10 @@ int RunServeAsync(const Flags& flags) {
       std::cerr << limited.ToString() << "\n";
       return 1;
     }
+    if (transcript.log != nullptr) {
+      conn.value()->BindTranscript(transcript.log,
+                                   accept_count.fetch_add(1));
+    }
     Status added = server.AddConnection(std::move(conn.value()));
     if (!added.ok()) {
       std::cerr << "rejected join: " << added.ToString() << std::endl;
@@ -635,11 +770,16 @@ int RunServeAsync(const Flags& flags) {
   // loop executes; closing the listener after the run unblocks Accept.
   std::thread acceptor;
   if (flags.elastic) {
-    acceptor = std::thread([&listener, &server, &flags]() {
+    acceptor = std::thread([&listener, &server, &flags, &transcript,
+                            &accept_count]() {
       for (;;) {
         auto conn = listener.value().Accept();
         if (!conn.ok()) return;  // listener closed: the run is over
         if (!ApplyNetTimeout(*conn.value(), flags).ok()) continue;
+        if (transcript.log != nullptr) {
+          conn.value()->BindTranscript(transcript.log,
+                                       accept_count.fetch_add(1));
+        }
         Status added = server.AddConnection(std::move(conn.value()));
         if (!added.ok()) {
           std::cerr << "rejected join: " << added.ToString() << std::endl;
@@ -731,6 +871,15 @@ int RunConnectAsync(const Flags& flags) {
     std::cerr << limited.ToString() << "\n";
     return 1;
   }
+  auto recorder = MakeTranscriptRecorder(flags);
+  if (!recorder.ok()) {
+    std::cerr << recorder.status().ToString() << "\n";
+    return 2;
+  }
+  TranscriptFlusher transcript = std::move(recorder.value());
+  if (transcript.log != nullptr) {
+    transport.value()->BindTranscript(transcript.log, 0);
+  }
   std::cout << "async silo " << flags.silo_id << " connected to "
             << flags.connect << std::endl;
   net::AsyncDemoOptions options;
@@ -773,8 +922,20 @@ int RunServe(const Flags& flags) {
             << flags.users << " users, dim " << flags.dim << ", "
             << flags.rounds << " rounds)" << std::endl;
 
+  auto recorder = MakeTranscriptRecorder(flags);
+  if (!recorder.ok()) {
+    std::cerr << recorder.status().ToString() << "\n";
+    return 2;
+  }
+  // Declared before the server so a failure path flushes the transcript
+  // only after the server (and its receive threads) are torn down.
+  TranscriptFlusher transcript = std::move(recorder.value());
   ProtocolConfig config = NetProtocolConfig(flags);
   net::ProtocolServer server(config, flags.silos, flags.users);
+  // Transcript peer ids are the accept counter — a rejected join still
+  // consumes an id, so its recorded Join/Error exchange replays as a
+  // rejected join instead of polluting the next peer's stream.
+  uint32_t accept_count = 0;
   while (server.connected_silos() < flags.silos) {
     auto conn = listener.value().Accept();
     if (!conn.ok()) {
@@ -785,6 +946,9 @@ int RunServe(const Flags& flags) {
     if (!limited.ok()) {
       std::cerr << limited.ToString() << "\n";
       return 1;
+    }
+    if (transcript.log != nullptr) {
+      conn.value()->BindTranscript(transcript.log, accept_count++);
     }
     Status added = server.AddConnection(std::move(conn.value()));
     if (!added.ok()) {
@@ -878,6 +1042,15 @@ int RunConnect(const Flags& flags) {
   if (!limited.ok()) {
     std::cerr << limited.ToString() << "\n";
     return 1;
+  }
+  auto recorder = MakeTranscriptRecorder(flags);
+  if (!recorder.ok()) {
+    std::cerr << recorder.status().ToString() << "\n";
+    return 2;
+  }
+  TranscriptFlusher transcript = std::move(recorder.value());
+  if (transcript.log != nullptr) {
+    transport.value()->BindTranscript(transcript.log, 0);
   }
   std::cout << "silo " << flags.silo_id << " connected to " << flags.connect
             << std::endl;
@@ -1100,7 +1273,61 @@ int RunLocal(const Flags& flags) {
   return 0;
 }
 
+int RunVerifyTranscript(const Flags& flags) {
+  auto file = net::TranscriptFile::ReadFile(flags.verify_transcript);
+  if (!file.ok()) {
+    std::cerr << "verify-transcript: " << file.status().ToString() << "\n";
+    return 1;
+  }
+  const net::TranscriptMeta& meta = file.value().meta;
+  std::cout << "transcript " << flags.verify_transcript << ": role "
+            << net::TranscriptRoleName(meta.role) << ", silo "
+            << meta.silo_id << ", " << meta.num_silos << " silos, "
+            << meta.num_users << " users, dim " << meta.dim << ", "
+            << meta.rounds << " rounds, " << file.value().entries.size()
+            << " frames" << std::endl;
+  std::vector<uint8_t> key;
+  if (!flags.hmac_key.empty()) {
+    auto parsed = net::ParseHexKey(flags.hmac_key);
+    if (!parsed.ok()) {
+      std::cerr << parsed.status().ToString() << "\n";
+      return 2;
+    }
+    key = std::move(parsed.value());
+  }
+  net::ReplayReport report;
+  Status verified = net::VerifyTranscript(
+      file.value(), flags.hmac_key.empty() ? nullptr : &key, &report);
+  if (!verified.ok()) {
+    std::cerr << "transcript verification FAILED: " << verified.ToString()
+              << "\n";
+    return 1;
+  }
+  std::cout << "hash chain OK over " << report.entries << " frames"
+            << std::endl;
+  if (report.hmac_verified) {
+    std::cout << "HMAC OK (chain head bound to the supplied key)"
+              << std::endl;
+  } else if (report.hmac_skipped) {
+    std::cout << "warning: transcript carries an HMAC but no --hmac-key was "
+                 "supplied; keyed check skipped" << std::endl;
+  }
+  if (report.replay_skipped) {
+    std::cout << "replay skipped (async-role transcript: chain + HMAC "
+                 "evidence only)" << std::endl;
+  } else {
+    std::cout << "replay OK: reproduced " << report.frames_matched
+              << " outbound frames byte-for-byte, consumed "
+              << report.frames_fed << " inbound frames" << std::endl;
+  }
+  std::cout << "transcript verified" << std::endl;
+  return 0;
+}
+
 int Dispatch(const Flags& flags) {
+  if (!flags.verify_transcript.empty()) {
+    return RunVerifyTranscript(flags);
+  }
   if (flags.serve >= 0) {
     return flags.async ? RunServeAsync(flags) : RunServe(flags);
   }
